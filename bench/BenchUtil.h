@@ -1,0 +1,76 @@
+//===- BenchUtil.h - Shared helpers for the table benchmarks ----*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_BENCH_BENCHUTIL_H
+#define VYRD_BENCH_BENCHUTIL_H
+
+#include "harness/Scenarios.h"
+#include "harness/Workload.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <string>
+
+namespace vyrd {
+namespace bench {
+
+/// CPU seconds consumed by the whole process so far (the paper reports
+/// CPU seconds).
+inline double cpuSeconds() {
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+/// Wall-clock seconds.
+inline double wallSeconds() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+struct Timed {
+  double Cpu;
+  double Wall;
+};
+
+/// Runs \p Fn and returns its CPU/wall cost.
+template <typename FnT> Timed timed(FnT &&Fn) {
+  double C0 = cpuSeconds(), W0 = wallSeconds();
+  Fn();
+  return {cpuSeconds() - C0, wallSeconds() - W0};
+}
+
+/// Runs one workload over a freshly built scenario and finishes it.
+/// \returns (workload result, report).
+inline std::pair<harness::WorkloadResult, VerifierReport>
+runScenario(const harness::ScenarioOptions &SO,
+            const harness::WorkloadOptions &WOIn, bool StopOnViolation,
+            bool Background = true, bool WithChaos = false) {
+  harness::Scenario S = harness::makeScenario(SO);
+  harness::WorkloadOptions WO = WOIn;
+  if (Background)
+    WO.BackgroundOp = S.BackgroundOp;
+  if (StopOnViolation)
+    WO.StopOnViolation = S.V;
+  // Chaos yields are only wanted when hunting bugs (Table 1); they would
+  // pollute the timing benches.
+  if (WithChaos)
+    Chaos::enable(4, WO.Seed);
+  harness::WorkloadResult R = harness::runWorkload(WO, S.Op);
+  Chaos::disable();
+  VerifierReport Rep = S.Finish();
+  return {R, Rep};
+}
+
+inline void hr(char C = '-', int N = 78) {
+  for (int I = 0; I < N; ++I)
+    std::putchar(C);
+  std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace vyrd
+
+#endif // VYRD_BENCH_BENCHUTIL_H

@@ -1,0 +1,139 @@
+//===- ablation_views.cpp - Ablations for the design choices ---------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation studies for the design decisions DESIGN.md calls out:
+//
+//  A. Incremental view maintenance (Sec. 6.4) vs rebuilding both views
+//     from scratch at every commit — checking the same recorded trace.
+//  B. Audit period: the cost of periodically deep-comparing the
+//     incremental views against rebuilt ones.
+//  C. Log backend: MemoryLog vs FileLog serialization cost.
+//
+// Expected shape: incremental wins by a growing factor as the structure
+// gets larger; audits add cost inversely proportional to their period;
+// the file backend adds a constant serialization overhead per record.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace vyrd;
+using namespace vyrd::harness;
+using namespace vyrd::bench;
+
+namespace {
+
+std::vector<Action> recordTrace(Program P, unsigned Threads, unsigned Ops) {
+  std::string Path =
+      "/tmp/vyrd-abl-" + std::to_string(getpid()) + ".bin";
+  ScenarioOptions SO;
+  SO.Prog = P;
+  SO.Mode = RunMode::RM_LogOnlyView;
+  SO.LogPath = Path;
+  WorkloadOptions WO;
+  WO.Threads = Threads;
+  WO.OpsPerThread = Ops;
+  WO.KeyPoolSize = 48;
+  WO.Seed = 31;
+  runScenario(SO, WO, false);
+  std::vector<Action> Trace;
+  loadLogFile(Path, Trace);
+  std::remove(Path.c_str());
+  return Trace;
+}
+
+double checkTrace(Program P, const std::vector<Action> &Trace,
+                  bool FullRecompute, unsigned AuditPeriod) {
+  ScenarioOptions SO;
+  SO.Prog = P;
+  SO.Mode = RunMode::RM_OfflineView;
+  SO.FullViewRecompute = FullRecompute;
+  SO.AuditPeriod = AuditPeriod;
+  Scenario S = makeScenario(SO);
+  Timed T = timed([&] {
+    for (const Action &A : Trace)
+      S.L->append(A);
+    VerifierReport R = S.Finish();
+    if (!R.ok())
+      std::printf("  !! unexpected violation: %s\n",
+                  R.Violations.front().str().c_str());
+  });
+  return T.Cpu > 0 ? T.Cpu : T.Wall;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablation A: incremental vs full view recomputation "
+              "(offline check CPU seconds)\n\n");
+  std::printf("%-22s %10s %12s %12s %8s\n", "Program", "records",
+              "incremental", "full-rebuild", "speedup");
+  hr();
+  struct {
+    Program P;
+    unsigned Threads, Ops;
+  } Loads[] = {
+      {Program::P_MultisetVector, 4, 2500},
+      {Program::P_Vector, 4, 2500},
+      {Program::P_BLinkTree, 4, 1200},
+      {Program::P_Cache, 4, 1500},
+  };
+  for (auto &L : Loads) {
+    std::vector<Action> Trace = recordTrace(L.P, L.Threads, L.Ops);
+    double Inc = checkTrace(L.P, Trace, false, 0);
+    double Full = checkTrace(L.P, Trace, true, 0);
+    std::printf("%-22s %10zu %12.3f %12.3f %7.1fx\n", programName(L.P),
+                Trace.size(), Inc, Full, Inc > 0 ? Full / Inc : 0);
+  }
+  hr();
+
+  std::printf("\nAblation B: audit period (BLinkTree trace)\n\n");
+  std::printf("%-14s %12s\n", "audit period", "CPU seconds");
+  hr('-', 30);
+  {
+    std::vector<Action> Trace = recordTrace(Program::P_BLinkTree, 4, 1200);
+    for (unsigned Period : {0u, 1024u, 256u, 64u, 16u, 4u, 1u}) {
+      double T = checkTrace(Program::P_BLinkTree, Trace, false, Period);
+      if (Period)
+        std::printf("%-14u %12.3f\n", Period, T);
+      else
+        std::printf("%-14s %12.3f\n", "off", T);
+    }
+  }
+  hr('-', 30);
+
+  std::printf("\nAblation C: log backend cost (Cache workload, CPU "
+              "seconds)\n\n");
+  {
+    WorkloadOptions WO;
+    WO.Threads = 4;
+    WO.OpsPerThread = 2500;
+    WO.KeyPoolSize = 24;
+    WO.Seed = 17;
+    auto TimeMode = [&](const char *Label, const std::string &Path) {
+      ScenarioOptions SO;
+      SO.Prog = Program::P_Cache;
+      SO.Mode = RunMode::RM_LogOnlyView;
+      SO.LogPath = Path;
+      Timed T = timed([&] { runScenario(SO, WO, false); });
+      std::printf("%-22s %10.3f\n", Label, T.Cpu > 0 ? T.Cpu : T.Wall);
+    };
+    TimeMode("MemoryLog", "");
+    std::string Path =
+        "/tmp/vyrd-ablc-" + std::to_string(getpid()) + ".bin";
+    TimeMode("FileLog (serialized)", Path);
+    std::remove(Path.c_str());
+  }
+  std::printf("\nExpected shape: incremental maintenance beats full "
+              "rebuilds by a factor that\ngrows with structure size; "
+              "frequent audits approach full-rebuild cost. With no\n"
+              "consumer draining the log, FileLog (compact serialized "
+              "bytes, no retained tail)\ntypically beats MemoryLog "
+              "(which must retain every structured record).\n");
+  return 0;
+}

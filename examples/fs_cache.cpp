@@ -1,0 +1,119 @@
+//===- fs_cache.cpp - A verified write-back file cache ---------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Domain example in the spirit of the Scan file system (Sec. 7.3): a
+// write-back file cache over stable storage. "Files" are fixed blocks in
+// the Chunk Manager; application threads read and overwrite them through
+// the Boxwood-style cache; a background "syncer" thread continuously
+// flushes dirty blocks to storage and periodically evicts clean ones —
+// exactly the environment in which both Scan's and Boxwood's cache bugs
+// lived.
+//
+// VYRD checks the cache+storage system against an atomic block-store
+// specification and evaluates the two Sec. 7.2.1 invariants at every
+// commit. The demo runs the correct cache clean, then the Boxwood bug
+// (unprotected in-place copy racing the flusher) and shows invariant (i)
+// firing at the flush that persists a torn block.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/BoxCache.h"
+#include "cache/CacheSpec.h"
+#include "chunk/ChunkManager.h"
+#include "harness/Workload.h"
+#include "vyrd/Vyrd.h"
+
+#include <cstdio>
+
+using namespace vyrd;
+using namespace vyrd::cache;
+
+namespace {
+
+/// A "file block" payload: recognizable, block-sized content.
+Bytes blockContent(uint64_t File, uint64_t Generation) {
+  Bytes B(48);
+  for (size_t I = 0; I < B.size(); ++I)
+    B[I] = static_cast<uint8_t>(File * 31 + Generation * 7 + I);
+  return B;
+}
+
+VerifierReport runFs(bool Buggy, uint64_t Seed, bool StopEarly) {
+  chunk::ChunkManager Disk;
+  constexpr size_t NumFiles = 16;
+  std::vector<uint64_t> Files;
+  for (size_t I = 0; I < NumFiles; ++I)
+    Files.push_back(Disk.allocate());
+
+  VerifierConfig VC;
+  VC.Checker.Mode = CheckMode::CM_ViewRefinement;
+  VC.Checker.StopAtFirstViolation = StopEarly;
+  Verifier V(std::make_unique<CacheSpec>(Files),
+             std::make_unique<CacheReplayer>(Files), VC);
+  V.start();
+
+  BoxCache::Options CO;
+  CO.ChunkSize = 64;
+  CO.BuggyUnprotectedCopy = Buggy;
+  BoxCache FileCache(Disk, CO, V.hooks());
+
+  Chaos::enable(4, Seed);
+  harness::WorkloadOptions WO;
+  WO.Threads = 6;
+  WO.OpsPerThread = 400;
+  WO.KeyPoolSize = NumFiles;
+  WO.Seed = Seed;
+  // The syncer: continuously flush; evict now and then.
+  unsigned SyncRound = 0;
+  WO.BackgroundOp = [&] {
+    FileCache.flush();
+    if (++SyncRound % 8 == 0)
+      FileCache.evict();
+  };
+  if (StopEarly)
+    WO.StopOnViolation = &V;
+  harness::runWorkload(
+      WO, [&](harness::Rng &R, int64_t K1, int64_t K2, double) {
+        uint64_t File = Files[static_cast<uint64_t>(K1) % NumFiles];
+        if (R.percent(60)) {
+          FileCache.write(File,
+                          blockContent(File, static_cast<uint64_t>(K2)));
+        } else {
+          Bytes Out;
+          FileCache.read(File, Out);
+        }
+      });
+  Chaos::disable();
+  return V.finish();
+}
+
+} // namespace
+
+int main() {
+  std::printf("== write-back file cache over stable storage (correct) "
+              "==\n");
+  VerifierReport Clean = runFs(/*Buggy=*/false, 1, false);
+  std::printf("  %s", Clean.str().c_str());
+  if (!Clean.ok())
+    return 1;
+
+  std::printf("\n== with the unprotected in-place copy (the bug VYRD "
+              "found in Boxwood's cache) ==\n");
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    VerifierReport Rep = runFs(true, Seed, true);
+    if (!Rep.ok()) {
+      std::printf("  VYRD caught it (seed %llu):\n    %s\n",
+                  static_cast<unsigned long long>(Seed),
+                  Rep.Violations.front().str().c_str());
+      std::printf("\n  (A torn block was persisted while the entry was "
+                  "marked clean — found\n   without any read ever "
+                  "returning wrong data, Sec. 7.2.2.)\n");
+      return 0;
+    }
+  }
+  std::printf("  bug did not fire in 20 seeds (unexpected)\n");
+  return 1;
+}

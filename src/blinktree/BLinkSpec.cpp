@@ -1,0 +1,207 @@
+//===- BLinkSpec.cpp - Atomic spec + replayer for the B-link tree ---------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blinktree/BLinkSpec.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vyrd;
+using namespace vyrd::blinktree;
+
+//===----------------------------------------------------------------------===//
+// BLinkSpec
+//===----------------------------------------------------------------------===//
+
+BLinkSpec::BLinkSpec() : V(BltVocab::get()) {}
+
+bool BLinkSpec::isObserver(Name Method) const { return Method == V.Lookup; }
+
+bool BLinkSpec::applyMutator(Name Method, const ValueList &Args,
+                             const Value &Ret, View &ViewS) {
+  if (Method == V.Compress) {
+    // Compression must not modify the abstract contents.
+    return Ret.isBool();
+  }
+  if (!Ret.isBool())
+    return false;
+  bool Success = Ret.asBool();
+
+  if (Method == V.Insert) {
+    if (Args.size() != 2 || !Args[0].isInt() || !Args[1].isBytes() ||
+        !Success)
+      return false; // insert always succeeds
+    int64_t K = Args[0].asInt();
+    auto It = M.find(K);
+    if (It == M.end()) {
+      BData D;
+      D.Version = 1;
+      D.Data = Args[1].asBytes();
+      M.emplace(K, D);
+      ViewS.add(Args[0], versionedValue(1, Args[1].asBytes()));
+      return true;
+    }
+    ViewS.remove(Args[0], versionedValue(It->second.Version,
+                                         It->second.Data));
+    ++It->second.Version;
+    It->second.Data = Args[1].asBytes();
+    ViewS.add(Args[0], versionedValue(It->second.Version,
+                                      It->second.Data));
+    return true;
+  }
+
+  if (Method == V.Delete) {
+    if (Args.size() != 1 || !Args[0].isInt())
+      return false;
+    auto It = M.find(Args[0].asInt());
+    if (!Success)
+      return It == M.end(); // failure iff the key is absent
+    if (It == M.end())
+      return false;
+    ViewS.remove(Args[0], versionedValue(It->second.Version,
+                                         It->second.Data));
+    M.erase(It);
+    return true;
+  }
+
+  return false;
+}
+
+bool BLinkSpec::returnAllowed(Name Method, const ValueList &Args,
+                              const Value &Ret) const {
+  if (Method != V.Lookup || Args.size() != 1 || !Args[0].isInt())
+    return false;
+  auto It = M.find(Args[0].asInt());
+  if (It == M.end())
+    return Ret.isNull();
+  return Ret == versionedValue(It->second.Version, It->second.Data);
+}
+
+void BLinkSpec::buildView(View &Out) const {
+  Out.clear();
+  for (const auto &[K, D] : M)
+    Out.add(Value(K), versionedValue(D.Version, D.Data));
+}
+
+//===----------------------------------------------------------------------===//
+// BLinkReplayer
+//===----------------------------------------------------------------------===//
+
+BLinkReplayer::BLinkReplayer(uint64_t FirstLeafHandle)
+    : V(BltVocab::get()), FirstLeaf(FirstLeafHandle) {}
+
+Value BLinkReplayer::entryValue(uint64_t DataH) const {
+  auto It = DataNodes.find(DataH);
+  if (It == DataNodes.end())
+    return Value(); // dangling reference: contributes a null (mismatch)
+  return versionedValue(It->second.Version, It->second.Data);
+}
+
+void BLinkReplayer::applyUpdate(const Action &A, View &ViewI) {
+  assert(A.Kind == ActionKind::AK_ReplayOp &&
+         "B-link tree logs coarse-grained replay ops only");
+
+  if (A.Var == V.OpRoot)
+    return; // root identity is not part of the view
+
+  if (A.Var == V.OpData) {
+    assert(A.Args.size() == 3);
+    uint64_t DH = static_cast<uint64_t>(A.Args[0].asInt());
+    BData New;
+    New.Version = static_cast<uint64_t>(A.Args[1].asInt());
+    New.Data = A.Args[2].asBytes();
+    auto It = DataNodes.find(DH);
+    Value Old = entryValue(DH);
+    Value NewVal = versionedValue(New.Version, New.Data);
+    // Update every live leaf entry referencing this data node.
+    auto RefIt = DataRefs.find(DH);
+    if (RefIt != DataRefs.end()) {
+      for (int64_t Key : RefIt->second) {
+        ViewI.remove(Value(Key), Old);
+        ViewI.add(Value(Key), NewVal);
+      }
+    }
+    if (It == DataNodes.end())
+      DataNodes.emplace(DH, std::move(New));
+    else
+      It->second = std::move(New);
+    return;
+  }
+
+  if (A.Var == V.OpNode) {
+    assert(A.Args.size() == 2);
+    uint64_t NH = static_cast<uint64_t>(A.Args[0].asInt());
+    BNode New;
+    bool Ok = BNode::deserialize(A.Args[1].asBytes(), New);
+    assert(Ok && "malformed node record");
+    (void)Ok;
+    if (!New.IsLeaf)
+      return; // the indexing structure is abstracted away
+
+    auto It = Leaves.find(NH);
+    const std::vector<BEntry> NoEntries;
+    const std::vector<BEntry> &OldE =
+        (It != Leaves.end() && !It->second.Dead) ? It->second.Entries
+                                                 : NoEntries;
+    const std::vector<BEntry> &NewE = New.Dead ? NoEntries : New.Entries;
+
+    // Diff the old and new entry lists (both sorted by key).
+    size_t I = 0, J = 0;
+    auto RemoveRef = [&](const BEntry &E) {
+      ViewI.remove(Value(E.Key), entryValue(E.Handle));
+      auto &Refs = DataRefs[E.Handle];
+      auto Pos = std::find(Refs.begin(), Refs.end(), E.Key);
+      if (Pos != Refs.end())
+        Refs.erase(Pos);
+    };
+    auto AddRef = [&](const BEntry &E) {
+      ViewI.add(Value(E.Key), entryValue(E.Handle));
+      DataRefs[E.Handle].push_back(E.Key);
+    };
+    while (I < OldE.size() || J < NewE.size()) {
+      if (J == NewE.size() ||
+          (I < OldE.size() && OldE[I].Key < NewE[J].Key)) {
+        RemoveRef(OldE[I++]);
+      } else if (I == OldE.size() || NewE[J].Key < OldE[I].Key) {
+        AddRef(NewE[J++]);
+      } else {
+        if (OldE[I].Handle != NewE[J].Handle) {
+          RemoveRef(OldE[I]);
+          AddRef(NewE[J]);
+        }
+        ++I;
+        ++J;
+      }
+    }
+
+    if (It == Leaves.end())
+      Leaves.emplace(NH, std::move(New));
+    else
+      It->second = std::move(New);
+    return;
+  }
+
+  assert(false && "unknown B-link replay op");
+}
+
+void BLinkReplayer::buildView(View &Out) const {
+  Out.clear();
+  // Left-to-right traversal of the leaf chain (Sec. 7.2.4), guarded
+  // against cycles.
+  std::unordered_map<uint64_t, bool> Visited;
+  uint64_t H = FirstLeaf;
+  while (H && !Visited[H]) {
+    Visited[H] = true;
+    auto It = Leaves.find(H);
+    if (It == Leaves.end())
+      break;
+    const BNode &N = It->second;
+    if (!N.Dead)
+      for (const BEntry &E : N.Entries)
+        Out.add(Value(E.Key), entryValue(E.Handle));
+    H = N.Right;
+  }
+}

@@ -1,0 +1,543 @@
+//===- BLinkTree.cpp - Concurrent B-link tree over the Cache --------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blinktree/BLinkTree.h"
+
+#include <cassert>
+#include <thread>
+
+using namespace vyrd;
+using namespace vyrd::blinktree;
+
+BltVocab BltVocab::get() {
+  BltVocab V;
+  V.Insert = internName("BltInsert");
+  V.Delete = internName("BltDelete");
+  V.Lookup = internName("BltLookup");
+  V.Compress = internName("BltCompress");
+  V.OpNode = internName("blt.node");
+  V.OpData = internName("blt.data");
+  V.OpRoot = internName("blt.root");
+  return V;
+}
+
+BLinkTree::BLinkTree(cache::BoxCache &Cache, chunk::ChunkManager &CM,
+                     const Options &Opts, Hooks H)
+    : Cache(Cache), CM(CM), Opts(Opts), H(H), V(BltVocab::get()) {
+  // The initial root is an empty leaf; it anchors the leaf chain forever
+  // (merges always absorb the *right* sibling, so the leftmost leaf never
+  // dies).
+  uint64_t RootH = CM.allocate();
+  BNode Empty;
+  writeNode(RootH, Empty);
+  Root.store(RootH, std::memory_order_release);
+  FirstLeaf = RootH;
+  H.replayOp(V.OpRoot, {Value(static_cast<int64_t>(RootH))});
+}
+
+std::mutex &BLinkTree::lockFor(uint64_t Hd) {
+  std::lock_guard Lock(LockTableM);
+  auto &Slot = LockTable[Hd];
+  if (!Slot)
+    Slot = std::make_unique<std::mutex>();
+  return *Slot;
+}
+
+BNode BLinkTree::readNode(uint64_t Hd) {
+  Bytes B;
+  bool Ok = Cache.read(Hd, B);
+  assert(Ok && "reading an unallocated node");
+  (void)Ok;
+  BNode N;
+  Ok = BNode::deserialize(B, N);
+  assert(Ok && "malformed node chunk");
+  return N;
+}
+
+void BLinkTree::writeNode(uint64_t Hd, const BNode &N, bool CommitHere) {
+  Bytes B = N.serialize();
+  Cache.write(Hd, B, [&] {
+    H.replayOp(V.OpNode, {Value(static_cast<int64_t>(Hd)), Value(B)});
+    if (CommitHere)
+      H.commit();
+  });
+}
+
+void BLinkTree::writeData(uint64_t Hd, const BData &D, bool CommitHere) {
+  Cache.write(Hd, D.serialize(), [&] {
+    H.replayOp(V.OpData,
+               {Value(static_cast<int64_t>(Hd)),
+                Value(static_cast<int64_t>(D.Version)), Value(D.Data)});
+    if (CommitHere)
+      H.commit();
+  });
+}
+
+bool BLinkTree::readData(uint64_t Hd, BData &Out) {
+  Bytes B;
+  if (!Cache.read(Hd, B))
+    return false;
+  return BData::deserialize(B, Out);
+}
+
+uint64_t BLinkTree::descendToLeaf(int64_t Key, std::vector<uint64_t> &Stack,
+                                  BNode &Snapshot) {
+  while (true) {
+    Stack.clear();
+    uint64_t Hd = Root.load(std::memory_order_acquire);
+    bool Restart = false;
+    while (true) {
+      BNode N = readNode(Hd);
+      if (N.Dead) {
+        Restart = true;
+        break;
+      }
+      if (Key >= N.HighKey) {
+        // The key escaped right during a split or merge: follow the link.
+        Hd = N.Right;
+        assert(Hd && "HighKey < MAX must imply a right sibling");
+        continue;
+      }
+      if (N.IsLeaf) {
+        Snapshot = std::move(N);
+        return Hd;
+      }
+      Stack.push_back(Hd);
+      Hd = N.route(Key);
+      Chaos::point();
+    }
+    if (Restart)
+      std::this_thread::yield(); // let the compressor finish re-pointing
+  }
+}
+
+uint64_t BLinkTree::descendToLevel(int64_t Key, unsigned Level) {
+  while (true) {
+    uint64_t Hd = Root.load(std::memory_order_acquire);
+    bool Restart = false;
+    while (true) {
+      BNode N = readNode(Hd);
+      if (N.Dead) {
+        Restart = true;
+        break;
+      }
+      if (Key >= N.HighKey) {
+        Hd = N.Right;
+        continue;
+      }
+      if (N.Level == Level)
+        return Hd;
+      if (N.Level < Level) {
+        // The tree is shallower than requested (root not grown yet):
+        // retry until the root split completes.
+        Restart = true;
+        break;
+      }
+      Hd = N.route(Key);
+    }
+    if (Restart)
+      std::this_thread::yield();
+  }
+}
+
+uint64_t BLinkTree::lockCovering(uint64_t Hd, int64_t Key, BNode &N) {
+  lockFor(Hd).lock();
+  while (true) {
+    N = readNode(Hd);
+    if (N.Dead) {
+      lockFor(Hd).unlock();
+      return 0;
+    }
+    if (Key < N.HighKey)
+      return Hd;
+    uint64_t Next = N.Right;
+    assert(Next && "HighKey < MAX must imply a right sibling");
+    // Left-to-right lock coupling along the chain.
+    lockFor(Next).lock();
+    lockFor(Hd).unlock();
+    Hd = Next;
+  }
+}
+
+bool BLinkTree::insert(int64_t Key, const Bytes &Data) {
+  MethodScope Scope(H, V.Insert, {Value(Key), Value(Data)});
+  while (true) {
+    std::vector<uint64_t> Stack;
+    BNode Snapshot;
+    uint64_t LeafH = descendToLeaf(Key, Stack, Snapshot);
+
+    // Presence decision. The buggy variant trusts the unlocked snapshot
+    // (Fig. 9's line 12 check not repeated after locking); the correct
+    // variant re-checks under the leaf lock below.
+    bool SnapPresent = Snapshot.findKey(Key) != BNode::npos;
+    uint64_t SnapDataH =
+        SnapPresent ? Snapshot.Entries[Snapshot.findKey(Key)].Handle : 0;
+
+    BNode N;
+    uint64_t Locked = lockCovering(LeafH, Key, N);
+    if (!Locked)
+      continue; // landed on a merged-away leaf: restart the descent
+    LeafH = Locked;
+
+    bool Present;
+    uint64_t DataH;
+    if (Opts.BuggyDuplicates) {
+      Chaos::point(); // widen the snapshot-to-lock window
+      Present = SnapPresent;
+      DataH = SnapDataH;
+    } else {
+      size_t Idx = N.findKey(Key);
+      Present = Idx != BNode::npos;
+      DataH = Present ? N.Entries[Idx].Handle : 0;
+    }
+
+    if (Present) {
+      // Commit point 1: overwrite the existing data node.
+      BData D;
+      bool Ok = readData(DataH, D);
+      assert(Ok && "leaf references an unallocated data node");
+      (void)Ok;
+      ++D.Version;
+      D.Data = Data;
+      {
+        CommitBlock Block(H);
+        writeData(DataH, D, /*CommitHere=*/true);
+      }
+      lockFor(LeafH).unlock();
+      Scope.setReturn(Value(true));
+      return true;
+    }
+
+    uint64_t NewDataH = CM.allocate();
+    BData D;
+    D.Version = 1;
+    D.Data = Data;
+    size_t At = N.lowerBound(Key);
+    N.Entries.insert(N.Entries.begin() + At, BEntry{Key, NewDataH});
+
+    if (N.Entries.size() <= Opts.MaxLeafKeys) {
+      // Commit points 2 and 4: the leaf write that publishes the key.
+      {
+        CommitBlock Block(H);
+        writeData(NewDataH, D);
+        writeNode(LeafH, N, /*CommitHere=*/true);
+      }
+      lockFor(LeafH).unlock();
+      Scope.setReturn(Value(true));
+      return true;
+    }
+
+    // Commit point 3: split. Write the new right node first (unreachable
+    // until the old leaf is rewritten), then publish atomically.
+    uint64_t NewH = CM.allocate();
+    BNode RightN;
+    RightN.IsLeaf = true;
+    RightN.Level = N.Level;
+    size_t Mid = N.Entries.size() / 2;
+    RightN.Entries.assign(N.Entries.begin() + Mid, N.Entries.end());
+    RightN.HighKey = N.HighKey;
+    RightN.Right = N.Right;
+    N.Entries.resize(Mid);
+    int64_t SepKey = RightN.Entries.front().Key;
+    N.HighKey = SepKey;
+    N.Right = NewH;
+    {
+      CommitBlock Block(H);
+      writeData(NewDataH, D);
+      writeNode(NewH, RightN);
+      writeNode(LeafH, N, /*CommitHere=*/true);
+    }
+    lockFor(LeafH).unlock();
+
+    // Propagate the separator upward; purely structural (view-neutral).
+    insertSeparator(Stack, 1, SepKey, NewH, LeafH);
+    Scope.setReturn(Value(true));
+    return true;
+  }
+}
+
+void BLinkTree::insertSeparator(std::vector<uint64_t> &Stack, unsigned Level,
+                                int64_t SepKey, uint64_t NewChild,
+                                uint64_t SplitNode) {
+  while (true) {
+    uint64_t ParentH = 0;
+    if (!Stack.empty()) {
+      ParentH = Stack.back();
+      Stack.pop_back();
+      // The stacked hint may be from a lower level after retries.
+      BNode Probe = readNode(ParentH);
+      if (Probe.Dead || Probe.Level != Level)
+        ParentH = 0;
+    }
+    if (!ParentH) {
+      // No parent: either the split node is the root (grow the tree) or
+      // the stack was stale (re-descend).
+      bool Grew = false;
+      {
+        std::lock_guard RootLock(RootMutex);
+        // The new child may have been merged away already (split, then
+        // emptied and absorbed before this propagation ran). Installing a
+        // route to a dead node would be permanent: nothing would ever
+        // re-point it. The survivor covers its range, so simply drop the
+        // separator.
+        if (readNode(NewChild).Dead)
+          return;
+        if (Root.load(std::memory_order_acquire) == SplitNode) {
+          uint64_t NewRootH = CM.allocate();
+          BNode NewRoot;
+          NewRoot.IsLeaf = false;
+          NewRoot.Level = static_cast<uint8_t>(Level);
+          NewRoot.Entries = {BEntry{INT64_MIN, SplitNode},
+                             BEntry{SepKey, NewChild}};
+          {
+            CommitBlock Block(H);
+            writeNode(NewRootH, NewRoot);
+          }
+          Root.store(NewRootH, std::memory_order_release);
+          H.replayOp(V.OpRoot, {Value(static_cast<int64_t>(NewRootH))});
+          Grew = true;
+        }
+      }
+      if (Grew)
+        return;
+      // Someone else grew the tree past us. Find the parent by descent —
+      // outside RootMutex: the descent may have to wait for a concurrent
+      // root growth, which needs that mutex (holding it here deadlocked).
+      ParentH = descendToLevel(SepKey, Level);
+    }
+
+    BNode P;
+    uint64_t Locked = lockCovering(ParentH, SepKey, P);
+    if (!Locked)
+      continue; // parent merged away: re-descend via the (now empty) stack
+    ParentH = Locked;
+
+    // Idempotence guard: a retried propagation may find the separator
+    // already in place.
+    size_t Idx = P.findKey(SepKey);
+    if (Idx != BNode::npos && P.Entries[Idx].Handle == NewChild) {
+      lockFor(ParentH).unlock();
+      return;
+    }
+    // Re-verify the child is still alive *under the parent lock*: a
+    // concurrent merge that killed it either happened before this read
+    // (we skip — the survivor covers the range) or will run its
+    // re-pointing pass after we release the lock (it will then find and
+    // fix the entry we are about to insert). Either order is safe; an
+    // unguarded insert of a dead route is not.
+    if (readNode(NewChild).Dead) {
+      lockFor(ParentH).unlock();
+      return;
+    }
+
+    size_t At = P.lowerBound(SepKey);
+    P.Entries.insert(P.Entries.begin() + At, BEntry{SepKey, NewChild});
+
+    if (P.Entries.size() <= Opts.MaxInnerKeys) {
+      {
+        CommitBlock Block(H);
+        writeNode(ParentH, P);
+      }
+      lockFor(ParentH).unlock();
+      return;
+    }
+
+    // Split the inner node and keep propagating.
+    uint64_t NewH = CM.allocate();
+    BNode RightP;
+    RightP.IsLeaf = false;
+    RightP.Level = P.Level;
+    size_t Mid = P.Entries.size() / 2;
+    RightP.Entries.assign(P.Entries.begin() + Mid, P.Entries.end());
+    RightP.HighKey = P.HighKey;
+    RightP.Right = P.Right;
+    P.Entries.resize(Mid);
+    int64_t UpKey = RightP.Entries.front().Key;
+    P.HighKey = UpKey;
+    P.Right = NewH;
+    {
+      CommitBlock Block(H);
+      writeNode(NewH, RightP);
+      writeNode(ParentH, P);
+    }
+    lockFor(ParentH).unlock();
+
+    SepKey = UpKey;
+    NewChild = NewH;
+    SplitNode = ParentH;
+    ++Level;
+  }
+}
+
+bool BLinkTree::remove(int64_t Key) {
+  MethodScope Scope(H, V.Delete, {Value(Key)});
+  while (true) {
+    std::vector<uint64_t> Stack;
+    BNode Snapshot;
+    uint64_t LeafH = descendToLeaf(Key, Stack, Snapshot);
+
+    BNode N;
+    uint64_t Locked = lockCovering(LeafH, Key, N);
+    if (!Locked)
+      continue;
+    LeafH = Locked;
+
+    size_t Idx = N.findKey(Key);
+    if (Idx == BNode::npos) {
+      H.commit(); // failure path: state unchanged
+      lockFor(LeafH).unlock();
+      Scope.setReturn(Value(false));
+      return false;
+    }
+
+    N.Entries.erase(N.Entries.begin() + Idx);
+    {
+      CommitBlock Block(H);
+      // The data node is orphaned, never reused.
+      writeNode(LeafH, N, /*CommitHere=*/true);
+    }
+    lockFor(LeafH).unlock();
+    Scope.setReturn(Value(true));
+    return true;
+  }
+}
+
+Value BLinkTree::lookup(int64_t Key) {
+  MethodScope Scope(H, V.Lookup, {Value(Key)});
+  std::vector<uint64_t> Stack;
+  BNode Snapshot;
+  (void)descendToLeaf(Key, Stack, Snapshot);
+  size_t Idx = Snapshot.findKey(Key);
+  if (Idx == BNode::npos) {
+    Scope.setReturn(Value());
+    return Value();
+  }
+  BData D;
+  bool Ok = readData(Snapshot.Entries[Idx].Handle, D);
+  assert(Ok && "leaf references an unallocated data node");
+  (void)Ok;
+  Value Ret = versionedValue(D.Version, D.Data);
+  Scope.setReturn(Ret);
+  return Ret;
+}
+
+bool BLinkTree::compress() {
+  MethodScope Scope(H, V.Compress, {});
+  std::lock_guard Serial(CompressMutex);
+  // Walk the leaf chain looking for an underfull leaf whose contents fit
+  // into its left neighbor (with one slot of headroom against
+  // merge/split thrash); empty leaves always qualify.
+  auto Mergeable = [this](const BNode &Left, const BNode &Right) {
+    return Right.Entries.empty() ||
+           Left.Entries.size() + Right.Entries.size() + 1 <=
+               Opts.MaxLeafKeys;
+  };
+  uint64_t A = FirstLeaf;
+  while (true) {
+    BNode NA = readNode(A);
+    if (NA.Dead)
+      break; // cannot happen for FirstLeaf; defensive for others
+    uint64_t B = NA.Right;
+    if (!B)
+      break;
+    BNode NB = readNode(B);
+    if (!NB.IsLeaf)
+      break;
+    if (NB.Dead) {
+      // A merge by a concurrent compressor is mid-flight; skip ahead.
+      A = NB.Right ? NB.Right : 0;
+      if (!A)
+        break;
+      continue;
+    }
+    if (!Mergeable(NA, NB)) {
+      A = B;
+      Chaos::point();
+      continue;
+    }
+
+    // Candidate found: lock left-to-right, re-validate, merge. The right
+    // node's entries (all greater than the left's) move into the left
+    // node — structure changes, contents do not.
+    std::lock_guard LockA(lockFor(A));
+    std::lock_guard LockB(lockFor(B));
+    NA = readNode(A);
+    NB = readNode(B);
+    if (NA.Dead || NB.Dead || NA.Right != B || !Mergeable(NA, NB)) {
+      Chaos::point();
+      continue; // re-examine from the same spot
+    }
+    NA.Entries.insert(NA.Entries.end(), NB.Entries.begin(),
+                      NB.Entries.end());
+    NA.HighKey = NB.HighKey;
+    NA.Right = NB.Right;
+    NB.Dead = true;
+    NB.Entries.clear();
+    {
+      CommitBlock Block(H);
+      writeNode(A, NA);
+      writeNode(B, NB);
+    }
+    // Re-point the parent's reference for B to A so descents for B's old
+    // range land on the absorbing node. Keeping the separator (rather than
+    // deleting it) preserves B-link routing even when B was its parent's
+    // leftmost entry.
+    repointParent(/*Level=*/1, B, A);
+    H.commit(); // the view is unchanged: the entries only moved
+    Scope.setReturn(Value(true));
+    return true;
+  }
+  H.commit();
+  Scope.setReturn(Value(false));
+  return false;
+}
+
+void BLinkTree::repointParent(unsigned Level, uint64_t DeadChild,
+                              uint64_t Survivor) {
+  // The tree may be too shallow (no parent at Level): nothing to do —
+  // but decide under RootMutex so this serializes against a concurrent
+  // root growth: either the growth completed (the scan below finds the
+  // entry) or it runs after us and re-reads the dead child under the
+  // same mutex and drops the route.
+  {
+    std::lock_guard RootLock(RootMutex);
+    BNode RootN = readNode(Root.load(std::memory_order_acquire));
+    if (RootN.Level < Level)
+      return;
+  }
+  // Replace *every* reference to the dead child anywhere on the level:
+  // earlier merges leave multiple entries routing to one node (each
+  // repoint redirects a separator to the survivor), spread across
+  // siblings, and a single fix-the-first pass would leave permanent dead
+  // routes behind. The level is fanout-bounded and this runs on the
+  // background compression path, so a full left-to-right sweep is cheap.
+  uint64_t Cur = descendToLevel(INT64_MIN, Level);
+  while (Cur) {
+    lockFor(Cur).lock();
+    BNode P = readNode(Cur);
+    bool Changed = false;
+    if (!P.Dead) {
+      for (BEntry &E : P.Entries) {
+        if (E.Handle == DeadChild) {
+          E.Handle = Survivor;
+          Changed = true;
+        }
+      }
+    }
+    if (Changed) {
+      CommitBlock Block(H);
+      writeNode(Cur, P);
+    }
+    uint64_t Next = P.Right;
+    lockFor(Cur).unlock();
+    Cur = Next;
+  }
+}
+
+unsigned BLinkTree::height() {
+  BNode RootN = readNode(Root.load(std::memory_order_acquire));
+  return RootN.Level + 1u;
+}

@@ -1,0 +1,153 @@
+//===- BLinkTree.h - Concurrent B-link tree over the Cache ------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The BLinkTree module of Boxwood (Sec. 7.2.3): a Sagiv-style concurrent
+/// B-link tree storing (key, data) pairs, built on the Cache + Chunk
+/// Manager data store. Lookups descend without locks (whole-node reads are
+/// atomic through the cache); mutators lock one node at a time, moving
+/// right along B-link pointers when keys escape during splits; a
+/// compression routine merges empty leaves into their left neighbors and
+/// re-points parent references without changing the contents.
+///
+/// Commit points follow Fig. 9: the single leaf-level (or data-node) write
+/// that publishes the method's effect, selected per execution path:
+///   1. overwrite of an existing key's data node,
+///   2. insert into a leaf with room,
+///   3. insert that splits a leaf,
+///   4. insert into a leaf that is also the root (split creates a root).
+/// All other writes (separator propagation, root creation, compression)
+/// re-structure the tree without changing the view.
+///
+/// Injectable bug (Table 1, "Allowing duplicated data nodes"): the insert
+/// decides presence of the key from its unlocked descent-time snapshot of
+/// the leaf instead of re-checking under the leaf lock, so two concurrent
+/// inserts of the same key can both add a data node for it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_BLINKTREE_BLINKTREE_H
+#define VYRD_BLINKTREE_BLINKTREE_H
+
+#include "blinktree/BNode.h"
+#include "cache/BoxCache.h"
+#include "vyrd/Instrument.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace vyrd {
+namespace blinktree {
+
+/// Interned method and replay-op names for the B-link tree.
+struct BltVocab {
+  Name Insert, Delete, Lookup, Compress;
+  Name OpNode, OpData, OpRoot;
+  static BltVocab get();
+};
+
+/// The instrumented B-link tree implementation.
+class BLinkTree {
+public:
+  struct Options {
+    /// Maximum entries per leaf / inner node before splitting.
+    size_t MaxLeafKeys = 8;
+    size_t MaxInnerKeys = 8;
+    /// Inject the duplicated-data-nodes bug.
+    bool BuggyDuplicates = false;
+  };
+
+  BLinkTree(cache::BoxCache &Cache, chunk::ChunkManager &CM,
+            const Options &Opts, Hooks H);
+
+  BLinkTree(const BLinkTree &) = delete;
+  BLinkTree &operator=(const BLinkTree &) = delete;
+
+  /// Inserts or overwrites \p Key with \p Data (version bumps on
+  /// overwrite). Always succeeds.
+  bool insert(int64_t Key, const Bytes &Data);
+
+  /// Removes \p Key. \returns false when absent.
+  bool remove(int64_t Key);
+
+  /// Observer: the versioned value for \p Key (see versionedValue), or
+  /// null when absent.
+  Value lookup(int64_t Key);
+
+  /// One compression step: merges the first empty leaf into its left
+  /// neighbor and re-points the parent reference (Sec. 7.2.3's compression
+  /// thread, which must not modify the view). \returns whether a merge
+  /// happened.
+  bool compress();
+
+  /// Handle of the leftmost leaf (the initial root); the replayer anchors
+  /// its chain walk here.
+  uint64_t firstLeafHandle() const { return FirstLeaf; }
+
+  /// Current tree height (levels), for tests.
+  unsigned height();
+
+private:
+  BNode readNode(uint64_t H);
+  /// Writes the node; the replay record (and the commit action when
+  /// \p CommitHere) is appended inside the cache's critical section so a
+  /// lock-free reader that observes the write also observes its log
+  /// records (the "logged action atomic with log update" requirement).
+  void writeNode(uint64_t H, const BNode &N, bool CommitHere = false);
+  void writeData(uint64_t H, const BData &D, bool CommitHere = false);
+  bool readData(uint64_t H, BData &Out);
+  std::mutex &lockFor(uint64_t H);
+
+  /// Lock-free descent to the leaf covering \p Key; fills \p Stack with
+  /// the inner handles visited (top = leaf's parent). \p Snapshot receives
+  /// the unlocked leaf image.
+  uint64_t descendToLeaf(int64_t Key, std::vector<uint64_t> &Stack,
+                         BNode &Snapshot);
+  /// Lock-free descent to the node at \p Level covering \p Key.
+  uint64_t descendToLevel(int64_t Key, unsigned Level);
+
+  /// Locks the leaf chain node covering \p Key starting from \p H,
+  /// moving right as needed. \returns the locked handle and its image, or
+  /// 0 when a dead node forces a restart.
+  uint64_t lockCovering(uint64_t H, int64_t Key, BNode &N);
+
+  /// Propagates separator (\p SepKey -> \p NewChild) into the parent level
+  /// \p Level, splitting upward as needed. \p Stack holds descent hints.
+  void insertSeparator(std::vector<uint64_t> &Stack, unsigned Level,
+                       int64_t SepKey, uint64_t NewChild,
+                       uint64_t SplitNode);
+
+  /// Re-points every parent-level entry referencing merged-away leaf
+  /// \p DeadChild to \p Survivor (a full sweep of level \p Level: earlier
+  /// merges can leave several entries routing to one node, spread across
+  /// siblings).
+  void repointParent(unsigned Level, uint64_t DeadChild,
+                     uint64_t Survivor);
+
+  cache::BoxCache &Cache;
+  chunk::ChunkManager &CM;
+  Options Opts;
+  Hooks H;
+  BltVocab V;
+
+  std::atomic<uint64_t> Root;
+  uint64_t FirstLeaf;
+  std::mutex RootMutex; // guards root replacement
+  /// Serializes whole compress() calls: a merge's level-wide re-pointing
+  /// sweep must complete before the next merge may redirect routes again,
+  /// or chained merges could resurrect stale routes mid-sweep.
+  std::mutex CompressMutex;
+
+  std::mutex LockTableM;
+  std::map<uint64_t, std::unique_ptr<std::mutex>> LockTable;
+};
+
+} // namespace blinktree
+} // namespace vyrd
+
+#endif // VYRD_BLINKTREE_BLINKTREE_H

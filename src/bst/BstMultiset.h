@@ -1,0 +1,104 @@
+//===- BstMultiset.h - Binary-search-tree multiset --------------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's second multiset implementation (Sec. 7.4.2): a binary search
+/// tree with hand-over-hand (lock-coupling) traversal, per-key occurrence
+/// counts, a Delete operation, and a compression thread that splices out
+/// empty nodes without changing the multiset contents.
+///
+/// Instrumentation uses coarse-grained replay records (Sec. 6.2):
+/// `bst.node` (node creation), `bst.link` (child-pointer write) and
+/// `bst.count` (occurrence-count write), rather than raw field writes —
+/// the replayer reconstructs reachability from them.
+///
+/// Injectable bug (Table 1, "Unlocking parent before insertion"): the
+/// inserting thread releases the parent's lock after finding the insertion
+/// point and re-acquires it to link the new node *without re-checking* that
+/// the child slot is still empty, so a concurrent insert into the same slot
+/// is overwritten and its node leaks out of the tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_BST_BSTMULTISET_H
+#define VYRD_BST_BSTMULTISET_H
+
+#include "vyrd/Instrument.h"
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace vyrd {
+namespace bst {
+
+/// Interned method and replay-op names for the BST multiset.
+struct BstVocab {
+  Name Insert, Delete, LookUp, Compress;
+  Name OpNode, OpLink, OpCount;
+  static BstVocab get();
+};
+
+/// The instrumented BST multiset implementation.
+class BstMultiset {
+public:
+  struct Options {
+    /// Inject the unlock-parent-before-insertion bug.
+    bool BuggyInsert = false;
+  };
+
+  BstMultiset(const Options &Opts, Hooks H);
+  ~BstMultiset();
+
+  BstMultiset(const BstMultiset &) = delete;
+  BstMultiset &operator=(const BstMultiset &) = delete;
+
+  /// Inserts one occurrence of \p X. Always succeeds.
+  bool insert(int64_t X);
+
+  /// Removes one occurrence of \p X. \returns false if absent.
+  bool remove(int64_t X);
+
+  /// Observer: whether \p X is currently a member.
+  bool lookUp(int64_t X) const;
+
+  /// One compression step: splices out one empty (count == 0) node with at
+  /// most one child, if any exists. Contents are unchanged; the spec
+  /// transition is the identity. \returns whether a node was spliced.
+  bool compress();
+
+  /// Number of allocated nodes (spliced ones included); for tests.
+  size_t allocatedNodes() const;
+
+private:
+  struct Node {
+    uint64_t Id;
+    int64_t Key;
+    size_t Count = 0;
+    Node *Child[2] = {nullptr, nullptr};
+    mutable std::mutex M;
+  };
+
+  Node *newNode(int64_t Key);
+  void logLink(const Node *Parent, int Dir, const Node *Child) const;
+  void logCount(const Node *N) const;
+
+  Options Opts;
+  Hooks H;
+  BstVocab V;
+  /// Sentinel pseudo-root: real nodes hang off Sentinel->Child[1].
+  Node *Sentinel;
+  /// All nodes ever allocated; freed in the destructor (spliced and
+  /// orphaned nodes must outlive racing readers).
+  mutable std::mutex RegistryM;
+  std::vector<Node *> Registry;
+  uint64_t NextId = 2; // 1 is the sentinel
+};
+
+} // namespace bst
+} // namespace vyrd
+
+#endif // VYRD_BST_BSTMULTISET_H

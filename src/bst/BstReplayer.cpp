@@ -1,0 +1,124 @@
+//===- BstReplayer.cpp - Shadow state for the BST multiset ----------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bst/BstReplayer.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace vyrd;
+using namespace vyrd::bst;
+
+BstReplayer::BstReplayer() : V(BstVocab::get()) {
+  ShadowNode &S = Nodes[SentinelId];
+  S.Attached = true;
+}
+
+BstReplayer::ShadowNode *BstReplayer::node(uint64_t Id) {
+  auto It = Nodes.find(Id);
+  return It == Nodes.end() ? nullptr : &It->second;
+}
+
+void BstReplayer::setAttached(uint64_t Id, bool Attach, View &ViewI) {
+  // Iterative subtree walk toggling attachment and the view contribution.
+  // Nodes already in the target state stop the walk (guards against
+  // anomalous double-links produced by buggy interleavings).
+  std::vector<uint64_t> Stack{Id};
+  while (!Stack.empty()) {
+    uint64_t Cur = Stack.back();
+    Stack.pop_back();
+    if (Cur == 0)
+      continue;
+    ShadowNode *N = node(Cur);
+    if (!N || N->Attached == Attach)
+      continue;
+    N->Attached = Attach;
+    for (size_t I = 0; I < N->Count; ++I) {
+      if (Attach)
+        ViewI.add(Value(N->Key), Value());
+      else
+        ViewI.remove(Value(N->Key), Value());
+    }
+    Stack.push_back(N->Child[0]);
+    Stack.push_back(N->Child[1]);
+  }
+}
+
+void BstReplayer::applyUpdate(const Action &A, View &ViewI) {
+  assert(A.Kind == ActionKind::AK_ReplayOp &&
+         "BST logs coarse-grained replay ops only");
+
+  if (A.Var == V.OpNode) {
+    assert(A.Args.size() == 2);
+    uint64_t Id = static_cast<uint64_t>(A.Args[0].asInt());
+    ShadowNode &N = Nodes[Id];
+    N.Key = A.Args[1].asInt();
+    return;
+  }
+
+  if (A.Var == V.OpLink) {
+    assert(A.Args.size() == 3);
+    uint64_t PId = static_cast<uint64_t>(A.Args[0].asInt());
+    int Dir = static_cast<int>(A.Args[1].asInt());
+    uint64_t CId =
+        A.Args[2].isNull() ? 0 : static_cast<uint64_t>(A.Args[2].asInt());
+    ShadowNode *P = node(PId);
+    assert(P && "link under unknown parent");
+    assert((Dir == 0 || Dir == 1) && "bad link direction");
+    uint64_t Old = P->Child[Dir];
+    if (Old == CId)
+      return;
+    if (P->Attached && Old)
+      setAttached(Old, false, ViewI);
+    P->Child[Dir] = CId;
+    if (P->Attached && CId)
+      setAttached(CId, true, ViewI);
+    return;
+  }
+
+  if (A.Var == V.OpCount) {
+    assert(A.Args.size() == 2);
+    uint64_t Id = static_cast<uint64_t>(A.Args[0].asInt());
+    size_t NewCount = static_cast<size_t>(A.Args[1].asInt());
+    ShadowNode *N = node(Id);
+    assert(N && "count write to unknown node");
+    if (N->Attached) {
+      for (size_t I = N->Count; I < NewCount; ++I)
+        ViewI.add(Value(N->Key), Value());
+      for (size_t I = NewCount; I < N->Count; ++I)
+        ViewI.remove(Value(N->Key), Value());
+    }
+    N->Count = NewCount;
+    return;
+  }
+
+  assert(false && "unknown BST replay op");
+}
+
+void BstReplayer::buildView(View &Out) const {
+  Out.clear();
+  // Walk from the sentinel; only reachable nodes contribute. A visited set
+  // keeps the walk terminating even if a buggy interleaving produced a
+  // cyclic shadow shape.
+  std::unordered_map<uint64_t, bool> Visited;
+  std::vector<uint64_t> Stack{SentinelId};
+  while (!Stack.empty()) {
+    uint64_t Cur = Stack.back();
+    Stack.pop_back();
+    if (Cur == 0 || Visited[Cur])
+      continue;
+    Visited[Cur] = true;
+    auto It = Nodes.find(Cur);
+    if (It == Nodes.end())
+      continue;
+    const ShadowNode &N = It->second;
+    if (Cur != SentinelId)
+      for (size_t I = 0; I < N.Count; ++I)
+        Out.add(Value(N.Key), Value());
+    Stack.push_back(N.Child[0]);
+    Stack.push_back(N.Child[1]);
+  }
+}

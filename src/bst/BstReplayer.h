@@ -1,0 +1,55 @@
+//===- BstReplayer.h - Shadow state for the BST multiset --------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reconstructs the BST multiset from coarse-grained replay records
+/// (Sec. 6.2) and maintains viewI — the multiset of keys with their
+/// occurrence counts on nodes *reachable from the root* — incrementally.
+/// Reachability is what makes the lost-update bug visible: when a buggy
+/// insert overwrites a child pointer, the replayed link detaches the old
+/// subtree and its keys leave viewI while viewS still has them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_BST_BSTREPLAYER_H
+#define VYRD_BST_BSTREPLAYER_H
+
+#include "bst/BstMultiset.h"
+#include "vyrd/Replayer.h"
+
+#include <unordered_map>
+
+namespace vyrd {
+namespace bst {
+
+/// Shadow nodes keyed by the implementation's node ids.
+class BstReplayer : public Replayer {
+public:
+  BstReplayer();
+
+  void applyUpdate(const Action &A, View &ViewI) override;
+  void buildView(View &Out) const override;
+
+private:
+  struct ShadowNode {
+    int64_t Key = 0;
+    size_t Count = 0;
+    uint64_t Child[2] = {0, 0}; // 0 = null
+    bool Attached = false;
+  };
+
+  ShadowNode *node(uint64_t Id);
+  void setAttached(uint64_t Id, bool Attach, View &ViewI);
+
+  BstVocab V;
+  std::unordered_map<uint64_t, ShadowNode> Nodes;
+  static constexpr uint64_t SentinelId = 1;
+};
+
+} // namespace bst
+} // namespace vyrd
+
+#endif // VYRD_BST_BSTREPLAYER_H

@@ -1,0 +1,71 @@
+//===- BstSpec.cpp - Atomic specification for the BST multiset ------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bst/BstSpec.h"
+
+using namespace vyrd;
+using namespace vyrd::bst;
+
+BstSpec::BstSpec() : V(BstVocab::get()) {}
+
+bool BstSpec::isObserver(Name Method) const { return Method == V.LookUp; }
+
+bool BstSpec::applyMutator(Name Method, const ValueList &Args,
+                           const Value &Ret, View &ViewS) {
+  if (Method == V.Compress) {
+    // Structure-only maintenance: the abstract state must not change.
+    return Ret.isBool();
+  }
+  if (!Ret.isBool())
+    return false;
+  bool Success = Ret.asBool();
+
+  if (Method == V.Insert) {
+    if (Args.size() != 1 || !Args[0].isInt())
+      return false;
+    if (!Success)
+      return true; // exceptional termination: no change
+    ++M[Args[0].asInt()];
+    ViewS.add(Args[0], Value());
+    return true;
+  }
+
+  if (Method == V.Delete) {
+    if (Args.size() != 1 || !Args[0].isInt())
+      return false;
+    if (!Success)
+      return true;
+    auto It = M.find(Args[0].asInt());
+    if (It == M.end())
+      return false; // successful Delete of an absent element
+    if (--It->second == 0)
+      M.erase(It);
+    ViewS.remove(Args[0], Value());
+    return true;
+  }
+
+  return false;
+}
+
+bool BstSpec::returnAllowed(Name Method, const ValueList &Args,
+                            const Value &Ret) const {
+  if (Method != V.LookUp || Args.size() != 1 || !Args[0].isInt() ||
+      !Ret.isBool())
+    return false;
+  return Ret.asBool() == (M.count(Args[0].asInt()) != 0);
+}
+
+void BstSpec::buildView(View &Out) const {
+  Out.clear();
+  for (const auto &[X, Mult] : M)
+    for (size_t I = 0; I < Mult; ++I)
+      Out.add(Value(X), Value());
+}
+
+size_t BstSpec::count(int64_t X) const {
+  auto It = M.find(X);
+  return It == M.end() ? 0 : It->second;
+}

@@ -1,0 +1,49 @@
+//===- BstSpec.h - Atomic specification for the BST multiset ----*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Method-atomic specification for the BST multiset. Same abstract state as
+/// the array multiset's spec (a multiset of integers); the method set
+/// differs: no InsertPair, and a Compress mutator whose transition is the
+/// identity (the compression thread re-arranges structure only, Sec. 7.2.3
+/// applies the same idea to the B-link tree).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_BST_BSTSPEC_H
+#define VYRD_BST_BSTSPEC_H
+
+#include "bst/BstMultiset.h"
+#include "vyrd/Spec.h"
+
+#include <map>
+
+namespace vyrd {
+namespace bst {
+
+/// Specification state: the multiset contents M.
+class BstSpec : public Spec {
+public:
+  BstSpec();
+
+  bool isObserver(Name Method) const override;
+  bool applyMutator(Name Method, const ValueList &Args, const Value &Ret,
+                    View &ViewS) override;
+  bool returnAllowed(Name Method, const ValueList &Args,
+                     const Value &Ret) const override;
+  void buildView(View &Out) const override;
+
+  size_t count(int64_t X) const;
+
+private:
+  BstVocab V;
+  std::map<int64_t, size_t> M;
+};
+
+} // namespace bst
+} // namespace vyrd
+
+#endif // VYRD_BST_BSTSPEC_H

@@ -1,0 +1,242 @@
+//===- BoxCache.cpp - The Boxwood cache module -----------------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/BoxCache.h"
+
+#include <cassert>
+
+using namespace vyrd;
+using namespace vyrd::cache;
+
+CacheVocab CacheVocab::get() {
+  CacheVocab V;
+  V.Write = internName("CacheWrite");
+  V.Read = internName("CacheRead");
+  V.Flush = internName("CacheFlush");
+  V.Evict = internName("CacheEvict");
+  V.Revoke = internName("CacheRevoke");
+  V.OpNewEntry = internName("cache.newEntry");
+  V.OpCopy = internName("cache.copy");
+  V.OpAddClean = internName("cache.addClean");
+  V.OpAddDirty = internName("cache.addDirty");
+  V.OpRemoveClean = internName("cache.removeClean");
+  V.OpRemoveDirty = internName("cache.removeDirty");
+  V.OpCmWrite = internName("cm.write");
+  return V;
+}
+
+BoxCache::BoxCache(ChunkManager &CM, const Options &Opts, Hooks H)
+    : CM(CM), Opts(Opts), H(H), V(CacheVocab::get()) {}
+
+void BoxCache::copyToCache(const Bytes &B, Entry &E) {
+  assert(B.size() <= Opts.ChunkSize && "chunk larger than cache buffer");
+  // COPY-TO-CACHE (Fig. 8): byte-by-byte in-place overwrite. The chaos
+  // points widen the racy window when the caller failed to take
+  // LOCK(clean).
+  for (size_t I = 0; I < B.size(); ++I) {
+    E.Data[I].store(B[I], std::memory_order_relaxed);
+    if ((I & 7) == 7)
+      Chaos::point();
+  }
+  E.Len.store(B.size(), std::memory_order_relaxed);
+}
+
+Bytes BoxCache::snapshotEntry(const Entry &E) const {
+  size_t N = E.Len.load(std::memory_order_relaxed);
+  Bytes Out(N);
+  for (size_t I = 0; I < N; ++I) {
+    Out[I] = E.Data[I].load(std::memory_order_relaxed);
+    if ((I & 15) == 15)
+      Chaos::point();
+  }
+  return Out;
+}
+
+void BoxCache::write(uint64_t Hd, const Bytes &B,
+                     const std::function<void()> &LogFn) {
+  MethodScope Scope(H, V.Write,
+                    {Value(static_cast<int64_t>(Hd)), Value(B)});
+  std::shared_lock Reclaim(ReclaimLock); // RECLAIMLOCK.BEGINREAD
+  std::unique_lock Clean(CleanLock);     // LOCK(clean)
+  auto DirtyIt = DirtyMap.find(Hd);
+
+  if (DirtyIt != DirtyMap.end()) {
+    // Dirty hit: overwrite the cached buffer in place (commit point 3).
+    EntryPtr E = DirtyIt->second;
+    if (Opts.BuggyUnprotectedCopy) {
+      // BUG (Sec. 7.2.2): the copy runs without LOCK(clean); a concurrent
+      // FLUSH can snapshot the buffer mid-copy and persist torn bytes.
+      Clean.unlock();
+      Chaos::point();
+      copyToCache(B, *E);
+      CommitBlock Block(H);
+      H.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(B)});
+      H.commit();
+      if (LogFn)
+        LogFn();
+    } else {
+      copyToCache(B, *E);
+      CommitBlock Block(H);
+      H.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(B)});
+      H.commit();
+      if (LogFn)
+        LogFn();
+    }
+    Scope.setReturn(Value(true));
+    return;
+  }
+
+  auto CleanIt = CleanMap.find(Hd);
+  if (CleanIt != CleanMap.end()) {
+    // Clean hit: move the entry to the dirty list and overwrite it
+    // (commit point 2). All under LOCK(clean).
+    EntryPtr E = CleanIt->second;
+    CleanMap.erase(CleanIt);
+    copyToCache(B, *E);
+    DirtyMap.emplace(Hd, E);
+    CommitBlock Block(H);
+    H.replayOp(V.OpRemoveClean, {Value(static_cast<int64_t>(Hd))});
+    H.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(B)});
+    H.replayOp(V.OpAddDirty, {Value(static_cast<int64_t>(Hd))});
+    H.commit();
+    if (LogFn)
+      LogFn();
+    Scope.setReturn(Value(true));
+    return;
+  }
+
+  // Miss: make a new entry and add it to the dirty list (commit point 1).
+  // Unlike Fig. 8 we keep LOCK(clean) held across the re-check and insert;
+  // the pseudocode's unlock/relock window admits a double-insert race that
+  // is not the bug under study.
+  EntryPtr E = std::make_shared<Entry>(Opts.ChunkSize);
+  copyToCache(B, *E);
+  DirtyMap.emplace(Hd, E);
+  CommitBlock Block(H);
+  H.replayOp(V.OpNewEntry, {Value(static_cast<int64_t>(Hd))});
+  H.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(B)});
+  H.replayOp(V.OpAddDirty, {Value(static_cast<int64_t>(Hd))});
+  H.commit();
+  if (LogFn)
+    LogFn();
+  Scope.setReturn(Value(true));
+}
+
+bool BoxCache::read(uint64_t Hd, Bytes &Out) {
+  MethodScope Scope(H, V.Read, {Value(static_cast<int64_t>(Hd))});
+  std::shared_lock Reclaim(ReclaimLock);
+  std::unique_lock Clean(CleanLock);
+
+  auto DirtyIt = DirtyMap.find(Hd);
+  if (DirtyIt != DirtyMap.end()) {
+    Out = snapshotEntry(*DirtyIt->second);
+    Scope.setReturn(Value(Out));
+    return true;
+  }
+  auto CleanIt = CleanMap.find(Hd);
+  if (CleanIt != CleanMap.end()) {
+    Out = snapshotEntry(*CleanIt->second);
+    Scope.setReturn(Value(Out));
+    return true;
+  }
+
+  // Miss: fetch from the Chunk Manager and install a clean entry. Reads
+  // are observers (no commit); the install is recorded so the shadow state
+  // tracks the new entry.
+  if (!CM.read(Hd, Out)) {
+    Scope.setReturn(Value());
+    return false;
+  }
+  EntryPtr E = std::make_shared<Entry>(Opts.ChunkSize);
+  copyToCache(Out, *E);
+  CleanMap.emplace(Hd, E);
+  H.replayOp(V.OpNewEntry, {Value(static_cast<int64_t>(Hd))});
+  H.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(Out)});
+  H.replayOp(V.OpAddClean, {Value(static_cast<int64_t>(Hd))});
+  Scope.setReturn(Value(Out));
+  return true;
+}
+
+size_t BoxCache::flush() {
+  MethodScope Scope(H, V.Flush, {});
+  std::unique_lock Clean(CleanLock); // LOCK(clean) held for the whole flush
+  size_t Moved = 0;
+  {
+    CommitBlock Block(H);
+    // Fig. 8: every dirty entry is "old enough"; write each back to the
+    // Chunk Manager, then move it to the clean list. The byte-by-byte
+    // snapshot is where a torn buffer (from the buggy unprotected copy)
+    // gets persisted.
+    for (auto It = DirtyMap.begin(); It != DirtyMap.end();) {
+      uint64_t Hd = It->first;
+      EntryPtr E = It->second;
+      Bytes Snapshot = snapshotEntry(*E);
+      CM.write(Hd, Snapshot);
+      H.replayOp(V.OpCmWrite,
+                 {Value(static_cast<int64_t>(Hd)), Value(Snapshot)});
+      It = DirtyMap.erase(It);
+      CleanMap.emplace(Hd, E);
+      H.replayOp(V.OpRemoveDirty, {Value(static_cast<int64_t>(Hd))});
+      H.replayOp(V.OpAddClean, {Value(static_cast<int64_t>(Hd))});
+      ++Moved;
+    }
+    H.commit();
+  }
+  Scope.setReturn(Value(static_cast<int64_t>(Moved)));
+  return Moved;
+}
+
+bool BoxCache::revoke(uint64_t Hd) {
+  MethodScope Scope(H, V.Revoke, {Value(static_cast<int64_t>(Hd))});
+  std::unique_lock Clean(CleanLock);
+  auto It = DirtyMap.find(Hd);
+  if (It == DirtyMap.end()) {
+    H.commit(); // nothing dirty under this handle: no change
+    Scope.setReturn(Value(false));
+    return false;
+  }
+  EntryPtr E = It->second;
+  {
+    CommitBlock Block(H);
+    Bytes Snapshot = snapshotEntry(*E);
+    CM.write(Hd, Snapshot);
+    H.replayOp(V.OpCmWrite,
+               {Value(static_cast<int64_t>(Hd)), Value(Snapshot)});
+    DirtyMap.erase(It);
+    CleanMap.emplace(Hd, E);
+    H.replayOp(V.OpRemoveDirty, {Value(static_cast<int64_t>(Hd))});
+    H.replayOp(V.OpAddClean, {Value(static_cast<int64_t>(Hd))});
+    H.commit();
+  }
+  Scope.setReturn(Value(true));
+  return true;
+}
+
+size_t BoxCache::evict() {
+  MethodScope Scope(H, V.Evict, {});
+  std::unique_lock Reclaim(ReclaimLock); // exclusive: no readers/writers
+  std::unique_lock Clean(CleanLock);
+  size_t Dropped = CleanMap.size();
+  {
+    CommitBlock Block(H);
+    for (auto &[Hd, E] : CleanMap)
+      H.replayOp(V.OpRemoveClean, {Value(static_cast<int64_t>(Hd))});
+    CleanMap.clear();
+    H.commit();
+  }
+  Scope.setReturn(Value(static_cast<int64_t>(Dropped)));
+  return Dropped;
+}
+
+size_t BoxCache::cleanCount() const {
+  std::lock_guard Lock(CleanLock);
+  return CleanMap.size();
+}
+
+size_t BoxCache::dirtyCount() const {
+  std::lock_guard Lock(CleanLock);
+  return DirtyMap.size();
+}

@@ -1,0 +1,128 @@
+//===- BoxCache.h - The Boxwood cache module --------------------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Boxwood Cache of Fig. 8, sitting between clients (the B-link tree)
+/// and the Chunk Manager: clean and dirty entry lists guarded by one lock
+/// (LOCK(clean)), a reader-writer reclaim lock, WRITE with the three commit
+/// points of the pseudocode, FLUSH that writes aged dirty entries back to
+/// the Chunk Manager, and an eviction path that discards clean entries.
+///
+/// Injectable bug (Sec. 7.2.2, the real bug VYRD found in Boxwood): the
+/// dirty-hit path's COPY-TO-CACHE (Fig. 8 line 23) runs without
+/// LOCK(clean), so a concurrent FLUSH can read a half-copied buffer and
+/// write the torn bytes to the Chunk Manager, after which the entry is
+/// marked clean. Entry buffers use relaxed atomic bytes so the torn
+/// interleaving is well-defined in C++.
+///
+/// Runtime invariants from Sec. 7.2.1: (i) a clean entry's bytes equal the
+/// Chunk Manager's bytes for that handle; (ii) no entry is in both lists.
+/// These are evaluated by the replayer at every commit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_CACHE_BOXCACHE_H
+#define VYRD_CACHE_BOXCACHE_H
+
+#include "chunk/ChunkManager.h"
+#include "vyrd/Instrument.h"
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace vyrd {
+namespace cache {
+
+using chunk::Bytes;
+using chunk::ChunkManager;
+
+/// Interned method and replay-op names for the cache.
+struct CacheVocab {
+  Name Write, Read, Flush, Evict, Revoke;
+  Name OpNewEntry, OpCopy, OpAddClean, OpAddDirty, OpRemoveClean,
+      OpRemoveDirty, OpCmWrite;
+  static CacheVocab get();
+};
+
+/// The instrumented cache implementation.
+class BoxCache {
+public:
+  struct Options {
+    /// Maximum chunk size the cache supports.
+    size_t ChunkSize = 64;
+    /// Inject the unprotected COPY-TO-CACHE on the dirty-hit path.
+    bool BuggyUnprotectedCopy = false;
+  };
+
+  BoxCache(ChunkManager &CM, const Options &Opts, Hooks H);
+
+  BoxCache(const BoxCache &) = delete;
+  BoxCache &operator=(const BoxCache &) = delete;
+
+  /// Fig. 8 WRITE: stores \p B (size <= ChunkSize) for handle \p H in the
+  /// cache, dirtying the entry.
+  ///
+  /// \p LogFn (optional) is invoked after the copy while LOCK(clean) is
+  /// still held, so a client can append its own log records atomically
+  /// with the write's visibility — required for clients whose readers
+  /// access chunks without client-level locks (the B-link tree's
+  /// lock-free descents): a reader that observes the new bytes is then
+  /// guaranteed to do so after the commit record entered the log. Under
+  /// the injected bug the dirty-path copy (and hence LogFn) runs without
+  /// the lock, faithfully breaking that atomicity.
+  void write(uint64_t H, const Bytes &B,
+             const std::function<void()> &LogFn = {});
+
+  /// Observer: current contents for \p H (from the cache, else the Chunk
+  /// Manager). \returns false when the handle is unknown everywhere.
+  bool read(uint64_t H, Bytes &Out);
+
+  /// Fig. 8 FLUSH: writes all dirty entries back to the Chunk Manager and
+  /// moves them to the clean list. \returns how many entries moved.
+  size_t flush();
+
+  /// Sec. 7.2.1's revoke: writes a *single* dirty entry back to the Chunk
+  /// Manager and moves it to the clean list. \returns false when the
+  /// handle has no dirty entry.
+  bool revoke(uint64_t H);
+
+  /// Discards all clean entries (the reclaim path). \returns how many.
+  size_t evict();
+
+  size_t cleanCount() const;
+  size_t dirtyCount() const;
+
+private:
+  /// Entry buffers are relaxed-atomic so racy torn copies are well-defined.
+  struct Entry {
+    explicit Entry(size_t Cap)
+        : Data(std::make_unique<std::atomic<uint8_t>[]>(Cap)) {}
+    std::unique_ptr<std::atomic<uint8_t>[]> Data;
+    std::atomic<size_t> Len{0};
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  void copyToCache(const Bytes &B, Entry &E);
+  Bytes snapshotEntry(const Entry &E) const;
+
+  ChunkManager &CM;
+  Options Opts;
+  Hooks H;
+  CacheVocab V;
+
+  mutable std::mutex CleanLock; // LOCK(clean): guards both maps
+  std::shared_mutex ReclaimLock;
+  std::unordered_map<uint64_t, EntryPtr> CleanMap;
+  std::unordered_map<uint64_t, EntryPtr> DirtyMap;
+};
+
+} // namespace cache
+} // namespace vyrd
+
+#endif // VYRD_CACHE_BOXCACHE_H

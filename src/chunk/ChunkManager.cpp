@@ -1,0 +1,49 @@
+//===- ChunkManager.cpp - Boxwood data-store substrate --------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chunk/ChunkManager.h"
+
+using namespace vyrd;
+using namespace vyrd::chunk;
+
+uint64_t ChunkManager::allocate() {
+  std::lock_guard Lock(M);
+  uint64_t H = NextHandle++;
+  Chunks.emplace(H, Chunk());
+  Order.push_back(H);
+  return H;
+}
+
+bool ChunkManager::write(uint64_t H, const Bytes &B) {
+  std::lock_guard Lock(M);
+  auto It = Chunks.find(H);
+  if (It == Chunks.end())
+    return false;
+  It->second.Data = B;
+  ++It->second.Version;
+  return true;
+}
+
+bool ChunkManager::read(uint64_t H, Bytes &Out, uint64_t *Version) const {
+  std::lock_guard Lock(M);
+  auto It = Chunks.find(H);
+  if (It == Chunks.end())
+    return false;
+  Out = It->second.Data;
+  if (Version)
+    *Version = It->second.Version;
+  return true;
+}
+
+std::vector<uint64_t> ChunkManager::handles() const {
+  std::lock_guard Lock(M);
+  return Order;
+}
+
+size_t ChunkManager::chunkCount() const {
+  std::lock_guard Lock(M);
+  return Chunks.size();
+}

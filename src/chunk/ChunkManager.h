@@ -1,0 +1,70 @@
+//===- ChunkManager.h - Boxwood data-store substrate ------------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Boxwood storage abstraction underneath the Cache (Sec. 7.2): every
+/// shared variable is a byte array identified by a unique handle, with a
+/// version number incremented on each write. The paper's verification
+/// assumed the Chunk Manager itself was implemented correctly; here it is a
+/// straightforward globally-locked store and carries no instrumentation of
+/// its own (the Cache logs the writes it forwards).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_CHUNK_CHUNKMANAGER_H
+#define VYRD_CHUNK_CHUNKMANAGER_H
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace vyrd {
+namespace chunk {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Thread-safe versioned byte-array store.
+class ChunkManager {
+public:
+  ChunkManager() = default;
+
+  ChunkManager(const ChunkManager &) = delete;
+  ChunkManager &operator=(const ChunkManager &) = delete;
+
+  /// Creates a fresh chunk (empty contents, version 0) and returns its
+  /// handle. Handles are never reused.
+  uint64_t allocate();
+
+  /// Overwrites chunk \p H and bumps its version.
+  /// \returns false when the handle is unknown.
+  bool write(uint64_t H, const Bytes &B);
+
+  /// Reads chunk \p H. \p Version (optional) receives its version.
+  /// \returns false when the handle is unknown.
+  bool read(uint64_t H, Bytes &Out, uint64_t *Version = nullptr) const;
+
+  /// All allocated handles, in allocation order.
+  std::vector<uint64_t> handles() const;
+
+  size_t chunkCount() const;
+
+private:
+  struct Chunk {
+    Bytes Data;
+    uint64_t Version = 0;
+  };
+
+  mutable std::mutex M;
+  std::unordered_map<uint64_t, Chunk> Chunks;
+  std::vector<uint64_t> Order;
+  uint64_t NextHandle = 1;
+};
+
+} // namespace chunk
+} // namespace vyrd
+
+#endif // VYRD_CHUNK_CHUNKMANAGER_H

@@ -1,0 +1,150 @@
+//===- HashtableSpec.cpp - Atomic spec + replayer for SyncHashtable --------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "javalib/HashtableSpec.h"
+
+#include <cassert>
+
+using namespace vyrd;
+using namespace vyrd::javalib;
+
+//===----------------------------------------------------------------------===//
+// HashtableSpec
+//===----------------------------------------------------------------------===//
+
+HashtableSpec::HashtableSpec() : V(HtVocab::get()) {}
+
+bool HashtableSpec::isObserver(Name Method) const {
+  return Method == V.Get || Method == V.Size;
+}
+
+bool HashtableSpec::applyMutator(Name Method, const ValueList &Args,
+                                 const Value &Ret, View &ViewS) {
+  if (Args.empty() || !Args[0].isInt())
+    return false;
+  int64_t Key = Args[0].asInt();
+  auto It = M.find(Key);
+
+  if (Method == V.Put) {
+    if (Args.size() != 2 || !Args[1].isInt())
+      return false;
+    // Must return the previous mapping (or null).
+    if (It == M.end()) {
+      if (!Ret.isNull())
+        return false;
+      M.emplace(Key, Args[1].asInt());
+    } else {
+      if (!Ret.isInt() || Ret.asInt() != It->second)
+        return false;
+      ViewS.remove(Value(Key), Value(It->second));
+      It->second = Args[1].asInt();
+    }
+    ViewS.add(Value(Key), Args[1]);
+    return true;
+  }
+
+  if (Method == V.Remove) {
+    if (Args.size() != 1)
+      return false;
+    if (It == M.end())
+      return Ret.isNull();
+    if (!Ret.isInt() || Ret.asInt() != It->second)
+      return false;
+    ViewS.remove(Value(Key), Value(It->second));
+    M.erase(It);
+    return true;
+  }
+
+  if (Method == V.PutIfAbsent) {
+    if (Args.size() != 2 || !Args[1].isInt() || !Ret.isBool())
+      return false;
+    // The success/failure report must match presence exactly: this is
+    // what the check-then-act bug breaks.
+    if (Ret.asBool()) {
+      if (It != M.end())
+        return false;
+      M.emplace(Key, Args[1].asInt());
+      ViewS.add(Value(Key), Args[1]);
+      return true;
+    }
+    return It != M.end();
+  }
+
+  return false;
+}
+
+bool HashtableSpec::returnAllowed(Name Method, const ValueList &Args,
+                                  const Value &Ret) const {
+  if (Method == V.Get) {
+    if (Args.size() != 1 || !Args[0].isInt())
+      return false;
+    auto It = M.find(Args[0].asInt());
+    if (It == M.end())
+      return Ret.isNull();
+    return Ret.isInt() && Ret.asInt() == It->second;
+  }
+  if (Method == V.Size)
+    return Ret.isInt() && Ret.asInt() == static_cast<int64_t>(M.size());
+  return false;
+}
+
+void HashtableSpec::buildView(View &Out) const {
+  Out.clear();
+  for (const auto &[K, Val] : M)
+    Out.add(Value(K), Value(Val));
+}
+
+//===----------------------------------------------------------------------===//
+// HashtableReplayer
+//===----------------------------------------------------------------------===//
+
+HashtableReplayer::HashtableReplayer() = default;
+
+void HashtableReplayer::applyUpdate(const Action &A, View &ViewI) {
+  assert(A.Kind == ActionKind::AK_Write &&
+         "hashtable logs fine-grained writes only");
+  // Resolve (and cache) the key from the variable name "ht[<key>]".
+  int64_t Key;
+  auto It = KeyOfVar.find(A.Var.id());
+  if (It != KeyOfVar.end()) {
+    Key = It->second;
+  } else {
+    std::string_view S = A.Var.str();
+    assert(S.size() > 4 && S.substr(0, 3) == "ht[" && "unknown variable");
+    bool Neg = S[3] == '-';
+    Key = 0;
+    for (size_t P = Neg ? 4 : 3; P < S.size() && S[P] != ']'; ++P)
+      Key = Key * 10 + (S[P] - '0');
+    if (Neg)
+      Key = -Key;
+    KeyOfVar.emplace(A.Var.id(), Key);
+  }
+
+  auto SIt = Shadow.find(Key);
+  if (A.Val.isNull()) {
+    if (SIt != Shadow.end()) {
+      ViewI.remove(Value(Key), Value(SIt->second));
+      Shadow.erase(SIt);
+    }
+    return;
+  }
+  int64_t NewVal = A.Val.asInt();
+  if (SIt != Shadow.end()) {
+    if (SIt->second == NewVal)
+      return;
+    ViewI.remove(Value(Key), Value(SIt->second));
+    SIt->second = NewVal;
+  } else {
+    Shadow.emplace(Key, NewVal);
+  }
+  ViewI.add(Value(Key), Value(NewVal));
+}
+
+void HashtableReplayer::buildView(View &Out) const {
+  Out.clear();
+  for (const auto &[K, Val] : Shadow)
+    Out.add(Value(K), Value(Val));
+}

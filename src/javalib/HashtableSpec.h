@@ -1,0 +1,64 @@
+//===- HashtableSpec.h - Atomic spec + replayer for SyncHashtable -*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Specification (an atomic map) and replayer (shadow map from `ht[k]`
+/// writes) for the SyncHashtable model. The view is the map as
+/// (key, value) pairs. PutIfAbsent -> true requires the key to actually
+/// be absent, which is precisely what the buggy check-then-act variant
+/// violates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_JAVALIB_HASHTABLESPEC_H
+#define VYRD_JAVALIB_HASHTABLESPEC_H
+
+#include "javalib/SyncHashtable.h"
+#include "vyrd/Replayer.h"
+#include "vyrd/Spec.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace vyrd {
+namespace javalib {
+
+/// Specification state: the abstract map.
+class HashtableSpec : public Spec {
+public:
+  HashtableSpec();
+
+  bool isObserver(Name Method) const override;
+  bool applyMutator(Name Method, const ValueList &Args, const Value &Ret,
+                    View &ViewS) override;
+  bool returnAllowed(Name Method, const ValueList &Args,
+                     const Value &Ret) const override;
+  void buildView(View &Out) const override;
+
+  size_t size() const { return M.size(); }
+
+private:
+  HtVocab V;
+  std::map<int64_t, int64_t> M;
+};
+
+/// Shadow state: key -> value from `ht[k]` writes (null = erased).
+class HashtableReplayer : public Replayer {
+public:
+  HashtableReplayer();
+
+  void applyUpdate(const Action &A, View &ViewI) override;
+  void buildView(View &Out) const override;
+
+private:
+  std::unordered_map<uint32_t, int64_t> KeyOfVar; // name id -> key
+  std::map<int64_t, int64_t> Shadow;
+};
+
+} // namespace javalib
+} // namespace vyrd
+
+#endif // VYRD_JAVALIB_HASHTABLESPEC_H

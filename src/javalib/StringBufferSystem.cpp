@@ -1,0 +1,155 @@
+//===- StringBufferSystem.cpp - java.lang.StringBuffer model --------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "javalib/StringBufferSystem.h"
+
+#include <cassert>
+
+using namespace vyrd;
+using namespace vyrd::javalib;
+
+SbVocab SbVocab::get() {
+  SbVocab V;
+  V.Append = internName("SbAppend");
+  V.AppendBuffer = internName("SbAppendBuffer");
+  V.SetLength = internName("SbSetLength");
+  V.ToString = internName("SbToString");
+  V.Length = internName("SbLength");
+  V.OpAppend = internName("sb.append");
+  V.OpSetLen = internName("sb.setlen");
+  return V;
+}
+
+StringBufferSystem::StringBufferSystem(const Options &Opts, Hooks H)
+    : Opts(Opts), H(H), V(SbVocab::get()) {
+  assert(Opts.NumBuffers >= 1);
+  Bufs.reserve(Opts.NumBuffers);
+  for (size_t I = 0; I < Opts.NumBuffers; ++I)
+    Bufs.push_back(std::make_unique<Buf>());
+}
+
+void StringBufferSystem::append(size_t I, const std::string &S) {
+  assert(I < Bufs.size());
+  MethodScope Scope(H, V.Append, {Value(static_cast<int64_t>(I)), Value(S)});
+  {
+    Buf &B = *Bufs[I];
+    std::lock_guard Lock(B.M);
+    CommitBlock Block(H);
+    B.Data += S;
+    B.LenMirror.store(B.Data.size(), std::memory_order_relaxed);
+    H.replayOp(V.OpAppend, {Value(static_cast<int64_t>(I)), Value(S)});
+    H.commit();
+  }
+  Scope.setReturn(Value(true));
+}
+
+void StringBufferSystem::appendBuffer(size_t Dst, size_t Src) {
+  assert(Dst < Bufs.size() && Src < Bufs.size() && Dst != Src);
+  MethodScope Scope(H, V.AppendBuffer,
+                    {Value(static_cast<int64_t>(Dst)),
+                     Value(static_cast<int64_t>(Src))});
+  Buf &D = *Bufs[Dst];
+  Buf &S = *Bufs[Src];
+  std::string Snapshot;
+
+  if (Opts.BuggyAppendBuffer) {
+    // BUG (JDK StringBuffer): append(StringBuffer sb) reads sb.length()
+    // under sb's monitor, then copies sb's characters in a separate
+    // unprotected step (getChars). A concurrent setLength(shorter) makes
+    // the copy torn; characters past the new end read as garbage.
+    size_t N = S.LenMirror.load(std::memory_order_relaxed);
+    Chaos::point();
+    Snapshot.reserve(N);
+    for (size_t C = 0; C < N; ++C) {
+      char Ch;
+      {
+        std::lock_guard SrcLock(S.M); // per-char access, not atomic overall
+        Ch = C < S.Data.size() ? S.Data[C] : '?';
+      }
+      Snapshot.push_back(Ch);
+      if ((C & 7) == 0)
+        Chaos::point();
+    }
+    std::lock_guard DstLock(D.M);
+    CommitBlock Block(H);
+    D.Data += Snapshot;
+    D.LenMirror.store(D.Data.size(), std::memory_order_relaxed);
+    // The replay record carries the bytes *actually appended*, so the
+    // shadow state mirrors a torn copy faithfully.
+    H.replayOp(V.OpAppend,
+               {Value(static_cast<int64_t>(Dst)), Value(Snapshot)});
+    H.commit();
+    Scope.setReturn(Value(true));
+    return;
+  }
+
+  // Correct version: in Java, append(StringBuffer) holds this's monitor
+  // and getChars holds src's nested inside it, so the copy is atomic with
+  // the append. We acquire the two monitors in index order to rule out the
+  // deadlock the nested Java locking is prone to.
+  {
+    Buf &Lo = Dst < Src ? D : S;
+    Buf &Hi = Dst < Src ? S : D;
+    std::lock_guard LockLo(Lo.M);
+    std::lock_guard LockHi(Hi.M);
+    Snapshot = S.Data;
+    CommitBlock Block(H);
+    D.Data += Snapshot;
+    D.LenMirror.store(D.Data.size(), std::memory_order_relaxed);
+    H.replayOp(V.OpAppend,
+               {Value(static_cast<int64_t>(Dst)), Value(Snapshot)});
+    H.commit();
+  }
+  Scope.setReturn(Value(true));
+}
+
+void StringBufferSystem::setLength(size_t I, size_t N) {
+  assert(I < Bufs.size());
+  MethodScope Scope(H, V.SetLength,
+                    {Value(static_cast<int64_t>(I)),
+                     Value(static_cast<int64_t>(N))});
+  {
+    Buf &B = *Bufs[I];
+    std::lock_guard Lock(B.M);
+    if (N < B.Data.size()) {
+      CommitBlock Block(H);
+      B.Data.resize(N);
+      B.LenMirror.store(B.Data.size(), std::memory_order_relaxed);
+      H.replayOp(V.OpSetLen, {Value(static_cast<int64_t>(I)),
+                              Value(static_cast<int64_t>(N))});
+      H.commit();
+    } else {
+      H.commit(); // no-op truncation
+    }
+  }
+  Scope.setReturn(Value(true));
+}
+
+std::string StringBufferSystem::toString(size_t I) const {
+  assert(I < Bufs.size());
+  MethodScope Scope(H, V.ToString, {Value(static_cast<int64_t>(I))});
+  std::string Out;
+  {
+    const Buf &B = *Bufs[I];
+    std::lock_guard Lock(B.M);
+    Out = B.Data;
+  }
+  Scope.setReturn(Value(Out));
+  return Out;
+}
+
+int64_t StringBufferSystem::length(size_t I) const {
+  assert(I < Bufs.size());
+  MethodScope Scope(H, V.Length, {Value(static_cast<int64_t>(I))});
+  int64_t N;
+  {
+    const Buf &B = *Bufs[I];
+    std::lock_guard Lock(B.M);
+    N = static_cast<int64_t>(B.Data.size());
+  }
+  Scope.setReturn(Value(N));
+  return N;
+}

@@ -1,0 +1,93 @@
+//===- StringBufferSystem.h - java.lang.StringBuffer model ------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A C++ model of java.lang.StringBuffer with the bug reproduced in
+/// Table 1 ("Copying from an unprotected StringBuffer"): append(StringBuffer
+/// src) reads src's length under src's monitor but copies src's characters
+/// in a separate, unprotected step, so a concurrent truncation of src makes
+/// the copy torn — corrupting the destination buffer's *state*. Unlike the
+/// Vector bug this is a mutator-state corruption, which is why view
+/// refinement detects it much earlier than I/O refinement (Table 1 shows a
+/// 3.46x CPU ratio but detection after 17-90 vs 29-195 methods).
+///
+/// Because the bug spans two objects, the verified "system" is a small
+/// fixed family of buffers and the specification keys its abstract state by
+/// buffer index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_JAVALIB_STRINGBUFFERSYSTEM_H
+#define VYRD_JAVALIB_STRINGBUFFERSYSTEM_H
+
+#include "vyrd/Instrument.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vyrd {
+namespace javalib {
+
+/// Interned names for the string-buffer model.
+struct SbVocab {
+  Name Append, AppendBuffer, SetLength, ToString, Length;
+  Name OpAppend, OpSetLen;
+  static SbVocab get();
+};
+
+/// A family of NumBuffers monitors-guarded string buffers.
+class StringBufferSystem {
+public:
+  struct Options {
+    size_t NumBuffers = 2;
+    /// Inject the unprotected-copy bug in appendBuffer.
+    bool BuggyAppendBuffer = false;
+  };
+
+  StringBufferSystem(const Options &Opts, Hooks H);
+
+  StringBufferSystem(const StringBufferSystem &) = delete;
+  StringBufferSystem &operator=(const StringBufferSystem &) = delete;
+
+  size_t numBuffers() const { return Bufs.size(); }
+
+  /// Appends literal \p S to buffer \p I.
+  void append(size_t I, const std::string &S);
+
+  /// Appends the current contents of buffer \p Src to buffer \p Dst
+  /// (must differ). This is the buggy method.
+  void appendBuffer(size_t Dst, size_t Src);
+
+  /// Truncates buffer \p I to \p N characters (no-op when N >= length).
+  void setLength(size_t I, size_t N);
+
+  /// Observer: buffer contents.
+  std::string toString(size_t I) const;
+
+  /// Observer: buffer length.
+  int64_t length(size_t I) const;
+
+private:
+  struct Buf {
+    mutable std::mutex M;
+    std::string Data;
+    std::atomic<size_t> LenMirror{0};
+  };
+
+  Options Opts;
+  Hooks H;
+  SbVocab V;
+  std::vector<std::unique_ptr<Buf>> Bufs;
+};
+
+} // namespace javalib
+} // namespace vyrd
+
+#endif // VYRD_JAVALIB_STRINGBUFFERSYSTEM_H

@@ -1,0 +1,148 @@
+//===- SyncHashtable.cpp - java.util.Hashtable model ----------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "javalib/SyncHashtable.h"
+
+using namespace vyrd;
+using namespace vyrd::javalib;
+
+HtVocab HtVocab::get() {
+  HtVocab V;
+  V.Put = internName("HtPut");
+  V.Get = internName("HtGet");
+  V.Remove = internName("HtRemove");
+  V.PutIfAbsent = internName("HtPutIfAbsent");
+  V.Size = internName("HtSize");
+  return V;
+}
+
+Name HtVocab::slotName(int64_t Key) {
+  return internName("ht[" + std::to_string(Key) + "]");
+}
+
+SyncHashtable::SyncHashtable(const Options &Opts, Hooks H)
+    : Opts(Opts), H(H), V(HtVocab::get()), Table(Opts.Buckets) {}
+
+SyncHashtable::Entry *SyncHashtable::findEntry(int64_t Key) {
+  for (Entry &E : bucket(Key))
+    if (E.Key == Key)
+      return &E;
+  return nullptr;
+}
+
+Value SyncHashtable::put(int64_t Key, int64_t Val) {
+  MethodScope Scope(H, V.Put, {Value(Key), Value(Val)});
+  Value Prev;
+  {
+    std::lock_guard Lock(M);
+    CommitBlock Block(H);
+    if (Entry *E = findEntry(Key)) {
+      Prev = Value(E->Val);
+      E->Val = Val;
+    } else {
+      bucket(Key).push_back(Entry{Key, Val});
+      ++Count;
+    }
+    H.write(HtVocab::slotName(Key), Value(Val));
+    H.commit();
+  }
+  Scope.setReturn(Prev);
+  return Prev;
+}
+
+Value SyncHashtable::get(int64_t Key) const {
+  MethodScope Scope(H, V.Get, {Value(Key)});
+  Value Ret;
+  {
+    std::lock_guard Lock(M);
+    if (const Entry *E =
+            const_cast<SyncHashtable *>(this)->findEntry(Key))
+      Ret = Value(E->Val);
+  }
+  Scope.setReturn(Ret);
+  return Ret;
+}
+
+Value SyncHashtable::remove(int64_t Key) {
+  MethodScope Scope(H, V.Remove, {Value(Key)});
+  Value Prev;
+  {
+    std::lock_guard Lock(M);
+    std::list<Entry> &B = bucket(Key);
+    for (auto It = B.begin(); It != B.end(); ++It) {
+      if (It->Key != Key)
+        continue;
+      Prev = Value(It->Val);
+      B.erase(It);
+      --Count;
+      CommitBlock Block(H);
+      H.write(HtVocab::slotName(Key), Value());
+      H.commit();
+      Scope.setReturn(Prev);
+      return Prev;
+    }
+    H.commit(); // removing an absent key: no change
+  }
+  Scope.setReturn(Prev);
+  return Prev;
+}
+
+bool SyncHashtable::putIfAbsent(int64_t Key, int64_t Val) {
+  MethodScope Scope(H, V.PutIfAbsent, {Value(Key), Value(Val)});
+  bool Inserted = false;
+  if (Opts.BuggyPutIfAbsent) {
+    // BUG: contains and put under separate monitor acquisitions — the
+    // textbook check-then-act race. Both of two concurrent calls can see
+    // the key absent; the loser overwrites the winner and still claims to
+    // have inserted.
+    bool Present;
+    {
+      std::lock_guard Lock(M);
+      Present = findEntry(Key) != nullptr;
+    }
+    Chaos::point(); // the racy window
+    if (!Present) {
+      std::lock_guard Lock(M);
+      CommitBlock Block(H);
+      if (Entry *E = findEntry(Key)) {
+        E->Val = Val; // silent overwrite of the winner
+      } else {
+        bucket(Key).push_back(Entry{Key, Val});
+        ++Count;
+      }
+      H.write(HtVocab::slotName(Key), Value(Val));
+      H.commit();
+      Inserted = true;
+    } else {
+      H.commit();
+    }
+  } else {
+    std::lock_guard Lock(M);
+    if (!findEntry(Key)) {
+      CommitBlock Block(H);
+      bucket(Key).push_back(Entry{Key, Val});
+      ++Count;
+      H.write(HtVocab::slotName(Key), Value(Val));
+      H.commit();
+      Inserted = true;
+    } else {
+      H.commit();
+    }
+  }
+  Scope.setReturn(Value(Inserted));
+  return Inserted;
+}
+
+int64_t SyncHashtable::size() const {
+  MethodScope Scope(H, V.Size, {});
+  int64_t N;
+  {
+    std::lock_guard Lock(M);
+    N = static_cast<int64_t>(Count);
+  }
+  Scope.setReturn(Value(N));
+  return N;
+}

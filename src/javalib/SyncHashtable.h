@@ -1,0 +1,99 @@
+//===- SyncHashtable.h - java.util.Hashtable model --------------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A C++ model of java.util.Hashtable (the paper's motivation names the
+/// "standard Java and C# class libraries" as prime verification targets):
+/// a monitor-guarded open hash table with chained buckets.
+///
+/// Injectable bug: the classic check-then-act race — putIfAbsent
+/// implemented as contains() followed by put() under *separate* monitor
+/// acquisitions. Two concurrent putIfAbsent(k, ...) calls can both see k
+/// absent and both insert; the second silently overwrites the first and
+/// reports success, so a putIfAbsent that must have failed claims to have
+/// inserted — an I/O refinement violation at its own commit, and a view
+/// divergence when the overwritten value differs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_JAVALIB_SYNCHASHTABLE_H
+#define VYRD_JAVALIB_SYNCHASHTABLE_H
+
+#include "vyrd/Instrument.h"
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <vector>
+
+namespace vyrd {
+namespace javalib {
+
+/// Interned names for the hashtable model.
+struct HtVocab {
+  Name Put, Get, Remove, PutIfAbsent, Size;
+  static HtVocab get();
+  /// Fine-grained write records: "ht[key]" := value (null = erased).
+  static Name slotName(int64_t Key);
+};
+
+/// The instrumented hashtable: one monitor, chained buckets.
+class SyncHashtable {
+public:
+  struct Options {
+    size_t Buckets = 64;
+    /// Inject the non-atomic contains+put in putIfAbsent.
+    bool BuggyPutIfAbsent = false;
+  };
+
+  SyncHashtable(const Options &Opts, Hooks H);
+
+  SyncHashtable(const SyncHashtable &) = delete;
+  SyncHashtable &operator=(const SyncHashtable &) = delete;
+
+  /// Maps \p Key to \p Val. \returns the previous value or null.
+  Value put(int64_t Key, int64_t Val);
+
+  /// Observer: the value for \p Key, or null.
+  Value get(int64_t Key) const;
+
+  /// Unmaps \p Key. \returns the removed value or null.
+  Value remove(int64_t Key);
+
+  /// Maps \p Key to \p Val only if absent. \returns true when inserted.
+  bool putIfAbsent(int64_t Key, int64_t Val);
+
+  /// Observer: the number of mappings.
+  int64_t size() const;
+
+private:
+  struct Entry {
+    int64_t Key;
+    int64_t Val;
+  };
+
+  std::list<Entry> &bucket(int64_t Key) {
+    return Table[static_cast<size_t>(Key) * 0x9e3779b97f4a7c15ULL %
+                 Table.size()];
+  }
+  const std::list<Entry> &bucket(int64_t Key) const {
+    return const_cast<SyncHashtable *>(this)->bucket(Key);
+  }
+  /// Unsynchronized lookup used inside locked sections.
+  Entry *findEntry(int64_t Key);
+
+  Options Opts;
+  Hooks H;
+  HtVocab V;
+  mutable std::mutex M;
+  std::vector<std::list<Entry>> Table;
+  size_t Count = 0;
+};
+
+} // namespace javalib
+} // namespace vyrd
+
+#endif // VYRD_JAVALIB_SYNCHASHTABLE_H

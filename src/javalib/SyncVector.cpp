@@ -1,0 +1,128 @@
+//===- SyncVector.cpp - java.util.Vector model -----------------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "javalib/SyncVector.h"
+
+using namespace vyrd;
+using namespace vyrd::javalib;
+
+VectorVocab VectorVocab::get() {
+  VectorVocab V;
+  V.Add = internName("VecAdd");
+  V.RemoveLast = internName("VecRemoveLast");
+  V.Get = internName("VecGet");
+  V.Size = internName("VecSize");
+  V.LastIndexOf = internName("VecLastIndexOf");
+  return V;
+}
+
+Name VectorVocab::elemName(size_t I) {
+  return internName("vec[" + std::to_string(I) + "]");
+}
+
+Name VectorVocab::lenName() { return internName("vec.len"); }
+
+SyncVector::SyncVector(const Options &Opts, Hooks H)
+    : Opts(Opts), H(H), V(VectorVocab::get()), LenName(VectorVocab::lenName()) {
+}
+
+Name SyncVector::elemName(size_t I) {
+  while (ElemNames.size() <= I)
+    ElemNames.push_back(VectorVocab::elemName(ElemNames.size()));
+  return ElemNames[I];
+}
+
+void SyncVector::add(int64_t X) {
+  MethodScope Scope(H, V.Add, {Value(X)});
+  {
+    std::lock_guard Lock(M);
+    CommitBlock Block(H);
+    size_t I = Data.size();
+    Data.push_back(X);
+    LenMirror.store(Data.size(), std::memory_order_relaxed);
+    H.write(elemName(I), Value(X));
+    H.write(LenName, Value(static_cast<int64_t>(Data.size())));
+    H.commit();
+  }
+  Scope.setReturn(Value(true));
+}
+
+Value SyncVector::removeLast() {
+  MethodScope Scope(H, V.RemoveLast, {});
+  Value Ret;
+  {
+    std::lock_guard Lock(M);
+    if (Data.empty()) {
+      H.commit();
+    } else {
+      Ret = Value(Data.back());
+      CommitBlock Block(H);
+      Data.pop_back();
+      LenMirror.store(Data.size(), std::memory_order_relaxed);
+      H.write(LenName, Value(static_cast<int64_t>(Data.size())));
+      H.commit();
+    }
+  }
+  Scope.setReturn(Ret);
+  return Ret;
+}
+
+Value SyncVector::get(int64_t I) const {
+  MethodScope Scope(H, V.Get, {Value(I)});
+  Value Ret;
+  {
+    std::lock_guard Lock(M);
+    if (I >= 0 && static_cast<size_t>(I) < Data.size())
+      Ret = Value(Data[static_cast<size_t>(I)]);
+  }
+  Scope.setReturn(Ret);
+  return Ret;
+}
+
+int64_t SyncVector::size() const {
+  MethodScope Scope(H, V.Size, {});
+  int64_t N;
+  {
+    std::lock_guard Lock(M);
+    N = static_cast<int64_t>(Data.size());
+  }
+  Scope.setReturn(Value(N));
+  return N;
+}
+
+int64_t SyncVector::lastIndexOf(int64_t X) const {
+  MethodScope Scope(H, V.LastIndexOf, {Value(X)});
+  int64_t Ret = -1;
+  if (Opts.BuggyLastIndexOf) {
+    // BUG (JDK 1.4 Vector): lastIndexOf(Object) reads elementCount without
+    // the monitor and then calls the synchronized lastIndexOf(Object, int).
+    // A concurrent removal makes the start index point past the end and the
+    // search throws IndexOutOfBoundsException.
+    size_t N = LenMirror.load(std::memory_order_relaxed);
+    Chaos::point();
+    std::lock_guard Lock(M);
+    if (N > Data.size()) {
+      Ret = IndexError;
+    } else {
+      for (size_t I = N; I > 0; --I) {
+        if (Data[I - 1] == X) {
+          Ret = static_cast<int64_t>(I - 1);
+          break;
+        }
+      }
+    }
+  } else {
+    std::lock_guard Lock(M);
+    for (size_t I = Data.size(); I > 0; --I) {
+      if (Data[I - 1] == X) {
+        Ret = static_cast<int64_t>(I - 1);
+        break;
+      }
+    }
+  }
+  Scope.setReturn(Value(Ret));
+  return Ret;
+}

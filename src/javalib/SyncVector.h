@@ -1,0 +1,93 @@
+//===- SyncVector.h - java.util.Vector model --------------------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A C++ model of java.util.Vector with the concurrency bug reported in
+/// the Atomizer / atomicity-types papers and reproduced in Table 1 of the
+/// VYRD paper ("Taking length non-atomically in lastIndexOf()"):
+/// `lastIndexOf(Object)` reads the element count without holding the
+/// vector's lock before delegating to the synchronized search, so a
+/// concurrent removal makes the search start past the end — modeled here
+/// as the error return value IndexError, which the specification never
+/// allows. The bug is in an *observer* and does not corrupt state, which is
+/// why Table 1 shows view refinement doing no better than I/O refinement
+/// on this example.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_JAVALIB_SYNCVECTOR_H
+#define VYRD_JAVALIB_SYNCVECTOR_H
+
+#include "vyrd/Instrument.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace vyrd {
+namespace javalib {
+
+/// Interned names for the vector model.
+struct VectorVocab {
+  Name Add, RemoveLast, Get, Size, LastIndexOf;
+  static VectorVocab get();
+  static Name elemName(size_t I); // "vec[i]"
+  static Name lenName();          // "vec.len"
+};
+
+/// Return value modeling Java's IndexOutOfBoundsException.
+inline constexpr int64_t IndexError = -2;
+
+/// The instrumented vector: one lock guards the element storage, mirroring
+/// Java's monitor.
+class SyncVector {
+public:
+  struct Options {
+    /// Inject the non-atomic length read in lastIndexOf.
+    bool BuggyLastIndexOf = false;
+  };
+
+  SyncVector(const Options &Opts, Hooks H);
+
+  SyncVector(const SyncVector &) = delete;
+  SyncVector &operator=(const SyncVector &) = delete;
+
+  /// Appends \p X (always succeeds).
+  void add(int64_t X);
+
+  /// Removes and returns the last element, or null when empty.
+  Value removeLast();
+
+  /// Observer: element at \p I, or null when out of bounds.
+  Value get(int64_t I) const;
+
+  /// Observer: current element count.
+  int64_t size() const;
+
+  /// Observer: index of the last occurrence of \p X, -1 when absent, or
+  /// IndexError when the bug fires.
+  int64_t lastIndexOf(int64_t X) const;
+
+private:
+  Options Opts;
+  Hooks H;
+  VectorVocab V;
+  mutable std::mutex M;
+  std::vector<int64_t> Data;
+  /// Unsynchronized mirror of Data.size() for the buggy length read (kept
+  /// atomic so the model itself has no undefined behavior).
+  std::atomic<size_t> LenMirror{0};
+  std::vector<Name> ElemNames;
+  Name LenName;
+
+  Name elemName(size_t I);
+};
+
+} // namespace javalib
+} // namespace vyrd
+
+#endif // VYRD_JAVALIB_SYNCVECTOR_H

@@ -1,0 +1,136 @@
+//===- VectorSpec.cpp - Atomic spec + replayer for SyncVector -------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "javalib/VectorSpec.h"
+
+#include <cassert>
+
+using namespace vyrd;
+using namespace vyrd::javalib;
+
+//===----------------------------------------------------------------------===//
+// VectorSpec
+//===----------------------------------------------------------------------===//
+
+VectorSpec::VectorSpec() : V(VectorVocab::get()) {}
+
+bool VectorSpec::isObserver(Name Method) const {
+  return Method == V.Get || Method == V.Size || Method == V.LastIndexOf;
+}
+
+bool VectorSpec::applyMutator(Name Method, const ValueList &Args,
+                              const Value &Ret, View &ViewS) {
+  if (Method == V.Add) {
+    if (Args.size() != 1 || !Args[0].isInt())
+      return false;
+    ViewS.add(Value(static_cast<int64_t>(S.size())), Args[0]);
+    S.push_back(Args[0].asInt());
+    return true;
+  }
+
+  if (Method == V.RemoveLast) {
+    if (!Args.empty())
+      return false;
+    if (S.empty())
+      return Ret.isNull(); // removing from empty returns null
+    if (!Ret.isInt() || Ret.asInt() != S.back())
+      return false; // must return the element actually at the back
+    ViewS.remove(Value(static_cast<int64_t>(S.size() - 1)),
+                 Value(S.back()));
+    S.pop_back();
+    return true;
+  }
+
+  return false;
+}
+
+bool VectorSpec::returnAllowed(Name Method, const ValueList &Args,
+                               const Value &Ret) const {
+  if (Method == V.Get) {
+    if (Args.size() != 1 || !Args[0].isInt())
+      return false;
+    int64_t I = Args[0].asInt();
+    if (I < 0 || static_cast<size_t>(I) >= S.size())
+      return Ret.isNull();
+    return Ret.isInt() && Ret.asInt() == S[static_cast<size_t>(I)];
+  }
+
+  if (Method == V.Size)
+    return Ret.isInt() && Ret.asInt() == static_cast<int64_t>(S.size());
+
+  if (Method == V.LastIndexOf) {
+    if (Args.size() != 1 || !Args[0].isInt() || !Ret.isInt())
+      return false;
+    int64_t X = Args[0].asInt();
+    int64_t Last = -1;
+    for (size_t I = 0; I < S.size(); ++I)
+      if (S[I] == X)
+        Last = static_cast<int64_t>(I);
+    // IndexError is never a legal return value: the specification executes
+    // atomically and cannot observe a torn length.
+    return Ret.asInt() == Last;
+  }
+
+  return false;
+}
+
+void VectorSpec::buildView(View &Out) const {
+  Out.clear();
+  for (size_t I = 0; I < S.size(); ++I)
+    Out.add(Value(static_cast<int64_t>(I)), Value(S[I]));
+}
+
+//===----------------------------------------------------------------------===//
+// VectorReplayer
+//===----------------------------------------------------------------------===//
+
+VectorReplayer::VectorReplayer() : LenName(VectorVocab::lenName()) {}
+
+void VectorReplayer::applyUpdate(const Action &A, View &ViewI) {
+  assert(A.Kind == ActionKind::AK_Write &&
+         "vector logs fine-grained writes only");
+
+  if (A.Var == LenName) {
+    size_t NewLen = static_cast<size_t>(A.Val.asInt());
+    if (NewLen > Storage.size())
+      Storage.resize(NewLen, 0);
+    // Entries leaving / entering the logical prefix update the view.
+    for (size_t I = NewLen; I < Len; ++I)
+      ViewI.remove(Value(static_cast<int64_t>(I)), Value(Storage[I]));
+    for (size_t I = Len; I < NewLen; ++I)
+      ViewI.add(Value(static_cast<int64_t>(I)), Value(Storage[I]));
+    Len = NewLen;
+    return;
+  }
+
+  // Element write: resolve (and cache) the slot index from the name.
+  auto It = ElemIndex.find(A.Var.id());
+  size_t Index;
+  if (It != ElemIndex.end()) {
+    Index = It->second;
+  } else {
+    std::string_view S = A.Var.str();
+    assert(S.size() > 5 && S.substr(0, 4) == "vec[" && "unknown variable");
+    Index = 0;
+    for (size_t P = 4; P < S.size() && S[P] != ']'; ++P)
+      Index = Index * 10 + static_cast<size_t>(S[P] - '0');
+    ElemIndex.emplace(A.Var.id(), Index);
+  }
+  if (Index >= Storage.size())
+    Storage.resize(Index + 1, 0);
+  int64_t NewVal = A.Val.asInt();
+  if (Index < Len && Storage[Index] != NewVal) {
+    ViewI.remove(Value(static_cast<int64_t>(Index)), Value(Storage[Index]));
+    ViewI.add(Value(static_cast<int64_t>(Index)), Value(NewVal));
+  }
+  Storage[Index] = NewVal;
+}
+
+void VectorReplayer::buildView(View &Out) const {
+  Out.clear();
+  for (size_t I = 0; I < Len; ++I)
+    Out.add(Value(static_cast<int64_t>(I)), Value(Storage[I]));
+}

@@ -1,0 +1,63 @@
+//===- VectorSpec.h - Atomic spec + replayer for SyncVector -----*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Specification (an atomic sequence of integers) and replayer (shadow
+/// storage reconstructed from `vec[i]` / `vec.len` writes) for the
+/// SyncVector model. The view is the sequence as (index, element) pairs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_JAVALIB_VECTORSPEC_H
+#define VYRD_JAVALIB_VECTORSPEC_H
+
+#include "javalib/SyncVector.h"
+#include "vyrd/Replayer.h"
+#include "vyrd/Spec.h"
+
+#include <unordered_map>
+
+namespace vyrd {
+namespace javalib {
+
+/// Specification state: the abstract sequence.
+class VectorSpec : public Spec {
+public:
+  VectorSpec();
+
+  bool isObserver(Name Method) const override;
+  bool applyMutator(Name Method, const ValueList &Args, const Value &Ret,
+                    View &ViewS) override;
+  bool returnAllowed(Name Method, const ValueList &Args,
+                     const Value &Ret) const override;
+  void buildView(View &Out) const override;
+
+  const std::vector<int64_t> &contents() const { return S; }
+
+private:
+  VectorVocab V;
+  std::vector<int64_t> S;
+};
+
+/// Shadow state: element storage plus the logical length.
+class VectorReplayer : public Replayer {
+public:
+  VectorReplayer();
+
+  void applyUpdate(const Action &A, View &ViewI) override;
+  void buildView(View &Out) const override;
+
+private:
+  Name LenName;
+  std::unordered_map<uint32_t, size_t> ElemIndex; // name id -> index
+  std::vector<int64_t> Storage; // raw slots (may exceed Len)
+  size_t Len = 0;
+};
+
+} // namespace javalib
+} // namespace vyrd
+
+#endif // VYRD_JAVALIB_VECTORSPEC_H

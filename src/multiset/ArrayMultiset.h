@@ -1,0 +1,121 @@
+//===- ArrayMultiset.h - The paper's running multiset example ---*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrent multiset of Secs. 2 and 5 of the paper: elements live in
+/// a fixed array A[0..N-1] of slots, each with its own lock, an element
+/// field and a valid bit. FindSlot reserves a free slot; Insert/InsertPair
+/// publish elements by setting valid bits; Delete unpublishes; LookUp scans.
+///
+/// The implementation is instrumented with VYRD hooks. Commit points follow
+/// the paper: the valid-bit write(s), performed inside a commit block while
+/// the slot lock(s) are held (for InsertPair this is the two-lock block of
+/// Fig. 4, lines 9-14). The Fig. 5 bug — FindSlot checking a slot for
+/// emptiness *before* taking its lock and reserving it without re-checking
+/// — is injectable via Options::BuggyFindSlot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_MULTISET_ARRAYMULTISET_H
+#define VYRD_MULTISET_ARRAYMULTISET_H
+
+#include "vyrd/Instrument.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace vyrd {
+namespace multiset {
+
+/// Interned method and variable names shared by the implementation, the
+/// specification and the replayer.
+struct Vocab {
+  Name Insert, InsertPair, Delete, LookUp;
+  /// Per-slot variable names "A[i].elt" / "A[i].valid" for capacity \p N.
+  static Vocab get();
+  static Name eltName(size_t I);
+  static Name validName(size_t I);
+};
+
+/// The instrumented array-based multiset implementation.
+class ArrayMultiset {
+public:
+  struct Options {
+    size_t Capacity = 64;
+    /// Inject the Fig. 5 bug: FindSlot tests A[i].elt == null without
+    /// holding the slot lock and reserves without re-checking.
+    bool BuggyFindSlot = false;
+    /// Retry LookUp's scan when a mutator committed during it. The paper's
+    /// plain scan (Fig. 2) is not linearizable: with two copies of x in
+    /// the array, a delete behind the scanner paired with a re-insert
+    /// ahead of it makes the scan miss x even though x is continuously a
+    /// member — a genuine refinement violation of the scan itself, which
+    /// VYRD duly reports (see MultisetTest.PaperScanIsNotLinearizable).
+    /// The guard makes the "correct" variant actually correct.
+    bool LinearizableScan = true;
+  };
+
+  ArrayMultiset(const Options &Opts, Hooks H);
+
+  ArrayMultiset(const ArrayMultiset &) = delete;
+  ArrayMultiset &operator=(const ArrayMultiset &) = delete;
+
+  /// Inserts one occurrence of \p X. \returns false (exceptional
+  /// termination) when no slot is free.
+  bool insert(int64_t X);
+
+  /// Inserts \p X and \p Y atomically: on failure neither is inserted
+  /// (Sec. 2.1).
+  bool insertPair(int64_t X, int64_t Y);
+
+  /// Removes one occurrence of \p X. \returns false if absent.
+  bool remove(int64_t X);
+
+  /// Observer: whether \p X is currently a member.
+  bool lookUp(int64_t X) const;
+
+  size_t capacity() const { return Slots.size(); }
+
+  /// A consistent snapshot of the current contents (sorted, with
+  /// multiplicity). Takes every slot lock; meant for quiescent use by
+  /// tests and by the atomized-specification adapter (Sec. 4.4).
+  std::vector<int64_t> snapshot() const;
+
+private:
+  static constexpr int64_t Empty = INT64_MIN;
+
+  struct Slot {
+    mutable std::mutex M;
+    int64_t Elt = Empty;
+    bool Valid = false;
+  };
+
+  /// Reserves a slot for \p X (writes its Elt field). \returns the index,
+  /// or -1 when the array is full.
+  int findSlot(int64_t X);
+  /// Releases a reserved (not yet valid) slot.
+  void releaseSlot(int I);
+
+  /// One unguarded scan over the slots. \returns whether \p X was seen.
+  bool scanOnce(int64_t X) const;
+
+  Options Opts;
+  Hooks H;
+  Vocab V;
+  /// Bumped by every state-changing commit; LookUp uses it to detect that
+  /// its scan raced a mutation and must retry.
+  mutable std::atomic<uint64_t> ModCount{0};
+  std::vector<Slot> Slots;
+  std::vector<Name> EltNames;   // "A[i].elt"
+  std::vector<Name> ValidNames; // "A[i].valid"
+};
+
+} // namespace multiset
+} // namespace vyrd
+
+#endif // VYRD_MULTISET_ARRAYMULTISET_H

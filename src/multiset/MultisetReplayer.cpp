@@ -1,0 +1,58 @@
+//===- MultisetReplayer.cpp - Shadow state for the array multiset ---------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "multiset/MultisetReplayer.h"
+
+#include <cassert>
+
+using namespace vyrd;
+using namespace vyrd::multiset;
+
+MultisetReplayer::MultisetReplayer(size_t Capacity) : Slots(Capacity) {
+  for (size_t I = 0; I < Capacity; ++I) {
+    VarMap.emplace(Vocab::eltName(I).id(), std::make_pair(I, false));
+    VarMap.emplace(Vocab::validName(I).id(), std::make_pair(I, true));
+  }
+}
+
+void MultisetReplayer::applyUpdate(const Action &A, View &ViewI) {
+  assert(A.Kind == ActionKind::AK_Write &&
+         "multiset logs fine-grained writes only");
+  auto It = VarMap.find(A.Var.id());
+  assert(It != VarMap.end() && "write to unknown multiset variable");
+  auto [Index, IsValid] = It->second;
+  SlotShadow &S = Slots[Index];
+
+  if (IsValid) {
+    bool NewValid = A.Val.isBool() && A.Val.asBool();
+    if (NewValid == S.Valid)
+      return;
+    // Publishing or unpublishing the slot's element toggles its view
+    // membership.
+    if (NewValid)
+      ViewI.add(S.Elt, Value());
+    else
+      ViewI.remove(S.Elt, Value());
+    S.Valid = NewValid;
+    return;
+  }
+
+  // Element-field write. Only affects the view when the slot is published
+  // (which a correct implementation never does; the replay must mirror
+  // buggy interleavings faithfully regardless).
+  if (S.Valid && S.Elt != A.Val) {
+    ViewI.remove(S.Elt, Value());
+    ViewI.add(A.Val, Value());
+  }
+  S.Elt = A.Val;
+}
+
+void MultisetReplayer::buildView(View &Out) const {
+  Out.clear();
+  for (const SlotShadow &S : Slots)
+    if (S.Valid)
+      Out.add(S.Elt, Value());
+}

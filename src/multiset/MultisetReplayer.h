@@ -1,0 +1,49 @@
+//===- MultisetReplayer.h - Shadow state for the array multiset -*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reconstructs the array multiset's state from logged `A[i].elt` /
+/// `A[i].valid` writes and maintains viewI — the multiset of elements
+/// stored in valid slots — incrementally (Sec. 5.1's viewI computation,
+/// made incremental per Sec. 6.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_MULTISET_MULTISETREPLAYER_H
+#define VYRD_MULTISET_MULTISETREPLAYER_H
+
+#include "multiset/ArrayMultiset.h"
+#include "vyrd/Replayer.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace vyrd {
+namespace multiset {
+
+/// Shadow state: elt/valid per slot.
+class MultisetReplayer : public Replayer {
+public:
+  explicit MultisetReplayer(size_t Capacity);
+
+  void applyUpdate(const Action &A, View &ViewI) override;
+  void buildView(View &Out) const override;
+
+private:
+  struct SlotShadow {
+    Value Elt; // null when empty
+    bool Valid = false;
+  };
+
+  std::vector<SlotShadow> Slots;
+  /// Name id -> (slot index, IsValidField).
+  std::unordered_map<uint32_t, std::pair<size_t, bool>> VarMap;
+};
+
+} // namespace multiset
+} // namespace vyrd
+
+#endif // VYRD_MULTISET_MULTISETREPLAYER_H

@@ -1,0 +1,98 @@
+//===- MultisetSpec.cpp - Atomic multiset specification -------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "multiset/MultisetSpec.h"
+
+#include <cassert>
+
+using namespace vyrd;
+using namespace vyrd::multiset;
+
+MultisetSpec::MultisetSpec() : V(Vocab::get()) {}
+
+bool MultisetSpec::isObserver(Name Method) const {
+  return Method == V.LookUp;
+}
+
+void MultisetSpec::addElem(int64_t X, View &ViewS) {
+  ++M[X];
+  ++Total;
+  ViewS.add(Value(X), Value());
+}
+
+bool MultisetSpec::removeElem(int64_t X, View &ViewS) {
+  auto It = M.find(X);
+  if (It == M.end())
+    return false;
+  if (--It->second == 0)
+    M.erase(It);
+  --Total;
+  ViewS.remove(Value(X), Value());
+  return true;
+}
+
+bool MultisetSpec::applyMutator(Name Method, const ValueList &Args,
+                                const Value &Ret, View &ViewS) {
+  if (!Ret.isBool())
+    return false;
+  bool Success = Ret.asBool();
+
+  if (Method == V.Insert) {
+    if (Args.size() != 1 || !Args[0].isInt())
+      return false;
+    // Exceptional termination leaves the state unchanged and is always
+    // permitted (resource contention may prevent completion).
+    if (Success)
+      addElem(Args[0].asInt(), ViewS);
+    return true;
+  }
+
+  if (Method == V.InsertPair) {
+    if (Args.size() != 2 || !Args[0].isInt() || !Args[1].isInt())
+      return false;
+    // Either both elements are inserted or neither is (Sec. 2.1).
+    if (Success) {
+      addElem(Args[0].asInt(), ViewS);
+      addElem(Args[1].asInt(), ViewS);
+    }
+    return true;
+  }
+
+  if (Method == V.Delete) {
+    if (Args.size() != 1 || !Args[0].isInt())
+      return false;
+    // A successful Delete must have removed a present element; a failed
+    // Delete leaves the state unchanged (and is always permitted).
+    if (Success)
+      return removeElem(Args[0].asInt(), ViewS);
+    return true;
+  }
+
+  return false; // unknown mutator
+}
+
+bool MultisetSpec::returnAllowed(Name Method, const ValueList &Args,
+                                 const Value &Ret) const {
+  if (Method != V.LookUp || Args.size() != 1 || !Args[0].isInt() ||
+      !Ret.isBool())
+    return false;
+  bool Present = M.count(Args[0].asInt()) != 0;
+  return Ret.asBool() == Present;
+}
+
+void MultisetSpec::buildView(View &Out) const {
+  Out.clear();
+  for (const auto &[X, Mult] : M)
+    for (size_t I = 0; I < Mult; ++I)
+      Out.add(Value(X), Value());
+}
+
+size_t MultisetSpec::count(int64_t X) const {
+  auto It = M.find(X);
+  return It == M.end() ? 0 : It->second;
+}
+
+size_t MultisetSpec::size() const { return Total; }

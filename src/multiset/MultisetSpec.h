@@ -1,0 +1,57 @@
+//===- MultisetSpec.h - Atomic multiset specification -----------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The method-atomic, deterministic specification of the multiset (Fig. 1
+/// extended with InsertPair and Delete). In the paper's style the
+/// specification takes the return value as an argument and is permissive
+/// about exceptional terminations: Insert/InsertPair/Delete may fail under
+/// contention without changing the abstract state — precisely the
+/// flexibility that makes refinement checking more appropriate than
+/// atomicity for such implementations (Sec. 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_MULTISET_MULTISETSPEC_H
+#define VYRD_MULTISET_MULTISETSPEC_H
+
+#include "multiset/ArrayMultiset.h"
+#include "vyrd/Spec.h"
+
+#include <map>
+
+namespace vyrd {
+namespace multiset {
+
+/// Specification state: the multiset contents M.
+class MultisetSpec : public Spec {
+public:
+  MultisetSpec();
+
+  bool isObserver(Name Method) const override;
+  bool applyMutator(Name Method, const ValueList &Args, const Value &Ret,
+                    View &ViewS) override;
+  bool returnAllowed(Name Method, const ValueList &Args,
+                     const Value &Ret) const override;
+  void buildView(View &Out) const override;
+
+  /// Direct access for tests.
+  size_t count(int64_t X) const;
+  size_t size() const;
+
+private:
+  void addElem(int64_t X, View &ViewS);
+  bool removeElem(int64_t X, View &ViewS);
+
+  Vocab V;
+  std::map<int64_t, size_t> M; // element -> multiplicity
+  size_t Total = 0;
+};
+
+} // namespace multiset
+} // namespace vyrd
+
+#endif // VYRD_MULTISET_MULTISETSPEC_H

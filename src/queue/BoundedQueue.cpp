@@ -1,0 +1,157 @@
+//===- BoundedQueue.cpp - Two-lock concurrent FIFO queue -------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "queue/BoundedQueue.h"
+
+using namespace vyrd;
+using namespace vyrd::queue;
+
+QVocab QVocab::get() {
+  QVocab V;
+  V.Offer = internName("QOffer");
+  V.Poll = internName("QPoll");
+  V.Peek = internName("QPeek");
+  V.Size = internName("QSize");
+  V.OpAppend = internName("q.append");
+  V.OpPop = internName("q.pop");
+  return V;
+}
+
+BoundedQueue::BoundedQueue(const Options &Opts, Hooks H)
+    : Opts(Opts), H(H), V(QVocab::get()) {
+  Head = Tail = new Node();
+}
+
+BoundedQueue::~BoundedQueue() {
+  while (Head) {
+    Node *N = Head;
+    Head = Head->Next.load(std::memory_order_relaxed);
+    delete N;
+  }
+}
+
+bool BoundedQueue::offer(int64_t X) {
+  MethodScope Scope(H, V.Offer, {Value(X)});
+  // Optimistic capacity probe without a lock; may fail spuriously (the
+  // specification permits that).
+  if (Count.load(std::memory_order_relaxed) >= Opts.Capacity) {
+    H.commit();
+    Scope.setReturn(Value(false));
+    return false;
+  }
+  Node *N = new Node();
+  N->Val = X;
+  {
+    std::lock_guard Lock(TailLock);
+    // Re-check under the tail lock: Count can only decrease concurrently
+    // (consumers), so this bound is safe.
+    if (Count.load(std::memory_order_relaxed) >= Opts.Capacity) {
+      H.commit();
+      Scope.setReturn(Value(false));
+      delete N;
+      return false;
+    }
+    // Publish under the head lock so consumers cannot observe the new
+    // element before its commit record is in the log (the "logged action
+    // atomic with log update" requirement: consumers hold only HeadLock).
+    // Global lock order: TailLock before HeadLock.
+    std::lock_guard Publish(HeadLock);
+    Tail->Next.store(N, std::memory_order_release);
+    Tail = N;
+    Count.fetch_add(1, std::memory_order_relaxed);
+    CommitBlock Block(H);
+    H.replayOp(V.OpAppend, {Value(X)});
+    H.commit();
+  }
+  Scope.setReturn(Value(true));
+  return true;
+}
+
+Value BoundedQueue::poll() {
+  MethodScope Scope(H, V.Poll, {});
+  Value Ret;
+
+  // Dequeue advances the dummy (the Michael & Scott two-lock pop): the
+  // first real node becomes the new dummy and the old dummy is freed.
+  // Tail is never touched — with >= 1 element, Tail != Head, so the old
+  // dummy is invisible to producers and safe to delete.
+  if (Opts.BuggyPoll) {
+    // BUG: snapshot the front value, drop the lock, re-acquire and
+    // dequeue without re-reading. Two concurrent polls can both return
+    // the old front while removing two elements.
+    {
+      std::lock_guard Lock(HeadLock);
+      if (Node *First = Head->Next.load(std::memory_order_acquire))
+        Ret = Value(First->Val);
+    }
+    Chaos::point(); // the racy window
+    if (!Ret.isNull()) {
+      std::lock_guard Lock(HeadLock);
+      if (Node *First = Head->Next.load(std::memory_order_acquire)) {
+        // Dequeue whatever is at the front now, but return the stale
+        // snapshot.
+        Node *OldDummy = Head;
+        Head = First;
+        Count.fetch_sub(1, std::memory_order_relaxed);
+        CommitBlock Block(H);
+        H.replayOp(V.OpPop, {Value(First->Val)});
+        H.commit();
+        delete OldDummy;
+      } else {
+        Ret = Value(); // raced to empty after all
+        H.commit();
+      }
+    } else {
+      H.commit();
+    }
+    Scope.setReturn(Ret);
+    return Ret;
+  }
+
+  {
+    std::lock_guard Lock(HeadLock);
+    Node *First = Head->Next.load(std::memory_order_acquire);
+    if (!First) {
+      H.commit(); // empty: the spec treats a null poll permissively
+    } else {
+      Ret = Value(First->Val);
+      Node *OldDummy = Head;
+      Head = First;
+      Count.fetch_sub(1, std::memory_order_relaxed);
+      CommitBlock Block(H);
+      H.replayOp(V.OpPop, {Value(First->Val)});
+      H.commit();
+      delete OldDummy;
+    }
+  }
+  Scope.setReturn(Ret);
+  return Ret;
+}
+
+Value BoundedQueue::peek() const {
+  MethodScope Scope(H, V.Peek, {});
+  Value Ret;
+  {
+    std::lock_guard Lock(HeadLock);
+    if (const Node *First = Head->Next.load(std::memory_order_acquire))
+      Ret = Value(First->Val);
+  }
+  Scope.setReturn(Ret);
+  return Ret;
+}
+
+int64_t BoundedQueue::size() const {
+  MethodScope Scope(H, V.Size, {});
+  int64_t N;
+  {
+    // Exact size needs both locks (tail before head, the global order).
+    std::lock_guard TLock(TailLock);
+    std::lock_guard HLock(HeadLock);
+    N = static_cast<int64_t>(Count.load(std::memory_order_relaxed));
+  }
+  Scope.setReturn(Value(N));
+  return N;
+}

@@ -1,0 +1,101 @@
+//===- BoundedQueue.h - Two-lock concurrent FIFO queue ----------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded MPMC FIFO queue in the two-lock style of Michael & Scott:
+/// a dummy-headed linked list where producers serialize on a tail lock
+/// and consumers on a head lock, plus an atomic count for the capacity
+/// bound. The paper's motivation names exactly this class of
+/// "concurrently-accessed data structures at the core" of services.
+///
+/// Refinement notes: offer may fail spuriously (the unlocked capacity
+/// check), and poll may report empty spuriously (an offer can commit
+/// between the consumer's emptiness check and its commit record), so the
+/// specification is permissive about both failures — the paper's central
+/// argument for refinement over atomicity. A *successful* poll's return
+/// value, however, must equal the specification's front: that is where
+/// the injected bug surfaces.
+///
+/// Injectable bug (stale-read delivery): poll snapshots the front value,
+/// releases the head lock, and re-acquires it to unlink — without
+/// re-reading. Two concurrent polls can both return the first element
+/// while unlinking two: one element is delivered twice and the next is
+/// lost. Unlike the state-corrupting Table 1 bugs, this one is visible
+/// in the return value at the poll's own commit, so I/O and view
+/// refinement detect it equally fast — completing the detection
+/// taxonomy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_QUEUE_BOUNDEDQUEUE_H
+#define VYRD_QUEUE_BOUNDEDQUEUE_H
+
+#include "vyrd/Instrument.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace vyrd {
+namespace queue {
+
+/// Interned method and replay-op names for the queue.
+struct QVocab {
+  Name Offer, Poll, Peek, Size;
+  Name OpAppend, OpPop;
+  static QVocab get();
+};
+
+/// The instrumented queue.
+class BoundedQueue {
+public:
+  struct Options {
+    size_t Capacity = 32;
+    /// Inject the stale-read poll.
+    bool BuggyPoll = false;
+  };
+
+  BoundedQueue(const Options &Opts, Hooks H);
+  ~BoundedQueue();
+
+  BoundedQueue(const BoundedQueue &) = delete;
+  BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+  /// Enqueues \p X. \returns false when the queue is full.
+  bool offer(int64_t X);
+
+  /// Dequeues the front element, or null when empty.
+  Value poll();
+
+  /// Observer: the front element without removing it, or null.
+  Value peek() const;
+
+  /// Observer: the exact number of elements.
+  int64_t size() const;
+
+private:
+  struct Node {
+    int64_t Val = 0;
+    /// Atomic: the consumer reads the dummy's Next under the head lock
+    /// while a producer links it under the tail lock (the two-lock
+    /// algorithm's one intentional cross-lock access).
+    std::atomic<Node *> Next{nullptr};
+  };
+
+  Options Opts;
+  Hooks H;
+  QVocab V;
+  Node *Head; // dummy
+  Node *Tail;
+  mutable std::mutex HeadLock;
+  mutable std::mutex TailLock;
+  std::atomic<size_t> Count{0};
+};
+
+} // namespace queue
+} // namespace vyrd
+
+#endif // VYRD_QUEUE_BOUNDEDQUEUE_H

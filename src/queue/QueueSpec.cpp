@@ -1,0 +1,111 @@
+//===- QueueSpec.cpp - Atomic spec + replayer for BoundedQueue -------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "queue/QueueSpec.h"
+
+#include <cassert>
+
+using namespace vyrd;
+using namespace vyrd::queue;
+
+//===----------------------------------------------------------------------===//
+// QueueSpec
+//===----------------------------------------------------------------------===//
+
+QueueSpec::QueueSpec(size_t Capacity)
+    : V(QVocab::get()), Capacity(Capacity) {}
+
+bool QueueSpec::isObserver(Name Method) const {
+  return Method == V.Peek || Method == V.Size;
+}
+
+bool QueueSpec::applyMutator(Name Method, const ValueList &Args,
+                             const Value &Ret, View &ViewS) {
+  if (Method == V.Offer) {
+    if (Args.size() != 1 || !Args[0].isInt() || !Ret.isBool())
+      return false;
+    if (!Ret.asBool())
+      return true; // spurious failure: always permitted
+    if (Q.size() >= Capacity)
+      return false; // cannot succeed beyond capacity
+    Q.push_back(Args[0].asInt());
+    ViewS.add(Value(static_cast<int64_t>(NextIdx++)), Args[0]);
+    return true;
+  }
+
+  if (Method == V.Poll) {
+    if (!Args.empty())
+      return false;
+    if (Ret.isNull())
+      return true; // spurious empty: always permitted
+    if (!Ret.isInt() || Q.empty() || Q.front() != Ret.asInt())
+      return false; // a successful poll must deliver the exact front
+    ViewS.remove(Value(static_cast<int64_t>(HeadIdx++)),
+                 Value(Q.front()));
+    Q.pop_front();
+    return true;
+  }
+
+  return false;
+}
+
+bool QueueSpec::returnAllowed(Name Method, const ValueList &Args,
+                              const Value &Ret) const {
+  if (!Args.empty())
+    return false;
+  if (Method == V.Peek) {
+    if (Q.empty())
+      return Ret.isNull();
+    return Ret.isInt() && Ret.asInt() == Q.front();
+  }
+  if (Method == V.Size)
+    return Ret.isInt() && Ret.asInt() == static_cast<int64_t>(Q.size());
+  return false;
+}
+
+void QueueSpec::buildView(View &Out) const {
+  Out.clear();
+  uint64_t Idx = HeadIdx;
+  for (int64_t X : Q)
+    Out.add(Value(static_cast<int64_t>(Idx++)), Value(X));
+}
+
+//===----------------------------------------------------------------------===//
+// QueueReplayer
+//===----------------------------------------------------------------------===//
+
+QueueReplayer::QueueReplayer() : V(QVocab::get()) {}
+
+void QueueReplayer::applyUpdate(const Action &A, View &ViewI) {
+  assert(A.Kind == ActionKind::AK_ReplayOp &&
+         "queue logs coarse-grained replay ops only");
+  assert(A.Args.size() == 1 && A.Args[0].isInt());
+
+  if (A.Var == V.OpAppend) {
+    Shadow.push_back(A.Args[0].asInt());
+    ViewI.add(Value(static_cast<int64_t>(NextIdx++)), A.Args[0]);
+    return;
+  }
+  if (A.Var == V.OpPop) {
+    // Mirror the implementation faithfully: whatever was physically at
+    // the front leaves (the record's value matches it in every real
+    // trace; a divergence would itself be a view mismatch).
+    if (!Shadow.empty()) {
+      ViewI.remove(Value(static_cast<int64_t>(HeadIdx++)),
+                   Value(Shadow.front()));
+      Shadow.pop_front();
+    }
+    return;
+  }
+  assert(false && "unknown queue replay op");
+}
+
+void QueueReplayer::buildView(View &Out) const {
+  Out.clear();
+  uint64_t Idx = HeadIdx;
+  for (int64_t X : Shadow)
+    Out.add(Value(static_cast<int64_t>(Idx++)), Value(X));
+}

@@ -1,0 +1,74 @@
+//===- QueueSpec.h - Atomic spec + replayer for BoundedQueue ----*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Specification (an atomic bounded FIFO sequence) and replayer (shadow
+/// deque from `q.append` / `q.pop` records) for the BoundedQueue. FIFO
+/// order is part of the view: entries are keyed by the element's absolute
+/// enqueue index, so reordered or duplicated deliveries change the view.
+///
+/// Permissiveness (Sec. 3's case for refinement over atomicity): offer
+/// may fail below capacity (optimistic probe) and poll may report empty
+/// while elements exist (the emptiness check and the commit record cannot
+/// be atomic across the two locks); both are modeled as
+/// exceptional-termination transitions that leave the state unchanged.
+/// A *successful* poll must return the exact front element.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_QUEUE_QUEUESPEC_H
+#define VYRD_QUEUE_QUEUESPEC_H
+
+#include "queue/BoundedQueue.h"
+#include "vyrd/Replayer.h"
+#include "vyrd/Spec.h"
+
+#include <deque>
+
+namespace vyrd {
+namespace queue {
+
+/// Specification state: the abstract FIFO sequence.
+class QueueSpec : public Spec {
+public:
+  explicit QueueSpec(size_t Capacity);
+
+  bool isObserver(Name Method) const override;
+  bool applyMutator(Name Method, const ValueList &Args, const Value &Ret,
+                    View &ViewS) override;
+  bool returnAllowed(Name Method, const ValueList &Args,
+                     const Value &Ret) const override;
+  void buildView(View &Out) const override;
+
+  size_t size() const { return Q.size(); }
+
+private:
+  QVocab V;
+  size_t Capacity;
+  std::deque<int64_t> Q;
+  uint64_t HeadIdx = 0; // absolute index of the current front
+  uint64_t NextIdx = 0; // absolute index of the next enqueue
+};
+
+/// Shadow state from q.append / q.pop records.
+class QueueReplayer : public Replayer {
+public:
+  QueueReplayer();
+
+  void applyUpdate(const Action &A, View &ViewI) override;
+  void buildView(View &Out) const override;
+
+private:
+  QVocab V;
+  std::deque<int64_t> Shadow;
+  uint64_t HeadIdx = 0;
+  uint64_t NextIdx = 0;
+};
+
+} // namespace queue
+} // namespace vyrd
+
+#endif // VYRD_QUEUE_QUEUESPEC_H

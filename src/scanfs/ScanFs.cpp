@@ -1,0 +1,388 @@
+//===- ScanFs.cpp - A Scan-like write-optimized file system ---------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "scanfs/ScanFs.h"
+
+#include "vyrd/Serialize.h"
+
+#include <cassert>
+
+using namespace vyrd;
+using namespace vyrd::scanfs;
+
+FsVocab FsVocab::get() {
+  FsVocab V;
+  V.Create = internName("FsCreate");
+  V.Unlink = internName("FsUnlink");
+  V.Write = internName("FsWrite");
+  V.Append = internName("FsAppend");
+  V.Read = internName("FsRead");
+  V.List = internName("FsList");
+  V.Sync = internName("FsSync");
+  V.OpDir = internName("fs.dir");
+  V.OpInode = internName("fs.inode");
+  V.OpBlock = internName("fs.block");
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// On-disk images
+//===----------------------------------------------------------------------===//
+
+Bytes Inode::serialize() const {
+  ByteWriter W;
+  W.u8(Used ? 1 : 0);
+  W.varint(Size);
+  W.varint(Blocks.size());
+  for (uint64_t B : Blocks)
+    W.varint(B);
+  return W.buffer();
+}
+
+bool Inode::deserialize(const Bytes &B, Inode &Out) {
+  ByteReader R(B.data(), B.size());
+  Out.Used = R.u8() != 0;
+  Out.Size = R.varint();
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 16))
+    return false;
+  Out.Blocks.clear();
+  for (uint64_t I = 0; I < N; ++I)
+    Out.Blocks.push_back(R.varint());
+  return R.ok();
+}
+
+Bytes Directory::serialize() const {
+  ByteWriter W;
+  W.varint(Entries.size());
+  for (const auto &[Name, Idx] : Entries) {
+    W.str(Name);
+    W.varint(Idx);
+  }
+  return W.buffer();
+}
+
+bool Directory::deserialize(const Bytes &B, Directory &Out) {
+  ByteReader R(B.data(), B.size());
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 16))
+    return false;
+  Out.Entries.clear();
+  for (uint64_t I = 0; I < N; ++I) {
+    std::string Name = R.str();
+    uint32_t Idx = static_cast<uint32_t>(R.varint());
+    if (!R.ok())
+      return false;
+    Out.Entries.emplace(std::move(Name), Idx);
+  }
+  return R.ok();
+}
+
+//===----------------------------------------------------------------------===//
+// ScanFs
+//===----------------------------------------------------------------------===//
+
+ScanFs::ScanFs(cache::BoxCache &Cache, chunk::ChunkManager &CM,
+               const Options &Opts, Hooks H)
+    : Cache(Cache), CM(CM), Opts(Opts), H(H), V(FsVocab::get()) {
+  // Lay out the volume: one directory chunk + MaxFiles inode chunks.
+  DirHandle = CM.allocate();
+  writeDir(Directory(), /*CommitHere=*/false);
+  InodeHandles.reserve(Opts.MaxFiles);
+  InodeLocks.reserve(Opts.MaxFiles);
+  for (uint32_t I = 0; I < Opts.MaxFiles; ++I) {
+    InodeHandles.push_back(CM.allocate());
+    InodeLocks.push_back(std::make_unique<std::mutex>());
+    writeInode(I, Inode(), /*CommitHere=*/false);
+  }
+}
+
+Directory ScanFs::readDir() {
+  Bytes B;
+  bool Ok = Cache.read(DirHandle, B);
+  assert(Ok && "directory chunk missing");
+  (void)Ok;
+  Directory D;
+  Ok = Directory::deserialize(B, D);
+  assert(Ok && "malformed directory chunk");
+  return D;
+}
+
+void ScanFs::writeDir(const Directory &D, bool CommitHere) {
+  Bytes B = D.serialize();
+  Cache.write(DirHandle, B);
+  H.replayOp(V.OpDir, {Value(B)});
+  if (CommitHere)
+    H.commit();
+}
+
+Inode ScanFs::readInode(uint32_t Idx) {
+  Bytes B;
+  bool Ok = Cache.read(InodeHandles[Idx], B);
+  assert(Ok && "inode chunk missing");
+  (void)Ok;
+  Inode Ino;
+  Ok = Inode::deserialize(B, Ino);
+  assert(Ok && "malformed inode chunk");
+  return Ino;
+}
+
+void ScanFs::writeInode(uint32_t Idx, const Inode &Ino, bool CommitHere) {
+  Bytes B = Ino.serialize();
+  Cache.write(InodeHandles[Idx], B);
+  H.replayOp(V.OpInode, {Value(Idx), Value(B)});
+  if (CommitHere)
+    H.commit();
+}
+
+Bytes ScanFs::readBlock(uint64_t Handle) {
+  Bytes B;
+  if (!Cache.read(Handle, B))
+    return Bytes();
+  return B;
+}
+
+void ScanFs::writeBlock(uint64_t Handle, const Bytes &B) {
+  Cache.write(Handle, B);
+  H.replayOp(V.OpBlock, {Value(static_cast<int64_t>(Handle)), Value(B)});
+}
+
+std::vector<uint64_t> ScanFs::allocBlocks(const Bytes &Data,
+                                          std::vector<Bytes> &Chunks) {
+  std::vector<uint64_t> Handles;
+  for (size_t Off = 0; Off < Data.size(); Off += Opts.BlockSize) {
+    size_t Len = Data.size() - Off;
+    if (Len > Opts.BlockSize)
+      Len = Opts.BlockSize;
+    Chunks.emplace_back(Data.begin() + Off, Data.begin() + Off + Len);
+    Handles.push_back(CM.allocate());
+  }
+  return Handles;
+}
+
+bool ScanFs::create(const std::string &Name) {
+  MethodScope Scope(H, V.Create, {Value(Name)});
+  std::lock_guard Dir(DirLock);
+  Directory D = readDir();
+  if (D.Entries.count(Name)) {
+    H.commit(); // failure: name exists; state unchanged
+    Scope.setReturn(Value(false));
+    return false;
+  }
+  // Find a free inode (the directory lock serializes allocation).
+  uint32_t Idx = Opts.MaxFiles;
+  for (uint32_t I = 0; I < Opts.MaxFiles; ++I) {
+    if (!readInode(I).Used) {
+      Idx = I;
+      break;
+    }
+  }
+  if (Idx == Opts.MaxFiles) {
+    H.commit(); // failure: no free inode
+    Scope.setReturn(Value(false));
+    return false;
+  }
+  std::lock_guard Ino(*InodeLocks[Idx]);
+  CommitBlock Block(H);
+  Inode NewIno;
+  NewIno.Used = true;
+  writeInode(Idx, NewIno, /*CommitHere=*/false);
+  D.Entries.emplace(Name, Idx);
+  writeDir(D, /*CommitHere=*/true); // visibility: the directory entry
+  Scope.setReturn(Value(true));
+  return true;
+}
+
+bool ScanFs::unlink(const std::string &Name) {
+  MethodScope Scope(H, V.Unlink, {Value(Name)});
+  std::lock_guard Dir(DirLock);
+  Directory D = readDir();
+  auto It = D.Entries.find(Name);
+  if (It == D.Entries.end()) {
+    H.commit();
+    Scope.setReturn(Value(false));
+    return false;
+  }
+  uint32_t Idx = It->second;
+  std::lock_guard Ino(*InodeLocks[Idx]);
+  CommitBlock Block(H);
+  D.Entries.erase(It);
+  writeDir(D, /*CommitHere=*/true); // visibility: entry removal
+  writeInode(Idx, Inode(), /*CommitHere=*/false); // free the inode
+  // (Old data blocks are orphaned: write-optimized layouts reclaim them
+  // with a background scan; we simply never reuse them.)
+  Scope.setReturn(Value(true));
+  return true;
+}
+
+bool ScanFs::rewriteFile(Name Method, const std::string &FileName,
+                         const Bytes &NewContents, bool) {
+  if (NewContents.size() >
+      static_cast<size_t>(Opts.MaxBlocksPerFile) * Opts.BlockSize) {
+    H.commit(); // failure: too large
+    return false;
+  }
+
+  // Resolve under the directory lock, then hold the inode lock
+  // (dir -> inode order, shared with all paths).
+  std::unique_lock Dir(DirLock);
+  Directory D = readDir();
+  auto It = D.Entries.find(FileName);
+  if (It == D.Entries.end()) {
+    H.commit();
+    return false;
+  }
+  uint32_t Idx = It->second;
+  std::unique_lock Ino(*InodeLocks[Idx]);
+  Dir.unlock();
+
+  std::vector<Bytes> Chunks;
+  std::vector<uint64_t> Handles = allocBlocks(NewContents, Chunks);
+  Inode NewIno;
+  NewIno.Used = true;
+  NewIno.Size = NewContents.size();
+  NewIno.Blocks = Handles;
+
+  if (Opts.BuggyEagerInodePublish) {
+    // BUG: publish the metadata first, then write the data blocks after
+    // releasing the inode lock. A concurrent read resolves the new inode
+    // and finds the fresh blocks empty (or half-written).
+    {
+      CommitBlock Block(H);
+      writeInode(Idx, NewIno, /*CommitHere=*/true);
+    }
+    Ino.unlock();
+    Chaos::point();
+    for (size_t I = 0; I < Handles.size(); ++I) {
+      writeBlock(Handles[I], Chunks[I]);
+      Chaos::point();
+    }
+    (void)Method;
+    return true;
+  }
+
+  // Correct order: data blocks first, inode last, all under the inode
+  // lock and in one commit block; the inode write is the commit point.
+  {
+    CommitBlock Block(H);
+    for (size_t I = 0; I < Handles.size(); ++I)
+      writeBlock(Handles[I], Chunks[I]);
+    writeInode(Idx, NewIno, /*CommitHere=*/true);
+  }
+  Ino.unlock();
+  return true;
+}
+
+bool ScanFs::write(const std::string &Name, const Bytes &Data) {
+  MethodScope Scope(H, V.Write, {Value(Name), Value(Data)});
+  bool Ok = rewriteFile(V.Write, Name, Data, true);
+  Scope.setReturn(Value(Ok));
+  return Ok;
+}
+
+bool ScanFs::append(const std::string &Name, const Bytes &Data) {
+  MethodScope Scope(H, V.Append, {Value(Name), Value(Data)});
+  // Snapshot the current contents under the locks, then rewrite.
+  Bytes NewContents;
+  bool Ok = false;
+  {
+    std::unique_lock Dir(DirLock);
+    Directory D = readDir();
+    auto It = D.Entries.find(Name);
+    if (It != D.Entries.end()) {
+      uint32_t Idx = It->second;
+      std::unique_lock Ino(*InodeLocks[Idx]);
+      Dir.unlock();
+      Inode Cur = readInode(Idx);
+      for (uint64_t BH : Cur.Blocks) {
+        Bytes Chunk = readBlock(BH);
+        NewContents.insert(NewContents.end(), Chunk.begin(), Chunk.end());
+      }
+      NewContents.resize(Cur.Size);
+      NewContents.insert(NewContents.end(), Data.begin(), Data.end());
+      if (NewContents.size() <=
+          static_cast<size_t>(Opts.MaxBlocksPerFile) * Opts.BlockSize) {
+        std::vector<Bytes> Chunks;
+        std::vector<uint64_t> Handles = allocBlocks(NewContents, Chunks);
+        Inode NewIno;
+        NewIno.Used = true;
+        NewIno.Size = NewContents.size();
+        NewIno.Blocks = Handles;
+        if (Opts.BuggyEagerInodePublish) {
+          {
+            CommitBlock Block(H);
+            writeInode(Idx, NewIno, /*CommitHere=*/true);
+          }
+          Ino.unlock();
+          Chaos::point();
+          for (size_t I = 0; I < Handles.size(); ++I) {
+            writeBlock(Handles[I], Chunks[I]);
+            Chaos::point();
+          }
+        } else {
+          CommitBlock Block(H);
+          for (size_t I = 0; I < Handles.size(); ++I)
+            writeBlock(Handles[I], Chunks[I]);
+          writeInode(Idx, NewIno, /*CommitHere=*/true);
+        }
+        Ok = true;
+      }
+    }
+  }
+  if (!Ok)
+    H.commit(); // failure paths: state unchanged
+  Scope.setReturn(Value(Ok));
+  return Ok;
+}
+
+Value ScanFs::read(const std::string &Name) {
+  MethodScope Scope(H, V.Read, {Value(Name)});
+  std::unique_lock Dir(DirLock);
+  Directory D = readDir();
+  auto It = D.Entries.find(Name);
+  if (It == D.Entries.end()) {
+    Scope.setReturn(Value());
+    return Value();
+  }
+  uint32_t Idx = It->second;
+  std::unique_lock Ino(*InodeLocks[Idx]);
+  Dir.unlock();
+  Inode Cur = readInode(Idx);
+  Bytes Contents;
+  for (uint64_t BH : Cur.Blocks) {
+    Bytes Chunk = readBlock(BH);
+    Contents.insert(Contents.end(), Chunk.begin(), Chunk.end());
+  }
+  Contents.resize(Cur.Size);
+  Value Ret = Value(std::move(Contents));
+  Scope.setReturn(Ret);
+  return Ret;
+}
+
+std::string ScanFs::list() {
+  MethodScope Scope(H, V.List, {});
+  std::string Out;
+  {
+    std::lock_guard Dir(DirLock);
+    Directory D = readDir();
+    for (const auto &[Name, Idx] : D.Entries) {
+      (void)Idx;
+      if (!Out.empty())
+        Out += '\n';
+      Out += Name;
+    }
+  }
+  Scope.setReturn(Value(Out));
+  return Out;
+}
+
+int64_t ScanFs::sync() {
+  MethodScope Scope(H, V.Sync, {});
+  int64_t Flushed = static_cast<int64_t>(Cache.flush());
+  H.commit();
+  Scope.setReturn(Value(Flushed));
+  return Flushed;
+}

@@ -1,0 +1,241 @@
+//===- ScanFsSpec.cpp - Atomic spec + replayer for MiniScan ---------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "scanfs/ScanFsSpec.h"
+
+#include <cassert>
+
+using namespace vyrd;
+using namespace vyrd::scanfs;
+
+//===----------------------------------------------------------------------===//
+// ScanFsSpec
+//===----------------------------------------------------------------------===//
+
+ScanFsSpec::ScanFsSpec(uint32_t MaxFiles)
+    : V(FsVocab::get()), MaxFiles(MaxFiles) {}
+
+bool ScanFsSpec::isObserver(Name Method) const {
+  return Method == V.Read || Method == V.List;
+}
+
+bool ScanFsSpec::applyMutator(Name Method, const ValueList &Args,
+                              const Value &Ret, View &ViewS) {
+  if (Method == V.Sync) {
+    // Cache maintenance: no abstract change; any count is fine.
+    return Ret.isInt();
+  }
+  if (!Ret.isBool())
+    return false;
+  bool Success = Ret.asBool();
+  if (Args.empty() || !Args[0].isStr())
+    return false;
+  const std::string &Name = Args[0].asStr();
+
+  if (Method == V.Create) {
+    if (Args.size() != 1)
+      return false;
+    if (!Success)
+      return true; // exists or no free inode: always permitted
+    if (Files.count(Name) || Files.size() >= MaxFiles)
+      return false;
+    Files.emplace(Name, Bytes());
+    ViewS.add(Value(Name), Value(Bytes()));
+    return true;
+  }
+
+  if (Method == V.Unlink) {
+    if (Args.size() != 1)
+      return false;
+    auto It = Files.find(Name);
+    if (!Success)
+      return It == Files.end(); // unlink fails exactly when absent
+    if (It == Files.end())
+      return false;
+    ViewS.remove(Value(Name), Value(It->second));
+    Files.erase(It);
+    return true;
+  }
+
+  if (Method == V.Write || Method == V.Append) {
+    if (Args.size() != 2 || !Args[1].isBytes())
+      return false;
+    if (!Success)
+      return true; // absent or over the size limit: permitted
+    auto It = Files.find(Name);
+    if (It == Files.end())
+      return false;
+    Bytes NewContents = Method == V.Write ? Args[1].asBytes() : It->second;
+    if (Method == V.Append) {
+      const Bytes &Tail = Args[1].asBytes();
+      NewContents.insert(NewContents.end(), Tail.begin(), Tail.end());
+    }
+    ViewS.remove(Value(Name), Value(It->second));
+    It->second = std::move(NewContents);
+    ViewS.add(Value(Name), Value(It->second));
+    return true;
+  }
+
+  return false;
+}
+
+bool ScanFsSpec::returnAllowed(Name Method, const ValueList &Args,
+                               const Value &Ret) const {
+  if (Method == V.Read) {
+    if (Args.size() != 1 || !Args[0].isStr())
+      return false;
+    auto It = Files.find(Args[0].asStr());
+    if (It == Files.end())
+      return Ret.isNull();
+    return Ret.isBytes() && Ret.asBytes() == It->second;
+  }
+  if (Method == V.List) {
+    if (!Args.empty() || !Ret.isStr())
+      return false;
+    std::string Expect;
+    for (const auto &[Name, Contents] : Files) {
+      (void)Contents;
+      if (!Expect.empty())
+        Expect += '\n';
+      Expect += Name;
+    }
+    return Ret.asStr() == Expect;
+  }
+  return false;
+}
+
+void ScanFsSpec::buildView(View &Out) const {
+  Out.clear();
+  for (const auto &[Name, Contents] : Files)
+    Out.add(Value(Name), Value(Contents));
+}
+
+const Bytes *ScanFsSpec::contents(const std::string &Name) const {
+  auto It = Files.find(Name);
+  return It == Files.end() ? nullptr : &It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// ScanFsReplayer
+//===----------------------------------------------------------------------===//
+
+ScanFsReplayer::ScanFsReplayer() : V(FsVocab::get()) {}
+
+Bytes ScanFsReplayer::fileContents(uint32_t Idx) const {
+  auto It = Inodes.find(Idx);
+  if (It == Inodes.end() || !It->second.Used)
+    return Bytes();
+  Bytes Out;
+  for (uint64_t BH : It->second.Blocks) {
+    auto BIt = BlockData.find(BH);
+    if (BIt != BlockData.end())
+      Out.insert(Out.end(), BIt->second.begin(), BIt->second.end());
+  }
+  Out.resize(It->second.Size);
+  return Out;
+}
+
+void ScanFsReplayer::refreshFile(const std::string &Name, uint32_t Idx,
+                                 View &ViewI) {
+  // Entry value transitions are computed by the callers around mutations;
+  // here we recompute and swap in the new value. Remove whatever is
+  // currently recorded under the name and add the fresh value.
+  ViewI.removeKey(Value(Name));
+  ViewI.add(Value(Name), Value(fileContents(Idx)));
+}
+
+void ScanFsReplayer::applyUpdate(const Action &A, View &ViewI) {
+  assert(A.Kind == ActionKind::AK_ReplayOp &&
+         "MiniScan logs coarse-grained replay ops only");
+
+  if (A.Var == V.OpDir) {
+    assert(A.Args.size() == 1 && A.Args[0].isBytes());
+    Directory New;
+    bool Ok = Directory::deserialize(A.Args[0].asBytes(), New);
+    assert(Ok && "malformed directory record");
+    (void)Ok;
+    // Diff old vs new entries.
+    for (const auto &[Name, Idx] : Dir.Entries) {
+      auto It = New.Entries.find(Name);
+      if (It == New.Entries.end()) {
+        ViewI.removeKey(Value(Name));
+        InodeName.erase(Idx);
+      }
+    }
+    for (const auto &[Name, Idx] : New.Entries) {
+      auto It = Dir.Entries.find(Name);
+      if (It == Dir.Entries.end() || It->second != Idx) {
+        if (It != Dir.Entries.end())
+          InodeName.erase(It->second);
+        InodeName[Idx] = Name;
+        ViewI.removeKey(Value(Name));
+        ViewI.add(Value(Name), Value(fileContents(Idx)));
+      }
+    }
+    Dir = std::move(New);
+    return;
+  }
+
+  if (A.Var == V.OpInode) {
+    assert(A.Args.size() == 2 && A.Args[0].isInt() && A.Args[1].isBytes());
+    uint32_t Idx = static_cast<uint32_t>(A.Args[0].asInt());
+    Inode New;
+    bool Ok = Inode::deserialize(A.Args[1].asBytes(), New);
+    assert(Ok && "malformed inode record");
+    (void)Ok;
+    auto It = Inodes.find(Idx);
+    if (It != Inodes.end())
+      for (uint64_t BH : It->second.Blocks)
+        BlockOwner.erase(BH);
+    for (uint64_t BH : New.Blocks)
+      BlockOwner[BH] = Idx;
+    Inodes[Idx] = std::move(New);
+    auto NameIt = InodeName.find(Idx);
+    if (NameIt != InodeName.end())
+      refreshFile(NameIt->second, Idx, ViewI);
+    return;
+  }
+
+  if (A.Var == V.OpBlock) {
+    assert(A.Args.size() == 2 && A.Args[0].isInt() && A.Args[1].isBytes());
+    uint64_t BH = static_cast<uint64_t>(A.Args[0].asInt());
+    BlockData[BH] = A.Args[1].asBytes();
+    auto OwnerIt = BlockOwner.find(BH);
+    if (OwnerIt != BlockOwner.end()) {
+      auto NameIt = InodeName.find(OwnerIt->second);
+      if (NameIt != InodeName.end())
+        refreshFile(NameIt->second, OwnerIt->second, ViewI);
+    }
+    return;
+  }
+
+  assert(false && "unknown MiniScan replay op");
+}
+
+void ScanFsReplayer::buildView(View &Out) const {
+  Out.clear();
+  for (const auto &[Name, Idx] : Dir.Entries)
+    Out.add(Value(Name), Value(fileContents(Idx)));
+}
+
+bool ScanFsReplayer::checkInvariants(std::string &Message) const {
+  std::unordered_map<uint32_t, const std::string *> Seen;
+  for (const auto &[Name, Idx] : Dir.Entries) {
+    auto It = Inodes.find(Idx);
+    if (It == Inodes.end() || !It->second.Used) {
+      Message = "fs invariant violated: directory entry '" + Name +
+                "' points to unused inode " + std::to_string(Idx);
+      return false;
+    }
+    auto [SeenIt, Inserted] = Seen.emplace(Idx, &Name);
+    if (!Inserted) {
+      Message = "fs invariant violated: inode " + std::to_string(Idx) +
+                " shared by '" + *SeenIt->second + "' and '" + Name + "'";
+      return false;
+    }
+  }
+  return true;
+}

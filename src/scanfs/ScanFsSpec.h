@@ -1,0 +1,78 @@
+//===- ScanFsSpec.h - Atomic spec + replayer for MiniScan -------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Specification (an atomic map name -> contents) and replayer (shadow
+/// directory / inodes / blocks reconstructed from `fs.*` replay records)
+/// for the MiniScan file system. The view holds one (name, contents)
+/// entry per file. The replayer additionally checks two file-system
+/// invariants at every commit: every directory entry points to a used
+/// inode, and no two entries share an inode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_SCANFS_SCANFSSPEC_H
+#define VYRD_SCANFS_SCANFSSPEC_H
+
+#include "scanfs/ScanFs.h"
+#include "vyrd/Replayer.h"
+#include "vyrd/Spec.h"
+
+#include <unordered_map>
+
+namespace vyrd {
+namespace scanfs {
+
+/// Specification state: name -> file contents.
+class ScanFsSpec : public Spec {
+public:
+  explicit ScanFsSpec(uint32_t MaxFiles);
+
+  bool isObserver(Name Method) const override;
+  bool applyMutator(Name Method, const ValueList &Args, const Value &Ret,
+                    View &ViewS) override;
+  bool returnAllowed(Name Method, const ValueList &Args,
+                     const Value &Ret) const override;
+  void buildView(View &Out) const override;
+
+  const Bytes *contents(const std::string &Name) const;
+  size_t fileCount() const { return Files.size(); }
+
+private:
+  FsVocab V;
+  uint32_t MaxFiles;
+  std::map<std::string, Bytes> Files;
+};
+
+/// Shadow state from fs.dir / fs.inode / fs.block records.
+class ScanFsReplayer : public Replayer {
+public:
+  ScanFsReplayer();
+
+  void applyUpdate(const Action &A, View &ViewI) override;
+  void buildView(View &Out) const override;
+  bool checkInvariants(std::string &Message) const override;
+
+private:
+  /// Current contents of the file stored in inode \p Idx.
+  Bytes fileContents(uint32_t Idx) const;
+  /// Replaces the view entry for the file named \p Name (inode \p Idx).
+  void refreshFile(const std::string &Name, uint32_t Idx, View &ViewI);
+
+  FsVocab V;
+  Directory Dir;
+  std::unordered_map<uint32_t, Inode> Inodes;
+  std::unordered_map<uint64_t, Bytes> BlockData;
+  /// Reverse index: inode -> name (unique by invariant).
+  std::unordered_map<uint32_t, std::string> InodeName;
+  /// Reverse index: block handle -> inode referencing it.
+  std::unordered_map<uint64_t, uint32_t> BlockOwner;
+};
+
+} // namespace scanfs
+} // namespace vyrd
+
+#endif // VYRD_SCANFS_SCANFSSPEC_H

@@ -1,0 +1,436 @@
+//===- Checker.cpp - I/O and view refinement checking ---------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Checker.h"
+
+#include <cassert>
+
+using namespace vyrd;
+
+const char *vyrd::violationKindName(ViolationKind K) {
+  switch (K) {
+  case ViolationKind::VK_MutatorMismatch:
+    return "mutator-mismatch";
+  case ViolationKind::VK_ObserverMismatch:
+    return "observer-mismatch";
+  case ViolationKind::VK_ViewMismatch:
+    return "view-mismatch";
+  case ViolationKind::VK_InvariantFailed:
+    return "invariant-failed";
+  case ViolationKind::VK_Instrumentation:
+    return "instrumentation";
+  }
+  assert(false && "unknown ViolationKind");
+  return "?";
+}
+
+std::string Violation::str() const {
+  std::string Out = std::string(violationKindName(Kind)) + " at #" +
+                    std::to_string(Seq) + " t" + std::to_string(Tid);
+  if (Method.valid()) {
+    Out += " ";
+    Out += Method.str();
+  }
+  Out += ": " + Message +
+         " [methods checked: " + std::to_string(MethodsChecked) + "]";
+  return Out;
+}
+
+RefinementChecker::RefinementChecker(Spec &S, Replayer *R,
+                                     CheckerConfig Config)
+    : TheSpec(S), TheReplayer(R), Config(Config) {
+  assert((Config.Mode == CheckMode::CM_IORefinement || R) &&
+         "view refinement requires a Replayer");
+  if (Config.Mode == CheckMode::CM_ViewRefinement) {
+    // viewI and viewS are initialized to the same value (Sec. 5.1): both
+    // sides must agree on the initial state.
+    TheReplayer->buildView(ViewI);
+    TheSpec.buildView(ViewS);
+    if (!ViewI.deepEquals(ViewS))
+      report(ViolationKind::VK_Instrumentation, 0, 0, Name(),
+             "initial viewI != initial viewS: " + View::diff(ViewI, ViewS));
+  }
+}
+
+RefinementChecker::~RefinementChecker() = default;
+
+void RefinementChecker::report(ViolationKind K, uint64_t Seq, ThreadId Tid,
+                               Name Method, std::string Message) {
+  if (Violations.size() >= Config.MaxViolations)
+    return;
+  if (Config.StopAtFirstViolation && !Violations.empty())
+    return;
+  Violation V;
+  V.Kind = K;
+  V.Seq = Seq;
+  V.Tid = Tid;
+  V.Method = Method;
+  V.Message = std::move(Message);
+  V.MethodsChecked = Stats.MethodsChecked;
+  for (const Action &A : RecentActions)
+    V.Context += A.str() + "\n";
+  Violations.push_back(std::move(V));
+}
+
+void RefinementChecker::feed(const Action &A) {
+  assert(!Finished && "feed after finish");
+  ++Stats.ActionsFed;
+  if (Config.StopAtFirstViolation && hasViolation())
+    return;
+  if (Config.ContextRecords) {
+    RecentActions.push_back(A);
+    if (RecentActions.size() > Config.ContextRecords)
+      RecentActions.pop_front();
+  }
+
+  auto It = OpenExecs.find(A.Tid);
+  Exec *X = It == OpenExecs.end() ? nullptr : It->second.get();
+
+  switch (A.Kind) {
+  case ActionKind::AK_Call: {
+    if (X) {
+      report(ViolationKind::VK_Instrumentation, A.Seq, A.Tid, A.Method,
+             "nested method call while " + std::string(X->Method.str()) +
+                 " is still executing");
+      break;
+    }
+    auto E = std::make_shared<Exec>();
+    E->Tid = A.Tid;
+    E->Method = A.Method;
+    E->Args = A.Args;
+    E->CallSeq = A.Seq;
+    E->IsObserver = TheSpec.isObserver(A.Method);
+    OpenExecs.emplace(A.Tid, E);
+    if (E->IsObserver)
+      Events.push_back(Event{EventKind::EK_ObsBegin, A, E});
+    break;
+  }
+  case ActionKind::AK_Return: {
+    if (!X) {
+      report(ViolationKind::VK_Instrumentation, A.Seq, A.Tid, A.Method,
+             "return with no open method execution");
+      break;
+    }
+    X->Ret = A.Ret;
+    X->HasRet = true;
+    if (X->InBlock)
+      report(ViolationKind::VK_Instrumentation, A.Seq, A.Tid, X->Method,
+             "method returned inside an open commit block");
+    Events.push_back(Event{X->IsObserver ? EventKind::EK_ObsEnd
+                                         : EventKind::EK_MutEnd,
+                           A, It->second});
+    OpenExecs.erase(It);
+    break;
+  }
+  case ActionKind::AK_Commit: {
+    if (!X) {
+      report(ViolationKind::VK_Instrumentation, A.Seq, A.Tid, Name(),
+             "commit with no open method execution");
+      break;
+    }
+    if (X->IsObserver) {
+      report(ViolationKind::VK_Instrumentation, A.Seq, A.Tid, X->Method,
+             "observer methods must not commit");
+      break;
+    }
+    if (X->HasCommit) {
+      report(ViolationKind::VK_Instrumentation, A.Seq, A.Tid, X->Method,
+             "second commit in one method execution (exactly one commit "
+             "action per execution path is required)");
+      break;
+    }
+    X->HasCommit = true;
+    X->CommitInBlock = X->InBlock;
+    X->OpenAtCommit = OpenExecs.size();
+    Events.push_back(Event{EventKind::EK_Commit, A, It->second});
+    break;
+  }
+  case ActionKind::AK_Write:
+  case ActionKind::AK_ReplayOp: {
+    if (X && X->InBlock) {
+      X->BlockWrites.push_back(A);
+      break;
+    }
+    Events.push_back(Event{EventKind::EK_Write, A, nullptr});
+    break;
+  }
+  case ActionKind::AK_BlockBegin: {
+    if (!X) {
+      report(ViolationKind::VK_Instrumentation, A.Seq, A.Tid, Name(),
+             "commit block outside a method execution");
+      break;
+    }
+    if (X->InBlock) {
+      report(ViolationKind::VK_Instrumentation, A.Seq, A.Tid, X->Method,
+             "nested commit blocks are not supported");
+      break;
+    }
+    X->InBlock = true;
+    break;
+  }
+  case ActionKind::AK_BlockEnd: {
+    if (!X || !X->InBlock) {
+      report(ViolationKind::VK_Instrumentation, A.Seq, A.Tid,
+             X ? X->Method : Name(), "unmatched commit block end");
+      break;
+    }
+    X->InBlock = false;
+    if (X->HasCommit && X->CommitInBlock && !X->BlockDone) {
+      // This block contained the commit: seal its writes; they are applied
+      // atomically at the commit event, which may now proceed.
+      X->CommitBlockWrites = std::move(X->BlockWrites);
+      X->BlockWrites.clear();
+      X->BlockDone = true;
+      break;
+    }
+    // A block with no commit inside (e.g. a preparatory atomic region):
+    // apply its writes atomically at the block end position.
+    for (Action &W : X->BlockWrites)
+      Events.push_back(Event{EventKind::EK_Write, std::move(W), nullptr});
+    X->BlockWrites.clear();
+    break;
+  }
+  }
+
+  drain();
+}
+
+void RefinementChecker::drain() {
+  if (Events.size() > Stats.MaxQueueDepth)
+    Stats.MaxQueueDepth = Events.size();
+  while (!Events.empty()) {
+    if (!processHead())
+      return;
+    Events.pop_front();
+  }
+}
+
+bool RefinementChecker::processHead() {
+  Event &Ev = Events.front();
+  switch (Ev.Kind) {
+  case EventKind::EK_Write:
+    applyUpdate(Ev.A);
+    return true;
+
+  case EventKind::EK_Commit: {
+    Exec &X = *Ev.E;
+    // Return-value lookahead: stall until the execution's return is fed.
+    if (!X.HasRet)
+      return false;
+    // Commit inside a block: stall until the block closes so the block's
+    // writes (including those logged after the commit) apply atomically.
+    if (X.CommitInBlock && !X.BlockDone)
+      return false;
+    processCommit(Ev);
+    return true;
+  }
+
+  case EventKind::EK_ObsBegin: {
+    Exec &X = *Ev.E;
+    // The observer's return value is needed to evaluate the window states;
+    // stall until it is known (Sec. 4.3).
+    if (!X.HasRet)
+      return false;
+    X.Satisfied = TheSpec.returnAllowed(X.Method, X.Args, X.Ret);
+    OpenObservers.push_back(Ev.E);
+    return true;
+  }
+
+  case EventKind::EK_ObsEnd: {
+    Exec &X = *Ev.E;
+    for (size_t I = 0; I < OpenObservers.size(); ++I) {
+      if (OpenObservers[I].get() != &X)
+        continue;
+      OpenObservers.erase(OpenObservers.begin() + I);
+      break;
+    }
+    if (!X.Satisfied) {
+      std::string Msg = std::string(X.Method.str()) + "(";
+      for (size_t I = 0; I < X.Args.size(); ++I) {
+        if (I)
+          Msg += ", ";
+        Msg += X.Args[I].str();
+      }
+      Msg += ") -> " + X.Ret.str() +
+             " is inconsistent with every specification state in its "
+             "call-to-return window";
+      report(ViolationKind::VK_ObserverMismatch, Ev.A.Seq, X.Tid, X.Method,
+             std::move(Msg));
+    }
+    ++Stats.ObserversChecked;
+    ++Stats.MethodsChecked;
+    return true;
+  }
+
+  case EventKind::EK_MutEnd: {
+    Exec &X = *Ev.E;
+    if (!X.HasCommit)
+      report(ViolationKind::VK_Instrumentation, Ev.A.Seq, X.Tid, X.Method,
+             "mutator execution returned without a commit action");
+    // Close the diagnosis window: a signature that never became enabled
+    // anywhere between commit and return is unlikely to be a misplaced
+    // annotation.
+    for (size_t I = 0; I < FailedMutators.size(); ++I) {
+      if (FailedMutators[I].first.get() != &X)
+        continue;
+      Violations[FailedMutators[I].second].Message +=
+          "; diagnosis: the signature never became enabled in the "
+          "method's window — likely a genuine refinement violation "
+          "(Sec. 4.1)";
+      FailedMutators.erase(FailedMutators.begin() + I);
+      break;
+    }
+    return true;
+  }
+  }
+  assert(false && "unknown EventKind");
+  return true;
+}
+
+void RefinementChecker::applyUpdate(const Action &A) {
+  if (Config.Mode != CheckMode::CM_ViewRefinement)
+    return;
+  assert(TheReplayer && "view mode requires a replayer");
+  TheReplayer->applyUpdate(A, ViewI);
+}
+
+void RefinementChecker::processCommit(Event &Ev) {
+  Exec &X = *Ev.E;
+  bool ViewMode = Config.Mode == CheckMode::CM_ViewRefinement;
+
+  // Apply the commit block's writes atomically at this point (Sec. 5.2's
+  // tau -> tau' conversion).
+  if (ViewMode)
+    for (const Action &W : X.CommitBlockWrites)
+      TheReplayer->applyUpdate(W, ViewI);
+  X.CommitBlockWrites.clear();
+
+  // Drive the specification with the execution's signature.
+  if (!TheSpec.applyMutator(X.Method, X.Args, X.Ret, ViewS)) {
+    std::string Msg = "specification cannot execute " +
+                      std::string(X.Method.str()) + "(";
+    for (size_t I = 0; I < X.Args.size(); ++I) {
+      if (I)
+        Msg += ", ";
+      Msg += X.Args[I].str();
+    }
+    Msg += ") -> " + X.Ret.str() + " at this point in the witness";
+    size_t ViolationIdx = Violations.size();
+    report(ViolationKind::VK_MutatorMismatch, Ev.A.Seq, X.Tid, X.Method,
+           Msg);
+    // Sec. 4.1: distinguish a misplaced commit annotation from a genuine
+    // violation by retrying the signature at later window states.
+    if (Config.DiagnoseCommitPoints && ViolationIdx < Violations.size())
+      FailedMutators.emplace_back(Ev.E, ViolationIdx);
+  }
+  ++Stats.CommitsProcessed;
+
+  // The Sec. 8 ablation restricts state comparison to quiescent commits
+  // (commit-atomicity style); the default compares at every commit.
+  bool Compare = !Config.QuiescentOnly || X.OpenAtCommit <= 1;
+  if (ViewMode && Compare &&
+      !(Config.StopAtFirstViolation && hasViolation())) {
+    compareViews(X, Ev.A.Seq);
+    std::string InvMsg;
+    if (!TheReplayer->checkInvariants(InvMsg))
+      report(ViolationKind::VK_InvariantFailed, Ev.A.Seq, X.Tid, X.Method,
+             std::move(InvMsg));
+  }
+
+  // Retry failed mutators *after* this commit's own comparison: the late
+  // application models the failed method taking effect at (or after) this
+  // point, which is also when its implementation-side writes land.
+  if (!FailedMutators.empty())
+    retryFailedMutators(Ev.A.Seq);
+
+  // Every open observer's window includes this commit: evaluate the new
+  // specification state against each still-unsatisfied return value.
+  for (ExecPtr &ObsP : OpenObservers) {
+    Exec &Obs = *ObsP;
+    if (!Obs.Satisfied)
+      Obs.Satisfied = TheSpec.returnAllowed(Obs.Method, Obs.Args, Obs.Ret);
+  }
+
+  ++Stats.MethodsChecked;
+}
+
+void RefinementChecker::retryFailedMutators(uint64_t Seq) {
+  for (size_t I = 0; I < FailedMutators.size();) {
+    auto &[E, ViolationIdx] = FailedMutators[I];
+    if (!TheSpec.applyMutator(E->Method, E->Args, E->Ret, ViewS)) {
+      ++I;
+      continue;
+    }
+    // The signature is enabled here: apply it (recovering the spec state)
+    // and annotate the original violation.
+    Violations[ViolationIdx].Message +=
+        "; diagnosis: the signature became enabled after the commit at #" +
+        std::to_string(Seq) +
+        " — the commit-point annotation is likely too early (Sec. 4.1)";
+    FailedMutators.erase(FailedMutators.begin() + I);
+  }
+}
+
+void RefinementChecker::compareViews(const Exec &X, uint64_t Seq) {
+  ++Stats.ViewComparisons;
+
+  if (Config.FullViewRecompute) {
+    View FreshI, FreshS;
+    TheReplayer->buildView(FreshI);
+    TheSpec.buildView(FreshS);
+    if (!FreshI.deepEquals(FreshS))
+      report(ViolationKind::VK_ViewMismatch, Seq, X.Tid, X.Method,
+             "viewI != viewS after commit: " + View::diff(FreshI, FreshS));
+    return;
+  }
+
+  if (ViewI != ViewS) {
+    // Hash mismatch: confirm and produce a precise diff.
+    if (!ViewI.deepEquals(ViewS))
+      report(ViolationKind::VK_ViewMismatch, Seq, X.Tid, X.Method,
+             "viewI != viewS after commit: " + View::diff(ViewI, ViewS));
+  }
+
+  if (Config.AuditPeriod && ++CommitsSinceAudit >= Config.AuditPeriod) {
+    CommitsSinceAudit = 0;
+    runAudit(Seq);
+  }
+}
+
+void RefinementChecker::runAudit(uint64_t Seq) {
+  ++Stats.Audits;
+  View FreshI, FreshS;
+  TheReplayer->buildView(FreshI);
+  TheSpec.buildView(FreshS);
+  if (!FreshI.deepEquals(ViewI))
+    report(ViolationKind::VK_Instrumentation, Seq, 0, Name(),
+           "audit: incrementally maintained viewI diverged from rebuilt "
+           "viewI: " +
+               View::diff(ViewI, FreshI));
+  if (!FreshS.deepEquals(ViewS))
+    report(ViolationKind::VK_Instrumentation, Seq, 0, Name(),
+           "audit: incrementally maintained viewS diverged from rebuilt "
+           "viewS: " +
+               View::diff(ViewS, FreshS));
+}
+
+void RefinementChecker::finish() {
+  if (Finished)
+    return;
+  Finished = true;
+  if (Config.AllowIncompleteTail)
+    return;
+  if (!Events.empty()) {
+    const Event &Ev = Events.front();
+    report(ViolationKind::VK_Instrumentation, Ev.A.Seq, Ev.A.Tid,
+           Ev.E ? Ev.E->Method : Name(),
+           "log ended with " + std::to_string(Events.size()) +
+               " unprocessed events (incomplete executions)");
+  }
+  for (auto &[Tid, E] : OpenExecs)
+    report(ViolationKind::VK_Instrumentation, E->CallSeq, Tid, E->Method,
+           "method execution still open at end of log");
+}

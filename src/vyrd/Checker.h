@@ -1,0 +1,200 @@
+//===- Checker.h - I/O and view refinement checking -------------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RefinementChecker consumes a log (fed one Action at a time, in log order)
+/// and checks I/O refinement (Sec. 4) and optionally view refinement
+/// (Sec. 5) against a Spec, using a Replayer to reconstruct viewI.
+///
+/// The witness interleaving is the commit order (Sec. 4.1). Internally the
+/// checker keeps an ordered event queue; a mutator commit event *stalls* the
+/// queue until the execution's return action (return-value lookahead) and,
+/// when the commit sits inside a commit block, the block's end have been
+/// fed. Observer call events stall until the observer's return value is
+/// known, so every specification state in the observer's window is
+/// evaluated against it (Sec. 4.3, Fig. 7). Stalls resolve as later log
+/// records arrive; the pipeline therefore works identically online and
+/// offline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_CHECKER_H
+#define VYRD_CHECKER_H
+
+#include "vyrd/Action.h"
+#include "vyrd/Replayer.h"
+#include "vyrd/Spec.h"
+#include "vyrd/View.h"
+#include "vyrd/Violation.h"
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace vyrd {
+
+/// Which refinement check to run.
+enum class CheckMode : uint8_t {
+  /// Call/return/commit only; no shadow state, no views.
+  CM_IORefinement,
+  /// I/O refinement plus view comparison at every mutator commit.
+  CM_ViewRefinement,
+};
+
+/// Tunables for RefinementChecker.
+struct CheckerConfig {
+  CheckMode Mode = CheckMode::CM_ViewRefinement;
+  /// Ablation switch (Sec. 6.4): rebuild both views from scratch at every
+  /// commit instead of maintaining them incrementally.
+  bool FullViewRecompute = false;
+  /// Ablation switch (Sec. 8): compare views (and invariants) only at
+  /// quiescent points — commits with no other method execution open —
+  /// mimicking commit-atomicity's state comparison. The paper argues such
+  /// points are rare in realistic runs and errors get overwritten or
+  /// found late; this switch lets the benchmarks quantify that.
+  bool QuiescentOnly = false;
+  /// Deep-compare incrementally maintained views against freshly rebuilt
+  /// ones every N commits (0 = never). Guards the incremental fast path.
+  unsigned AuditPeriod = 0;
+  /// Stop recording (and checking views) after the first violation.
+  bool StopAtFirstViolation = false;
+  /// Upper bound on recorded violations.
+  size_t MaxViolations = 64;
+  /// Whether executions still open when the log ends are acceptable
+  /// (normal when a program is stopped mid-flight).
+  bool AllowIncompleteTail = true;
+  /// Attach the last N fed log records (rendered) to each violation as
+  /// debugging context (0 = off).
+  unsigned ContextRecords = 0;
+  /// Sec. 4.1's debugging aid: when a mutator's signature has no
+  /// specification transition at its commit, keep retrying it after each
+  /// later commit inside the method's window. If it becomes enabled, the
+  /// transition is applied there and the violation is annotated as a
+  /// likely misplaced commit-point annotation; if it never does, the
+  /// violation is annotated as a likely genuine refinement violation.
+  bool DiagnoseCommitPoints = true;
+};
+
+/// Counters exposed for the benchmarks.
+struct CheckerStats {
+  uint64_t ActionsFed = 0;
+  /// Method executions fully checked (mutators at commit processing,
+  /// observers at window close) — the Table 1 "methods executed" metric.
+  uint64_t MethodsChecked = 0;
+  uint64_t CommitsProcessed = 0;
+  uint64_t ObserversChecked = 0;
+  uint64_t ViewComparisons = 0;
+  uint64_t Audits = 0;
+  /// High-water mark of the internal event queue (how far the pipeline
+  /// had to look ahead while stalled on returns/block ends).
+  uint64_t MaxQueueDepth = 0;
+};
+
+/// The refinement checking engine. Not thread-safe: exactly one thread
+/// (the verification thread) feeds it.
+class RefinementChecker {
+public:
+  /// \p R may be null for CM_IORefinement; it is required for view mode.
+  RefinementChecker(Spec &S, Replayer *R, CheckerConfig Config);
+  ~RefinementChecker();
+
+  RefinementChecker(const RefinementChecker &) = delete;
+  RefinementChecker &operator=(const RefinementChecker &) = delete;
+
+  /// Feeds the next log record (records must arrive in Seq order).
+  void feed(const Action &A);
+
+  /// Signals end of log; flushes and (if !AllowIncompleteTail) reports
+  /// executions left open.
+  void finish();
+
+  bool hasViolation() const { return !Violations.empty(); }
+  const std::vector<Violation> &violations() const { return Violations; }
+  const CheckerStats &stats() const { return Stats; }
+
+  /// Current views (valid in view mode; for tests and diagnostics).
+  const View &viewI() const { return ViewI; }
+  const View &viewS() const { return ViewS; }
+
+private:
+  /// Per-method-execution bookkeeping (Sec. 3.2's executions).
+  struct Exec {
+    ThreadId Tid = 0;
+    Name Method;
+    ValueList Args;
+    Value Ret;
+    uint64_t CallSeq = 0;
+    bool IsObserver = false;
+    bool HasRet = false;
+    bool HasCommit = false;
+    bool CommitInBlock = false;
+    bool BlockDone = false; // the block containing the commit has ended
+    bool InBlock = false;
+    bool Satisfied = false; // observer: some window state allowed Ret
+    /// Number of executions open at the commit's log position (including
+    /// this one); 1 means the commit happened at a quiescent point.
+    size_t OpenAtCommit = 0;
+    /// Writes of the currently open commit block.
+    std::vector<Action> BlockWrites;
+    /// Writes of the block that contained the commit action, sealed when
+    /// that block ends; applied atomically at the commit event. A method
+    /// execution may contain further (commit-free, view-neutral) blocks —
+    /// e.g. the B-link tree's separator propagation after a split — whose
+    /// writes apply at their own block ends instead.
+    std::vector<Action> CommitBlockWrites;
+  };
+  using ExecPtr = std::shared_ptr<Exec>;
+
+  enum class EventKind : uint8_t {
+    EK_Write,    // apply a (non-block) update to the shadow state
+    EK_Commit,   // process a mutator commit (may stall)
+    EK_ObsBegin, // observer window opens (stalls until Ret known)
+    EK_ObsEnd,   // observer window closes: final accept/reject
+    EK_MutEnd,   // mutator returned: verify it committed
+  };
+
+  struct Event {
+    EventKind Kind;
+    Action A;
+    ExecPtr E;
+  };
+
+  void drain();
+  /// \returns false when the head event must stall.
+  bool processHead();
+  void processCommit(Event &Ev);
+  /// Retries failed mutators (commit-point diagnosis) after a commit.
+  void retryFailedMutators(uint64_t Seq);
+  void applyUpdate(const Action &A);
+  void compareViews(const Exec &X, uint64_t Seq);
+  void runAudit(uint64_t Seq);
+  void report(ViolationKind K, uint64_t Seq, ThreadId Tid, Name Method,
+              std::string Message);
+
+  Spec &TheSpec;
+  Replayer *TheReplayer;
+  CheckerConfig Config;
+  CheckerStats Stats;
+
+  std::deque<Event> Events;
+  std::unordered_map<ThreadId, ExecPtr> OpenExecs;
+  std::vector<ExecPtr> OpenObservers;
+  /// Mutators whose commit failed, awaiting diagnosis retries; paired
+  /// with the index of their violation record.
+  std::vector<std::pair<ExecPtr, size_t>> FailedMutators;
+  std::vector<Violation> Violations;
+  /// Ring of recently fed records for violation context.
+  std::deque<Action> RecentActions;
+  View ViewI;
+  View ViewS;
+  uint64_t CommitsSinceAudit = 0;
+  bool Finished = false;
+};
+
+} // namespace vyrd
+
+#endif // VYRD_CHECKER_H

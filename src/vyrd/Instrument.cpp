@@ -1,0 +1,66 @@
+//===- Instrument.cpp - Hooks the implementation code calls ---------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Instrument.h"
+
+#include <thread>
+
+using namespace vyrd;
+
+//===----------------------------------------------------------------------===//
+// Thread ids
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::atomic<uint32_t> NextTid{0};
+thread_local uint32_t MyTid = UINT32_MAX;
+} // namespace
+
+ThreadId vyrd::currentTid() {
+  if (MyTid == UINT32_MAX)
+    MyTid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  return MyTid;
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos
+//===----------------------------------------------------------------------===//
+
+std::atomic<uint32_t> Chaos::InverseProb{0};
+std::atomic<uint64_t> Chaos::BaseSeed{0};
+
+namespace {
+/// Per-thread xorshift state, reseeded when Chaos::enable changes the seed.
+thread_local uint64_t ChaosState = 0;
+thread_local uint64_t ChaosSeedSeen = 0;
+} // namespace
+
+void Chaos::enable(uint32_t Inverse, uint64_t Seed) {
+  BaseSeed.store(Seed | 1, std::memory_order_relaxed);
+  InverseProb.store(Inverse, std::memory_order_relaxed);
+}
+
+void Chaos::disable() { InverseProb.store(0, std::memory_order_relaxed); }
+
+void Chaos::point() {
+  uint32_t Inv = InverseProb.load(std::memory_order_relaxed);
+  if (Inv == 0)
+    return;
+  uint64_t Seed = BaseSeed.load(std::memory_order_relaxed);
+  if (ChaosSeedSeen != Seed) {
+    ChaosSeedSeen = Seed;
+    ChaosState = Seed * 0x9e3779b97f4a7c15ULL +
+                 (static_cast<uint64_t>(currentTid()) + 1) * 0x100000001b3ULL;
+  }
+  // xorshift64*
+  uint64_t X = ChaosState;
+  X ^= X >> 12;
+  X ^= X << 25;
+  X ^= X >> 27;
+  ChaosState = X;
+  if ((X * 0x2545F4914F6CDD1DULL >> 33) % Inv == 0)
+    std::this_thread::yield();
+}

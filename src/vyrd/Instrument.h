@@ -1,0 +1,156 @@
+//===- Instrument.h - Hooks the implementation code calls -------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation side of VYRD (Sec. 6.1): small helper objects the
+/// implementation code calls to record call/return/commit/write actions
+/// into the log. Hooks are cheap no-ops when logging is disabled, and the
+/// logging level controls whether write records (needed only for view
+/// refinement) are emitted, so the Table 2 "I/O vs view logging overhead"
+/// distinction falls out of one switch.
+///
+/// A hook must be invoked atomically with the action it records; in
+/// practice the data structures call hooks while still holding the lock
+/// that protects the recorded update, exactly as the paper prescribes.
+///
+/// This file also provides the chaos scheduler: seeded random yields at
+/// hook and race points. On the paper's hardware, preemption provided the
+/// interleaving diversity; on a single-core container the chaos points
+/// restore it so the seeded races actually fire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_INSTRUMENT_H
+#define VYRD_INSTRUMENT_H
+
+#include "vyrd/Action.h"
+#include "vyrd/Log.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace vyrd {
+
+/// How much the hooks record.
+enum class LogLevel : uint8_t {
+  /// Record nothing (measures the bare program).
+  LL_None,
+  /// Calls, returns, commits, commit-block brackets: enough for I/O
+  /// refinement.
+  LL_IO,
+  /// Additionally record shared-variable writes and replay ops: enough for
+  /// view refinement.
+  LL_View,
+};
+
+/// Returns the calling thread's dense VYRD thread id (assigned on first
+/// use, starting at 0).
+ThreadId currentTid();
+
+/// Seeded random-yield injector. Global, cheap, disabled by default.
+class Chaos {
+public:
+  /// Enables chaos with yield probability 1/\p Inverse at every chaos
+  /// point. \p Seed makes runs reproducible per thread.
+  static void enable(uint32_t Inverse, uint64_t Seed);
+  static void disable();
+
+  /// A potential preemption point; implementations sprinkle these inside
+  /// critical regions and races.
+  static void point();
+
+private:
+  static std::atomic<uint32_t> InverseProb;
+  static std::atomic<uint64_t> BaseSeed;
+};
+
+/// The hook object shared by all threads operating on one verified data
+/// structure instance. Copies are cheap (pointer + level).
+class Hooks {
+public:
+  Hooks() : L(nullptr), Level(LogLevel::LL_None) {}
+  Hooks(Log *L, LogLevel Level) : L(L), Level(Level) {}
+
+  LogLevel level() const { return Level; }
+  bool enabled() const { return L && Level != LogLevel::LL_None; }
+  /// Whether write/replay records are being collected.
+  bool viewLevel() const { return L && Level == LogLevel::LL_View; }
+  Log *log() const { return L; }
+
+  void call(Name Method, ValueList Args) const {
+    if (enabled())
+      L->append(Action::call(currentTid(), Method, std::move(Args)));
+    Chaos::point();
+  }
+  void ret(Name Method, Value V) const {
+    if (enabled())
+      L->append(Action::ret(currentTid(), Method, std::move(V)));
+    Chaos::point();
+  }
+  void commit() const {
+    if (enabled())
+      L->append(Action::commit(currentTid()));
+  }
+  void write(Name Var, Value V) const {
+    if (viewLevel())
+      L->append(Action::write(currentTid(), Var, std::move(V)));
+  }
+  void replayOp(Name Op, ValueList Payload) const {
+    if (viewLevel())
+      L->append(Action::replayOp(currentTid(), Op, std::move(Payload)));
+  }
+  void blockBegin() const {
+    if (viewLevel())
+      L->append(Action::blockBegin(currentTid()));
+  }
+  void blockEnd() const {
+    if (viewLevel())
+      L->append(Action::blockEnd(currentTid()));
+  }
+
+private:
+  Log *L;
+  LogLevel Level;
+};
+
+/// RAII bracket logging the call on construction and the return on
+/// destruction (with the value set via setReturn).
+class MethodScope {
+public:
+  MethodScope(const Hooks &H, Name Method, ValueList Args)
+      : H(H), Method(Method) {
+    H.call(Method, std::move(Args));
+  }
+  ~MethodScope() { H.ret(Method, Ret); }
+
+  MethodScope(const MethodScope &) = delete;
+  MethodScope &operator=(const MethodScope &) = delete;
+
+  /// Records the value the method is about to return.
+  void setReturn(Value V) { Ret = std::move(V); }
+
+private:
+  const Hooks &H;
+  Name Method;
+  Value Ret;
+};
+
+/// RAII commit block bracket (Sec. 5.2).
+class CommitBlock {
+public:
+  explicit CommitBlock(const Hooks &H) : H(H) { H.blockBegin(); }
+  ~CommitBlock() { H.blockEnd(); }
+
+  CommitBlock(const CommitBlock &) = delete;
+  CommitBlock &operator=(const CommitBlock &) = delete;
+
+private:
+  const Hooks &H;
+};
+
+} // namespace vyrd
+
+#endif // VYRD_INSTRUMENT_H

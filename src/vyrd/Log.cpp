@@ -1,0 +1,161 @@
+//===- Log.cpp - Execution logs connecting program and verifier ----------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Log.h"
+
+#include <cassert>
+
+using namespace vyrd;
+
+Log::~Log() = default;
+
+//===----------------------------------------------------------------------===//
+// MemoryLog
+//===----------------------------------------------------------------------===//
+
+MemoryLog::MemoryLog() = default;
+MemoryLog::~MemoryLog() = default;
+
+uint64_t MemoryLog::append(Action A) {
+  std::lock_guard Lock(M);
+  assert(!Closed && "append after close");
+  A.Seq = NextSeq++;
+  uint64_t Seq = A.Seq;
+  Q.push_back(std::move(A));
+  CV.notify_one();
+  return Seq;
+}
+
+void MemoryLog::close() {
+  std::lock_guard Lock(M);
+  Closed = true;
+  CV.notify_all();
+}
+
+bool MemoryLog::next(Action &Out) {
+  std::unique_lock Lock(M);
+  CV.wait(Lock, [&] { return !Q.empty() || Closed; });
+  if (Q.empty())
+    return false;
+  Out = std::move(Q.front());
+  Q.pop_front();
+  return true;
+}
+
+bool MemoryLog::tryNext(Action &Out, bool &End) {
+  std::lock_guard Lock(M);
+  if (!Q.empty()) {
+    Out = std::move(Q.front());
+    Q.pop_front();
+    End = false;
+    return true;
+  }
+  End = Closed;
+  return false;
+}
+
+uint64_t MemoryLog::appendCount() const {
+  std::lock_guard Lock(M);
+  return NextSeq;
+}
+
+//===----------------------------------------------------------------------===//
+// FileLog
+//===----------------------------------------------------------------------===//
+
+FileLog::FileLog(const std::string &Path, bool &Valid, bool RetainTail)
+    : Path(Path), RetainTail(RetainTail) {
+  File = std::fopen(Path.c_str(), "wb");
+  Valid = File != nullptr;
+}
+
+FileLog::~FileLog() {
+  if (File)
+    std::fclose(File);
+}
+
+uint64_t FileLog::append(Action A) {
+  std::lock_guard Lock(M);
+  assert(!Closed && "append after close");
+  A.Seq = NextSeq++;
+  uint64_t Seq = A.Seq;
+  Scratch.clear();
+  Encoder.encode(A, Scratch);
+  if (File)
+    std::fwrite(Scratch.buffer().data(), 1, Scratch.size(), File);
+  Bytes += Scratch.size();
+  if (RetainTail) {
+    Tail.push_back(std::move(A));
+    CV.notify_one();
+  }
+  return Seq;
+}
+
+void FileLog::close() {
+  std::lock_guard Lock(M);
+  Closed = true;
+  if (File)
+    std::fflush(File);
+  CV.notify_all();
+}
+
+bool FileLog::next(Action &Out) {
+  std::unique_lock Lock(M);
+  CV.wait(Lock, [&] { return !Tail.empty() || Closed; });
+  if (Tail.empty())
+    return false;
+  Out = std::move(Tail.front());
+  Tail.pop_front();
+  return true;
+}
+
+bool FileLog::tryNext(Action &Out, bool &End) {
+  std::lock_guard Lock(M);
+  if (!Tail.empty()) {
+    Out = std::move(Tail.front());
+    Tail.pop_front();
+    End = false;
+    return true;
+  }
+  End = Closed;
+  return false;
+}
+
+uint64_t FileLog::appendCount() const {
+  std::lock_guard Lock(M);
+  return NextSeq;
+}
+
+uint64_t FileLog::byteCount() const {
+  std::lock_guard Lock(M);
+  return Bytes;
+}
+
+//===----------------------------------------------------------------------===//
+// loadLogFile
+//===----------------------------------------------------------------------===//
+
+bool vyrd::loadLogFile(const std::string &Path, std::vector<Action> &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::vector<uint8_t> Data;
+  uint8_t Buf[64 * 1024];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Data.insert(Data.end(), Buf, Buf + N);
+  std::fclose(F);
+
+  ByteReader R(Data.data(), Data.size());
+  ActionDecoder Decoder;
+  Action A;
+  while (!R.atEnd()) {
+    if (!Decoder.decode(R, A))
+      return false;
+    Out.push_back(A);
+  }
+  return true;
+}

@@ -1,0 +1,126 @@
+//===- Log.h - Execution logs connecting program and verifier --*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The log decouples the instrumented program from refinement checking
+/// (Sec. 4.2): implementation threads append records as they run; the
+/// verification thread reads them, concurrently (online) or afterwards
+/// (offline). Two implementations are provided: MemoryLog (a guarded queue)
+/// and FileLog (durable binary file whose tail is kept in memory for fast
+/// access, as in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_LOG_H
+#define VYRD_LOG_H
+
+#include "vyrd/Action.h"
+#include "vyrd/Serialize.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vyrd {
+
+/// Abstract append/consume log. Appends may come from many threads; records
+/// are consumed in append order by a single reader.
+class Log {
+public:
+  virtual ~Log();
+
+  /// Appends \p A, assigning its sequence number. Thread-safe.
+  /// \returns the assigned sequence number.
+  virtual uint64_t append(Action A) = 0;
+
+  /// Marks the log complete. After close(), next() drains remaining records
+  /// and then returns false. Idempotent.
+  virtual void close() = 0;
+
+  /// Blocks until a record is available or the log is closed and drained.
+  /// \returns false on end of log.
+  virtual bool next(Action &Out) = 0;
+
+  /// Non-blocking variant: returns false with \p End=false when no record is
+  /// ready yet, and false with \p End=true at end of log.
+  virtual bool tryNext(Action &Out, bool &End) = 0;
+
+  /// Number of records appended so far.
+  virtual uint64_t appendCount() const = 0;
+
+  /// Bytes of serialized log produced so far (0 for purely in-memory logs).
+  virtual uint64_t byteCount() const { return 0; }
+};
+
+/// In-memory log: a mutex-guarded queue with a condition variable for the
+/// reader. Records are released as they are consumed.
+class MemoryLog : public Log {
+public:
+  MemoryLog();
+  ~MemoryLog() override;
+
+  uint64_t append(Action A) override;
+  void close() override;
+  bool next(Action &Out) override;
+  bool tryNext(Action &Out, bool &End) override;
+  uint64_t appendCount() const override;
+
+private:
+  mutable std::mutex M;
+  std::condition_variable CV;
+  std::deque<Action> Q;
+  uint64_t NextSeq = 0;
+  bool Closed = false;
+};
+
+/// File-backed log. Every record is serialized and written to the file; the
+/// encoded tail is also kept in an in-memory queue so the online reader does
+/// not touch the disk (Sec. 4.2: "the log is a file whose tail is kept in
+/// memory for faster access"). The file can be re-read later with
+/// loadLogFile for post-mortem checking.
+class FileLog : public Log {
+public:
+  /// Creates/truncates \p Path. \p Valid reports whether the file opened.
+  /// With \p RetainTail false no in-memory tail is kept (next() then only
+  /// reports end-of-log after close): use for logging-only measurement
+  /// runs where nothing consumes the log online.
+  FileLog(const std::string &Path, bool &Valid, bool RetainTail = true);
+  ~FileLog() override;
+
+  uint64_t append(Action A) override;
+  void close() override;
+  bool next(Action &Out) override;
+  bool tryNext(Action &Out, bool &End) override;
+  uint64_t appendCount() const override;
+  uint64_t byteCount() const override;
+
+  const std::string &path() const { return Path; }
+
+private:
+  std::string Path;
+  std::FILE *File = nullptr;
+
+  mutable std::mutex M;
+  std::condition_variable CV;
+  std::deque<Action> Tail; // decoded tail for the online reader
+  ActionEncoder Encoder;
+  ByteWriter Scratch;
+  uint64_t NextSeq = 0;
+  uint64_t Bytes = 0;
+  bool Closed = false;
+  bool RetainTail = true;
+};
+
+/// Decodes all records of a log file previously produced by FileLog.
+/// \returns false if the file cannot be read or is malformed.
+bool loadLogFile(const std::string &Path, std::vector<Action> &Out);
+
+} // namespace vyrd
+
+#endif // VYRD_LOG_H

@@ -1,0 +1,62 @@
+//===- Names.cpp - Interned identifiers for methods and variables --------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Names.h"
+
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+using namespace vyrd;
+
+namespace {
+
+/// Process-wide intern table. Strings live in a deque so string_views handed
+/// out remain valid as the table grows.
+class NameTable {
+public:
+  Name intern(std::string_view S) {
+    {
+      std::shared_lock Lock(M);
+      auto It = Ids.find(std::string(S));
+      if (It != Ids.end())
+        return Name(It->second);
+    }
+    std::unique_lock Lock(M);
+    auto [It, Inserted] = Ids.try_emplace(std::string(S), 0);
+    if (!Inserted)
+      return Name(It->second);
+    Strings.push_back(It->first);
+    It->second = static_cast<uint32_t>(Strings.size());
+    return Name(It->second);
+  }
+
+  std::string_view str(uint32_t Id) const {
+    if (Id == 0)
+      return "<invalid>";
+    std::shared_lock Lock(M);
+    assert(Id <= Strings.size() && "unknown name id");
+    return Strings[Id - 1];
+  }
+
+  static NameTable &get() {
+    static NameTable T;
+    return T;
+  }
+
+private:
+  mutable std::shared_mutex M;
+  std::unordered_map<std::string, uint32_t> Ids;
+  std::deque<std::string_view> Strings; // index = id - 1
+};
+
+} // namespace
+
+std::string_view Name::str() const { return NameTable::get().str(Id); }
+
+Name vyrd::internName(std::string_view S) { return NameTable::get().intern(S); }

@@ -1,0 +1,49 @@
+//===- Names.h - Interned identifiers for methods and variables -*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Method and shared-variable names appear in every log record; interning
+/// them into small integer ids keeps Action records compact and makes the
+/// binary log format cheap to write and read. The intern table is global and
+/// thread-safe; ids are stable for the lifetime of the process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_NAMES_H
+#define VYRD_NAMES_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vyrd {
+
+/// An interned name. Id 0 is reserved for the empty/invalid name.
+class Name {
+public:
+  Name() : Id(0) {}
+  explicit Name(uint32_t Id) : Id(Id) {}
+
+  uint32_t id() const { return Id; }
+  bool valid() const { return Id != 0; }
+
+  /// The interned string this name stands for.
+  std::string_view str() const;
+
+  friend bool operator==(Name L, Name R) { return L.Id == R.Id; }
+  friend bool operator!=(Name L, Name R) { return L.Id != R.Id; }
+  friend bool operator<(Name L, Name R) { return L.Id < R.Id; }
+
+private:
+  uint32_t Id;
+};
+
+/// Interns \p S, returning its stable id. Safe to call concurrently.
+Name internName(std::string_view S);
+
+} // namespace vyrd
+
+#endif // VYRD_NAMES_H

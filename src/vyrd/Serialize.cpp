@@ -1,0 +1,240 @@
+//===- Serialize.cpp - Binary encoding of log records ---------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Serialize.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace vyrd;
+
+//===----------------------------------------------------------------------===//
+// ByteWriter
+//===----------------------------------------------------------------------===//
+
+void ByteWriter::varint(uint64_t V) {
+  while (V >= 0x80) {
+    Buf.push_back(static_cast<uint8_t>(V) | 0x80);
+    V >>= 7;
+  }
+  Buf.push_back(static_cast<uint8_t>(V));
+}
+
+void ByteWriter::svarint(int64_t V) {
+  // Zigzag encoding.
+  varint((static_cast<uint64_t>(V) << 1) ^ static_cast<uint64_t>(V >> 63));
+}
+
+void ByteWriter::bytes(const void *Data, size_t Size) {
+  const auto *P = static_cast<const uint8_t *>(Data);
+  Buf.insert(Buf.end(), P, P + Size);
+}
+
+void ByteWriter::str(std::string_view S) {
+  varint(S.size());
+  bytes(S.data(), S.size());
+}
+
+//===----------------------------------------------------------------------===//
+// ByteReader
+//===----------------------------------------------------------------------===//
+
+uint8_t ByteReader::u8() {
+  if (Pos >= Size) {
+    Ok = false;
+    return 0;
+  }
+  return Data[Pos++];
+}
+
+uint64_t ByteReader::varint() {
+  uint64_t V = 0;
+  unsigned Shift = 0;
+  while (true) {
+    if (Pos >= Size || Shift > 63) {
+      Ok = false;
+      return 0;
+    }
+    uint8_t B = Data[Pos++];
+    V |= static_cast<uint64_t>(B & 0x7F) << Shift;
+    if (!(B & 0x80))
+      return V;
+    Shift += 7;
+  }
+}
+
+int64_t ByteReader::svarint() {
+  uint64_t Z = varint();
+  return static_cast<int64_t>((Z >> 1) ^ (~(Z & 1) + 1));
+}
+
+bool ByteReader::bytes(void *Out, size_t N) {
+  if (Pos + N > Size) {
+    Ok = false;
+    return false;
+  }
+  std::memcpy(Out, Data + Pos, N);
+  Pos += N;
+  return true;
+}
+
+std::string ByteReader::str() {
+  uint64_t N = varint();
+  if (!Ok || Pos + N > Size) {
+    Ok = false;
+    return "";
+  }
+  std::string S(reinterpret_cast<const char *>(Data + Pos), N);
+  Pos += N;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// ActionEncoder
+//===----------------------------------------------------------------------===//
+
+static constexpr uint8_t NameDefTag = 0xFF;
+
+void ActionEncoder::encodeName(Name N, ByteWriter &W) {
+  if (!N.valid()) {
+    W.varint(0);
+    return;
+  }
+  auto It = FileIds.find(N.id());
+  if (It != FileIds.end()) {
+    W.varint(It->second);
+    return;
+  }
+  // Names must be defined before the record that references them; the
+  // caller (encode) reserves this by emitting definitions first. We handle
+  // that by patching here: definitions are emitted inline *before* the
+  // current record via a separate path, so encodeName is only reached for
+  // already-defined names.
+  assert(false && "encodeName on undefined name");
+}
+
+void ActionEncoder::encodeValue(const Value &V, ByteWriter &W) {
+  W.u8(static_cast<uint8_t>(V.kind()));
+  switch (V.kind()) {
+  case ValueKind::VK_Null:
+    break;
+  case ValueKind::VK_Bool:
+    W.u8(V.asBool() ? 1 : 0);
+    break;
+  case ValueKind::VK_Int:
+    W.svarint(V.asInt());
+    break;
+  case ValueKind::VK_Str:
+    W.str(V.asStr());
+    break;
+  case ValueKind::VK_Bytes: {
+    const Value::Bytes &B = V.asBytes();
+    W.varint(B.size());
+    W.bytes(B.data(), B.size());
+    break;
+  }
+  }
+}
+
+void ActionEncoder::encode(const Action &A, ByteWriter &W) {
+  // Emit definitions for any names this record uses for the first time.
+  for (Name N : {A.Method, A.Var}) {
+    if (!N.valid() || FileIds.count(N.id()))
+      continue;
+    uint32_t FileId = NextFileId++;
+    FileIds.emplace(N.id(), FileId);
+    W.u8(NameDefTag);
+    W.varint(FileId);
+    W.str(N.str());
+  }
+
+  W.u8(static_cast<uint8_t>(A.Kind));
+  W.varint(A.Tid);
+  W.varint(A.Seq);
+  encodeName(A.Method, W);
+  encodeName(A.Var, W);
+  W.varint(A.Args.size());
+  for (const Value &V : A.Args)
+    encodeValue(V, W);
+  encodeValue(A.Ret, W);
+  encodeValue(A.Val, W);
+}
+
+//===----------------------------------------------------------------------===//
+// ActionDecoder
+//===----------------------------------------------------------------------===//
+
+Name ActionDecoder::decodeName(ByteReader &R) {
+  uint64_t FileId = R.varint();
+  if (!R.ok() || FileId == 0)
+    return Name();
+  if (FileId > Names.size()) {
+    // Reference to an undefined name: malformed stream.
+    return Name();
+  }
+  return Names[FileId - 1];
+}
+
+Value ActionDecoder::decodeValue(ByteReader &R) {
+  uint8_t Kind = R.u8();
+  if (!R.ok())
+    return Value();
+  switch (static_cast<ValueKind>(Kind)) {
+  case ValueKind::VK_Null:
+    return Value();
+  case ValueKind::VK_Bool:
+    return Value(R.u8() != 0);
+  case ValueKind::VK_Int:
+    return Value(R.svarint());
+  case ValueKind::VK_Str:
+    return Value(R.str());
+  case ValueKind::VK_Bytes: {
+    uint64_t N = R.varint();
+    Value::Bytes B(N);
+    if (N && !R.bytes(B.data(), N))
+      return Value();
+    return Value(std::move(B));
+  }
+  }
+  return Value();
+}
+
+bool ActionDecoder::decode(ByteReader &R, Action &Out) {
+  // Consume name definitions.
+  while (true) {
+    if (R.atEnd())
+      return false;
+    uint8_t Tag = R.u8();
+    if (!R.ok())
+      return false;
+    if (Tag != NameDefTag) {
+      if (Tag > static_cast<uint8_t>(ActionKind::AK_ReplayOp))
+        return false;
+      Out.Kind = static_cast<ActionKind>(Tag);
+      break;
+    }
+    uint64_t FileId = R.varint();
+    std::string S = R.str();
+    if (!R.ok() || FileId != Names.size() + 1)
+      return false;
+    Names.push_back(internName(S));
+  }
+
+  Out.Tid = static_cast<ThreadId>(R.varint());
+  Out.Seq = R.varint();
+  Out.Method = decodeName(R);
+  Out.Var = decodeName(R);
+  uint64_t NArgs = R.varint();
+  if (!R.ok() || NArgs > (1u << 20))
+    return false;
+  Out.Args.clear();
+  Out.Args.reserve(NArgs);
+  for (uint64_t I = 0; I < NArgs; ++I)
+    Out.Args.push_back(decodeValue(R));
+  Out.Ret = decodeValue(R);
+  Out.Val = decodeValue(R);
+  return R.ok();
+}

@@ -1,0 +1,104 @@
+//===- Serialize.h - Binary encoding of log records -------------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compact binary serialization for Action records, used by FileLog. Plays
+/// the role the .NET binary object serializer played in the original tool
+/// (Sec. 6.1): records are restored exactly as they were saved at runtime.
+///
+/// Format: a stream of records. Each record starts with a tag byte:
+/// `0xFF` introduces a name definition (varint file-local id + string);
+/// any other tag is an ActionKind and is followed by the action fields.
+/// Integers are LEB128 varints; names are file-local ids defined on first
+/// use, so method/variable strings are written once per file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_SERIALIZE_H
+#define VYRD_SERIALIZE_H
+
+#include "vyrd/Action.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace vyrd {
+
+/// Growable byte sink with varint helpers.
+class ByteWriter {
+public:
+  void u8(uint8_t B) { Buf.push_back(B); }
+  void varint(uint64_t V);
+  void svarint(int64_t V);
+  void bytes(const void *Data, size_t Size);
+  void str(std::string_view S);
+
+  const std::vector<uint8_t> &buffer() const { return Buf; }
+  void clear() { Buf.clear(); }
+  size_t size() const { return Buf.size(); }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Bounds-checked byte source. All reads report failure through ok(); once a
+/// read fails the reader stays failed.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size)
+      : Data(Data), Size(Size), Pos(0), Ok(true) {}
+
+  bool ok() const { return Ok; }
+  bool atEnd() const { return Pos >= Size; }
+  size_t position() const { return Pos; }
+
+  uint8_t u8();
+  uint64_t varint();
+  int64_t svarint();
+  bool bytes(void *Out, size_t N);
+  std::string str();
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos;
+  bool Ok;
+};
+
+/// Serializes Actions into a byte stream, emitting name definitions on first
+/// use. One instance per output file; not thread-safe (callers lock).
+class ActionEncoder {
+public:
+  /// Appends the encoding of \p A to \p W.
+  void encode(const Action &A, ByteWriter &W);
+
+private:
+  void encodeName(Name N, ByteWriter &W);
+  void encodeValue(const Value &V, ByteWriter &W);
+
+  std::unordered_map<uint32_t, uint32_t> FileIds; // Name id -> file-local id
+  uint32_t NextFileId = 1;
+};
+
+/// Decodes Actions from a byte stream produced by ActionEncoder.
+class ActionDecoder {
+public:
+  /// Decodes one Action starting at the reader position. Consumes any name
+  /// definitions that precede it. Returns false on malformed input or clean
+  /// end of stream (distinguish via \p R.atEnd()).
+  bool decode(ByteReader &R, Action &Out);
+
+private:
+  Name decodeName(ByteReader &R);
+  Value decodeValue(ByteReader &R);
+
+  std::vector<Name> Names; // file-local id - 1 -> interned Name
+};
+
+} // namespace vyrd
+
+#endif // VYRD_SERIALIZE_H

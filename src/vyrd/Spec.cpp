@@ -1,0 +1,11 @@
+//===- Spec.cpp - Executable method-atomic specifications -----------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Spec.h"
+
+using namespace vyrd;
+
+Spec::~Spec() = default;

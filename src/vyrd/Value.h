@@ -1,0 +1,95 @@
+//===- Value.h - Tagged union value used throughout VYRD -------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines vyrd::Value, the small dynamically-typed value that carries method
+/// arguments, return values, logged shared-variable contents, and view
+/// entries. Keeping one value type everywhere lets the refinement checker be
+/// generic over all verified data structures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_VALUE_H
+#define VYRD_VALUE_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace vyrd {
+
+/// Discriminator for the alternatives a Value can hold.
+enum class ValueKind : uint8_t {
+  VK_Null = 0,
+  VK_Bool = 1,
+  VK_Int = 2,
+  VK_Str = 3,
+  VK_Bytes = 4,
+};
+
+/// A small tagged union: null, bool, 64-bit int, string, or byte array.
+///
+/// Values are ordered (lexicographically within a kind, by kind across
+/// kinds) so they can serve as keys in canonical views, and hashable so view
+/// hashes can be maintained incrementally.
+class Value {
+public:
+  using Bytes = std::vector<uint8_t>;
+
+  Value() : Data(std::monostate{}) {}
+  Value(bool B) : Data(B) {}
+  Value(int64_t I) : Data(I) {}
+  Value(int I) : Data(static_cast<int64_t>(I)) {}
+  Value(unsigned I) : Data(static_cast<int64_t>(I)) {}
+  Value(uint64_t I) : Data(static_cast<int64_t>(I)) {}
+  Value(std::string S) : Data(std::move(S)) {}
+  Value(const char *S) : Data(std::string(S)) {}
+  Value(Bytes B) : Data(std::move(B)) {}
+
+  ValueKind kind() const {
+    return static_cast<ValueKind>(Data.index());
+  }
+
+  bool isNull() const { return kind() == ValueKind::VK_Null; }
+  bool isBool() const { return kind() == ValueKind::VK_Bool; }
+  bool isInt() const { return kind() == ValueKind::VK_Int; }
+  bool isStr() const { return kind() == ValueKind::VK_Str; }
+  bool isBytes() const { return kind() == ValueKind::VK_Bytes; }
+
+  /// Accessors assert that the stored kind matches.
+  bool asBool() const;
+  int64_t asInt() const;
+  const std::string &asStr() const;
+  const Bytes &asBytes() const;
+
+  /// Stable 64-bit hash of the value (kind-tagged, content-based).
+  uint64_t hash() const;
+
+  /// Renders the value for diagnostics, e.g. `int:42`, `bytes[16]:a1b2..`.
+  std::string str() const;
+
+  friend bool operator==(const Value &L, const Value &R) {
+    return L.Data == R.Data;
+  }
+  friend bool operator!=(const Value &L, const Value &R) {
+    return !(L == R);
+  }
+  friend bool operator<(const Value &L, const Value &R);
+
+private:
+  std::variant<std::monostate, bool, int64_t, std::string, Bytes> Data;
+};
+
+/// Convenience list-of-values used for method argument vectors.
+using ValueList = std::vector<Value>;
+
+/// Builds a Value holding the given raw bytes.
+Value bytesValue(const void *Data, size_t Size);
+
+} // namespace vyrd
+
+#endif // VYRD_VALUE_H

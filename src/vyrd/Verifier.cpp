@@ -1,0 +1,94 @@
+//===- Verifier.cpp - Online/offline verification driver ------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Verifier.h"
+
+#include <cassert>
+
+using namespace vyrd;
+
+std::string VerifierReport::str() const {
+  std::string Out;
+  Out += "log: " + std::to_string(LogRecords) + " records";
+  if (LogBytes)
+    Out += ", " + std::to_string(LogBytes) + " bytes";
+  Out += "\nchecked: " + std::to_string(Stats.MethodsChecked) + " methods (" +
+         std::to_string(Stats.CommitsProcessed) + " commits, " +
+         std::to_string(Stats.ObserversChecked) + " observers)\n";
+  if (Violations.empty()) {
+    Out += "no refinement violations\n";
+    return Out;
+  }
+  Out += std::to_string(Violations.size()) + " violation(s):\n";
+  for (const Violation &V : Violations)
+    Out += "  " + V.str() + "\n";
+  return Out;
+}
+
+Verifier::Verifier(std::unique_ptr<Spec> S, std::unique_ptr<Replayer> R,
+                   VerifierConfig Config)
+    : TheSpec(std::move(S)), TheReplayer(std::move(R)), Config(Config) {
+  assert(TheSpec && "Verifier requires a specification");
+  if (Config.LogFilePath.empty()) {
+    TheLog = std::make_unique<MemoryLog>();
+  } else {
+    bool Valid = false;
+    auto FL = std::make_unique<FileLog>(Config.LogFilePath, Valid);
+    assert(Valid && "cannot open log file");
+    TheLog = std::move(FL);
+  }
+  Checker = std::make_unique<RefinementChecker>(
+      *TheSpec, TheReplayer.get(), Config.Checker);
+}
+
+Verifier::~Verifier() {
+  if (Started && !Done)
+    (void)finish();
+}
+
+Hooks Verifier::hooks() const {
+  LogLevel Level = Config.Checker.Mode == CheckMode::CM_ViewRefinement
+                       ? LogLevel::LL_View
+                       : LogLevel::LL_IO;
+  return Hooks(TheLog.get(), Level);
+}
+
+void Verifier::pump() {
+  Action A;
+  while (TheLog->next(A)) {
+    Checker->feed(A);
+    if (Checker->hasViolation())
+      ViolationFlag.store(true, std::memory_order_release);
+  }
+  Checker->finish();
+  if (Checker->hasViolation())
+    ViolationFlag.store(true, std::memory_order_release);
+}
+
+void Verifier::start() {
+  assert(!Started && "start called twice");
+  Started = true;
+  if (Config.Online)
+    VerifyThread = std::thread([this] { pump(); });
+}
+
+VerifierReport Verifier::finish() {
+  assert(Started && "finish before start");
+  assert(!Done && "finish called twice");
+  Done = true;
+  TheLog->close();
+  if (Config.Online)
+    VerifyThread.join();
+  else
+    pump();
+
+  VerifierReport R;
+  R.Violations = Checker->violations();
+  R.Stats = Checker->stats();
+  R.LogRecords = TheLog->appendCount();
+  R.LogBytes = TheLog->byteCount();
+  return R;
+}

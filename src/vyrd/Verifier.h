@@ -1,0 +1,102 @@
+//===- Verifier.h - Online/offline verification driver ----------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verifier wires a Log, a Spec, a Replayer and a RefinementChecker
+/// together and runs the check either *online* — on a dedicated
+/// verification thread that consumes the log concurrently with the program,
+/// as the VYRD tool does — or *offline*, replaying the completed log after
+/// the program finishes (the "VYRD alone" column of Table 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_VERIFIER_H
+#define VYRD_VERIFIER_H
+
+#include "vyrd/Checker.h"
+#include "vyrd/Instrument.h"
+#include "vyrd/Log.h"
+#include "vyrd/Replayer.h"
+#include "vyrd/Spec.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace vyrd {
+
+/// Configuration for a Verifier.
+struct VerifierConfig {
+  CheckerConfig Checker;
+  /// Run the checker concurrently with the program. When false, records are
+  /// buffered and checked when finish() is called.
+  bool Online = true;
+  /// When non-empty, use a FileLog writing to this path; otherwise a
+  /// MemoryLog.
+  std::string LogFilePath;
+};
+
+/// Final result of a verification run.
+struct VerifierReport {
+  std::vector<Violation> Violations;
+  CheckerStats Stats;
+  uint64_t LogRecords = 0;
+  uint64_t LogBytes = 0;
+
+  bool ok() const { return Violations.empty(); }
+  /// Renders the full report for diagnostics.
+  std::string str() const;
+};
+
+/// Owns the full verification pipeline for one data structure instance.
+class Verifier {
+public:
+  /// \p R may be null when Config.Checker.Mode is CM_IORefinement.
+  Verifier(std::unique_ptr<Spec> S, std::unique_ptr<Replayer> R,
+           VerifierConfig Config);
+  ~Verifier();
+
+  Verifier(const Verifier &) = delete;
+  Verifier &operator=(const Verifier &) = delete;
+
+  /// The hooks to hand to the instrumented data structure. The logging
+  /// level matches the configured check mode.
+  Hooks hooks() const;
+
+  /// Starts the verification thread (online mode; no-op offline).
+  void start();
+
+  /// Closes the log, completes checking (joining the verification thread
+  /// or running the offline pass), and returns the report.
+  VerifierReport finish();
+
+  /// Thread-safe peek: has the verification thread found a violation yet?
+  /// Lets a test harness stop generating work once an error is caught
+  /// (the Table 1 protocol).
+  bool violationSeen() const {
+    return ViolationFlag.load(std::memory_order_acquire);
+  }
+
+  Log &log() { return *TheLog; }
+
+private:
+  void pump();
+
+  std::unique_ptr<Spec> TheSpec;
+  std::unique_ptr<Replayer> TheReplayer;
+  VerifierConfig Config;
+  std::unique_ptr<Log> TheLog;
+  std::unique_ptr<RefinementChecker> Checker;
+  std::thread VerifyThread;
+  std::atomic<bool> ViolationFlag{false};
+  bool Started = false;
+  bool Done = false;
+};
+
+} // namespace vyrd
+
+#endif // VYRD_VERIFIER_H

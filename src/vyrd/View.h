@@ -1,0 +1,111 @@
+//===- View.h - Canonical abstract-state views ------------------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A View is the value of the hypothetical viewI/viewS variable of Sec. 5:
+/// a canonical representation of the abstract data structure contents,
+/// modeled as a multiset of (key, value) pairs. Both the specification
+/// (viewS) and the replayer (viewI) maintain their View incrementally as
+/// methods commit; the checker compares the two at every mutator commit.
+///
+/// Comparison is O(1) in the common (equal) case: each View maintains two
+/// independent order-insensitive 64-bit hash accumulators that are updated
+/// on every insert/remove (Sec. 6.4, incremental computation and comparison
+/// of views). On hash mismatch the checker performs a full diff to produce a
+/// precise report; a configurable periodic audit guards the fast path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_VIEW_H
+#define VYRD_VIEW_H
+
+#include "vyrd/Value.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace vyrd {
+
+/// One (key, value) entry of a view.
+struct ViewEntry {
+  Value Key;
+  Value Val;
+
+  friend bool operator<(const ViewEntry &L, const ViewEntry &R) {
+    if (L.Key < R.Key)
+      return true;
+    if (R.Key < L.Key)
+      return false;
+    return L.Val < R.Val;
+  }
+  friend bool operator==(const ViewEntry &L, const ViewEntry &R) {
+    return L.Key == R.Key && L.Val == R.Val;
+  }
+};
+
+/// A multiset of ViewEntry with incrementally maintained hashes.
+class View {
+public:
+  /// Adds one occurrence of (\p Key, \p Val).
+  void add(const Value &Key, const Value &Val);
+
+  /// Removes one occurrence of (\p Key, \p Val).
+  /// \returns false if the entry was not present (view unchanged).
+  bool remove(const Value &Key, const Value &Val);
+
+  /// Removes every entry with key \p Key. \returns how many were removed.
+  size_t removeKey(const Value &Key);
+
+  /// Number of occurrences of (\p Key, \p Val).
+  size_t count(const Value &Key, const Value &Val) const;
+
+  /// Number of entries (with multiplicity) under \p Key.
+  size_t countKey(const Value &Key) const;
+
+  void clear();
+
+  size_t size() const { return Total; }
+  bool empty() const { return Total == 0; }
+
+  /// The two hash accumulators. Equal views have equal digests; unequal
+  /// views collide with probability ~2^-128 per comparison.
+  std::pair<uint64_t, uint64_t> digest() const { return {H1, H2}; }
+
+  /// Fast equality: size + double hash. Sound up to hash collision; use
+  /// deepEquals for an exact answer.
+  friend bool operator==(const View &L, const View &R) {
+    return L.Total == R.Total && L.H1 == R.H1 && L.H2 == R.H2;
+  }
+  friend bool operator!=(const View &L, const View &R) { return !(L == R); }
+
+  /// Exact structural equality (full scan).
+  bool deepEquals(const View &Other) const { return Entries == Other.Entries; }
+
+  /// Renders up to \p MaxEntries entries for diagnostics.
+  std::string str(size_t MaxEntries = 16) const;
+
+  /// Describes the difference between two views (entries only in L, only in
+  /// R); used to produce violation reports.
+  static std::string diff(const View &L, const View &R, size_t MaxEntries = 8);
+
+  /// Iteration (sorted order) for audits and diffs.
+  using Map = std::map<ViewEntry, size_t>;
+  const Map &entries() const { return Entries; }
+
+private:
+  void hashToggle(const ViewEntry &E, size_t OldCount, size_t NewCount);
+
+  Map Entries;
+  size_t Total = 0;
+  uint64_t H1 = 0;
+  uint64_t H2 = 0;
+};
+
+} // namespace vyrd
+
+#endif // VYRD_VIEW_H

@@ -1,0 +1,61 @@
+//===- Violation.h - Refinement violation reports ---------------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_VIOLATION_H
+#define VYRD_VIOLATION_H
+
+#include "vyrd/Action.h"
+
+#include <cstdint>
+#include <string>
+
+namespace vyrd {
+
+/// Classification of a detected problem.
+enum class ViolationKind : uint8_t {
+  /// A mutator committed with a signature the specification cannot execute
+  /// (I/O refinement violation).
+  VK_MutatorMismatch,
+  /// An observer returned a value inconsistent with every specification
+  /// state in its call-to-return window (I/O refinement violation, Fig. 7).
+  VK_ObserverMismatch,
+  /// viewI != viewS at a mutator commit (view refinement violation).
+  VK_ViewMismatch,
+  /// A registered shadow-state invariant failed at a commit.
+  VK_InvariantFailed,
+  /// The log itself is ill-formed (e.g. a mutator returned without a commit,
+  /// nested calls, commit outside a method). Usually an annotation bug; the
+  /// paper's iterative commit-point debugging loop (Sec. 4.1) surfaces here.
+  VK_Instrumentation,
+};
+
+/// Returns a short printable name for \p K.
+const char *violationKindName(ViolationKind K);
+
+/// One detected violation.
+struct Violation {
+  ViolationKind Kind = ViolationKind::VK_Instrumentation;
+  /// Log position at which the violation was established.
+  uint64_t Seq = 0;
+  /// Thread whose execution triggered it (if applicable).
+  ThreadId Tid = 0;
+  /// Method involved (if applicable).
+  Name Method;
+  /// Human-readable description with the mismatching values / view diff.
+  std::string Message;
+  /// Number of method executions fully checked before this violation —
+  /// the "time to detection" metric of Table 1.
+  uint64_t MethodsChecked = 0;
+  /// The last few log records fed before the violation (rendered), when
+  /// CheckerConfig::ContextRecords is enabled. Debugging aid only.
+  std::string Context;
+
+  std::string str() const;
+};
+
+} // namespace vyrd
+
+#endif // VYRD_VIOLATION_H

@@ -1,0 +1,27 @@
+//===- Vyrd.h - Umbrella header for the VYRD library ------------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella: include this to get the whole VYRD public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_VYRD_H
+#define VYRD_VYRD_H
+
+#include "vyrd/Action.h"
+#include "vyrd/Checker.h"
+#include "vyrd/Instrument.h"
+#include "vyrd/Log.h"
+#include "vyrd/Names.h"
+#include "vyrd/Replayer.h"
+#include "vyrd/Spec.h"
+#include "vyrd/Value.h"
+#include "vyrd/Verifier.h"
+#include "vyrd/View.h"
+#include "vyrd/Violation.h"
+
+#endif // VYRD_VYRD_H

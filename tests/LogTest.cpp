@@ -1,0 +1,180 @@
+//===- LogTest.cpp - Unit tests for MemoryLog and FileLog ------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+
+using namespace vyrd;
+
+namespace {
+
+std::string tempPath(const char *Tag) {
+  return std::string(::testing::TempDir()) + "vyrd-logtest-" + Tag + "-" +
+         std::to_string(::getpid()) + ".bin";
+}
+
+} // namespace
+
+TEST(MemoryLogTest, AssignsSequentialSeqNumbers) {
+  MemoryLog L;
+  Name M = internName("m");
+  EXPECT_EQ(L.append(Action::call(0, M, {})), 0u);
+  EXPECT_EQ(L.append(Action::commit(0)), 1u);
+  EXPECT_EQ(L.append(Action::ret(0, M, Value(true))), 2u);
+  EXPECT_EQ(L.appendCount(), 3u);
+}
+
+TEST(MemoryLogTest, NextDrainsInOrderThenEnds) {
+  MemoryLog L;
+  Name M = internName("m");
+  L.append(Action::call(1, M, {Value(5)}));
+  L.append(Action::ret(1, M, Value(false)));
+  L.close();
+  Action A;
+  ASSERT_TRUE(L.next(A));
+  EXPECT_EQ(A.Kind, ActionKind::AK_Call);
+  EXPECT_EQ(A.Seq, 0u);
+  ASSERT_TRUE(L.next(A));
+  EXPECT_EQ(A.Kind, ActionKind::AK_Return);
+  EXPECT_FALSE(L.next(A));
+}
+
+TEST(MemoryLogTest, TryNextReportsPendingVsEnd) {
+  MemoryLog L;
+  Action A;
+  bool End = true;
+  EXPECT_FALSE(L.tryNext(A, End));
+  EXPECT_FALSE(End) << "log still open: not at end";
+  L.close();
+  EXPECT_FALSE(L.tryNext(A, End));
+  EXPECT_TRUE(End);
+}
+
+TEST(MemoryLogTest, BlockingReaderWakesOnAppend) {
+  MemoryLog L;
+  Action Got;
+  std::thread Reader([&] { ASSERT_TRUE(L.next(Got)); });
+  L.append(Action::commit(7));
+  Reader.join();
+  EXPECT_EQ(Got.Kind, ActionKind::AK_Commit);
+  EXPECT_EQ(Got.Tid, 7u);
+  L.close();
+}
+
+TEST(MemoryLogTest, ConcurrentAppendersGetUniqueSeqs) {
+  MemoryLog L;
+  constexpr int PerThread = 500;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 4; ++T)
+    Ts.emplace_back([&] {
+      for (int I = 0; I < PerThread; ++I)
+        L.append(Action::commit(0));
+    });
+  for (auto &T : Ts)
+    T.join();
+  L.close();
+  EXPECT_EQ(L.appendCount(), 4u * PerThread);
+  Action A;
+  uint64_t Expected = 0;
+  while (L.next(A))
+    EXPECT_EQ(A.Seq, Expected++);
+  EXPECT_EQ(Expected, 4u * PerThread);
+}
+
+TEST(FileLogTest, TailServesOnlineReader) {
+  std::string Path = tempPath("tail");
+  bool Valid = false;
+  FileLog L(Path, Valid);
+  ASSERT_TRUE(Valid);
+  Name M = internName("FileM");
+  L.append(Action::call(2, M, {Value(1)}));
+  L.append(Action::ret(2, M, Value(true)));
+  L.close();
+  Action A;
+  ASSERT_TRUE(L.next(A));
+  EXPECT_EQ(A.Kind, ActionKind::AK_Call);
+  ASSERT_TRUE(L.next(A));
+  EXPECT_FALSE(L.next(A));
+  std::remove(Path.c_str());
+}
+
+TEST(FileLogTest, FileRoundTripsThroughLoadLogFile) {
+  std::string Path = tempPath("roundtrip");
+  {
+    bool Valid = false;
+    FileLog L(Path, Valid);
+    ASSERT_TRUE(Valid);
+    Name M = internName("FileRt");
+    Name Var = internName("file.var");
+    L.append(Action::call(1, M, {Value(10), Value("arg")}));
+    L.append(Action::write(1, Var, Value(Value::Bytes{1, 2, 3})));
+    L.append(Action::blockBegin(1));
+    L.append(Action::commit(1));
+    L.append(Action::blockEnd(1));
+    L.append(Action::ret(1, M, Value(false)));
+    L.close();
+  }
+  std::vector<Action> Loaded;
+  ASSERT_TRUE(loadLogFile(Path, Loaded));
+  ASSERT_EQ(Loaded.size(), 6u);
+  EXPECT_EQ(Loaded[0].Kind, ActionKind::AK_Call);
+  EXPECT_EQ(Loaded[0].Args[1], Value("arg"));
+  EXPECT_EQ(Loaded[1].Val, Value(Value::Bytes{1, 2, 3}));
+  EXPECT_EQ(Loaded[3].Kind, ActionKind::AK_Commit);
+  EXPECT_EQ(Loaded[5].Ret, Value(false));
+  for (size_t I = 0; I < Loaded.size(); ++I)
+    EXPECT_EQ(Loaded[I].Seq, I);
+  std::remove(Path.c_str());
+}
+
+TEST(FileLogTest, ByteCountGrows) {
+  std::string Path = tempPath("bytes");
+  bool Valid = false;
+  FileLog L(Path, Valid);
+  ASSERT_TRUE(Valid);
+  EXPECT_EQ(L.byteCount(), 0u);
+  L.append(Action::commit(0));
+  uint64_t B1 = L.byteCount();
+  EXPECT_GT(B1, 0u);
+  L.append(Action::commit(0));
+  EXPECT_GT(L.byteCount(), B1);
+  L.close();
+  std::remove(Path.c_str());
+}
+
+TEST(FileLogTest, NoTailModeRetainsNothingButStillWritesFile) {
+  std::string Path = tempPath("notail");
+  {
+    bool Valid = false;
+    FileLog L(Path, Valid, /*RetainTail=*/false);
+    ASSERT_TRUE(Valid);
+    for (int I = 0; I < 10; ++I)
+      L.append(Action::commit(0));
+    L.close();
+    Action A;
+    EXPECT_FALSE(L.next(A)) << "no tail kept";
+    EXPECT_EQ(L.appendCount(), 10u);
+  }
+  std::vector<Action> Loaded;
+  ASSERT_TRUE(loadLogFile(Path, Loaded));
+  EXPECT_EQ(Loaded.size(), 10u);
+  std::remove(Path.c_str());
+}
+
+TEST(FileLogTest, InvalidPathReportsInvalid) {
+  bool Valid = true;
+  FileLog L("/nonexistent-dir-xyz/file.bin", Valid);
+  EXPECT_FALSE(Valid);
+}
+
+TEST(FileLogTest, LoadLogFileFailsOnMissingFile) {
+  std::vector<Action> Loaded;
+  EXPECT_FALSE(loadLogFile("/nonexistent-dir-xyz/file.bin", Loaded));
+}

@@ -1,0 +1,100 @@
+//===- NamesTest.cpp - Unit tests for name interning ------------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Action.h"
+#include "vyrd/Names.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+using namespace vyrd;
+
+TEST(NamesTest, DefaultIsInvalid) {
+  Name N;
+  EXPECT_FALSE(N.valid());
+  EXPECT_EQ(N.id(), 0u);
+  EXPECT_EQ(N.str(), "<invalid>");
+}
+
+TEST(NamesTest, InternIsIdempotent) {
+  Name A = internName("names-test-alpha");
+  Name B = internName("names-test-alpha");
+  EXPECT_EQ(A, B);
+  EXPECT_TRUE(A.valid());
+  EXPECT_EQ(A.str(), "names-test-alpha");
+}
+
+TEST(NamesTest, DistinctStringsGetDistinctIds) {
+  Name A = internName("names-test-x");
+  Name B = internName("names-test-y");
+  EXPECT_NE(A, B);
+  EXPECT_TRUE(A < B || B < A);
+}
+
+TEST(NamesTest, StringViewStaysValidAsTableGrows) {
+  Name A = internName("names-test-stable");
+  std::string_view SV = A.str();
+  for (int I = 0; I < 2000; ++I)
+    internName("names-test-grow-" + std::to_string(I));
+  EXPECT_EQ(SV, "names-test-stable");
+  EXPECT_EQ(A.str(), "names-test-stable");
+}
+
+TEST(NamesTest, ConcurrentInterningAgrees) {
+  constexpr int PerThread = 300;
+  std::vector<std::vector<Name>> Results(4);
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 4; ++T)
+    Ts.emplace_back([&, T] {
+      for (int I = 0; I < PerThread; ++I)
+        Results[T].push_back(
+            internName("names-test-conc-" + std::to_string(I)));
+    });
+  for (auto &T : Ts)
+    T.join();
+  for (int I = 0; I < PerThread; ++I)
+    for (int T = 1; T < 4; ++T)
+      EXPECT_EQ(Results[0][I], Results[T][I]);
+}
+
+TEST(ActionTest, CallRendering) {
+  Action A = Action::call(3, internName("Render"), {Value(1), Value("s")});
+  A.Seq = 9;
+  std::string S = A.str();
+  EXPECT_NE(S.find("#9"), std::string::npos) << S;
+  EXPECT_NE(S.find("t3"), std::string::npos) << S;
+  EXPECT_NE(S.find("Render(1, \"s\")"), std::string::npos) << S;
+}
+
+TEST(ActionTest, ReturnRendering) {
+  Action A = Action::ret(1, internName("Render"), Value(false));
+  EXPECT_NE(A.str().find("-> false"), std::string::npos) << A.str();
+}
+
+TEST(ActionTest, WriteRendering) {
+  Action A = Action::write(0, internName("render.var"), Value(7));
+  std::string S = A.str();
+  EXPECT_NE(S.find("render.var := 7"), std::string::npos) << S;
+}
+
+TEST(ActionTest, ReplayOpRendering) {
+  Action A = Action::replayOp(2, internName("render.op"),
+                              {Value(1), Value(2)});
+  std::string S = A.str();
+  EXPECT_NE(S.find("render.op[1, 2]"), std::string::npos) << S;
+}
+
+TEST(ActionTest, KindNamesAreStable) {
+  EXPECT_STREQ(actionKindName(ActionKind::AK_Call), "call");
+  EXPECT_STREQ(actionKindName(ActionKind::AK_Return), "return");
+  EXPECT_STREQ(actionKindName(ActionKind::AK_Commit), "commit");
+  EXPECT_STREQ(actionKindName(ActionKind::AK_Write), "write");
+  EXPECT_STREQ(actionKindName(ActionKind::AK_BlockBegin), "block-begin");
+  EXPECT_STREQ(actionKindName(ActionKind::AK_BlockEnd), "block-end");
+  EXPECT_STREQ(actionKindName(ActionKind::AK_ReplayOp), "replay-op");
+}

@@ -1,0 +1,174 @@
+//===- SerializeTest.cpp - Unit tests for the binary log format -----------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Serialize.h"
+
+#include <gtest/gtest.h>
+
+using namespace vyrd;
+
+namespace {
+
+Action roundTrip(const Action &A) {
+  ActionEncoder Enc;
+  ByteWriter W;
+  Enc.encode(A, W);
+  ByteReader R(W.buffer().data(), W.size());
+  ActionDecoder Dec;
+  Action Out;
+  EXPECT_TRUE(Dec.decode(R, Out));
+  EXPECT_TRUE(R.atEnd());
+  return Out;
+}
+
+} // namespace
+
+TEST(SerializeTest, VarintRoundTrip) {
+  ByteWriter W;
+  const uint64_t Cases[] = {0, 1, 127, 128, 300, 1u << 20, UINT64_MAX};
+  for (uint64_t C : Cases)
+    W.varint(C);
+  ByteReader R(W.buffer().data(), W.size());
+  for (uint64_t C : Cases)
+    EXPECT_EQ(R.varint(), C);
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(SerializeTest, SignedVarintRoundTrip) {
+  ByteWriter W;
+  const int64_t Cases[] = {0, -1, 1, -64, 63, INT64_MIN, INT64_MAX};
+  for (int64_t C : Cases)
+    W.svarint(C);
+  ByteReader R(W.buffer().data(), W.size());
+  for (int64_t C : Cases)
+    EXPECT_EQ(R.svarint(), C);
+  EXPECT_TRUE(R.ok());
+}
+
+TEST(SerializeTest, SmallVarintIsOneByte) {
+  ByteWriter W;
+  W.varint(5);
+  EXPECT_EQ(W.size(), 1u);
+}
+
+TEST(SerializeTest, StringRoundTrip) {
+  ByteWriter W;
+  W.str("hello world");
+  W.str("");
+  ByteReader R(W.buffer().data(), W.size());
+  EXPECT_EQ(R.str(), "hello world");
+  EXPECT_EQ(R.str(), "");
+  EXPECT_TRUE(R.ok());
+}
+
+TEST(SerializeTest, ReaderFailsCleanlyOnTruncation) {
+  ByteWriter W;
+  W.str("hello");
+  ByteReader R(W.buffer().data(), 2); // truncated
+  (void)R.str();
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(SerializeTest, ReaderFailsOnUnterminatedVarint) {
+  uint8_t Bad[] = {0x80, 0x80, 0x80};
+  ByteReader R(Bad, sizeof(Bad));
+  (void)R.varint();
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(SerializeTest, CallActionRoundTrip) {
+  Action A = Action::call(3, internName("Insert"), {Value(42), Value("x")});
+  A.Seq = 77;
+  Action B = roundTrip(A);
+  EXPECT_EQ(B.Kind, ActionKind::AK_Call);
+  EXPECT_EQ(B.Tid, 3u);
+  EXPECT_EQ(B.Seq, 77u);
+  EXPECT_EQ(B.Method, A.Method);
+  ASSERT_EQ(B.Args.size(), 2u);
+  EXPECT_EQ(B.Args[0], Value(42));
+  EXPECT_EQ(B.Args[1], Value("x"));
+}
+
+TEST(SerializeTest, ReturnActionRoundTrip) {
+  Action A = Action::ret(1, internName("LookUp"), Value(true));
+  Action B = roundTrip(A);
+  EXPECT_EQ(B.Kind, ActionKind::AK_Return);
+  EXPECT_EQ(B.Ret, Value(true));
+  EXPECT_EQ(B.Method, A.Method);
+}
+
+TEST(SerializeTest, WriteActionRoundTrip) {
+  Action A = Action::write(9, internName("A[3].elt"), Value(123));
+  Action B = roundTrip(A);
+  EXPECT_EQ(B.Kind, ActionKind::AK_Write);
+  EXPECT_EQ(B.Var, A.Var);
+  EXPECT_EQ(B.Val, Value(123));
+}
+
+TEST(SerializeTest, ReplayOpWithBytesRoundTrip) {
+  Action A = Action::replayOp(
+      2, internName("cm.write"),
+      {Value(7), Value(Value::Bytes{0, 1, 2, 3, 4, 250})});
+  Action B = roundTrip(A);
+  EXPECT_EQ(B.Kind, ActionKind::AK_ReplayOp);
+  ASSERT_EQ(B.Args.size(), 2u);
+  EXPECT_EQ(B.Args[1].asBytes().size(), 6u);
+}
+
+TEST(SerializeTest, NamesAreDefinedOncePerStream) {
+  ActionEncoder Enc;
+  ByteWriter W1, W2;
+  Action A = Action::commit(0);
+  A.Method = internName("SomeVeryLongMethodNameForSizeTest");
+  Enc.encode(A, W1);
+  Enc.encode(A, W2);
+  // Second encoding reuses the file-local id: strictly smaller.
+  EXPECT_LT(W2.size(), W1.size());
+}
+
+TEST(SerializeTest, StreamOfMixedActionsRoundTrips) {
+  std::vector<Action> Script;
+  Name M = internName("M");
+  Name Var = internName("v");
+  for (int I = 0; I < 50; ++I) {
+    Script.push_back(Action::call(I % 4, M, {Value(I)}));
+    Script.push_back(Action::write(I % 4, Var, Value(I * 2)));
+    Script.push_back(Action::blockBegin(I % 4));
+    Script.push_back(Action::blockEnd(I % 4));
+    Script.push_back(Action::commit(I % 4));
+    Script.push_back(Action::ret(I % 4, M, Value(I % 2 == 0)));
+  }
+  ActionEncoder Enc;
+  ByteWriter W;
+  for (Action &A : Script)
+    Enc.encode(A, W);
+
+  ByteReader R(W.buffer().data(), W.size());
+  ActionDecoder Dec;
+  for (const Action &Expected : Script) {
+    Action Got;
+    ASSERT_TRUE(Dec.decode(R, Got));
+    EXPECT_EQ(Got.Kind, Expected.Kind);
+    EXPECT_EQ(Got.Tid, Expected.Tid);
+    EXPECT_EQ(Got.Method, Expected.Method);
+    EXPECT_EQ(Got.Var, Expected.Var);
+    EXPECT_EQ(Got.Ret, Expected.Ret);
+    EXPECT_EQ(Got.Val, Expected.Val);
+    ASSERT_EQ(Got.Args.size(), Expected.Args.size());
+    for (size_t I = 0; I < Got.Args.size(); ++I)
+      EXPECT_EQ(Got.Args[I], Expected.Args[I]);
+  }
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(SerializeTest, DecoderRejectsGarbage) {
+  uint8_t Garbage[] = {0x7E, 0x01, 0x02}; // invalid action tag
+  ByteReader R(Garbage, sizeof(Garbage));
+  ActionDecoder Dec;
+  Action Out;
+  EXPECT_FALSE(Dec.decode(R, Out));
+}

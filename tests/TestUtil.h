@@ -1,0 +1,48 @@
+//===- TestUtil.h - Shared helpers for VYRD tests ---------------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for writing scripted logs and running checkers in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_TESTS_TESTUTIL_H
+#define VYRD_TESTS_TESTUTIL_H
+
+#include "vyrd/Checker.h"
+#include "vyrd/Names.h"
+
+#include <initializer_list>
+#include <vector>
+
+namespace vyrd {
+namespace test {
+
+/// Feeds a scripted sequence of actions (sequence numbers assigned in
+/// order) and finishes the checker.
+inline void runScript(RefinementChecker &C, std::vector<Action> Script) {
+  uint64_t Seq = 0;
+  for (Action &A : Script) {
+    A.Seq = Seq++;
+    C.feed(A);
+  }
+  C.finish();
+}
+
+/// True when any recorded violation has kind \p K.
+inline bool hasViolation(const RefinementChecker &C, ViolationKind K) {
+  for (const Violation &V : C.violations())
+    if (V.Kind == K)
+      return true;
+  return false;
+}
+
+inline Name name(const char *S) { return internName(S); }
+
+} // namespace test
+} // namespace vyrd
+
+#endif // VYRD_TESTS_TESTUTIL_H

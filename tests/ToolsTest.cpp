@@ -1,0 +1,162 @@
+//===- ToolsTest.cpp - End-to-end tests for the CLI tools ------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises vyrd-logdump and vyrd-check as real subprocesses against a
+/// freshly recorded log (paths injected by CMake via VYRD_LOGDUMP_PATH /
+/// VYRD_CHECK_PATH).
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Scenarios.h"
+#include "harness/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace vyrd;
+using namespace vyrd::harness;
+
+namespace {
+
+/// Runs a command, captures stdout, returns the exit code.
+int runTool(const std::string &Cmd, std::string &Out) {
+  Out.clear();
+  FILE *P = ::popen((Cmd + " 2>&1").c_str(), "r");
+  if (!P)
+    return -1;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  int Status = ::pclose(P);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+/// Records a multiset run (buggy or clean) into \p Path.
+void recordLog(const std::string &Path, bool Buggy) {
+  ScenarioOptions SO;
+  SO.Prog = Program::P_MultisetVector;
+  SO.Mode = RunMode::RM_LogOnlyView;
+  SO.Buggy = Buggy;
+  SO.LogPath = Path;
+  Scenario S = makeScenario(SO);
+  Chaos::enable(4, 7);
+  WorkloadOptions WO;
+  WO.Threads = 6;
+  WO.OpsPerThread = 120;
+  WO.KeyPoolSize = 12;
+  WO.Seed = 7;
+  runWorkload(WO, S.Op);
+  Chaos::disable();
+  S.Finish();
+}
+
+std::string tempLog(const char *Tag) {
+  return std::string(::testing::TempDir()) + "vyrd-toolstest-" + Tag +
+         "-" + std::to_string(::getpid()) + ".bin";
+}
+
+} // namespace
+
+TEST(ToolsTest, LogdumpPrintsRecords) {
+  std::string Path = tempLog("dump");
+  recordLog(Path, false);
+  std::string Out;
+  int RC = runTool(std::string(VYRD_LOGDUMP_PATH) + " " + Path +
+                       " --limit 5",
+                   Out);
+  EXPECT_EQ(RC, 0) << Out;
+  EXPECT_NE(Out.find("call"), std::string::npos) << Out;
+  std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, LogdumpStats) {
+  std::string Path = tempLog("stats");
+  recordLog(Path, false);
+  std::string Out;
+  int RC =
+      runTool(std::string(VYRD_LOGDUMP_PATH) + " " + Path + " --stats",
+              Out);
+  EXPECT_EQ(RC, 0) << Out;
+  EXPECT_NE(Out.find("by kind"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("Insert"), std::string::npos) << Out;
+  std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, LogdumpFiltersByKind) {
+  std::string Path = tempLog("filter");
+  recordLog(Path, false);
+  std::string Out;
+  int RC = runTool(std::string(VYRD_LOGDUMP_PATH) + " " + Path +
+                       " --kind commit --limit 3",
+                   Out);
+  EXPECT_EQ(RC, 0) << Out;
+  EXPECT_NE(Out.find("commit"), std::string::npos);
+  EXPECT_EQ(Out.find("call"), std::string::npos) << Out;
+  std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, LogdumpRejectsMissingFile) {
+  std::string Out;
+  EXPECT_NE(runTool(std::string(VYRD_LOGDUMP_PATH) +
+                        " /nonexistent-xyz/f.bin",
+                    Out),
+            0);
+}
+
+TEST(ToolsTest, CheckCleanLogExitsZero) {
+  std::string Path = tempLog("clean");
+  recordLog(Path, false);
+  std::string Out;
+  int RC = runTool(std::string(VYRD_CHECK_PATH) + " " + Path +
+                       " --program multiset",
+                   Out);
+  EXPECT_EQ(RC, 0) << Out;
+  EXPECT_NE(Out.find("no refinement violations"), std::string::npos)
+      << Out;
+  std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, CheckBuggyLogExitsOneWithViolations) {
+  std::string Path = tempLog("buggy");
+  // The bug is probabilistic: try a few recordings.
+  int RC = 0;
+  std::string Out;
+  for (int Try = 0; Try < 10 && RC == 0; ++Try) {
+    recordLog(Path, true);
+    RC = runTool(std::string(VYRD_CHECK_PATH) + " " + Path +
+                     " --program multiset --context 8",
+                 Out);
+  }
+  EXPECT_EQ(RC, 1) << Out;
+  EXPECT_NE(Out.find("violation"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("context of"), std::string::npos) << Out;
+  std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, CheckIOModeWorks) {
+  std::string Path = tempLog("iomode");
+  recordLog(Path, false);
+  std::string Out;
+  int RC = runTool(std::string(VYRD_CHECK_PATH) + " " + Path +
+                       " --program multiset --mode io",
+                   Out);
+  EXPECT_EQ(RC, 0) << Out;
+  std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, CheckRejectsBadUsage) {
+  std::string Out;
+  EXPECT_EQ(runTool(std::string(VYRD_CHECK_PATH) + " /tmp/x.bin "
+                    "--program not-a-program",
+                    Out),
+            2);
+  EXPECT_NE(Out.find("usage"), std::string::npos) << Out;
+}

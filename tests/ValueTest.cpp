@@ -1,0 +1,126 @@
+//===- ValueTest.cpp - Unit tests for vyrd::Value --------------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace vyrd;
+
+TEST(ValueTest, DefaultIsNull) {
+  Value V;
+  EXPECT_TRUE(V.isNull());
+  EXPECT_EQ(V.kind(), ValueKind::VK_Null);
+}
+
+TEST(ValueTest, BoolRoundTrip) {
+  Value T(true), F(false);
+  EXPECT_TRUE(T.isBool());
+  EXPECT_TRUE(T.asBool());
+  EXPECT_FALSE(F.asBool());
+  EXPECT_NE(T, F);
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value V(int64_t{-42});
+  EXPECT_TRUE(V.isInt());
+  EXPECT_EQ(V.asInt(), -42);
+}
+
+TEST(ValueTest, IntFromVariousWidths) {
+  EXPECT_EQ(Value(7).asInt(), 7);
+  EXPECT_EQ(Value(7u).asInt(), 7);
+  EXPECT_EQ(Value(uint64_t{7}).asInt(), 7);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value V(std::string("hello"));
+  EXPECT_TRUE(V.isStr());
+  EXPECT_EQ(V.asStr(), "hello");
+  EXPECT_EQ(Value("hello"), V);
+}
+
+TEST(ValueTest, BytesRoundTrip) {
+  Value::Bytes B = {1, 2, 3, 255};
+  Value V(B);
+  EXPECT_TRUE(V.isBytes());
+  EXPECT_EQ(V.asBytes(), B);
+}
+
+TEST(ValueTest, BytesValueHelper) {
+  uint8_t Raw[] = {9, 8, 7};
+  Value V = bytesValue(Raw, 3);
+  ASSERT_TRUE(V.isBytes());
+  EXPECT_EQ(V.asBytes().size(), 3u);
+  EXPECT_EQ(V.asBytes()[0], 9);
+}
+
+TEST(ValueTest, EqualityDistinguishesKinds) {
+  // int 1 != bool true != string "1"
+  EXPECT_NE(Value(int64_t{1}), Value(true));
+  EXPECT_NE(Value(int64_t{1}), Value("1"));
+  EXPECT_NE(Value(true), Value("true"));
+}
+
+TEST(ValueTest, OrderingIsStrictWeak) {
+  std::vector<Value> Vs = {Value(),      Value(false),    Value(true),
+                           Value(-5),    Value(10),       Value("a"),
+                           Value("b"),   Value(Value::Bytes{1})};
+  for (size_t I = 0; I < Vs.size(); ++I)
+    for (size_t J = 0; J < Vs.size(); ++J) {
+      if (I == J) {
+        EXPECT_FALSE(Vs[I] < Vs[J]);
+      } else {
+        EXPECT_TRUE((Vs[I] < Vs[J]) != (Vs[J] < Vs[I]))
+            << "exactly one order between " << Vs[I].str() << " and "
+            << Vs[J].str();
+      }
+    }
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_TRUE(Value() < Value(false));
+  EXPECT_TRUE(Value() < Value(int64_t{INT64_MIN}));
+  EXPECT_TRUE(Value() < Value(""));
+}
+
+TEST(ValueTest, HashEqualForEqualValues) {
+  EXPECT_EQ(Value(42).hash(), Value(42).hash());
+  EXPECT_EQ(Value("xyz").hash(), Value("xyz").hash());
+  EXPECT_EQ(Value(Value::Bytes{1, 2}).hash(),
+            Value(Value::Bytes{1, 2}).hash());
+}
+
+TEST(ValueTest, HashDistinguishesKindsAndContents) {
+  std::set<uint64_t> Hashes;
+  Hashes.insert(Value().hash());
+  Hashes.insert(Value(false).hash());
+  Hashes.insert(Value(true).hash());
+  Hashes.insert(Value(0).hash());
+  Hashes.insert(Value(1).hash());
+  Hashes.insert(Value("").hash());
+  Hashes.insert(Value("0").hash());
+  Hashes.insert(Value(Value::Bytes{}).hash());
+  Hashes.insert(Value(Value::Bytes{0}).hash());
+  EXPECT_EQ(Hashes.size(), 9u) << "hash collisions across simple values";
+}
+
+TEST(ValueTest, StrRendering) {
+  EXPECT_EQ(Value().str(), "null");
+  EXPECT_EQ(Value(true).str(), "true");
+  EXPECT_EQ(Value(-3).str(), "-3");
+  EXPECT_EQ(Value("hi").str(), "\"hi\"");
+  EXPECT_EQ(Value(Value::Bytes{0xAB}).str(), "bytes[1]:ab");
+}
+
+TEST(ValueTest, LongBytesRenderingTruncates) {
+  Value::Bytes B(20, 0x11);
+  std::string S = Value(B).str();
+  EXPECT_NE(S.find("bytes[20]:"), std::string::npos);
+  EXPECT_NE(S.find(".."), std::string::npos);
+}

@@ -1,0 +1,169 @@
+//===- ViewTest.cpp - Unit tests for incremental views ---------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/View.h"
+
+#include <gtest/gtest.h>
+
+using namespace vyrd;
+
+TEST(ViewTest, EmptyViewsAreEqual) {
+  View A, B;
+  EXPECT_EQ(A, B);
+  EXPECT_TRUE(A.deepEquals(B));
+  EXPECT_TRUE(A.empty());
+}
+
+TEST(ViewTest, AddMakesUnequal) {
+  View A, B;
+  A.add(Value(1), Value("x"));
+  EXPECT_NE(A, B);
+  EXPECT_FALSE(A.deepEquals(B));
+  EXPECT_EQ(A.size(), 1u);
+}
+
+TEST(ViewTest, OrderInsensitiveHash) {
+  View A, B;
+  for (int I = 0; I < 20; ++I)
+    A.add(Value(I), Value(I * 10));
+  for (int I = 19; I >= 0; --I)
+    B.add(Value(I), Value(I * 10));
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.digest(), B.digest());
+  EXPECT_TRUE(A.deepEquals(B));
+}
+
+TEST(ViewTest, AddRemoveRestoresDigest) {
+  View A;
+  A.add(Value(1), Value());
+  auto D0 = A.digest();
+  A.add(Value(2), Value("y"));
+  EXPECT_NE(A.digest(), D0);
+  EXPECT_TRUE(A.remove(Value(2), Value("y")));
+  EXPECT_EQ(A.digest(), D0);
+  EXPECT_EQ(A.size(), 1u);
+}
+
+TEST(ViewTest, RemoveAbsentReturnsFalseAndKeepsState) {
+  View A;
+  A.add(Value(1), Value());
+  auto D = A.digest();
+  EXPECT_FALSE(A.remove(Value(2), Value()));
+  EXPECT_FALSE(A.remove(Value(1), Value("other")));
+  EXPECT_EQ(A.digest(), D);
+  EXPECT_EQ(A.size(), 1u);
+}
+
+TEST(ViewTest, MultiplicityIsTracked) {
+  View A, B;
+  A.add(Value(5), Value());
+  A.add(Value(5), Value());
+  B.add(Value(5), Value());
+  EXPECT_NE(A, B) << "multiset: {5,5} != {5}";
+  EXPECT_EQ(A.count(Value(5), Value()), 2u);
+  B.add(Value(5), Value());
+  EXPECT_EQ(A, B);
+}
+
+TEST(ViewTest, CountKeySumsAcrossValues) {
+  View A;
+  A.add(Value(1), Value("a"));
+  A.add(Value(1), Value("b"));
+  A.add(Value(1), Value("b"));
+  A.add(Value(2), Value("c"));
+  EXPECT_EQ(A.countKey(Value(1)), 3u);
+  EXPECT_EQ(A.countKey(Value(2)), 1u);
+  EXPECT_EQ(A.countKey(Value(3)), 0u);
+}
+
+TEST(ViewTest, RemoveKeyDropsAllEntriesForKey) {
+  View A;
+  A.add(Value(1), Value("a"));
+  A.add(Value(1), Value("b"));
+  A.add(Value(2), Value("c"));
+  EXPECT_EQ(A.removeKey(Value(1)), 2u);
+  EXPECT_EQ(A.size(), 1u);
+  EXPECT_EQ(A.countKey(Value(1)), 0u);
+  View B;
+  B.add(Value(2), Value("c"));
+  EXPECT_TRUE(A.deepEquals(B));
+  EXPECT_EQ(A, B) << "digest must follow removeKey";
+}
+
+TEST(ViewTest, ClearResetsToEmpty) {
+  View A, Empty;
+  for (int I = 0; I < 10; ++I)
+    A.add(Value(I), Value());
+  A.clear();
+  EXPECT_EQ(A, Empty);
+  EXPECT_TRUE(A.deepEquals(Empty));
+}
+
+TEST(ViewTest, DigestMatchesFreshlyBuiltEquivalent) {
+  // Incremental mutations must land exactly where a from-scratch build
+  // lands (the audit relies on this).
+  View Inc;
+  for (int I = 0; I < 50; ++I)
+    Inc.add(Value(I % 7), Value(I % 3));
+  for (int I = 0; I < 25; ++I)
+    EXPECT_TRUE(Inc.remove(Value(I % 7), Value(I % 3)));
+
+  View Fresh;
+  // Replay the same net content.
+  for (const auto &[E, C] : Inc.entries())
+    for (size_t I = 0; I < C; ++I)
+      Fresh.add(E.Key, E.Val);
+  EXPECT_EQ(Inc, Fresh);
+  EXPECT_TRUE(Inc.deepEquals(Fresh));
+}
+
+TEST(ViewTest, DiffReportsBothSides) {
+  View L, R;
+  L.add(Value(1), Value("only-in-l"));
+  R.add(Value(2), Value("only-in-r"));
+  L.add(Value(3), Value("shared"));
+  R.add(Value(3), Value("shared"));
+  std::string D = View::diff(L, R);
+  EXPECT_NE(D.find("only-left(1)"), std::string::npos) << D;
+  EXPECT_NE(D.find("only-right(1)"), std::string::npos) << D;
+  EXPECT_EQ(D.find("shared"), std::string::npos) << D;
+}
+
+TEST(ViewTest, DiffOfEqualViewsSaysIdentical) {
+  View L, R;
+  L.add(Value(1), Value());
+  R.add(Value(1), Value());
+  EXPECT_EQ(View::diff(L, R), "views identical");
+}
+
+TEST(ViewTest, DiffCountsMultiplicityDifferences) {
+  View L, R;
+  L.add(Value(1), Value());
+  L.add(Value(1), Value());
+  R.add(Value(1), Value());
+  std::string D = View::diff(L, R);
+  EXPECT_NE(D.find("only-left"), std::string::npos) << D;
+  EXPECT_NE(D.find("only-right"), std::string::npos) << D;
+}
+
+TEST(ViewTest, StrShowsEntriesAndSize) {
+  View A;
+  A.add(Value(7), Value("v"));
+  std::string S = A.str();
+  EXPECT_NE(S.find("7->"), std::string::npos) << S;
+  EXPECT_NE(S.find("(1 entries)"), std::string::npos) << S;
+}
+
+TEST(ViewTest, HashSecondAccumulatorCatchesSwaps) {
+  // Two different multisets engineered to have the same size; the double
+  // accumulator must still distinguish them.
+  View A, B;
+  A.add(Value(1), Value(2));
+  A.add(Value(3), Value(4));
+  B.add(Value(1), Value(4));
+  B.add(Value(3), Value(2));
+  EXPECT_NE(A, B);
+}

@@ -1,0 +1,109 @@
+//===- vyrd-logdump.cpp - Inspect a recorded VYRD log ----------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Dumps a binary log file produced by FileLog in human-readable form.
+//
+//   vyrd-logdump <log-file> [--limit N] [--tid T] [--kind K] [--stats]
+//
+//   --limit N   print at most N records
+//   --tid T     only records of thread T
+//   --kind K    only records of kind K (call, return, commit, write,
+//               block-begin, block-end, replay-op)
+//   --stats     print per-kind / per-method counts instead of records
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+using namespace vyrd;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <log-file> [--limit N] [--tid T] [--kind K] "
+               "[--stats]\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  std::string Path;
+  long Limit = -1, Tid = -1;
+  std::string KindFilter;
+  bool Stats = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--limit" && I + 1 < Argc) {
+      Limit = std::atol(Argv[++I]);
+    } else if (Arg == "--tid" && I + 1 < Argc) {
+      Tid = std::atol(Argv[++I]);
+    } else if (Arg == "--kind" && I + 1 < Argc) {
+      KindFilter = Argv[++I];
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg[0] == '-') {
+      return usage(Argv[0]);
+    } else {
+      Path = Arg;
+    }
+  }
+  if (Path.empty())
+    return usage(Argv[0]);
+
+  std::vector<Action> Log;
+  if (!loadLogFile(Path, Log)) {
+    std::fprintf(stderr, "error: cannot read log file '%s'\n",
+                 Path.c_str());
+    return 1;
+  }
+
+  if (Stats) {
+    std::map<std::string, uint64_t> ByKind;
+    std::map<std::string, uint64_t> ByMethod;
+    uint64_t Threads = 0;
+    for (const Action &A : Log) {
+      ++ByKind[actionKindName(A.Kind)];
+      if (A.Kind == ActionKind::AK_Call)
+        ++ByMethod[std::string(A.Method.str())];
+      if (A.Tid + 1 > Threads)
+        Threads = A.Tid + 1;
+    }
+    std::printf("%zu records, %llu thread(s)\n", Log.size(),
+                static_cast<unsigned long long>(Threads));
+    std::printf("\nby kind:\n");
+    for (const auto &[K, N] : ByKind)
+      std::printf("  %-12s %10llu\n", K.c_str(),
+                  static_cast<unsigned long long>(N));
+    std::printf("\nmethod calls:\n");
+    for (const auto &[M, N] : ByMethod)
+      std::printf("  %-24s %10llu\n", M.c_str(),
+                  static_cast<unsigned long long>(N));
+    return 0;
+  }
+
+  long Printed = 0;
+  for (const Action &A : Log) {
+    if (Tid >= 0 && A.Tid != static_cast<ThreadId>(Tid))
+      continue;
+    if (!KindFilter.empty() && KindFilter != actionKindName(A.Kind))
+      continue;
+    std::printf("%s\n", A.str().c_str());
+    if (Limit >= 0 && ++Printed >= Limit)
+      break;
+  }
+  return 0;
+}
