@@ -1,0 +1,205 @@
+//===- bench_log_backends.cpp - Mutex log vs sharded buffered log ----------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Table 2 measures how much the log slows down the
+// *instrumented program*: appends execute inside the application's
+// methods, while draining, serialization and checking can run elsewhere.
+// The seed backends pay a global mutex (MemoryLog) or a mutex plus
+// inline encode+write (FileLog) on every append; BufferedLog pays a
+// ticket fetch_add and one move into a private ring.
+//
+// This bench therefore reports two numbers per backend at 1/2/4/8
+// producer threads:
+//
+//  * app-side append throughput: total records divided by the CPU time
+//    the producer threads themselves consumed (CLOCK_THREAD_CPUTIME_ID
+//    around the append loop). This is the cost instrumentation adds to
+//    the program, independent of how many cores the host has.
+//  * end-to-end throughput: total records over the wall time until the
+//    log is closed and fully drained. On a single-core host this sums
+//    every pipeline stage, so a backend that shifts work off the app
+//    threads cannot win here; on a multi-core host the stages overlap.
+//
+// Memory variants drain concurrently in 256-record batches (the online
+// verifier's consumption pattern); file variants write records to disk
+// with no consumer (the Table 2 logging-overhead pattern, RetainTail /
+// RetainRecords off). Records are an alloc-free call/write/commit/return
+// mix so the allocator doesn't dilute the backend comparison. Results
+// are recorded in EXPERIMENTS.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "vyrd/BufferedLog.h"
+
+#include <atomic>
+#include <cstdio>
+#include <ctime>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace vyrd;
+using namespace vyrd::bench;
+
+namespace {
+
+constexpr unsigned MethodsPerThread = 20000; // 4 records per method
+constexpr unsigned Reps = 3;
+
+/// CPU seconds consumed by the calling thread alone.
+double threadCpuSeconds() {
+  timespec TS;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &TS);
+  return double(TS.tv_sec) + double(TS.tv_nsec) * 1e-9;
+}
+
+/// Appends one method's worth of records (call, write, commit, return)
+/// through the thread's writer handle, the way Hooks does. No heap
+/// allocations: the call carries no arguments and the values are scalars.
+void appendMethod(LogWriter &W, Name M, Name Var, int64_t K) {
+  W.append(Action::call(0, M, {}));
+  W.append(Action::write(0, Var, Value(K)));
+  W.append(Action::commit(0));
+  W.append(Action::ret(0, M, Value(true)));
+}
+
+struct RunCost {
+  double ProducerCpu; // summed over producer threads, append loop only
+  double Wall;        // producers started -> log closed and drained
+};
+
+/// Runs \p Threads producers against \p L, optionally draining from a
+/// consumer thread.
+RunCost runProducers(Log &L, unsigned Threads, bool Drain) {
+  Name M = internName("bench.op");
+  Name Var = internName("bench.var");
+  std::atomic<uint64_t> CpuNanos{0};
+  double T0 = wallSeconds();
+  std::thread Consumer;
+  if (Drain)
+    Consumer = std::thread([&L] {
+      std::vector<Action> Batch;
+      while (L.nextBatch(Batch, 256))
+        ;
+    });
+  std::vector<std::thread> Producers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Producers.emplace_back([&L, &CpuNanos, M, Var] {
+      LogWriter &W = L.writer();
+      double C0 = threadCpuSeconds();
+      for (unsigned I = 0; I < MethodsPerThread; ++I)
+        appendMethod(W, M, Var, static_cast<int64_t>(I));
+      CpuNanos.fetch_add(
+          static_cast<uint64_t>((threadCpuSeconds() - C0) * 1e9));
+    });
+  for (auto &P : Producers)
+    P.join();
+  L.close();
+  if (Drain)
+    Consumer.join();
+  return {double(CpuNanos.load()) * 1e-9, wallSeconds() - T0};
+}
+
+struct Throughput {
+  double App; // M records per producer-CPU-second (best of Reps)
+  double E2E; // M records per wall second (best of Reps)
+};
+
+Throughput measure(const std::function<std::unique_ptr<Log>()> &Make,
+                   unsigned Threads, bool Drain) {
+  Throughput Best{0, 0};
+  double Total = static_cast<double>(Threads) * MethodsPerThread * 4;
+  for (unsigned R = 0; R < Reps; ++R) {
+    auto L = Make();
+    if (!L) {
+      std::fprintf(stderr, "failed to open a log backend\n");
+      std::exit(1);
+    }
+    RunCost C = runProducers(*L, Threads, Drain);
+    Best.App = std::max(Best.App, Total / C.ProducerCpu / 1e6);
+    Best.E2E = std::max(Best.E2E, Total / C.Wall / 1e6);
+  }
+  return Best;
+}
+
+std::string tmpFile(const char *Tag) {
+  return "/tmp/vyrd-benchlog-" + std::string(Tag) + "-" +
+         std::to_string(getpid()) + ".bin";
+}
+
+void printRow(unsigned Threads, Throughput Mutex, Throughput Buffered) {
+  std::printf("%-8u %13.2f %13.2f %8.2fx %11.2f %11.2f\n", Threads,
+              Mutex.App, Buffered.App, Buffered.App / Mutex.App, Mutex.E2E,
+              Buffered.E2E);
+}
+
+void printHeader(const char *MutexName) {
+  std::printf("%-8s %13s %13s %9s %11s %11s\n", "", "app M/s", "app M/s",
+              "app", "e2e M/s", "e2e M/s");
+  std::printf("%-8s %13s %13s %9s %11s %11s\n", "threads", MutexName,
+              "BufferedLog", "speedup", MutexName, "BufferedLog");
+  hr();
+}
+
+} // namespace
+
+int main() {
+  std::printf("Log backend append throughput (%u methods x 4 records per "
+              "producer, best of %u)\n"
+              "app = records per CPU-second spent in the producer threads "
+              "(instrumentation cost)\ne2e = records per wall second until "
+              "the log is closed and drained\n\n",
+              MethodsPerThread, Reps);
+
+  std::printf("In-memory, concurrent consumer draining 256-record "
+              "batches:\n\n");
+  printHeader("MemoryLog");
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    Throughput Mem = measure([] { return std::make_unique<MemoryLog>(); },
+                             Threads, /*Drain=*/true);
+    Throughput Buf = measure(
+        [] {
+          BufferedLog::Options O;
+          O.ShardCapacity = 4096;
+          return std::make_unique<BufferedLog>(std::move(O));
+        },
+        Threads, /*Drain=*/true);
+    printRow(Threads, Mem, Buf);
+  }
+  hr();
+
+  std::printf("\nFile-backed, no consumer (logging-overhead pattern):\n\n");
+  printHeader("FileLog");
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    std::string FilePath = tmpFile("file");
+    Throughput File = measure(
+        [&FilePath] {
+          bool Valid = false;
+          auto L = std::make_unique<FileLog>(FilePath, Valid,
+                                             /*RetainTail=*/false);
+          return Valid ? std::move(L) : nullptr;
+        },
+        Threads, /*Drain=*/false);
+    std::string BufPath = tmpFile("buffered");
+    Throughput Buf = measure(
+        [&BufPath] {
+          BufferedLog::Options O;
+          O.ShardCapacity = 4096;
+          O.FilePath = BufPath;
+          O.RetainRecords = false;
+          return std::make_unique<BufferedLog>(std::move(O));
+        },
+        Threads, /*Drain=*/false);
+    std::remove(FilePath.c_str());
+    std::remove(BufPath.c_str());
+    printRow(Threads, File, Buf);
+  }
+  hr();
+  return 0;
+}

@@ -173,11 +173,19 @@ Hooks wireScenario(Scenario &S, const ScenarioOptions &O,
   if (!modeChecks(O.Mode)) {
     // Logging only: a bare log with no consumer.
     std::shared_ptr<Log> L;
-    if (!O.LogPath.empty()) {
+    if (O.Buffered) {
+      BufferedLog::Options BO;
+      BO.FilePath = O.LogPath;
+      BO.RetainRecords = false; // nothing consumes the log
+      auto BL = std::make_shared<BufferedLog>(std::move(BO));
+      assert(BL->valid() && "cannot open log file");
+      L = std::move(BL);
+    } else if (!O.LogPath.empty()) {
       bool Valid = false;
       L = std::make_shared<FileLog>(O.LogPath, Valid,
                                     /*RetainTail=*/false);
       assert(Valid && "cannot open log file");
+      (void)Valid;
     } else {
       L = std::make_shared<MemoryLog>();
     }
@@ -205,6 +213,8 @@ Hooks wireScenario(Scenario &S, const ScenarioOptions &O,
   VC.Online = O.Mode == RunMode::RM_OnlineIO ||
               O.Mode == RunMode::RM_OnlineView;
   VC.LogFilePath = O.LogPath;
+  if (O.Buffered)
+    VC.Backend = LogBackend::LB_Buffered;
   auto V = std::make_shared<Verifier>(
       std::move(Spec), ViewLevel ? std::move(Replayer) : nullptr, VC);
   V->start();

@@ -83,6 +83,9 @@ struct ScenarioOptions {
   bool Buggy = false;
   /// Log to this file instead of memory (empty = MemoryLog).
   std::string LogPath;
+  /// Use the sharded BufferedLog backend (with LogPath as its file when
+  /// set) instead of MemoryLog/FileLog.
+  bool Buffered = false;
   /// Stop recording violations after the first (Table 1 protocol).
   bool StopAtFirstViolation = false;
   /// Ablation: rebuild views from scratch at every commit.

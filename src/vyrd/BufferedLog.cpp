@@ -1,0 +1,338 @@
+//===- BufferedLog.cpp - Sharded, batched execution log -------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/BufferedLog.h"
+
+#include "vyrd/Instrument.h"
+#include "vyrd/Serialize.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+
+using namespace vyrd;
+
+namespace {
+
+/// Producer-side wait while the shard ring is full: a couple of yields,
+/// then short sleeps so a starved flusher gets CPU even on one core.
+void backoff(unsigned Round) {
+  if (Round < 8)
+    std::this_thread::yield();
+  else
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+/// Each BufferedLog gets a process-unique id; ids are never reused, so the
+/// thread-local shard cache below can never hit a stale entry for a log
+/// that was destroyed and another allocated at the same address.
+std::atomic<uint64_t> NextLogInstanceId{1};
+
+struct ShardCacheEntry {
+  uint64_t LogId = 0;
+  ThreadLogShard *Shard = nullptr;
+};
+constexpr size_t ShardCacheWays = 4;
+/// Direct-mapped per-thread cache of (log instance -> this thread's
+/// shard), so the append fast path avoids the registry mutex.
+thread_local ShardCacheEntry ShardCache[ShardCacheWays];
+
+} // namespace
+
+struct BufferedLog::Impl {
+  Options Opts;
+  uint64_t InstanceId = 0;
+
+  /// The global order: every append claims one ticket (see BufferedLog.h
+  /// for why a relaxed RMW is enough).
+  std::atomic<uint64_t> Tickets{0};
+  std::atomic<bool> Closed{false};
+
+  /// Registered shards, indexed by dense thread id. Grown under RegistryM;
+  /// shards live until the log is destroyed. RegisteredShards counts the
+  /// non-null entries so the flusher can skip the mutex when nothing new
+  /// registered since its last snapshot.
+  mutable std::mutex RegistryM;
+  std::vector<std::unique_ptr<ThreadLogShard>> ShardByTid;
+  std::atomic<size_t> RegisteredShards{0};
+  std::vector<ThreadLogShard *> ShardScratch; // flusher-only snapshot
+
+  /// Flusher state (flusher thread only).
+  std::thread Flusher;
+  uint64_t SeqNext = 0; // next ticket to enter the global order
+  /// The reorder ring: drained records parked at `Seq & ReorderMask`
+  /// until the contiguous run starting at SeqNext is complete.
+  std::vector<Action> Reorder;
+  std::vector<uint8_t> Parked;
+  uint64_t ReorderMask = 0;
+  ActionEncoder Encoder;
+  ByteWriter Scratch;
+  std::FILE *File = nullptr;
+  std::atomic<uint64_t> Bytes{0};
+
+  /// The global, merged order the readers consume.
+  std::mutex QM;
+  std::condition_variable QCV;
+  std::deque<Action> Q;
+  bool Finished = false; // flusher exited; Q holds everything remaining
+
+  /// Serializes close() so it is idempotent.
+  std::mutex CloseM;
+  bool CloseDone = false;
+};
+
+//===----------------------------------------------------------------------===//
+// ThreadLogShard
+//===----------------------------------------------------------------------===//
+
+ThreadLogShard::ThreadLogShard(BufferedLog &Parent, size_t Capacity)
+    : Parent(Parent), Slots(std::bit_ceil(std::max<size_t>(Capacity, 2))),
+      Mask(Slots.size() - 1) {}
+
+uint64_t ThreadLogShard::append(Action A) {
+  assert(!Parent.I->Closed.load(std::memory_order_relaxed) &&
+         "append after close");
+  uint64_t H = Head.load(std::memory_order_relaxed);
+  if (H - CachedTail > Mask) {
+    CachedTail = Tail.load(std::memory_order_acquire);
+    for (unsigned Round = 0; H - CachedTail > Mask; ++Round) {
+      backoff(Round); // ring full: wait for the flusher to make room
+      CachedTail = Tail.load(std::memory_order_acquire);
+    }
+  }
+  // Claim the record's place in the global order only once a slot is
+  // certain, so a producer never stalls between ticket and publish longer
+  // than the store below takes.
+  uint64_t Ticket =
+      Parent.I->Tickets.fetch_add(1, std::memory_order_relaxed);
+  A.Seq = Ticket;
+  Slots[H & Mask] = std::move(A);
+  Head.store(H + 1, std::memory_order_release);
+  return Ticket;
+}
+
+size_t ThreadLogShard::drain() {
+  uint64_t T = Tail.load(std::memory_order_relaxed);
+  uint64_t H = Head.load(std::memory_order_acquire);
+  size_t N = static_cast<size_t>(H - T);
+  for (; T != H; ++T)
+    Parent.park(std::move(Slots[T & Mask]));
+  if (N)
+    Tail.store(T, std::memory_order_release);
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// BufferedLog
+//===----------------------------------------------------------------------===//
+
+BufferedLog::BufferedLog() : BufferedLog(Options()) {}
+
+BufferedLog::BufferedLog(Options O) : I(std::make_unique<Impl>()) {
+  I->Opts = std::move(O);
+  I->InstanceId =
+      NextLogInstanceId.fetch_add(1, std::memory_order_relaxed);
+  // Big enough that the flusher only grows it if a producer stalls
+  // between taking a ticket and publishing while others run far ahead.
+  I->Reorder.resize(std::bit_ceil(std::max<size_t>(
+      2 * std::bit_ceil(std::max<size_t>(I->Opts.ShardCapacity, 2)), 16)));
+  I->Parked.assign(I->Reorder.size(), 0);
+  I->ReorderMask = I->Reorder.size() - 1;
+  if (!I->Opts.FilePath.empty()) {
+    I->File = std::fopen(I->Opts.FilePath.c_str(), "wb");
+    Valid = I->File != nullptr;
+  }
+  I->Flusher = std::thread([this] { flusherMain(); });
+}
+
+BufferedLog::~BufferedLog() {
+  close();
+  if (I->File)
+    std::fclose(I->File);
+}
+
+ThreadLogShard &BufferedLog::shardForCurrentThread() {
+  ThreadId Tid = currentTid();
+  std::lock_guard Lock(I->RegistryM);
+  if (I->ShardByTid.size() <= Tid)
+    I->ShardByTid.resize(Tid + 1);
+  if (!I->ShardByTid[Tid]) {
+    I->ShardByTid[Tid] =
+        std::make_unique<ThreadLogShard>(*this, I->Opts.ShardCapacity);
+    I->RegisteredShards.fetch_add(1, std::memory_order_release);
+  }
+  return *I->ShardByTid[Tid];
+}
+
+LogWriter &BufferedLog::writer() {
+  ShardCacheEntry &E = ShardCache[I->InstanceId % ShardCacheWays];
+  if (E.LogId == I->InstanceId)
+    return *E.Shard;
+  ThreadLogShard &S = shardForCurrentThread();
+  E.LogId = I->InstanceId;
+  E.Shard = &S;
+  return S;
+}
+
+uint64_t BufferedLog::append(Action A) { return writer().append(std::move(A)); }
+
+size_t BufferedLog::shardCount() const {
+  std::lock_guard Lock(I->RegistryM);
+  size_t N = 0;
+  for (const auto &S : I->ShardByTid)
+    N += S != nullptr;
+  return N;
+}
+
+size_t BufferedLog::drainShards() {
+  // Re-snapshot only when a thread registered since the last round; the
+  // count only grows, so a stale snapshot just means one extra check.
+  if (I->ShardScratch.size() !=
+      I->RegisteredShards.load(std::memory_order_acquire)) {
+    std::lock_guard Lock(I->RegistryM);
+    I->ShardScratch.clear();
+    for (const auto &S : I->ShardByTid)
+      if (S)
+        I->ShardScratch.push_back(S.get());
+  }
+  size_t Drained = 0;
+  for (ThreadLogShard *S : I->ShardScratch)
+    Drained += S->drain();
+  return Drained;
+}
+
+void BufferedLog::park(Action &&A) {
+  if (A.Seq - I->SeqNext >= I->Reorder.size()) {
+    // A producer stalled between ticket and publish while others ran more
+    // than a ring's worth ahead. Grow and re-park by each record's own
+    // (dense, unique) ticket.
+    size_t NewSize =
+        std::bit_ceil<uint64_t>(A.Seq - I->SeqNext + 1) * 2;
+    std::vector<Action> NewReorder(NewSize);
+    std::vector<uint8_t> NewParked(NewSize, 0);
+    for (size_t Slot = 0; Slot != I->Reorder.size(); ++Slot)
+      if (I->Parked[Slot]) {
+        Action &Old = I->Reorder[Slot];
+        NewParked[Old.Seq & (NewSize - 1)] = 1;
+        NewReorder[Old.Seq & (NewSize - 1)] = std::move(Old);
+      }
+    I->Reorder = std::move(NewReorder);
+    I->Parked = std::move(NewParked);
+    I->ReorderMask = NewSize - 1;
+  }
+  size_t Slot = A.Seq & I->ReorderMask;
+  I->Parked[Slot] = 1;
+  I->Reorder[Slot] = std::move(A);
+}
+
+size_t BufferedLog::emitReady() {
+  const uint64_t First = I->SeqNext;
+  uint64_t S = First;
+  while (S - First < I->Reorder.size() && I->Parked[S & I->ReorderMask])
+    ++S;
+  size_t K = static_cast<size_t>(S - First);
+  if (K == 0)
+    return 0;
+  if (I->File) {
+    I->Scratch.clear();
+    for (uint64_t T = First; T != S; ++T)
+      I->Encoder.encode(I->Reorder[T & I->ReorderMask], I->Scratch);
+    std::fwrite(I->Scratch.buffer().data(), 1, I->Scratch.size(), I->File);
+    I->Bytes.fetch_add(I->Scratch.size(), std::memory_order_relaxed);
+  }
+  if (I->Opts.RetainRecords) {
+    {
+      std::lock_guard Lock(I->QM);
+      for (uint64_t T = First; T != S; ++T)
+        I->Q.push_back(std::move(I->Reorder[T & I->ReorderMask]));
+    }
+    I->QCV.notify_one();
+  }
+  for (uint64_t T = First; T != S; ++T)
+    I->Parked[T & I->ReorderMask] = 0;
+  I->SeqNext = S;
+  return K;
+}
+
+void BufferedLog::flusherMain() {
+  unsigned Idle = 0;
+  for (;;) {
+    // Order matters: observe Closed before the final drain, so everything
+    // appended before close() is captured by this round's drain.
+    bool ClosedNow = I->Closed.load(std::memory_order_acquire);
+    size_t Drained = drainShards();
+    size_t Emitted = emitReady();
+    if (ClosedNow &&
+        I->SeqNext == I->Tickets.load(std::memory_order_acquire))
+      break;
+    if (Drained == 0 && Emitted == 0)
+      backoff(Idle++);
+    else
+      Idle = 0;
+  }
+  if (I->File)
+    std::fflush(I->File);
+  {
+    std::lock_guard Lock(I->QM);
+    I->Finished = true;
+  }
+  I->QCV.notify_all();
+}
+
+void BufferedLog::close() {
+  std::lock_guard Lock(I->CloseM);
+  if (I->CloseDone)
+    return;
+  I->CloseDone = true;
+  I->Closed.store(true, std::memory_order_release);
+  I->Flusher.join();
+}
+
+bool BufferedLog::next(Action &Out) {
+  std::unique_lock Lock(I->QM);
+  I->QCV.wait(Lock, [&] { return !I->Q.empty() || I->Finished; });
+  if (I->Q.empty())
+    return false;
+  Out = std::move(I->Q.front());
+  I->Q.pop_front();
+  return true;
+}
+
+bool BufferedLog::tryNext(Action &Out, bool &End) {
+  std::lock_guard Lock(I->QM);
+  if (!I->Q.empty()) {
+    Out = std::move(I->Q.front());
+    I->Q.pop_front();
+    End = false;
+    return true;
+  }
+  End = I->Finished;
+  return false;
+}
+
+bool BufferedLog::nextBatch(std::vector<Action> &Out, size_t Max) {
+  Out.clear();
+  std::unique_lock Lock(I->QM);
+  I->QCV.wait(Lock, [&] { return !I->Q.empty() || I->Finished; });
+  while (!I->Q.empty() && Out.size() < Max) {
+    Out.push_back(std::move(I->Q.front()));
+    I->Q.pop_front();
+  }
+  return !Out.empty();
+}
+
+uint64_t BufferedLog::appendCount() const {
+  return I->Tickets.load(std::memory_order_acquire);
+}
+
+uint64_t BufferedLog::byteCount() const {
+  return I->Bytes.load(std::memory_order_relaxed);
+}

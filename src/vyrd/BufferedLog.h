@@ -1,0 +1,167 @@
+//===- BufferedLog.h - Sharded, batched execution log -----------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A log backend that takes the global mutex off the instrumentation hot
+/// path (the dominant runtime cost the paper measures in Table 2). Each
+/// producer thread appends into its own bounded single-producer /
+/// single-consumer ring (ThreadLogShard); a flusher thread drains the
+/// shards in epochs and merges the records into the global append order,
+/// from which readers consume in batches.
+///
+/// Ordering contract
+/// -----------------
+/// The refinement checker needs the log to be a linearization of the
+/// instrumented events: if action X became visible before action Y (in
+/// particular, if X's commit happened before Y's commit under the data
+/// structure's locks), X must precede Y in the log. Epoch flushing alone
+/// cannot provide this — two shards flushed in either order would reorder
+/// causally related commits — so the global order is fixed at append time
+/// by a single atomic ticket counter:
+///
+///  * append claims `Ticket.fetch_add(1, relaxed)` and stamps it into
+///    Action::Seq. Per-object coherence guarantees that if append X
+///    happens-before append Y (same thread, or across threads via the
+///    lock the paper's atomicity rule already requires the hook to hold),
+///    X's increment precedes Y's in the counter's modification order, so
+///    ticket(X) < ticket(Y). No stronger ordering is needed from the RMW
+///    itself; `relaxed` suffices.
+///  * the record is published to the shard with a release store of the
+///    ring head; the flusher reads the head with acquire, so the record
+///    contents are visible when it drains.
+///  * tickets are dense, so the flusher can (and must) emit records in
+///    exactly ticket order: it holds records back until the contiguous
+///    prefix is complete, then stamps them into the global order as the
+///    final, dense sequence numbers. A record's sequence number therefore
+///    *is* its ticket; it becomes observable to readers only at flush.
+///    Density also makes reordering O(1) per record: the flusher parks
+///    each drained record in a ring indexed by `Seq & Mask` (growing the
+///    ring if a stalled producer ever leaves a wider gap) and emits the
+///    contiguous run starting at the next expected ticket — no
+///    comparisons, no heap.
+///
+/// Backpressure: shards are bounded. A producer whose ring is full waits
+/// (spin, then yield, then short sleeps) until the flusher makes room, so
+/// memory for unflushed records is capped at ShardCapacity per thread.
+///
+/// Thread registration: a shard is created for a thread the first time it
+/// calls writer() (or append). Shards are owned by the log and outlive
+/// their threads; thread ids are never reused, so a shard has exactly one
+/// producer for its whole life. close() must only be called after all
+/// producer threads are done appending (same contract as the other
+/// backends, where it is enforced by an assert).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_BUFFEREDLOG_H
+#define VYRD_BUFFEREDLOG_H
+
+#include "vyrd/Log.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+namespace vyrd {
+
+class BufferedLog;
+
+/// One thread's bounded SPSC ring. Producer: the owning thread, through
+/// LogWriter::append. Consumer: the parent log's flusher thread.
+class ThreadLogShard final : public LogWriter {
+public:
+  ThreadLogShard(BufferedLog &Parent, size_t Capacity);
+
+  /// Producer side: claims a ticket, stamps it as the sequence number and
+  /// publishes the record to the ring, waiting for space if the ring is
+  /// full. Must only be called by the owning thread.
+  uint64_t append(Action A) override;
+
+private:
+  friend class BufferedLog;
+
+  /// Consumer side (flusher only): moves all published records out into
+  /// the parent's reorder ring. \returns how many were moved.
+  size_t drain();
+
+  BufferedLog &Parent;
+  std::vector<Action> Slots;
+  const uint64_t Mask;
+  /// Monotonic positions; slot = position & Mask. Head is written by the
+  /// producer (release) and read by the flusher (acquire); Tail is the
+  /// reverse. CachedTail lets the producer check for space without
+  /// touching the shared Tail in the common case.
+  alignas(64) std::atomic<uint64_t> Head{0};
+  alignas(64) std::atomic<uint64_t> Tail{0};
+  uint64_t CachedTail = 0;
+};
+
+/// The sharded, batched log backend. See the file comment for the
+/// ordering and registration contract.
+class BufferedLog final : public Log {
+public:
+  struct Options {
+    /// Ring capacity per producer thread, in records; rounded up to a
+    /// power of two. Bounds the memory held in unflushed shards and the
+    /// distance a producer can run ahead of the flusher.
+    size_t ShardCapacity = 1024;
+    /// When non-empty, the flusher serializes every flushed batch to this
+    /// file (same format as FileLog; readable with loadLogFile).
+    std::string FilePath;
+    /// Keep flushed records in memory for next()/tryNext()/nextBatch().
+    /// Disable for logging-only measurement runs where nothing consumes
+    /// the log (the FileLog RetainTail=false analogue).
+    bool RetainRecords = true;
+  };
+
+  BufferedLog();
+  explicit BufferedLog(Options O);
+  ~BufferedLog() override;
+
+  /// False iff Options::FilePath was set and the file could not be opened.
+  bool valid() const { return Valid; }
+
+  /// Thread-safe append from any thread: resolves the caller's shard and
+  /// appends through it. Hot paths should cache writer() instead.
+  uint64_t append(Action A) override;
+
+  /// The calling thread's shard, registered on first use.
+  LogWriter &writer() override;
+
+  void close() override;
+  bool next(Action &Out) override;
+  bool tryNext(Action &Out, bool &End) override;
+  bool nextBatch(std::vector<Action> &Out, size_t Max) override;
+  uint64_t appendCount() const override;
+  uint64_t byteCount() const override;
+
+  /// Number of producer threads that have registered a shard.
+  size_t shardCount() const;
+
+private:
+  friend class ThreadLogShard;
+
+  ThreadLogShard &shardForCurrentThread();
+  void flusherMain();
+  /// Drains every shard into the reorder ring. \returns records drained.
+  size_t drainShards();
+  /// Parks one drained record in the reorder ring at `Seq & Mask`,
+  /// growing the ring when a stalled producer has left a gap wider than
+  /// its current capacity. Flusher thread only.
+  void park(Action &&A);
+  /// Emits the contiguous ticket run starting at the next expected
+  /// sequence number into the global order (file and/or reader queue).
+  /// \returns records emitted.
+  size_t emitReady();
+
+  struct Impl;
+  std::unique_ptr<Impl> I;
+  bool Valid = true;
+};
+
+} // namespace vyrd
+
+#endif // VYRD_BUFFEREDLOG_H

@@ -69,6 +69,12 @@ private:
 
 /// The hook object shared by all threads operating on one verified data
 /// structure instance. Copies are cheap (pointer + level).
+///
+/// Records are appended through the log's per-thread writer handle
+/// (Log::writer), not Log::append: for sharded backends (BufferedLog) the
+/// handle is the calling thread's own lock-free shard, so the hot path
+/// performs no locking; for the mutex-guarded backends the handle is the
+/// log itself and behaves exactly as a direct append.
 class Hooks {
 public:
   Hooks() : L(nullptr), Level(LogLevel::LL_None) {}
@@ -82,36 +88,41 @@ public:
 
   void call(Name Method, ValueList Args) const {
     if (enabled())
-      L->append(Action::call(currentTid(), Method, std::move(Args)));
+      emit(Action::call(currentTid(), Method, std::move(Args)));
     Chaos::point();
   }
   void ret(Name Method, Value V) const {
     if (enabled())
-      L->append(Action::ret(currentTid(), Method, std::move(V)));
+      emit(Action::ret(currentTid(), Method, std::move(V)));
     Chaos::point();
   }
   void commit() const {
     if (enabled())
-      L->append(Action::commit(currentTid()));
+      emit(Action::commit(currentTid()));
   }
   void write(Name Var, Value V) const {
     if (viewLevel())
-      L->append(Action::write(currentTid(), Var, std::move(V)));
+      emit(Action::write(currentTid(), Var, std::move(V)));
   }
   void replayOp(Name Op, ValueList Payload) const {
     if (viewLevel())
-      L->append(Action::replayOp(currentTid(), Op, std::move(Payload)));
+      emit(Action::replayOp(currentTid(), Op, std::move(Payload)));
   }
   void blockBegin() const {
     if (viewLevel())
-      L->append(Action::blockBegin(currentTid()));
+      emit(Action::blockBegin(currentTid()));
   }
   void blockEnd() const {
     if (viewLevel())
-      L->append(Action::blockEnd(currentTid()));
+      emit(Action::blockEnd(currentTid()));
   }
 
 private:
+  /// Appends via the calling thread's writer handle. The handle lookup is
+  /// a thread-local cache hit for sharded backends and `return *this` for
+  /// the others, so it stays on the fast path.
+  void emit(Action A) const { L->writer().append(std::move(A)); }
+
   Log *L;
   LogLevel Level;
 };

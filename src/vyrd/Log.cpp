@@ -10,7 +10,22 @@
 
 using namespace vyrd;
 
+LogWriter::~LogWriter() = default;
 Log::~Log() = default;
+
+bool Log::nextBatch(std::vector<Action> &Out, size_t Max) {
+  Out.clear();
+  if (Max == 0)
+    Max = 1;
+  Action A;
+  if (!next(A))
+    return false;
+  Out.push_back(std::move(A));
+  bool End = false;
+  while (Out.size() < Max && tryNext(A, End))
+    Out.push_back(std::move(A));
+  return true;
+}
 
 //===----------------------------------------------------------------------===//
 // MemoryLog

@@ -8,9 +8,10 @@
 /// The log decouples the instrumented program from refinement checking
 /// (Sec. 4.2): implementation threads append records as they run; the
 /// verification thread reads them, concurrently (online) or afterwards
-/// (offline). Two implementations are provided: MemoryLog (a guarded queue)
-/// and FileLog (durable binary file whose tail is kept in memory for fast
-/// access, as in the paper).
+/// (offline). Three implementations are provided: MemoryLog (a guarded
+/// queue), FileLog (durable binary file whose tail is kept in memory for
+/// fast access, as in the paper), and BufferedLog (per-thread sharded
+/// rings merged off the hot path; see BufferedLog.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,18 +30,29 @@
 
 namespace vyrd {
 
+/// The producer side of a log: the handle instrumentation hooks append
+/// through. Log itself is a LogWriter (append forwards to the log), and
+/// sharded backends hand out one writer per producer thread so the hot
+/// path never touches shared state (see Log::writer).
+class LogWriter {
+public:
+  virtual ~LogWriter();
+
+  /// Appends \p A, assigning its sequence number. The returned number is a
+  /// total order consistent with the order appends become visible (the
+  /// witness order the checker relies on).
+  virtual uint64_t append(Action A) = 0;
+};
+
 /// Abstract append/consume log. Appends may come from many threads; records
 /// are consumed in append order by a single reader.
-class Log {
+class Log : public LogWriter {
 public:
-  virtual ~Log();
-
-  /// Appends \p A, assigning its sequence number. Thread-safe.
-  /// \returns the assigned sequence number.
-  virtual uint64_t append(Action A) = 0;
+  ~Log() override;
 
   /// Marks the log complete. After close(), next() drains remaining records
-  /// and then returns false. Idempotent.
+  /// and then returns false. Idempotent. Must not race with appends: call
+  /// it after the producer threads are done.
   virtual void close() = 0;
 
   /// Blocks until a record is available or the log is closed and drained.
@@ -50,6 +62,22 @@ public:
   /// Non-blocking variant: returns false with \p End=false when no record is
   /// ready yet, and false with \p End=true at end of log.
   virtual bool tryNext(Action &Out, bool &End) = 0;
+
+  /// Batch consumption: clears \p Out, blocks until at least one record is
+  /// available (or end of log), then moves up to \p Max ready records into
+  /// \p Out without further blocking. \returns false (with \p Out empty)
+  /// only at end of log. Readers that batch amortize one wakeup and one
+  /// lock round trip over the whole batch; the default implementation is
+  /// built on next()/tryNext(), backends may override with something
+  /// cheaper.
+  virtual bool nextBatch(std::vector<Action> &Out, size_t Max);
+
+  /// The append handle the calling thread should use. The default is the
+  /// log itself (append is fully thread-safe); sharded backends return a
+  /// per-thread handle registered on first use. The returned reference
+  /// stays valid until the log is destroyed, but must only be used by the
+  /// thread that called writer().
+  virtual LogWriter &writer() { return *this; }
 
   /// Number of records appended so far.
   virtual uint64_t appendCount() const = 0;

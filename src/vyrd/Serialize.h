@@ -73,7 +73,9 @@ private:
 /// use. One instance per output file; not thread-safe (callers lock).
 class ActionEncoder {
 public:
-  /// Appends the encoding of \p A to \p W.
+  /// Appends the encoding of \p A to \p W. Batch consumers (BufferedLog's
+  /// flusher) fill one buffer with a whole flush epoch of encodings and
+  /// write it with a single file write.
   void encode(const Action &A, ByteWriter &W);
 
 private:

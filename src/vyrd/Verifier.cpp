@@ -32,13 +32,33 @@ Verifier::Verifier(std::unique_ptr<Spec> S, std::unique_ptr<Replayer> R,
                    VerifierConfig Config)
     : TheSpec(std::move(S)), TheReplayer(std::move(R)), Config(Config) {
   assert(TheSpec && "Verifier requires a specification");
-  if (Config.LogFilePath.empty()) {
+  LogBackend B = Config.Backend;
+  if (B == LogBackend::LB_Auto)
+    B = Config.LogFilePath.empty() ? LogBackend::LB_Memory
+                                   : LogBackend::LB_File;
+  switch (B) {
+  case LogBackend::LB_Auto: // resolved above
+  case LogBackend::LB_Memory:
     TheLog = std::make_unique<MemoryLog>();
-  } else {
+    break;
+  case LogBackend::LB_File: {
+    assert(!Config.LogFilePath.empty() && "LB_File requires LogFilePath");
     bool Valid = false;
     auto FL = std::make_unique<FileLog>(Config.LogFilePath, Valid);
     assert(Valid && "cannot open log file");
+    (void)Valid;
     TheLog = std::move(FL);
+    break;
+  }
+  case LogBackend::LB_Buffered: {
+    BufferedLog::Options BO;
+    BO.ShardCapacity = Config.ShardCapacity;
+    BO.FilePath = Config.LogFilePath;
+    auto BL = std::make_unique<BufferedLog>(std::move(BO));
+    assert(BL->valid() && "cannot open log file");
+    TheLog = std::move(BL);
+    break;
+  }
   }
   Checker = std::make_unique<RefinementChecker>(
       *TheSpec, TheReplayer.get(), Config.Checker);
@@ -57,9 +77,14 @@ Hooks Verifier::hooks() const {
 }
 
 void Verifier::pump() {
-  Action A;
-  while (TheLog->next(A)) {
-    Checker->feed(A);
+  // Batch consumption amortizes one log wakeup + lock round trip over up
+  // to PumpBatch records; the checker itself stays record-at-a-time.
+  constexpr size_t PumpBatch = 256;
+  std::vector<Action> Batch;
+  Batch.reserve(PumpBatch);
+  while (TheLog->nextBatch(Batch, PumpBatch)) {
+    for (const Action &A : Batch)
+      Checker->feed(A);
     if (Checker->hasViolation())
       ViolationFlag.store(true, std::memory_order_release);
   }

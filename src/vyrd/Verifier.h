@@ -16,6 +16,7 @@
 #ifndef VYRD_VERIFIER_H
 #define VYRD_VERIFIER_H
 
+#include "vyrd/BufferedLog.h"
 #include "vyrd/Checker.h"
 #include "vyrd/Instrument.h"
 #include "vyrd/Log.h"
@@ -29,15 +30,33 @@
 
 namespace vyrd {
 
+/// Which Log implementation a Verifier constructs. See
+/// docs/ARCHITECTURE.md ("Choosing a log backend") for the trade-offs.
+enum class LogBackend : uint8_t {
+  /// FileLog when LogFilePath is set, MemoryLog otherwise (the historical
+  /// default).
+  LB_Auto,
+  /// Mutex-guarded in-memory queue.
+  LB_Memory,
+  /// Durable binary file + in-memory tail; requires LogFilePath.
+  LB_File,
+  /// Sharded per-thread rings merged by a flusher thread (BufferedLog);
+  /// also writes LogFilePath when set.
+  LB_Buffered,
+};
+
 /// Configuration for a Verifier.
 struct VerifierConfig {
   CheckerConfig Checker;
   /// Run the checker concurrently with the program. When false, records are
   /// buffered and checked when finish() is called.
   bool Online = true;
-  /// When non-empty, use a FileLog writing to this path; otherwise a
-  /// MemoryLog.
+  /// Log file path, used by the LB_Auto/LB_File/LB_Buffered backends.
   std::string LogFilePath;
+  /// Log implementation to construct.
+  LogBackend Backend = LogBackend::LB_Auto;
+  /// Shard capacity for LB_Buffered (records per producer thread).
+  size_t ShardCapacity = 1024;
 };
 
 /// Final result of a verification run.

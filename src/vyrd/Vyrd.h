@@ -13,6 +13,7 @@
 #define VYRD_VYRD_H
 
 #include "vyrd/Action.h"
+#include "vyrd/BufferedLog.h"
 #include "vyrd/Checker.h"
 #include "vyrd/Instrument.h"
 #include "vyrd/Log.h"

@@ -168,6 +168,72 @@ TEST(FileLogTest, NoTailModeRetainsNothingButStillWritesFile) {
   std::remove(Path.c_str());
 }
 
+TEST(MemoryLogTest, TryNextDrainsTailThenSignalsEnd) {
+  MemoryLog L;
+  L.append(Action::commit(1));
+  L.append(Action::commit(2));
+  L.close();
+  // After close the pending records must still drain before End is
+  // reported.
+  Action A;
+  bool End = true;
+  ASSERT_TRUE(L.tryNext(A, End));
+  EXPECT_EQ(A.Tid, 1u);
+  EXPECT_FALSE(End);
+  ASSERT_TRUE(L.tryNext(A, End));
+  EXPECT_EQ(A.Tid, 2u);
+  EXPECT_FALSE(L.tryNext(A, End));
+  EXPECT_TRUE(End);
+}
+
+TEST(MemoryLogTest, NextBatchDrainsUpToMax) {
+  MemoryLog L;
+  for (int I = 0; I < 7; ++I)
+    L.append(Action::commit(0));
+  L.close();
+  std::vector<Action> Batch;
+  ASSERT_TRUE(L.nextBatch(Batch, 5));
+  EXPECT_EQ(Batch.size(), 5u);
+  EXPECT_EQ(Batch[4].Seq, 4u);
+  ASSERT_TRUE(L.nextBatch(Batch, 5));
+  EXPECT_EQ(Batch.size(), 2u);
+  EXPECT_FALSE(L.nextBatch(Batch, 5));
+  EXPECT_TRUE(Batch.empty());
+}
+
+TEST(FileLogTest, NoTailTryNextSignalsEndOnlyAfterClose) {
+  std::string Path = tempPath("notail-signal");
+  bool Valid = false;
+  FileLog L(Path, Valid, /*RetainTail=*/false);
+  ASSERT_TRUE(Valid);
+  L.append(Action::commit(0));
+  // Without a tail the records are never readable, but the reader must
+  // still be told "not yet" until the log closes, and "end" after.
+  Action A;
+  bool End = true;
+  EXPECT_FALSE(L.tryNext(A, End));
+  EXPECT_FALSE(End);
+  L.close();
+  EXPECT_FALSE(L.tryNext(A, End));
+  EXPECT_TRUE(End);
+  std::remove(Path.c_str());
+}
+
+TEST(FileLogTest, NoTailNextBatchReportsEndAfterClose) {
+  std::string Path = tempPath("notail-batch");
+  bool Valid = false;
+  FileLog L(Path, Valid, /*RetainTail=*/false);
+  ASSERT_TRUE(Valid);
+  for (int I = 0; I < 3; ++I)
+    L.append(Action::commit(0));
+  L.close();
+  std::vector<Action> Batch;
+  EXPECT_FALSE(L.nextBatch(Batch, 16));
+  EXPECT_TRUE(Batch.empty());
+  EXPECT_EQ(L.appendCount(), 3u);
+  std::remove(Path.c_str());
+}
+
 TEST(FileLogTest, InvalidPathReportsInvalid) {
   bool Valid = true;
   FileLog L("/nonexistent-dir-xyz/file.bin", Valid);
