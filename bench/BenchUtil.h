@@ -70,6 +70,80 @@ inline void hr(char C = '-', int N = 78) {
   std::putchar('\n');
 }
 
+/// Command-line switches shared by every table benchmark.
+struct BenchArgs {
+  /// Shrink the workload for CI smoke runs.
+  bool Quick = false;
+  /// When non-empty, write machine-readable results here (--json PATH).
+  std::string JsonPath;
+};
+
+/// Parses [--quick] [--json <path>]; exits with code 2 on anything else.
+inline BenchArgs parseBenchArgs(int Argc, char **Argv) {
+  BenchArgs A;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--quick") {
+      A.Quick = true;
+    } else if (Arg == "--json" && I + 1 < Argc) {
+      A.JsonPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json <out.json>]\n",
+                   Argv[0]);
+      std::exit(2);
+    }
+  }
+  return A;
+}
+
+/// Collects benchmark results in the shared machine-readable schema — a
+/// JSON array of rows
+///   {"benchmark": ..., "config": ..., "threads": N,
+///    "ns_per_op": X, "throughput": Y, "extra": {...}}
+/// — and writes it to the --json path (no-op when none was given).
+/// `throughput` is ops/s of whatever the row measures; `extra` carries
+/// bench-specific values (docs/OBSERVABILITY.md, "Benchmark JSON").
+class BenchJson {
+public:
+  BenchJson(std::string Benchmark, std::string Path)
+      : Benchmark(std::move(Benchmark)), Path(std::move(Path)) {}
+
+  void row(const std::string &Config, unsigned Threads, double NsPerOp,
+           double Throughput, const std::string &ExtraJson = "{}") {
+    if (Path.empty())
+      return;
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s  {\"benchmark\":\"%s\",\"config\":\"%s\","
+                  "\"threads\":%u,\"ns_per_op\":%.2f,\"throughput\":%.1f,"
+                  "\"extra\":",
+                  Rows.empty() ? "" : ",\n", Benchmark.c_str(),
+                  Config.c_str(), Threads, NsPerOp, Throughput);
+    Rows += Buf;
+    Rows += ExtraJson;
+    Rows += "}";
+  }
+
+  /// Writes the collected rows. \returns false on I/O error (benches exit
+  /// non-zero so CI notices).
+  bool write() const {
+    if (Path.empty())
+      return true;
+    std::FILE *F = std::fopen(Path.c_str(), "wb");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    std::fprintf(F, "[\n%s\n]\n", Rows.c_str());
+    return std::fclose(F) == 0;
+  }
+
+private:
+  std::string Benchmark;
+  std::string Path;
+  std::string Rows;
+};
+
 } // namespace bench
 } // namespace vyrd
 

@@ -70,7 +70,9 @@ Outcome measure(Program P, bool QuiescentOnly, unsigned Threads,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
+  BenchJson BJ("ablation_quiescent", Args.JsonPath);
   std::printf("Ablation: view comparison at every commit vs only at "
               "quiescent commits (Sec. 8)\n\n");
   std::printf("%-22s %5s %22s %24s %10s\n", "Program", "Thrd",
@@ -80,11 +82,18 @@ int main() {
   hr(' ', 0);
   hr();
 
-  const unsigned Seeds = 8;
-  for (Program P :
-       {Program::P_StringBuffer, Program::P_Cache,
-        Program::P_MultisetVector, Program::P_MultisetBst}) {
-    for (unsigned T : {4u, 16u}) {
+  const unsigned Seeds = Args.Quick ? 2 : 8;
+  std::vector<Program> Programs = {Program::P_StringBuffer,
+                                   Program::P_Cache,
+                                   Program::P_MultisetVector,
+                                   Program::P_MultisetBst};
+  std::vector<unsigned> ThreadCounts = {4u, 16u};
+  if (Args.Quick) {
+    Programs = {Program::P_StringBuffer};
+    ThreadCounts = {4u};
+  }
+  for (Program P : Programs) {
+    for (unsigned T : ThreadCounts) {
       Outcome Every = measure(P, false, T, Seeds);
       Outcome Quiet = measure(P, true, T, Seeds);
       char EB[32], QB[32];
@@ -93,6 +102,16 @@ int main() {
       std::printf("%-22s %5u %10s %11.0f %12s %11.0f %9.0f%%\n",
                   programName(P), T, EB, Every.AvgMethods, QB,
                   Quiet.AvgMethods, Quiet.QuiescentShare * 100);
+      for (auto [Cfg, O] :
+           {std::pair{"every-commit", Every}, {"quiescent-only", Quiet}}) {
+        char Extra[160];
+        std::snprintf(Extra, sizeof(Extra),
+                      "{\"detected\":%u,\"seeds\":%u,"
+                      "\"avg_methods_to_detection\":%.1f,"
+                      "\"quiescent_share\":%.3f}",
+                      O.Detected, Seeds, O.AvgMethods, O.QuiescentShare);
+        BJ.row(std::string(programName(P)) + "-" + Cfg, T, 0, 0, Extra);
+      }
     }
   }
   hr();
@@ -100,5 +119,5 @@ int main() {
               "hence checked) in the\nquiescent-only runs. Expected "
               "shape: every-commit detects more often and earlier;\n"
               "quiescent opportunities shrink as threads grow.\n");
-  return 0;
+  return BJ.write() ? 0 : 1;
 }

@@ -68,27 +68,45 @@ double checkTrace(Program P, const std::vector<Action> &Trace,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
+  BenchJson BJ("ablation_views", Args.JsonPath);
+  auto jsonRow = [&BJ](const std::string &Config, unsigned Threads,
+                       size_t Records, double Secs) {
+    char Extra[96];
+    std::snprintf(Extra, sizeof(Extra), "{\"cpu_s\":%.4f,\"records\":%zu}",
+                  Secs, Records);
+    BJ.row(Config, Threads, Records && Secs > 0 ? Secs * 1e9 / Records : 0,
+           Secs > 0 ? double(Records) / Secs : 0, Extra);
+  };
+
   std::printf("Ablation A: incremental vs full view recomputation "
               "(offline check CPU seconds)\n\n");
   std::printf("%-22s %10s %12s %12s %8s\n", "Program", "records",
               "incremental", "full-rebuild", "speedup");
   hr();
-  struct {
+  struct Load {
     Program P;
     unsigned Threads, Ops;
-  } Loads[] = {
+  };
+  std::vector<Load> Loads = {
       {Program::P_MultisetVector, 4, 2500},
       {Program::P_Vector, 4, 2500},
       {Program::P_BLinkTree, 4, 1200},
       {Program::P_Cache, 4, 1500},
   };
+  if (Args.Quick)
+    Loads = {{Program::P_MultisetVector, 4, 400}};
   for (auto &L : Loads) {
     std::vector<Action> Trace = recordTrace(L.P, L.Threads, L.Ops);
     double Inc = checkTrace(L.P, Trace, false, 0);
     double Full = checkTrace(L.P, Trace, true, 0);
     std::printf("%-22s %10zu %12.3f %12.3f %7.1fx\n", programName(L.P),
                 Trace.size(), Inc, Full, Inc > 0 ? Full / Inc : 0);
+    jsonRow(std::string(programName(L.P)) + "-incremental", L.Threads,
+            Trace.size(), Inc);
+    jsonRow(std::string(programName(L.P)) + "-full-rebuild", L.Threads,
+            Trace.size(), Full);
   }
   hr();
 
@@ -96,13 +114,20 @@ int main() {
   std::printf("%-14s %12s\n", "audit period", "CPU seconds");
   hr('-', 30);
   {
-    std::vector<Action> Trace = recordTrace(Program::P_BLinkTree, 4, 1200);
-    for (unsigned Period : {0u, 1024u, 256u, 64u, 16u, 4u, 1u}) {
+    std::vector<Action> Trace =
+        recordTrace(Program::P_BLinkTree, 4, Args.Quick ? 300 : 1200);
+    std::vector<unsigned> Periods =
+        Args.Quick ? std::vector<unsigned>{0u, 16u}
+                   : std::vector<unsigned>{0u, 1024u, 256u, 64u, 16u, 4u, 1u};
+    for (unsigned Period : Periods) {
       double T = checkTrace(Program::P_BLinkTree, Trace, false, Period);
       if (Period)
         std::printf("%-14u %12.3f\n", Period, T);
       else
         std::printf("%-14s %12.3f\n", "off", T);
+      jsonRow("audit-period-" +
+                  (Period ? std::to_string(Period) : std::string("off")),
+              4, Trace.size(), T);
     }
   }
   hr('-', 30);
@@ -112,21 +137,29 @@ int main() {
   {
     WorkloadOptions WO;
     WO.Threads = 4;
-    WO.OpsPerThread = 2500;
+    WO.OpsPerThread = Args.Quick ? 400 : 2500;
     WO.KeyPoolSize = 24;
     WO.Seed = 17;
-    auto TimeMode = [&](const char *Label, const std::string &Path) {
+    auto TimeMode = [&](const char *Label, const char *Cfg,
+                        const std::string &Path) {
       ScenarioOptions SO;
       SO.Prog = Program::P_Cache;
       SO.Mode = RunMode::RM_LogOnlyView;
       SO.LogPath = Path;
-      Timed T = timed([&] { runScenario(SO, WO, false); });
-      std::printf("%-22s %10.3f\n", Label, T.Cpu > 0 ? T.Cpu : T.Wall);
+      uint64_t Records = 0;
+      Timed T = timed([&] {
+        auto [WRes, Rep] = runScenario(SO, WO, false);
+        (void)WRes;
+        Records = Rep.LogRecords;
+      });
+      double Secs = T.Cpu > 0 ? T.Cpu : T.Wall;
+      std::printf("%-22s %10.3f\n", Label, Secs);
+      jsonRow(Cfg, WO.Threads, Records, Secs);
     };
-    TimeMode("MemoryLog", "");
+    TimeMode("MemoryLog", "backend-memory", "");
     std::string Path =
         "/tmp/vyrd-ablc-" + std::to_string(getpid()) + ".bin";
-    TimeMode("FileLog (serialized)", Path);
+    TimeMode("FileLog (serialized)", "backend-file", Path);
     std::remove(Path.c_str());
   }
   std::printf("\nExpected shape: incremental maintenance beats full "
@@ -135,5 +168,5 @@ int main() {
               "consumer draining the log, FileLog (compact serialized "
               "bytes, no retained tail)\ntypically beats MemoryLog "
               "(which must retain every structured record).\n");
-  return 0;
+  return BJ.write() ? 0 : 1;
 }

@@ -34,6 +34,7 @@
 
 #include "BenchUtil.h"
 #include "vyrd/BufferedLog.h"
+#include "vyrd/Telemetry.h"
 
 #include <atomic>
 #include <cstdio>
@@ -49,8 +50,8 @@ using namespace vyrd::bench;
 
 namespace {
 
-constexpr unsigned MethodsPerThread = 20000; // 4 records per method
-constexpr unsigned Reps = 3;
+unsigned MethodsPerThread = 20000; // 4 records per method
+unsigned Reps = 3;
 
 /// CPU seconds consumed by the calling thread alone.
 double threadCpuSeconds() {
@@ -147,9 +148,29 @@ void printHeader(const char *MutexName) {
   hr();
 }
 
+/// App-side nanoseconds per record from a throughput in M records/s.
+double nsPerOp(Throughput T) { return T.App > 0 ? 1000.0 / T.App : 0; }
+
+void jsonRow(BenchJson &BJ, const char *Config, unsigned Threads,
+             Throughput T) {
+  char Extra[64];
+  std::snprintf(Extra, sizeof(Extra), "{\"e2e_per_s\":%.1f}", T.E2E * 1e6);
+  BJ.row(Config, Threads, nsPerOp(T), T.App * 1e6, Extra);
+}
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
+  if (Args.Quick) {
+    MethodsPerThread = 4000;
+    Reps = 1;
+  }
+  std::vector<unsigned> ThreadCounts =
+      Args.Quick ? std::vector<unsigned>{1, 4}
+                 : std::vector<unsigned>{1, 2, 4, 8};
+  BenchJson BJ("log_backends", Args.JsonPath);
+
   std::printf("Log backend append throughput (%u methods x 4 records per "
               "producer, best of %u)\n"
               "app = records per CPU-second spent in the producer threads "
@@ -160,7 +181,7 @@ int main() {
   std::printf("In-memory, concurrent consumer draining 256-record "
               "batches:\n\n");
   printHeader("MemoryLog");
-  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+  for (unsigned Threads : ThreadCounts) {
     Throughput Mem = measure([] { return std::make_unique<MemoryLog>(); },
                              Threads, /*Drain=*/true);
     Throughput Buf = measure(
@@ -171,12 +192,14 @@ int main() {
         },
         Threads, /*Drain=*/true);
     printRow(Threads, Mem, Buf);
+    jsonRow(BJ, "memory-drain", Threads, Mem);
+    jsonRow(BJ, "buffered-drain", Threads, Buf);
   }
   hr();
 
   std::printf("\nFile-backed, no consumer (logging-overhead pattern):\n\n");
   printHeader("FileLog");
-  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+  for (unsigned Threads : ThreadCounts) {
     std::string FilePath = tmpFile("file");
     Throughput File = measure(
         [&FilePath] {
@@ -199,7 +222,45 @@ int main() {
     std::remove(FilePath.c_str());
     std::remove(BufPath.c_str());
     printRow(Threads, File, Buf);
+    jsonRow(BJ, "file-nodrain", Threads, File);
+    jsonRow(BJ, "buffered-file-nodrain", Threads, Buf);
   }
   hr();
-  return 0;
+
+  // The acceptance gate for the telemetry layer itself: attaching a hub
+  // (per-record counter update + sampled latency clock reads) must cost
+  // <= 10% app-side at 4 producer threads; the detached path must stay
+  // within noise of a telemetry-free build (EXPERIMENTS.md).
+  std::printf("\nTelemetry overhead (BufferedLog, concurrent consumer"
+              "%s):\n\n",
+              telemetryCompiledIn() ? "" : "; COMPILED OUT");
+  std::printf("%-8s %13s %13s %10s\n", "threads", "off app M/s",
+              "on app M/s", "overhead");
+  hr();
+  Telemetry Telem; // no sampler: measures the pure metric-update cost
+  for (unsigned Threads : ThreadCounts) {
+    Throughput Off = measure(
+        [] {
+          BufferedLog::Options O;
+          O.ShardCapacity = 4096;
+          return std::make_unique<BufferedLog>(std::move(O));
+        },
+        Threads, /*Drain=*/true);
+    Throughput On = measure(
+        [&Telem] {
+          BufferedLog::Options O;
+          O.ShardCapacity = 4096;
+          auto L = std::make_unique<BufferedLog>(std::move(O));
+          L->setTelemetry(&Telem);
+          return L;
+        },
+        Threads, /*Drain=*/true);
+    double OverheadPct = (Off.App / On.App - 1.0) * 100.0;
+    std::printf("%-8u %13.2f %13.2f %9.1f%%\n", Threads, Off.App, On.App,
+                OverheadPct);
+    jsonRow(BJ, "buffered-telemetry-off", Threads, Off);
+    jsonRow(BJ, "buffered-telemetry-on", Threads, On);
+  }
+  hr();
+  return BJ.write() ? 0 : 1;
 }

@@ -64,7 +64,9 @@ double timeRun(Program P, RunMode Mode, unsigned Threads, unsigned Ops,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
+  BenchJson BJ("table2_logging", Args.JsonPath);
   std::printf("Table 2: overhead of logging (CPU seconds; overhead = run "
               "with logging - bare run)\n\n");
   std::printf("%-22s %9s %12s %12s %14s %14s\n", "Implementation",
@@ -73,7 +75,7 @@ int main() {
   hr(' ', 0);
   hr();
 
-  const Workload Loads[] = {
+  std::vector<Workload> Loads = {
       {Program::P_MultisetVector, 8, 16000},
       {Program::P_MultisetBst, 8, 12000},
       {Program::P_Vector, 8, 24000},
@@ -82,10 +84,12 @@ int main() {
       {Program::P_Cache, 8, 8000},
       {Program::P_ScanFs, 8, 4000},
   };
+  if (Args.Quick)
+    Loads = {{Program::P_MultisetVector, 4, 2000}};
 
   for (const Workload &L : Loads) {
     // Average over a few repetitions to steady the numbers.
-    const unsigned Reps = 3;
+    const unsigned Reps = Args.Quick ? 1 : 3;
     double Bare = 0, IO = 0, View = 0;
     uint64_t Records = 0, Bytes = 0;
     for (unsigned R = 0; R < Reps; ++R) {
@@ -104,11 +108,23 @@ int main() {
                 View - Bare > 0 ? View - Bare : 0.0,
                 static_cast<unsigned long long>(Records),
                 static_cast<unsigned long long>(Bytes));
+    double TotalOps = double(L.Threads) * L.Ops;
+    for (auto [Cfg, Secs] :
+         {std::pair{"bare", Bare}, {"log-io", IO}, {"log-view", View}}) {
+      char Extra[128];
+      std::snprintf(Extra, sizeof(Extra),
+                    "{\"cpu_s\":%.4f,\"records\":%llu,\"bytes\":%llu}",
+                    Secs, static_cast<unsigned long long>(Records),
+                    static_cast<unsigned long long>(Bytes));
+      BJ.row(std::string(programName(L.Prog)) + "-" + Cfg, L.Threads,
+             TotalOps > 0 ? Secs * 1e9 / TotalOps : 0,
+             Secs > 0 ? TotalOps / Secs : 0, Extra);
+    }
   }
   hr();
   std::printf("\nExpected shape: view-logging overhead >> I/O-logging "
               "overhead where mutators\nperform many logged updates per "
               "method (Multiset, Cache); small difference for\nVector, "
               "StringBuffer, BLinkTree (paper Table 2).\n");
-  return 0;
+  return BJ.write() ? 0 : 1;
 }

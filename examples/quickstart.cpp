@@ -11,7 +11,11 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [log-file]
+//
+// With a log-file argument, the final (clean) run records its log there
+// and enables pipeline telemetry, so the report below the verdict shows
+// the metric snapshot and the file can be fed to vyrd-trace / vyrd-check.
 //
 //===----------------------------------------------------------------------===//
 
@@ -54,13 +58,16 @@ static void readmeQuickstart() {
     std::puts(R.Violations.front().str().c_str());
 }
 
-static VerifierReport runOnce(bool Buggy, uint64_t Seed) {
+static VerifierReport runOnce(bool Buggy, uint64_t Seed,
+                              const std::string &LogPath = "") {
   // 1. Build the scenario: instrumented multiset + atomic specification +
   //    replayer + online verification thread, all wired to one log.
   ScenarioOptions SO;
   SO.Prog = Program::P_MultisetVector;
   SO.Mode = RunMode::RM_OnlineView; // I/O + view refinement
   SO.Buggy = Buggy;
+  SO.LogPath = LogPath; // durable log (when set), reusable by the tools
+  SO.Telemetry.Enabled = !LogPath.empty(); // docs/OBSERVABILITY.md
   Scenario S = makeScenario(SO);
 
   // 2. Drive it with the paper's random test harness (Sec. 7.1): several
@@ -83,7 +90,8 @@ static VerifierReport runOnce(bool Buggy, uint64_t Seed) {
   return Rep;
 }
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string LogPath = Argc > 1 ? Argv[1] : "";
   std::printf("== the README snippet (correct multiset, four calls) ==\n");
   readmeQuickstart();
   std::printf("  clean\n\n");
@@ -106,7 +114,10 @@ int main() {
   }
 
   std::printf("\n== corrected multiset ==\n");
-  VerifierReport Rep = runOnce(/*Buggy=*/false, 1);
+  VerifierReport Rep = runOnce(/*Buggy=*/false, 1, LogPath);
   std::printf("  %s", Rep.str().c_str());
+  if (!LogPath.empty())
+    std::printf("  log recorded to %s (try vyrd-trace / vyrd-check)\n",
+                LogPath.c_str());
   return Rep.ok() ? 0 : 1;
 }

@@ -210,6 +210,8 @@ Hooks wireScenario(Scenario &S, const ScenarioOptions &O,
   VC.Checker.QuiescentOnly = O.QuiescentOnly;
   VC.Checker.AuditPeriod = O.AuditPeriod;
   VC.Checker.ContextRecords = O.ContextRecords;
+  VC.Checker.CollectTimings = O.CollectTimings;
+  VC.Telemetry = O.Telemetry;
   VC.Online = O.Mode == RunMode::RM_OnlineIO ||
               O.Mode == RunMode::RM_OnlineView;
   VC.LogFilePath = O.LogPath;

@@ -96,6 +96,12 @@ struct ScenarioOptions {
   unsigned AuditPeriod = 0;
   /// Attach the last N log records to each violation (0 = off).
   unsigned ContextRecords = 0;
+  /// Pipeline observability (metrics, lag watchdog, trace recording);
+  /// applies to the checking modes, where a Verifier exists to host the
+  /// hub (docs/OBSERVABILITY.md).
+  TelemetryOptions Telemetry;
+  /// Accumulate the Table 3 phase timings in CheckerStats.
+  bool CollectTimings = false;
 };
 
 /// A ready-to-run verification scenario.

@@ -8,6 +8,7 @@
 
 #include "vyrd/Instrument.h"
 #include "vyrd/Serialize.h"
+#include "vyrd/Telemetry.h"
 
 #include <algorithm>
 #include <bit>
@@ -101,11 +102,26 @@ uint64_t ThreadLogShard::append(Action A) {
   assert(!Parent.I->Closed.load(std::memory_order_relaxed) &&
          "append after close");
   uint64_t H = Head.load(std::memory_order_relaxed);
+  // Latency sampling reuses the already-loaded ring position instead of a
+  // separate tick counter: every 64th append per shard takes two clock
+  // reads, the rest pay nothing.
+  uint64_t T0 = 0;
+  if (telemetryCompiledIn()) {
+    if (!TC)
+      if (Telemetry *T = Parent.telemetry())
+        TC = &T->cell();
+    if (TC && (H & 63) == 0)
+      T0 = telemetryNowNanos();
+  }
   if (H - CachedTail > Mask) {
     CachedTail = Tail.load(std::memory_order_acquire);
-    for (unsigned Round = 0; H - CachedTail > Mask; ++Round) {
-      backoff(Round); // ring full: wait for the flusher to make room
-      CachedTail = Tail.load(std::memory_order_acquire);
+    if (H - CachedTail > Mask) {
+      if (telemetryCompiledIn() && TC)
+        TC->count(Counter::C_AppendStalls);
+      for (unsigned Round = 0; H - CachedTail > Mask; ++Round) {
+        backoff(Round); // ring full: wait for the flusher to make room
+        CachedTail = Tail.load(std::memory_order_acquire);
+      }
     }
   }
   // Claim the record's place in the global order only once a slot is
@@ -116,6 +132,11 @@ uint64_t ThreadLogShard::append(Action A) {
   A.Seq = Ticket;
   Slots[H & Mask] = std::move(A);
   Head.store(H + 1, std::memory_order_release);
+  if (telemetryCompiledIn() && TC) {
+    TC->count(Counter::C_LogAppends);
+    if (T0)
+      TC->record(Histo::H_AppendNs, telemetryNowNanos() - T0);
+  }
   return Ticket;
 }
 
@@ -227,6 +248,9 @@ void BufferedLog::park(Action &&A) {
     I->Reorder = std::move(NewReorder);
     I->Parked = std::move(NewParked);
     I->ReorderMask = NewSize - 1;
+    if (telemetryCompiledIn())
+      if (Telemetry *T = telemetry())
+        T->count(Counter::C_ReorderGrows);
   }
   size_t Slot = A.Seq & I->ReorderMask;
   I->Parked[Slot] = 1;
@@ -264,12 +288,28 @@ size_t BufferedLog::emitReady() {
 
 void BufferedLog::flusherMain() {
   unsigned Idle = 0;
+  TelemetryCell *TC = nullptr;
   for (;;) {
     // Order matters: observe Closed before the final drain, so everything
     // appended before close() is captured by this round's drain.
     bool ClosedNow = I->Closed.load(std::memory_order_acquire);
     size_t Drained = drainShards();
     size_t Emitted = emitReady();
+    if (telemetryCompiledIn()) {
+      if (!TC)
+        if (Telemetry *T = telemetry())
+          TC = &T->cell();
+      if (TC && Emitted) {
+        TC->count(Counter::C_FlushBatches);
+        TC->count(Counter::C_FlushedRecords, Emitted);
+        TC->record(Histo::H_FlushBatch, Emitted);
+        // Occupancy after the merge: tickets issued but not yet in the
+        // global order (parked, unpublished or undrained records).
+        TC->record(Histo::H_ReorderOccupancy,
+                   I->Tickets.load(std::memory_order_relaxed) -
+                       I->SeqNext);
+      }
+    }
     if (ClosedNow &&
         I->SeqNext == I->Tickets.load(std::memory_order_acquire))
       break;

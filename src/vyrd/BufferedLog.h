@@ -68,6 +68,7 @@
 namespace vyrd {
 
 class BufferedLog;
+class TelemetryCell;
 
 /// One thread's bounded SPSC ring. Producer: the owning thread, through
 /// LogWriter::append. Consumer: the parent log's flusher thread.
@@ -97,6 +98,9 @@ private:
   alignas(64) std::atomic<uint64_t> Head{0};
   alignas(64) std::atomic<uint64_t> Tail{0};
   uint64_t CachedTail = 0;
+  /// The owning thread's telemetry cell, resolved lazily on first append
+  /// after a hub is attached (Log::setTelemetry). Producer-side only.
+  TelemetryCell *TC = nullptr;
 };
 
 /// The sharded, batched log backend. See the file comment for the

@@ -6,9 +6,18 @@
 
 #include "vyrd/Checker.h"
 
+#include "vyrd/Telemetry.h"
+
 #include <cassert>
 
 using namespace vyrd;
+
+namespace {
+
+/// Entry timestamp for a phase-timing region, or 0 when timing is off.
+uint64_t tickIf(bool On) { return On ? telemetryNowNanos() : 0; }
+
+} // namespace
 
 const char *vyrd::violationKindName(ViolationKind K) {
   switch (K) {
@@ -234,7 +243,10 @@ bool RefinementChecker::processHead() {
     // stall until it is known (Sec. 4.3).
     if (!X.HasRet)
       return false;
+    uint64_t T0 = tickIf(Config.CollectTimings);
     X.Satisfied = TheSpec.returnAllowed(X.Method, X.Args, X.Ret);
+    if (T0)
+      Stats.SpecNanos += telemetryNowNanos() - T0;
     OpenObservers.push_back(Ev.E);
     return true;
   }
@@ -294,7 +306,10 @@ void RefinementChecker::applyUpdate(const Action &A) {
   if (Config.Mode != CheckMode::CM_ViewRefinement)
     return;
   assert(TheReplayer && "view mode requires a replayer");
+  uint64_t T0 = tickIf(Config.CollectTimings);
   TheReplayer->applyUpdate(A, ViewI);
+  if (T0)
+    Stats.ReplayNanos += telemetryNowNanos() - T0;
 }
 
 void RefinementChecker::processCommit(Event &Ev) {
@@ -303,13 +318,21 @@ void RefinementChecker::processCommit(Event &Ev) {
 
   // Apply the commit block's writes atomically at this point (Sec. 5.2's
   // tau -> tau' conversion).
-  if (ViewMode)
+  if (ViewMode && !X.CommitBlockWrites.empty()) {
+    uint64_t T0 = tickIf(Config.CollectTimings);
     for (const Action &W : X.CommitBlockWrites)
       TheReplayer->applyUpdate(W, ViewI);
+    if (T0)
+      Stats.ReplayNanos += telemetryNowNanos() - T0;
+  }
   X.CommitBlockWrites.clear();
 
   // Drive the specification with the execution's signature.
-  if (!TheSpec.applyMutator(X.Method, X.Args, X.Ret, ViewS)) {
+  uint64_t SpecT0 = tickIf(Config.CollectTimings);
+  bool SpecOk = TheSpec.applyMutator(X.Method, X.Args, X.Ret, ViewS);
+  if (SpecT0)
+    Stats.SpecNanos += telemetryNowNanos() - SpecT0;
+  if (!SpecOk) {
     std::string Msg = "specification cannot execute " +
                       std::string(X.Method.str()) + "(";
     for (size_t I = 0; I < X.Args.size(); ++I) {
@@ -333,11 +356,19 @@ void RefinementChecker::processCommit(Event &Ev) {
   bool Compare = !Config.QuiescentOnly || X.OpenAtCommit <= 1;
   if (ViewMode && Compare &&
       !(Config.StopAtFirstViolation && hasViolation())) {
+    uint64_t T0 = tickIf(Config.CollectTimings || Telem);
     compareViews(X, Ev.A.Seq);
     std::string InvMsg;
     if (!TheReplayer->checkInvariants(InvMsg))
       report(ViolationKind::VK_InvariantFailed, Ev.A.Seq, X.Tid, X.Method,
              std::move(InvMsg));
+    if (T0) {
+      uint64_t Ns = telemetryNowNanos() - T0;
+      if (Config.CollectTimings)
+        Stats.ViewCompareNanos += Ns;
+      if (telemetryCompiledIn() && Telem)
+        Telem->record(Histo::H_ViewCompareNs, Ns);
+    }
   }
 
   // Retry failed mutators *after* this commit's own comparison: the late
@@ -348,16 +379,23 @@ void RefinementChecker::processCommit(Event &Ev) {
 
   // Every open observer's window includes this commit: evaluate the new
   // specification state against each still-unsatisfied return value.
-  for (ExecPtr &ObsP : OpenObservers) {
-    Exec &Obs = *ObsP;
-    if (!Obs.Satisfied)
-      Obs.Satisfied = TheSpec.returnAllowed(Obs.Method, Obs.Args, Obs.Ret);
+  if (!OpenObservers.empty()) {
+    uint64_t T0 = tickIf(Config.CollectTimings);
+    for (ExecPtr &ObsP : OpenObservers) {
+      Exec &Obs = *ObsP;
+      if (!Obs.Satisfied)
+        Obs.Satisfied =
+            TheSpec.returnAllowed(Obs.Method, Obs.Args, Obs.Ret);
+    }
+    if (T0)
+      Stats.SpecNanos += telemetryNowNanos() - T0;
   }
 
   ++Stats.MethodsChecked;
 }
 
 void RefinementChecker::retryFailedMutators(uint64_t Seq) {
+  uint64_t T0 = tickIf(Config.CollectTimings);
   for (size_t I = 0; I < FailedMutators.size();) {
     auto &[E, ViolationIdx] = FailedMutators[I];
     if (!TheSpec.applyMutator(E->Method, E->Args, E->Ret, ViewS)) {
@@ -372,6 +410,8 @@ void RefinementChecker::retryFailedMutators(uint64_t Seq) {
         " — the commit-point annotation is likely too early (Sec. 4.1)";
     FailedMutators.erase(FailedMutators.begin() + I);
   }
+  if (T0)
+    Stats.SpecNanos += telemetryNowNanos() - T0;
 }
 
 void RefinementChecker::compareViews(const Exec &X, uint64_t Seq) {

@@ -37,6 +37,8 @@
 
 namespace vyrd {
 
+class Telemetry;
+
 /// Which refinement check to run.
 enum class CheckMode : uint8_t {
   /// Call/return/commit only; no shadow state, no views.
@@ -77,6 +79,10 @@ struct CheckerConfig {
   /// likely misplaced commit-point annotation; if it never does, the
   /// violation is annotated as a likely genuine refinement violation.
   bool DiagnoseCommitPoints = true;
+  /// Accumulate the Table 3 per-phase timings (CheckerStats::ReplayNanos
+  /// and friends). Off by default: it adds two clock reads around every
+  /// replayed write, driven spec transition and view comparison.
+  bool CollectTimings = false;
 };
 
 /// Counters exposed for the benchmarks.
@@ -92,6 +98,17 @@ struct CheckerStats {
   /// High-water mark of the internal event queue (how far the pipeline
   /// had to look ahead while stalled on returns/block ends).
   uint64_t MaxQueueDepth = 0;
+  /// Table 3 phase breakdown, accumulated only with
+  /// CheckerConfig::CollectTimings (all nanoseconds of CLOCK_MONOTONIC):
+  /// time replaying implementation updates into viewI (writes, replay ops,
+  /// commit-block batches), ...
+  uint64_t ReplayNanos = 0;
+  /// ... time driving the specification (mutator transitions, observer
+  /// return evaluation, diagnosis retries), ...
+  uint64_t SpecNanos = 0;
+  /// ... and time computing/comparing views plus invariant checks (incl.
+  /// audits and full recomputes when those ablations are on).
+  uint64_t ViewCompareNanos = 0;
 };
 
 /// The refinement checking engine. Not thread-safe: exactly one thread
@@ -115,6 +132,10 @@ public:
   bool hasViolation() const { return !Violations.empty(); }
   const std::vector<Violation> &violations() const { return Violations; }
   const CheckerStats &stats() const { return Stats; }
+
+  /// Attaches a telemetry hub: each view comparison's cost is recorded
+  /// into Histo::H_ViewCompareNs. Keep \p T alive while the checker runs.
+  void setTelemetry(Telemetry *T) { Telem = T; }
 
   /// Current views (valid in view mode; for tests and diagnostics).
   const View &viewI() const { return ViewI; }
@@ -179,6 +200,7 @@ private:
   Replayer *TheReplayer;
   CheckerConfig Config;
   CheckerStats Stats;
+  Telemetry *Telem = nullptr;
 
   std::deque<Event> Events;
   std::unordered_map<ThreadId, ExecPtr> OpenExecs;

@@ -28,6 +28,7 @@
 
 #include "vyrd/Action.h"
 #include "vyrd/Log.h"
+#include "vyrd/Telemetry.h"
 
 #include <atomic>
 #include <cstdint>
@@ -78,7 +79,8 @@ private:
 class Hooks {
 public:
   Hooks() : L(nullptr), Level(LogLevel::LL_None) {}
-  Hooks(Log *L, LogLevel Level) : L(L), Level(Level) {}
+  Hooks(Log *L, LogLevel Level, Telemetry *T = nullptr)
+      : L(L), Level(Level), Telem(T) {}
 
   LogLevel level() const { return Level; }
   bool enabled() const { return L && Level != LogLevel::LL_None; }
@@ -120,11 +122,17 @@ public:
 private:
   /// Appends via the calling thread's writer handle. The handle lookup is
   /// a thread-local cache hit for sharded backends and `return *this` for
-  /// the others, so it stays on the fast path.
-  void emit(Action A) const { L->writer().append(std::move(A)); }
+  /// the others, so it stays on the fast path (as is the telemetry cell
+  /// lookup when a hub is attached).
+  void emit(Action A) const {
+    if (telemetryCompiledIn() && Telem)
+      Telem->count(Counter::C_HookRecords);
+    L->writer().append(std::move(A));
+  }
 
   Log *L;
   LogLevel Level;
+  Telemetry *Telem = nullptr;
 };
 
 /// RAII bracket logging the call on construction and the return on

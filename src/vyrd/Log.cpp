@@ -6,9 +6,34 @@
 
 #include "vyrd/Log.h"
 
+#include "vyrd/Telemetry.h"
+
 #include <cassert>
 
 using namespace vyrd;
+
+namespace {
+
+/// Append accounting shared by the mutex-guarded backends: counts the
+/// append and, when \p T0 is non-zero (a sample point), records the
+/// latency — mirroring what BufferedLog's shards do so backend
+/// comparisons stay apples-to-apples.
+void countAppend(Telemetry *T, uint64_t T0) {
+  if (!telemetryCompiledIn() || !T)
+    return;
+  TelemetryCell &TC = T->cell();
+  TC.count(Counter::C_LogAppends);
+  if (T0)
+    TC.record(Histo::H_AppendNs, telemetryNowNanos() - T0);
+}
+
+/// Every 64th append per thread is a latency-sample point.
+bool sampleTick() {
+  thread_local uint64_t Tick = 0;
+  return (Tick++ & 63) == 0;
+}
+
+} // namespace
 
 LogWriter::~LogWriter() = default;
 Log::~Log() = default;
@@ -35,12 +60,20 @@ MemoryLog::MemoryLog() = default;
 MemoryLog::~MemoryLog() = default;
 
 uint64_t MemoryLog::append(Action A) {
-  std::lock_guard Lock(M);
-  assert(!Closed && "append after close");
-  A.Seq = NextSeq++;
-  uint64_t Seq = A.Seq;
-  Q.push_back(std::move(A));
-  CV.notify_one();
+  Telemetry *T = telemetry();
+  uint64_t T0 = 0;
+  if (telemetryCompiledIn() && T && sampleTick())
+    T0 = telemetryNowNanos();
+  uint64_t Seq;
+  {
+    std::lock_guard Lock(M);
+    assert(!Closed && "append after close");
+    A.Seq = NextSeq++;
+    Seq = A.Seq;
+    Q.push_back(std::move(A));
+    CV.notify_one();
+  }
+  countAppend(T, T0);
   return Seq;
 }
 
@@ -93,19 +126,27 @@ FileLog::~FileLog() {
 }
 
 uint64_t FileLog::append(Action A) {
-  std::lock_guard Lock(M);
-  assert(!Closed && "append after close");
-  A.Seq = NextSeq++;
-  uint64_t Seq = A.Seq;
-  Scratch.clear();
-  Encoder.encode(A, Scratch);
-  if (File)
-    std::fwrite(Scratch.buffer().data(), 1, Scratch.size(), File);
-  Bytes += Scratch.size();
-  if (RetainTail) {
-    Tail.push_back(std::move(A));
-    CV.notify_one();
+  Telemetry *T = telemetry();
+  uint64_t T0 = 0;
+  if (telemetryCompiledIn() && T && sampleTick())
+    T0 = telemetryNowNanos();
+  uint64_t Seq;
+  {
+    std::lock_guard Lock(M);
+    assert(!Closed && "append after close");
+    A.Seq = NextSeq++;
+    Seq = A.Seq;
+    Scratch.clear();
+    Encoder.encode(A, Scratch);
+    if (File)
+      std::fwrite(Scratch.buffer().data(), 1, Scratch.size(), File);
+    Bytes += Scratch.size();
+    if (RetainTail) {
+      Tail.push_back(std::move(A));
+      CV.notify_one();
+    }
   }
+  countAppend(T, T0);
   return Seq;
 }
 

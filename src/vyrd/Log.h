@@ -21,6 +21,7 @@
 #include "vyrd/Action.h"
 #include "vyrd/Serialize.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
@@ -29,6 +30,8 @@
 #include <vector>
 
 namespace vyrd {
+
+class Telemetry;
 
 /// The producer side of a log: the handle instrumentation hooks append
 /// through. Log itself is a LogWriter (append forwards to the log), and
@@ -84,6 +87,24 @@ public:
 
   /// Bytes of serialized log produced so far (0 for purely in-memory logs).
   virtual uint64_t byteCount() const { return 0; }
+
+  /// Attaches a telemetry hub: appends count Counter::C_LogAppends (with
+  /// sampled Histo::H_AppendNs latencies) and BufferedLog's flusher feeds
+  /// the flush-batch/occupancy metrics. Attach before producers start and
+  /// keep \p T alive until the log is destroyed; pass nullptr to detach.
+  void setTelemetry(Telemetry *T) {
+    Telem.store(T, std::memory_order_release);
+  }
+
+protected:
+  /// The attached hub, or null. Hot paths should read it once and cache
+  /// the per-thread cell.
+  Telemetry *telemetry() const {
+    return Telem.load(std::memory_order_acquire);
+  }
+
+private:
+  std::atomic<Telemetry *> Telem{nullptr};
 };
 
 /// In-memory log: a mutex-guarded queue with a condition variable for the

@@ -1,0 +1,270 @@
+//===- Telemetry.h - Pipeline metrics, lag gauge, watchdog ------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observability for the verification pipeline: lock-free per-thread
+/// counters and fixed-bucket histograms covering every stage
+/// (instrumentation hooks, log append, flusher merge, checker feed, view
+/// comparison), a checker-lag gauge (distance in sequence numbers between
+/// the newest producer ticket and the last record the checker consumed), an
+/// optional sampler thread that records the lag over time, and a watchdog
+/// that reports a stalled verifier after a configurable quiet period.
+///
+/// Design constraints (docs/OBSERVABILITY.md has the full metric list):
+///
+///  * The hot path must stay hot. Each thread writes to its own cell
+///    (registered on first use, like BufferedLog's shards), so an update
+///    is one relaxed load+store on an exclusively owned cache line — no
+///    RMW, no sharing. Readers (snapshot(), the sampler) read the same
+///    atomics relaxed; totals are exact once the writers are quiescent and
+///    a close approximation while they run.
+///  * Instrumented call sites hold a `Telemetry *` (or a cached
+///    `TelemetryCell *`) that is null when telemetry is off, so the
+///    disabled path is one predictable branch. Defining
+///    VYRD_DISABLE_TELEMETRY turns `telemetryCompiledIn()` into a
+///    compile-time false and the guarded sites fold away entirely.
+///  * Latency histograms on the append path are *sampled* (every 64th
+///    record) so the clock reads cannot dominate a ~25 ns append.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_TELEMETRY_H
+#define VYRD_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vyrd {
+
+/// Compile-time switch: with VYRD_DISABLE_TELEMETRY defined every guarded
+/// call site (`if (telemetryCompiledIn() && Cell) ...`) is dead code.
+constexpr bool telemetryCompiledIn() {
+#ifdef VYRD_DISABLE_TELEMETRY
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// Monotonic nanoseconds (CLOCK_MONOTONIC); the pipeline's one time base.
+uint64_t telemetryNowNanos();
+
+/// Event counters, one slot per thread cell. Names/units: counterName().
+enum class Counter : uint8_t {
+  /// Records emitted by instrumentation hooks (call/ret/commit/write/...).
+  C_HookRecords,
+  /// Records appended to the log (any backend, any producer).
+  C_LogAppends,
+  /// Backoff rounds spent waiting for shard-ring space (BufferedLog).
+  C_AppendStalls,
+  /// Flusher rounds that merged at least one record into the global order.
+  C_FlushBatches,
+  /// Records the flusher merged into the global order.
+  C_FlushedRecords,
+  /// Reorder-ring regrowths (a producer stalled between ticket and
+  /// publish while others ran more than a ring ahead).
+  C_ReorderGrows,
+  /// Batches the verification thread pulled from the log.
+  C_CheckerBatches,
+  /// Actions fed to the refinement checker.
+  C_CheckerActions,
+  /// Sampler iterations that recorded a checker-lag sample.
+  C_LagSamples,
+  /// Watchdog stall reports (consumer quiet too long with work pending).
+  C_WatchdogStalls,
+  NumCounters
+};
+
+/// Fixed-bucket histograms (power-of-two buckets, see HistoSnapshot).
+enum class Histo : uint8_t {
+  /// Sampled latency of one log append, nanoseconds.
+  H_AppendNs,
+  /// Records merged per flusher emit round.
+  H_FlushBatch,
+  /// Pipeline occupancy at emit time: tickets issued but not yet merged
+  /// (reorder ring + unpublished + undrained records).
+  H_ReorderOccupancy,
+  /// Records per batch the verification thread consumed.
+  H_FeedBatch,
+  /// Latency of feeding one batch through the checker, nanoseconds.
+  H_FeedNs,
+  /// Cost of one viewI/viewS comparison, nanoseconds.
+  H_ViewCompareNs,
+  /// Sampled checker lag, in sequence numbers (sampler thread).
+  H_CheckerLag,
+  NumHistos
+};
+
+constexpr size_t NumCounters = static_cast<size_t>(Counter::NumCounters);
+constexpr size_t NumHistos = static_cast<size_t>(Histo::NumHistos);
+/// Bucket B holds values whose bit width is B: bucket 0 is {0}, bucket
+/// B >= 1 covers [2^(B-1), 2^B - 1]. 40 buckets cover every value the
+/// pipeline can produce (nanosecond latencies up to ~18 minutes).
+constexpr size_t NumHistoBuckets = 40;
+
+/// Metric metadata (for rendering and docs).
+const char *counterName(Counter C);
+const char *histoName(Histo H);
+/// Unit suffix for a histogram ("ns", "records", "seq").
+const char *histoUnit(Histo H);
+
+/// One histogram's frozen contents.
+struct HistoSnapshot {
+  uint64_t Buckets[NumHistoBuckets] = {};
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+
+  double mean() const { return Count ? double(Sum) / double(Count) : 0; }
+  /// Upper bound of the bucket containing the \p P-th percentile
+  /// (P in [0,100]); 0 when empty.
+  uint64_t percentileBound(double P) const;
+  uint64_t max() const; ///< upper bound of the highest non-empty bucket
+};
+
+/// A frozen, consistent-enough copy of every metric. Exact once writers
+/// are quiescent (e.g. in VerifierReport); a close approximation live.
+struct TelemetrySnapshot {
+  uint64_t Counters[NumCounters] = {};
+  HistoSnapshot Histos[NumHistos] = {};
+  /// Producer-minus-consumer distance at snapshot time (0 without a
+  /// producer probe).
+  uint64_t CheckerLag = 0;
+  /// Watchdog state at snapshot time.
+  bool Stalled = false;
+
+  uint64_t counter(Counter C) const {
+    return Counters[static_cast<size_t>(C)];
+  }
+  const HistoSnapshot &histo(Histo H) const {
+    return Histos[static_cast<size_t>(H)];
+  }
+
+  /// Multi-line human-readable rendering.
+  std::string str() const;
+  /// Machine-readable rendering: {"counters":{...},"histograms":{...},...}.
+  std::string json() const;
+};
+
+/// One thread's private metric storage. Single writer (the owning
+/// thread); concurrent relaxed readers. Obtained via Telemetry::cell()
+/// and cacheable for the lifetime of the Telemetry object.
+class alignas(64) TelemetryCell {
+public:
+  void count(Counter C, uint64_t N = 1) {
+    std::atomic<uint64_t> &A = Counters[static_cast<size_t>(C)];
+    A.store(A.load(std::memory_order_relaxed) + N,
+            std::memory_order_relaxed);
+  }
+
+  void record(Histo H, uint64_t Value) {
+    size_t B = bucketOf(Value);
+    std::atomic<uint64_t> &A = Buckets[static_cast<size_t>(H)][B];
+    A.store(A.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+    std::atomic<uint64_t> &S = Sums[static_cast<size_t>(H)];
+    S.store(S.load(std::memory_order_relaxed) + Value,
+            std::memory_order_relaxed);
+  }
+
+  static size_t bucketOf(uint64_t Value) {
+    size_t B = 64 - static_cast<size_t>(__builtin_clzll(Value | 1));
+    if (Value == 0)
+      B = 0;
+    return B < NumHistoBuckets ? B : NumHistoBuckets - 1;
+  }
+
+private:
+  friend class Telemetry;
+
+  std::atomic<uint64_t> Counters[NumCounters] = {};
+  std::atomic<uint64_t> Buckets[NumHistos][NumHistoBuckets] = {};
+  std::atomic<uint64_t> Sums[NumHistos] = {};
+};
+
+/// The per-pipeline telemetry hub: owns the thread cells, the consumer
+/// gauge and the optional sampler/watchdog thread. One instance per
+/// Verifier (or standalone in tests/benches). All methods thread-safe.
+class Telemetry {
+public:
+  struct Options {
+    /// Sampler period; 0 disables the sampler thread entirely.
+    unsigned SampleIntervalUs = 0;
+    /// Report a stall when the consumer gauge has not advanced for this
+    /// long while the checker lag is non-zero. 0 disables the watchdog.
+    /// Requires the sampler (stalls are detected at sample points).
+    unsigned WatchdogQuietMs = 0;
+    /// Returns the newest producer ticket (e.g. Log::appendCount). Called
+    /// from the sampler thread and from checkerLag()/snapshot().
+    std::function<uint64_t()> ProducerProbe;
+    /// Invoked (from the sampler thread) once per detected stall episode.
+    /// Default: a one-line warning on stderr.
+    std::function<void(const std::string &)> StallReport;
+  };
+
+  Telemetry();
+  explicit Telemetry(Options O);
+  ~Telemetry();
+
+  Telemetry(const Telemetry &) = delete;
+  Telemetry &operator=(const Telemetry &) = delete;
+
+  /// The calling thread's cell, registered on first use. The reference
+  /// stays valid until the Telemetry object is destroyed; hot paths
+  /// should cache it.
+  TelemetryCell &cell();
+
+  /// Convenience single-shot updates (cell lookup included).
+  void count(Counter C, uint64_t N = 1) { cell().count(C, N); }
+  void record(Histo H, uint64_t V) { cell().record(H, V); }
+
+  /// Consumer gauge: sequence number up to which the checker has consumed
+  /// the log (exclusive). Single logical writer (verification thread).
+  void noteConsumed(uint64_t Seq) {
+    Consumed.store(Seq, std::memory_order_relaxed);
+  }
+  uint64_t consumedSeq() const {
+    return Consumed.load(std::memory_order_relaxed);
+  }
+
+  /// Producer ticket minus consumer gauge; 0 without a producer probe.
+  uint64_t checkerLag() const;
+
+  /// Watchdog verdict: is the consumer currently quiet with work pending?
+  bool stalled() const { return StallFlag.load(std::memory_order_relaxed); }
+
+  /// Starts/stops the sampler thread (the constructor starts it when
+  /// Options::SampleIntervalUs is non-zero). Idempotent.
+  void startSampler();
+  void stopSampler();
+
+  TelemetrySnapshot snapshot() const;
+
+private:
+  void samplerMain();
+
+  Options Opts;
+  const uint64_t InstanceId;
+
+  mutable std::mutex RegistryM;
+  std::vector<std::unique_ptr<TelemetryCell>> CellByTid;
+
+  std::atomic<uint64_t> Consumed{0};
+  std::atomic<bool> StallFlag{false};
+
+  std::thread Sampler;
+  std::atomic<bool> SamplerStop{false};
+  bool SamplerRunning = false;
+};
+
+} // namespace vyrd
+
+#endif // VYRD_TELEMETRY_H

@@ -1,0 +1,228 @@
+//===- Trace.cpp - Chrome/Perfetto trace_event recorder -------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+using namespace vyrd;
+
+/// Escapes a string for inclusion inside a JSON string literal.
+static std::string escapeJson(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+static std::string valueListStr(const ValueList &Args) {
+  std::string Out = "(";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Args[I].str();
+  }
+  Out += ")";
+  return Out;
+}
+
+void TraceRecorder::noteAction(const Action &A) {
+  std::lock_guard Lock(M);
+  MaxTs = std::max(MaxTs, A.Seq);
+  TraceEvent E;
+  E.Tid = A.Tid;
+  E.Ts = A.Seq;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "{\"seq\":%" PRIu64 "}", A.Seq);
+  E.Args = Buf;
+  switch (A.Kind) {
+  case ActionKind::AK_Call:
+    E.Ph = 'B';
+    E.Name = std::string(A.Method.str());
+    if (!A.Args.empty()) {
+      std::snprintf(Buf, sizeof(Buf), "{\"seq\":%" PRIu64 ",\"args\":\"",
+                    A.Seq);
+      E.Args = Buf + escapeJson(valueListStr(A.Args)) + "\"}";
+    }
+    OpenCalls[A.Tid].push_back(A.Method);
+    break;
+  case ActionKind::AK_Return: {
+    E.Ph = 'E';
+    E.Name = std::string(A.Method.str());
+    std::snprintf(Buf, sizeof(Buf), "{\"seq\":%" PRIu64 ",\"ret\":\"",
+                  A.Seq);
+    E.Args = Buf + escapeJson(A.Ret.str()) + "\"}";
+    auto &Open = OpenCalls[A.Tid];
+    if (!Open.empty())
+      Open.pop_back();
+    break;
+  }
+  case ActionKind::AK_Commit: {
+    E.Ph = 'i';
+    const auto &Open = OpenCalls[A.Tid];
+    E.Name = Open.empty()
+                 ? std::string("commit")
+                 : "commit " + std::string(Open.back().str());
+    break;
+  }
+  case ActionKind::AK_Write:
+    E.Ph = 'i';
+    E.Name = std::string(A.Var.str()) + " := " + A.Val.str();
+    break;
+  case ActionKind::AK_BlockBegin:
+    E.Ph = 'B';
+    E.Name = "commit-block";
+    break;
+  case ActionKind::AK_BlockEnd:
+    E.Ph = 'E';
+    E.Name = "commit-block";
+    break;
+  case ActionKind::AK_ReplayOp:
+    E.Ph = 'i';
+    E.Name = "replay " + std::string(A.Var.str());
+    break;
+  }
+  Events.push_back(std::move(E));
+}
+
+void TraceRecorder::noteCheckSpan(uint64_t FirstSeq, uint64_t LastSeq,
+                                  uint64_t NumActions) {
+  std::lock_guard Lock(M);
+  SawVerifierEvent = true;
+  MaxTs = std::max(MaxTs, LastSeq + 1);
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"first_seq\":%" PRIu64 ",\"last_seq\":%" PRIu64
+                ",\"actions\":%" PRIu64 "}",
+                FirstSeq, LastSeq, NumActions);
+  Events.push_back({'B', VerifierTrackTid, FirstSeq, "check", Buf});
+  Events.push_back({'E', VerifierTrackTid, LastSeq + 1, "check", ""});
+}
+
+void TraceRecorder::noteVerifierInstant(uint64_t Seq, std::string Name) {
+  std::lock_guard Lock(M);
+  SawVerifierEvent = true;
+  MaxTs = std::max(MaxTs, Seq);
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "{\"seq\":%" PRIu64 "}", Seq);
+  Events.push_back({'i', VerifierTrackTid, Seq, std::move(Name), Buf});
+}
+
+size_t TraceRecorder::eventCount() const {
+  std::lock_guard Lock(M);
+  return Events.size();
+}
+
+/// Renders one trace_event object. All events share pid 1 (one process:
+/// the verified program plus its verification thread).
+static void renderEvent(std::string &Out, const TraceEvent &E) {
+  char Buf[96];
+  Out += "{\"name\":\"";
+  Out += escapeJson(E.Name);
+  std::snprintf(Buf, sizeof(Buf),
+                "\",\"ph\":\"%c\",\"pid\":1,\"tid\":%" PRIu32
+                ",\"ts\":%" PRIu64,
+                E.Ph, E.Tid, E.Ts);
+  Out += Buf;
+  if (E.Ph == 'i')
+    Out += ",\"s\":\"t\"";
+  if (!E.Args.empty()) {
+    Out += ",\"args\":";
+    Out += E.Args;
+  }
+  Out += "},\n";
+}
+
+std::string TraceRecorder::json() const {
+  std::lock_guard Lock(M);
+  std::string Out =
+      "{\"displayTimeUnit\":\"ms\",\n"
+      "\"otherData\":{\"generator\":\"vyrd\","
+      "\"time_base\":\"virtual: 1 log record = 1 us\"},\n"
+      "\"traceEvents\":[\n";
+
+  // Metadata: name the process and every track that has events.
+  std::set<uint32_t> Tids;
+  for (const TraceEvent &E : Events)
+    Tids.insert(E.Tid);
+  Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":"
+         "{\"name\":\"vyrd pipeline\"}},\n";
+  char Buf[160];
+  for (uint32_t Tid : Tids) {
+    const char *Kind =
+        Tid == VerifierTrackTid ? "verifier" : "impl thread";
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%" PRIu32 ",\"args\":{\"name\":\"%s %" PRIu32
+                  "\"}},\n",
+                  Tid, Kind, Tid);
+    // The verifier track reads better without its huge tid suffix.
+    if (Tid == VerifierTrackTid)
+      std::snprintf(Buf, sizeof(Buf),
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                    "\"tid\":%" PRIu32 ",\"args\":{\"name\":\"verifier\"}},\n",
+                    Tid);
+    Out += Buf;
+  }
+
+  for (const TraceEvent &E : Events)
+    renderEvent(Out, E);
+
+  // Close any spans still open (incomplete log tails) so viewers don't
+  // drop them; inner-most first to keep B/E nesting valid.
+  for (const auto &[Tid, Open] : OpenCalls) {
+    for (size_t I = Open.size(); I-- > 0;) {
+      TraceEvent E;
+      E.Ph = 'E';
+      E.Tid = Tid;
+      E.Ts = MaxTs + 1;
+      E.Name = std::string(Open[I].str());
+      renderEvent(Out, E);
+    }
+  }
+
+  // Strip the trailing ",\n" and close the document.
+  if (Out.size() >= 2 && Out[Out.size() - 2] == ',')
+    Out.erase(Out.size() - 2, 1);
+  Out += "]}\n";
+  return Out;
+}
+
+bool TraceRecorder::writeFile(const std::string &Path) const {
+  std::string Doc = json();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Doc.data(), 1, Doc.size(), F);
+  bool Ok = Written == Doc.size();
+  return std::fclose(F) == 0 && Ok;
+}

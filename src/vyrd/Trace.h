@@ -1,0 +1,97 @@
+//===- Trace.h - Chrome/Perfetto trace_event recorder -----------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts the logged witness interleaving into Chrome trace_event JSON
+/// (the format Perfetto and chrome://tracing load natively), so the
+/// execution the checker reasons about becomes visually inspectable: one
+/// track per implementation thread showing method spans with commit/write
+/// instants inside them, plus one track for the verification thread
+/// showing check-batch spans (online) or witness-order commit processing
+/// (offline, via tools/vyrd-trace).
+///
+/// Actions carry no wall-clock time — only their log sequence number,
+/// which IS the witness order the paper's refinement argument is built on.
+/// The recorder therefore uses virtual time: one log record = one
+/// microsecond of trace time. Spans show relative order and log distance,
+/// not wall duration (docs/OBSERVABILITY.md, "Trace mapping").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_TRACE_H
+#define VYRD_TRACE_H
+
+#include "vyrd/Action.h"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vyrd {
+
+/// One trace_event record (subset of the Chrome trace format we emit).
+struct TraceEvent {
+  char Ph = 'i';     ///< 'B' begin, 'E' end, 'i' instant, 'M' metadata
+  uint32_t Tid = 0;  ///< trace track (ThreadId, or VerifierTrackTid)
+  uint64_t Ts = 0;   ///< virtual microseconds (= log sequence number)
+  std::string Name;
+  std::string Args;  ///< pre-rendered JSON for "args" (may be empty)
+};
+
+/// Accumulates trace events and renders the complete JSON document.
+/// Thread-safe (the online verifier records check spans from the
+/// verification thread while str()/writeFile() may run at shutdown); the
+/// common uses — pump loop online, vyrd-trace offline — are effectively
+/// single-threaded.
+class TraceRecorder {
+public:
+  /// Track id of the verification thread. Implementation ThreadIds are
+  /// dense and small, so this cannot collide.
+  static constexpr uint32_t VerifierTrackTid = 1000000;
+
+  /// Records one logged action on its thread's track:
+  ///  call/return  -> span begin/end named after the method
+  ///  commit       -> instant "commit <method>" inside the open span
+  ///  write        -> instant "<var> := <value>"
+  ///  block begin/end -> "commit-block" span
+  ///  replay op    -> instant "replay <op>"
+  void noteAction(const Action &A);
+
+  /// Records a verifier check span covering log records
+  /// [\p FirstSeq, \p LastSeq] (\p NumActions of them).
+  void noteCheckSpan(uint64_t FirstSeq, uint64_t LastSeq,
+                     uint64_t NumActions);
+
+  /// Records an instant on the verifier track at \p Seq (e.g. a commit
+  /// being processed in witness order, or a detected violation).
+  void noteVerifierInstant(uint64_t Seq, std::string Name);
+
+  /// Number of events recorded so far (excludes the metadata events that
+  /// json() synthesizes).
+  size_t eventCount() const;
+
+  /// Renders the complete JSON document: metadata (process/thread names),
+  /// every recorded event, and synthesized end events for any call spans
+  /// still open (so truncated logs still load cleanly).
+  std::string json() const;
+
+  /// Writes json() to \p Path. \returns false on I/O error.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  mutable std::mutex M;
+  std::vector<TraceEvent> Events;
+  /// Open call spans per thread, so commits can be named after the
+  /// enclosing method and unbalanced spans closed at render time.
+  std::unordered_map<uint32_t, std::vector<Name>> OpenCalls;
+  uint64_t MaxTs = 0;
+  bool SawVerifierEvent = false;
+};
+
+} // namespace vyrd
+
+#endif // VYRD_TRACE_H

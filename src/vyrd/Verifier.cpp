@@ -7,6 +7,7 @@
 #include "vyrd/Verifier.h"
 
 #include <cassert>
+#include <cstdio>
 
 using namespace vyrd;
 
@@ -18,13 +19,43 @@ std::string VerifierReport::str() const {
   Out += "\nchecked: " + std::to_string(Stats.MethodsChecked) + " methods (" +
          std::to_string(Stats.CommitsProcessed) + " commits, " +
          std::to_string(Stats.ObserversChecked) + " observers)\n";
-  if (Violations.empty()) {
+  if (Violations.empty())
     Out += "no refinement violations\n";
-    return Out;
+  else {
+    Out += std::to_string(Violations.size()) + " violation(s):\n";
+    for (const Violation &V : Violations)
+      Out += "  " + V.str() + "\n";
   }
-  Out += std::to_string(Violations.size()) + " violation(s):\n";
-  for (const Violation &V : Violations)
-    Out += "  " + V.str() + "\n";
+  if (TelemetryEnabled)
+    Out += Telemetry.str();
+  if (TraceEvents)
+    Out += "trace: " + std::to_string(TraceEvents) + " events\n";
+  return Out;
+}
+
+std::string VerifierReport::json() const {
+  std::string Out = "{";
+  Out += "\"ok\":" + std::string(ok() ? "true" : "false");
+  Out += ",\"violations\":" + std::to_string(Violations.size());
+  Out += ",\"log_records\":" + std::to_string(LogRecords);
+  Out += ",\"log_bytes\":" + std::to_string(LogBytes);
+  Out += ",\"stats\":{";
+  Out += "\"actions_fed\":" + std::to_string(Stats.ActionsFed);
+  Out += ",\"methods_checked\":" + std::to_string(Stats.MethodsChecked);
+  Out += ",\"commits_processed\":" + std::to_string(Stats.CommitsProcessed);
+  Out += ",\"observers_checked\":" + std::to_string(Stats.ObserversChecked);
+  Out += ",\"view_comparisons\":" + std::to_string(Stats.ViewComparisons);
+  Out += ",\"audits\":" + std::to_string(Stats.Audits);
+  Out += ",\"max_queue_depth\":" + std::to_string(Stats.MaxQueueDepth);
+  Out += ",\"replay_ns\":" + std::to_string(Stats.ReplayNanos);
+  Out += ",\"spec_ns\":" + std::to_string(Stats.SpecNanos);
+  Out += ",\"view_compare_ns\":" + std::to_string(Stats.ViewCompareNanos);
+  Out += "}";
+  if (TelemetryEnabled)
+    Out += ",\"telemetry\":" + Telemetry.json();
+  if (TraceEvents)
+    Out += ",\"trace_events\":" + std::to_string(TraceEvents);
+  Out += "}";
   return Out;
 }
 
@@ -60,8 +91,21 @@ Verifier::Verifier(std::unique_ptr<Spec> S, std::unique_ptr<Replayer> R,
     break;
   }
   }
+  if (Config.Telemetry.Enabled) {
+    Telemetry::Options TO;
+    TO.SampleIntervalUs = Config.Telemetry.SampleIntervalUs;
+    TO.WatchdogQuietMs = Config.Telemetry.WatchdogQuietMs;
+    if (TO.WatchdogQuietMs && !TO.SampleIntervalUs)
+      TO.SampleIntervalUs = 1000; // the watchdog needs sample points
+    TO.ProducerProbe = [L = TheLog.get()] { return L->appendCount(); };
+    Telem = std::make_unique<Telemetry>(std::move(TO));
+    TheLog->setTelemetry(Telem.get());
+  }
+  if (!Config.Telemetry.TraceFilePath.empty())
+    Tracer = std::make_unique<TraceRecorder>();
   Checker = std::make_unique<RefinementChecker>(
       *TheSpec, TheReplayer.get(), Config.Checker);
+  Checker->setTelemetry(Telem.get());
 }
 
 Verifier::~Verifier() {
@@ -73,7 +117,7 @@ Hooks Verifier::hooks() const {
   LogLevel Level = Config.Checker.Mode == CheckMode::CM_ViewRefinement
                        ? LogLevel::LL_View
                        : LogLevel::LL_IO;
-  return Hooks(TheLog.get(), Level);
+  return Hooks(TheLog.get(), Level, Telem.get());
 }
 
 void Verifier::pump() {
@@ -82,9 +126,26 @@ void Verifier::pump() {
   constexpr size_t PumpBatch = 256;
   std::vector<Action> Batch;
   Batch.reserve(PumpBatch);
+  TelemetryCell *TC =
+      telemetryCompiledIn() && Telem ? &Telem->cell() : nullptr;
   while (TheLog->nextBatch(Batch, PumpBatch)) {
-    for (const Action &A : Batch)
+    uint64_t T0 = TC ? telemetryNowNanos() : 0;
+    for (const Action &A : Batch) {
+      if (Tracer)
+        Tracer->noteAction(A);
       Checker->feed(A);
+    }
+    if (TC) {
+      TC->count(Counter::C_CheckerBatches);
+      TC->count(Counter::C_CheckerActions, Batch.size());
+      TC->record(Histo::H_FeedBatch, Batch.size());
+      TC->record(Histo::H_FeedNs, telemetryNowNanos() - T0);
+    }
+    if (Telem)
+      Telem->noteConsumed(Batch.back().Seq + 1);
+    if (Tracer)
+      Tracer->noteCheckSpan(Batch.front().Seq, Batch.back().Seq,
+                            Batch.size());
     if (Checker->hasViolation())
       ViolationFlag.store(true, std::memory_order_release);
   }
@@ -115,5 +176,21 @@ VerifierReport Verifier::finish() {
   R.Stats = Checker->stats();
   R.LogRecords = TheLog->appendCount();
   R.LogBytes = TheLog->byteCount();
+  if (Telem) {
+    Telem->stopSampler();
+    R.TelemetryEnabled = true;
+    R.Telemetry = Telem->snapshot();
+  }
+  if (Tracer) {
+    // Violations become instants on the verifier track, so the trace
+    // shows *where* in the witness each was detected.
+    for (const Violation &V : R.Violations)
+      Tracer->noteVerifierInstant(
+          V.Seq, std::string("violation: ") + violationKindName(V.Kind));
+    R.TraceEvents = Tracer->eventCount();
+    if (!Tracer->writeFile(Config.Telemetry.TraceFilePath))
+      std::fprintf(stderr, "vyrd: cannot write trace file %s\n",
+                   Config.Telemetry.TraceFilePath.c_str());
+  }
   return R;
 }

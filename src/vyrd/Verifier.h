@@ -22,6 +22,8 @@
 #include "vyrd/Log.h"
 #include "vyrd/Replayer.h"
 #include "vyrd/Spec.h"
+#include "vyrd/Telemetry.h"
+#include "vyrd/Trace.h"
 
 #include <atomic>
 #include <memory>
@@ -45,6 +47,24 @@ enum class LogBackend : uint8_t {
   LB_Buffered,
 };
 
+/// Observability options for a Verifier (docs/OBSERVABILITY.md).
+struct TelemetryOptions {
+  /// Master switch: construct a Telemetry hub and thread it through the
+  /// pipeline (hooks, log backend, checker feed, view comparison); the
+  /// final snapshot lands in VerifierReport::Telemetry.
+  bool Enabled = false;
+  /// Period of the checker-lag sampler thread; 0 = no sampler.
+  unsigned SampleIntervalUs = 0;
+  /// Report a stalled verifier (lag pending, consumer quiet) after this
+  /// many milliseconds; 0 = no watchdog. Implies a sampler (1 ms default
+  /// period when SampleIntervalUs is 0).
+  unsigned WatchdogQuietMs = 0;
+  /// When non-empty, record the run as Chrome/Perfetto trace_event JSON
+  /// and write it to this path at finish(). Works with or without
+  /// Enabled; see TraceRecorder for the event mapping.
+  std::string TraceFilePath;
+};
+
 /// Configuration for a Verifier.
 struct VerifierConfig {
   CheckerConfig Checker;
@@ -57,6 +77,8 @@ struct VerifierConfig {
   LogBackend Backend = LogBackend::LB_Auto;
   /// Shard capacity for LB_Buffered (records per producer thread).
   size_t ShardCapacity = 1024;
+  /// Metrics, lag watchdog and tracing.
+  TelemetryOptions Telemetry;
 };
 
 /// Final result of a verification run.
@@ -65,10 +87,20 @@ struct VerifierReport {
   CheckerStats Stats;
   uint64_t LogRecords = 0;
   uint64_t LogBytes = 0;
+  /// Final metric snapshot; all zeros unless TelemetryEnabled.
+  TelemetrySnapshot Telemetry;
+  bool TelemetryEnabled = false;
+  /// Trace events written to TelemetryOptions::TraceFilePath (0 = no
+  /// trace was recorded).
+  uint64_t TraceEvents = 0;
 
   bool ok() const { return Violations.empty(); }
-  /// Renders the full report for diagnostics.
+  /// Renders the full report for diagnostics (includes the telemetry
+  /// snapshot when enabled).
   std::string str() const;
+  /// Machine-readable rendering of the whole report (stats, violations
+  /// count, telemetry) as one JSON object.
+  std::string json() const;
 };
 
 /// Owns the full verification pipeline for one data structure instance.
@@ -102,6 +134,11 @@ public:
 
   Log &log() { return *TheLog; }
 
+  /// The pipeline's telemetry hub, or null when telemetry is disabled.
+  /// Live metrics (checkerLag(), stalled(), snapshot()) can be read while
+  /// the run is in flight.
+  Telemetry *telemetry() { return Telem.get(); }
+
 private:
   void pump();
 
@@ -109,6 +146,10 @@ private:
   std::unique_ptr<Replayer> TheReplayer;
   VerifierConfig Config;
   std::unique_ptr<Log> TheLog;
+  /// Declared after TheLog: the sampler (which probes the log's append
+  /// count) is joined before the log is destroyed.
+  std::unique_ptr<Telemetry> Telem;
+  std::unique_ptr<TraceRecorder> Tracer;
   std::unique_ptr<RefinementChecker> Checker;
   std::thread VerifyThread;
   std::atomic<bool> ViolationFlag{false};

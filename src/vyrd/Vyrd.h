@@ -20,6 +20,8 @@
 #include "vyrd/Names.h"
 #include "vyrd/Replayer.h"
 #include "vyrd/Spec.h"
+#include "vyrd/Telemetry.h"
+#include "vyrd/Trace.h"
 #include "vyrd/Value.h"
 #include "vyrd/Verifier.h"
 #include "vyrd/View.h"

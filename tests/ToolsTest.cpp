@@ -11,6 +11,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
 #include "harness/Scenarios.h"
 #include "harness/Workload.h"
 
@@ -158,5 +159,124 @@ TEST(ToolsTest, CheckRejectsBadUsage) {
                     "--program not-a-program",
                     Out),
             2);
+  EXPECT_NE(Out.find("usage"), std::string::npos) << Out;
+}
+
+TEST(ToolsTest, LogdumpStatsAsJson) {
+  std::string Path = tempLog("statsjson");
+  recordLog(Path, false);
+  std::string Out;
+  int RC = runTool(std::string(VYRD_LOGDUMP_PATH) + " " + Path +
+                       " --stats --json",
+                   Out);
+  EXPECT_EQ(RC, 0) << Out;
+  EXPECT_TRUE(test::jsonValid(Out)) << Out;
+  EXPECT_NE(Out.find("\"records\":"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"by_kind\":"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"by_thread\":"), std::string::npos) << Out;
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// vyrd-trace
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Writes a small deterministic log: the golden input for the trace
+/// conversion tests.
+///   t1: call Insert / write / commit / return
+///   t2: call LookUp / return
+void writeGoldenLog(const std::string &Path) {
+  bool Valid = false;
+  FileLog L(Path, Valid);
+  ASSERT_TRUE(Valid);
+  Name Ins = internName("golden.Insert");
+  Name Look = internName("golden.LookUp");
+  Name Var = internName("golden.elt");
+  L.append(Action::call(1, Ins, {Value(int64_t(3))}));
+  L.append(Action::write(1, Var, Value(int64_t(3))));
+  L.append(Action::call(2, Look, {Value(int64_t(3))}));
+  L.append(Action::commit(1));
+  L.append(Action::ret(1, Ins, Value(true)));
+  L.append(Action::ret(2, Look, Value(false)));
+  L.close();
+}
+
+} // namespace
+
+TEST(ToolsTest, TraceConvertsGoldenLogToValidJson) {
+  std::string Path = tempLog("trace-golden");
+  writeGoldenLog(Path);
+  std::string Out;
+  int RC = runTool(std::string(VYRD_TRACE_PATH) + " " + Path, Out);
+  EXPECT_EQ(RC, 0) << Out;
+  EXPECT_TRUE(test::jsonValid(Out)) << Out;
+
+  // 6 log records -> 6 impl-track events + 1 synthesized verifier commit
+  // instant; rendered alongside 1 process_name + 3 thread_name metadata
+  // events (tracks: t1, t2, verifier). Every event carries one "ph".
+  EXPECT_EQ(test::countOccurrences(Out, "\"ph\":"), 11u);
+  EXPECT_EQ(test::countOccurrences(Out, "\"name\":\"thread_name\""), 3u);
+  // The commit instant lands on both its own track and the verifier
+  // track, named after the enclosing method / witness position.
+  EXPECT_NE(Out.find("\"name\":\"commit golden.Insert\""),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("\"name\":\"commit t1 golden.Insert\",\"ph\":\"i\","
+                     "\"pid\":1,\"tid\":1000000,\"ts\":3"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("\"name\":\"verifier\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"time_base\":\"virtual: 1 log record = 1 us\""),
+            std::string::npos)
+      << Out;
+  std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, TraceWritesOutputFile) {
+  std::string Path = tempLog("trace-out");
+  writeGoldenLog(Path);
+  std::string OutPath = tempLog("trace-json") + ".json";
+  std::string Out;
+  int RC = runTool(std::string(VYRD_TRACE_PATH) + " " + Path + " -o " +
+                       OutPath,
+                   Out);
+  EXPECT_EQ(RC, 0) << Out;
+  // -o mode reports a summary on stderr instead of dumping the document.
+  EXPECT_NE(Out.find("6 records -> 7 trace events"), std::string::npos)
+      << Out;
+
+  std::FILE *F = std::fopen(OutPath.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  std::string Doc;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Doc.append(Buf, N);
+  std::fclose(F);
+  EXPECT_TRUE(test::jsonValid(Doc)) << Doc;
+  std::remove(Path.c_str());
+  std::remove(OutPath.c_str());
+}
+
+TEST(ToolsTest, TraceConvertsRealWorkloadLog) {
+  std::string Path = tempLog("trace-real");
+  recordLog(Path, false);
+  std::string Out;
+  int RC = runTool(std::string(VYRD_TRACE_PATH) + " " + Path, Out);
+  EXPECT_EQ(RC, 0);
+  EXPECT_TRUE(test::jsonValid(Out)) << Out.substr(0, 400);
+  EXPECT_NE(Out.find("\"name\":\"impl thread"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, TraceRejectsMissingFileAndBadUsage) {
+  std::string Out;
+  EXPECT_EQ(runTool(std::string(VYRD_TRACE_PATH) +
+                        " /nonexistent-xyz/f.bin",
+                    Out),
+            2);
+  EXPECT_EQ(runTool(std::string(VYRD_TRACE_PATH) + " --bogus", Out), 2);
   EXPECT_NE(Out.find("usage"), std::string::npos) << Out;
 }

@@ -7,12 +7,15 @@
 // Dumps a binary log file produced by FileLog in human-readable form.
 //
 //   vyrd-logdump <log-file> [--limit N] [--tid T] [--kind K] [--stats]
+//                [--json]
 //
 //   --limit N   print at most N records
 //   --tid T     only records of thread T
 //   --kind K    only records of kind K (call, return, commit, write,
 //               block-begin, block-end, replay-op)
-//   --stats     print per-kind / per-method counts instead of records
+//   --stats     print per-kind / per-method / per-thread counts instead
+//               of records
+//   --json      with --stats: emit the summary as one JSON object
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,9 +34,22 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <log-file> [--limit N] [--tid T] [--kind K] "
-               "[--stats]\n",
+               "[--stats] [--json]\n",
                Argv0);
   return 2;
+}
+
+/// Renders a string-keyed count map as a JSON object.
+std::string countsJson(const std::map<std::string, uint64_t> &Counts) {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[K, N] : Counts) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + K + "\":" + std::to_string(N);
+  }
+  return Out + "}";
 }
 
 } // namespace
@@ -45,6 +61,7 @@ int main(int Argc, char **Argv) {
   long Limit = -1, Tid = -1;
   std::string KindFilter;
   bool Stats = false;
+  bool Json = false;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--limit" && I + 1 < Argc) {
@@ -55,6 +72,8 @@ int main(int Argc, char **Argv) {
       KindFilter = Argv[++I];
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--json") {
+      Json = true;
     } else if (Arg[0] == '-') {
       return usage(Argv[0]);
     } else {
@@ -74,13 +93,26 @@ int main(int Argc, char **Argv) {
   if (Stats) {
     std::map<std::string, uint64_t> ByKind;
     std::map<std::string, uint64_t> ByMethod;
+    std::map<uint64_t, uint64_t> ByThread;
     uint64_t Threads = 0;
     for (const Action &A : Log) {
       ++ByKind[actionKindName(A.Kind)];
       if (A.Kind == ActionKind::AK_Call)
         ++ByMethod[std::string(A.Method.str())];
+      ++ByThread[A.Tid];
       if (A.Tid + 1 > Threads)
         Threads = A.Tid + 1;
+    }
+    if (Json) {
+      std::map<std::string, uint64_t> ByThreadStr;
+      for (const auto &[T, N] : ByThread)
+        ByThreadStr[std::to_string(T)] = N;
+      std::printf("{\"records\":%zu,\"threads\":%llu,"
+                  "\"by_kind\":%s,\"method_calls\":%s,\"by_thread\":%s}\n",
+                  Log.size(), static_cast<unsigned long long>(Threads),
+                  countsJson(ByKind).c_str(), countsJson(ByMethod).c_str(),
+                  countsJson(ByThreadStr).c_str());
+      return 0;
     }
     std::printf("%zu records, %llu thread(s)\n", Log.size(),
                 static_cast<unsigned long long>(Threads));
@@ -91,6 +123,11 @@ int main(int Argc, char **Argv) {
     std::printf("\nmethod calls:\n");
     for (const auto &[M, N] : ByMethod)
       std::printf("  %-24s %10llu\n", M.c_str(),
+                  static_cast<unsigned long long>(N));
+    std::printf("\nby thread:\n");
+    for (const auto &[T, N] : ByThread)
+      std::printf("  t%-11llu %10llu\n",
+                  static_cast<unsigned long long>(T),
                   static_cast<unsigned long long>(N));
     return 0;
   }
