@@ -24,6 +24,8 @@
 #include "multiset/ArrayMultiset.h"
 #include "multiset/MultisetReplayer.h"
 #include "multiset/MultisetSpec.h"
+#include "queue/BoundedQueue.h"
+#include "queue/QueueSpec.h"
 #include "vyrd/Vyrd.h"
 
 #include <cstdio>
@@ -34,25 +36,35 @@ using namespace vyrd::harness;
 // The README's "Quickstart in code" section quotes the body of this
 // function verbatim; it is compiled here so the documentation cannot rot.
 static void readmeQuickstart() {
-  // 1. A verifier: spec + replayer + (online) verification thread.
+  // 1. One verifier, one log, any number of verified objects: register
+  //    each structure (spec + replayer) and get hooks bound to its id.
   VerifierConfig VC;                    // view refinement by default
   VC.Backend = LogBackend::LB_Buffered; // sharded lock-free log
-  Verifier V(std::make_unique<multiset::MultisetSpec>(),
-             std::make_unique<multiset::MultisetReplayer>(48), VC);
+  VC.CheckerThreads = 2;                // check the objects in parallel
+  Verifier V(VC);
+  Hooks HM = V.registerObject(
+      "multiset", std::make_unique<multiset::MultisetSpec>(),
+      std::make_unique<multiset::MultisetReplayer>(48));
+  Hooks HQ = V.registerObject("queue",
+                              std::make_unique<queue::QueueSpec>(16),
+                              std::make_unique<queue::QueueReplayer>());
   V.start();
 
-  // 2. The instrumented implementation logs through the verifier's hooks.
+  // 2. The instrumented implementations log through their object's hooks.
   multiset::ArrayMultiset::Options MO;
   MO.Capacity = 48; // must match the replayer's shadow capacity
-  multiset::ArrayMultiset M(MO, V.hooks());
+  multiset::ArrayMultiset M(MO, HM);
+  queue::BoundedQueue::Options QO;
+  QO.Capacity = 16; // must match the spec's capacity
+  queue::BoundedQueue Q(QO, HQ);
 
-  // 3. Hammer it from as many threads as you like ...
+  // 3. Hammer them from as many threads as you like ...
   M.insert(7);
-  M.insertPair(1, 2);
+  Q.offer(42);
   M.lookUp(7);
-  M.remove(1);
+  Q.poll();
 
-  // 4. ... and collect the verdict.
+  // 4. ... and collect the verdict, attributed per object.
   VerifierReport R = V.finish();
   if (!R.ok())
     std::puts(R.Violations.front().str().c_str());

@@ -214,6 +214,10 @@ Hooks wireScenario(Scenario &S, const ScenarioOptions &O,
   VC.Telemetry = O.Telemetry;
   VC.Online = O.Mode == RunMode::RM_OnlineIO ||
               O.Mode == RunMode::RM_OnlineView;
+  // The pool only exists online; offline checking is a synchronous
+  // replay, so silently dropping to 1 there is the meaningful mapping
+  // (VerifierConfig::validate would reject the combination).
+  VC.CheckerThreads = VC.Online ? O.CheckerThreads : 1;
   VC.LogFilePath = O.LogPath;
   if (O.Buffered)
     VC.Backend = LogBackend::LB_Buffered;
@@ -497,6 +501,194 @@ Scenario makeScanFsScenario(const ScenarioOptions &O) {
 }
 
 } // namespace
+
+Scenario vyrd::harness::makeCompositeScenario(const ScenarioOptions &O) {
+  Scenario S;
+  S.Objects = {"multiset", "cache", "blinktree", "queue"};
+  bool ViewLevel = O.Mode == RunMode::RM_LogOnlyView ||
+                   O.Mode == RunMode::RM_OnlineView ||
+                   O.Mode == RunMode::RM_OfflineView;
+  LogLevel Level = ViewLevel ? LogLevel::LL_View : LogLevel::LL_IO;
+
+  // Sub-structure configuration. Only the multiset carries the injected
+  // bug: a violation must then be attributed to it and to nothing else.
+  multiset::ArrayMultiset::Options MO;
+  MO.Capacity = 48;
+  MO.BuggyFindSlot = O.Buggy;
+
+  auto CacheCM = std::make_shared<chunk::ChunkManager>();
+  constexpr size_t NumHandles = 24;
+  std::vector<uint64_t> Handles;
+  for (size_t I = 0; I < NumHandles; ++I)
+    Handles.push_back(CacheCM->allocate());
+  cache::BoxCache::Options CO;
+  CO.ChunkSize = 64;
+
+  // The tree brings its own uninstrumented storage stack (the modular
+  // assumption of makeBLinkScenario); a fresh Chunk Manager keeps its
+  // first leaf at the deterministic handle 1 the replayer is anchored to.
+  auto TreeCM = std::make_shared<chunk::ChunkManager>();
+  cache::BoxCache::Options TreeCO;
+  TreeCO.ChunkSize = 512;
+  auto TreeCache =
+      std::make_shared<cache::BoxCache>(*TreeCM, TreeCO, Hooks());
+  blinktree::BLinkTree::Options TO;
+  TO.MaxLeafKeys = 8;
+  TO.MaxInnerKeys = 8;
+
+  queue::BoundedQueue::Options QO;
+  QO.Capacity = 24;
+
+  Hooks HMul, HCache, HTree, HQueue;
+  if (!modeLogs(O.Mode)) {
+    S.Finish = [] { return VerifierReport(); };
+  } else if (!modeChecks(O.Mode)) {
+    // Logging only: a bare log, four hook sets stamping object ids in the
+    // same order registerObject would assign them.
+    std::shared_ptr<Log> L;
+    if (O.Buffered) {
+      BufferedLog::Options BO;
+      BO.FilePath = O.LogPath;
+      BO.RetainRecords = false;
+      auto BL = std::make_shared<BufferedLog>(std::move(BO));
+      assert(BL->valid() && "cannot open log file");
+      L = std::move(BL);
+    } else if (!O.LogPath.empty()) {
+      bool Valid = false;
+      L = std::make_shared<FileLog>(O.LogPath, Valid, /*RetainTail=*/false);
+      assert(Valid && "cannot open log file");
+      (void)Valid;
+    } else {
+      L = std::make_shared<MemoryLog>();
+    }
+    S.L = L.get();
+    S.Owned.push_back(L);
+    S.Finish = [L] {
+      L->close();
+      VerifierReport R;
+      R.LogRecords = L->appendCount();
+      R.LogBytes = L->byteCount();
+      return R;
+    };
+    HMul = Hooks(L.get(), Level, nullptr, 0);
+    HCache = Hooks(L.get(), Level, nullptr, 1);
+    HTree = Hooks(L.get(), Level, nullptr, 2);
+    HQueue = Hooks(L.get(), Level, nullptr, 3);
+  } else {
+    VerifierConfig VC;
+    VC.Checker.Mode = ViewLevel ? CheckMode::CM_ViewRefinement
+                                : CheckMode::CM_IORefinement;
+    VC.Checker.StopAtFirstViolation = O.StopAtFirstViolation;
+    VC.Checker.FullViewRecompute = O.FullViewRecompute;
+    VC.Checker.QuiescentOnly = O.QuiescentOnly;
+    VC.Checker.AuditPeriod = O.AuditPeriod;
+    VC.Checker.ContextRecords = O.ContextRecords;
+    VC.Checker.CollectTimings = O.CollectTimings;
+    VC.Telemetry = O.Telemetry;
+    VC.Online = O.Mode == RunMode::RM_OnlineIO ||
+                O.Mode == RunMode::RM_OnlineView;
+    VC.CheckerThreads = VC.Online ? O.CheckerThreads : 1;
+    VC.LogFilePath = O.LogPath;
+    if (O.Buffered)
+      VC.Backend = LogBackend::LB_Buffered;
+    auto V = std::make_shared<Verifier>(VC);
+    HMul = V->registerObject(
+        "multiset", std::make_unique<multiset::MultisetSpec>(),
+        ViewLevel ? std::make_unique<multiset::MultisetReplayer>(MO.Capacity)
+                  : nullptr);
+    HCache = V->registerObject(
+        "cache", std::make_unique<cache::CacheSpec>(Handles),
+        ViewLevel ? std::make_unique<cache::CacheReplayer>(Handles)
+                  : nullptr);
+    HTree = V->registerObject(
+        "blinktree", std::make_unique<blinktree::BLinkSpec>(),
+        ViewLevel ? std::make_unique<blinktree::BLinkReplayer>(1) : nullptr);
+    HQueue = V->registerObject(
+        "queue", std::make_unique<queue::QueueSpec>(QO.Capacity),
+        ViewLevel ? std::make_unique<queue::QueueReplayer>() : nullptr);
+    V->start();
+    S.V = V.get();
+    S.L = &V->log();
+    S.Owned.push_back(V);
+    S.Finish = [V] { return V->finish(); };
+  }
+
+  auto M = std::make_shared<multiset::ArrayMultiset>(MO, HMul);
+  auto C = std::make_shared<cache::BoxCache>(*CacheCM, CO, HCache);
+  auto T =
+      std::make_shared<blinktree::BLinkTree>(*TreeCache, *TreeCM, TO, HTree);
+  assert(T->firstLeafHandle() == 1 && "replayer anchored to wrong leaf");
+  auto Q = std::make_shared<queue::BoundedQueue>(QO, HQueue);
+  S.Owned.push_back(CacheCM);
+  S.Owned.push_back(TreeCM);
+  S.Owned.push_back(TreeCache);
+  S.Owned.push_back(M);
+  S.Owned.push_back(C);
+  S.Owned.push_back(T);
+  S.Owned.push_back(Q);
+  auto HandleList = std::make_shared<std::vector<uint64_t>>(Handles);
+  S.Owned.push_back(HandleList);
+
+  // One thread interleaves operations on all four objects: the dice pick
+  // the object, then the per-object mixes mirror the single scenarios.
+  S.Op = [M, C, T, Q, HandleList](Rng &R, int64_t K1, int64_t K2, double) {
+    switch (R.range(4)) {
+    case 0: {
+      unsigned Dice = static_cast<unsigned>(R.range(100));
+      if (Dice < 30)
+        M->insert(K1);
+      else if (Dice < 50)
+        M->insertPair(K1, K2);
+      else if (Dice < 75)
+        M->remove(K1);
+      else
+        M->lookUp(K1);
+      break;
+    }
+    case 1: {
+      uint64_t Hd =
+          (*HandleList)[static_cast<size_t>(K1) % HandleList->size()];
+      unsigned Dice = static_cast<unsigned>(R.range(100));
+      if (Dice < 50) {
+        C->write(Hd, keyBytes(K2, 16 + K2 % 16));
+      } else if (Dice < 80) {
+        chunk::Bytes Out;
+        C->read(Hd, Out);
+      } else if (Dice < 90) {
+        C->flush();
+      } else {
+        C->evict();
+      }
+      break;
+    }
+    case 2: {
+      unsigned Dice = static_cast<unsigned>(R.range(100));
+      if (Dice < 40)
+        T->insert(K1, keyBytes(K1, 8 + K1 % 9));
+      else if (Dice < 65)
+        T->remove(K1);
+      else
+        T->lookup(K1);
+      break;
+    }
+    default: {
+      unsigned Dice = static_cast<unsigned>(R.range(100));
+      if (Dice < 40)
+        Q->offer(K1 % 1000);
+      else if (Dice < 75)
+        Q->poll();
+      else
+        Q->peek();
+      break;
+    }
+    }
+  };
+  S.BackgroundOp = [T] { T->compress(); };
+
+  S.Name = std::string("Composite/") + runModeName(O.Mode) +
+           (O.Buggy ? "/buggy" : "/correct");
+  return S;
+}
 
 Scenario vyrd::harness::makeScenario(const ScenarioOptions &O) {
   Scenario S;

@@ -102,6 +102,10 @@ struct ScenarioOptions {
   TelemetryOptions Telemetry;
   /// Accumulate the Table 3 phase timings in CheckerStats.
   bool CollectTimings = false;
+  /// Size of the verifier's checker pool in the online modes (1 = check
+  /// inline on the consumption thread, the historical behavior). Ignored
+  /// in the offline/log-only modes, where the pool is not applicable.
+  unsigned CheckerThreads = 1;
 };
 
 /// A ready-to-run verification scenario.
@@ -120,12 +124,23 @@ struct Scenario {
   /// Must be called exactly once.
   std::function<VerifierReport()> Finish;
 
+  /// Names of the verified objects in ObjectId order. Single-object
+  /// scenarios leave this empty (their one object is anonymous).
+  std::vector<std::string> Objects;
+
   /// Ownership of the underlying objects.
   std::vector<std::shared_ptr<void>> Owned;
 };
 
 /// Builds the scenario described by \p O.
 Scenario makeScenario(const ScenarioOptions &O);
+
+/// Builds the composite multi-object scenario: an array multiset, a
+/// Boxwood cache, a B-link tree and a bounded queue all verified by one
+/// Verifier (one shared log, four registered objects). \p O.Prog is
+/// ignored; \p O.Buggy injects the multiset's Table 1 bug, so any
+/// violation must be attributed to the "multiset" object.
+Scenario makeCompositeScenario(const ScenarioOptions &O);
 
 } // namespace harness
 } // namespace vyrd

@@ -32,8 +32,13 @@ const char *vyrd::actionKindName(ActionKind K) {
 }
 
 std::string Action::str() const {
-  std::string Out = "#" + std::to_string(Seq) + " t" + std::to_string(Tid) +
-                    " " + actionKindName(Kind);
+  std::string Out = "#" + std::to_string(Seq) + " t" + std::to_string(Tid);
+  // Only multi-object logs carry non-zero ids; keep single-object output
+  // (and the golden strings in tests) unchanged.
+  if (Obj != 0)
+    Out += " o" + std::to_string(Obj);
+  Out += " ";
+  Out += actionKindName(Kind);
   switch (Kind) {
   case ActionKind::AK_Call: {
     Out += " ";

@@ -27,6 +27,13 @@ namespace vyrd {
 /// dense small ids; 0 is valid.
 using ThreadId = uint32_t;
 
+/// Identifier of the verified object an action belongs to (Sec. 6.2: the
+/// log is demultiplexed per object and refinement is checked object by
+/// object). The Verifier assigns dense ids in registration order; 0 is the
+/// first registered object, so single-object programs never see a non-zero
+/// id and pay one varint byte per record.
+using ObjectId = uint32_t;
+
 /// The kinds of events recorded in the log.
 enum class ActionKind : uint8_t {
   /// A public method invocation: Method + Args.
@@ -56,6 +63,9 @@ const char *actionKindName(ActionKind K);
 struct Action {
   ActionKind Kind = ActionKind::AK_Call;
   ThreadId Tid = 0;
+  /// The verified object this record belongs to; stamped by the emitting
+  /// Hooks (each registered object gets its own Hooks bound to its id).
+  ObjectId Obj = 0;
   /// Position in the log; assigned by the log on append and therefore a
   /// total order consistent with real-time occurrence (each hooked action is
   /// performed atomically with its log append).

@@ -170,6 +170,13 @@ BufferedLog::BufferedLog(Options O) : I(std::make_unique<Impl>()) {
   if (!I->Opts.FilePath.empty()) {
     I->File = std::fopen(I->Opts.FilePath.c_str(), "wb");
     Valid = I->File != nullptr;
+    if (I->File) {
+      // Format header first (docs/LOGFORMAT.md), before any flush epoch.
+      ByteWriter HW;
+      writeLogHeader(HW);
+      std::fwrite(HW.buffer().data(), 1, HW.size(), I->File);
+      I->Bytes.fetch_add(HW.size(), std::memory_order_relaxed);
+    }
   }
   I->Flusher = std::thread([this] { flusherMain(); });
 }

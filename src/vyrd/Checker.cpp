@@ -8,6 +8,7 @@
 
 #include "vyrd/Telemetry.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace vyrd;
@@ -39,6 +40,11 @@ const char *vyrd::violationKindName(ViolationKind K) {
 std::string Violation::str() const {
   std::string Out = std::string(violationKindName(Kind)) + " at #" +
                     std::to_string(Seq) + " t" + std::to_string(Tid);
+  if (Object.valid()) {
+    Out += " [";
+    Out += Object.str();
+    Out += "]";
+  }
   if (Method.valid()) {
     Out += " ";
     Out += Method.str();
@@ -46,6 +52,19 @@ std::string Violation::str() const {
   Out += ": " + Message +
          " [methods checked: " + std::to_string(MethodsChecked) + "]";
   return Out;
+}
+
+void CheckerStats::merge(const CheckerStats &Other) {
+  ActionsFed += Other.ActionsFed;
+  MethodsChecked += Other.MethodsChecked;
+  CommitsProcessed += Other.CommitsProcessed;
+  ObserversChecked += Other.ObserversChecked;
+  ViewComparisons += Other.ViewComparisons;
+  Audits += Other.Audits;
+  MaxQueueDepth = std::max(MaxQueueDepth, Other.MaxQueueDepth);
+  ReplayNanos += Other.ReplayNanos;
+  SpecNanos += Other.SpecNanos;
+  ViewCompareNanos += Other.ViewCompareNanos;
 }
 
 RefinementChecker::RefinementChecker(Spec &S, Replayer *R,

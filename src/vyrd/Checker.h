@@ -109,6 +109,11 @@ struct CheckerStats {
   /// ... and time computing/comparing views plus invariant checks (incl.
   /// audits and full recomputes when those ablations are on).
   uint64_t ViewCompareNanos = 0;
+
+  /// Accumulates \p Other into this: counters and timings sum,
+  /// MaxQueueDepth takes the maximum. Used by the multi-object Verifier to
+  /// aggregate per-object checker stats into the report's totals.
+  void merge(const CheckerStats &Other);
 };
 
 /// The refinement checking engine. Not thread-safe: exactly one thread

@@ -79,14 +79,17 @@ private:
 class Hooks {
 public:
   Hooks() : L(nullptr), Level(LogLevel::LL_None) {}
-  Hooks(Log *L, LogLevel Level, Telemetry *T = nullptr)
-      : L(L), Level(Level), Telem(T) {}
+  Hooks(Log *L, LogLevel Level, Telemetry *T = nullptr, ObjectId Obj = 0)
+      : L(L), Level(Level), Telem(T), Obj(Obj) {}
 
   LogLevel level() const { return Level; }
   bool enabled() const { return L && Level != LogLevel::LL_None; }
   /// Whether write/replay records are being collected.
   bool viewLevel() const { return L && Level == LogLevel::LL_View; }
   Log *log() const { return L; }
+  /// The verified object every record emitted through this hook is stamped
+  /// with (Verifier::registerObject hands out one Hooks per object).
+  ObjectId object() const { return Obj; }
 
   void call(Name Method, ValueList Args) const {
     if (enabled())
@@ -127,12 +130,14 @@ private:
   void emit(Action A) const {
     if (telemetryCompiledIn() && Telem)
       Telem->count(Counter::C_HookRecords);
+    A.Obj = Obj;
     L->writer().append(std::move(A));
   }
 
   Log *L;
   LogLevel Level;
   Telemetry *Telem = nullptr;
+  ObjectId Obj = 0;
 };
 
 /// RAII bracket logging the call on construction and the return on

@@ -118,6 +118,14 @@ FileLog::FileLog(const std::string &Path, bool &Valid, bool RetainTail)
     : Path(Path), RetainTail(RetainTail) {
   File = std::fopen(Path.c_str(), "wb");
   Valid = File != nullptr;
+  if (File) {
+    // Open with the format header (docs/LOGFORMAT.md) so readers can tell
+    // the record layout; readers still accept headerless v1 files.
+    ByteWriter HW;
+    writeLogHeader(HW);
+    std::fwrite(HW.buffer().data(), 1, HW.size(), File);
+    Bytes = HW.size();
+  }
 }
 
 FileLog::~FileLog() {
@@ -206,7 +214,11 @@ bool vyrd::loadLogFile(const std::string &Path, std::vector<Action> &Out) {
   std::fclose(F);
 
   ByteReader R(Data.data(), Data.size());
+  uint32_t Version = readLogHeader(R);
+  if (Version == 0)
+    return false; // Magic present but header malformed / version unknown.
   ActionDecoder Decoder;
+  Decoder.setVersion(Version);
   Action A;
   while (!R.atEnd()) {
     if (!Decoder.decode(R, A))

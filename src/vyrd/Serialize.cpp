@@ -93,6 +93,28 @@ std::string ByteReader::str() {
 }
 
 //===----------------------------------------------------------------------===//
+// File header
+//===----------------------------------------------------------------------===//
+
+void vyrd::writeLogHeader(ByteWriter &W) {
+  W.bytes(LogMagic, sizeof(LogMagic));
+  W.varint(LogFormatVersion);
+}
+
+uint32_t vyrd::readLogHeader(ByteReader &R) {
+  uint8_t Magic[4];
+  ByteReader Probe = R;
+  if (!Probe.bytes(Magic, sizeof(Magic)) ||
+      std::memcmp(Magic, LogMagic, sizeof(LogMagic)) != 0)
+    return 1; // Headerless legacy stream; leave R untouched.
+  uint64_t Version = Probe.varint();
+  if (!Probe.ok() || Version < 2 || Version > LogFormatVersion)
+    return 0;
+  R = Probe;
+  return static_cast<uint32_t>(Version);
+}
+
+//===----------------------------------------------------------------------===//
 // ActionEncoder
 //===----------------------------------------------------------------------===//
 
@@ -153,6 +175,7 @@ void ActionEncoder::encode(const Action &A, ByteWriter &W) {
 
   W.u8(static_cast<uint8_t>(A.Kind));
   W.varint(A.Tid);
+  W.varint(A.Obj);
   W.varint(A.Seq);
   encodeName(A.Method, W);
   encodeName(A.Var, W);
@@ -224,6 +247,9 @@ bool ActionDecoder::decode(ByteReader &R, Action &Out) {
   }
 
   Out.Tid = static_cast<ThreadId>(R.varint());
+  // v1 predates the multi-object engine: no ObjectId on the wire, every
+  // record belongs to the (single) object 0.
+  Out.Obj = Version >= 2 ? static_cast<ObjectId>(R.varint()) : 0;
   Out.Seq = R.varint();
   Out.Method = decodeName(R);
   Out.Var = decodeName(R);

@@ -9,11 +9,19 @@
 /// the role the .NET binary object serializer played in the original tool
 /// (Sec. 6.1): records are restored exactly as they were saved at runtime.
 ///
-/// Format: a stream of records. Each record starts with a tag byte:
-/// `0xFF` introduces a name definition (varint file-local id + string);
-/// any other tag is an ActionKind and is followed by the action fields.
-/// Integers are LEB128 varints; names are file-local ids defined on first
-/// use, so method/variable strings are written once per file.
+/// Format (v2): a 5-byte header — the magic bytes "VYRD" followed by a
+/// varint format version — then a stream of records. Each record starts
+/// with a tag byte: `0xFF` introduces a name definition (varint file-local
+/// id + string); any other tag is an ActionKind and is followed by the
+/// action fields. Integers are LEB128 varints; names are file-local ids
+/// defined on first use, so method/variable strings are written once per
+/// file.
+///
+/// Version history (see docs/LOGFORMAT.md):
+///   v1 — no header, records start at byte 0, no ObjectId field.
+///   v2 — "VYRD" header; each record carries a varint ObjectId after Tid.
+/// v1 files remain readable: 'V' (0x56) is not a valid v1 tag byte, so a
+/// reader can sniff the magic and fall back to the headerless v1 layout.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +35,28 @@
 #include <vector>
 
 namespace vyrd {
+
+/// Current version of the on-disk log format.
+constexpr uint32_t LogFormatVersion = 2;
+
+/// Magic bytes opening every log file from v2 on. The first byte, 'V'
+/// (0x56), is neither the name-definition tag (0xFF) nor a valid
+/// ActionKind, which is what makes headerless v1 files distinguishable.
+constexpr uint8_t LogMagic[4] = {'V', 'Y', 'R', 'D'};
+
+class ByteWriter;
+class ByteReader;
+
+/// Appends the v2 file header (magic + current format version) to \p W.
+/// Log backends call this once, before the first record.
+void writeLogHeader(ByteWriter &W);
+
+/// Consumes the file header if one is present at the reader position and
+/// returns the stream's format version: the header's version when the
+/// magic matches, 1 for headerless legacy streams (the reader position is
+/// left untouched), or 0 when the magic is present but the header is
+/// malformed or the version is newer than this build understands.
+uint32_t readLogHeader(ByteReader &R);
 
 /// Growable byte sink with varint helpers.
 class ByteWriter {
@@ -89,6 +119,11 @@ private:
 /// Decodes Actions from a byte stream produced by ActionEncoder.
 class ActionDecoder {
 public:
+  /// Selects the record layout to decode. Callers obtain the stream's
+  /// version from readLogHeader(); the default is the current version.
+  void setVersion(uint32_t V) { Version = V; }
+  uint32_t version() const { return Version; }
+
   /// Decodes one Action starting at the reader position. Consumes any name
   /// definitions that precede it. Returns false on malformed input or clean
   /// end of stream (distinguish via \p R.atEnd()).
@@ -99,6 +134,7 @@ private:
   Value decodeValue(ByteReader &R);
 
   std::vector<Name> Names; // file-local id - 1 -> interned Name
+  uint32_t Version = LogFormatVersion;
 };
 
 } // namespace vyrd

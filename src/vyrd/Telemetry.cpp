@@ -140,6 +140,16 @@ std::string TelemetrySnapshot::str() const {
                 "checker_lag_now", CheckerLag,
                 Stalled ? "  ** STALLED **" : "");
   Out += Buf;
+  for (size_t O = 0; O < Objects.size(); ++O) {
+    const ObjectTelemetry &OT = Objects[O];
+    std::string Label =
+        OT.Name.empty() ? "object" + std::to_string(O) : OT.Name;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  object %-11s routed=%-10" PRIu64 " checked=%-10" PRIu64
+                  " backlog=%" PRIu64 "\n",
+                  Label.c_str(), OT.Routed, OT.Checked, OT.Backlog);
+    Out += Buf;
+  }
   for (size_t H = 0; H < NumHistos; ++H) {
     const HistoSnapshot &HS = Histos[H];
     if (!HS.Count)
@@ -189,9 +199,26 @@ std::string TelemetrySnapshot::json() const {
     }
     Out += "]}";
   }
+  Out += "}";
+  if (!Objects.empty()) {
+    Out += ",\"objects\":{";
+    for (size_t O = 0; O < Objects.size(); ++O) {
+      const ObjectTelemetry &OT = Objects[O];
+      std::string Label =
+          OT.Name.empty() ? "object" + std::to_string(O) : OT.Name;
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s\"%s\":{\"routed\":%" PRIu64 ",\"checked\":%" PRIu64
+                    ",\"backlog\":%" PRIu64 "}",
+                    O ? "," : "", Label.c_str(), OT.Routed, OT.Checked,
+                    OT.Backlog);
+      Out += Buf;
+    }
+    Out += "}";
+  }
   std::snprintf(Buf, sizeof(Buf),
-                "},\"checker_lag\":%" PRIu64 ",\"stalled\":%s}", CheckerLag,
+                "\"checker_lag\":%" PRIu64 ",\"stalled\":%s}", CheckerLag,
                 Stalled ? "true" : "false");
+  Out += ",";
   Out += Buf;
   return Out;
 }
@@ -253,6 +280,37 @@ uint64_t Telemetry::checkerLag() const {
   uint64_t Produced = Opts.ProducerProbe();
   uint64_t Consumed = consumedSeq();
   return Produced > Consumed ? Produced - Consumed : 0;
+}
+
+void Telemetry::registerObject(uint32_t Obj, std::string ObjName) {
+  std::lock_guard Lock(RegistryM);
+  if (ObjectsById.size() <= Obj)
+    ObjectsById.resize(Obj + 1);
+  if (!ObjectsById[Obj]) {
+    ObjectsById[Obj] = std::make_unique<ObjectCounters>();
+    ObjectsById[Obj]->Name = std::move(ObjName);
+  }
+}
+
+void Telemetry::noteObjectRouted(uint32_t Obj, uint64_t N) {
+  std::lock_guard Lock(RegistryM);
+  if (Obj < ObjectsById.size() && ObjectsById[Obj])
+    ObjectsById[Obj]->Routed.fetch_add(N, std::memory_order_relaxed);
+}
+
+void Telemetry::noteObjectChecked(uint32_t Obj, uint64_t N) {
+  std::lock_guard Lock(RegistryM);
+  if (Obj < ObjectsById.size() && ObjectsById[Obj])
+    ObjectsById[Obj]->Checked.fetch_add(N, std::memory_order_relaxed);
+}
+
+uint64_t Telemetry::objectBacklog(uint32_t Obj) const {
+  std::lock_guard Lock(RegistryM);
+  if (Obj >= ObjectsById.size() || !ObjectsById[Obj])
+    return 0;
+  uint64_t R = ObjectsById[Obj]->Routed.load(std::memory_order_relaxed);
+  uint64_t C = ObjectsById[Obj]->Checked.load(std::memory_order_relaxed);
+  return R > C ? R - C : 0;
 }
 
 void Telemetry::startSampler() {
@@ -343,6 +401,16 @@ TelemetrySnapshot Telemetry::snapshot() const {
         }
         HS.Sum += TC.Sums[H].load(std::memory_order_relaxed);
       }
+    }
+    for (const auto &OC : ObjectsById) {
+      ObjectTelemetry OT;
+      if (OC) {
+        OT.Name = OC->Name;
+        OT.Routed = OC->Routed.load(std::memory_order_relaxed);
+        OT.Checked = OC->Checked.load(std::memory_order_relaxed);
+        OT.Backlog = OT.Routed > OT.Checked ? OT.Routed - OT.Checked : 0;
+      }
+      S.Objects.push_back(std::move(OT));
     }
   }
   S.CheckerLag = checkerLag();

@@ -130,6 +130,20 @@ struct HistoSnapshot {
   uint64_t max() const; ///< upper bound of the highest non-empty bucket
 };
 
+/// Per-object pipeline counters at snapshot time (multi-object engine:
+/// the demux routes records per verified object, each with its own
+/// checker pipeline).
+struct ObjectTelemetry {
+  std::string Name;
+  /// Records the demux routed to this object's pipeline.
+  uint64_t Routed = 0;
+  /// Records this object's checker has consumed.
+  uint64_t Checked = 0;
+  /// Routed - Checked: the object's private checker lag (records queued
+  /// for the checker pool but not yet fed).
+  uint64_t Backlog = 0;
+};
+
 /// A frozen, consistent-enough copy of every metric. Exact once writers
 /// are quiescent (e.g. in VerifierReport); a close approximation live.
 struct TelemetrySnapshot {
@@ -140,6 +154,9 @@ struct TelemetrySnapshot {
   uint64_t CheckerLag = 0;
   /// Watchdog state at snapshot time.
   bool Stalled = false;
+  /// One entry per registered object, in object-id order; empty unless
+  /// the hub saw Telemetry::registerObject.
+  std::vector<ObjectTelemetry> Objects;
 
   uint64_t counter(Counter C) const {
     return Counters[static_cast<size_t>(C)];
@@ -238,6 +255,17 @@ public:
   /// Producer ticket minus consumer gauge; 0 without a producer probe.
   uint64_t checkerLag() const;
 
+  /// Registers a verified object's counter pair (multi-object engine).
+  /// \p Obj ids must be dense and registered before the pipeline starts;
+  /// \p ObjName labels the snapshot entry. Idempotent per id.
+  void registerObject(uint32_t Obj, std::string ObjName);
+  /// Demux accounting: \p N more records were routed to \p Obj.
+  void noteObjectRouted(uint32_t Obj, uint64_t N);
+  /// Checker accounting: \p Obj's checker consumed \p N more records.
+  void noteObjectChecked(uint32_t Obj, uint64_t N);
+  /// Records routed to but not yet checked for \p Obj (0 for unknown ids).
+  uint64_t objectBacklog(uint32_t Obj) const;
+
   /// Watchdog verdict: is the consumer currently quiet with work pending?
   bool stalled() const { return StallFlag.load(std::memory_order_relaxed); }
 
@@ -256,6 +284,16 @@ private:
 
   mutable std::mutex RegistryM;
   std::vector<std::unique_ptr<TelemetryCell>> CellByTid;
+
+  /// Per-object counter pairs, index = object id. Guarded by RegistryM
+  /// (updates are per consumed batch, not per record, so the lock is off
+  /// the hot path); the atomics let snapshot() read mid-update values.
+  struct ObjectCounters {
+    std::string Name;
+    std::atomic<uint64_t> Routed{0};
+    std::atomic<uint64_t> Checked{0};
+  };
+  std::vector<std::unique_ptr<ObjectCounters>> ObjectsById;
 
   std::atomic<uint64_t> Consumed{0};
   std::atomic<bool> StallFlag{false};

@@ -10,6 +10,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <set>
+#include <utility>
 
 using namespace vyrd;
 
@@ -55,10 +56,17 @@ static std::string valueListStr(const ValueList &Args) {
   return Out;
 }
 
+void TraceRecorder::setObjectName(ObjectId Obj, std::string ObjName) {
+  std::lock_guard Lock(M);
+  ObjectNames[Obj + 1] = std::move(ObjName);
+}
+
 void TraceRecorder::noteAction(const Action &A) {
   std::lock_guard Lock(M);
   MaxTs = std::max(MaxTs, A.Seq);
+  uint64_t OpenKey = (static_cast<uint64_t>(A.Obj) << 32) | A.Tid;
   TraceEvent E;
+  E.Pid = A.Obj + 1;
   E.Tid = A.Tid;
   E.Ts = A.Seq;
   char Buf[64];
@@ -73,7 +81,7 @@ void TraceRecorder::noteAction(const Action &A) {
                     A.Seq);
       E.Args = Buf + escapeJson(valueListStr(A.Args)) + "\"}";
     }
-    OpenCalls[A.Tid].push_back(A.Method);
+    OpenCalls[OpenKey].push_back(A.Method);
     break;
   case ActionKind::AK_Return: {
     E.Ph = 'E';
@@ -81,14 +89,14 @@ void TraceRecorder::noteAction(const Action &A) {
     std::snprintf(Buf, sizeof(Buf), "{\"seq\":%" PRIu64 ",\"ret\":\"",
                   A.Seq);
     E.Args = Buf + escapeJson(A.Ret.str()) + "\"}";
-    auto &Open = OpenCalls[A.Tid];
+    auto &Open = OpenCalls[OpenKey];
     if (!Open.empty())
       Open.pop_back();
     break;
   }
   case ActionKind::AK_Commit: {
     E.Ph = 'i';
-    const auto &Open = OpenCalls[A.Tid];
+    const auto &Open = OpenCalls[OpenKey];
     E.Name = Open.empty()
                  ? std::string("commit")
                  : "commit " + std::string(Open.back().str());
@@ -124,8 +132,8 @@ void TraceRecorder::noteCheckSpan(uint64_t FirstSeq, uint64_t LastSeq,
                 "{\"first_seq\":%" PRIu64 ",\"last_seq\":%" PRIu64
                 ",\"actions\":%" PRIu64 "}",
                 FirstSeq, LastSeq, NumActions);
-  Events.push_back({'B', VerifierTrackTid, FirstSeq, "check", Buf});
-  Events.push_back({'E', VerifierTrackTid, LastSeq + 1, "check", ""});
+  Events.push_back({'B', 1, VerifierTrackTid, FirstSeq, "check", Buf});
+  Events.push_back({'E', 1, VerifierTrackTid, LastSeq + 1, "check", ""});
 }
 
 void TraceRecorder::noteVerifierInstant(uint64_t Seq, std::string Name) {
@@ -134,7 +142,7 @@ void TraceRecorder::noteVerifierInstant(uint64_t Seq, std::string Name) {
   MaxTs = std::max(MaxTs, Seq);
   char Buf[48];
   std::snprintf(Buf, sizeof(Buf), "{\"seq\":%" PRIu64 "}", Seq);
-  Events.push_back({'i', VerifierTrackTid, Seq, std::move(Name), Buf});
+  Events.push_back({'i', 1, VerifierTrackTid, Seq, std::move(Name), Buf});
 }
 
 size_t TraceRecorder::eventCount() const {
@@ -142,16 +150,18 @@ size_t TraceRecorder::eventCount() const {
   return Events.size();
 }
 
-/// Renders one trace_event object. All events share pid 1 (one process:
-/// the verified program plus its verification thread).
+/// Renders one trace_event object. The pid is the event's track group:
+/// object 0 (and the verifier track) render as pid 1, exactly the
+/// single-process layout this emitted before the multi-object engine;
+/// further objects get their own "process" so viewers group per object.
 static void renderEvent(std::string &Out, const TraceEvent &E) {
-  char Buf[96];
+  char Buf[112];
   Out += "{\"name\":\"";
   Out += escapeJson(E.Name);
   std::snprintf(Buf, sizeof(Buf),
-                "\",\"ph\":\"%c\",\"pid\":1,\"tid\":%" PRIu32
+                "\",\"ph\":\"%c\",\"pid\":%" PRIu32 ",\"tid\":%" PRIu32
                 ",\"ts\":%" PRIu64,
-                E.Ph, E.Tid, E.Ts);
+                E.Ph, E.Pid, E.Tid, E.Ts);
   Out += Buf;
   if (E.Ph == 'i')
     Out += ",\"s\":\"t\"";
@@ -170,27 +180,47 @@ std::string TraceRecorder::json() const {
       "\"time_base\":\"virtual: 1 log record = 1 us\"},\n"
       "\"traceEvents\":[\n";
 
-  // Metadata: name the process and every track that has events.
-  std::set<uint32_t> Tids;
-  for (const TraceEvent &E : Events)
-    Tids.insert(E.Tid);
-  Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":"
-         "{\"name\":\"vyrd pipeline\"}},\n";
+  // Metadata: name every track group ("process" = verified object) and
+  // every track that has events.
+  std::set<uint32_t> Pids;
+  std::set<std::pair<uint32_t, uint32_t>> Tracks;
+  for (const TraceEvent &E : Events) {
+    Pids.insert(E.Pid);
+    Tracks.insert({E.Pid, E.Tid});
+  }
+  if (Pids.empty())
+    Pids.insert(1); // the legacy empty-trace document still names pid 1
   char Buf[160];
-  for (uint32_t Tid : Tids) {
+  for (uint32_t Pid : Pids) {
+    auto NameIt = ObjectNames.find(Pid);
+    std::string PName;
+    if (NameIt != ObjectNames.end() && !NameIt->second.empty())
+      PName = "object: " + NameIt->second;
+    else if (Pid == 1 && Pids.size() == 1)
+      PName = "vyrd pipeline"; // anonymous single-object layout
+    else
+      PName = "object " + std::to_string(Pid - 1);
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%" PRIu32
+                  ",\"args\":{\"name\":\"%s\"}},\n",
+                  Pid, escapeJson(PName).c_str());
+    Out += Buf;
+  }
+  for (auto [Pid, Tid] : Tracks) {
     const char *Kind =
         Tid == VerifierTrackTid ? "verifier" : "impl thread";
     std::snprintf(Buf, sizeof(Buf),
-                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-                  "\"tid\":%" PRIu32 ",\"args\":{\"name\":\"%s %" PRIu32
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%" PRIu32
+                  ",\"tid\":%" PRIu32 ",\"args\":{\"name\":\"%s %" PRIu32
                   "\"}},\n",
-                  Tid, Kind, Tid);
+                  Pid, Tid, Kind, Tid);
     // The verifier track reads better without its huge tid suffix.
     if (Tid == VerifierTrackTid)
       std::snprintf(Buf, sizeof(Buf),
-                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-                    "\"tid\":%" PRIu32 ",\"args\":{\"name\":\"verifier\"}},\n",
-                    Tid);
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%" PRIu32
+                    ",\"tid\":%" PRIu32
+                    ",\"args\":{\"name\":\"verifier\"}},\n",
+                    Pid, Tid);
     Out += Buf;
   }
 
@@ -199,11 +229,12 @@ std::string TraceRecorder::json() const {
 
   // Close any spans still open (incomplete log tails) so viewers don't
   // drop them; inner-most first to keep B/E nesting valid.
-  for (const auto &[Tid, Open] : OpenCalls) {
+  for (const auto &[Key, Open] : OpenCalls) {
     for (size_t I = Open.size(); I-- > 0;) {
       TraceEvent E;
       E.Ph = 'E';
-      E.Tid = Tid;
+      E.Pid = static_cast<uint32_t>(Key >> 32) + 1;
+      E.Tid = static_cast<uint32_t>(Key);
       E.Ts = MaxTs + 1;
       E.Name = std::string(Open[I].str());
       renderEvent(Out, E);

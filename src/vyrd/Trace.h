@@ -36,6 +36,7 @@ namespace vyrd {
 /// One trace_event record (subset of the Chrome trace format we emit).
 struct TraceEvent {
   char Ph = 'i';     ///< 'B' begin, 'E' end, 'i' instant, 'M' metadata
+  uint32_t Pid = 1;  ///< trace process (= track group): ObjectId + 1
   uint32_t Tid = 0;  ///< trace track (ThreadId, or VerifierTrackTid)
   uint64_t Ts = 0;   ///< virtual microseconds (= log sequence number)
   std::string Name;
@@ -53,7 +54,14 @@ public:
   /// dense and small, so this cannot collide.
   static constexpr uint32_t VerifierTrackTid = 1000000;
 
-  /// Records one logged action on its thread's track:
+  /// Names a verified object: its track group ("process" pid ObjectId+1)
+  /// is labeled with the name in the rendered document. Object 0 without a
+  /// name keeps the legacy single-object label ("vyrd pipeline").
+  void setObjectName(ObjectId Obj, std::string ObjName);
+
+  /// Records one logged action on the track of its thread *within its
+  /// object's track group* (one Chrome "process" per verified object, so
+  /// multi-object traces group per object):
   ///  call/return  -> span begin/end named after the method
   ///  commit       -> instant "commit <method>" inside the open span
   ///  write        -> instant "<var> := <value>"
@@ -85,9 +93,13 @@ public:
 private:
   mutable std::mutex M;
   std::vector<TraceEvent> Events;
-  /// Open call spans per thread, so commits can be named after the
-  /// enclosing method and unbalanced spans closed at render time.
-  std::unordered_map<uint32_t, std::vector<Name>> OpenCalls;
+  /// Open call spans per (object, thread) — a thread may interleave calls
+  /// on different objects, and each object's track group nests its own
+  /// spans — so commits can be named after the enclosing method and
+  /// unbalanced spans closed at render time. Key: ObjectId << 32 | Tid.
+  std::unordered_map<uint64_t, std::vector<Name>> OpenCalls;
+  /// Track-group labels (setObjectName).
+  std::unordered_map<uint32_t, std::string> ObjectNames;
   uint64_t MaxTs = 0;
   bool SawVerifierEvent = false;
 };

@@ -1,4 +1,4 @@
-//===- Verifier.cpp - Online/offline verification driver ------------------===//
+//===- Verifier.cpp - Multi-object verification engine --------------------===//
 //
 // Part of the VYRD reproduction, released under the MIT license.
 //
@@ -6,10 +6,43 @@
 
 #include "vyrd/Verifier.h"
 
+#include <algorithm>
 #include <cassert>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
 
 using namespace vyrd;
+
+//===----------------------------------------------------------------------===//
+// VerifierConfig
+//===----------------------------------------------------------------------===//
+
+std::string VerifierConfig::validate() const {
+  if (Backend == LogBackend::LB_File && LogFilePath.empty())
+    return "Backend = LB_File requires LogFilePath";
+  if (Backend == LogBackend::LB_Buffered && ShardCapacity == 0)
+    return "Backend = LB_Buffered requires ShardCapacity >= 1";
+  if (CheckerThreads == 0)
+    return "CheckerThreads must be >= 1";
+  if (CheckerThreads > 1 && !Online)
+    return "CheckerThreads > 1 requires Online = true (the offline pass "
+           "is a synchronous replay on the caller's thread)";
+  if (Checker.MaxViolations == 0)
+    return "Checker.MaxViolations must be >= 1 (0 would suppress every "
+           "report)";
+  if (Telemetry.WatchdogQuietMs && !Telemetry.Enabled)
+    return "Telemetry.WatchdogQuietMs requires Telemetry.Enabled";
+  if (Telemetry.SampleIntervalUs && !Telemetry.Enabled)
+    return "Telemetry.SampleIntervalUs requires Telemetry.Enabled";
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// VerifierReport
+//===----------------------------------------------------------------------===//
 
 std::string VerifierReport::str() const {
   std::string Out;
@@ -19,6 +52,16 @@ std::string VerifierReport::str() const {
   Out += "\nchecked: " + std::to_string(Stats.MethodsChecked) + " methods (" +
          std::to_string(Stats.CommitsProcessed) + " commits, " +
          std::to_string(Stats.ObserversChecked) + " observers)\n";
+  if (Objects.size() > 1) {
+    Out += "objects:\n";
+    for (const ObjectReport &O : Objects) {
+      std::string Label =
+          O.Name.empty() ? "object" + std::to_string(O.Id) : O.Name;
+      Out += "  " + Label + ": " + std::to_string(O.Records) + " records, " +
+             std::to_string(O.Stats.MethodsChecked) + " methods, " +
+             std::to_string(O.Violations.size()) + " violation(s)\n";
+    }
+  }
   if (Violations.empty())
     Out += "no refinement violations\n";
   else {
@@ -33,24 +76,44 @@ std::string VerifierReport::str() const {
   return Out;
 }
 
+/// Renders one CheckerStats as a JSON object body (shared by the report
+/// totals and the per-object breakdown).
+static std::string statsJson(const CheckerStats &S) {
+  std::string Out = "{";
+  Out += "\"actions_fed\":" + std::to_string(S.ActionsFed);
+  Out += ",\"methods_checked\":" + std::to_string(S.MethodsChecked);
+  Out += ",\"commits_processed\":" + std::to_string(S.CommitsProcessed);
+  Out += ",\"observers_checked\":" + std::to_string(S.ObserversChecked);
+  Out += ",\"view_comparisons\":" + std::to_string(S.ViewComparisons);
+  Out += ",\"audits\":" + std::to_string(S.Audits);
+  Out += ",\"max_queue_depth\":" + std::to_string(S.MaxQueueDepth);
+  Out += ",\"replay_ns\":" + std::to_string(S.ReplayNanos);
+  Out += ",\"spec_ns\":" + std::to_string(S.SpecNanos);
+  Out += ",\"view_compare_ns\":" + std::to_string(S.ViewCompareNanos);
+  Out += "}";
+  return Out;
+}
+
 std::string VerifierReport::json() const {
   std::string Out = "{";
   Out += "\"ok\":" + std::string(ok() ? "true" : "false");
   Out += ",\"violations\":" + std::to_string(Violations.size());
   Out += ",\"log_records\":" + std::to_string(LogRecords);
   Out += ",\"log_bytes\":" + std::to_string(LogBytes);
-  Out += ",\"stats\":{";
-  Out += "\"actions_fed\":" + std::to_string(Stats.ActionsFed);
-  Out += ",\"methods_checked\":" + std::to_string(Stats.MethodsChecked);
-  Out += ",\"commits_processed\":" + std::to_string(Stats.CommitsProcessed);
-  Out += ",\"observers_checked\":" + std::to_string(Stats.ObserversChecked);
-  Out += ",\"view_comparisons\":" + std::to_string(Stats.ViewComparisons);
-  Out += ",\"audits\":" + std::to_string(Stats.Audits);
-  Out += ",\"max_queue_depth\":" + std::to_string(Stats.MaxQueueDepth);
-  Out += ",\"replay_ns\":" + std::to_string(Stats.ReplayNanos);
-  Out += ",\"spec_ns\":" + std::to_string(Stats.SpecNanos);
-  Out += ",\"view_compare_ns\":" + std::to_string(Stats.ViewCompareNanos);
-  Out += "}";
+  Out += ",\"stats\":" + statsJson(Stats);
+  Out += ",\"objects\":[";
+  for (size_t I = 0; I < Objects.size(); ++I) {
+    const ObjectReport &O = Objects[I];
+    if (I)
+      Out += ",";
+    Out += "{\"id\":" + std::to_string(O.Id);
+    Out += ",\"name\":\"" + O.Name + "\"";
+    Out += ",\"records\":" + std::to_string(O.Records);
+    Out += ",\"violations\":" + std::to_string(O.Violations.size());
+    Out += ",\"stats\":" + statsJson(O.Stats);
+    Out += "}";
+  }
+  Out += "]";
   if (TelemetryEnabled)
     Out += ",\"telemetry\":" + Telemetry.json();
   if (TraceEvents)
@@ -59,10 +122,127 @@ std::string VerifierReport::json() const {
   return Out;
 }
 
-Verifier::Verifier(std::unique_ptr<Spec> S, std::unique_ptr<Replayer> R,
-                   VerifierConfig Config)
-    : TheSpec(std::move(S)), TheReplayer(std::move(R)), Config(Config) {
-  assert(TheSpec && "Verifier requires a specification");
+//===----------------------------------------------------------------------===//
+// Verifier::ObjectState / Verifier::CheckerPool
+//===----------------------------------------------------------------------===//
+
+/// Everything one registered object owns: its spec, shadow state and
+/// checker pipeline, plus the demux/pool bookkeeping.
+struct Verifier::ObjectState {
+  ObjectId Id = 0;
+  std::string Name;
+  std::unique_ptr<Spec> S;
+  std::unique_ptr<Replayer> R;
+  CheckerConfig CheckerCfg;
+  std::unique_ptr<RefinementChecker> Checker;
+  /// Records routed to this object so far (pump thread only).
+  uint64_t Routed = 0;
+
+  // Pool scheduling state, guarded by CheckerPool::M. An object is
+  // "scheduled" from the moment it enters the runnable queue until the
+  // worker that picked it up finds its pending queue empty, so at most
+  // one worker touches Checker at a time and batches are fed FIFO.
+  std::deque<std::vector<Action>> PendingBatches;
+  bool Scheduled = false;
+};
+
+/// The verification worker pool. Scheduling unit: one object. dispatch()
+/// enqueues a demuxed batch on the object and makes the object runnable
+/// if it isn't already; a worker that picks up an object owns it — and
+/// thereby its checker, exclusively — until it has drained every pending
+/// batch. Per-object order is FIFO through PendingBatches; cross-object
+/// parallelism is bounded by min(objects, workers).
+class Verifier::CheckerPool {
+public:
+  CheckerPool(Verifier &V, unsigned NumWorkers) : V(V) {
+    Workers.reserve(NumWorkers);
+    for (unsigned I = 0; I < NumWorkers; ++I)
+      Workers.emplace_back([this] { workerMain(); });
+  }
+
+  ~CheckerPool() { drainAndJoin(); }
+
+  /// Called by the pump thread only.
+  void dispatch(ObjectState &O, std::vector<Action> Batch) {
+    std::lock_guard Lock(M);
+    O.PendingBatches.push_back(std::move(Batch));
+    if (!O.Scheduled) {
+      O.Scheduled = true;
+      ++ActiveObjects;
+      Runnable.push_back(&O);
+      WorkCV.notify_one();
+    }
+  }
+
+  /// Waits until every dispatched batch has been checked, then stops and
+  /// joins the workers. Called by the pump thread after the log is
+  /// drained (no dispatch() can race with it). Idempotent.
+  void drainAndJoin() {
+    {
+      std::unique_lock Lock(M);
+      if (Joined)
+        return;
+      IdleCV.wait(Lock, [&] { return ActiveObjects == 0; });
+      Stopping = true;
+      Joined = true;
+    }
+    WorkCV.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+private:
+  void workerMain() {
+    TelemetryCell *TC =
+        telemetryCompiledIn() && V.Telem ? &V.Telem->cell() : nullptr;
+    std::unique_lock Lock(M);
+    while (true) {
+      WorkCV.wait(Lock, [&] { return Stopping || !Runnable.empty(); });
+      if (Runnable.empty())
+        return; // Stopping, nothing left to do.
+      ObjectState *O = Runnable.front();
+      Runnable.pop_front();
+      // Drain the object. Hand-offs between workers are synchronized by
+      // M: the previous owner released it under M before this worker
+      // claimed it, so the checker's single-threaded contract holds.
+      while (true) {
+        if (O->PendingBatches.empty()) {
+          O->Scheduled = false;
+          if (--ActiveObjects == 0)
+            IdleCV.notify_all();
+          break;
+        }
+        std::vector<Action> Batch = std::move(O->PendingBatches.front());
+        O->PendingBatches.pop_front();
+        Lock.unlock();
+        V.feedObject(*O, Batch, TC);
+        Lock.lock();
+      }
+    }
+  }
+
+  Verifier &V;
+  std::mutex M;
+  std::condition_variable WorkCV; ///< workers wait for runnable objects
+  std::condition_variable IdleCV; ///< drainAndJoin waits for quiescence
+  std::deque<ObjectState *> Runnable;
+  /// Objects currently scheduled (runnable or being drained by a worker).
+  size_t ActiveObjects = 0;
+  bool Stopping = false;
+  bool Joined = false;
+  std::vector<std::thread> Workers;
+};
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+Verifier::Verifier(VerifierConfig C) : Config(std::move(C)) {
+  std::string Err = Config.validate();
+  if (!Err.empty()) {
+    std::fprintf(stderr, "vyrd: invalid VerifierConfig: %s\n", Err.c_str());
+    std::abort();
+  }
   LogBackend B = Config.Backend;
   if (B == LogBackend::LB_Auto)
     B = Config.LogFilePath.empty() ? LogBackend::LB_Memory
@@ -73,7 +253,6 @@ Verifier::Verifier(std::unique_ptr<Spec> S, std::unique_ptr<Replayer> R,
     TheLog = std::make_unique<MemoryLog>();
     break;
   case LogBackend::LB_File: {
-    assert(!Config.LogFilePath.empty() && "LB_File requires LogFilePath");
     bool Valid = false;
     auto FL = std::make_unique<FileLog>(Config.LogFilePath, Valid);
     assert(Valid && "cannot open log file");
@@ -103,9 +282,16 @@ Verifier::Verifier(std::unique_ptr<Spec> S, std::unique_ptr<Replayer> R,
   }
   if (!Config.Telemetry.TraceFilePath.empty())
     Tracer = std::make_unique<TraceRecorder>();
-  Checker = std::make_unique<RefinementChecker>(
-      *TheSpec, TheReplayer.get(), Config.Checker);
-  Checker->setTelemetry(Telem.get());
+}
+
+Verifier::Verifier(std::unique_ptr<Spec> S, std::unique_ptr<Replayer> R,
+                   VerifierConfig C)
+    : Verifier(std::move(C)) {
+  assert(S && "Verifier requires a specification");
+  // The anonymous single object of the historical interface: reports and
+  // violation strings stay exactly as they were before the multi-object
+  // engine.
+  (void)registerObject("", std::move(S), std::move(R), Config.Checker);
 }
 
 Verifier::~Verifier() {
@@ -113,52 +299,135 @@ Verifier::~Verifier() {
     (void)finish();
 }
 
+Hooks Verifier::registerObject(std::string ObjName, std::unique_ptr<Spec> S,
+                               std::unique_ptr<Replayer> R,
+                               CheckerConfig CC) {
+  assert(!Started && "registerObject after start");
+  assert(S && "registerObject requires a specification");
+  assert((R || CC.Mode != CheckMode::CM_ViewRefinement) &&
+         "view refinement requires a replayer for the shadow state");
+  auto O = std::make_unique<ObjectState>();
+  O->Id = static_cast<ObjectId>(Objects.size());
+  O->Name = std::move(ObjName);
+  O->S = std::move(S);
+  O->R = std::move(R);
+  O->CheckerCfg = CC;
+  O->Checker =
+      std::make_unique<RefinementChecker>(*O->S, O->R.get(), O->CheckerCfg);
+  O->Checker->setTelemetry(Telem.get());
+  if (Telem)
+    Telem->registerObject(O->Id, O->Name.empty()
+                                     ? "object" + std::to_string(O->Id)
+                                     : O->Name);
+  if (Tracer && !O->Name.empty())
+    Tracer->setObjectName(O->Id, O->Name);
+  ObjectId Id = O->Id;
+  Objects.push_back(std::move(O));
+  return hooks(Id);
+}
+
+Hooks Verifier::registerObject(std::string ObjName, std::unique_ptr<Spec> S,
+                               std::unique_ptr<Replayer> R) {
+  return registerObject(std::move(ObjName), std::move(S), std::move(R),
+                        Config.Checker);
+}
+
+Hooks Verifier::hooks(ObjectId Id) const {
+  assert(Id < Objects.size() && "hooks for unregistered object");
+  LogLevel Level =
+      Objects[Id]->CheckerCfg.Mode == CheckMode::CM_ViewRefinement
+          ? LogLevel::LL_View
+          : LogLevel::LL_IO;
+  return Hooks(TheLog.get(), Level, Telem.get(), Id);
+}
+
 Hooks Verifier::hooks() const {
-  LogLevel Level = Config.Checker.Mode == CheckMode::CM_ViewRefinement
-                       ? LogLevel::LL_View
-                       : LogLevel::LL_IO;
-  return Hooks(TheLog.get(), Level, Telem.get());
+  assert(!Objects.empty() && "no object registered");
+  return hooks(0);
+}
+
+void Verifier::feedObject(ObjectState &O, const std::vector<Action> &Batch,
+                          TelemetryCell *TC) {
+  uint64_t T0 = TC ? telemetryNowNanos() : 0;
+  for (const Action &A : Batch)
+    O.Checker->feed(A);
+  if (TC) {
+    TC->count(Counter::C_CheckerActions, Batch.size());
+    TC->record(Histo::H_FeedBatch, Batch.size());
+    TC->record(Histo::H_FeedNs, telemetryNowNanos() - T0);
+  }
+  if (Telem)
+    Telem->noteObjectChecked(O.Id, Batch.size());
+  if (O.Checker->hasViolation())
+    ViolationFlag.store(true, std::memory_order_release);
 }
 
 void Verifier::pump() {
   // Batch consumption amortizes one log wakeup + lock round trip over up
-  // to PumpBatch records; the checker itself stays record-at-a-time.
+  // to PumpBatch records; each record is then routed to its object's
+  // pipeline (the checkers themselves stay record-at-a-time).
   constexpr size_t PumpBatch = 256;
   std::vector<Action> Batch;
   Batch.reserve(PumpBatch);
   TelemetryCell *TC =
       telemetryCompiledIn() && Telem ? &Telem->cell() : nullptr;
+  std::vector<std::vector<Action>> Route(Objects.size());
   while (TheLog->nextBatch(Batch, PumpBatch)) {
-    uint64_t T0 = TC ? telemetryNowNanos() : 0;
-    for (const Action &A : Batch) {
+    uint64_t FirstSeq = Batch.front().Seq;
+    uint64_t LastSeq = Batch.back().Seq;
+    size_t NumActions = Batch.size();
+    for (Action &A : Batch) {
       if (Tracer)
         Tracer->noteAction(A);
-      Checker->feed(A);
+      if (A.Obj < Route.size()) {
+        Route[A.Obj].push_back(std::move(A));
+      } else {
+        if (!UnroutedRecords)
+          FirstUnroutedSeq = A.Seq;
+        ++UnroutedRecords;
+      }
     }
-    if (TC) {
+    if (TC)
       TC->count(Counter::C_CheckerBatches);
-      TC->count(Counter::C_CheckerActions, Batch.size());
-      TC->record(Histo::H_FeedBatch, Batch.size());
-      TC->record(Histo::H_FeedNs, telemetryNowNanos() - T0);
+    for (size_t I = 0; I < Route.size(); ++I) {
+      if (Route[I].empty())
+        continue;
+      ObjectState &O = *Objects[I];
+      O.Routed += Route[I].size();
+      if (Telem)
+        Telem->noteObjectRouted(O.Id, Route[I].size());
+      if (Pool) {
+        Pool->dispatch(O, std::move(Route[I]));
+        Route[I] = {}; // moved-from: reset to a fresh empty vector
+      } else {
+        feedObject(O, Route[I], TC);
+        Route[I].clear();
+      }
     }
     if (Telem)
-      Telem->noteConsumed(Batch.back().Seq + 1);
+      Telem->noteConsumed(LastSeq + 1);
     if (Tracer)
-      Tracer->noteCheckSpan(Batch.front().Seq, Batch.back().Seq,
-                            Batch.size());
-    if (Checker->hasViolation())
+      Tracer->noteCheckSpan(FirstSeq, LastSeq, NumActions);
+  }
+  if (Pool)
+    Pool->drainAndJoin();
+  for (auto &O : Objects) {
+    O->Checker->finish();
+    if (O->Checker->hasViolation())
       ViolationFlag.store(true, std::memory_order_release);
   }
-  Checker->finish();
-  if (Checker->hasViolation())
-    ViolationFlag.store(true, std::memory_order_release);
 }
 
 void Verifier::start() {
   assert(!Started && "start called twice");
+  assert(!Objects.empty() &&
+         "start with no registered object (registerObject first)");
   Started = true;
-  if (Config.Online)
+  if (Config.Online) {
+    if (Config.CheckerThreads > 1)
+      Pool = std::make_unique<CheckerPool>(*this, Config.CheckerThreads);
     VerifyThread = std::thread([this] { pump(); });
+  }
 }
 
 VerifierReport Verifier::finish() {
@@ -172,8 +441,37 @@ VerifierReport Verifier::finish() {
     pump();
 
   VerifierReport R;
-  R.Violations = Checker->violations();
-  R.Stats = Checker->stats();
+  for (auto &OS : Objects) {
+    ObjectReport OR;
+    OR.Id = OS->Id;
+    OR.Name = OS->Name;
+    OR.Stats = OS->Checker->stats();
+    OR.Records = OS->Routed;
+    OR.Violations = OS->Checker->violations();
+    Name Tag = OS->Name.empty() ? Name() : internName(OS->Name);
+    for (Violation &V : OR.Violations) {
+      V.Obj = OS->Id;
+      V.Object = Tag;
+    }
+    R.Stats.merge(OR.Stats);
+    R.Violations.insert(R.Violations.end(), OR.Violations.begin(),
+                        OR.Violations.end());
+    R.Objects.push_back(std::move(OR));
+  }
+  // Merge the per-object violation lists back into witness order.
+  std::stable_sort(
+      R.Violations.begin(), R.Violations.end(),
+      [](const Violation &A, const Violation &B) { return A.Seq < B.Seq; });
+  if (UnroutedRecords) {
+    Violation V;
+    V.Kind = ViolationKind::VK_Instrumentation;
+    V.Seq = FirstUnroutedSeq;
+    V.Message = std::to_string(UnroutedRecords) +
+                " log records reference unregistered object ids (hooks "
+                "outliving their verifier, or log corruption)";
+    R.Violations.push_back(V);
+    ViolationFlag.store(true, std::memory_order_release);
+  }
   R.LogRecords = TheLog->appendCount();
   R.LogBytes = TheLog->byteCount();
   if (Telem) {
@@ -184,9 +482,12 @@ VerifierReport Verifier::finish() {
   if (Tracer) {
     // Violations become instants on the verifier track, so the trace
     // shows *where* in the witness each was detected.
-    for (const Violation &V : R.Violations)
-      Tracer->noteVerifierInstant(
-          V.Seq, std::string("violation: ") + violationKindName(V.Kind));
+    for (const Violation &V : R.Violations) {
+      std::string Label = std::string("violation: ") + violationKindName(V.Kind);
+      if (V.Object.valid())
+        Label += " [" + std::string(V.Object.str()) + "]";
+      Tracer->noteVerifierInstant(V.Seq, std::move(Label));
+    }
     R.TraceEvents = Tracer->eventCount();
     if (!Tracer->writeFile(Config.Telemetry.TraceFilePath))
       std::fprintf(stderr, "vyrd: cannot write trace file %s\n",

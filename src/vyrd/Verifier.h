@@ -1,15 +1,24 @@
-//===- Verifier.h - Online/offline verification driver ----------*- C++ -*-===//
+//===- Verifier.h - Multi-object verification engine ------------*- C++ -*-===//
 //
 // Part of the VYRD reproduction, released under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Verifier wires a Log, a Spec, a Replayer and a RefinementChecker
-/// together and runs the check either *online* — on a dedicated
-/// verification thread that consumes the log concurrently with the program,
-/// as the VYRD tool does — or *offline*, replaying the completed log after
-/// the program finishes (the "VYRD alone" column of Table 3).
+/// Verifier owns one shared execution log and, per *registered object*, a
+/// Spec + Replayer + RefinementChecker pipeline. Records are stamped with
+/// their object's id at the hooks, the consumption loop demultiplexes each
+/// batch per object (Sec. 6.2 of the paper: refinement is checked object by
+/// object), and the per-object pipelines run either inline on the
+/// consumption thread (CheckerThreads = 1, the historical behavior) or on
+/// a pool of verification workers with per-object affinity, so one
+/// object's records are always checked in log order while different
+/// objects proceed in parallel.
+///
+/// The check runs *online* — a dedicated consumption thread drains the log
+/// concurrently with the program, as the VYRD tool does — or *offline*,
+/// replaying the completed log when finish() is called (the "VYRD alone"
+/// column of Table 3).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -67,9 +76,12 @@ struct TelemetryOptions {
 
 /// Configuration for a Verifier.
 struct VerifierConfig {
+  /// Default checker configuration, applied to every registered object
+  /// that does not pass its own (and to the single object the legacy
+  /// spec+replayer constructor registers).
   CheckerConfig Checker;
-  /// Run the checker concurrently with the program. When false, records are
-  /// buffered and checked when finish() is called.
+  /// Run the checkers concurrently with the program. When false, records
+  /// are buffered and checked when finish() is called.
   bool Online = true;
   /// Log file path, used by the LB_Auto/LB_File/LB_Buffered backends.
   std::string LogFilePath;
@@ -77,14 +89,50 @@ struct VerifierConfig {
   LogBackend Backend = LogBackend::LB_Auto;
   /// Shard capacity for LB_Buffered (records per producer thread).
   size_t ShardCapacity = 1024;
+  /// Size of the checker pool. 1 (the default) feeds every object's
+  /// checker inline on the consumption thread — exactly the historical
+  /// single-threaded behavior. N > 1 starts N verification workers that
+  /// pick up per-object record batches; one object is owned by at most
+  /// one worker at a time, so each object's records are still checked in
+  /// log order. Requires Online (the offline pass is a synchronous replay
+  /// on the caller's thread).
+  unsigned CheckerThreads = 1;
   /// Metrics, lag watchdog and tracing.
   TelemetryOptions Telemetry;
+
+  /// Checks the configuration for nonsensical combinations (LB_File
+  /// without a path, a zero-sized or offline multi-threaded checker pool,
+  /// watchdog without telemetry, ...). Returns the empty string when the
+  /// configuration is usable, otherwise a one-line description of the
+  /// first problem. The Verifier constructor calls this and refuses
+  /// (abort with the message on stderr) rather than silently falling back.
+  std::string validate() const;
+};
+
+/// Per-object slice of a verification run's result.
+struct ObjectReport {
+  ObjectId Id = 0;
+  /// Registration name ("" for the anonymous legacy single object).
+  std::string Name;
+  /// Violations attributed to this object (also present, object-stamped,
+  /// in VerifierReport::Violations).
+  std::vector<Violation> Violations;
+  CheckerStats Stats;
+  /// Log records routed to this object's pipeline.
+  uint64_t Records = 0;
+
+  bool ok() const { return Violations.empty(); }
 };
 
 /// Final result of a verification run.
 struct VerifierReport {
+  /// All violations across objects, in log (Seq) order, each stamped with
+  /// the object it is attributed to.
   std::vector<Violation> Violations;
+  /// Aggregated checker stats (sums; MaxQueueDepth is the per-object max).
   CheckerStats Stats;
+  /// One entry per registered object, in id order.
+  std::vector<ObjectReport> Objects;
   uint64_t LogRecords = 0;
   uint64_t LogBytes = 0;
   /// Final metric snapshot; all zeros unless TelemetryEnabled.
@@ -95,18 +143,26 @@ struct VerifierReport {
   uint64_t TraceEvents = 0;
 
   bool ok() const { return Violations.empty(); }
-  /// Renders the full report for diagnostics (includes the telemetry
-  /// snapshot when enabled).
+  /// Renders the full report for diagnostics (includes the per-object
+  /// breakdown for multi-object runs and the telemetry snapshot when
+  /// enabled).
   std::string str() const;
-  /// Machine-readable rendering of the whole report (stats, violations
-  /// count, telemetry) as one JSON object.
+  /// Machine-readable rendering of the whole report (stats, per-object
+  /// breakdown, violations count, telemetry) as one JSON object.
   std::string json() const;
 };
 
-/// Owns the full verification pipeline for one data structure instance.
+/// Owns the full verification pipeline: one log, N registered objects.
 class Verifier {
 public:
-  /// \p R may be null when Config.Checker.Mode is CM_IORefinement.
+  /// Multi-object form: construct with a configuration, then call
+  /// registerObject once per verified structure before start().
+  explicit Verifier(VerifierConfig Config);
+
+  /// Single-object convenience (the historical interface): registers one
+  /// anonymous object with \p S / \p R and the config's checker settings;
+  /// hooks() is bound to it. \p R may be null when Config.Checker.Mode is
+  /// CM_IORefinement.
   Verifier(std::unique_ptr<Spec> S, std::unique_ptr<Replayer> R,
            VerifierConfig Config);
   ~Verifier();
@@ -114,18 +170,37 @@ public:
   Verifier(const Verifier &) = delete;
   Verifier &operator=(const Verifier &) = delete;
 
-  /// The hooks to hand to the instrumented data structure. The logging
-  /// level matches the configured check mode.
+  /// Registers a verified object: its records are demultiplexed into a
+  /// dedicated RefinementChecker over \p S (shadow state via \p R, which
+  /// may be null in CM_IORefinement mode). Returns the hooks to hand to
+  /// that structure's instrumented implementation — they stamp every
+  /// record with the object's id. Must be called before start().
+  /// \p CC overrides the config-wide checker settings for this object.
+  Hooks registerObject(std::string Name, std::unique_ptr<Spec> S,
+                       std::unique_ptr<Replayer> R, CheckerConfig CC);
+  Hooks registerObject(std::string Name, std::unique_ptr<Spec> S,
+                       std::unique_ptr<Replayer> R = nullptr);
+
+  /// The hooks of registered object \p Id (logging level matches that
+  /// object's check mode).
+  Hooks hooks(ObjectId Id) const;
+  /// The hooks of the first registered object (single-object interface).
   Hooks hooks() const;
 
-  /// Starts the verification thread (online mode; no-op offline).
+  /// Number of registered objects.
+  size_t objectCount() const { return Objects.size(); }
+
+  /// Starts the consumption thread and (CheckerThreads > 1) the checker
+  /// pool (online mode; no-op offline). At least one object must have
+  /// been registered.
   void start();
 
-  /// Closes the log, completes checking (joining the verification thread
-  /// or running the offline pass), and returns the report.
+  /// Closes the log, completes checking (joining the consumption thread
+  /// and pool, or running the offline pass), and returns the aggregated
+  /// per-object report.
   VerifierReport finish();
 
-  /// Thread-safe peek: has the verification thread found a violation yet?
+  /// Thread-safe peek: has any object's checker found a violation yet?
   /// Lets a test harness stop generating work once an error is caught
   /// (the Table 1 protocol).
   bool violationSeen() const {
@@ -135,24 +210,35 @@ public:
   Log &log() { return *TheLog; }
 
   /// The pipeline's telemetry hub, or null when telemetry is disabled.
-  /// Live metrics (checkerLag(), stalled(), snapshot()) can be read while
-  /// the run is in flight.
+  /// Live metrics (checkerLag(), objectBacklog(), stalled(), snapshot())
+  /// can be read while the run is in flight.
   Telemetry *telemetry() { return Telem.get(); }
 
 private:
-  void pump();
+  struct ObjectState;
+  class CheckerPool;
 
-  std::unique_ptr<Spec> TheSpec;
-  std::unique_ptr<Replayer> TheReplayer;
+  void pump();
+  /// Feeds one demuxed batch into \p O's checker (caller must own \p O:
+  /// the pump thread inline, or the pool worker holding the object).
+  void feedObject(ObjectState &O, const std::vector<Action> &Batch,
+                  TelemetryCell *TC);
+
   VerifierConfig Config;
   std::unique_ptr<Log> TheLog;
   /// Declared after TheLog: the sampler (which probes the log's append
   /// count) is joined before the log is destroyed.
   std::unique_ptr<Telemetry> Telem;
   std::unique_ptr<TraceRecorder> Tracer;
-  std::unique_ptr<RefinementChecker> Checker;
+  std::vector<std::unique_ptr<ObjectState>> Objects;
+  std::unique_ptr<CheckerPool> Pool;
   std::thread VerifyThread;
   std::atomic<bool> ViolationFlag{false};
+  /// Records whose ObjectId matched no registered object (instrumentation
+  /// bug or log corruption); reported as a VK_Instrumentation violation
+  /// at finish(). Written by the pump thread only.
+  uint64_t UnroutedRecords = 0;
+  uint64_t FirstUnroutedSeq = 0;
   bool Started = false;
   bool Done = false;
 };

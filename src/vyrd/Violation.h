@@ -42,6 +42,12 @@ struct Violation {
   uint64_t Seq = 0;
   /// Thread whose execution triggered it (if applicable).
   ThreadId Tid = 0;
+  /// The verified object the violation is attributed to; stamped by the
+  /// Verifier when it aggregates per-object checker results.
+  ObjectId Obj = 0;
+  /// Name of that object (invalid for the anonymous single-object case,
+  /// in which str() omits the attribution tag).
+  Name Object;
   /// Method involved (if applicable).
   Name Method;
   /// Human-readable description with the mismatching values / view diff.

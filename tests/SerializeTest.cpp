@@ -172,3 +172,88 @@ TEST(SerializeTest, DecoderRejectsGarbage) {
   Action Out;
   EXPECT_FALSE(Dec.decode(R, Out));
 }
+
+//===----------------------------------------------------------------------===//
+// Format v2: the log header and the per-record ObjectId
+//===----------------------------------------------------------------------===//
+
+TEST(SerializeTest, ObjectIdRoundTrips) {
+  Action A = Action::call(4, internName("obj.method"), {Value(int64_t(9))});
+  A.Obj = 3;
+  A.Seq = 17;
+  Action Out = roundTrip(A);
+  EXPECT_EQ(Out.Obj, 3u);
+  EXPECT_EQ(Out.Tid, 4u);
+  EXPECT_EQ(Out.Seq, 17u);
+}
+
+TEST(SerializeTest, LogHeaderRoundTrips) {
+  ByteWriter W;
+  writeLogHeader(W);
+  EXPECT_EQ(W.size(), 5u); // 4 magic bytes + 1 version varint
+  ByteReader R(W.buffer().data(), W.size());
+  EXPECT_EQ(readLogHeader(R), LogFormatVersion);
+  EXPECT_TRUE(R.atEnd()) << "header fully consumed";
+}
+
+TEST(SerializeTest, LegacyHeaderlessStreamDetectedAsV1) {
+  // A v1 file starts directly with a record or name-definition tag, never
+  // with 'V' (0x56 is not a valid tag): the probe must report version 1
+  // and leave the reader untouched.
+  uint8_t V1[] = {0x02, 0x03, 0x05, 0x00, 0x00, 0x00, 0x00, 0x00};
+  ByteReader R(V1, sizeof(V1));
+  EXPECT_EQ(readLogHeader(R), 1u);
+  EXPECT_EQ(R.u8(), 0x02) << "reader must still be at the first record";
+}
+
+TEST(SerializeTest, UnknownFutureVersionRejected) {
+  ByteWriter W;
+  W.bytes(LogMagic, sizeof(LogMagic));
+  W.varint(99);
+  ByteReader R(W.buffer().data(), W.size());
+  EXPECT_EQ(readLogHeader(R), 0u);
+}
+
+TEST(SerializeTest, V1RecordDecodesWithObjectZero) {
+  // Hand-encoded v1 commit record (no ObjectId on the wire):
+  // tag, tid, seq, method=0, var=0, nargs=0, ret=null, val=null.
+  uint8_t V1[] = {
+      static_cast<uint8_t>(ActionKind::AK_Commit),
+      3,    // Tid
+      5,    // Seq (v1: immediately after Tid)
+      0, 0, // no method / var
+      0,    // no args
+      static_cast<uint8_t>(ValueKind::VK_Null),
+      static_cast<uint8_t>(ValueKind::VK_Null),
+  };
+  ByteReader R(V1, sizeof(V1));
+  ActionDecoder Dec;
+  Dec.setVersion(1);
+  Action Out;
+  ASSERT_TRUE(Dec.decode(R, Out));
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_EQ(Out.Kind, ActionKind::AK_Commit);
+  EXPECT_EQ(Out.Tid, 3u);
+  EXPECT_EQ(Out.Seq, 5u);
+  EXPECT_EQ(Out.Obj, 0u) << "legacy records belong to the single object 0";
+}
+
+TEST(SerializeTest, SameBytesAsV2MoveTheObjectField) {
+  // The identical byte stream under the current version reads the third
+  // varint as the ObjectId — pinning the exact wire change of v2.
+  uint8_t Bytes[] = {
+      static_cast<uint8_t>(ActionKind::AK_Commit),
+      3,    // Tid
+      5,    // Obj (v2: between Tid and Seq)
+      7,    // Seq
+      0, 0, 0,
+      static_cast<uint8_t>(ValueKind::VK_Null),
+      static_cast<uint8_t>(ValueKind::VK_Null),
+  };
+  ByteReader R(Bytes, sizeof(Bytes));
+  ActionDecoder Dec; // defaults to the current version
+  Action Out;
+  ASSERT_TRUE(Dec.decode(R, Out));
+  EXPECT_EQ(Out.Obj, 5u);
+  EXPECT_EQ(Out.Seq, 7u);
+}

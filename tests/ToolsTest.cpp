@@ -280,3 +280,67 @@ TEST(ToolsTest, TraceRejectsMissingFileAndBadUsage) {
   EXPECT_EQ(runTool(std::string(VYRD_TRACE_PATH) + " --bogus", Out), 2);
   EXPECT_NE(Out.find("usage"), std::string::npos) << Out;
 }
+
+TEST(ToolsTest, LogdumpReadsLegacyV1Log) {
+  // A v1 (headerless) file written byte-by-byte: a name definition, a
+  // call, a commit and a return. The tool must still read it — the
+  // back-compat path of docs/LOGFORMAT.md — attributing everything to
+  // object 0.
+  std::string Path = tempLog("v1");
+  const uint8_t V1[] = {
+      0xFF, 1, 1, 'm',        // define name #1 = "m"
+      0x00, 2, 0, 1, 0, 0, 0, 0, // call: tid 2, seq 0, method m
+      0x02, 2, 1, 0, 0, 0, 0, 0, // commit: tid 2, seq 1
+      0x01, 2, 2, 1, 0, 0,       // return: tid 2, seq 2, method m,
+      1,    1, 0,                //   ret = bool true, val = null
+  };
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(std::fwrite(V1, 1, sizeof(V1), F), sizeof(V1));
+  std::fclose(F);
+
+  std::string Out;
+  int RC = runTool(std::string(VYRD_LOGDUMP_PATH) + " " + Path, Out);
+  EXPECT_EQ(RC, 0) << Out;
+  EXPECT_NE(Out.find("call m"), std::string::npos) << Out;
+  int RC2 = runTool(std::string(VYRD_LOGDUMP_PATH) + " " + Path +
+                        " --stats --json",
+                    Out);
+  EXPECT_EQ(RC2, 0) << Out;
+  EXPECT_NE(Out.find("\"records\":3"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"objects\":1"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"by_object\":{\"0\":3}"), std::string::npos) << Out;
+  std::remove(Path.c_str());
+}
+
+TEST(ToolsTest, LogdumpObjectFilterAndStats) {
+  // A composite (four-object) log: --obj narrows the dump to one object
+  // and the stats gain the per-object dimension.
+  std::string Path = tempLog("multiobj");
+  ScenarioOptions SO;
+  SO.Mode = RunMode::RM_LogOnlyView;
+  SO.LogPath = Path;
+  Scenario S = makeCompositeScenario(SO);
+  WorkloadOptions WO;
+  WO.Threads = 2;
+  WO.OpsPerThread = 150;
+  runWorkload(WO, S.Op);
+  S.Finish();
+
+  std::string Out;
+  int RC = runTool(std::string(VYRD_LOGDUMP_PATH) + " " + Path +
+                       " --stats --json",
+                   Out);
+  EXPECT_EQ(RC, 0) << Out;
+  EXPECT_NE(Out.find("\"objects\":4"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"by_object\":{"), std::string::npos) << Out;
+
+  int RC2 = runTool(std::string(VYRD_LOGDUMP_PATH) + " " + Path +
+                        " --obj 2 --limit 20",
+                    Out);
+  EXPECT_EQ(RC2, 0) << Out;
+  EXPECT_NE(Out.find(" o2 "), std::string::npos) << Out;
+  EXPECT_EQ(Out.find(" o1 "), std::string::npos) << Out;
+  EXPECT_EQ(Out.find(" o3 "), std::string::npos) << Out;
+  std::remove(Path.c_str());
+}

@@ -199,3 +199,59 @@ TEST(TraceTest, VerifierWritesTraceFile) {
   size_t Tracks = countOccurrences(J, "\"name\":\"thread_name\"");
   EXPECT_EQ(countOccurrences(J, "\"ph\":"), R.TraceEvents + Tracks + 1);
 }
+
+//===----------------------------------------------------------------------===//
+// Multi-object track groups (one trace "process" per verified object)
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTest, ObjectsRenderAsSeparateTrackGroups) {
+  TraceRecorder TR;
+  TR.setObjectName(0, "alpha");
+  TR.setObjectName(1, "beta");
+  Action A = Action::call(3, name("m"), {});
+  A.Obj = 0;
+  Action B = Action::call(3, name("m"), {});
+  B.Obj = 1;
+  Action ARet = Action::ret(3, name("m"), Value(true));
+  ARet.Obj = 0;
+  Action BRet = Action::ret(3, name("m"), Value(true));
+  BRet.Obj = 1;
+  feed(TR, {A, B, ARet, BRet});
+  std::string J = TR.json();
+  EXPECT_TRUE(jsonValid(J)) << J;
+  // Object N renders as pid N + 1, each named after its registration.
+  EXPECT_NE(J.find("\"pid\":1,\"args\":{\"name\":\"object: alpha\"}"),
+            std::string::npos)
+      << J;
+  EXPECT_NE(J.find("\"pid\":2,\"args\":{\"name\":\"object: beta\"}"),
+            std::string::npos)
+      << J;
+  // The same thread appears once per object group it touched.
+  EXPECT_NE(J.find("\"ph\":\"B\",\"pid\":1,\"tid\":3"), std::string::npos);
+  EXPECT_NE(J.find("\"ph\":\"B\",\"pid\":2,\"tid\":3"), std::string::npos);
+}
+
+TEST(TraceTest, SingleObjectLayoutKeepsLegacyPid) {
+  // Anonymous single-object traces must render exactly as before the
+  // multi-object engine: everything on pid 1, named "vyrd pipeline".
+  TraceRecorder TR;
+  feed(TR, {Action::call(0, name("m"), {}),
+            Action::ret(0, name("m"), Value())});
+  TR.noteVerifierInstant(2, "violation: x");
+  std::string J = TR.json();
+  EXPECT_TRUE(jsonValid(J)) << J;
+  EXPECT_NE(J.find("\"name\":\"vyrd pipeline\""), std::string::npos) << J;
+  EXPECT_EQ(J.find("\"pid\":2"), std::string::npos) << J;
+}
+
+TEST(TraceTest, UnbalancedSpansCloseInTheirOwnGroup) {
+  TraceRecorder TR;
+  Action A = Action::call(5, name("left.open"), {});
+  A.Obj = 2; // open call on object 2 never returns
+  feed(TR, {A});
+  std::string J = TR.json();
+  EXPECT_TRUE(jsonValid(J)) << J;
+  // The auto-close 'E' event must land on object 2's pid (3), tid 5.
+  EXPECT_NE(J.find("\"ph\":\"E\",\"pid\":3,\"tid\":5"), std::string::npos)
+      << J;
+}

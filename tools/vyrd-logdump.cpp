@@ -6,16 +6,20 @@
 //
 // Dumps a binary log file produced by FileLog in human-readable form.
 //
-//   vyrd-logdump <log-file> [--limit N] [--tid T] [--kind K] [--stats]
-//                [--json]
+//   vyrd-logdump <log-file> [--limit N] [--tid T] [--obj O] [--kind K]
+//                [--stats] [--json]
 //
 //   --limit N   print at most N records
 //   --tid T     only records of thread T
+//   --obj O     only records of verified object O (multi-object logs)
 //   --kind K    only records of kind K (call, return, commit, write,
 //               block-begin, block-end, replay-op)
-//   --stats     print per-kind / per-method / per-thread counts instead
-//               of records
+//   --stats     print per-kind / per-method / per-thread / per-object
+//               counts instead of records
 //   --json      with --stats: emit the summary as one JSON object
+//
+// Reads both current (v2, "VYRD" header + per-record ObjectId) and legacy
+// headerless v1 files; v1 records all belong to object 0.
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,8 +37,8 @@ namespace {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s <log-file> [--limit N] [--tid T] [--kind K] "
-               "[--stats] [--json]\n",
+               "usage: %s <log-file> [--limit N] [--tid T] [--obj O] "
+               "[--kind K] [--stats] [--json]\n",
                Argv0);
   return 2;
 }
@@ -58,7 +62,7 @@ int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage(Argv[0]);
   std::string Path;
-  long Limit = -1, Tid = -1;
+  long Limit = -1, Tid = -1, Obj = -1;
   std::string KindFilter;
   bool Stats = false;
   bool Json = false;
@@ -68,6 +72,8 @@ int main(int Argc, char **Argv) {
       Limit = std::atol(Argv[++I]);
     } else if (Arg == "--tid" && I + 1 < Argc) {
       Tid = std::atol(Argv[++I]);
+    } else if (Arg == "--obj" && I + 1 < Argc) {
+      Obj = std::atol(Argv[++I]);
     } else if (Arg == "--kind" && I + 1 < Argc) {
       KindFilter = Argv[++I];
     } else if (Arg == "--stats") {
@@ -94,28 +100,40 @@ int main(int Argc, char **Argv) {
     std::map<std::string, uint64_t> ByKind;
     std::map<std::string, uint64_t> ByMethod;
     std::map<uint64_t, uint64_t> ByThread;
+    std::map<uint64_t, uint64_t> ByObject;
     uint64_t Threads = 0;
+    uint64_t NumObjects = 0;
     for (const Action &A : Log) {
       ++ByKind[actionKindName(A.Kind)];
       if (A.Kind == ActionKind::AK_Call)
         ++ByMethod[std::string(A.Method.str())];
       ++ByThread[A.Tid];
+      ++ByObject[A.Obj];
       if (A.Tid + 1 > Threads)
         Threads = A.Tid + 1;
+      if (A.Obj + 1 > NumObjects)
+        NumObjects = A.Obj + 1;
     }
     if (Json) {
       std::map<std::string, uint64_t> ByThreadStr;
       for (const auto &[T, N] : ByThread)
         ByThreadStr[std::to_string(T)] = N;
-      std::printf("{\"records\":%zu,\"threads\":%llu,"
-                  "\"by_kind\":%s,\"method_calls\":%s,\"by_thread\":%s}\n",
+      std::map<std::string, uint64_t> ByObjectStr;
+      for (const auto &[O, N] : ByObject)
+        ByObjectStr[std::to_string(O)] = N;
+      std::printf("{\"records\":%zu,\"threads\":%llu,\"objects\":%llu,"
+                  "\"by_kind\":%s,\"method_calls\":%s,\"by_thread\":%s,"
+                  "\"by_object\":%s}\n",
                   Log.size(), static_cast<unsigned long long>(Threads),
+                  static_cast<unsigned long long>(NumObjects),
                   countsJson(ByKind).c_str(), countsJson(ByMethod).c_str(),
-                  countsJson(ByThreadStr).c_str());
+                  countsJson(ByThreadStr).c_str(),
+                  countsJson(ByObjectStr).c_str());
       return 0;
     }
-    std::printf("%zu records, %llu thread(s)\n", Log.size(),
-                static_cast<unsigned long long>(Threads));
+    std::printf("%zu records, %llu thread(s), %llu object(s)\n", Log.size(),
+                static_cast<unsigned long long>(Threads),
+                static_cast<unsigned long long>(NumObjects));
     std::printf("\nby kind:\n");
     for (const auto &[K, N] : ByKind)
       std::printf("  %-12s %10llu\n", K.c_str(),
@@ -129,12 +147,19 @@ int main(int Argc, char **Argv) {
       std::printf("  t%-11llu %10llu\n",
                   static_cast<unsigned long long>(T),
                   static_cast<unsigned long long>(N));
+    std::printf("\nby object:\n");
+    for (const auto &[O, N] : ByObject)
+      std::printf("  o%-11llu %10llu\n",
+                  static_cast<unsigned long long>(O),
+                  static_cast<unsigned long long>(N));
     return 0;
   }
 
   long Printed = 0;
   for (const Action &A : Log) {
     if (Tid >= 0 && A.Tid != static_cast<ThreadId>(Tid))
+      continue;
+    if (Obj >= 0 && A.Obj != static_cast<ObjectId>(Obj))
       continue;
     if (!KindFilter.empty() && KindFilter != actionKindName(A.Kind))
       continue;
