@@ -124,14 +124,14 @@ void HashtableReplayer::applyUpdate(const Action &A, View &ViewI) {
   }
 
   auto SIt = Shadow.find(Key);
-  if (A.Val.isNull()) {
+  if (A.Ret.isNull()) {
     if (SIt != Shadow.end()) {
       ViewI.remove(Value(Key), Value(SIt->second));
       Shadow.erase(SIt);
     }
     return;
   }
-  int64_t NewVal = A.Val.asInt();
+  int64_t NewVal = A.Ret.asInt();
   if (SIt != Shadow.end()) {
     if (SIt->second == NewVal)
       return;

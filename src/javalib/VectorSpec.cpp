@@ -94,7 +94,7 @@ void VectorReplayer::applyUpdate(const Action &A, View &ViewI) {
          "vector logs fine-grained writes only");
 
   if (A.Var == LenName) {
-    size_t NewLen = static_cast<size_t>(A.Val.asInt());
+    size_t NewLen = static_cast<size_t>(A.Ret.asInt());
     if (NewLen > Storage.size())
       Storage.resize(NewLen, 0);
     // Entries leaving / entering the logical prefix update the view.
@@ -121,7 +121,7 @@ void VectorReplayer::applyUpdate(const Action &A, View &ViewI) {
   }
   if (Index >= Storage.size())
     Storage.resize(Index + 1, 0);
-  int64_t NewVal = A.Val.asInt();
+  int64_t NewVal = A.Ret.asInt();
   if (Index < Len && Storage[Index] != NewVal) {
     ViewI.remove(Value(static_cast<int64_t>(Index)), Value(Storage[Index]));
     ViewI.add(Value(static_cast<int64_t>(Index)), Value(NewVal));

@@ -27,7 +27,7 @@ void MultisetReplayer::applyUpdate(const Action &A, View &ViewI) {
   SlotShadow &S = Slots[Index];
 
   if (IsValid) {
-    bool NewValid = A.Val.isBool() && A.Val.asBool();
+    bool NewValid = A.Ret.isBool() && A.Ret.asBool();
     if (NewValid == S.Valid)
       return;
     // Publishing or unpublishing the slot's element toggles its view
@@ -43,11 +43,11 @@ void MultisetReplayer::applyUpdate(const Action &A, View &ViewI) {
   // Element-field write. Only affects the view when the slot is published
   // (which a correct implementation never does; the replay must mirror
   // buggy interleavings faithfully regardless).
-  if (S.Valid && S.Elt != A.Val) {
+  if (S.Valid && S.Elt != A.Ret) {
     ViewI.remove(S.Elt, Value());
-    ViewI.add(A.Val, Value());
+    ViewI.add(A.Ret, Value());
   }
-  S.Elt = A.Val;
+  S.Elt = A.Ret;
 }
 
 void MultisetReplayer::buildView(View &Out) const {

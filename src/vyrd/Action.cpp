@@ -64,7 +64,7 @@ std::string Action::str() const {
   case ActionKind::AK_Write:
     Out += " ";
     Out += Var.str();
-    Out += " := " + Val.str();
+    Out += " := " + Ret.str();
     break;
   case ActionKind::AK_ReplayOp: {
     Out += " ";

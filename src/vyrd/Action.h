@@ -59,27 +59,40 @@ enum class ActionKind : uint8_t {
 /// Returns a short printable name for \p K (for diagnostics).
 const char *actionKindName(ActionKind K);
 
-/// One log record.
+/// One log record. Field order packs the five small scalars ahead of the
+/// payloads, and Return/Write share one Value slot (no record kind uses
+/// both): records travel by move/copy through every pipeline stage, so
+/// sizeof(Action) is itself a hot-path quantity.
 struct Action {
   ActionKind Kind = ActionKind::AK_Call;
   ThreadId Tid = 0;
   /// The verified object this record belongs to; stamped by the emitting
   /// Hooks (each registered object gets its own Hooks bound to its id).
   ObjectId Obj = 0;
+  /// Method name for Call/Return/Commit; unused otherwise.
+  Name Method;
+  /// Written variable (Write) or replay opcode (ReplayOp).
+  Name Var;
   /// Position in the log; assigned by the log on append and therefore a
   /// total order consistent with real-time occurrence (each hooked action is
   /// performed atomically with its log append).
   uint64_t Seq = 0;
-  /// Method name for Call/Return/Commit; unused otherwise.
-  Name Method;
   /// Call arguments, or ReplayOp payload.
   ValueList Args;
-  /// Return value (Return only).
+  /// Return value (Return), or written value (Write) — the kinds are
+  /// mutually exclusive, so they share the slot.
   Value Ret;
-  /// Written variable (Write) or replay opcode (ReplayOp).
-  Name Var;
-  /// Written value (Write only).
-  Value Val;
+
+  // Records travel by move through the whole pipeline (shard ring ->
+  // reorder ring -> consumer batch -> demux route -> checker event
+  // queue). The defaulted moves are member-wise and noexcept (`= default`
+  // would fail to compile otherwise), so vector/deque growth relocates
+  // records instead of copying them.
+  Action() = default;
+  Action(const Action &) = default;
+  Action(Action &&) noexcept = default;
+  Action &operator=(const Action &) = default;
+  Action &operator=(Action &&) noexcept = default;
 
   /// Renders the record for diagnostics.
   std::string str() const;
@@ -111,7 +124,7 @@ struct Action {
     A.Kind = ActionKind::AK_Write;
     A.Tid = T;
     A.Var = Var;
-    A.Val = std::move(V);
+    A.Ret = std::move(V);
     return A;
   }
   static Action blockBegin(ThreadId T) {

@@ -7,6 +7,7 @@
 #include "vyrd/BufferedLog.h"
 
 #include "vyrd/Instrument.h"
+#include "vyrd/Ring.h"
 #include "vyrd/Serialize.h"
 #include "vyrd/Telemetry.h"
 
@@ -16,7 +17,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
-#include <deque>
 #include <mutex>
 
 using namespace vyrd;
@@ -82,7 +82,7 @@ struct BufferedLog::Impl {
   /// The global, merged order the readers consume.
   std::mutex QM;
   std::condition_variable QCV;
-  std::deque<Action> Q;
+  ChunkQueue<Action> Q; // chunk-recycling: see Ring.h
   bool Finished = false; // flusher exited; Q holds everything remaining
 
   /// Serializes close() so it is idempotent.

@@ -65,6 +65,9 @@ void CheckerStats::merge(const CheckerStats &Other) {
   ReplayNanos += Other.ReplayNanos;
   SpecNanos += Other.SpecNanos;
   ViewCompareNanos += Other.ViewCompareNanos;
+  ObsMemoHits += Other.ObsMemoHits;
+  ObsMemoMisses += Other.ObsMemoMisses;
+  SpecVersionBumps += Other.SpecVersionBumps;
 }
 
 RefinementChecker::RefinementChecker(Spec &S, Replayer *R,
@@ -98,8 +101,8 @@ void RefinementChecker::report(ViolationKind K, uint64_t Seq, ThreadId Tid,
   V.Method = Method;
   V.Message = std::move(Message);
   V.MethodsChecked = Stats.MethodsChecked;
-  for (const Action &A : RecentActions)
-    V.Context += A.str() + "\n";
+  for (size_t I = 0, N = RecentActions.size(); I != N; ++I)
+    V.Context += RecentActions[I].str() + "\n";
   Violations.push_back(std::move(V));
 }
 
@@ -114,8 +117,8 @@ void RefinementChecker::feed(const Action &A) {
       RecentActions.pop_front();
   }
 
-  auto It = OpenExecs.find(A.Tid);
-  Exec *X = It == OpenExecs.end() ? nullptr : It->second.get();
+  ExecPtr *Slot = findOpenExec(A.Tid);
+  Exec *X = Slot ? Slot->get() : nullptr;
 
   switch (A.Kind) {
   case ActionKind::AK_Call: {
@@ -125,13 +128,13 @@ void RefinementChecker::feed(const Action &A) {
                  " is still executing");
       break;
     }
-    auto E = std::make_shared<Exec>();
+    ExecPtr E = acquireExec();
     E->Tid = A.Tid;
     E->Method = A.Method;
     E->Args = A.Args;
     E->CallSeq = A.Seq;
     E->IsObserver = TheSpec.isObserver(A.Method);
-    OpenExecs.emplace(A.Tid, E);
+    insertOpenExec(A.Tid, E);
     if (E->IsObserver)
       Events.push_back(Event{EventKind::EK_ObsBegin, A, E});
     break;
@@ -149,8 +152,8 @@ void RefinementChecker::feed(const Action &A) {
              "method returned inside an open commit block");
     Events.push_back(Event{X->IsObserver ? EventKind::EK_ObsEnd
                                          : EventKind::EK_MutEnd,
-                           A, It->second});
-    OpenExecs.erase(It);
+                           A, std::move(*Slot)});
+    eraseOpenExec(A.Tid, Slot);
     break;
   }
   case ActionKind::AK_Commit: {
@@ -172,8 +175,8 @@ void RefinementChecker::feed(const Action &A) {
     }
     X->HasCommit = true;
     X->CommitInBlock = X->InBlock;
-    X->OpenAtCommit = OpenExecs.size();
-    Events.push_back(Event{EventKind::EK_Commit, A, It->second});
+    X->OpenAtCommit = OpenExecCount;
+    Events.push_back(Event{EventKind::EK_Commit, A, *Slot});
     break;
   }
   case ActionKind::AK_Write:
@@ -232,6 +235,10 @@ void RefinementChecker::drain() {
   while (!Events.empty()) {
     if (!processHead())
       return;
+    // The ring keeps popped slots alive to recycle their storage; drop
+    // the Exec reference now so a retired slot cannot pin a pooled Exec
+    // (acquireExec reuses an Exec only at use_count == 1).
+    Events.front().E = nullptr;
     Events.pop_front();
   }
 }
@@ -263,7 +270,13 @@ bool RefinementChecker::processHead() {
     if (!X.HasRet)
       return false;
     uint64_t T0 = tickIf(Config.CollectTimings);
-    X.Satisfied = TheSpec.returnAllowed(X.Method, X.Args, X.Ret);
+    if (Config.MemoizeObservers) {
+      // Signature hashes are computed once per execution, here, where the
+      // return value first becomes known.
+      X.ArgsHash = X.Args.hash();
+      X.RetHash = X.Ret.hash();
+    }
+    X.Satisfied = observerAllowed(X);
     if (T0)
       Stats.SpecNanos += telemetryNowNanos() - T0;
     OpenObservers.push_back(Ev.E);
@@ -272,10 +285,14 @@ bool RefinementChecker::processHead() {
 
   case EventKind::EK_ObsEnd: {
     Exec &X = *Ev.E;
+    // Swap-and-pop: the open-observer set is unordered (every member is
+    // (re)evaluated at each commit and returnAllowed is const, so the
+    // iteration order cannot be observed).
     for (size_t I = 0; I < OpenObservers.size(); ++I) {
       if (OpenObservers[I].get() != &X)
         continue;
-      OpenObservers.erase(OpenObservers.begin() + I);
+      OpenObservers[I] = std::move(OpenObservers.back());
+      OpenObservers.pop_back();
       break;
     }
     if (!X.Satisfied) {
@@ -293,6 +310,7 @@ bool RefinementChecker::processHead() {
     }
     ++Stats.ObserversChecked;
     ++Stats.MethodsChecked;
+    recycleExec(std::move(Ev.E));
     return true;
   }
 
@@ -303,7 +321,8 @@ bool RefinementChecker::processHead() {
              "mutator execution returned without a commit action");
     // Close the diagnosis window: a signature that never became enabled
     // anywhere between commit and return is unlikely to be a misplaced
-    // annotation.
+    // annotation. Swap-and-pop: each entry is retried independently, so
+    // like OpenObservers the set's order is not semantically relevant.
     for (size_t I = 0; I < FailedMutators.size(); ++I) {
       if (FailedMutators[I].first.get() != &X)
         continue;
@@ -311,9 +330,11 @@ bool RefinementChecker::processHead() {
           "; diagnosis: the signature never became enabled in the "
           "method's window — likely a genuine refinement violation "
           "(Sec. 4.1)";
-      FailedMutators.erase(FailedMutators.begin() + I);
+      FailedMutators[I] = std::move(FailedMutators.back());
+      FailedMutators.pop_back();
       break;
     }
+    recycleExec(std::move(Ev.E));
     return true;
   }
   }
@@ -351,6 +372,13 @@ void RefinementChecker::processCommit(Event &Ev) {
   bool SpecOk = TheSpec.applyMutator(X.Method, X.Args, X.Ret, ViewS);
   if (SpecT0)
     Stats.SpecNanos += telemetryNowNanos() - SpecT0;
+  if (SpecOk) {
+    // The spec state moved: cached observer verdicts are now stale (they
+    // stay in the memo table keyed by the old version and are simply
+    // never consulted again).
+    ++SpecVersion;
+    ++Stats.SpecVersionBumps;
+  }
   if (!SpecOk) {
     std::string Msg = "specification cannot execute " +
                       std::string(X.Method.str()) + "(";
@@ -398,17 +426,7 @@ void RefinementChecker::processCommit(Event &Ev) {
 
   // Every open observer's window includes this commit: evaluate the new
   // specification state against each still-unsatisfied return value.
-  if (!OpenObservers.empty()) {
-    uint64_t T0 = tickIf(Config.CollectTimings);
-    for (ExecPtr &ObsP : OpenObservers) {
-      Exec &Obs = *ObsP;
-      if (!Obs.Satisfied)
-        Obs.Satisfied =
-            TheSpec.returnAllowed(Obs.Method, Obs.Args, Obs.Ret);
-    }
-    if (T0)
-      Stats.SpecNanos += telemetryNowNanos() - T0;
-  }
+  evalOpenObservers();
 
   ++Stats.MethodsChecked;
 }
@@ -422,15 +440,173 @@ void RefinementChecker::retryFailedMutators(uint64_t Seq) {
       continue;
     }
     // The signature is enabled here: apply it (recovering the spec state)
-    // and annotate the original violation.
+    // and annotate the original violation. The recovery mutated the spec,
+    // so cached observer verdicts must be invalidated too.
+    ++SpecVersion;
+    ++Stats.SpecVersionBumps;
     Violations[ViolationIdx].Message +=
         "; diagnosis: the signature became enabled after the commit at #" +
         std::to_string(Seq) +
         " — the commit-point annotation is likely too early (Sec. 4.1)";
-    FailedMutators.erase(FailedMutators.begin() + I);
+    FailedMutators[I] = std::move(FailedMutators.back());
+    FailedMutators.pop_back();
   }
   if (T0)
     Stats.SpecNanos += telemetryNowNanos() - T0;
+}
+
+RefinementChecker::MemoSlot &
+RefinementChecker::memoSlotFor(Name Method, uint64_t ArgsHash,
+                               uint64_t RetHash) {
+  if (ObsMemo.empty())
+    ObsMemo.resize(256);
+  // Bound the table: a workload with unbounded distinct signatures would
+  // otherwise grow it forever. Resetting loses only cache warmth.
+  if (ObsMemoUsed >= Config.MemoMaxEntries) {
+    std::fill(ObsMemo.begin(), ObsMemo.end(), MemoSlot());
+    ObsMemoUsed = 0;
+  } else if (ObsMemoUsed * 4 >= ObsMemo.size() * 3) {
+    growMemo(ObsMemo.size() * 2);
+  }
+  size_t Mask = ObsMemo.size() - 1;
+  size_t I = static_cast<size_t>(ArgsHash ^ (RetHash * 0x9e3779b9) ^
+                                 (uint64_t(Method.id()) << 32)) &
+             Mask;
+  while (ObsMemo[I].Used &&
+         !(ObsMemo[I].Method == Method && ObsMemo[I].ArgsHash == ArgsHash &&
+           ObsMemo[I].RetHash == RetHash))
+    I = (I + 1) & Mask;
+  return ObsMemo[I];
+}
+
+void RefinementChecker::growMemo(size_t NewSlots) {
+  std::vector<MemoSlot> Old;
+  Old.swap(ObsMemo);
+  ObsMemo.resize(NewSlots);
+  size_t Mask = NewSlots - 1;
+  for (const MemoSlot &S : Old) {
+    if (!S.Used)
+      continue;
+    size_t I = static_cast<size_t>(S.ArgsHash ^ (S.RetHash * 0x9e3779b9) ^
+                                   (uint64_t(S.Method.id()) << 32)) &
+               Mask;
+    while (ObsMemo[I].Used)
+      I = (I + 1) & Mask;
+    ObsMemo[I] = S;
+  }
+}
+
+bool RefinementChecker::observerAllowed(Exec &X) {
+  X.LastEvalVersion = SpecVersion;
+  if (!Config.MemoizeObservers)
+    return TheSpec.returnAllowed(X.Method, X.Args, X.Ret);
+  MemoSlot &E = memoSlotFor(X.Method, X.ArgsHash, X.RetHash);
+  if (E.Used && E.Version == SpecVersion) {
+    ++Stats.ObsMemoHits;
+    return E.Allowed;
+  }
+  ++Stats.ObsMemoMisses;
+  if (!E.Used) {
+    E.Used = true;
+    E.Method = X.Method;
+    E.ArgsHash = X.ArgsHash;
+    E.RetHash = X.RetHash;
+    ++ObsMemoUsed;
+  }
+  E.Version = SpecVersion;
+  E.Allowed = TheSpec.returnAllowed(X.Method, X.Args, X.Ret);
+  return E.Allowed;
+}
+
+void RefinementChecker::evalOpenObservers() {
+  if (OpenObservers.empty())
+    return;
+  uint64_t T0 = tickIf(Config.CollectTimings);
+  for (ExecPtr &ObsP : OpenObservers) {
+    Exec &Obs = *ObsP;
+    if (Obs.Satisfied)
+      continue;
+    if (Config.MemoizeObservers && Obs.LastEvalVersion == SpecVersion) {
+      // Already answered (negatively) at this exact spec state — e.g. the
+      // commit's applyMutator failed, so the state did not move. Counts as
+      // a hit: the unmemoized checker would have re-asked the spec here.
+      ++Stats.ObsMemoHits;
+      continue;
+    }
+    Obs.Satisfied = observerAllowed(Obs);
+  }
+  if (T0)
+    Stats.SpecNanos += telemetryNowNanos() - T0;
+}
+
+RefinementChecker::ExecPtr *RefinementChecker::findOpenExec(ThreadId Tid) {
+  if (Tid < DenseTidLimit) {
+    if (Tid < OpenExecsDense.size() && OpenExecsDense[Tid])
+      return &OpenExecsDense[Tid];
+    return nullptr;
+  }
+  auto It = OpenExecsSparse.find(Tid);
+  return It == OpenExecsSparse.end() ? nullptr : &It->second;
+}
+
+void RefinementChecker::insertOpenExec(ThreadId Tid, ExecPtr E) {
+  if (Tid < DenseTidLimit) {
+    if (OpenExecsDense.size() <= Tid)
+      OpenExecsDense.resize(std::min<size_t>(
+          DenseTidLimit,
+          std::max<size_t>(Tid + 1, OpenExecsDense.empty()
+                                        ? 16
+                                        : OpenExecsDense.size() * 2)));
+    OpenExecsDense[Tid] = std::move(E);
+  } else {
+    OpenExecsSparse[Tid] = std::move(E);
+  }
+  ++OpenExecCount;
+}
+
+void RefinementChecker::eraseOpenExec(ThreadId Tid, ExecPtr *Slot) {
+  if (Tid < DenseTidLimit)
+    Slot->reset();
+  else
+    OpenExecsSparse.erase(Tid);
+  --OpenExecCount;
+}
+
+RefinementChecker::ExecPtr RefinementChecker::acquireExec() {
+  while (!ExecPool.empty()) {
+    ExecPtr E = std::move(ExecPool.back());
+    ExecPool.pop_back();
+    // A retired Exec can still be referenced by a stalled event deep in
+    // the queue (its window closed out of order); skip those.
+    if (E.use_count() != 1)
+      continue;
+    Exec &X = *E;
+    X.Tid = 0;
+    X.Method = Name();
+    X.Args.clear();
+    X.Ret = Value();
+    X.CallSeq = 0;
+    X.IsObserver = false;
+    X.HasRet = false;
+    X.HasCommit = false;
+    X.CommitInBlock = false;
+    X.BlockDone = false;
+    X.InBlock = false;
+    X.Satisfied = false;
+    X.OpenAtCommit = 0;
+    X.ArgsHash = 0;
+    X.RetHash = 0;
+    X.LastEvalVersion = ~uint64_t(0);
+    X.BlockWrites.clear();        // clear() keeps the buffer capacity —
+    X.CommitBlockWrites.clear();  // that is the point of pooling Execs
+    return E;
+  }
+  return std::make_shared<Exec>();
+}
+
+void RefinementChecker::recycleExec(ExecPtr E) {
+  if (ExecPool.size() < 256)
+    ExecPool.push_back(std::move(E));
 }
 
 void RefinementChecker::compareViews(const Exec &X, uint64_t Seq) {
@@ -480,6 +656,13 @@ void RefinementChecker::finish() {
   if (Finished)
     return;
   Finished = true;
+  if (telemetryCompiledIn() && Telem) {
+    TelemetryCell &C = Telem->cell();
+    if (Stats.ObsMemoHits)
+      C.count(Counter::C_ObsMemoHits, Stats.ObsMemoHits);
+    if (Stats.ObsMemoMisses)
+      C.count(Counter::C_ObsMemoMisses, Stats.ObsMemoMisses);
+  }
   if (Config.AllowIncompleteTail)
     return;
   if (!Events.empty()) {
@@ -489,7 +672,12 @@ void RefinementChecker::finish() {
            "log ended with " + std::to_string(Events.size()) +
                " unprocessed events (incomplete executions)");
   }
-  for (auto &[Tid, E] : OpenExecs)
+  for (size_t Tid = 0; Tid < OpenExecsDense.size(); ++Tid)
+    if (const ExecPtr &E = OpenExecsDense[Tid])
+      report(ViolationKind::VK_Instrumentation, E->CallSeq,
+             static_cast<ThreadId>(Tid), E->Method,
+             "method execution still open at end of log");
+  for (auto &[Tid, E] : OpenExecsSparse)
     report(ViolationKind::VK_Instrumentation, E->CallSeq, Tid, E->Method,
            "method execution still open at end of log");
 }

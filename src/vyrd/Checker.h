@@ -26,11 +26,11 @@
 
 #include "vyrd/Action.h"
 #include "vyrd/Replayer.h"
+#include "vyrd/Ring.h"
 #include "vyrd/Spec.h"
 #include "vyrd/View.h"
 #include "vyrd/Violation.h"
 
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -83,6 +83,20 @@ struct CheckerConfig {
   /// and friends). Off by default: it adds two clock reads around every
   /// replayed write, driven spec transition and view comparison.
   bool CollectTimings = false;
+  /// Memoize observer evaluation (the checker hot path's dominant spec
+  /// cost, see docs/ARCHITECTURE.md "The checker hot path"): the spec
+  /// state carries a version that advances on every successful mutator
+  /// transition, and `returnAllowed` results are cached per
+  /// (version, method, args, ret) signature, so N open observers with the
+  /// same signature cost one spec call per state and no observer is
+  /// re-asked while the state is unchanged. Semantically invisible (the
+  /// spec is deterministic and returnAllowed is const); switch off for
+  /// A/B benches and belt-and-braces audit runs.
+  bool MemoizeObservers = true;
+  /// Upper bound on distinct signatures the observer memo table holds;
+  /// the table is reset when it would exceed this (bounds memory on
+  /// adversarial workloads with unbounded distinct signatures).
+  size_t MemoMaxEntries = 1 << 14;
 };
 
 /// Counters exposed for the benchmarks.
@@ -109,6 +123,15 @@ struct CheckerStats {
   /// ... and time computing/comparing views plus invariant checks (incl.
   /// audits and full recomputes when those ablations are on).
   uint64_t ViewCompareNanos = 0;
+  /// Observer evaluations answered from the memo table (including
+  /// "already evaluated at this spec-state version" skips) vs answered by
+  /// an actual Spec::returnAllowed call. Hits + misses = evaluations the
+  /// unmemoized checker would have sent to the spec.
+  uint64_t ObsMemoHits = 0;
+  uint64_t ObsMemoMisses = 0;
+  /// Spec-state version advances (successful mutator transitions,
+  /// including diagnosis recoveries).
+  uint64_t SpecVersionBumps = 0;
 
   /// Accumulates \p Other into this: counters and timings sum,
   /// MaxQueueDepth takes the maximum. Used by the multi-object Verifier to
@@ -164,6 +187,12 @@ private:
     /// Number of executions open at the commit's log position (including
     /// this one); 1 means the commit happened at a quiescent point.
     size_t OpenAtCommit = 0;
+    /// Observer memoization state: the signature hashes (computed once,
+    /// when the return value becomes known) and the spec-state version
+    /// this observer was last evaluated at (~0 = never evaluated).
+    uint64_t ArgsHash = 0;
+    uint64_t RetHash = 0;
+    uint64_t LastEvalVersion = ~uint64_t(0);
     /// Writes of the currently open commit block.
     std::vector<Action> BlockWrites;
     /// Writes of the block that contained the commit action, sealed when
@@ -195,6 +224,17 @@ private:
   void processCommit(Event &Ev);
   /// Retries failed mutators (commit-point diagnosis) after a commit.
   void retryFailedMutators(uint64_t Seq);
+  /// Memo-aware Spec::returnAllowed for observer \p X at the current
+  /// spec-state version. Stamps X.LastEvalVersion.
+  bool observerAllowed(Exec &X);
+  /// Re-evaluates still-unsatisfied open observers against the current
+  /// spec state (after a commit / recovery may have changed it).
+  void evalOpenObservers();
+  /// Takes an Exec from the free pool (or allocates one) / returns a
+  /// fully retired Exec to it, recycling the control block and the
+  /// BlockWrites/CommitBlockWrites buffer capacity.
+  ExecPtr acquireExec();
+  void recycleExec(ExecPtr E);
   void applyUpdate(const Action &A);
   void compareViews(const Exec &X, uint64_t Seq);
   void runAudit(uint64_t Seq);
@@ -207,19 +247,63 @@ private:
   CheckerStats Stats;
   Telemetry *Telem = nullptr;
 
-  std::deque<Event> Events;
-  std::unordered_map<ThreadId, ExecPtr> OpenExecs;
+  /// FIFO of pending events. A ChunkQueue (not a deque) so steady-state
+  /// push/pop traffic recycles chunk and slot storage instead of churning
+  /// deque blocks; drain() resets each popped event's ExecPtr so a
+  /// retired slot never pins a pooled Exec.
+  ChunkQueue<Event> Events;
+  /// Open executions keyed by thread id. Small ids (the common case —
+  /// dense ids from currentTid()) live in a direct-indexed vector whose
+  /// slot assignments never allocate, unlike unordered_map node churn; a
+  /// sparse map catches pathological ids so an adversarial log cannot
+  /// force a giant table.
+  static constexpr ThreadId DenseTidLimit = 4096;
+  std::vector<ExecPtr> OpenExecsDense;
+  std::unordered_map<ThreadId, ExecPtr> OpenExecsSparse;
+  size_t OpenExecCount = 0;
+  ExecPtr *findOpenExec(ThreadId Tid);
+  void insertOpenExec(ThreadId Tid, ExecPtr E);
+  void eraseOpenExec(ThreadId Tid, ExecPtr *Slot);
   std::vector<ExecPtr> OpenObservers;
   /// Mutators whose commit failed, awaiting diagnosis retries; paired
   /// with the index of their violation record.
   std::vector<std::pair<ExecPtr, size_t>> FailedMutators;
   std::vector<Violation> Violations;
   /// Ring of recently fed records for violation context.
-  std::deque<Action> RecentActions;
+  RingQueue<Action> RecentActions;
   View ViewI;
   View ViewS;
   uint64_t CommitsSinceAudit = 0;
   bool Finished = false;
+
+  /// Monotonic version of the specification state: advances on every
+  /// successful applyMutator (commit processing and diagnosis
+  /// recoveries). Two evaluations at the same version see the same spec
+  /// state — the fact the observer memo table relies on.
+  uint64_t SpecVersion = 0;
+
+  /// Observer memo table: signature -> verdict at a spec-state version.
+  /// An entry answers repeat queries of the same signature until the
+  /// version moves on; stale entries are overwritten in place. Stored as
+  /// an open-addressing (linear-probe, power-of-two) slot array rather
+  /// than a node-based map so steady-state misses never touch the heap:
+  /// the only allocations are the rare capacity doublings during warmup.
+  struct MemoSlot {
+    Name Method;
+    uint64_t ArgsHash = 0;
+    uint64_t RetHash = 0;
+    uint64_t Version = ~uint64_t(0);
+    bool Used = false;
+    bool Allowed = false;
+  };
+  MemoSlot &memoSlotFor(Name Method, uint64_t ArgsHash, uint64_t RetHash);
+  void growMemo(size_t NewSlots);
+  std::vector<MemoSlot> ObsMemo;
+  size_t ObsMemoUsed = 0;
+
+  /// Retired Execs awaiting reuse (bounded). An entry is reusable once
+  /// nothing but the pool references it (use_count == 1).
+  std::vector<ExecPtr> ExecPool;
 };
 
 } // namespace vyrd

@@ -9,6 +9,7 @@
 #include "vyrd/Telemetry.h"
 
 #include <cassert>
+#include <cstring>
 
 using namespace vyrd;
 
@@ -202,28 +203,79 @@ uint64_t FileLog::byteCount() const {
 // loadLogFile
 //===----------------------------------------------------------------------===//
 
-bool vyrd::loadLogFile(const std::string &Path, std::vector<Action> &Out) {
-  std::FILE *F = std::fopen(Path.c_str(), "rb");
-  if (!F)
-    return false;
-  std::vector<uint8_t> Data;
-  uint8_t Buf[64 * 1024];
-  size_t N;
-  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
-    Data.insert(Data.end(), Buf, Buf + N);
-  std::fclose(F);
+/// Read-window granularity: one fread and one decode sweep per megabyte
+/// of log. Only a single record larger than the window forces growth.
+static constexpr size_t ReaderChunk = 1 << 20;
 
-  ByteReader R(Data.data(), Data.size());
-  uint32_t Version = readLogHeader(R);
-  if (Version == 0)
-    return false; // Magic present but header malformed / version unknown.
-  ActionDecoder Decoder;
-  Decoder.setVersion(Version);
-  Action A;
-  while (!R.atEnd()) {
-    if (!Decoder.decode(R, A))
-      return false;
-    Out.push_back(A);
+LogFileReader::LogFileReader(const std::string &Path) {
+  File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return;
+  Buf.resize(ReaderChunk);
+  refill();
+  ByteReader R(Buf.data(), End);
+  Version = readLogHeader(R);
+  if (Version == 0) {
+    Malformed = true; // magic present but header malformed/unknown
+    return;
   }
-  return true;
+  Decoder.setVersion(Version);
+  Start = R.position(); // 0 for headerless v1 streams
+  Consumed = R.position();
+}
+
+LogFileReader::~LogFileReader() {
+  if (File)
+    std::fclose(File);
+}
+
+void LogFileReader::refill() {
+  // Compact the undecoded suffix to the front, then top the window up.
+  if (Start > 0) {
+    std::memmove(Buf.data(), Buf.data() + Start, End - Start);
+    End -= Start;
+    Start = 0;
+  }
+  if (End == Buf.size())
+    Buf.resize(Buf.size() * 2); // one record larger than the window
+  size_t N = std::fread(Buf.data() + End, 1, Buf.size() - End, File);
+  End += N;
+  if (N == 0)
+    Eof = true;
+}
+
+bool LogFileReader::next(Action &Out) {
+  if (!File || Malformed)
+    return false;
+  while (true) {
+    if (Start < End) {
+      // Speculative decode: on failure this may be a record truncated at
+      // the window end, so roll the decoder's name table back and retry
+      // with more data before declaring the stream malformed.
+      size_t SavedNames = Decoder.nameCount();
+      ByteReader R(Buf.data() + Start, End - Start);
+      if (Decoder.decode(R, Out)) {
+        Start += R.position();
+        Consumed += R.position();
+        return true;
+      }
+      Decoder.truncateNames(SavedNames);
+    }
+    if (Eof) {
+      if (Start != End)
+        Malformed = true; // trailing undecodable bytes
+      return false;
+    }
+    refill();
+  }
+}
+
+bool vyrd::loadLogFile(const std::string &Path, std::vector<Action> &Out) {
+  LogFileReader Reader(Path);
+  if (!Reader.valid())
+    return false;
+  Action A;
+  while (Reader.next(A))
+    Out.push_back(std::move(A));
+  return !Reader.malformed();
 }

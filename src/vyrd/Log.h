@@ -19,12 +19,12 @@
 #define VYRD_LOG_H
 
 #include "vyrd/Action.h"
+#include "vyrd/Ring.h"
 #include "vyrd/Serialize.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
-#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -123,7 +123,7 @@ public:
 private:
   mutable std::mutex M;
   std::condition_variable CV;
-  std::deque<Action> Q;
+  ChunkQueue<Action> Q; // chunk-recycling: see Ring.h
   uint64_t NextSeq = 0;
   bool Closed = false;
 };
@@ -157,13 +157,53 @@ private:
 
   mutable std::mutex M;
   std::condition_variable CV;
-  std::deque<Action> Tail; // decoded tail for the online reader
+  ChunkQueue<Action> Tail; // decoded tail for the online reader
   ActionEncoder Encoder;
   ByteWriter Scratch;
   uint64_t NextSeq = 0;
   uint64_t Bytes = 0;
   bool Closed = false;
   bool RetainTail = true;
+};
+
+/// Streaming reader over a log file produced by FileLog/BufferedLog:
+/// decodes one record at a time out of a bounded read window, so multi-GB
+/// logs are processed in O(window) memory. loadLogFile and
+/// `vyrd-logdump --stats` are built on it; the window only grows when a
+/// single record is larger than it.
+class LogFileReader {
+public:
+  explicit LogFileReader(const std::string &Path);
+  ~LogFileReader();
+
+  LogFileReader(const LogFileReader &) = delete;
+  LogFileReader &operator=(const LogFileReader &) = delete;
+
+  /// False when the file could not be opened or its header is malformed.
+  bool valid() const { return File && !Malformed; }
+  /// The stream's format version (meaningful while valid()).
+  uint32_t version() const { return Version; }
+  /// True once undecodable (or mid-record truncated) bytes were hit.
+  bool malformed() const { return Malformed; }
+  /// Encoded bytes consumed so far (progress reporting on huge logs).
+  uint64_t bytesConsumed() const { return Consumed; }
+
+  /// Decodes the next record into \p Out. \returns false at clean end of
+  /// file or on malformed input — distinguish via malformed().
+  bool next(Action &Out);
+
+private:
+  void refill();
+
+  std::FILE *File = nullptr;
+  ActionDecoder Decoder;
+  std::vector<uint8_t> Buf; ///< undecoded window is [Start, End)
+  size_t Start = 0;
+  size_t End = 0;
+  uint64_t Consumed = 0;
+  uint32_t Version = 1;
+  bool Eof = false;
+  bool Malformed = false;
 };
 
 /// Decodes all records of a log file previously produced by FileLog.

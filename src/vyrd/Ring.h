@@ -1,0 +1,204 @@
+//===- Ring.h - Storage-recycling FIFO ring queue ---------------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FIFO queue over a power-of-two circular buffer whose slots survive
+/// pop_front: a popped element is not destroyed, so any heap storage it
+/// owns (a spilled ValueList, a long string) is reused when the slot is
+/// next assigned. std::deque is the wrong tool for the pipeline's
+/// Action-sized elements: at ~216 bytes libstdc++ fits two per 512-byte
+/// block, so steady push/pop traffic frees and reallocates a block every
+/// other element. RingQueue reaches steady state after at most
+/// log2(max-depth) capacity doublings and then never touches the heap.
+///
+/// Holding popped slots alive is a deliberate trade: memory stays bounded
+/// by capacity x payload, but an element with observable ownership (e.g.
+/// a shared_ptr keeping a pooled object pinned) must be reset by the
+/// caller before pop_front if the reference itself has side effects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_RING_H
+#define VYRD_RING_H
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace vyrd {
+
+template <typename T> class RingQueue {
+public:
+  bool empty() const { return Count == 0; }
+  size_t size() const { return Count; }
+
+  T &front() {
+    assert(Count && "front() on empty ring");
+    return Slots[Head];
+  }
+  const T &front() const {
+    assert(Count && "front() on empty ring");
+    return Slots[Head];
+  }
+
+  /// Logical indexing: [0] is the front, [size()-1] the back.
+  T &operator[](size_t I) { return Slots[(Head + I) & (Slots.size() - 1)]; }
+  const T &operator[](size_t I) const {
+    return Slots[(Head + I) & (Slots.size() - 1)];
+  }
+
+  void push_back(T V) {
+    if (Count == Slots.size())
+      grow();
+    Slots[(Head + Count) & (Slots.size() - 1)] = std::move(V);
+    ++Count;
+  }
+
+  /// Advances past the front element without destroying it; the slot's
+  /// storage is recycled by the next push into it.
+  void pop_front() {
+    assert(Count && "pop_front() on empty ring");
+    Head = (Head + 1) & (Slots.size() - 1);
+    --Count;
+  }
+
+  void clear() {
+    Head = 0;
+    Count = 0;
+  }
+
+private:
+  void grow() {
+    size_t NewCap = Slots.empty() ? 16 : Slots.size() * 2;
+    std::vector<T> Fresh(NewCap);
+    for (size_t I = 0; I < Count; ++I)
+      Fresh[I] = std::move(Slots[(Head + I) & (Slots.size() - 1)]);
+    Slots.swap(Fresh);
+    Head = 0;
+  }
+
+  std::vector<T> Slots; // power-of-two capacity
+  size_t Head = 0;
+  size_t Count = 0;
+};
+
+/// An unbounded FIFO of fixed-size chunks with a chunk freelist. Where
+/// RingQueue fits bounded windows (its contiguous buffer only ever
+/// grows, and growing copies every element), ChunkQueue is for queues
+/// whose depth swings with backlog: a drained chunk goes to the freelist
+/// and is handed back to the producer still warm, so the small-depth
+/// steady state cycles through the same few cache-hot chunks with zero
+/// heap traffic, while a deep burst degrades gracefully to one
+/// allocation per ChunkElems elements (never a whole-queue copy).
+/// Slots are never destroyed on pop — like RingQueue, a recycled slot's
+/// heap storage (a spilled ValueList, a string) is reused by the next
+/// element assigned into it, with the same caveat about resettable
+/// ownership (see the file comment).
+template <typename T> class ChunkQueue {
+  static constexpr size_t ChunkElems = sizeof(T) >= 128 ? 32 : 256;
+  static constexpr size_t MaxFreeChunks = 8;
+  struct Chunk {
+    T Elems[ChunkElems];
+    Chunk *Next = nullptr;
+  };
+
+public:
+  ChunkQueue() = default;
+  ChunkQueue(const ChunkQueue &) = delete;
+  ChunkQueue &operator=(const ChunkQueue &) = delete;
+  ~ChunkQueue() {
+    releaseChain(HeadC);
+    releaseChain(FreeC);
+  }
+
+  bool empty() const { return Count == 0; }
+  size_t size() const { return Count; }
+
+  T &front() {
+    assert(Count && "front() on empty queue");
+    return HeadC->Elems[HeadI];
+  }
+
+  void push_back(T V) {
+    if (!TailC || TailI == ChunkElems) {
+      Chunk *C = takeChunk();
+      if (TailC)
+        TailC->Next = C;
+      else {
+        HeadC = C;
+        HeadI = 0;
+      }
+      TailC = C;
+      TailI = 0;
+    }
+    TailC->Elems[TailI++] = std::move(V); // slot storage recycled
+    ++Count;
+  }
+
+  void pop_front() {
+    assert(Count && "pop_front() on empty queue");
+    ++HeadI;
+    --Count;
+    if (HeadI == ChunkElems) {
+      Chunk *C = HeadC;
+      HeadC = C->Next;
+      HeadI = 0;
+      if (!HeadC) {
+        TailC = nullptr;
+        TailI = ChunkElems;
+      }
+      recycleChunk(C);
+    } else if (Count == 0) {
+      // Single partially-consumed chunk: rewind so the next burst reuses
+      // the same hot slots from its start.
+      HeadI = 0;
+      TailI = 0;
+    }
+  }
+
+private:
+  Chunk *takeChunk() {
+    if (FreeC) {
+      Chunk *C = FreeC;
+      FreeC = C->Next;
+      --FreeCount;
+      C->Next = nullptr;
+      return C;
+    }
+    return new Chunk();
+  }
+
+  void recycleChunk(Chunk *C) {
+    if (FreeCount >= MaxFreeChunks) {
+      delete C;
+      return;
+    }
+    C->Next = FreeC;
+    FreeC = C;
+    ++FreeCount;
+  }
+
+  static void releaseChain(Chunk *C) {
+    while (C) {
+      Chunk *Next = C->Next;
+      delete C;
+      C = Next;
+    }
+  }
+
+  Chunk *HeadC = nullptr;
+  Chunk *TailC = nullptr;
+  Chunk *FreeC = nullptr; // freelist of drained chunks
+  size_t HeadI = 0;
+  size_t TailI = ChunkElems;
+  size_t Count = 0;
+  size_t FreeCount = 0;
+};
+
+} // namespace vyrd
+
+#endif // VYRD_RING_H

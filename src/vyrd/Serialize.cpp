@@ -183,7 +183,7 @@ void ActionEncoder::encode(const Action &A, ByteWriter &W) {
   for (const Value &V : A.Args)
     encodeValue(V, W);
   encodeValue(A.Ret, W);
-  encodeValue(A.Val, W);
+  encodeValue(A.Ret, W);
 }
 
 //===----------------------------------------------------------------------===//
@@ -261,6 +261,6 @@ bool ActionDecoder::decode(ByteReader &R, Action &Out) {
   for (uint64_t I = 0; I < NArgs; ++I)
     Out.Args.push_back(decodeValue(R));
   Out.Ret = decodeValue(R);
-  Out.Val = decodeValue(R);
+  Out.Ret = decodeValue(R);
   return R.ok();
 }

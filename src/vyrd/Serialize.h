@@ -129,6 +129,19 @@ public:
   /// end of stream (distinguish via \p R.atEnd()).
   bool decode(ByteReader &R, Action &Out);
 
+  /// Streaming-reader support. A decode() that fails because the record
+  /// is truncated at the end of a read window may already have consumed
+  /// name definitions; since definitions must arrive with strictly
+  /// sequential file-local ids, retrying the same bytes against the grown
+  /// table would be rejected. Callers snapshot nameCount() before a
+  /// speculative decode and truncateNames() back before the retry
+  /// (re-interning the same strings is idempotent). See LogFileReader.
+  size_t nameCount() const { return Names.size(); }
+  void truncateNames(size_t N) {
+    if (N < Names.size())
+      Names.resize(N);
+  }
+
 private:
   Name decodeName(ByteReader &R);
   Value decodeValue(ByteReader &R);

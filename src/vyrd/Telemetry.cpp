@@ -45,6 +45,10 @@ const char *vyrd::counterName(Counter C) {
     return "lag_samples";
   case Counter::C_WatchdogStalls:
     return "watchdog_stalls";
+  case Counter::C_ObsMemoHits:
+    return "obs_memo_hits";
+  case Counter::C_ObsMemoMisses:
+    return "obs_memo_misses";
   case Counter::NumCounters:
     break;
   }

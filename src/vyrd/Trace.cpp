@@ -104,7 +104,7 @@ void TraceRecorder::noteAction(const Action &A) {
   }
   case ActionKind::AK_Write:
     E.Ph = 'i';
-    E.Name = std::string(A.Var.str()) + " := " + A.Val.str();
+    E.Name = std::string(A.Var.str()) + " := " + A.Ret.str();
     break;
   case ActionKind::AK_BlockBegin:
     E.Ph = 'B';

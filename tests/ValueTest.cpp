@@ -124,3 +124,127 @@ TEST(ValueTest, LongBytesRenderingTruncates) {
   EXPECT_NE(S.find("bytes[20]:"), std::string::npos);
   EXPECT_NE(S.find(".."), std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// ValueList small-buffer behavior
+//===----------------------------------------------------------------------===//
+
+TEST(ValueListTest, SmallListsStayInline) {
+  ValueList L;
+  EXPECT_TRUE(L.inlined());
+  EXPECT_TRUE(L.empty());
+  for (size_t I = 0; I < ValueList::InlineCapacity; ++I)
+    L.push_back(Value(int64_t(I)));
+  EXPECT_TRUE(L.inlined()) << "InlineCapacity values must not spill";
+  EXPECT_EQ(L.size(), ValueList::InlineCapacity);
+  for (size_t I = 0; I < L.size(); ++I)
+    EXPECT_EQ(L[I].asInt(), int64_t(I));
+}
+
+TEST(ValueListTest, SpillsBeyondInlineCapacity) {
+  ValueList L;
+  for (int I = 0; I < 7; ++I)
+    L.push_back(Value(I));
+  EXPECT_FALSE(L.inlined());
+  EXPECT_EQ(L.size(), 7u);
+  for (int I = 0; I < 7; ++I)
+    EXPECT_EQ(L[I].asInt(), I);
+  EXPECT_EQ(L.front().asInt(), 0);
+  EXPECT_EQ(L.back().asInt(), 6);
+}
+
+TEST(ValueListTest, ClearKeepsStorage) {
+  ValueList L;
+  for (int I = 0; I < 7; ++I)
+    L.push_back(Value(std::string("payload-") + std::to_string(I)));
+  size_t Cap = L.capacity();
+  L.clear();
+  EXPECT_TRUE(L.empty());
+  EXPECT_EQ(L.capacity(), Cap) << "clear must keep a spilled buffer";
+  for (int I = 0; I < 7; ++I)
+    L.push_back(Value(I));
+  EXPECT_EQ(L.capacity(), Cap) << "refill within capacity must not grow";
+  EXPECT_EQ(L.size(), 7u);
+}
+
+TEST(ValueListTest, CopyPreservesContents) {
+  ValueList Small = {Value(1), Value("two")};
+  ValueList SmallCopy(Small);
+  EXPECT_EQ(SmallCopy, Small);
+  EXPECT_TRUE(SmallCopy.inlined());
+
+  ValueList Big;
+  for (int I = 0; I < 9; ++I)
+    Big.push_back(Value(I));
+  ValueList BigCopy(Big);
+  EXPECT_EQ(BigCopy, Big);
+
+  // Copy-assign a small list over a spilled one: the recycled buffer must
+  // not leave stale elements visible.
+  BigCopy = Small;
+  EXPECT_EQ(BigCopy, Small);
+  EXPECT_EQ(BigCopy.size(), 2u);
+}
+
+TEST(ValueListTest, MoveAdoptsHeapBuffer) {
+  ValueList Big;
+  for (int I = 0; I < 9; ++I)
+    Big.push_back(Value(std::string("elem-") + std::to_string(I)));
+  ValueList Expect(Big);
+
+  // Move into a list whose inline slots are in use: the payloads must be
+  // released and the spilled buffer adopted wholesale.
+  ValueList Dst = {Value("stale-a"), Value("stale-b")};
+  Dst = std::move(Big);
+  EXPECT_EQ(Dst, Expect);
+  EXPECT_FALSE(Dst.inlined());
+  EXPECT_TRUE(Big.empty()); // NOLINT: moved-from is specified empty
+}
+
+TEST(ValueListTest, MoveOfInlineListKeepsDestinationStorage) {
+  ValueList Dst;
+  for (int I = 0; I < 9; ++I)
+    Dst.push_back(Value(I));
+  size_t Cap = Dst.capacity();
+  ValueList Src = {Value(7), Value(8)};
+  Dst = std::move(Src);
+  EXPECT_EQ(Dst.size(), 2u);
+  EXPECT_EQ(Dst[0].asInt(), 7);
+  EXPECT_EQ(Dst[1].asInt(), 8);
+  EXPECT_EQ(Dst.capacity(), Cap)
+      << "moving an inline list must reuse the recycled heap buffer";
+}
+
+TEST(ValueListTest, EqualityAndHash) {
+  ValueList A = {Value(1), Value("x")};
+  ValueList B = {Value(1), Value("x")};
+  ValueList C = {Value("x"), Value(1)};
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C) << "order matters";
+  EXPECT_EQ(A.hash(), B.hash());
+  EXPECT_NE(A.hash(), C.hash()) << "hash must be order-sensitive";
+
+  // Inline vs spilled representation of the same contents must agree.
+  ValueList Spilled;
+  for (int I = 0; I < 5; ++I)
+    Spilled.push_back(Value(I));
+  for (int I = 0; I < 3; ++I)
+    Spilled.pop_back();
+  ValueList Inline = {Value(0), Value(1)};
+  EXPECT_EQ(Spilled, Inline);
+  EXPECT_EQ(Spilled.hash(), Inline.hash());
+
+  // Length participates: a prefix must not collide.
+  ValueList Prefix = {Value(0)};
+  EXPECT_NE(Prefix.hash(), Inline.hash());
+  EXPECT_NE(ValueList().hash(), Prefix.hash());
+}
+
+TEST(ValueListTest, PopBackReleasesPayload) {
+  ValueList L = {Value("keep"), Value("drop")};
+  L.pop_back();
+  EXPECT_EQ(L.size(), 1u);
+  EXPECT_EQ(L[0].asStr(), "keep");
+  L.push_back(Value(3));
+  EXPECT_EQ(L.back().asInt(), 3) << "recycled slot must read as the new value";
+}

@@ -21,6 +21,13 @@
 // Reads both current (v2, "VYRD" header + per-record ObjectId) and legacy
 // headerless v1 files; v1 records all belong to object 0.
 //
+// The whole tool is one streaming decode pass (LogFileReader): records are
+// decoded into a reused buffer and counted or printed immediately, so
+// multi-GB logs run in constant memory. --stats counts into dense arrays
+// keyed by ActionKind / interned Name id / thread / object — the same
+// interned-name table the checker uses — and materializes strings only
+// when the summary is rendered, never per record.
+//
 //===----------------------------------------------------------------------===//
 
 #include "vyrd/Log.h"
@@ -28,8 +35,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <string>
+#include <vector>
 
 using namespace vyrd;
 
@@ -43,17 +50,121 @@ int usage(const char *Argv0) {
   return 2;
 }
 
-/// Renders a string-keyed count map as a JSON object.
-std::string countsJson(const std::map<std::string, uint64_t> &Counts) {
+/// Dense counter array indexed by a small id (thread, object, name id).
+/// Grown on demand; ids are dense in every producer, so this stays small.
+class DenseCounts {
+public:
+  void bump(size_t Id) {
+    if (Id >= Counts.size())
+      Counts.resize(Id + 1, 0);
+    ++Counts[Id];
+  }
+  size_t size() const { return Counts.size(); }
+  uint64_t operator[](size_t Id) const {
+    return Id < Counts.size() ? Counts[Id] : 0;
+  }
+
+private:
+  std::vector<uint64_t> Counts;
+};
+
+/// Streaming --stats accumulators: one O(1) bump per record, no strings.
+struct LogStats {
+  uint64_t Records = 0;
+  uint64_t ByKind[7] = {};
+  DenseCounts ByMethod; ///< indexed by interned Name id (AK_Call only)
+  DenseCounts ByThread;
+  DenseCounts ByObject;
+
+  void add(const Action &A) {
+    ++Records;
+    ++ByKind[static_cast<size_t>(A.Kind)];
+    if (A.Kind == ActionKind::AK_Call)
+      ByMethod.bump(A.Method.id());
+    ByThread.bump(A.Tid);
+    ByObject.bump(A.Obj);
+  }
+};
+
+/// Renders the non-zero entries of \p C as a JSON object, keys produced
+/// by \p Key.
+template <typename KeyFn>
+std::string countsJson(const DenseCounts &C, KeyFn Key) {
   std::string Out = "{";
   bool First = true;
-  for (const auto &[K, N] : Counts) {
+  for (size_t I = 0; I < C.size(); ++I) {
+    if (!C[I])
+      continue;
     if (!First)
       Out += ",";
     First = false;
-    Out += "\"" + K + "\":" + std::to_string(N);
+    Out += "\"" + Key(I) + "\":" + std::to_string(C[I]);
   }
   return Out + "}";
+}
+
+int printStats(const LogStats &S, bool Json) {
+  // Threads/objects are counted as "max id + 1" (ids are dense), matching
+  // how the harness and the verifier number them.
+  uint64_t Threads = S.ByThread.size();
+  uint64_t NumObjects = S.ByObject.size();
+  if (Json) {
+    std::string ByKind = "{";
+    bool First = true;
+    for (size_t K = 0; K < 7; ++K) {
+      if (!S.ByKind[K])
+        continue;
+      if (!First)
+        ByKind += ",";
+      First = false;
+      ByKind += std::string("\"") +
+                actionKindName(static_cast<ActionKind>(K)) +
+                "\":" + std::to_string(S.ByKind[K]);
+    }
+    ByKind += "}";
+    std::string ByMethod = countsJson(
+        S.ByMethod, [](size_t I) {
+          return std::string(Name(static_cast<uint32_t>(I)).str());
+        });
+    auto Numeric = [](size_t I) { return std::to_string(I); };
+    std::printf("{\"records\":%llu,\"threads\":%llu,\"objects\":%llu,"
+                "\"by_kind\":%s,\"method_calls\":%s,\"by_thread\":%s,"
+                "\"by_object\":%s}\n",
+                static_cast<unsigned long long>(S.Records),
+                static_cast<unsigned long long>(Threads),
+                static_cast<unsigned long long>(NumObjects),
+                ByKind.c_str(), ByMethod.c_str(),
+                countsJson(S.ByThread, Numeric).c_str(),
+                countsJson(S.ByObject, Numeric).c_str());
+    return 0;
+  }
+  std::printf("%llu records, %llu thread(s), %llu object(s)\n",
+              static_cast<unsigned long long>(S.Records),
+              static_cast<unsigned long long>(Threads),
+              static_cast<unsigned long long>(NumObjects));
+  std::printf("\nby kind:\n");
+  for (size_t K = 0; K < 7; ++K)
+    if (S.ByKind[K])
+      std::printf("  %-12s %10llu\n",
+                  actionKindName(static_cast<ActionKind>(K)),
+                  static_cast<unsigned long long>(S.ByKind[K]));
+  std::printf("\nmethod calls:\n");
+  for (size_t I = 0; I < S.ByMethod.size(); ++I)
+    if (S.ByMethod[I])
+      std::printf("  %-24s %10llu\n",
+                  std::string(Name(static_cast<uint32_t>(I)).str()).c_str(),
+                  static_cast<unsigned long long>(S.ByMethod[I]));
+  std::printf("\nby thread:\n");
+  for (size_t T = 0; T < S.ByThread.size(); ++T)
+    if (S.ByThread[T])
+      std::printf("  t%-11llu %10llu\n", static_cast<unsigned long long>(T),
+                  static_cast<unsigned long long>(S.ByThread[T]));
+  std::printf("\nby object:\n");
+  for (size_t O = 0; O < S.ByObject.size(); ++O)
+    if (S.ByObject[O])
+      std::printf("  o%-11llu %10llu\n", static_cast<unsigned long long>(O),
+                  static_cast<unsigned long long>(S.ByObject[O]));
+  return 0;
 }
 
 } // namespace
@@ -89,74 +200,21 @@ int main(int Argc, char **Argv) {
   if (Path.empty())
     return usage(Argv[0]);
 
-  std::vector<Action> Log;
-  if (!loadLogFile(Path, Log)) {
+  LogFileReader Reader(Path);
+  if (!Reader.valid()) {
     std::fprintf(stderr, "error: cannot read log file '%s'\n",
                  Path.c_str());
     return 1;
   }
 
-  if (Stats) {
-    std::map<std::string, uint64_t> ByKind;
-    std::map<std::string, uint64_t> ByMethod;
-    std::map<uint64_t, uint64_t> ByThread;
-    std::map<uint64_t, uint64_t> ByObject;
-    uint64_t Threads = 0;
-    uint64_t NumObjects = 0;
-    for (const Action &A : Log) {
-      ++ByKind[actionKindName(A.Kind)];
-      if (A.Kind == ActionKind::AK_Call)
-        ++ByMethod[std::string(A.Method.str())];
-      ++ByThread[A.Tid];
-      ++ByObject[A.Obj];
-      if (A.Tid + 1 > Threads)
-        Threads = A.Tid + 1;
-      if (A.Obj + 1 > NumObjects)
-        NumObjects = A.Obj + 1;
-    }
-    if (Json) {
-      std::map<std::string, uint64_t> ByThreadStr;
-      for (const auto &[T, N] : ByThread)
-        ByThreadStr[std::to_string(T)] = N;
-      std::map<std::string, uint64_t> ByObjectStr;
-      for (const auto &[O, N] : ByObject)
-        ByObjectStr[std::to_string(O)] = N;
-      std::printf("{\"records\":%zu,\"threads\":%llu,\"objects\":%llu,"
-                  "\"by_kind\":%s,\"method_calls\":%s,\"by_thread\":%s,"
-                  "\"by_object\":%s}\n",
-                  Log.size(), static_cast<unsigned long long>(Threads),
-                  static_cast<unsigned long long>(NumObjects),
-                  countsJson(ByKind).c_str(), countsJson(ByMethod).c_str(),
-                  countsJson(ByThreadStr).c_str(),
-                  countsJson(ByObjectStr).c_str());
-      return 0;
-    }
-    std::printf("%zu records, %llu thread(s), %llu object(s)\n", Log.size(),
-                static_cast<unsigned long long>(Threads),
-                static_cast<unsigned long long>(NumObjects));
-    std::printf("\nby kind:\n");
-    for (const auto &[K, N] : ByKind)
-      std::printf("  %-12s %10llu\n", K.c_str(),
-                  static_cast<unsigned long long>(N));
-    std::printf("\nmethod calls:\n");
-    for (const auto &[M, N] : ByMethod)
-      std::printf("  %-24s %10llu\n", M.c_str(),
-                  static_cast<unsigned long long>(N));
-    std::printf("\nby thread:\n");
-    for (const auto &[T, N] : ByThread)
-      std::printf("  t%-11llu %10llu\n",
-                  static_cast<unsigned long long>(T),
-                  static_cast<unsigned long long>(N));
-    std::printf("\nby object:\n");
-    for (const auto &[O, N] : ByObject)
-      std::printf("  o%-11llu %10llu\n",
-                  static_cast<unsigned long long>(O),
-                  static_cast<unsigned long long>(N));
-    return 0;
-  }
-
+  LogStats S;
   long Printed = 0;
-  for (const Action &A : Log) {
+  Action A;
+  while (Reader.next(A)) {
+    if (Stats) {
+      S.add(A);
+      continue;
+    }
     if (Tid >= 0 && A.Tid != static_cast<ThreadId>(Tid))
       continue;
     if (Obj >= 0 && A.Obj != static_cast<ObjectId>(Obj))
@@ -167,5 +225,13 @@ int main(int Argc, char **Argv) {
     if (Limit >= 0 && ++Printed >= Limit)
       break;
   }
+  if (Reader.malformed()) {
+    std::fprintf(stderr, "error: cannot read log file '%s'\n",
+                 Path.c_str());
+    return 1;
+  }
+
+  if (Stats)
+    return printStats(S, Json);
   return 0;
 }
