@@ -455,9 +455,7 @@ void RefinementChecker::retryFailedMutators(uint64_t Seq) {
     Stats.SpecNanos += telemetryNowNanos() - T0;
 }
 
-RefinementChecker::MemoSlot &
-RefinementChecker::memoSlotFor(Name Method, uint64_t ArgsHash,
-                               uint64_t RetHash) {
+RefinementChecker::MemoSlot &RefinementChecker::memoSlotFor(const Exec &X) {
   if (ObsMemo.empty())
     ObsMemo.resize(256);
   // Bound the table: a workload with unbounded distinct signatures would
@@ -469,12 +467,15 @@ RefinementChecker::memoSlotFor(Name Method, uint64_t ArgsHash,
     growMemo(ObsMemo.size() * 2);
   }
   size_t Mask = ObsMemo.size() - 1;
-  size_t I = static_cast<size_t>(ArgsHash ^ (RetHash * 0x9e3779b9) ^
-                                 (uint64_t(Method.id()) << 32)) &
+  size_t I = static_cast<size_t>(X.ArgsHash ^ (X.RetHash * 0x9e3779b9) ^
+                                 (uint64_t(X.Method.id()) << 32)) &
              Mask;
+  // The hashes route the probe; occupancy is decided by equality of the
+  // stored signature, so colliding signatures occupy distinct slots.
   while (ObsMemo[I].Used &&
-         !(ObsMemo[I].Method == Method && ObsMemo[I].ArgsHash == ArgsHash &&
-           ObsMemo[I].RetHash == RetHash))
+         !(ObsMemo[I].Method == X.Method && ObsMemo[I].ArgsHash == X.ArgsHash &&
+           ObsMemo[I].RetHash == X.RetHash && ObsMemo[I].Args == X.Args &&
+           ObsMemo[I].Ret == X.Ret))
     I = (I + 1) & Mask;
   return ObsMemo[I];
 }
@@ -484,7 +485,7 @@ void RefinementChecker::growMemo(size_t NewSlots) {
   Old.swap(ObsMemo);
   ObsMemo.resize(NewSlots);
   size_t Mask = NewSlots - 1;
-  for (const MemoSlot &S : Old) {
+  for (MemoSlot &S : Old) {
     if (!S.Used)
       continue;
     size_t I = static_cast<size_t>(S.ArgsHash ^ (S.RetHash * 0x9e3779b9) ^
@@ -492,7 +493,7 @@ void RefinementChecker::growMemo(size_t NewSlots) {
                Mask;
     while (ObsMemo[I].Used)
       I = (I + 1) & Mask;
-    ObsMemo[I] = S;
+    ObsMemo[I] = std::move(S);
   }
 }
 
@@ -500,7 +501,7 @@ bool RefinementChecker::observerAllowed(Exec &X) {
   X.LastEvalVersion = SpecVersion;
   if (!Config.MemoizeObservers)
     return TheSpec.returnAllowed(X.Method, X.Args, X.Ret);
-  MemoSlot &E = memoSlotFor(X.Method, X.ArgsHash, X.RetHash);
+  MemoSlot &E = memoSlotFor(X);
   if (E.Used && E.Version == SpecVersion) {
     ++Stats.ObsMemoHits;
     return E.Allowed;
@@ -509,6 +510,8 @@ bool RefinementChecker::observerAllowed(Exec &X) {
   if (!E.Used) {
     E.Used = true;
     E.Method = X.Method;
+    E.Args = X.Args;
+    E.Ret = X.Ret;
     E.ArgsHash = X.ArgsHash;
     E.RetHash = X.RetHash;
     ++ObsMemoUsed;

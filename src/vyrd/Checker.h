@@ -89,9 +89,11 @@ struct CheckerConfig {
   /// transition, and `returnAllowed` results are cached per
   /// (version, method, args, ret) signature, so N open observers with the
   /// same signature cost one spec call per state and no observer is
-  /// re-asked while the state is unchanged. Semantically invisible (the
-  /// spec is deterministic and returnAllowed is const); switch off for
-  /// A/B benches and belt-and-braces audit runs.
+  /// re-asked while the state is unchanged. Semantically invisible: the
+  /// spec is deterministic, returnAllowed is const, and memo entries
+  /// store the full (Args, Ret) signature and are matched by *equality*
+  /// (the hashes only route table probing), so a hash collision cannot
+  /// alias two signatures. Switch off for A/B benches and audit runs.
   bool MemoizeObservers = true;
   /// Upper bound on distinct signatures the observer memo table holds;
   /// the table is reset when it would exceed this (bounds memory on
@@ -287,16 +289,23 @@ private:
   /// version moves on; stale entries are overwritten in place. Stored as
   /// an open-addressing (linear-probe, power-of-two) slot array rather
   /// than a node-based map so steady-state misses never touch the heap:
-  /// the only allocations are the rare capacity doublings during warmup.
+  /// the only allocations are the rare capacity doublings during warmup
+  /// (plus any string/bytes payload copied when a *new* signature is
+  /// inserted — inline int/bool signatures, the common case, copy free).
+  /// A slot owns a copy of the actual Args/Ret: probing routes on the
+  /// hashes but a hit requires full equality, so a 128-bit hash collision
+  /// degrades to an extra spec call, never to a wrong cached verdict.
   struct MemoSlot {
     Name Method;
+    ValueList Args;
+    Value Ret;
     uint64_t ArgsHash = 0;
     uint64_t RetHash = 0;
     uint64_t Version = ~uint64_t(0);
     bool Used = false;
     bool Allowed = false;
   };
-  MemoSlot &memoSlotFor(Name Method, uint64_t ArgsHash, uint64_t RetHash);
+  MemoSlot &memoSlotFor(const Exec &X);
   void growMemo(size_t NewSlots);
   std::vector<MemoSlot> ObsMemo;
   size_t ObsMemoUsed = 0;

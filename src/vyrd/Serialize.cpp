@@ -183,7 +183,6 @@ void ActionEncoder::encode(const Action &A, ByteWriter &W) {
   for (const Value &V : A.Args)
     encodeValue(V, W);
   encodeValue(A.Ret, W);
-  encodeValue(A.Ret, W);
 }
 
 //===----------------------------------------------------------------------===//
@@ -260,7 +259,16 @@ bool ActionDecoder::decode(ByteReader &R, Action &Out) {
   Out.Args.reserve(NArgs);
   for (uint64_t I = 0; I < NArgs; ++I)
     Out.Args.push_back(decodeValue(R));
-  Out.Ret = decodeValue(R);
-  Out.Ret = decodeValue(R);
+  if (Version >= 3) {
+    Out.Ret = decodeValue(R);
+  } else {
+    // v1/v2 carried two value slots, (Ret, Val): the return value in the
+    // first, the written value in the second, at most one non-null. Map
+    // the pair onto the merged Action::Ret by record kind.
+    Value LegacyRet = decodeValue(R);
+    Value LegacyVal = decodeValue(R);
+    Out.Ret = Out.Kind == ActionKind::AK_Write ? std::move(LegacyVal)
+                                               : std::move(LegacyRet);
+  }
   return R.ok();
 }

@@ -9,7 +9,7 @@
 /// the role the .NET binary object serializer played in the original tool
 /// (Sec. 6.1): records are restored exactly as they were saved at runtime.
 ///
-/// Format (v2): a 5-byte header — the magic bytes "VYRD" followed by a
+/// Format (v3): a 5-byte header — the magic bytes "VYRD" followed by a
 /// varint format version — then a stream of records. Each record starts
 /// with a tag byte: `0xFF` introduces a name definition (varint file-local
 /// id + string); any other tag is an ActionKind and is followed by the
@@ -20,8 +20,13 @@
 /// Version history (see docs/LOGFORMAT.md):
 ///   v1 — no header, records start at byte 0, no ObjectId field.
 ///   v2 — "VYRD" header; each record carries a varint ObjectId after Tid.
-/// v1 files remain readable: 'V' (0x56) is not a valid v1 tag byte, so a
-/// reader can sniff the magic and fall back to the headerless v1 layout.
+///   v3 — one value slot per record instead of v1/v2's two (Ret, Val):
+///        no record kind uses both, so the pair wasted a null byte per
+///        record. The decoder maps a legacy pair onto the merged
+///        Action::Ret by kind (Val for writes, Ret otherwise).
+/// v1/v2 files remain readable: 'V' (0x56) is not a valid v1 tag byte, so
+/// a reader can sniff the magic and fall back to the headerless v1
+/// layout, and the header version selects the two-slot decode path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,7 +42,7 @@
 namespace vyrd {
 
 /// Current version of the on-disk log format.
-constexpr uint32_t LogFormatVersion = 2;
+constexpr uint32_t LogFormatVersion = 3;
 
 /// Magic bytes opening every log file from v2 on. The first byte, 'V'
 /// (0x56), is neither the name-definition tag (0xFF) nor a valid
@@ -47,7 +52,7 @@ constexpr uint8_t LogMagic[4] = {'V', 'Y', 'R', 'D'};
 class ByteWriter;
 class ByteReader;
 
-/// Appends the v2 file header (magic + current format version) to \p W.
+/// Appends the file header (magic + current format version) to \p W.
 /// Log backends call this once, before the first record.
 void writeLogHeader(ByteWriter &W);
 

@@ -157,7 +157,6 @@ TEST(SerializeTest, StreamOfMixedActionsRoundTrips) {
     EXPECT_EQ(Got.Method, Expected.Method);
     EXPECT_EQ(Got.Var, Expected.Var);
     EXPECT_EQ(Got.Ret, Expected.Ret);
-    EXPECT_EQ(Got.Ret, Expected.Ret);
     ASSERT_EQ(Got.Args.size(), Expected.Args.size());
     for (size_t I = 0; I < Got.Args.size(); ++I)
       EXPECT_EQ(Got.Args[I], Expected.Args[I]);
@@ -239,21 +238,71 @@ TEST(SerializeTest, V1RecordDecodesWithObjectZero) {
 }
 
 TEST(SerializeTest, SameBytesAsV2MoveTheObjectField) {
-  // The identical byte stream under the current version reads the third
-  // varint as the ObjectId — pinning the exact wire change of v2.
+  // A current-version stream reads the third varint as the ObjectId —
+  // pinning the exact wire change of v2 — and carries a single value
+  // slot — pinning the wire change of v3.
   uint8_t Bytes[] = {
       static_cast<uint8_t>(ActionKind::AK_Commit),
       3,    // Tid
-      5,    // Obj (v2: between Tid and Seq)
+      5,    // Obj (v2+: between Tid and Seq)
       7,    // Seq
       0, 0, 0,
-      static_cast<uint8_t>(ValueKind::VK_Null),
-      static_cast<uint8_t>(ValueKind::VK_Null),
+      static_cast<uint8_t>(ValueKind::VK_Null), // the single v3 value slot
   };
   ByteReader R(Bytes, sizeof(Bytes));
   ActionDecoder Dec; // defaults to the current version
   Action Out;
   ASSERT_TRUE(Dec.decode(R, Out));
+  EXPECT_TRUE(R.atEnd()) << "v3 records carry exactly one value slot";
   EXPECT_EQ(Out.Obj, 5u);
   EXPECT_EQ(Out.Seq, 7u);
+}
+
+TEST(SerializeTest, V2ReturnValueDecodesFromLegacyRetSlot) {
+  // A v2 return record stores its value in the *first* of the two legacy
+  // value slots (Ret), with Null in the second (Val). The merged-field
+  // decoder must surface it in Action::Ret — a regression here silently
+  // nulls every return value of an archived v2 log and corrupts checker
+  // verdicts.
+  uint8_t V2[] = {
+      static_cast<uint8_t>(ActionKind::AK_Return),
+      2,    // Tid
+      0,    // Obj
+      9,    // Seq
+      0, 0, // no method / var
+      0,    // no args
+      static_cast<uint8_t>(ValueKind::VK_Bool), 1, // legacy Ret = true
+      static_cast<uint8_t>(ValueKind::VK_Null),    // legacy Val = null
+  };
+  ByteReader R(V2, sizeof(V2));
+  ActionDecoder Dec;
+  Dec.setVersion(2);
+  Action Out;
+  ASSERT_TRUE(Dec.decode(R, Out));
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_EQ(Out.Kind, ActionKind::AK_Return);
+  EXPECT_EQ(Out.Ret, Value(true));
+}
+
+TEST(SerializeTest, V2WriteValueDecodesFromLegacyValSlot) {
+  // A v2 write record stores its value in the *second* legacy slot (Val),
+  // with Null in the first (Ret).
+  uint8_t V2[] = {
+      static_cast<uint8_t>(ActionKind::AK_Write),
+      2,    // Tid
+      0,    // Obj
+      4,    // Seq
+      0, 0, // no method / var
+      0,    // no args
+      static_cast<uint8_t>(ValueKind::VK_Null),    // legacy Ret = null
+      static_cast<uint8_t>(ValueKind::VK_Int), 42, // legacy Val = 21 zigzag
+  };
+  ByteReader R(V2, sizeof(V2));
+  ActionDecoder Dec;
+  Dec.setVersion(2);
+  Action Out;
+  ASSERT_TRUE(Dec.decode(R, Out));
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_EQ(Out.Kind, ActionKind::AK_Write);
+  EXPECT_EQ(Out.Ret, Value(int64_t(21)));
 }

@@ -18,7 +18,8 @@
 //               counts instead of records
 //   --json      with --stats: emit the summary as one JSON object
 //
-// Reads both current (v2, "VYRD" header + per-record ObjectId) and legacy
+// Reads every log format version: current ("VYRD" header + per-record
+// ObjectId, single value slot), v2 (two value slots), and legacy
 // headerless v1 files; v1 records all belong to object 0.
 //
 // The whole tool is one streaming decode pass (LogFileReader): records are
