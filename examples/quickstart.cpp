@@ -16,6 +16,8 @@
 // With a log-file argument, the final (clean) run records its log there
 // and enables pipeline telemetry, so the report below the verdict shows
 // the metric snapshot and the file can be fed to vyrd-trace / vyrd-check.
+// --segment-bytes N additionally rotates that log into numbered segment
+// files every N bytes (docs/LOGFORMAT.md); the tools walk the chain.
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +31,7 @@
 #include "vyrd/Vyrd.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace vyrd;
 using namespace vyrd::harness;
@@ -71,7 +74,8 @@ static void readmeQuickstart() {
 }
 
 static VerifierReport runOnce(bool Buggy, uint64_t Seed,
-                              const std::string &LogPath = "") {
+                              const std::string &LogPath = "",
+                              uint64_t SegmentBytes = 0) {
   // 1. Build the scenario: instrumented multiset + atomic specification +
   //    replayer + online verification thread, all wired to one log.
   ScenarioOptions SO;
@@ -80,6 +84,12 @@ static VerifierReport runOnce(bool Buggy, uint64_t Seed,
   SO.Buggy = Buggy;
   SO.LogPath = LogPath; // durable log (when set), reusable by the tools
   SO.Telemetry.Enabled = !LogPath.empty(); // docs/OBSERVABILITY.md
+  // Rotate the durable log into numbered segments (docs/LOGFORMAT.md,
+  // "Segmented chains"); the tools walk the chain transparently. Keep
+  // the whole chain: this log exists to be re-read, so checked-prefix
+  // reclamation would defeat the point.
+  SO.Backpressure.SegmentBytes = SegmentBytes;
+  SO.Backpressure.ReclaimSegments = false;
   Scenario S = makeScenario(SO);
 
   // 2. Drive it with the paper's random test harness (Sec. 7.1): several
@@ -103,7 +113,20 @@ static VerifierReport runOnce(bool Buggy, uint64_t Seed,
 }
 
 int main(int Argc, char **Argv) {
-  std::string LogPath = Argc > 1 ? Argv[1] : "";
+  std::string LogPath;
+  uint64_t SegmentBytes = 0;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--segment-bytes" && I + 1 < Argc) {
+      SegmentBytes = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (!Arg.empty() && Arg[0] != '-' && LogPath.empty()) {
+      LogPath = Arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [log-file] [--segment-bytes N]\n", Argv[0]);
+      return 2;
+    }
+  }
   std::printf("== the README snippet (correct multiset, four calls) ==\n");
   readmeQuickstart();
   std::printf("  clean\n\n");
@@ -126,7 +149,7 @@ int main(int Argc, char **Argv) {
   }
 
   std::printf("\n== corrected multiset ==\n");
-  VerifierReport Rep = runOnce(/*Buggy=*/false, 1, LogPath);
+  VerifierReport Rep = runOnce(/*Buggy=*/false, 1, LogPath, SegmentBytes);
   std::printf("  %s", Rep.str().c_str());
   if (!LogPath.empty())
     std::printf("  log recorded to %s (try vyrd-trace / vyrd-check)\n",

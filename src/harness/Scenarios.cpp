@@ -221,6 +221,7 @@ Hooks wireScenario(Scenario &S, const ScenarioOptions &O,
   VC.LogFilePath = O.LogPath;
   if (O.Buffered)
     VC.Backend = LogBackend::LB_Buffered;
+  VC.Backpressure = O.Backpressure;
   auto V = std::make_shared<Verifier>(
       std::move(Spec), ViewLevel ? std::move(Replayer) : nullptr, VC);
   V->start();
@@ -591,6 +592,7 @@ Scenario vyrd::harness::makeCompositeScenario(const ScenarioOptions &O) {
     VC.LogFilePath = O.LogPath;
     if (O.Buffered)
       VC.Backend = LogBackend::LB_Buffered;
+    VC.Backpressure = O.Backpressure;
     auto V = std::make_shared<Verifier>(VC);
     HMul = V->registerObject(
         "multiset", std::make_unique<multiset::MultisetSpec>(),

@@ -106,6 +106,10 @@ struct ScenarioOptions {
   /// inline on the consumption thread, the historical behavior). Ignored
   /// in the offline/log-only modes, where the pool is not applicable.
   unsigned CheckerThreads = 1;
+  /// Bound + admission policy for the pipeline's queues, and segment
+  /// rotation for file-backed logs (see Backpressure.h). Passed through
+  /// to VerifierConfig::Backpressure in the checking modes.
+  BackpressureConfig Backpressure;
 };
 
 /// A ready-to-run verification scenario.

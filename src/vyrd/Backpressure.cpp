@@ -1,0 +1,289 @@
+//===- Backpressure.cpp - Bounded-pipeline admission policies -------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Backpressure.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace vyrd;
+
+const char *vyrd::backpressurePolicyName(BackpressurePolicy P) {
+  switch (P) {
+  case BackpressurePolicy::BP_Block:
+    return "block";
+  case BackpressurePolicy::BP_SpillToDisk:
+    return "spill";
+  case BackpressurePolicy::BP_Shed:
+    return "shed";
+  }
+  return "?";
+}
+
+void BackpressureStats::merge(const BackpressureStats &O) {
+  BlockedAppends += O.BlockedAppends;
+  BlockedNanos += O.BlockedNanos;
+  ShedRecords += O.ShedRecords;
+  SpilledRecords += O.SpilledRecords;
+  PendingRecordsHwm = std::max(PendingRecordsHwm, O.PendingRecordsHwm);
+  TailBytesHwm = std::max(TailBytesHwm, O.TailBytesHwm);
+  SegmentsCreated += O.SegmentsCreated;
+  SegmentsReclaimed += O.SegmentsReclaimed;
+  SegmentsLiveHwm = std::max(SegmentsLiveHwm, O.SegmentsLiveHwm);
+}
+
+bool BackpressureStats::any() const {
+  return BlockedAppends || ShedRecords || SpilledRecords ||
+         PendingRecordsHwm || SegmentsCreated;
+}
+
+/// Heap bytes a Value pins beyond its inline storage. Strings inside the
+/// small-string buffer cost nothing extra.
+static size_t valueHeapBytes(const Value &V) {
+  if (V.isStr()) {
+    const std::string &S = V.asStr();
+    return S.capacity() > sizeof(std::string) ? S.capacity() : 0;
+  }
+  if (V.isBytes())
+    return V.asBytes().capacity();
+  return 0;
+}
+
+size_t vyrd::actionFootprintBytes(const Action &A) {
+  size_t B = sizeof(Action);
+  if (!A.Args.inlined())
+    B += A.Args.capacity() * sizeof(Value);
+  for (const Value &V : A.Args)
+    B += valueHeapBytes(V);
+  B += valueHeapBytes(A.Ret);
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// ShedFilter
+//===----------------------------------------------------------------------===//
+
+bool ShedFilter::shouldShed(const Action &A, bool OverLimit) {
+  uint64_t Key = (static_cast<uint64_t>(A.Obj) << 32) | A.Tid;
+  auto It = OpenWindows.find(Key);
+  if (It != OpenWindows.end()) {
+    // Inside a shed execution: everything this (object, thread) emits up
+    // to the matching return goes down with the call.
+    if (A.Kind == ActionKind::AK_Return)
+      OpenWindows.erase(It);
+    return true;
+  }
+  if (!OverLimit || A.Kind != ActionKind::AK_Call)
+    return false;
+  if (!Classifier || !Classifier(A))
+    return false;
+  OpenWindows.insert(Key);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// SegmentSink
+//===----------------------------------------------------------------------===//
+
+std::string vyrd::logSegmentPath(const std::string &Base, uint64_t Index) {
+  char Suffix[16];
+  std::snprintf(Suffix, sizeof(Suffix), ".%06" PRIu64, Index);
+  return Base + Suffix;
+}
+
+bool vyrd::splitLogSegmentPath(const std::string &Path, std::string &Base,
+                               uint64_t &Index) {
+  if (Path.size() < 8 || Path[Path.size() - 7] != '.')
+    return false;
+  uint64_t N = 0;
+  for (size_t I = Path.size() - 6; I < Path.size(); ++I) {
+    char C = Path[I];
+    if (C < '0' || C > '9')
+      return false;
+    N = N * 10 + static_cast<uint64_t>(C - '0');
+  }
+  if (N == 0)
+    return false; // chain indices are 1-based
+  Base = Path.substr(0, Path.size() - 7);
+  Index = N;
+  return true;
+}
+
+SegmentSink::~SegmentSink() { close(); }
+
+std::string SegmentSink::segmentPathLocked(uint64_t Index) const {
+  return SegmentBytes ? logSegmentPath(Path, Index) : Path;
+}
+
+bool SegmentSink::openSegmentLocked(uint64_t FirstSeq) {
+  std::string P =
+      SegmentBytes ? segmentPathLocked(NextIndex) : Path;
+  File = std::fopen(P.c_str(), "wb");
+  if (!File)
+    return false;
+  // Segments are self-contained: every rotation restarts the
+  // name-interning table, so a segment decodes (and its predecessors
+  // delete) independently.
+  Encoder = ActionEncoder();
+  ByteWriter HW;
+  if (SegmentBytes)
+    writeSegmentHeader(HW, NextIndex, FirstSeq);
+  else
+    writeLogHeader(HW);
+  std::fwrite(HW.buffer().data(), 1, HW.size(), File);
+  TotalBytes += HW.size();
+  CurSegmentBytes = HW.size();
+  Segment S;
+  S.Index = SegmentBytes ? NextIndex : 0;
+  S.FirstSeq = FirstSeq;
+  Segments.push_back(S);
+  ++NextIndex;
+  ++SegmentsCreated;
+  SegmentsLiveHwm = std::max<uint64_t>(SegmentsLiveHwm, Segments.size());
+  return true;
+}
+
+bool SegmentSink::open(const std::string &OutPath, uint64_t SegBytes) {
+  std::lock_guard Lock(M);
+  Path = OutPath;
+  SegmentBytes = SegBytes;
+  Opened = openSegmentLocked(0);
+  return Opened;
+}
+
+bool SegmentSink::valid() const {
+  std::lock_guard Lock(M);
+  return Opened;
+}
+
+void SegmentSink::flushPendingLocked() {
+  if (Pending.size() == 0)
+    return;
+  if (File)
+    std::fwrite(Pending.buffer().data(), 1, Pending.size(), File);
+  Pending.clear();
+}
+
+void SegmentSink::rotateLocked(uint64_t NextFirstSeq) {
+  flushPendingLocked();
+  if (File) {
+    // Flush and close the full segment *before* creating its successor:
+    // chain readers take the successor's existence as proof the
+    // predecessor is complete on disk.
+    std::fflush(File);
+    std::fclose(File);
+    File = nullptr;
+  }
+  if (!Segments.empty())
+    Segments.back().Closed = true;
+  if (!openSegmentLocked(NextFirstSeq))
+    std::fprintf(stderr, "vyrd: cannot open log segment %s\n",
+                 segmentPathLocked(NextIndex).c_str());
+}
+
+void SegmentSink::write(const Action &A) {
+  std::lock_guard Lock(M);
+  if (!Opened || ClosedDown)
+    return;
+  if (SegmentBytes && CurSegmentBytes >= SegmentBytes &&
+      !Segments.empty() && Segments.back().Records > 0)
+    rotateLocked(A.Seq);
+  size_t Before = Pending.size();
+  Encoder.encode(A, Pending);
+  size_t D = Pending.size() - Before;
+  TotalBytes += D;
+  CurSegmentBytes += D;
+  if (!Segments.empty()) {
+    Segment &S = Segments.back();
+    if (S.Records == 0)
+      S.FirstSeq = A.Seq;
+    S.LastSeq = A.Seq;
+    ++S.Records;
+  }
+  // Keep the pending buffer modest even if the owner forgets to flush.
+  if (Pending.size() >= (1u << 18))
+    flushPendingLocked();
+}
+
+void SegmentSink::flushPending() {
+  std::lock_guard Lock(M);
+  flushPendingLocked();
+}
+
+void SegmentSink::sync() {
+  std::lock_guard Lock(M);
+  flushPendingLocked();
+  if (File)
+    std::fflush(File);
+}
+
+void SegmentSink::close() {
+  std::lock_guard Lock(M);
+  if (ClosedDown)
+    return;
+  ClosedDown = true;
+  flushPendingLocked();
+  if (File) {
+    std::fflush(File);
+    std::fclose(File);
+    File = nullptr;
+  }
+  if (!Segments.empty())
+    Segments.back().Closed = true;
+}
+
+uint64_t SegmentSink::bytesWritten() const {
+  std::lock_guard Lock(M);
+  return TotalBytes;
+}
+
+void SegmentSink::reclaimThrough(uint64_t Watermark) {
+  std::lock_guard Lock(M);
+  if (!SegmentBytes)
+    return;
+  size_t N = 0;
+  while (N < Segments.size()) {
+    const Segment &S = Segments[N];
+    if (!S.Closed || S.Records == 0 || S.LastSeq >= Watermark)
+      break;
+    std::remove(segmentPathLocked(S.Index).c_str());
+    ++SegmentsReclaimed;
+    ++N;
+  }
+  if (N)
+    Segments.erase(Segments.begin(), Segments.begin() + N);
+}
+
+size_t SegmentSink::liveSegments() const {
+  std::lock_guard Lock(M);
+  return Segments.size();
+}
+
+std::string SegmentSink::pathForSeq(uint64_t Seq) const {
+  std::lock_guard Lock(M);
+  if (!SegmentBytes || Segments.empty())
+    return Path;
+  const Segment *Best = nullptr;
+  for (const Segment &S : Segments) {
+    if (S.FirstSeq <= Seq)
+      Best = &S;
+    else
+      break;
+  }
+  if (!Best)
+    Best = &Segments.front(); // conservative: walk forward from oldest
+  return segmentPathLocked(Best->Index);
+}
+
+BackpressureStats SegmentSink::stats() const {
+  std::lock_guard Lock(M);
+  BackpressureStats S;
+  S.SegmentsCreated = SegmentsCreated;
+  S.SegmentsReclaimed = SegmentsReclaimed;
+  S.SegmentsLiveHwm = SegmentsLiveHwm;
+  return S;
+}

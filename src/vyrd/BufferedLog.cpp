@@ -74,16 +74,36 @@ struct BufferedLog::Impl {
   std::vector<Action> Reorder;
   std::vector<uint8_t> Parked;
   uint64_t ReorderMask = 0;
-  ActionEncoder Encoder;
-  ByteWriter Scratch;
-  std::FILE *File = nullptr;
-  std::atomic<uint64_t> Bytes{0};
+  /// The disk side (FilePath mode): file(s), encoder, rotation.
+  SegmentSink Sink;
+  bool HasFile = false;
 
   /// The global, merged order the readers consume.
   std::mutex QM;
   std::condition_variable QCV;
+  /// The flusher parks here in BP_Block mode until the reader makes room.
+  std::condition_variable QSpaceCV;
   ChunkQueue<Action> Q; // chunk-recycling: see Ring.h
   bool Finished = false; // flusher exited; Q holds everything remaining
+
+  /// Backpressure state, guarded by QM (admission happens where the
+  /// flusher pushes into Q; the shard rings have their own bound).
+  ShedFilter Shed;
+  BackpressureStats Stats;
+  uint64_t QBytes = 0; // estimated bytes Q pins (BP enabled only)
+  /// Spill bookkeeping: Delivered = next seq the reader hands out;
+  /// EmittedSeq = every record below it has reached the sink, published
+  /// by the flusher at the end of each emit round (under QM, so readers
+  /// see queue and watermark consistently).
+  uint64_t Delivered = 0;
+  std::atomic<uint64_t> EmittedSeq{0};
+  std::unique_ptr<LogFileReader> SpillReader;
+  uint64_t SpillNextSeq = 0;
+  bool SpillFailed = false; // latched on corrupt spilled region
+
+  /// Segment telemetry deltas already forwarded (pump thread only).
+  uint64_t SegCreatedSeen = 0;
+  uint64_t SegReclaimedSeen = 0;
 
   /// Serializes close() so it is idempotent.
   std::mutex CloseM;
@@ -168,24 +188,16 @@ BufferedLog::BufferedLog(Options O) : I(std::make_unique<Impl>()) {
   I->Parked.assign(I->Reorder.size(), 0);
   I->ReorderMask = I->Reorder.size() - 1;
   if (!I->Opts.FilePath.empty()) {
-    I->File = std::fopen(I->Opts.FilePath.c_str(), "wb");
-    Valid = I->File != nullptr;
-    if (I->File) {
-      // Format header first (docs/LOGFORMAT.md), before any flush epoch.
-      ByteWriter HW;
-      writeLogHeader(HW);
-      std::fwrite(HW.buffer().data(), 1, HW.size(), I->File);
-      I->Bytes.fetch_add(HW.size(), std::memory_order_relaxed);
-    }
+    // Plain file or rotated segment chain, header(s) included — see
+    // SegmentSink (docs/LOGFORMAT.md).
+    Valid = I->Sink.open(I->Opts.FilePath,
+                         I->Opts.Backpressure.SegmentBytes);
+    I->HasFile = Valid;
   }
   I->Flusher = std::thread([this] { flusherMain(); });
 }
 
-BufferedLog::~BufferedLog() {
-  close();
-  if (I->File)
-    std::fclose(I->File);
-}
+BufferedLog::~BufferedLog() { close(); }
 
 ThreadLogShard &BufferedLog::shardForCurrentThread() {
   ThreadId Tid = currentTid();
@@ -264,6 +276,81 @@ void BufferedLog::park(Action &&A) {
   I->Reorder[Slot] = std::move(A);
 }
 
+bool BufferedLog::spillModeOn() const {
+  const BackpressureConfig &BP = I->Opts.Backpressure;
+  return BP.Enabled && BP.Policy == BackpressurePolicy::BP_SpillToDisk &&
+         I->HasFile && I->Opts.RetainRecords;
+}
+
+void BufferedLog::enqueueEmitted(uint64_t First, uint64_t S) {
+  const BackpressureConfig &BP = I->Opts.Backpressure;
+  Telemetry *T = telemetry();
+  std::unique_lock Lock(I->QM);
+  for (uint64_t Ti = First; Ti != S; ++Ti) {
+    Action &A = I->Reorder[Ti & I->ReorderMask];
+    if (BP.Enabled) {
+      bool Over = I->Q.size() >= BP.MaxPendingRecords ||
+                  (BP.MaxTailBytes && I->QBytes >= BP.MaxTailBytes);
+      if (BP.Policy == BackpressurePolicy::BP_Shed) {
+        if (I->Shed.shouldShed(A, Over)) {
+          // Dropped from the queue only; the file (when present) stays
+          // complete for post-mortem re-checking.
+          ++I->Stats.ShedRecords;
+          if (telemetryCompiledIn() && T)
+            T->count(Counter::C_ShedRecords);
+          continue;
+        }
+      } else if (BP.Policy == BackpressurePolicy::BP_SpillToDisk &&
+                 I->HasFile) {
+        if (Over) {
+          // Already at the sink; the reader re-reads the gap from disk.
+          ++I->Stats.SpilledRecords;
+          if (telemetryCompiledIn() && T)
+            T->count(Counter::C_SpilledRecords);
+          continue;
+        }
+      } else if (Over) {
+        // BP_Block (and BP_SpillToDisk without a file): park the flusher.
+        // Shard rings then fill and producers hit the ring-full backoff,
+        // which is how the bound propagates to the hot path.
+        ++I->Stats.BlockedAppends;
+        uint64_t W0 = telemetryNowNanos();
+        // Records pushed earlier in this batch are consumable but the
+        // batch-end QCV notify has not happened yet; wake any reader
+        // parked on what it last saw as an empty queue before this side
+        // goes to sleep, or neither ever wakes.
+        I->QCV.notify_all();
+        I->QSpaceCV.wait(Lock, [&] {
+          return I->Q.size() < BP.MaxPendingRecords &&
+                 (!BP.MaxTailBytes || I->QBytes < BP.MaxTailBytes);
+        });
+        uint64_t Waited = telemetryNowNanos() - W0;
+        I->Stats.BlockedNanos += Waited;
+        if (telemetryCompiledIn() && T) {
+          T->count(Counter::C_BlockedAppends);
+          T->record(Histo::H_BlockedNs, Waited);
+        }
+      }
+      size_t FP = actionFootprintBytes(A);
+      I->QBytes += FP;
+      I->Stats.PendingRecordsHwm =
+          std::max<uint64_t>(I->Stats.PendingRecordsHwm, I->Q.size() + 1);
+      I->Stats.TailBytesHwm =
+          std::max<uint64_t>(I->Stats.TailBytesHwm, I->QBytes);
+      if (telemetryCompiledIn() && T) {
+        T->gaugeAdd(Gauge::G_PendingRecords, 1);
+        T->gaugeAdd(Gauge::G_TailBytes, FP);
+      }
+    }
+    I->Q.push_back(std::move(A));
+  }
+  // Publish the disk watermark under QM so readers never see a record
+  // "on disk" that this round is still deciding to queue or spill.
+  I->EmittedSeq.store(S, std::memory_order_release);
+  Lock.unlock();
+  I->QCV.notify_one();
+}
+
 size_t BufferedLog::emitReady() {
   const uint64_t First = I->SeqNext;
   uint64_t S = First;
@@ -272,20 +359,18 @@ size_t BufferedLog::emitReady() {
   size_t K = static_cast<size_t>(S - First);
   if (K == 0)
     return 0;
-  if (I->File) {
-    I->Scratch.clear();
+  if (I->HasFile) {
+    // All records reach the disk log, including ones the queue admission
+    // below will shed or spill (the file is the complete witness).
     for (uint64_t T = First; T != S; ++T)
-      I->Encoder.encode(I->Reorder[T & I->ReorderMask], I->Scratch);
-    std::fwrite(I->Scratch.buffer().data(), 1, I->Scratch.size(), I->File);
-    I->Bytes.fetch_add(I->Scratch.size(), std::memory_order_relaxed);
+      I->Sink.write(I->Reorder[T & I->ReorderMask]);
+    I->Sink.flushPending();
   }
   if (I->Opts.RetainRecords) {
-    {
-      std::lock_guard Lock(I->QM);
-      for (uint64_t T = First; T != S; ++T)
-        I->Q.push_back(std::move(I->Reorder[T & I->ReorderMask]));
-    }
-    I->QCV.notify_one();
+    enqueueEmitted(First, S);
+  } else {
+    std::lock_guard Lock(I->QM);
+    I->EmittedSeq.store(S, std::memory_order_release);
   }
   for (uint64_t T = First; T != S; ++T)
     I->Parked[T & I->ReorderMask] = 0;
@@ -325,8 +410,8 @@ void BufferedLog::flusherMain() {
     else
       Idle = 0;
   }
-  if (I->File)
-    std::fflush(I->File);
+  if (I->HasFile)
+    I->Sink.sync();
   {
     std::lock_guard Lock(I->QM);
     I->Finished = true;
@@ -343,35 +428,130 @@ void BufferedLog::close() {
   I->Flusher.join();
 }
 
-bool BufferedLog::next(Action &Out) {
-  std::unique_lock Lock(I->QM);
-  I->QCV.wait(Lock, [&] { return !I->Q.empty() || I->Finished; });
-  if (I->Q.empty())
-    return false;
+void BufferedLog::popFrontLocked(Action &Out) {
   Out = std::move(I->Q.front());
   I->Q.pop_front();
-  return true;
+  const BackpressureConfig &BP = I->Opts.Backpressure;
+  if (BP.Enabled) {
+    size_t FP = actionFootprintBytes(Out);
+    I->QBytes -= std::min<uint64_t>(FP, I->QBytes);
+    if (Telemetry *T = telemetry(); telemetryCompiledIn() && T) {
+      T->gaugeSub(Gauge::G_PendingRecords, 1);
+      T->gaugeSub(Gauge::G_TailBytes, FP);
+    }
+    I->QSpaceCV.notify_one();
+    if (spillModeOn()) {
+      I->Delivered = Out.Seq + 1;
+      if (I->SpillReader)
+        I->SpillReader.reset(); // stale: positioned inside a finished gap
+    }
+  }
 }
 
-bool BufferedLog::tryNext(Action &Out, bool &End) {
-  std::lock_guard Lock(I->QM);
-  if (!I->Q.empty()) {
-    Out = std::move(I->Q.front());
-    I->Q.pop_front();
-    End = false;
-    return true;
+bool BufferedLog::spillNextLocked(Action &Out) {
+  // Same catch-up dance as FileLog: the record is at the sink (published
+  // via EmittedSeq only after the sink write), at worst still in stdio
+  // buffers, which sync() pushes down.
+  if (!I->SpillReader || I->SpillNextSeq != I->Delivered) {
+    I->Sink.sync();
+    auto R =
+        std::make_unique<LogFileReader>(I->Sink.pathForSeq(I->Delivered));
+    R->setTailing(true);
+    if (!R->valid())
+      return false;
+    I->SpillReader = std::move(R);
+    I->SpillNextSeq = I->Delivered;
   }
-  End = I->Finished;
+  for (int Attempt = 0; Attempt < 2; ++Attempt) {
+    Action A;
+    while (I->SpillReader->next(A)) {
+      I->SpillNextSeq = A.Seq + 1;
+      if (A.Seq < I->Delivered)
+        continue; // opened at a segment boundary before the gap
+      I->Delivered = A.Seq + 1; // seqs are dense in spill mode
+      Out = std::move(A);
+      return true;
+    }
+    if (I->SpillReader->malformed()) {
+      std::fprintf(stderr,
+                   "vyrd: spill re-read failed (malformed log near seq "
+                   "%llu); online checking truncated\n",
+                   static_cast<unsigned long long>(I->Delivered));
+      I->SpillReader.reset();
+      I->SpillFailed = true;
+      return false;
+    }
+    I->Sink.sync(); // the record may still be buffered; retry once synced
+  }
   return false;
 }
 
+bool BufferedLog::readyLocked() const {
+  if (!I->Q.empty())
+    return true;
+  return spillModeOn() && !I->SpillFailed &&
+         I->Delivered < I->EmittedSeq.load(std::memory_order_acquire);
+}
+
+bool BufferedLog::tryNextLocked(Action &Out, bool &End) {
+  if (!spillModeOn()) {
+    if (!I->Q.empty()) {
+      popFrontLocked(Out);
+      End = false;
+      return true;
+    }
+    End = I->Finished;
+    return false;
+  }
+  // Spill mode: deliver strictly in sequence order, preferring the queue
+  // and filling gaps (spilled regions) from the sink's file(s).
+  while (!I->Q.empty() && I->Q.front().Seq < I->Delivered) {
+    Action Drop;
+    popFrontLocked(Drop); // already delivered from disk
+  }
+  if (!I->Q.empty() && I->Q.front().Seq == I->Delivered) {
+    popFrontLocked(Out);
+    End = false;
+    return true;
+  }
+  if (!I->SpillFailed &&
+      I->Delivered < I->EmittedSeq.load(std::memory_order_acquire)) {
+    End = false;
+    return spillNextLocked(Out); // false = not visible yet, caller retries
+  }
+  End = I->Finished && I->Q.empty();
+  return false;
+}
+
+bool BufferedLog::next(Action &Out) {
+  std::unique_lock Lock(I->QM);
+  while (true) {
+    I->QCV.wait(Lock, [&] { return readyLocked() || I->Finished; });
+    bool End = false;
+    if (tryNextLocked(Out, End))
+      return true;
+    if (End)
+      return false;
+    // Spill data momentarily invisible (stdio buffering around a
+    // rotation); spillNextLocked has synced, so retrying converges.
+  }
+}
+
+bool BufferedLog::tryNext(Action &Out, bool &End) {
+  std::unique_lock Lock(I->QM);
+  return tryNextLocked(Out, End);
+}
+
 bool BufferedLog::nextBatch(std::vector<Action> &Out, size_t Max) {
+  if (spillModeOn())
+    return Log::nextBatch(Out, Max); // per-record path handles disk gaps
   Out.clear();
   std::unique_lock Lock(I->QM);
   I->QCV.wait(Lock, [&] { return !I->Q.empty() || I->Finished; });
   while (!I->Q.empty() && Out.size() < Max) {
-    Out.push_back(std::move(I->Q.front()));
-    I->Q.pop_front();
+    Action A;
+    popFrontLocked(A);
+    Out.push_back(std::move(A));
   }
   return !Out.empty();
 }
@@ -381,5 +561,40 @@ uint64_t BufferedLog::appendCount() const {
 }
 
 uint64_t BufferedLog::byteCount() const {
-  return I->Bytes.load(std::memory_order_relaxed);
+  return I->HasFile ? I->Sink.bytesWritten() : 0;
+}
+
+BackpressureStats BufferedLog::backpressureStats() const {
+  std::lock_guard Lock(I->QM);
+  BackpressureStats S = I->Stats;
+  if (I->HasFile)
+    S.merge(I->Sink.stats());
+  return S;
+}
+
+void BufferedLog::setShedClassifier(std::function<bool(const Action &)> Fn) {
+  std::lock_guard Lock(I->QM);
+  I->Shed.setClassifier(std::move(Fn));
+}
+
+void BufferedLog::reclaimCheckedPrefix(uint64_t Watermark) {
+  const BackpressureConfig &BP = I->Opts.Backpressure;
+  if (!I->HasFile || !BP.SegmentBytes)
+    return;
+  if (BP.ReclaimSegments)
+    I->Sink.reclaimThrough(Watermark);
+  if (Telemetry *T = telemetry(); telemetryCompiledIn() && T) {
+    T->gaugeSet(Gauge::G_SegmentsLive, I->Sink.liveSegments());
+    BackpressureStats S = I->Sink.stats();
+    if (S.SegmentsCreated > I->SegCreatedSeen) {
+      T->count(Counter::C_SegmentsCreated,
+               S.SegmentsCreated - I->SegCreatedSeen);
+      I->SegCreatedSeen = S.SegmentsCreated;
+    }
+    if (S.SegmentsReclaimed > I->SegReclaimedSeen) {
+      T->count(Counter::C_SegmentsReclaimed,
+               S.SegmentsReclaimed - I->SegReclaimedSeen);
+      I->SegReclaimedSeen = S.SegmentsReclaimed;
+    }
+  }
 }

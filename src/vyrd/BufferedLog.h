@@ -113,12 +113,23 @@ public:
     /// distance a producer can run ahead of the flusher.
     size_t ShardCapacity = 1024;
     /// When non-empty, the flusher serializes every flushed batch to this
-    /// file (same format as FileLog; readable with loadLogFile).
+    /// file (same format as FileLog; readable with loadLogFile). With
+    /// Backpressure.SegmentBytes > 0 the output rotates into a segment
+    /// chain instead of one file.
     std::string FilePath;
     /// Keep flushed records in memory for next()/tryNext()/nextBatch().
     /// Disable for logging-only measurement runs where nothing consumes
     /// the log (the FileLog RetainTail=false analogue).
     bool RetainRecords = true;
+    /// Bound + policy for the merged reader queue. The shard rings are
+    /// already bounded (ShardCapacity per thread); this bounds the
+    /// downstream stage the flusher feeds. BP_Block parks the *flusher*
+    /// (shards then fill and producers hit the ring-full backoff, so the
+    /// pressure propagates); BP_SpillToDisk needs FilePath and lets the
+    /// reader re-read over-limit records from disk; BP_Shed drops
+    /// observer executions from the queue only (the file, when present,
+    /// stays complete).
+    BackpressureConfig Backpressure;
   };
 
   BufferedLog();
@@ -141,6 +152,9 @@ public:
   bool nextBatch(std::vector<Action> &Out, size_t Max) override;
   uint64_t appendCount() const override;
   uint64_t byteCount() const override;
+  BackpressureStats backpressureStats() const override;
+  void setShedClassifier(std::function<bool(const Action &)> Fn) override;
+  void reclaimCheckedPrefix(uint64_t Watermark) override;
 
   /// Number of producer threads that have registered a shard.
   size_t shardCount() const;
@@ -150,6 +164,14 @@ private:
 
   ThreadLogShard &shardForCurrentThread();
   void flusherMain();
+  bool spillModeOn() const;
+  /// Pushes one emit round's records [\p First, \p S) into the reader
+  /// queue under the configured admission policy.
+  void enqueueEmitted(uint64_t First, uint64_t S);
+  bool readyLocked() const;
+  bool tryNextLocked(Action &Out, bool &End);
+  bool spillNextLocked(Action &Out);
+  void popFrontLocked(Action &Out);
   /// Drains every shard into the reorder ring. \returns records drained.
   size_t drainShards();
   /// Parks one drained record in the reorder ring at `Seq & Mask`,

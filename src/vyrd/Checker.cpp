@@ -32,6 +32,8 @@ const char *vyrd::violationKindName(ViolationKind K) {
     return "invariant-failed";
   case ViolationKind::VK_Instrumentation:
     return "instrumentation";
+  case ViolationKind::VK_Degraded:
+    return "degraded";
   }
   assert(false && "unknown ViolationKind");
   return "?";

@@ -8,6 +8,7 @@
 
 #include "vyrd/Telemetry.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -34,6 +35,23 @@ bool sampleTick() {
   return (Tick++ & 63) == 0;
 }
 
+/// Shared-gauge accounting for a record entering / leaving a bounded
+/// in-memory queue (see the Gauge enum: these are hub-level levels, not
+/// per-thread counters).
+void gaugeAdmit(Telemetry *T, size_t FootprintBytes) {
+  if (!telemetryCompiledIn() || !T)
+    return;
+  T->gaugeAdd(Gauge::G_PendingRecords, 1);
+  T->gaugeAdd(Gauge::G_TailBytes, FootprintBytes);
+}
+
+void gaugeRelease(Telemetry *T, size_t FootprintBytes) {
+  if (!telemetryCompiledIn() || !T)
+    return;
+  T->gaugeSub(Gauge::G_PendingRecords, 1);
+  T->gaugeSub(Gauge::G_TailBytes, FootprintBytes);
+}
+
 } // namespace
 
 LogWriter::~LogWriter() = default;
@@ -58,7 +76,13 @@ bool Log::nextBatch(std::vector<Action> &Out, size_t Max) {
 //===----------------------------------------------------------------------===//
 
 MemoryLog::MemoryLog() = default;
+MemoryLog::MemoryLog(const BackpressureConfig &BPConfig) : BP(BPConfig) {}
 MemoryLog::~MemoryLog() = default;
+
+bool MemoryLog::overLimitLocked() const {
+  return Q.size() >= BP.MaxPendingRecords ||
+         (BP.MaxTailBytes && QueueBytes >= BP.MaxTailBytes);
+}
 
 uint64_t MemoryLog::append(Action A) {
   Telemetry *T = telemetry();
@@ -67,10 +91,44 @@ uint64_t MemoryLog::append(Action A) {
     T0 = telemetryNowNanos();
   uint64_t Seq;
   {
-    std::lock_guard Lock(M);
+    std::unique_lock Lock(M);
     assert(!Closed && "append after close");
     A.Seq = NextSeq++;
     Seq = A.Seq;
+    if (BP.Enabled) {
+      bool Over = overLimitLocked();
+      if (BP.Policy == BackpressurePolicy::BP_Shed &&
+          Shed.shouldShed(A, Over)) {
+        // Dropped entirely — there is no disk copy here. The sequence
+        // number stays consumed so the witness order of admitted records
+        // is unchanged (the checker never needs dense numbers).
+        ++Stats.ShedRecords;
+        if (telemetryCompiledIn() && T)
+          T->count(Counter::C_ShedRecords);
+        countAppend(T, T0);
+        return Seq;
+      }
+      if (BP.Policy != BackpressurePolicy::BP_Shed && Over) {
+        // BP_Block — and BP_SpillToDisk, which has nowhere to spill in a
+        // purely in-memory log and degrades to blocking (validate()
+        // rejects the combination for Verifier-owned logs).
+        ++Stats.BlockedAppends;
+        uint64_t W0 = telemetryNowNanos();
+        SpaceCV.wait(Lock, [&] { return !overLimitLocked() || Closed; });
+        uint64_t Waited = telemetryNowNanos() - W0;
+        Stats.BlockedNanos += Waited;
+        if (telemetryCompiledIn() && T) {
+          T->count(Counter::C_BlockedAppends);
+          T->record(Histo::H_BlockedNs, Waited);
+        }
+      }
+      size_t FP = actionFootprintBytes(A);
+      QueueBytes += FP;
+      Stats.PendingRecordsHwm =
+          std::max<uint64_t>(Stats.PendingRecordsHwm, Q.size() + 1);
+      Stats.TailBytesHwm = std::max<uint64_t>(Stats.TailBytesHwm, QueueBytes);
+      gaugeAdmit(T, FP);
+    }
     Q.push_back(std::move(A));
     CV.notify_one();
   }
@@ -82,6 +140,18 @@ void MemoryLog::close() {
   std::lock_guard Lock(M);
   Closed = true;
   CV.notify_all();
+  SpaceCV.notify_all();
+}
+
+void MemoryLog::popLocked(Action &Out) {
+  Out = std::move(Q.front());
+  Q.pop_front();
+  if (BP.Enabled) {
+    size_t FP = actionFootprintBytes(Out);
+    QueueBytes -= std::min<uint64_t>(FP, QueueBytes);
+    gaugeRelease(telemetry(), FP);
+    SpaceCV.notify_one();
+  }
 }
 
 bool MemoryLog::next(Action &Out) {
@@ -89,16 +159,14 @@ bool MemoryLog::next(Action &Out) {
   CV.wait(Lock, [&] { return !Q.empty() || Closed; });
   if (Q.empty())
     return false;
-  Out = std::move(Q.front());
-  Q.pop_front();
+  popLocked(Out);
   return true;
 }
 
 bool MemoryLog::tryNext(Action &Out, bool &End) {
-  std::lock_guard Lock(M);
+  std::unique_lock Lock(M);
   if (!Q.empty()) {
-    Out = std::move(Q.front());
-    Q.pop_front();
+    popLocked(Out);
     End = false;
     return true;
   }
@@ -111,27 +179,94 @@ uint64_t MemoryLog::appendCount() const {
   return NextSeq;
 }
 
+BackpressureStats MemoryLog::backpressureStats() const {
+  std::lock_guard Lock(M);
+  return Stats;
+}
+
+void MemoryLog::setShedClassifier(std::function<bool(const Action &)> Fn) {
+  std::lock_guard Lock(M);
+  Shed.setClassifier(std::move(Fn));
+}
+
 //===----------------------------------------------------------------------===//
 // FileLog
 //===----------------------------------------------------------------------===//
 
 FileLog::FileLog(const std::string &Path, bool &Valid, bool RetainTail)
-    : Path(Path), RetainTail(RetainTail) {
-  File = std::fopen(Path.c_str(), "wb");
-  Valid = File != nullptr;
-  if (File) {
-    // Open with the format header (docs/LOGFORMAT.md) so readers can tell
-    // the record layout; readers still accept headerless v1 files.
-    ByteWriter HW;
-    writeLogHeader(HW);
-    std::fwrite(HW.buffer().data(), 1, HW.size(), File);
-    Bytes = HW.size();
-  }
+    : FileLog(Path, Valid, BackpressureConfig(), RetainTail) {}
+
+FileLog::FileLog(const std::string &Path, bool &Valid,
+                 const BackpressureConfig &BPConfig, bool RetainTail)
+    : Path(Path), RetainTail(RetainTail), BP(BPConfig) {
+  // Plain-file mode (SegmentBytes == 0) writes the same v3 header and
+  // byte stream as the historical single-FILE implementation; segmented
+  // mode rotates into a chain (docs/LOGFORMAT.md, v4).
+  Valid = Sink.open(Path, BP.SegmentBytes);
 }
 
-FileLog::~FileLog() {
-  if (File)
-    std::fclose(File);
+FileLog::~FileLog() = default;
+
+bool FileLog::overLimitLocked() const {
+  return Tail.size() >= BP.MaxPendingRecords ||
+         (BP.MaxTailBytes && TailBytes >= BP.MaxTailBytes);
+}
+
+bool FileLog::spillModeOn() const {
+  return BP.Enabled && BP.Policy == BackpressurePolicy::BP_SpillToDisk &&
+         RetainTail;
+}
+
+void FileLog::admitTailLocked(std::unique_lock<std::mutex> &Lock,
+                              Action &&A) {
+  Telemetry *T = telemetry();
+  if (BP.Enabled) {
+    bool Over = overLimitLocked();
+    switch (BP.Policy) {
+    case BackpressurePolicy::BP_Shed:
+      if (Shed.shouldShed(A, Over)) {
+        // Dropped from the *tail* only: the record is already on disk, so
+        // post-mortem re-checking sees the complete log. The accounting
+        // says exactly what the online checker did not.
+        ++Stats.ShedRecords;
+        if (telemetryCompiledIn() && T)
+          T->count(Counter::C_ShedRecords);
+        return;
+      }
+      break;
+    case BackpressurePolicy::BP_SpillToDisk:
+      if (Over) {
+        // The disk copy is the overflow buffer; the reader re-reads the
+        // gap through a tailing LogFileReader when it catches up.
+        ++Stats.SpilledRecords;
+        if (telemetryCompiledIn() && T)
+          T->count(Counter::C_SpilledRecords);
+        return;
+      }
+      break;
+    case BackpressurePolicy::BP_Block:
+      if (Over) {
+        ++Stats.BlockedAppends;
+        uint64_t W0 = telemetryNowNanos();
+        SpaceCV.wait(Lock, [&] { return !overLimitLocked() || Closed; });
+        uint64_t Waited = telemetryNowNanos() - W0;
+        Stats.BlockedNanos += Waited;
+        if (telemetryCompiledIn() && T) {
+          T->count(Counter::C_BlockedAppends);
+          T->record(Histo::H_BlockedNs, Waited);
+        }
+      }
+      break;
+    }
+    size_t FP = actionFootprintBytes(A);
+    TailBytes += FP;
+    Stats.PendingRecordsHwm =
+        std::max<uint64_t>(Stats.PendingRecordsHwm, Tail.size() + 1);
+    Stats.TailBytesHwm = std::max<uint64_t>(Stats.TailBytesHwm, TailBytes);
+    gaugeAdmit(T, FP);
+  }
+  Tail.push_back(std::move(A));
+  CV.notify_one();
 }
 
 uint64_t FileLog::append(Action A) {
@@ -141,19 +276,17 @@ uint64_t FileLog::append(Action A) {
     T0 = telemetryNowNanos();
   uint64_t Seq;
   {
-    std::lock_guard Lock(M);
+    std::unique_lock Lock(M);
     assert(!Closed && "append after close");
     A.Seq = NextSeq++;
     Seq = A.Seq;
-    Scratch.clear();
-    Encoder.encode(A, Scratch);
-    if (File)
-      std::fwrite(Scratch.buffer().data(), 1, Scratch.size(), File);
-    Bytes += Scratch.size();
-    if (RetainTail) {
-      Tail.push_back(std::move(A));
-      CV.notify_one();
-    }
+    // To disk first (one buffered fwrite, as before), so every sequence
+    // number below NextSeq is reachable through the sink — the invariant
+    // the spill reader relies on.
+    Sink.write(A);
+    Sink.flushPending();
+    if (RetainTail)
+      admitTailLocked(Lock, std::move(A));
   }
   countAppend(T, T0);
   return Seq;
@@ -162,31 +295,121 @@ uint64_t FileLog::append(Action A) {
 void FileLog::close() {
   std::lock_guard Lock(M);
   Closed = true;
-  if (File)
-    std::fflush(File);
+  Sink.sync();
   CV.notify_all();
+  SpaceCV.notify_all();
+}
+
+void FileLog::popTailLocked(Action &Out) {
+  Out = std::move(Tail.front());
+  Tail.pop_front();
+  if (BP.Enabled) {
+    size_t FP = actionFootprintBytes(Out);
+    TailBytes -= std::min<uint64_t>(FP, TailBytes);
+    gaugeRelease(telemetry(), FP);
+    SpaceCV.notify_one();
+    if (spillModeOn()) {
+      Delivered = Out.Seq + 1;
+      if (SpillReader)
+        SpillReader.reset(); // stale: positioned inside a finished gap
+    }
+  }
+}
+
+bool FileLog::spillNextLocked(Action &Out) {
+  // Called with Delivered < NextSeq: the record exists at the sink (it
+  // was written before NextSeq advanced past it), at worst still in
+  // stdio buffers — which sync() pushes down.
+  if (!SpillReader || SpillNextSeq != Delivered) {
+    Sink.sync();
+    auto R = std::make_unique<LogFileReader>(Sink.pathForSeq(Delivered));
+    R->setTailing(true);
+    if (!R->valid())
+      return false;
+    SpillReader = std::move(R);
+    SpillNextSeq = Delivered; // reads below skip up to it
+  }
+  for (int Attempt = 0; Attempt < 2; ++Attempt) {
+    Action A;
+    while (SpillReader->next(A)) {
+      SpillNextSeq = A.Seq + 1;
+      if (A.Seq < Delivered)
+        continue; // the reader opened at a segment boundary before the gap
+      Delivered = A.Seq + 1; // seqs are dense in spill mode
+      Out = std::move(A);
+      return true;
+    }
+    if (SpillReader->malformed()) {
+      // Disk corruption in the spilled region: the gap can never be
+      // delivered. Latch the failure (instead of reopening forever) and
+      // let the reader run out at the gap.
+      std::fprintf(stderr,
+                   "vyrd: spill re-read failed (malformed log near seq "
+                   "%llu); online checking truncated\n",
+                   static_cast<unsigned long long>(Delivered));
+      SpillReader.reset();
+      SpillFailed = true;
+      return false;
+    }
+    Sink.sync(); // the record may still be buffered; retry once synced
+  }
+  return false;
+}
+
+bool FileLog::readyLocked() const {
+  if (!Tail.empty())
+    return true;
+  return spillModeOn() && !SpillFailed && Delivered < NextSeq;
+}
+
+bool FileLog::tryNextLocked(Action &Out, bool &End) {
+  if (!spillModeOn()) {
+    if (!Tail.empty()) {
+      popTailLocked(Out);
+      End = false;
+      return true;
+    }
+    End = Closed;
+    return false;
+  }
+  // Spill mode: deliver strictly in sequence order, preferring the tail
+  // and filling gaps (spilled regions) from the sink's file(s).
+  while (!Tail.empty() && Tail.front().Seq < Delivered) {
+    Action Drop;
+    popTailLocked(Drop); // already delivered from disk (no such overlap
+                         // under M, but harmless to tolerate)
+  }
+  if (!Tail.empty() && Tail.front().Seq == Delivered) {
+    popTailLocked(Out);
+    End = false;
+    return true;
+  }
+  if (Delivered < NextSeq && !SpillFailed) {
+    End = false;
+    return spillNextLocked(Out); // false = not visible yet, caller retries
+  }
+  End = Closed;
+  return false;
 }
 
 bool FileLog::next(Action &Out) {
   std::unique_lock Lock(M);
-  CV.wait(Lock, [&] { return !Tail.empty() || Closed; });
-  if (Tail.empty())
-    return false;
-  Out = std::move(Tail.front());
-  Tail.pop_front();
-  return true;
+  while (true) {
+    CV.wait(Lock, [&] { return readyLocked() || Closed; });
+    bool End = false;
+    if (tryNextLocked(Out, End))
+      return true;
+    if (End)
+      return false;
+    // Spill data momentarily invisible (stdio buffering around a
+    // rotation); spillNextLocked has already synced, so retrying is
+    // enough — the loop converges within an attempt or two.
+  }
 }
 
 bool FileLog::tryNext(Action &Out, bool &End) {
-  std::lock_guard Lock(M);
-  if (!Tail.empty()) {
-    Out = std::move(Tail.front());
-    Tail.pop_front();
-    End = false;
-    return true;
-  }
-  End = Closed;
-  return false;
+  std::unique_lock Lock(M);
+  return tryNextLocked(Out, End);
 }
 
 uint64_t FileLog::appendCount() const {
@@ -194,9 +417,38 @@ uint64_t FileLog::appendCount() const {
   return NextSeq;
 }
 
-uint64_t FileLog::byteCount() const {
+uint64_t FileLog::byteCount() const { return Sink.bytesWritten(); }
+
+BackpressureStats FileLog::backpressureStats() const {
   std::lock_guard Lock(M);
-  return Bytes;
+  BackpressureStats S = Stats;
+  S.merge(Sink.stats());
+  return S;
+}
+
+void FileLog::setShedClassifier(std::function<bool(const Action &)> Fn) {
+  std::lock_guard Lock(M);
+  Shed.setClassifier(std::move(Fn));
+}
+
+void FileLog::reclaimCheckedPrefix(uint64_t Watermark) {
+  if (!BP.SegmentBytes)
+    return;
+  if (BP.ReclaimSegments)
+    Sink.reclaimThrough(Watermark);
+  if (Telemetry *T = telemetry(); telemetryCompiledIn() && T) {
+    T->gaugeSet(Gauge::G_SegmentsLive, Sink.liveSegments());
+    BackpressureStats S = Sink.stats();
+    if (S.SegmentsCreated > SegCreatedSeen) {
+      T->count(Counter::C_SegmentsCreated, S.SegmentsCreated - SegCreatedSeen);
+      SegCreatedSeen = S.SegmentsCreated;
+    }
+    if (S.SegmentsReclaimed > SegReclaimedSeen) {
+      T->count(Counter::C_SegmentsReclaimed,
+               S.SegmentsReclaimed - SegReclaimedSeen);
+      SegReclaimedSeen = S.SegmentsReclaimed;
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -207,17 +459,39 @@ uint64_t FileLog::byteCount() const {
 /// of log. Only a single record larger than the window forces growth.
 static constexpr size_t ReaderChunk = 1 << 20;
 
+/// How far the ctor probes `base.000001`, `base.000002`, ... for the
+/// earliest live segment when the base path itself does not exist (the
+/// front of the chain may have been reclaimed).
+static constexpr uint64_t MaxSegmentProbe = 1 << 16;
+
 LogFileReader::LogFileReader(const std::string &Path) {
+  std::string Opened = Path;
   File = std::fopen(Path.c_str(), "rb");
-  if (!File)
-    return;
+  if (!File) {
+    // A segmented chain has no file at its base path — fall back to the
+    // earliest segment still on disk (reclamation trims from the front).
+    for (uint64_t I = 1; I <= MaxSegmentProbe && !File; ++I) {
+      Opened = logSegmentPath(Path, I);
+      File = std::fopen(Opened.c_str(), "rb");
+    }
+    if (!File)
+      return;
+  }
   Buf.resize(ReaderChunk);
   refill();
   ByteReader R(Buf.data(), End);
-  Version = readLogHeader(R);
+  LogSegmentInfo Seg;
+  Version = readLogHeader(R, &Seg);
   if (Version == 0) {
     Malformed = true; // magic present but header malformed/unknown
     return;
+  }
+  if (Version == LogSegmentVersion) {
+    // Chain walking needs the base path; a segment file renamed to
+    // something else is still readable, just as a single segment.
+    uint64_t PathIndex = 0;
+    if (splitLogSegmentPath(Opened, ChainBase, PathIndex))
+      ChainIndex = Seg.Index;
   }
   Decoder.setVersion(Version);
   Start = R.position(); // 0 for headerless v1 streams
@@ -240,8 +514,54 @@ void LogFileReader::refill() {
     Buf.resize(Buf.size() * 2); // one record larger than the window
   size_t N = std::fread(Buf.data() + End, 1, Buf.size() - End, File);
   End += N;
-  if (N == 0)
+  if (N == 0) {
     Eof = true;
+    if (Tailing)
+      std::clearerr(File); // the writer may append more; re-probe later
+  }
+}
+
+bool LogFileReader::advanceSegment() {
+  if (ChainBase.empty())
+    return false;
+  std::string NextPath = logSegmentPath(ChainBase, ChainIndex + 1);
+  std::FILE *NF = std::fopen(NextPath.c_str(), "rb");
+  if (!NF)
+    return false; // no successor (yet)
+  // Peek the successor's header before committing to the switch: right
+  // after rotation it may exist with its header still in the writer's
+  // stdio buffer.
+  uint8_t Hdr[32]; // magic + three varints is at most 25 bytes
+  size_t HN = std::fread(Hdr, 1, sizeof(Hdr), NF);
+  ByteReader R(Hdr, HN);
+  LogSegmentInfo Seg;
+  uint32_t V = readLogHeader(R, &Seg);
+  if (V != LogSegmentVersion) {
+    std::fclose(NF);
+    if (Tailing || HN == 0)
+      return false; // header not flushed yet / crashed mid-rotation
+    Malformed = true;
+    return false;
+  }
+  // A complete successor header proves the predecessor was flushed and
+  // closed first (SegmentSink's rotation order), so leftover undecodable
+  // bytes in it are real corruption.
+  if (Start != End) {
+    std::fclose(NF);
+    Malformed = true;
+    return false;
+  }
+  std::fclose(File);
+  File = NF;
+  std::fseek(File, static_cast<long>(R.position()), SEEK_SET);
+  Eof = false;
+  Start = End = 0;
+  Consumed += R.position();
+  // Segments are self-contained: fresh name-interning table per file.
+  Decoder = ActionDecoder();
+  Decoder.setVersion(V);
+  ChainIndex = Seg.Index;
+  return true;
 }
 
 bool LogFileReader::next(Action &Out) {
@@ -261,12 +581,22 @@ bool LogFileReader::next(Action &Out) {
       }
       Decoder.truncateNames(SavedNames);
     }
-    if (Eof) {
-      if (Start != End)
-        Malformed = true; // trailing undecodable bytes
-      return false;
-    }
+    Eof = false; // re-probe: tailed files grow, chains gain successors
+    size_t Had = End - Start;
     refill();
+    if (!Eof && End - Start != Had)
+      continue; // new bytes: retry the decode
+    // At the (current) end of this file: continue into the successor
+    // segment if one exists.
+    if (advanceSegment())
+      continue;
+    if (Malformed)
+      return false;
+    if (Tailing)
+      return false; // no complete record *yet*; caller retries later
+    if (Start != End)
+      Malformed = true; // trailing undecodable bytes
+    return false;
   }
 }
 

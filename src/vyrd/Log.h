@@ -19,12 +19,15 @@
 #define VYRD_LOG_H
 
 #include "vyrd/Action.h"
+#include "vyrd/Backpressure.h"
 #include "vyrd/Ring.h"
 #include "vyrd/Serialize.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -32,6 +35,7 @@
 namespace vyrd {
 
 class Telemetry;
+class LogFileReader;
 
 /// The producer side of a log: the handle instrumentation hooks append
 /// through. Log itself is a LogWriter (append forwards to the log), and
@@ -96,6 +100,24 @@ public:
     Telem.store(T, std::memory_order_release);
   }
 
+  /// Admission counters of the backend's bounded stage. All zero for
+  /// unbounded configurations (the base default).
+  virtual BackpressureStats backpressureStats() const { return {}; }
+
+  /// Installs the observer classifier the BP_Shed policy consults (see
+  /// ShedFilter::setClassifier). Must be called before producers start;
+  /// without a classifier BP_Shed sheds nothing. No-op on backends
+  /// without a bounded stage.
+  virtual void setShedClassifier(std::function<bool(const Action &)> Fn) {
+    (void)Fn;
+  }
+
+  /// Checked-prefix reclamation: every record with Seq < \p Watermark has
+  /// been fully checked and will never be read again. Segmented
+  /// file-backed logs delete covered segment files; other backends
+  /// ignore it. Called from the verification (pump) thread.
+  virtual void reclaimCheckedPrefix(uint64_t Watermark) { (void)Watermark; }
+
 protected:
   /// The attached hub, or null. Hot paths should read it once and cache
   /// the per-thread cell.
@@ -108,10 +130,15 @@ private:
 };
 
 /// In-memory log: a mutex-guarded queue with a condition variable for the
-/// reader. Records are released as they are consumed.
+/// reader. Records are released as they are consumed. With a
+/// BackpressureConfig the queue is bounded: BP_Block parks the producer
+/// until the reader makes room, BP_Shed drops observer executions
+/// (BP_SpillToDisk has no disk here and degrades to BP_Block — the
+/// Verifier's validate() rejects the combination up front).
 class MemoryLog : public Log {
 public:
   MemoryLog();
+  explicit MemoryLog(const BackpressureConfig &BP);
   ~MemoryLog() override;
 
   uint64_t append(Action A) override;
@@ -119,13 +146,26 @@ public:
   bool next(Action &Out) override;
   bool tryNext(Action &Out, bool &End) override;
   uint64_t appendCount() const override;
+  BackpressureStats backpressureStats() const override;
+  void setShedClassifier(std::function<bool(const Action &)> Fn) override;
 
 private:
+  bool overLimitLocked() const;
+  void popLocked(Action &Out);
+
   mutable std::mutex M;
   std::condition_variable CV;
+  /// BP_Block producers wait here; separate from CV so a room-making pop
+  /// never wakes the reader and vice versa.
+  std::condition_variable SpaceCV;
   ChunkQueue<Action> Q; // chunk-recycling: see Ring.h
   uint64_t NextSeq = 0;
   bool Closed = false;
+
+  BackpressureConfig BP;
+  ShedFilter Shed;        // guarded by M
+  BackpressureStats Stats; // guarded by M
+  uint64_t QueueBytes = 0; // estimated bytes Q pins (BP enabled only)
 };
 
 /// File-backed log. Every record is serialized and written to the file; the
@@ -133,6 +173,16 @@ private:
 /// not touch the disk (Sec. 4.2: "the log is a file whose tail is kept in
 /// memory for faster access"). The file can be re-read later with
 /// loadLogFile for post-mortem checking.
+///
+/// With a BackpressureConfig the in-memory tail is bounded. BP_Block
+/// parks the producer; BP_SpillToDisk stops retaining over-limit records
+/// in the tail (they are on disk anyway) and the reader re-reads the
+/// spilled region through a tailing LogFileReader when it catches up;
+/// BP_Shed drops observer executions from the tail only — the disk log
+/// stays complete for post-mortem re-checking, the accounting says
+/// exactly what the online checker did not see. SegmentBytes > 0 rotates
+/// the output into a segment chain (SegmentSink) that
+/// reclaimCheckedPrefix() trims as checkers advance.
 class FileLog : public Log {
 public:
   /// Creates/truncates \p Path. \p Valid reports whether the file opened.
@@ -140,6 +190,8 @@ public:
   /// reports end-of-log after close): use for logging-only measurement
   /// runs where nothing consumes the log online.
   FileLog(const std::string &Path, bool &Valid, bool RetainTail = true);
+  FileLog(const std::string &Path, bool &Valid, const BackpressureConfig &BP,
+          bool RetainTail = true);
   ~FileLog() override;
 
   uint64_t append(Action A) override;
@@ -148,22 +200,46 @@ public:
   bool tryNext(Action &Out, bool &End) override;
   uint64_t appendCount() const override;
   uint64_t byteCount() const override;
+  BackpressureStats backpressureStats() const override;
+  void setShedClassifier(std::function<bool(const Action &)> Fn) override;
+  void reclaimCheckedPrefix(uint64_t Watermark) override;
 
   const std::string &path() const { return Path; }
 
 private:
+  bool overLimitLocked() const;
+  bool readyLocked() const;
+  bool spillModeOn() const;
+  void admitTailLocked(std::unique_lock<std::mutex> &Lock, Action &&A);
+  bool tryNextLocked(Action &Out, bool &End);
+  bool spillNextLocked(Action &Out);
+  void popTailLocked(Action &Out);
+
   std::string Path;
-  std::FILE *File = nullptr;
+  SegmentSink Sink; ///< the disk side: file(s), encoder, rotation
 
   mutable std::mutex M;
   std::condition_variable CV;
+  std::condition_variable SpaceCV; // BP_Block producers wait for room
   ChunkQueue<Action> Tail; // decoded tail for the online reader
-  ActionEncoder Encoder;
-  ByteWriter Scratch;
   uint64_t NextSeq = 0;
-  uint64_t Bytes = 0;
   bool Closed = false;
   bool RetainTail = true;
+
+  BackpressureConfig BP;
+  ShedFilter Shed;         // guarded by M
+  BackpressureStats Stats; // guarded by M
+  uint64_t TailBytes = 0;  // estimated bytes Tail pins (BP enabled only)
+  /// Spill bookkeeping (guarded by M): the next sequence number the
+  /// reader delivers, and the catch-up reader over the sink's file(s)
+  /// positioned so its next record is SpillNextSeq.
+  uint64_t Delivered = 0;
+  std::unique_ptr<LogFileReader> SpillReader;
+  uint64_t SpillNextSeq = 0;
+  bool SpillFailed = false; // latched on corrupt spilled region
+  /// Segment telemetry deltas already forwarded (pump thread only).
+  uint64_t SegCreatedSeen = 0;
+  uint64_t SegReclaimedSeen = 0;
 };
 
 /// Streaming reader over a log file produced by FileLog/BufferedLog:
@@ -171,6 +247,20 @@ private:
 /// logs are processed in O(window) memory. loadLogFile and
 /// `vyrd-logdump --stats` are built on it; the window only grows when a
 /// single record is larger than it.
+///
+/// Segment chains (docs/LOGFORMAT.md, v4) are walked transparently: a
+/// file carrying a segment header continues into `base.<index+1>` when
+/// the current segment is exhausted, and opening a chain's *base* path
+/// that does not exist itself falls back to the earliest live segment.
+/// Rotation order guarantees a successor's existence proves its
+/// predecessor is complete on disk, so leftover undecodable bytes before
+/// a successor are real corruption.
+///
+/// Tailing mode (setTailing) reads a file a writer is still appending
+/// to: end-of-file is treated as "no more data *yet*" — next() returns
+/// false without latching EOF or flagging a record truncated at the
+/// write frontier as malformed, and a later call re-probes the file and
+/// the chain. FileLog/BufferedLog spill readers run in this mode.
 class LogFileReader {
 public:
   explicit LogFileReader(const std::string &Path);
@@ -187,13 +277,22 @@ public:
   bool malformed() const { return Malformed; }
   /// Encoded bytes consumed so far (progress reporting on huge logs).
   uint64_t bytesConsumed() const { return Consumed; }
+  /// Chain index of the segment currently being read (0 outside chains).
+  uint64_t segmentIndex() const { return ChainIndex; }
+
+  /// See the class comment; must be set before the first next() that
+  /// could hit end-of-file.
+  void setTailing(bool T) { Tailing = T; }
 
   /// Decodes the next record into \p Out. \returns false at clean end of
-  /// file or on malformed input — distinguish via malformed().
+  /// file (of the whole chain), on malformed input — distinguish via
+  /// malformed() — or, in tailing mode, when no complete record is
+  /// available yet.
   bool next(Action &Out);
 
 private:
   void refill();
+  bool advanceSegment();
 
   std::FILE *File = nullptr;
   ActionDecoder Decoder;
@@ -204,6 +303,11 @@ private:
   uint32_t Version = 1;
   bool Eof = false;
   bool Malformed = false;
+  bool Tailing = false;
+  /// Non-empty while walking a segment chain: the chain's base path and
+  /// the 1-based index of the segment currently open.
+  std::string ChainBase;
+  uint64_t ChainIndex = 0;
 };
 
 /// Decodes all records of a log file previously produced by FileLog.

@@ -101,15 +101,33 @@ void vyrd::writeLogHeader(ByteWriter &W) {
   W.varint(LogFormatVersion);
 }
 
-uint32_t vyrd::readLogHeader(ByteReader &R) {
+void vyrd::writeSegmentHeader(ByteWriter &W, uint64_t Index,
+                              uint64_t FirstSeq) {
+  W.bytes(LogMagic, sizeof(LogMagic));
+  W.varint(LogSegmentVersion);
+  W.varint(Index);
+  W.varint(FirstSeq);
+}
+
+uint32_t vyrd::readLogHeader(ByteReader &R, LogSegmentInfo *Seg) {
   uint8_t Magic[4];
   ByteReader Probe = R;
   if (!Probe.bytes(Magic, sizeof(Magic)) ||
       std::memcmp(Magic, LogMagic, sizeof(LogMagic)) != 0)
     return 1; // Headerless legacy stream; leave R untouched.
   uint64_t Version = Probe.varint();
-  if (!Probe.ok() || Version < 2 || Version > LogFormatVersion)
+  if (!Probe.ok() || Version < 2 || Version > LogSegmentVersion)
     return 0;
+  if (Version == LogSegmentVersion) {
+    uint64_t Index = Probe.varint();
+    uint64_t FirstSeq = Probe.varint();
+    if (!Probe.ok())
+      return 0;
+    if (Seg) {
+      Seg->Index = Index;
+      Seg->FirstSeq = FirstSeq;
+    }
+  }
   R = Probe;
   return static_cast<uint32_t>(Version);
 }

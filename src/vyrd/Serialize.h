@@ -41,8 +41,15 @@
 
 namespace vyrd {
 
-/// Current version of the on-disk log format.
+/// Current version of the on-disk log format (plain single-file logs).
 constexpr uint32_t LogFormatVersion = 3;
+
+/// Format version of one file in a rotated segment chain (SegmentSink):
+/// the header additionally carries the segment's 1-based chain index and
+/// the sequence number of its first record, and the record layout is
+/// exactly v3. Each segment restarts the name-interning table, so a
+/// segment decodes without its predecessors (they may be reclaimed).
+constexpr uint32_t LogSegmentVersion = 4;
 
 /// Magic bytes opening every log file from v2 on. The first byte, 'V'
 /// (0x56), is neither the name-definition tag (0xFF) nor a valid
@@ -56,12 +63,25 @@ class ByteReader;
 /// Log backends call this once, before the first record.
 void writeLogHeader(ByteWriter &W);
 
+/// Appends a segment-file header (magic + LogSegmentVersion + varint
+/// segment index + varint first sequence number) to \p W. SegmentSink
+/// writes one at the front of every segment.
+void writeSegmentHeader(ByteWriter &W, uint64_t Index, uint64_t FirstSeq);
+
+/// The extra fields a LogSegmentVersion header carries.
+struct LogSegmentInfo {
+  uint64_t Index = 0;    ///< 1-based position in the segment chain
+  uint64_t FirstSeq = 0; ///< sequence number of the segment's first record
+};
+
 /// Consumes the file header if one is present at the reader position and
 /// returns the stream's format version: the header's version when the
 /// magic matches, 1 for headerless legacy streams (the reader position is
 /// left untouched), or 0 when the magic is present but the header is
-/// malformed or the version is newer than this build understands.
-uint32_t readLogHeader(ByteReader &R);
+/// malformed or the version is newer than this build understands. A
+/// LogSegmentVersion header's index/first-seq fields are stored into
+/// \p Seg when non-null (and consumed either way).
+uint32_t readLogHeader(ByteReader &R, LogSegmentInfo *Seg = nullptr);
 
 /// Growable byte sink with varint helpers.
 class ByteWriter {

@@ -49,6 +49,16 @@ const char *vyrd::counterName(Counter C) {
     return "obs_memo_hits";
   case Counter::C_ObsMemoMisses:
     return "obs_memo_misses";
+  case Counter::C_ShedRecords:
+    return "shed_records";
+  case Counter::C_SpilledRecords:
+    return "spilled_records";
+  case Counter::C_BlockedAppends:
+    return "blocked_appends";
+  case Counter::C_SegmentsCreated:
+    return "segments_created";
+  case Counter::C_SegmentsReclaimed:
+    return "segments_reclaimed";
   case Counter::NumCounters:
     break;
   }
@@ -72,6 +82,8 @@ const char *vyrd::histoName(Histo H) {
     return "view_compare_cost";
   case Histo::H_CheckerLag:
     return "checker_lag";
+  case Histo::H_BlockedNs:
+    return "blocked_append";
   case Histo::NumHistos:
     break;
   }
@@ -84,6 +96,7 @@ const char *vyrd::histoUnit(Histo H) {
   case Histo::H_AppendNs:
   case Histo::H_FeedNs:
   case Histo::H_ViewCompareNs:
+  case Histo::H_BlockedNs:
     return "ns";
   case Histo::H_FlushBatch:
   case Histo::H_FeedBatch:
@@ -94,6 +107,21 @@ const char *vyrd::histoUnit(Histo H) {
   case Histo::NumHistos:
     break;
   }
+  return "?";
+}
+
+const char *vyrd::gaugeName(Gauge G) {
+  switch (G) {
+  case Gauge::G_PendingRecords:
+    return "pending_records";
+  case Gauge::G_TailBytes:
+    return "tail_bytes";
+  case Gauge::G_SegmentsLive:
+    return "segments_live";
+  case Gauge::NumGauges:
+    break;
+  }
+  assert(false && "unknown Gauge");
   return "?";
 }
 
@@ -144,6 +172,15 @@ std::string TelemetrySnapshot::str() const {
                 "checker_lag_now", CheckerLag,
                 Stalled ? "  ** STALLED **" : "");
   Out += Buf;
+  for (size_t G = 0; G < NumGauges; ++G) {
+    if (!Gauges[G] && !GaugeHwms[G])
+      continue;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %-18s %12" PRIu64 "  hwm=%" PRIu64 "\n",
+                  gaugeName(static_cast<Gauge>(G)), Gauges[G],
+                  GaugeHwms[G]);
+    Out += Buf;
+  }
   for (size_t O = 0; O < Objects.size(); ++O) {
     const ObjectTelemetry &OT = Objects[O];
     std::string Label =
@@ -176,6 +213,14 @@ std::string TelemetrySnapshot::json() const {
   for (size_t C = 0; C < NumCounters; ++C) {
     std::snprintf(Buf, sizeof(Buf), "%s\"%s\":%" PRIu64, C ? "," : "",
                   counterName(static_cast<Counter>(C)), Counters[C]);
+    Out += Buf;
+  }
+  Out += "},\"gauges\":{";
+  for (size_t G = 0; G < NumGauges; ++G) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s\"%s\":{\"now\":%" PRIu64 ",\"hwm\":%" PRIu64 "}",
+                  G ? "," : "", gaugeName(static_cast<Gauge>(G)), Gauges[G],
+                  GaugeHwms[G]);
     Out += Buf;
   }
   Out += "},\"histograms\":{";
@@ -286,6 +331,16 @@ uint64_t Telemetry::checkerLag() const {
   return Produced > Consumed ? Produced - Consumed : 0;
 }
 
+uint64_t Telemetry::counterTotal(Counter C) const {
+  std::lock_guard Lock(RegistryM);
+  uint64_t Total = 0;
+  for (const auto &CellPtr : CellByTid)
+    if (CellPtr)
+      Total += CellPtr->Counters[static_cast<size_t>(C)].load(
+          std::memory_order_relaxed);
+  return Total;
+}
+
 void Telemetry::registerObject(uint32_t Obj, std::string ObjName) {
   std::lock_guard Lock(RegistryM);
   if (ObjectsById.size() <= Obj)
@@ -376,11 +431,22 @@ void Telemetry::samplerMain() {
       if (!Reported) {
         Reported = true;
         TC.count(Counter::C_WatchdogStalls);
+        // Distinguish the two stall shapes: a checker that stopped
+        // consuming (pending records pile up) vs producers parked on
+        // backpressure behind a bound (appends blocked, pending at the
+        // configured ceiling).
+        uint64_t Pending = gauge(Gauge::G_PendingRecords);
+        uint64_t Blocked = counterTotal(Counter::C_BlockedAppends);
         Opts.StallReport(
             "verifier stalled: consumer stuck at seq " +
             std::to_string(ConsumedNow) + " with lag " +
             std::to_string(Lag) + " for over " +
-            std::to_string(Opts.WatchdogQuietMs) + " ms");
+            std::to_string(Opts.WatchdogQuietMs) + " ms (pending_records=" +
+            std::to_string(Pending) + ", blocked_appends=" +
+            std::to_string(Blocked) +
+            (Blocked ? "; producers blocked on backpressure"
+                     : "; checker slow") +
+            ")");
       }
     }
   }
@@ -416,6 +482,10 @@ TelemetrySnapshot Telemetry::snapshot() const {
       }
       S.Objects.push_back(std::move(OT));
     }
+  }
+  for (size_t G = 0; G < NumGauges; ++G) {
+    S.Gauges[G] = GaugeNow[G].load(std::memory_order_relaxed);
+    S.GaugeHwms[G] = GaugeHwm[G].load(std::memory_order_relaxed);
   }
   S.CheckerLag = checkerLag();
   S.Stalled = stalled();

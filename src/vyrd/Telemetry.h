@@ -86,6 +86,18 @@ enum class Counter : uint8_t {
   /// call. Flushed once per checker at finish().
   C_ObsMemoHits,
   C_ObsMemoMisses,
+  /// Records dropped by the BP_Shed backpressure policy (whole observer
+  /// executions; see docs/ARCHITECTURE.md, "Bounded pipeline").
+  C_ShedRecords,
+  /// Records that bypassed an over-limit in-memory queue and were
+  /// re-read from disk (BP_SpillToDisk).
+  C_SpilledRecords,
+  /// Appends that had to wait for queue space (BP_Block).
+  C_BlockedAppends,
+  /// Log segment files created / reclaimed (SegmentSink rotation and
+  /// checked-prefix deletion).
+  C_SegmentsCreated,
+  C_SegmentsReclaimed,
   NumCounters
 };
 
@@ -106,11 +118,31 @@ enum class Histo : uint8_t {
   H_ViewCompareNs,
   /// Sampled checker lag, in sequence numbers (sampler thread).
   H_CheckerLag,
+  /// Time one BP_Block append spent waiting for queue space, nanoseconds
+  /// (every blocked append records; unblocked appends record nothing).
+  H_BlockedNs,
   NumHistos
+};
+
+/// Instantaneous pipeline levels with high-watermark tracking. Unlike
+/// counters (per-thread cells, summed at snapshot), gauges are shared
+/// add/sub atomics on the hub: several stages move the same level (e.g.
+/// the log's tail and the checker pool both hold pending records), so
+/// the current value must be a single point of truth. Names: gaugeName().
+enum class Gauge : uint8_t {
+  /// Records admitted to an in-memory queue (log tail / pool pending)
+  /// and not yet consumed by the checker side.
+  G_PendingRecords,
+  /// Estimated bytes those pending records pin (actionFootprintBytes).
+  G_TailBytes,
+  /// Log segment files currently on disk.
+  G_SegmentsLive,
+  NumGauges
 };
 
 constexpr size_t NumCounters = static_cast<size_t>(Counter::NumCounters);
 constexpr size_t NumHistos = static_cast<size_t>(Histo::NumHistos);
+constexpr size_t NumGauges = static_cast<size_t>(Gauge::NumGauges);
 /// Bucket B holds values whose bit width is B: bucket 0 is {0}, bucket
 /// B >= 1 covers [2^(B-1), 2^B - 1]. 40 buckets cover every value the
 /// pipeline can produce (nanosecond latencies up to ~18 minutes).
@@ -121,6 +153,7 @@ const char *counterName(Counter C);
 const char *histoName(Histo H);
 /// Unit suffix for a histogram ("ns", "records", "seq").
 const char *histoUnit(Histo H);
+const char *gaugeName(Gauge G);
 
 /// One histogram's frozen contents.
 struct HistoSnapshot {
@@ -154,6 +187,9 @@ struct ObjectTelemetry {
 struct TelemetrySnapshot {
   uint64_t Counters[NumCounters] = {};
   HistoSnapshot Histos[NumHistos] = {};
+  /// Gauge level at snapshot time and its all-time high-watermark.
+  uint64_t Gauges[NumGauges] = {};
+  uint64_t GaugeHwms[NumGauges] = {};
   /// Producer-minus-consumer distance at snapshot time (0 without a
   /// producer probe).
   uint64_t CheckerLag = 0;
@@ -168,6 +204,10 @@ struct TelemetrySnapshot {
   }
   const HistoSnapshot &histo(Histo H) const {
     return Histos[static_cast<size_t>(H)];
+  }
+  uint64_t gauge(Gauge G) const { return Gauges[static_cast<size_t>(G)]; }
+  uint64_t gaugeHwm(Gauge G) const {
+    return GaugeHwms[static_cast<size_t>(G)];
   }
 
   /// Multi-line human-readable rendering.
@@ -260,6 +300,34 @@ public:
   /// Producer ticket minus consumer gauge; 0 without a producer probe.
   uint64_t checkerLag() const;
 
+  /// Gauge updates: shared atomics (see the Gauge enum for why these are
+  /// not per-cell). gaugeAdd maintains the high-watermark; gaugeSet is
+  /// for levels owned by one component (e.g. live segment count).
+  void gaugeAdd(Gauge G, uint64_t N) {
+    uint64_t Now = GaugeNow[static_cast<size_t>(G)].fetch_add(
+                       N, std::memory_order_relaxed) +
+                   N;
+    raiseGaugeHwm(G, Now);
+  }
+  void gaugeSub(Gauge G, uint64_t N) {
+    GaugeNow[static_cast<size_t>(G)].fetch_sub(N,
+                                               std::memory_order_relaxed);
+  }
+  void gaugeSet(Gauge G, uint64_t V) {
+    GaugeNow[static_cast<size_t>(G)].store(V, std::memory_order_relaxed);
+    raiseGaugeHwm(G, V);
+  }
+  uint64_t gauge(Gauge G) const {
+    return GaugeNow[static_cast<size_t>(G)].load(std::memory_order_relaxed);
+  }
+  uint64_t gaugeHwm(Gauge G) const {
+    return GaugeHwm[static_cast<size_t>(G)].load(std::memory_order_relaxed);
+  }
+
+  /// Sum of one counter across every registered cell (convenience for
+  /// watchdog messages that must not pay for a full snapshot).
+  uint64_t counterTotal(Counter C) const;
+
   /// Registers a verified object's counter pair (multi-object engine).
   /// \p Obj ids must be dense and registered before the pipeline starts;
   /// \p ObjName labels the snapshot entry. Idempotent per id.
@@ -284,6 +352,14 @@ public:
 private:
   void samplerMain();
 
+  void raiseGaugeHwm(Gauge G, uint64_t Now) {
+    std::atomic<uint64_t> &H = GaugeHwm[static_cast<size_t>(G)];
+    uint64_t Cur = H.load(std::memory_order_relaxed);
+    while (Now > Cur &&
+           !H.compare_exchange_weak(Cur, Now, std::memory_order_relaxed))
+      ;
+  }
+
   Options Opts;
   const uint64_t InstanceId;
 
@@ -302,6 +378,9 @@ private:
 
   std::atomic<uint64_t> Consumed{0};
   std::atomic<bool> StallFlag{false};
+
+  std::atomic<uint64_t> GaugeNow[NumGauges] = {};
+  std::atomic<uint64_t> GaugeHwm[NumGauges] = {};
 
   std::thread Sampler;
   std::atomic<bool> SamplerStop{false};

@@ -145,6 +145,16 @@ void TraceRecorder::noteVerifierInstant(uint64_t Seq, std::string Name) {
   Events.push_back({'i', 1, VerifierTrackTid, Seq, std::move(Name), Buf});
 }
 
+void TraceRecorder::noteGauge(uint64_t Seq, std::string Name,
+                              uint64_t Value) {
+  std::lock_guard Lock(M);
+  SawVerifierEvent = true;
+  MaxTs = std::max(MaxTs, Seq);
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "{\"value\":%" PRIu64 "}", Value);
+  Events.push_back({'C', 1, VerifierTrackTid, Seq, std::move(Name), Buf});
+}
+
 size_t TraceRecorder::eventCount() const {
   std::lock_guard Lock(M);
   return Events.size();

@@ -6,6 +6,8 @@
 
 #include "vyrd/Verifier.h"
 
+#include "vyrd/Ring.h"
+
 #include <algorithm>
 #include <cassert>
 #include <condition_variable>
@@ -23,8 +25,31 @@ using namespace vyrd;
 std::string VerifierConfig::validate() const {
   if (Backend == LogBackend::LB_File && LogFilePath.empty())
     return "Backend = LB_File requires LogFilePath";
-  if (Backend == LogBackend::LB_Buffered && ShardCapacity == 0)
-    return "Backend = LB_Buffered requires ShardCapacity >= 1";
+  // LB_Auto is included: its resolution rule may route it to the
+  // buffered backend, and a zero shard capacity must not depend on which
+  // way the auto choice falls.
+  if ((Backend == LogBackend::LB_Buffered ||
+       Backend == LogBackend::LB_Auto) &&
+      ShardCapacity == 0)
+    return "ShardCapacity must be >= 1 (required by LB_Buffered, which "
+           "LB_Auto may resolve to)";
+  if (Backpressure.Enabled) {
+    if (Backpressure.MaxPendingRecords == 0)
+      return "Backpressure.MaxPendingRecords must be >= 1 when "
+             "backpressure is enabled (a zero bound admits nothing)";
+    if (Backpressure.Policy == BackpressurePolicy::BP_SpillToDisk &&
+        (LogFilePath.empty() || Backend == LogBackend::LB_Memory))
+      return "Backpressure.Policy = BP_SpillToDisk requires a file-backed "
+             "log (set LogFilePath and a non-memory backend)";
+    if (!Online && Backpressure.Policy == BackpressurePolicy::BP_Block)
+      return "Backpressure.Policy = BP_Block requires Online = true "
+             "(offline runs have no concurrent reader to make room; a "
+             "blocked producer would deadlock)";
+    if (!Online && Backpressure.Policy == BackpressurePolicy::BP_Shed)
+      return "Backpressure.Policy = BP_Shed requires Online = true "
+             "(offline runs buffer the whole log anyway, so shedding "
+             "would lose coverage for no memory benefit)";
+  }
   if (CheckerThreads == 0)
     return "CheckerThreads must be >= 1";
   if (CheckerThreads > 1 && !Online)
@@ -62,6 +87,28 @@ std::string VerifierReport::str() const {
              std::to_string(O.Violations.size()) + " violation(s)\n";
     }
   }
+  if (Backpressure.any()) {
+    Out += "backpressure:";
+    if (Backpressure.BlockedAppends)
+      Out += " blocked_appends=" + std::to_string(Backpressure.BlockedAppends) +
+             " blocked_ms=" +
+             std::to_string(Backpressure.BlockedNanos / 1000000);
+    if (Backpressure.ShedRecords)
+      Out += " shed_records=" + std::to_string(Backpressure.ShedRecords);
+    if (Backpressure.SpilledRecords)
+      Out += " spilled_records=" + std::to_string(Backpressure.SpilledRecords);
+    if (Backpressure.PendingRecordsHwm)
+      Out += " pending_hwm=" + std::to_string(Backpressure.PendingRecordsHwm);
+    if (Backpressure.TailBytesHwm)
+      Out += " tail_bytes_hwm=" + std::to_string(Backpressure.TailBytesHwm);
+    if (Backpressure.SegmentsCreated)
+      Out += " segments=" + std::to_string(Backpressure.SegmentsCreated) +
+             "/reclaimed=" + std::to_string(Backpressure.SegmentsReclaimed) +
+             "/live_hwm=" + std::to_string(Backpressure.SegmentsLiveHwm);
+    Out += "\n";
+  }
+  for (const std::string &N : Notes)
+    Out += "note: " + N + "\n";
   if (Violations.empty())
     Out += "no refinement violations\n";
   else {
@@ -97,6 +144,39 @@ static std::string statsJson(const CheckerStats &S) {
   return Out;
 }
 
+/// Renders one BackpressureStats as a JSON object body.
+static std::string backpressureJson(const BackpressureStats &S) {
+  std::string Out = "{";
+  Out += "\"blocked_appends\":" + std::to_string(S.BlockedAppends);
+  Out += ",\"blocked_ns\":" + std::to_string(S.BlockedNanos);
+  Out += ",\"shed_records\":" + std::to_string(S.ShedRecords);
+  Out += ",\"spilled_records\":" + std::to_string(S.SpilledRecords);
+  Out += ",\"pending_records_hwm\":" + std::to_string(S.PendingRecordsHwm);
+  Out += ",\"tail_bytes_hwm\":" + std::to_string(S.TailBytesHwm);
+  Out += ",\"segments_created\":" + std::to_string(S.SegmentsCreated);
+  Out += ",\"segments_reclaimed\":" + std::to_string(S.SegmentsReclaimed);
+  Out += ",\"segments_live_hwm\":" + std::to_string(S.SegmentsLiveHwm);
+  Out += "}";
+  return Out;
+}
+
+/// Escapes a note string for a JSON string literal (notes are generated
+/// text; only quotes/backslashes/control bytes need care).
+static std::string escapeNote(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      Out += ' ';
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
 std::string VerifierReport::json() const {
   std::string Out = "{";
   Out += "\"ok\":" + std::string(ok() ? "true" : "false");
@@ -117,6 +197,17 @@ std::string VerifierReport::json() const {
     Out += "}";
   }
   Out += "]";
+  if (Backpressure.any())
+    Out += ",\"backpressure\":" + backpressureJson(Backpressure);
+  if (!Notes.empty()) {
+    Out += ",\"notes\":[";
+    for (size_t I = 0; I < Notes.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += "\"" + escapeNote(Notes[I]) + "\"";
+    }
+    Out += "]";
+  }
   if (TelemetryEnabled)
     Out += ",\"telemetry\":" + Telemetry.json();
   if (TraceEvents)
@@ -145,8 +236,18 @@ struct Verifier::ObjectState {
   // "scheduled" from the moment it enters the runnable queue until the
   // worker that picked it up finds its pending queue empty, so at most
   // one worker touches Checker at a time and batches are fed FIFO.
-  std::deque<std::vector<Action>> PendingBatches;
+  // ChunkQueue (not a deque) so the steady state — a few batches deep —
+  // cycles through the same cache-hot chunks with zero heap traffic.
+  ChunkQueue<std::vector<Action>> PendingBatches;
   bool Scheduled = false;
+  /// Records dispatched to this object and not yet fed (pending batches
+  /// plus the batch a worker is feeding right now). Guarded by
+  /// CheckerPool::M.
+  uint64_t PendingRecs = 0;
+  /// Every record with Seq < FedExclusive has been fed to the checker.
+  /// Guarded by CheckerPool::M; meaningful while PendingRecs > 0 (an
+  /// idle object is checked through everything routed to it).
+  uint64_t FedExclusive = 0;
 };
 
 /// The verification worker pool. Scheduling unit: one object. dispatch()
@@ -157,7 +258,8 @@ struct Verifier::ObjectState {
 /// parallelism is bounded by min(objects, workers).
 class Verifier::CheckerPool {
 public:
-  CheckerPool(Verifier &V, unsigned NumWorkers) : V(V) {
+  CheckerPool(Verifier &V, unsigned NumWorkers)
+      : V(V), BP(V.Config.Backpressure) {
     Workers.reserve(NumWorkers);
     for (unsigned I = 0; I < NumWorkers; ++I)
       Workers.emplace_back([this] { workerMain(); });
@@ -169,8 +271,57 @@ public:
   /// recycled (empty, capacity-bearing) vector in its place, so the pump
   /// and the workers circulate a bounded set of batch buffers instead of
   /// allocating a fresh one per dispatch.
+  ///
+  /// With backpressure enabled the total records pending across objects
+  /// are bounded by MaxPendingRecords: BP_Block (and BP_SpillToDisk,
+  /// which has nothing left to spill here — the records are already in
+  /// memory) parks the pump until workers drain below the bound, so the
+  /// pressure propagates back into the log; BP_Shed drops observer
+  /// executions from the batch while over the bound. Admission is
+  /// batch-granular, so occupancy can overshoot the bound by at most one
+  /// pump batch.
   void dispatch(ObjectState &O, std::vector<Action> &Batch) {
-    std::lock_guard Lock(M);
+    std::unique_lock Lock(M);
+    if (BP.Enabled) {
+      if (BP.Policy == BackpressurePolicy::BP_Shed &&
+          Shed.hasClassifier()) {
+        size_t Kept = 0;
+        for (size_t I = 0; I < Batch.size(); ++I) {
+          bool Over = PendingRecs + Kept >= BP.MaxPendingRecords;
+          if (Shed.shouldShed(Batch[I], Over)) {
+            ++Stats.ShedRecords;
+            continue;
+          }
+          if (Kept != I)
+            Batch[Kept] = std::move(Batch[I]);
+          ++Kept;
+        }
+        if (size_t ShedNow = Batch.size() - Kept; ShedNow && V.Telem)
+          V.Telem->count(Counter::C_ShedRecords, ShedNow);
+        Batch.resize(Kept);
+        if (Batch.empty()) {
+          Batch.clear();
+          return; // whole batch shed; buffer reused as-is next round
+        }
+      } else if (PendingRecs >= BP.MaxPendingRecords) {
+        uint64_t T0 = telemetryNowNanos();
+        SpaceCV.wait(Lock, [&] {
+          return PendingRecs < BP.MaxPendingRecords;
+        });
+        uint64_t Waited = telemetryNowNanos() - T0;
+        ++Stats.BlockedAppends;
+        Stats.BlockedNanos += Waited;
+        if (V.Telem) {
+          V.Telem->count(Counter::C_BlockedAppends);
+          V.Telem->cell().record(Histo::H_BlockedNs, Waited);
+        }
+      }
+    }
+    PendingRecs += Batch.size();
+    O.PendingRecs += Batch.size();
+    Stats.PendingRecordsHwm = std::max(Stats.PendingRecordsHwm, PendingRecs);
+    if (V.Telem)
+      V.Telem->gaugeAdd(Gauge::G_PendingRecords, Batch.size());
     O.PendingBatches.push_back(std::move(Batch));
     if (FreeBatches.empty()) {
       Batch = std::vector<Action>();
@@ -184,6 +335,30 @@ public:
       Runnable.push_back(&O);
       WorkCV.notify_one();
     }
+  }
+
+  /// The sequence number below which every record dispatched to the pool
+  /// has been fed to its checker, capped at \p Upper (the pump's routed
+  /// frontier). The pump passes this to Log::reclaimCheckedPrefix.
+  uint64_t checkedWatermark(uint64_t Upper) {
+    std::lock_guard Lock(M);
+    uint64_t W = Upper;
+    for (const auto &O : V.Objects)
+      if (O->PendingRecs)
+        W = std::min(W, O->FedExclusive);
+    return W;
+  }
+
+  /// Installs the observer classifier BP_Shed consults (same contract as
+  /// Log::setShedClassifier). Call before the pump dispatches.
+  void setShedClassifier(std::function<bool(const Action &)> Fn) {
+    std::lock_guard Lock(M);
+    Shed.setClassifier(std::move(Fn));
+  }
+
+  BackpressureStats stats() const {
+    std::lock_guard Lock(M);
+    return Stats;
   }
 
   /// Waits until every dispatched batch has been checked, then stops and
@@ -228,10 +403,25 @@ private:
         O->PendingBatches.pop_front();
         Lock.unlock();
         V.feedObject(*O, Batch, TC);
+        uint64_t BatchN = Batch.size();
+        uint64_t BatchEnd = BatchN ? Batch.back().Seq + 1 : 0;
         // Release the records outside the lock; hand the empty buffer
         // (capacity intact) back to the pump via the freelist.
         Batch.clear();
         Lock.lock();
+        // Account the batch as fed only now: until this point it was
+        // neither pending nor checked, and the watermark must not
+        // advance past records still being fed (a reclaimed segment
+        // would strand a concurrent spill reader).
+        if (BatchN) {
+          O->FedExclusive = std::max(O->FedExclusive, BatchEnd);
+          O->PendingRecs -= BatchN;
+          PendingRecs -= BatchN;
+          if (V.Telem)
+            V.Telem->gaugeSub(Gauge::G_PendingRecords, BatchN);
+          if (BP.Enabled)
+            SpaceCV.notify_one();
+        }
         if (FreeBatches.size() < MaxFreeBatches)
           FreeBatches.push_back(std::move(Batch));
       }
@@ -239,9 +429,15 @@ private:
   }
 
   Verifier &V;
-  std::mutex M;
+  const BackpressureConfig BP;
+  mutable std::mutex M;
   std::condition_variable WorkCV; ///< workers wait for runnable objects
   std::condition_variable IdleCV; ///< drainAndJoin waits for quiescence
+  std::condition_variable SpaceCV; ///< BP_Block: pump waits for room
+  ShedFilter Shed;                 ///< BP_Shed windows (guarded by M)
+  BackpressureStats Stats;         ///< admission accounting (guarded by M)
+  /// Records pending across all objects (dispatched, not yet fed).
+  uint64_t PendingRecs = 0;
   std::deque<ObjectState *> Runnable;
   /// Consumed batch buffers awaiting reuse by dispatch() (bounded so a
   /// burst cannot pin memory forever).
@@ -271,11 +467,12 @@ Verifier::Verifier(VerifierConfig C) : Config(std::move(C)) {
   switch (B) {
   case LogBackend::LB_Auto: // resolved above
   case LogBackend::LB_Memory:
-    TheLog = std::make_unique<MemoryLog>();
+    TheLog = std::make_unique<MemoryLog>(Config.Backpressure);
     break;
   case LogBackend::LB_File: {
     bool Valid = false;
-    auto FL = std::make_unique<FileLog>(Config.LogFilePath, Valid);
+    auto FL = std::make_unique<FileLog>(Config.LogFilePath, Valid,
+                                        Config.Backpressure);
     assert(Valid && "cannot open log file");
     (void)Valid;
     TheLog = std::move(FL);
@@ -285,6 +482,7 @@ Verifier::Verifier(VerifierConfig C) : Config(std::move(C)) {
     BufferedLog::Options BO;
     BO.ShardCapacity = Config.ShardCapacity;
     BO.FilePath = Config.LogFilePath;
+    BO.Backpressure = Config.Backpressure;
     auto BL = std::make_unique<BufferedLog>(std::move(BO));
     assert(BL->valid() && "cannot open log file");
     TheLog = std::move(BL);
@@ -429,6 +627,23 @@ void Verifier::pump() {
       Telem->noteConsumed(LastSeq + 1);
     if (Tracer)
       Tracer->noteCheckSpan(FirstSeq, LastSeq, NumActions);
+    // Checked-prefix reclamation: everything this thread fed inline is
+    // checked through LastSeq; with a pool, the watermark stops at the
+    // oldest record still pending on any object.
+    if (Config.Backpressure.SegmentBytes) {
+      uint64_t Checked =
+          Pool ? Pool->checkedWatermark(LastSeq + 1) : LastSeq + 1;
+      TheLog->reclaimCheckedPrefix(Checked);
+    }
+    if (Tracer && Telem && Config.Backpressure.Enabled) {
+      Tracer->noteGauge(LastSeq, "pending_records",
+                        Telem->gauge(Gauge::G_PendingRecords));
+      Tracer->noteGauge(LastSeq, "tail_bytes",
+                        Telem->gauge(Gauge::G_TailBytes));
+      if (Config.Backpressure.SegmentBytes)
+        Tracer->noteGauge(LastSeq, "segments_live",
+                          Telem->gauge(Gauge::G_SegmentsLive));
+    }
   }
   if (Pool)
     Pool->drainAndJoin();
@@ -437,6 +652,10 @@ void Verifier::pump() {
     if (O->Checker->hasViolation())
       ViolationFlag.store(true, std::memory_order_release);
   }
+  // Everything is checked now; release any remaining reclaimable
+  // segments (the active one is always kept).
+  if (Config.Backpressure.SegmentBytes)
+    TheLog->reclaimCheckedPrefix(TheLog->appendCount());
 }
 
 void Verifier::start() {
@@ -447,6 +666,21 @@ void Verifier::start() {
   if (Config.Online) {
     if (Config.CheckerThreads > 1)
       Pool = std::make_unique<CheckerPool>(*this, Config.CheckerThreads);
+    // BP_Shed needs to know which calls start observer-only executions;
+    // the registered specs are the authority. Installed before any
+    // producer appends (the classifier runs under the log's admission
+    // lock, concurrently with checker-side isObserver calls — specs
+    // answer it as a pure const query).
+    if (Config.Backpressure.Enabled &&
+        Config.Backpressure.Policy == BackpressurePolicy::BP_Shed) {
+      auto Classifier = [this](const Action &A) {
+        return A.Obj < Objects.size() &&
+               Objects[A.Obj]->S->isObserver(A.Method);
+      };
+      TheLog->setShedClassifier(Classifier);
+      if (Pool)
+        Pool->setShedClassifier(Classifier);
+    }
     VerifyThread = std::thread([this] { pump(); });
   }
 }
@@ -495,6 +729,19 @@ VerifierReport Verifier::finish() {
   }
   R.LogRecords = TheLog->appendCount();
   R.LogBytes = TheLog->byteCount();
+  R.Backpressure = TheLog->backpressureStats();
+  if (Pool)
+    R.Backpressure.merge(Pool->stats());
+  if (R.Backpressure.ShedRecords) {
+    // Coverage degradation is a note, not a violation: the records that
+    // were checked got sound verdicts, the shed observers simply were
+    // not checked (docs/ARCHITECTURE.md, "Bounded pipeline").
+    R.Notes.push_back(
+        std::string(violationKindName(ViolationKind::VK_Degraded)) + ": " +
+        std::to_string(R.Backpressure.ShedRecords) +
+        " observer record(s) shed under backpressure (BP_Shed); "
+        "coverage reduced, verdicts on checked records unaffected");
+  }
   if (Telem) {
     Telem->stopSampler();
     R.TelemetryEnabled = true;

@@ -89,6 +89,13 @@ struct VerifierConfig {
   LogBackend Backend = LogBackend::LB_Auto;
   /// Shard capacity for LB_Buffered (records per producer thread).
   size_t ShardCapacity = 1024;
+  /// Bound + admission policy for every queue between the hooks and the
+  /// checkers: the log backend's pending queue/tail and the checker
+  /// pool's per-object batch queues (see Backpressure.h for the
+  /// policies). Disabled by default — the historical unbounded pipeline.
+  /// SegmentBytes > 0 additionally rotates file-backed logs into a
+  /// segment chain that is trimmed as checkers advance.
+  BackpressureConfig Backpressure;
   /// Size of the checker pool. 1 (the default) feeds every object's
   /// checker inline on the consumption thread — exactly the historical
   /// single-threaded behavior. N > 1 starts N verification workers that
@@ -135,6 +142,14 @@ struct VerifierReport {
   std::vector<ObjectReport> Objects;
   uint64_t LogRecords = 0;
   uint64_t LogBytes = 0;
+  /// Admission accounting of the bounded pipeline (log backend + checker
+  /// pool), all zero when backpressure never engaged. Exact counts,
+  /// independent of telemetry.
+  BackpressureStats Backpressure;
+  /// Degradation notes (e.g. the VK_Degraded shed summary when BP_Shed
+  /// dropped observer records). Notes are advisories — they do not
+  /// affect ok().
+  std::vector<std::string> Notes;
   /// Final metric snapshot; all zeros unless TelemetryEnabled.
   TelemetrySnapshot Telemetry;
   bool TelemetryEnabled = false;

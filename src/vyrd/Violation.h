@@ -30,6 +30,11 @@ enum class ViolationKind : uint8_t {
   /// nested calls, commit outside a method). Usually an annotation bug; the
   /// paper's iterative commit-point debugging loop (Sec. 4.1) surfaces here.
   VK_Instrumentation,
+  /// Coverage was degraded, not violated: the BP_Shed backpressure policy
+  /// dropped observer executions to stay within the memory bound. Emitted
+  /// as a report *note* (VerifierReport::Notes), never as a violation —
+  /// the checked subset is still a legal witness, just a sparser one.
+  VK_Degraded,
 };
 
 /// Returns a short printable name for \p K.

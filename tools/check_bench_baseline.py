@@ -3,6 +3,7 @@
 
 Usage:
   check_bench_baseline.py <log_backends.json> <checker_hotpath.json>
+      [backpressure.json]
       [--baseline bench/baseline.json] [--factor 2.0] [--write]
 
 Fails (exit 1) when any metric regressed by more than the factor:
@@ -26,7 +27,7 @@ import json
 import sys
 
 
-def load_metrics(log_backends_path, hotpath_path):
+def load_metrics(log_backends_path, hotpath_path, backpressure_path=None):
     metrics = {}
     with open(log_backends_path) as f:
         for row in json.load(f):
@@ -42,6 +43,18 @@ def load_metrics(log_backends_path, hotpath_path):
                     "kind": "latency",
                     "value": row["extra"]["allocs_per_record"],
                 }
+    if backpressure_path:
+        # Only the steady policies are baselined: shed rates depend on
+        # how far the host's producer outruns the throttled checker.
+        with open(backpressure_path) as f:
+            for row in json.load(f):
+                if row["config"] not in ("unbounded", "block", "spill"):
+                    continue
+                key = "backpressure/%s/append_per_s" % row["config"]
+                metrics[key] = {
+                    "kind": "throughput",
+                    "value": row["throughput"],
+                }
     return metrics
 
 
@@ -49,21 +62,23 @@ def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("log_backends_json")
     ap.add_argument("checker_hotpath_json")
+    ap.add_argument("backpressure_json", nargs="?", default=None)
     ap.add_argument("--baseline", default="bench/baseline.json")
     ap.add_argument("--factor", type=float, default=2.0)
     ap.add_argument("--write", action="store_true",
                     help="rewrite the baseline from the fresh results")
     args = ap.parse_args()
 
-    fresh = load_metrics(args.log_backends_json, args.checker_hotpath_json)
+    fresh = load_metrics(args.log_backends_json, args.checker_hotpath_json,
+                         args.backpressure_json)
 
     if args.write:
         out = {
             "comment": "Quick-mode reference numbers for "
                        "tools/check_bench_baseline.py. Regenerate with: "
-                       "bench_log_backends --quick --json and "
-                       "bench_checker_hotpath --quick --json on the "
-                       "reference host, then "
+                       "bench_log_backends, bench_checker_hotpath and "
+                       "bench_backpressure, each with --quick --json, on "
+                       "the reference host, then "
                        "tools/check_bench_baseline.py --write.",
             "metrics": fresh,
         }

@@ -20,7 +20,10 @@
 //
 // Reads every log format version: current ("VYRD" header + per-record
 // ObjectId, single value slot), v2 (two value slots), and legacy
-// headerless v1 files; v1 records all belong to object 0.
+// headerless v1 files; v1 records all belong to object 0. Rotated
+// segment chains (v4, docs/LOGFORMAT.md "Segmented chains") are walked
+// transparently: point the tool at the base path (or any segment file)
+// and it reads through to the end of the chain.
 //
 // The whole tool is one streaming decode pass (LogFileReader): records are
 // decoded into a reused buffer and counted or printed immediately, so
