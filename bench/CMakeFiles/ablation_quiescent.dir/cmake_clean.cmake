@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quiescent.dir/ablation_quiescent.cpp.o"
+  "CMakeFiles/ablation_quiescent.dir/ablation_quiescent.cpp.o.d"
+  "ablation_quiescent"
+  "ablation_quiescent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quiescent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

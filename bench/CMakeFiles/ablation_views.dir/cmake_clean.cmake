@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_views.dir/ablation_views.cpp.o"
+  "CMakeFiles/ablation_views.dir/ablation_views.cpp.o.d"
+  "ablation_views"
+  "ablation_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backpressure.dir/bench_backpressure.cpp.o"
+  "CMakeFiles/bench_backpressure.dir/bench_backpressure.cpp.o.d"
+  "bench_backpressure"
+  "bench_backpressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_log_backends.dir/bench_log_backends.cpp.o"
+  "CMakeFiles/bench_log_backends.dir/bench_log_backends.cpp.o.d"
+  "bench_log_backends"
+  "bench_log_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_log_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiobject.dir/bench_multiobject.cpp.o"
+  "CMakeFiles/bench_multiobject.dir/bench_multiobject.cpp.o.d"
+  "bench_multiobject"
+  "bench_multiobject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiobject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

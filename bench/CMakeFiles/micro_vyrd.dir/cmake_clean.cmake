@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_vyrd.dir/micro_vyrd.cpp.o"
+  "CMakeFiles/micro_vyrd.dir/micro_vyrd.cpp.o.d"
+  "micro_vyrd"
+  "micro_vyrd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_vyrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_detection.dir/table1_detection.cpp.o"
+  "CMakeFiles/table1_detection.dir/table1_detection.cpp.o.d"
+  "table1_detection"
+  "table1_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

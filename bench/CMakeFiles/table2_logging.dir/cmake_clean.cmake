@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_logging.dir/table2_logging.cpp.o"
+  "CMakeFiles/table2_logging.dir/table2_logging.cpp.o.d"
+  "table2_logging"
+  "table2_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_breakdown.dir/table3_breakdown.cpp.o"
+  "CMakeFiles/table3_breakdown.dir/table3_breakdown.cpp.o.d"
+  "table3_breakdown"
+  "table3_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomized_spec.dir/atomized_spec.cpp.o"
+  "CMakeFiles/atomized_spec.dir/atomized_spec.cpp.o.d"
+  "atomized_spec"
+  "atomized_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomized_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commit_point_debugging.dir/commit_point_debugging.cpp.o"
+  "CMakeFiles/commit_point_debugging.dir/commit_point_debugging.cpp.o.d"
+  "commit_point_debugging"
+  "commit_point_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commit_point_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

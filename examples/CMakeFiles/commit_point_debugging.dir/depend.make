@@ -1,0 +1,2 @@
+# Empty dependencies file for commit_point_debugging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_cache.dir/fs_cache.cpp.o"
+  "CMakeFiles/fs_cache.dir/fs_cache.cpp.o.d"
+  "fs_cache"
+  "fs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_blinktree.dir/kvstore_blinktree.cpp.o"
+  "CMakeFiles/kvstore_blinktree.dir/kvstore_blinktree.cpp.o.d"
+  "kvstore_blinktree"
+  "kvstore_blinktree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_blinktree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layered_boxwood.dir/layered_boxwood.cpp.o"
+  "CMakeFiles/layered_boxwood.dir/layered_boxwood.cpp.o.d"
+  "layered_boxwood"
+  "layered_boxwood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layered_boxwood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

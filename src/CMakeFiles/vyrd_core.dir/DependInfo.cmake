@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vyrd/Action.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Action.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Action.cpp.o.d"
+  "/root/repo/src/vyrd/Backpressure.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Backpressure.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Backpressure.cpp.o.d"
+  "/root/repo/src/vyrd/BufferedLog.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/BufferedLog.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/BufferedLog.cpp.o.d"
+  "/root/repo/src/vyrd/Checker.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Checker.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Checker.cpp.o.d"
+  "/root/repo/src/vyrd/Instrument.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Instrument.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Instrument.cpp.o.d"
+  "/root/repo/src/vyrd/Log.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Log.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Log.cpp.o.d"
+  "/root/repo/src/vyrd/Names.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Names.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Names.cpp.o.d"
+  "/root/repo/src/vyrd/Replayer.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Replayer.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Replayer.cpp.o.d"
+  "/root/repo/src/vyrd/Serialize.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Serialize.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Serialize.cpp.o.d"
+  "/root/repo/src/vyrd/Spec.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Spec.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Spec.cpp.o.d"
+  "/root/repo/src/vyrd/Telemetry.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Telemetry.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Telemetry.cpp.o.d"
+  "/root/repo/src/vyrd/Trace.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Trace.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Trace.cpp.o.d"
+  "/root/repo/src/vyrd/Value.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Value.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Value.cpp.o.d"
+  "/root/repo/src/vyrd/Verifier.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Verifier.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Verifier.cpp.o.d"
+  "/root/repo/src/vyrd/View.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/View.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/View.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

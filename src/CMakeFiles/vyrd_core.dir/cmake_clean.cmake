@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vyrd_core.dir/vyrd/Action.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/Action.cpp.o.d"
+  "CMakeFiles/vyrd_core.dir/vyrd/Backpressure.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/Backpressure.cpp.o.d"
+  "CMakeFiles/vyrd_core.dir/vyrd/BufferedLog.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/BufferedLog.cpp.o.d"
+  "CMakeFiles/vyrd_core.dir/vyrd/Checker.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/Checker.cpp.o.d"
+  "CMakeFiles/vyrd_core.dir/vyrd/Instrument.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/Instrument.cpp.o.d"
+  "CMakeFiles/vyrd_core.dir/vyrd/Log.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/Log.cpp.o.d"
+  "CMakeFiles/vyrd_core.dir/vyrd/Names.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/Names.cpp.o.d"
+  "CMakeFiles/vyrd_core.dir/vyrd/Replayer.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/Replayer.cpp.o.d"
+  "CMakeFiles/vyrd_core.dir/vyrd/Serialize.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/Serialize.cpp.o.d"
+  "CMakeFiles/vyrd_core.dir/vyrd/Spec.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/Spec.cpp.o.d"
+  "CMakeFiles/vyrd_core.dir/vyrd/Telemetry.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/Telemetry.cpp.o.d"
+  "CMakeFiles/vyrd_core.dir/vyrd/Trace.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/Trace.cpp.o.d"
+  "CMakeFiles/vyrd_core.dir/vyrd/Value.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/Value.cpp.o.d"
+  "CMakeFiles/vyrd_core.dir/vyrd/Verifier.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/Verifier.cpp.o.d"
+  "CMakeFiles/vyrd_core.dir/vyrd/View.cpp.o"
+  "CMakeFiles/vyrd_core.dir/vyrd/View.cpp.o.d"
+  "libvyrd_core.a"
+  "libvyrd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vyrd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blinktree/BLinkSpec.cpp" "src/blinktree/CMakeFiles/vyrd_blinktree.dir/BLinkSpec.cpp.o" "gcc" "src/blinktree/CMakeFiles/vyrd_blinktree.dir/BLinkSpec.cpp.o.d"
+  "/root/repo/src/blinktree/BLinkTree.cpp" "src/blinktree/CMakeFiles/vyrd_blinktree.dir/BLinkTree.cpp.o" "gcc" "src/blinktree/CMakeFiles/vyrd_blinktree.dir/BLinkTree.cpp.o.d"
+  "/root/repo/src/blinktree/BNode.cpp" "src/blinktree/CMakeFiles/vyrd_blinktree.dir/BNode.cpp.o" "gcc" "src/blinktree/CMakeFiles/vyrd_blinktree.dir/BNode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/vyrd_core.dir/DependInfo.cmake"
+  "/root/repo/src/cache/CMakeFiles/vyrd_cache.dir/DependInfo.cmake"
+  "/root/repo/src/chunk/CMakeFiles/vyrd_chunk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vyrd_blinktree.dir/BLinkSpec.cpp.o"
+  "CMakeFiles/vyrd_blinktree.dir/BLinkSpec.cpp.o.d"
+  "CMakeFiles/vyrd_blinktree.dir/BLinkTree.cpp.o"
+  "CMakeFiles/vyrd_blinktree.dir/BLinkTree.cpp.o.d"
+  "CMakeFiles/vyrd_blinktree.dir/BNode.cpp.o"
+  "CMakeFiles/vyrd_blinktree.dir/BNode.cpp.o.d"
+  "libvyrd_blinktree.a"
+  "libvyrd_blinktree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vyrd_blinktree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vyrd_bst.dir/BstMultiset.cpp.o"
+  "CMakeFiles/vyrd_bst.dir/BstMultiset.cpp.o.d"
+  "CMakeFiles/vyrd_bst.dir/BstReplayer.cpp.o"
+  "CMakeFiles/vyrd_bst.dir/BstReplayer.cpp.o.d"
+  "CMakeFiles/vyrd_bst.dir/BstSpec.cpp.o"
+  "CMakeFiles/vyrd_bst.dir/BstSpec.cpp.o.d"
+  "libvyrd_bst.a"
+  "libvyrd_bst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vyrd_bst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

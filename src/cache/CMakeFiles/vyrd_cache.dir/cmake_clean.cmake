@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vyrd_cache.dir/BoxCache.cpp.o"
+  "CMakeFiles/vyrd_cache.dir/BoxCache.cpp.o.d"
+  "CMakeFiles/vyrd_cache.dir/CacheSpec.cpp.o"
+  "CMakeFiles/vyrd_cache.dir/CacheSpec.cpp.o.d"
+  "libvyrd_cache.a"
+  "libvyrd_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vyrd_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vyrd_chunk.dir/ChunkManager.cpp.o"
+  "CMakeFiles/vyrd_chunk.dir/ChunkManager.cpp.o.d"
+  "libvyrd_chunk.a"
+  "libvyrd_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vyrd_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vyrd_harness.dir/Scenarios.cpp.o"
+  "CMakeFiles/vyrd_harness.dir/Scenarios.cpp.o.d"
+  "CMakeFiles/vyrd_harness.dir/Workload.cpp.o"
+  "CMakeFiles/vyrd_harness.dir/Workload.cpp.o.d"
+  "libvyrd_harness.a"
+  "libvyrd_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vyrd_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/javalib/HashtableSpec.cpp" "src/javalib/CMakeFiles/vyrd_javalib.dir/HashtableSpec.cpp.o" "gcc" "src/javalib/CMakeFiles/vyrd_javalib.dir/HashtableSpec.cpp.o.d"
+  "/root/repo/src/javalib/StringBufferSpec.cpp" "src/javalib/CMakeFiles/vyrd_javalib.dir/StringBufferSpec.cpp.o" "gcc" "src/javalib/CMakeFiles/vyrd_javalib.dir/StringBufferSpec.cpp.o.d"
+  "/root/repo/src/javalib/StringBufferSystem.cpp" "src/javalib/CMakeFiles/vyrd_javalib.dir/StringBufferSystem.cpp.o" "gcc" "src/javalib/CMakeFiles/vyrd_javalib.dir/StringBufferSystem.cpp.o.d"
+  "/root/repo/src/javalib/SyncHashtable.cpp" "src/javalib/CMakeFiles/vyrd_javalib.dir/SyncHashtable.cpp.o" "gcc" "src/javalib/CMakeFiles/vyrd_javalib.dir/SyncHashtable.cpp.o.d"
+  "/root/repo/src/javalib/SyncVector.cpp" "src/javalib/CMakeFiles/vyrd_javalib.dir/SyncVector.cpp.o" "gcc" "src/javalib/CMakeFiles/vyrd_javalib.dir/SyncVector.cpp.o.d"
+  "/root/repo/src/javalib/VectorSpec.cpp" "src/javalib/CMakeFiles/vyrd_javalib.dir/VectorSpec.cpp.o" "gcc" "src/javalib/CMakeFiles/vyrd_javalib.dir/VectorSpec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/vyrd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vyrd_javalib.dir/HashtableSpec.cpp.o"
+  "CMakeFiles/vyrd_javalib.dir/HashtableSpec.cpp.o.d"
+  "CMakeFiles/vyrd_javalib.dir/StringBufferSpec.cpp.o"
+  "CMakeFiles/vyrd_javalib.dir/StringBufferSpec.cpp.o.d"
+  "CMakeFiles/vyrd_javalib.dir/StringBufferSystem.cpp.o"
+  "CMakeFiles/vyrd_javalib.dir/StringBufferSystem.cpp.o.d"
+  "CMakeFiles/vyrd_javalib.dir/SyncHashtable.cpp.o"
+  "CMakeFiles/vyrd_javalib.dir/SyncHashtable.cpp.o.d"
+  "CMakeFiles/vyrd_javalib.dir/SyncVector.cpp.o"
+  "CMakeFiles/vyrd_javalib.dir/SyncVector.cpp.o.d"
+  "CMakeFiles/vyrd_javalib.dir/VectorSpec.cpp.o"
+  "CMakeFiles/vyrd_javalib.dir/VectorSpec.cpp.o.d"
+  "libvyrd_javalib.a"
+  "libvyrd_javalib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vyrd_javalib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vyrd_javalib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multiset/ArrayMultiset.cpp" "src/multiset/CMakeFiles/vyrd_multiset.dir/ArrayMultiset.cpp.o" "gcc" "src/multiset/CMakeFiles/vyrd_multiset.dir/ArrayMultiset.cpp.o.d"
+  "/root/repo/src/multiset/MultisetReplayer.cpp" "src/multiset/CMakeFiles/vyrd_multiset.dir/MultisetReplayer.cpp.o" "gcc" "src/multiset/CMakeFiles/vyrd_multiset.dir/MultisetReplayer.cpp.o.d"
+  "/root/repo/src/multiset/MultisetSpec.cpp" "src/multiset/CMakeFiles/vyrd_multiset.dir/MultisetSpec.cpp.o" "gcc" "src/multiset/CMakeFiles/vyrd_multiset.dir/MultisetSpec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/vyrd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

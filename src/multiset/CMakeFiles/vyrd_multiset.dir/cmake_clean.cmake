@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vyrd_multiset.dir/ArrayMultiset.cpp.o"
+  "CMakeFiles/vyrd_multiset.dir/ArrayMultiset.cpp.o.d"
+  "CMakeFiles/vyrd_multiset.dir/MultisetReplayer.cpp.o"
+  "CMakeFiles/vyrd_multiset.dir/MultisetReplayer.cpp.o.d"
+  "CMakeFiles/vyrd_multiset.dir/MultisetSpec.cpp.o"
+  "CMakeFiles/vyrd_multiset.dir/MultisetSpec.cpp.o.d"
+  "libvyrd_multiset.a"
+  "libvyrd_multiset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vyrd_multiset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vyrd_queue.dir/BoundedQueue.cpp.o"
+  "CMakeFiles/vyrd_queue.dir/BoundedQueue.cpp.o.d"
+  "CMakeFiles/vyrd_queue.dir/QueueSpec.cpp.o"
+  "CMakeFiles/vyrd_queue.dir/QueueSpec.cpp.o.d"
+  "libvyrd_queue.a"
+  "libvyrd_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vyrd_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scanfs/ScanFs.cpp" "src/scanfs/CMakeFiles/vyrd_scanfs.dir/ScanFs.cpp.o" "gcc" "src/scanfs/CMakeFiles/vyrd_scanfs.dir/ScanFs.cpp.o.d"
+  "/root/repo/src/scanfs/ScanFsSpec.cpp" "src/scanfs/CMakeFiles/vyrd_scanfs.dir/ScanFsSpec.cpp.o" "gcc" "src/scanfs/CMakeFiles/vyrd_scanfs.dir/ScanFsSpec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/CMakeFiles/vyrd_core.dir/DependInfo.cmake"
+  "/root/repo/src/cache/CMakeFiles/vyrd_cache.dir/DependInfo.cmake"
+  "/root/repo/src/chunk/CMakeFiles/vyrd_chunk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

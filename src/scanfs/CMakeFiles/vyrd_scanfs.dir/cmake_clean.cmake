@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vyrd_scanfs.dir/ScanFs.cpp.o"
+  "CMakeFiles/vyrd_scanfs.dir/ScanFs.cpp.o.d"
+  "CMakeFiles/vyrd_scanfs.dir/ScanFsSpec.cpp.o"
+  "CMakeFiles/vyrd_scanfs.dir/ScanFsSpec.cpp.o.d"
+  "libvyrd_scanfs.a"
+  "libvyrd_scanfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vyrd_scanfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

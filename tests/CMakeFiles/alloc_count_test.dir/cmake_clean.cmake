@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_count_test.dir/AllocCountTest.cpp.o"
+  "CMakeFiles/alloc_count_test.dir/AllocCountTest.cpp.o.d"
+  "alloc_count_test"
+  "alloc_count_test.pdb"
+  "alloc_count_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

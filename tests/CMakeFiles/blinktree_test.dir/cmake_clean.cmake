@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blinktree_test.dir/BLinkTreeTest.cpp.o"
+  "CMakeFiles/blinktree_test.dir/BLinkTreeTest.cpp.o.d"
+  "blinktree_test"
+  "blinktree_test.pdb"
+  "blinktree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blinktree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bst_test.dir/BstTest.cpp.o"
+  "CMakeFiles/bst_test.dir/BstTest.cpp.o.d"
+  "bst_test"
+  "bst_test.pdb"
+  "bst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

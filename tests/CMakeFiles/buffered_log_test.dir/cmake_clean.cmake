@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffered_log_test.dir/BufferedLogTest.cpp.o"
+  "CMakeFiles/buffered_log_test.dir/BufferedLogTest.cpp.o.d"
+  "buffered_log_test"
+  "buffered_log_test.pdb"
+  "buffered_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffered_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_memo_test.dir/CheckerMemoTest.cpp.o"
+  "CMakeFiles/checker_memo_test.dir/CheckerMemoTest.cpp.o.d"
+  "checker_memo_test"
+  "checker_memo_test.pdb"
+  "checker_memo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_memo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

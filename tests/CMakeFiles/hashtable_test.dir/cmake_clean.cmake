@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashtable_test.dir/HashtableTest.cpp.o"
+  "CMakeFiles/hashtable_test.dir/HashtableTest.cpp.o.d"
+  "hashtable_test"
+  "hashtable_test.pdb"
+  "hashtable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashtable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

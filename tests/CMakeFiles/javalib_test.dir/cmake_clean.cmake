@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javalib_test.dir/JavalibTest.cpp.o"
+  "CMakeFiles/javalib_test.dir/JavalibTest.cpp.o.d"
+  "javalib_test"
+  "javalib_test.pdb"
+  "javalib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javalib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_surgery_test.dir/LogSurgeryTest.cpp.o"
+  "CMakeFiles/log_surgery_test.dir/LogSurgeryTest.cpp.o.d"
+  "log_surgery_test"
+  "log_surgery_test.pdb"
+  "log_surgery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_surgery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_object_test.dir/MultiObjectTest.cpp.o"
+  "CMakeFiles/multi_object_test.dir/MultiObjectTest.cpp.o.d"
+  "multi_object_test"
+  "multi_object_test.pdb"
+  "multi_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/names_test.dir/NamesTest.cpp.o"
+  "CMakeFiles/names_test.dir/NamesTest.cpp.o.d"
+  "names_test"
+  "names_test.pdb"
+  "names_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/names_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonlinearizable_scan_test.dir/NonLinearizableScanTest.cpp.o"
+  "CMakeFiles/nonlinearizable_scan_test.dir/NonLinearizableScanTest.cpp.o.d"
+  "nonlinearizable_scan_test"
+  "nonlinearizable_scan_test.pdb"
+  "nonlinearizable_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonlinearizable_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

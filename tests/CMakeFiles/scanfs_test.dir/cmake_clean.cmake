@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanfs_test.dir/ScanFsTest.cpp.o"
+  "CMakeFiles/scanfs_test.dir/ScanFsTest.cpp.o.d"
+  "scanfs_test"
+  "scanfs_test.pdb"
+  "scanfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_log_test.dir/SegmentLogTest.cpp.o"
+  "CMakeFiles/segment_log_test.dir/SegmentLogTest.cpp.o.d"
+  "segment_log_test"
+  "segment_log_test.pdb"
+  "segment_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

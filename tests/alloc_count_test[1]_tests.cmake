@@ -1,0 +1,3 @@
+add_test([=[AllocCountTest.SteadyStatePipelineAllocBudget]=]  /root/repo/tests/alloc_count_test [==[--gtest_filter=AllocCountTest.SteadyStatePipelineAllocBudget]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[AllocCountTest.SteadyStatePipelineAllocBudget]=]  PROPERTIES WORKING_DIRECTORY /root/repo/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  alloc_count_test_TESTS AllocCountTest.SteadyStatePipelineAllocBudget)

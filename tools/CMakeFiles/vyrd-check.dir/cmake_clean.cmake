@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vyrd-check.dir/vyrd-check.cpp.o"
+  "CMakeFiles/vyrd-check.dir/vyrd-check.cpp.o.d"
+  "vyrd-check"
+  "vyrd-check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vyrd-check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

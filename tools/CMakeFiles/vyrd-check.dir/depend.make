@@ -1,0 +1,2 @@
+# Empty dependencies file for vyrd-check.
+# This may be replaced when dependencies are built.

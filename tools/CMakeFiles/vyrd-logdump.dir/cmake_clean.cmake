@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vyrd-logdump.dir/vyrd-logdump.cpp.o"
+  "CMakeFiles/vyrd-logdump.dir/vyrd-logdump.cpp.o.d"
+  "vyrd-logdump"
+  "vyrd-logdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vyrd-logdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vyrd-trace.dir/vyrd-trace.cpp.o"
+  "CMakeFiles/vyrd-trace.dir/vyrd-trace.cpp.o.d"
+  "vyrd-trace"
+  "vyrd-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vyrd-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
