@@ -21,9 +21,19 @@
 // the engine's historical single-threaded behavior and the scaling
 // baseline. Results are recorded in EXPERIMENTS.md.
 //
+// --epochs switches to the epoch-parallel mode: the composite workload is
+// recorded once as a segmented chain with snapshot sidecars
+// (VerifierConfig::Snapshots, reclamation off), then epochCheck() replays
+// it with the (object, epoch) task matrix on 1/2/4 threads against the
+// serial from-zero baseline. This measures the within-object speedup the
+// object-affine pool cannot provide (docs/SNAPSHOTS.md).
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+
+#include "vyrd/Epoch.h"
+#include "vyrd/Snapshot.h"
 
 #include <cstdio>
 #include <unistd.h>
@@ -113,14 +123,139 @@ std::string objectsExtra(const VerifierReport &Rep, double Speedup) {
   return Out + "}}";
 }
 
+//===----------------------------------------------------------------------===//
+// --epochs mode
+//===----------------------------------------------------------------------===//
+
+/// Records the composite workload as a segmented chain with snapshot
+/// sidecars and reclamation off, so the whole chain stays on disk as the
+/// epoch bench's input. \returns the recording run's report.
+VerifierReport recordSnapshotChain(const std::string &Base, bool Quick) {
+  ScenarioOptions SO;
+  SO.Mode = RunMode::RM_OnlineView;
+  SO.LogPath = Base;
+  // Small segments give the quick run several epochs; the full run uses
+  // larger ones so the sidecar overhead stays realistic.
+  SO.Backpressure.SegmentBytes = Quick ? 48 * 1024 : 192 * 1024;
+  SO.Backpressure.ReclaimSegments = false;
+  SO.Snapshots = true;
+  Scenario S = makeCompositeScenario(SO);
+  WorkloadOptions WO;
+  WO.Threads = RecordThreads;
+  WO.OpsPerThread = OpsPerThread;
+  WO.BackgroundOp = S.BackgroundOp;
+  runWorkload(WO, S.Op);
+  VerifierReport R = S.Finish();
+  if (!R.ok()) {
+    std::fprintf(stderr, "error: clean composite recording found %zu "
+                         "violations\n",
+                 R.Violations.size());
+    std::exit(1);
+  }
+  return R;
+}
+
+/// Deletes every segment and sidecar of the chain at \p Base.
+void removeChain(const std::string &Base) {
+  std::vector<ChainSegment> Segs;
+  if (!enumerateChain(Base, Segs))
+    return;
+  for (const ChainSegment &Seg : Segs) {
+    std::remove(Seg.Path.c_str());
+    if (Seg.Index)
+      std::remove(snapshotSidecarPath(Base, Seg.Index).c_str());
+  }
+}
+
+int runEpochBench(const BenchArgs &Args) {
+  BenchJson BJ("multiobject-epochs", Args.JsonPath);
+  std::string Base = "/tmp/vyrd-benchepoch-" + std::to_string(getpid()) +
+                     ".bin";
+  recordSnapshotChain(Base, Args.Quick);
+
+  std::vector<ChainSegment> Segs;
+  enumerateChain(Base, Segs);
+  size_t Sidecars = 0;
+  for (const ChainSegment &Seg : Segs)
+    Sidecars += Seg.HasSnapshot ? 1 : 0;
+  std::printf("Epoch-parallel checking (composite chain: %zu segment(s), "
+              "%zu sidecar(s))\n\n",
+              Segs.size(), Sidecars);
+  std::printf("%-20s %12s %14s %9s %8s\n", "config", "wall s", "records/s",
+              "speedup", "epochs");
+  hr();
+
+  struct Cfg {
+    const char *Name;
+    bool UseSnapshots;
+    unsigned Threads;
+  };
+  const Cfg Cfgs[] = {{"from-zero x1", false, 1},
+                      {"epochs x1", true, 1},
+                      {"epochs x2", true, 2},
+                      {"epochs x4", true, 4}};
+  double Baseline = 0;
+  for (const Cfg &C : Cfgs) {
+    EpochCheckOptions EO;
+    EO.UseSnapshots = C.UseSnapshots;
+    EO.Threads = C.Threads;
+    double BestWall = 0;
+    EpochReport Best;
+    for (unsigned I = 0; I < Reps; ++I) {
+      double T0 = wallSeconds();
+      EpochReport ER = epochCheck(Base, 4, makeCompositePipeline(true), EO);
+      double Wall = wallSeconds() - T0;
+      if (!ER.ok()) {
+        std::fprintf(stderr, "error: epoch check (%s) failed: %s\n", C.Name,
+                     ER.Error.empty() ? "violations on a clean chain"
+                                      : ER.Error.c_str());
+        std::fprintf(stderr, "%s\n", ER.Report.str().c_str());
+        std::exit(1);
+      }
+      if (BestWall == 0 || Wall < BestWall) {
+        BestWall = Wall;
+        Best = std::move(ER);
+      }
+    }
+    uint64_t Recs = Best.Report.LogRecords;
+    double PerS = static_cast<double>(Recs) / BestWall;
+    if (Baseline == 0)
+      Baseline = BestWall;
+    double Speedup = Baseline / BestWall;
+    std::printf("%-20s %12.3f %14.0f %8.2fx %8llu\n", C.Name, BestWall,
+                PerS, Speedup, static_cast<unsigned long long>(Best.Epochs));
+    double NsPerRecord = BestWall * 1e9 / static_cast<double>(Recs);
+    BJ.row(C.Name, C.Threads, NsPerRecord, PerS,
+           "{\"speedup\":" + std::to_string(Speedup) +
+               ",\"epochs\":" + std::to_string(Best.Epochs) +
+               ",\"serial_rechecks\":" +
+               std::to_string(Best.SerialRechecks) + "}");
+  }
+  hr();
+  removeChain(Base);
+  return BJ.write() ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  BenchArgs Args = parseBenchArgs(Argc, Argv);
+  bool EpochMode = false;
+  std::vector<char *> Filtered{Argv[0]};
+  for (int I = 1; I < Argc; ++I) {
+    if (std::string(Argv[I]) == "--epochs") {
+      EpochMode = true;
+      continue;
+    }
+    Filtered.push_back(Argv[I]);
+  }
+  BenchArgs Args =
+      parseBenchArgs(static_cast<int>(Filtered.size()), Filtered.data());
   if (Args.Quick) {
     OpsPerThread = 600;
     Reps = 1;
   }
+  if (EpochMode)
+    return runEpochBench(Args);
   BenchJson BJ("multiobject", Args.JsonPath);
 
   std::string Path = "/tmp/vyrd-benchmulti-" + std::to_string(getpid()) +

@@ -75,7 +75,8 @@ static void readmeQuickstart() {
 
 static VerifierReport runOnce(bool Buggy, uint64_t Seed,
                               const std::string &LogPath = "",
-                              uint64_t SegmentBytes = 0) {
+                              uint64_t SegmentBytes = 0,
+                              bool Snapshots = false) {
   // 1. Build the scenario: instrumented multiset + atomic specification +
   //    replayer + online verification thread, all wired to one log.
   ScenarioOptions SO;
@@ -90,6 +91,9 @@ static VerifierReport runOnce(bool Buggy, uint64_t Seed,
   // reclamation would defeat the point.
   SO.Backpressure.SegmentBytes = SegmentBytes;
   SO.Backpressure.ReclaimSegments = false;
+  // Snapshot sidecars at every rotation make the recorded chain
+  // restartable and epoch-checkable (docs/SNAPSHOTS.md).
+  SO.Snapshots = Snapshots;
   Scenario S = makeScenario(SO);
 
   // 2. Drive it with the paper's random test harness (Sec. 7.1): several
@@ -115,17 +119,25 @@ static VerifierReport runOnce(bool Buggy, uint64_t Seed,
 int main(int Argc, char **Argv) {
   std::string LogPath;
   uint64_t SegmentBytes = 0;
+  bool Snapshots = false;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--segment-bytes" && I + 1 < Argc) {
       SegmentBytes = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--snapshots") {
+      Snapshots = true;
     } else if (!Arg.empty() && Arg[0] != '-' && LogPath.empty()) {
       LogPath = Arg;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [log-file] [--segment-bytes N]\n", Argv[0]);
+                   "usage: %s [log-file] [--segment-bytes N] [--snapshots]\n",
+                   Argv[0]);
       return 2;
     }
+  }
+  if (Snapshots && SegmentBytes == 0) {
+    std::fprintf(stderr, "error: --snapshots requires --segment-bytes\n");
+    return 2;
   }
   std::printf("== the README snippet (correct multiset, four calls) ==\n");
   readmeQuickstart();
@@ -149,7 +161,8 @@ int main(int Argc, char **Argv) {
   }
 
   std::printf("\n== corrected multiset ==\n");
-  VerifierReport Rep = runOnce(/*Buggy=*/false, 1, LogPath, SegmentBytes);
+  VerifierReport Rep =
+      runOnce(/*Buggy=*/false, 1, LogPath, SegmentBytes, Snapshots);
   std::printf("  %s", Rep.str().c_str());
   if (!LogPath.empty())
     std::printf("  log recorded to %s (try vyrd-trace / vyrd-check)\n",

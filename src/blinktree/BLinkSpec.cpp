@@ -205,3 +205,147 @@ void BLinkReplayer::buildView(View &Out) const {
     H = N.Right;
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Snapshot support
+//===----------------------------------------------------------------------===//
+
+bool BLinkSpec::saveState(ByteWriter &W) const {
+  W.varint(M.size());
+  for (const auto &[K, D] : M) {
+    W.svarint(K);
+    W.varint(D.Version);
+    W.varint(D.Data.size());
+    W.bytes(D.Data.data(), D.Data.size());
+  }
+  return true;
+}
+
+bool BLinkSpec::loadState(ByteReader &R) {
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 24))
+    return false;
+  M.clear();
+  for (uint64_t I = 0; I < N; ++I) {
+    int64_t K = R.svarint();
+    BData D;
+    D.Version = R.varint();
+    uint64_t Size = R.varint();
+    if (!R.ok() || Size > (1u << 24))
+      return false;
+    D.Data.resize(Size);
+    if (Size && !R.bytes(D.Data.data(), Size))
+      return false;
+    M.emplace(K, std::move(D));
+  }
+  return R.ok();
+}
+
+namespace {
+
+template <typename MapT>
+std::vector<uint64_t> sortedKeys(const MapT &M) {
+  std::vector<uint64_t> Keys;
+  Keys.reserve(M.size());
+  for (const auto &KV : M)
+    Keys.push_back(KV.first);
+  std::sort(Keys.begin(), Keys.end());
+  return Keys;
+}
+
+} // namespace
+
+bool BLinkReplayer::saveState(ByteWriter &W) const {
+  // Unordered storage, canonical blob: every map emits sorted by handle.
+  W.varint(FirstLeaf);
+
+  W.varint(Leaves.size());
+  for (uint64_t H : sortedKeys(Leaves)) {
+    W.varint(H);
+    Bytes Img = Leaves.at(H).serialize();
+    W.varint(Img.size());
+    W.bytes(Img.data(), Img.size());
+  }
+
+  W.varint(DataNodes.size());
+  for (uint64_t H : sortedKeys(DataNodes)) {
+    const BData &D = DataNodes.at(H);
+    W.varint(H);
+    W.varint(D.Version);
+    W.varint(D.Data.size());
+    W.bytes(D.Data.data(), D.Data.size());
+  }
+
+  // DataRefs is semantically a multiset of keys per handle (only membership
+  // counts), so entries sort and empty sets drop without changing behavior.
+  size_t NonEmpty = 0;
+  for (const auto &[H, Refs] : DataRefs)
+    NonEmpty += !Refs.empty();
+  W.varint(NonEmpty);
+  for (uint64_t H : sortedKeys(DataRefs)) {
+    std::vector<int64_t> Refs = DataRefs.at(H);
+    if (Refs.empty())
+      continue;
+    std::sort(Refs.begin(), Refs.end());
+    W.varint(H);
+    W.varint(Refs.size());
+    for (int64_t K : Refs)
+      W.svarint(K);
+  }
+  return true;
+}
+
+bool BLinkReplayer::loadState(ByteReader &R) {
+  FirstLeaf = R.varint();
+
+  uint64_t NLeaves = R.varint();
+  if (!R.ok() || NLeaves > (1u << 24))
+    return false;
+  Leaves.clear();
+  for (uint64_t I = 0; I < NLeaves; ++I) {
+    uint64_t H = R.varint();
+    uint64_t Size = R.varint();
+    if (!R.ok() || Size > (1u << 24))
+      return false;
+    Bytes Img(Size);
+    if (Size && !R.bytes(Img.data(), Size))
+      return false;
+    BNode N;
+    if (!BNode::deserialize(Img, N))
+      return false;
+    Leaves.emplace(H, std::move(N));
+  }
+
+  uint64_t NData = R.varint();
+  if (!R.ok() || NData > (1u << 24))
+    return false;
+  DataNodes.clear();
+  for (uint64_t I = 0; I < NData; ++I) {
+    uint64_t H = R.varint();
+    BData D;
+    D.Version = R.varint();
+    uint64_t Size = R.varint();
+    if (!R.ok() || Size > (1u << 24))
+      return false;
+    D.Data.resize(Size);
+    if (Size && !R.bytes(D.Data.data(), Size))
+      return false;
+    DataNodes.emplace(H, std::move(D));
+  }
+
+  uint64_t NRefs = R.varint();
+  if (!R.ok() || NRefs > (1u << 24))
+    return false;
+  DataRefs.clear();
+  for (uint64_t I = 0; I < NRefs; ++I) {
+    uint64_t H = R.varint();
+    uint64_t Count = R.varint();
+    if (!R.ok() || Count > (1u << 24))
+      return false;
+    std::vector<int64_t> Refs(Count);
+    for (uint64_t J = 0; J < Count; ++J)
+      Refs[J] = R.svarint();
+    DataRefs.emplace(H, std::move(Refs));
+  }
+  return R.ok();
+}

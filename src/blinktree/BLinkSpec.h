@@ -38,6 +38,8 @@ public:
   bool returnAllowed(Name Method, const ValueList &Args,
                      const Value &Ret) const override;
   void buildView(View &Out) const override;
+  bool saveState(ByteWriter &W) const override;
+  bool loadState(ByteReader &R) override;
 
   size_t size() const { return M.size(); }
 
@@ -54,6 +56,8 @@ public:
 
   void applyUpdate(const Action &A, View &ViewI) override;
   void buildView(View &Out) const override;
+  bool saveState(ByteWriter &W) const override;
+  bool loadState(ByteReader &R) override;
 
 private:
   /// The view value currently contributed for a (leaf entry) pair.

@@ -6,6 +6,9 @@
 
 #include "bst/BstReplayer.h"
 
+#include "vyrd/Serialize.h"
+
+#include <algorithm>
 #include <cassert>
 #include <vector>
 
@@ -121,4 +124,44 @@ void BstReplayer::buildView(View &Out) const {
     Stack.push_back(N.Child[0]);
     Stack.push_back(N.Child[1]);
   }
+}
+
+bool BstReplayer::saveState(ByteWriter &W) const {
+  // Unordered storage, canonical blob: emit nodes sorted by id.
+  std::vector<uint64_t> Ids;
+  Ids.reserve(Nodes.size());
+  for (const auto &[Id, N] : Nodes)
+    Ids.push_back(Id);
+  std::sort(Ids.begin(), Ids.end());
+  W.varint(Ids.size());
+  for (uint64_t Id : Ids) {
+    const ShadowNode &N = Nodes.at(Id);
+    W.varint(Id);
+    W.svarint(N.Key);
+    W.varint(N.Count);
+    W.varint(N.Child[0]);
+    W.varint(N.Child[1]);
+    W.u8(N.Attached ? 1 : 0);
+  }
+  return true;
+}
+
+bool BstReplayer::loadState(ByteReader &R) {
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 24))
+    return false;
+  Nodes.clear();
+  for (uint64_t I = 0; I < N; ++I) {
+    uint64_t Id = R.varint();
+    ShadowNode S;
+    S.Key = R.svarint();
+    S.Count = static_cast<size_t>(R.varint());
+    S.Child[0] = R.varint();
+    S.Child[1] = R.varint();
+    S.Attached = R.u8() != 0;
+    if (!R.ok())
+      return false;
+    Nodes.emplace(Id, S);
+  }
+  return R.ok();
 }

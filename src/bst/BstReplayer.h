@@ -32,6 +32,8 @@ public:
 
   void applyUpdate(const Action &A, View &ViewI) override;
   void buildView(View &Out) const override;
+  bool saveState(ByteWriter &W) const override;
+  bool loadState(ByteReader &R) override;
 
 private:
   struct ShadowNode {

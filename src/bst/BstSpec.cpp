@@ -6,6 +6,8 @@
 
 #include "bst/BstSpec.h"
 
+#include "vyrd/Serialize.h"
+
 using namespace vyrd;
 using namespace vyrd::bst;
 
@@ -68,4 +70,28 @@ void BstSpec::buildView(View &Out) const {
 size_t BstSpec::count(int64_t X) const {
   auto It = M.find(X);
   return It == M.end() ? 0 : It->second;
+}
+
+bool BstSpec::saveState(ByteWriter &W) const {
+  W.varint(M.size());
+  for (const auto &[X, Mult] : M) {
+    W.svarint(X);
+    W.varint(Mult);
+  }
+  return true;
+}
+
+bool BstSpec::loadState(ByteReader &R) {
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 24))
+    return false;
+  M.clear();
+  for (uint64_t I = 0; I < N; ++I) {
+    int64_t X = R.svarint();
+    uint64_t Mult = R.varint();
+    if (!R.ok() || Mult == 0)
+      return false;
+    M.emplace(X, static_cast<size_t>(Mult));
+  }
+  return R.ok();
 }

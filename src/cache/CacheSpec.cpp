@@ -6,6 +6,8 @@
 
 #include "cache/CacheSpec.h"
 
+#include "vyrd/Serialize.h"
+
 #include <cassert>
 
 using namespace vyrd;
@@ -185,4 +187,106 @@ bool CacheReplayer::checkInvariants(std::string &Message) const {
     return false;
   }
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot support
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void saveBytes(ByteWriter &W, const Bytes &B) {
+  W.varint(B.size());
+  W.bytes(B.data(), B.size());
+}
+
+bool loadBytes(ByteReader &R, Bytes &B) {
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 24))
+    return false;
+  B.resize(N);
+  return N == 0 || R.bytes(B.data(), N);
+}
+
+void saveHandleSet(ByteWriter &W, const std::set<uint64_t> &S) {
+  W.varint(S.size());
+  for (uint64_t H : S)
+    W.varint(H);
+}
+
+bool loadHandleSet(ByteReader &R, std::set<uint64_t> &S) {
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 24))
+    return false;
+  S.clear();
+  for (uint64_t I = 0; I < N; ++I)
+    S.insert(R.varint());
+  return R.ok();
+}
+
+} // namespace
+
+bool CacheSpec::saveState(ByteWriter &W) const {
+  // The mode is part of the state: it decides which entries are
+  // view-visible, so a resumed checker must agree with the recorder.
+  W.u8(Dynamic ? 1 : 0);
+  W.varint(Store.size());
+  for (const auto &[H, B] : Store) {
+    W.varint(H);
+    saveBytes(W, B);
+  }
+  return true;
+}
+
+bool CacheSpec::loadState(ByteReader &R) {
+  Dynamic = R.u8() != 0;
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 24))
+    return false;
+  Store.clear();
+  for (uint64_t I = 0; I < N; ++I) {
+    uint64_t H = R.varint();
+    Bytes B;
+    if (!loadBytes(R, B))
+      return false;
+    Store.emplace(H, std::move(B));
+  }
+  return R.ok();
+}
+
+bool CacheReplayer::saveState(ByteWriter &W) const {
+  W.u8(Dynamic ? 1 : 0);
+  W.varint(Handles.size());
+  for (const auto &[H, S] : Handles) {
+    W.varint(H);
+    saveBytes(W, S.Cm);
+    saveBytes(W, S.Entry);
+    W.u8((S.HasEntry ? 1 : 0) | (S.InClean ? 2 : 0) | (S.InDirty ? 4 : 0));
+  }
+  // The invariant-violation sets are derivable from Handles but cheap to
+  // carry; persisting them keeps restore O(state) with no recomputation.
+  saveHandleSet(W, CleanMismatch);
+  saveHandleSet(W, BothLists);
+  return true;
+}
+
+bool CacheReplayer::loadState(ByteReader &R) {
+  Dynamic = R.u8() != 0;
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 24))
+    return false;
+  Handles.clear();
+  for (uint64_t I = 0; I < N; ++I) {
+    uint64_t H = R.varint();
+    HandleShadow S;
+    if (!loadBytes(R, S.Cm) || !loadBytes(R, S.Entry))
+      return false;
+    uint8_t Flags = R.u8();
+    S.HasEntry = Flags & 1;
+    S.InClean = Flags & 2;
+    S.InDirty = Flags & 4;
+    Handles.emplace(H, std::move(S));
+  }
+  return loadHandleSet(R, CleanMismatch) && loadHandleSet(R, BothLists) &&
+         R.ok();
 }

@@ -54,6 +54,8 @@ public:
   bool returnAllowed(Name Method, const ValueList &Args,
                      const Value &Ret) const override;
   void buildView(View &Out) const override;
+  bool saveState(ByteWriter &W) const override;
+  bool loadState(ByteReader &R) override;
 
   const Bytes *contents(uint64_t H) const;
 
@@ -78,6 +80,8 @@ public:
   void applyUpdate(const Action &A, View &ViewI) override;
   void buildView(View &Out) const override;
   bool checkInvariants(std::string &Message) const override;
+  bool saveState(ByteWriter &W) const override;
+  bool loadState(ByteReader &R) override;
 
 private:
   struct HandleShadow {

@@ -222,6 +222,7 @@ Hooks wireScenario(Scenario &S, const ScenarioOptions &O,
   if (O.Buffered)
     VC.Backend = LogBackend::LB_Buffered;
   VC.Backpressure = O.Backpressure;
+  VC.Snapshots = O.Snapshots;
   auto V = std::make_shared<Verifier>(
       std::move(Spec), ViewLevel ? std::move(Replayer) : nullptr, VC);
   V->start();
@@ -593,6 +594,7 @@ Scenario vyrd::harness::makeCompositeScenario(const ScenarioOptions &O) {
     if (O.Buffered)
       VC.Backend = LogBackend::LB_Buffered;
     VC.Backpressure = O.Backpressure;
+    VC.Snapshots = O.Snapshots;
     auto V = std::make_shared<Verifier>(VC);
     HMul = V->registerObject(
         "multiset", std::make_unique<multiset::MultisetSpec>(),
@@ -726,4 +728,108 @@ Scenario vyrd::harness::makeScenario(const ScenarioOptions &O) {
   S.Name = std::string(programName(O.Prog)) + "/" + runModeName(O.Mode) +
            (O.Buggy ? "/buggy" : "/correct");
   return S;
+}
+
+namespace {
+
+/// Builds the spec + replayer pair for \p P with exactly the constructor
+/// parameters the scenario factories above use — the contract that makes
+/// recorded sidecar blobs restore cleanly. Kept in one place so a scenario
+/// parameter change cannot silently diverge from the resume path.
+void buildProgramPipeline(Program P, bool ViewLevel, std::unique_ptr<Spec> &S,
+                          std::unique_ptr<Replayer> &R) {
+  switch (P) {
+  case Program::P_MultisetVector:
+    S = std::make_unique<multiset::MultisetSpec>();
+    if (ViewLevel)
+      R = std::make_unique<multiset::MultisetReplayer>(48);
+    break;
+  case Program::P_MultisetBst:
+    S = std::make_unique<bst::BstSpec>();
+    if (ViewLevel)
+      R = std::make_unique<bst::BstReplayer>();
+    break;
+  case Program::P_Vector:
+    S = std::make_unique<javalib::VectorSpec>();
+    if (ViewLevel)
+      R = std::make_unique<javalib::VectorReplayer>();
+    break;
+  case Program::P_StringBuffer:
+    S = std::make_unique<javalib::StringBufferSpec>(3);
+    if (ViewLevel)
+      R = std::make_unique<javalib::StringBufferReplayer>(3);
+    break;
+  case Program::P_BLinkTree:
+    S = std::make_unique<blinktree::BLinkSpec>();
+    if (ViewLevel)
+      R = std::make_unique<blinktree::BLinkReplayer>(1);
+    break;
+  case Program::P_Cache: {
+    // The scenario allocates its handles from a fresh ChunkManager, which
+    // hands them out deterministically starting at 1.
+    std::vector<uint64_t> Handles;
+    for (uint64_t H = 1; H <= 24; ++H)
+      Handles.push_back(H);
+    S = std::make_unique<cache::CacheSpec>(Handles);
+    if (ViewLevel)
+      R = std::make_unique<cache::CacheReplayer>(Handles);
+    break;
+  }
+  case Program::P_ScanFs:
+    S = std::make_unique<scanfs::ScanFsSpec>(24);
+    if (ViewLevel)
+      R = std::make_unique<scanfs::ScanFsReplayer>();
+    break;
+  case Program::P_Hashtable:
+    S = std::make_unique<javalib::HashtableSpec>();
+    if (ViewLevel)
+      R = std::make_unique<javalib::HashtableReplayer>();
+    break;
+  case Program::P_Queue:
+    S = std::make_unique<queue::QueueSpec>(24);
+    if (ViewLevel)
+      R = std::make_unique<queue::QueueReplayer>();
+    break;
+  }
+}
+
+} // namespace
+
+PipelineFactory vyrd::harness::makeProgramPipeline(Program P,
+                                                   bool ViewLevel) {
+  return [P, ViewLevel](ObjectId Id, std::string &Name,
+                        std::unique_ptr<Spec> &S,
+                        std::unique_ptr<Replayer> &R) {
+    if (Id != 0)
+      return false;
+    Name = ""; // the single scenario object is anonymous
+    buildProgramPipeline(P, ViewLevel, S, R);
+    return S != nullptr;
+  };
+}
+
+PipelineFactory vyrd::harness::makeCompositePipeline(bool ViewLevel) {
+  return [ViewLevel](ObjectId Id, std::string &Name,
+                     std::unique_ptr<Spec> &S, std::unique_ptr<Replayer> &R) {
+    switch (Id) {
+    case 0:
+      Name = "multiset";
+      buildProgramPipeline(Program::P_MultisetVector, ViewLevel, S, R);
+      return true;
+    case 1:
+      Name = "cache";
+      buildProgramPipeline(Program::P_Cache, ViewLevel, S, R);
+      return true;
+    case 2:
+      Name = "blinktree";
+      buildProgramPipeline(Program::P_BLinkTree, ViewLevel, S, R);
+      return true;
+    case 3:
+      Name = "queue";
+      buildProgramPipeline(Program::P_Queue, ViewLevel, S, R);
+      return true;
+    default:
+      return false;
+    }
+  };
 }

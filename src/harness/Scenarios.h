@@ -18,6 +18,7 @@
 #define VYRD_HARNESS_SCENARIOS_H
 
 #include "harness/Workload.h"
+#include "vyrd/Epoch.h"
 #include "vyrd/Verifier.h"
 
 #include <functional>
@@ -110,6 +111,10 @@ struct ScenarioOptions {
   /// rotation for file-backed logs (see Backpressure.h). Passed through
   /// to VerifierConfig::Backpressure in the checking modes.
   BackpressureConfig Backpressure;
+  /// Write snapshot sidecars at segment cuts (VerifierConfig::Snapshots;
+  /// requires a file-backed log with Backpressure.SegmentBytes > 0). The
+  /// recorded chain then supports `vyrd-check --resume` / `--epochs`.
+  bool Snapshots = false;
 };
 
 /// A ready-to-run verification scenario.
@@ -145,6 +150,19 @@ Scenario makeScenario(const ScenarioOptions &O);
 /// ignored; \p O.Buggy injects the multiset's Table 1 bug, so any
 /// violation must be attributed to the "multiset" object.
 Scenario makeCompositeScenario(const ScenarioOptions &O);
+
+/// PipelineFactory (see Epoch.h) that rebuilds the spec + replayer of the
+/// single object makeScenario registers for \p P, with the same
+/// constructor parameters — so sidecar blobs recorded by the scenario
+/// restore into it. \p ViewLevel must match the recording's check mode
+/// (the replayer is only built for view refinement, mirroring
+/// wireScenario). Pass NumObjects = 1 to epochCheck.
+PipelineFactory makeProgramPipeline(Program P, bool ViewLevel);
+
+/// PipelineFactory mirroring makeCompositeScenario's four objects
+/// (multiset, cache, blinktree, queue in ObjectId order). Pass
+/// NumObjects = 4 to epochCheck.
+PipelineFactory makeCompositePipeline(bool ViewLevel);
 
 } // namespace harness
 } // namespace vyrd

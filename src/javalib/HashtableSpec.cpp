@@ -6,6 +6,8 @@
 
 #include "javalib/HashtableSpec.h"
 
+#include "vyrd/Serialize.h"
+
 #include <cassert>
 
 using namespace vyrd;
@@ -147,4 +149,51 @@ void HashtableReplayer::buildView(View &Out) const {
   Out.clear();
   for (const auto &[K, Val] : Shadow)
     Out.add(Value(K), Value(Val));
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot support
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void saveIntMap(ByteWriter &W, const std::map<int64_t, int64_t> &M) {
+  W.varint(M.size());
+  for (const auto &[K, Val] : M) {
+    W.svarint(K);
+    W.svarint(Val);
+  }
+}
+
+bool loadIntMap(ByteReader &R, std::map<int64_t, int64_t> &M) {
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 24))
+    return false;
+  M.clear();
+  for (uint64_t I = 0; I < N; ++I) {
+    int64_t K = R.svarint();
+    int64_t Val = R.svarint();
+    M.emplace(K, Val);
+  }
+  return R.ok();
+}
+
+} // namespace
+
+bool HashtableSpec::saveState(ByteWriter &W) const {
+  saveIntMap(W, M);
+  return true;
+}
+
+bool HashtableSpec::loadState(ByteReader &R) { return loadIntMap(R, M); }
+
+bool HashtableReplayer::saveState(ByteWriter &W) const {
+  // KeyOfVar is a parse cache over variable names; it repopulates on
+  // demand, so only the shadow map persists.
+  saveIntMap(W, Shadow);
+  return true;
+}
+
+bool HashtableReplayer::loadState(ByteReader &R) {
+  return loadIntMap(R, Shadow);
 }

@@ -37,6 +37,8 @@ public:
   bool returnAllowed(Name Method, const ValueList &Args,
                      const Value &Ret) const override;
   void buildView(View &Out) const override;
+  bool saveState(ByteWriter &W) const override;
+  bool loadState(ByteReader &R) override;
 
   size_t size() const { return M.size(); }
 
@@ -52,6 +54,8 @@ public:
 
   void applyUpdate(const Action &A, View &ViewI) override;
   void buildView(View &Out) const override;
+  bool saveState(ByteWriter &W) const override;
+  bool loadState(ByteReader &R) override;
 
 private:
   std::unordered_map<uint32_t, int64_t> KeyOfVar; // name id -> key

@@ -6,6 +6,8 @@
 
 #include "javalib/StringBufferSpec.h"
 
+#include "vyrd/Serialize.h"
+
 #include <cassert>
 
 using namespace vyrd;
@@ -122,4 +124,39 @@ void StringBufferReplayer::buildView(View &Out) const {
   Out.clear();
   for (size_t I = 0; I < Shadow.size(); ++I)
     Out.add(Value(static_cast<int64_t>(I)), Value(Shadow[I]));
+}
+
+namespace {
+
+bool saveStrings(ByteWriter &W, const std::vector<std::string> &V) {
+  W.varint(V.size());
+  for (const std::string &S : V)
+    W.str(S);
+  return true;
+}
+
+bool loadStrings(ByteReader &R, std::vector<std::string> &V) {
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 20))
+    return false;
+  V.assign(N, std::string());
+  for (uint64_t I = 0; I < N; ++I)
+    V[I] = R.str();
+  return R.ok();
+}
+
+} // namespace
+
+bool StringBufferSpec::saveState(ByteWriter &W) const {
+  return saveStrings(W, S);
+}
+
+bool StringBufferSpec::loadState(ByteReader &R) { return loadStrings(R, S); }
+
+bool StringBufferReplayer::saveState(ByteWriter &W) const {
+  return saveStrings(W, Shadow);
+}
+
+bool StringBufferReplayer::loadState(ByteReader &R) {
+  return loadStrings(R, Shadow);
 }

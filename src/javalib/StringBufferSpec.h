@@ -33,6 +33,8 @@ public:
   bool returnAllowed(Name Method, const ValueList &Args,
                      const Value &Ret) const override;
   void buildView(View &Out) const override;
+  bool saveState(ByteWriter &W) const override;
+  bool loadState(ByteReader &R) override;
 
   const std::string &contents(size_t I) const { return S[I]; }
 
@@ -50,6 +52,8 @@ public:
 
   void applyUpdate(const Action &A, View &ViewI) override;
   void buildView(View &Out) const override;
+  bool saveState(ByteWriter &W) const override;
+  bool loadState(ByteReader &R) override;
 
 private:
   SbVocab V;

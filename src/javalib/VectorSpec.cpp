@@ -6,6 +6,8 @@
 
 #include "javalib/VectorSpec.h"
 
+#include "vyrd/Serialize.h"
+
 #include <cassert>
 
 using namespace vyrd;
@@ -83,6 +85,23 @@ void VectorSpec::buildView(View &Out) const {
     Out.add(Value(static_cast<int64_t>(I)), Value(S[I]));
 }
 
+bool VectorSpec::saveState(ByteWriter &W) const {
+  W.varint(S.size());
+  for (int64_t X : S)
+    W.svarint(X);
+  return true;
+}
+
+bool VectorSpec::loadState(ByteReader &R) {
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 24))
+    return false;
+  S.assign(N, 0);
+  for (uint64_t I = 0; I < N; ++I)
+    S[I] = R.svarint();
+  return R.ok();
+}
+
 //===----------------------------------------------------------------------===//
 // VectorReplayer
 //===----------------------------------------------------------------------===//
@@ -133,4 +152,26 @@ void VectorReplayer::buildView(View &Out) const {
   Out.clear();
   for (size_t I = 0; I < Len; ++I)
     Out.add(Value(static_cast<int64_t>(I)), Value(Storage[I]));
+}
+
+bool VectorReplayer::saveState(ByteWriter &W) const {
+  // ElemIndex is a parse cache over variable names (interned ids); it
+  // repopulates on demand, so only Storage and Len persist.
+  W.varint(Len);
+  W.varint(Storage.size());
+  for (int64_t X : Storage)
+    W.svarint(X);
+  return true;
+}
+
+bool VectorReplayer::loadState(ByteReader &R) {
+  uint64_t NewLen = R.varint();
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 24) || NewLen > N)
+    return false;
+  Storage.assign(N, 0);
+  for (uint64_t I = 0; I < N; ++I)
+    Storage[I] = R.svarint();
+  Len = static_cast<size_t>(NewLen);
+  return R.ok();
 }

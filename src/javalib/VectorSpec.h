@@ -34,6 +34,8 @@ public:
   bool returnAllowed(Name Method, const ValueList &Args,
                      const Value &Ret) const override;
   void buildView(View &Out) const override;
+  bool saveState(ByteWriter &W) const override;
+  bool loadState(ByteReader &R) override;
 
   const std::vector<int64_t> &contents() const { return S; }
 
@@ -49,6 +51,8 @@ public:
 
   void applyUpdate(const Action &A, View &ViewI) override;
   void buildView(View &Out) const override;
+  bool saveState(ByteWriter &W) const override;
+  bool loadState(ByteReader &R) override;
 
 private:
   Name LenName;

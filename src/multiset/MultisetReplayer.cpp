@@ -6,6 +6,8 @@
 
 #include "multiset/MultisetReplayer.h"
 
+#include "vyrd/Serialize.h"
+
 #include <cassert>
 
 using namespace vyrd;
@@ -55,4 +57,29 @@ void MultisetReplayer::buildView(View &Out) const {
   for (const SlotShadow &S : Slots)
     if (S.Valid)
       Out.add(S.Elt, Value());
+}
+
+bool MultisetReplayer::saveState(ByteWriter &W) const {
+  // VarMap is a vocab-derived lookup table (interned name ids), not
+  // state: the constructor rebuilds it, so only the slots persist.
+  W.varint(Slots.size());
+  for (const SlotShadow &S : Slots) {
+    writeValue(W, S.Elt);
+    W.u8(S.Valid ? 1 : 0);
+  }
+  return true;
+}
+
+bool MultisetReplayer::loadState(ByteReader &R) {
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 24))
+    return false;
+  Slots.assign(N, SlotShadow());
+  for (uint64_t I = 0; I < N; ++I) {
+    Slots[I].Elt = readValue(R);
+    Slots[I].Valid = R.u8() != 0;
+    VarMap.emplace(Vocab::eltName(I).id(), std::make_pair(I, false));
+    VarMap.emplace(Vocab::validName(I).id(), std::make_pair(I, true));
+  }
+  return R.ok();
 }

@@ -6,6 +6,8 @@
 
 #include "multiset/MultisetSpec.h"
 
+#include "vyrd/Serialize.h"
+
 #include <cassert>
 
 using namespace vyrd;
@@ -96,3 +98,30 @@ size_t MultisetSpec::count(int64_t X) const {
 }
 
 size_t MultisetSpec::size() const { return Total; }
+
+bool MultisetSpec::saveState(ByteWriter &W) const {
+  // std::map iterates in key order, so the blob is canonical as-is.
+  W.varint(M.size());
+  for (const auto &[X, Mult] : M) {
+    W.svarint(X);
+    W.varint(Mult);
+  }
+  return true;
+}
+
+bool MultisetSpec::loadState(ByteReader &R) {
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 24))
+    return false;
+  M.clear();
+  Total = 0;
+  for (uint64_t I = 0; I < N; ++I) {
+    int64_t X = R.svarint();
+    uint64_t Mult = R.varint();
+    if (!R.ok() || Mult == 0)
+      return false;
+    M.emplace(X, static_cast<size_t>(Mult));
+    Total += Mult;
+  }
+  return R.ok();
+}

@@ -37,6 +37,8 @@ public:
   bool returnAllowed(Name Method, const ValueList &Args,
                      const Value &Ret) const override;
   void buildView(View &Out) const override;
+  bool saveState(ByteWriter &W) const override;
+  bool loadState(ByteReader &R) override;
 
   /// Direct access for tests.
   size_t count(int64_t X) const;

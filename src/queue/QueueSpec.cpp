@@ -6,6 +6,8 @@
 
 #include "queue/QueueSpec.h"
 
+#include "vyrd/Serialize.h"
+
 #include <cassert>
 
 using namespace vyrd;
@@ -108,4 +110,57 @@ void QueueReplayer::buildView(View &Out) const {
   uint64_t Idx = HeadIdx;
   for (int64_t X : Shadow)
     Out.add(Value(static_cast<int64_t>(Idx++)), Value(X));
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot support
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void saveIndexedDeque(ByteWriter &W, const std::deque<int64_t> &Q,
+                      uint64_t HeadIdx, uint64_t NextIdx) {
+  W.varint(HeadIdx);
+  W.varint(NextIdx);
+  W.varint(Q.size());
+  for (int64_t X : Q)
+    W.svarint(X);
+}
+
+bool loadIndexedDeque(ByteReader &R, std::deque<int64_t> &Q,
+                      uint64_t &HeadIdx, uint64_t &NextIdx) {
+  HeadIdx = R.varint();
+  NextIdx = R.varint();
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 24) || NextIdx - HeadIdx != N)
+    return false;
+  Q.clear();
+  for (uint64_t I = 0; I < N; ++I)
+    Q.push_back(R.svarint());
+  return R.ok();
+}
+
+} // namespace
+
+bool QueueSpec::saveState(ByteWriter &W) const {
+  W.varint(Capacity);
+  saveIndexedDeque(W, Q, HeadIdx, NextIdx);
+  return true;
+}
+
+bool QueueSpec::loadState(ByteReader &R) {
+  uint64_t Cap = R.varint();
+  if (!R.ok())
+    return false;
+  Capacity = static_cast<size_t>(Cap);
+  return loadIndexedDeque(R, Q, HeadIdx, NextIdx);
+}
+
+bool QueueReplayer::saveState(ByteWriter &W) const {
+  saveIndexedDeque(W, Shadow, HeadIdx, NextIdx);
+  return true;
+}
+
+bool QueueReplayer::loadState(ByteReader &R) {
+  return loadIndexedDeque(R, Shadow, HeadIdx, NextIdx);
 }

@@ -180,9 +180,14 @@ void SegmentSink::rotateLocked(uint64_t NextFirstSeq) {
   }
   if (!Segments.empty())
     Segments.back().Closed = true;
-  if (!openSegmentLocked(NextFirstSeq))
+  if (!openSegmentLocked(NextFirstSeq)) {
     std::fprintf(stderr, "vyrd: cannot open log segment %s\n",
                  segmentPathLocked(NextIndex).c_str());
+    return;
+  }
+  // The successor exists: record the cut for the snapshot machinery
+  // (Segments.back() is the segment openSegmentLocked just pushed).
+  Cuts.push_back(SegmentCut{Segments.back().Index, NextFirstSeq});
 }
 
 void SegmentSink::write(const Action &A) {
@@ -251,6 +256,10 @@ void SegmentSink::reclaimThrough(uint64_t Watermark) {
     if (!S.Closed || S.Records == 0 || S.LastSeq >= Watermark)
       break;
     std::remove(segmentPathLocked(S.Index).c_str());
+    // A reclaimed segment's snapshot sidecar (if the Verifier wrote one)
+    // goes with it: the sidecar encodes the state *before* this segment,
+    // which is only useful while the segment's records still exist.
+    std::remove((segmentPathLocked(S.Index) + ".snap").c_str());
     ++SegmentsReclaimed;
     ++N;
   }
@@ -277,6 +286,14 @@ std::string SegmentSink::pathForSeq(uint64_t Seq) const {
   if (!Best)
     Best = &Segments.front(); // conservative: walk forward from oldest
   return segmentPathLocked(Best->Index);
+}
+
+void SegmentSink::drainCuts(std::vector<SegmentCut> &Out) {
+  std::lock_guard Lock(M);
+  if (Cuts.empty())
+    return;
+  Out.insert(Out.end(), Cuts.begin(), Cuts.end());
+  Cuts.clear();
 }
 
 BackpressureStats SegmentSink::stats() const {

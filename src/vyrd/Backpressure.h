@@ -150,6 +150,16 @@ private:
   std::unordered_set<uint64_t> OpenWindows;
 };
 
+/// One segment rotation, as observed by the snapshot machinery: the chain
+/// grew a new segment \p Index whose first record is \p FirstSeq, i.e.
+/// every record with Seq < FirstSeq lives in segments before \p Index.
+/// The Verifier snapshots checker state at these cut points and writes
+/// the blobs as the new segment's sidecar (docs/SNAPSHOTS.md).
+struct SegmentCut {
+  uint64_t Index = 0;    ///< 1-based index of the newly opened segment
+  uint64_t FirstSeq = 0; ///< sequence number of its first record
+};
+
 /// The disk side of a file-backed log: owns the output file(s), the
 /// record encoder and the rotation/reclamation bookkeeping. Two modes:
 ///
@@ -222,6 +232,11 @@ public:
   /// owning log merges them into its own stats).
   BackpressureStats stats() const;
 
+  /// Moves the rotations performed since the last call into \p Out
+  /// (appended, oldest first). The Verifier's pump polls this to learn
+  /// where snapshot cut points fall. Always empty in plain-file mode.
+  void drainCuts(std::vector<SegmentCut> &Out);
+
 private:
   struct Segment {
     uint64_t Index = 0;    ///< 1-based chain position
@@ -248,6 +263,8 @@ private:
   uint64_t CurSegmentBytes = 0;
   /// Live (not yet reclaimed) segments, oldest first; back() is active.
   std::vector<Segment> Segments;
+  /// Rotations not yet drained by drainCuts (oldest first).
+  std::vector<SegmentCut> Cuts;
   uint64_t NextIndex = 1;
   uint64_t SegmentsCreated = 0;
   uint64_t SegmentsReclaimed = 0;

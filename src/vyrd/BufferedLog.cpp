@@ -577,6 +577,11 @@ void BufferedLog::setShedClassifier(std::function<bool(const Action &)> Fn) {
   I->Shed.setClassifier(std::move(Fn));
 }
 
+void BufferedLog::takeSegmentCuts(std::vector<SegmentCut> &Out) {
+  if (I->HasFile && I->Opts.Backpressure.SegmentBytes)
+    I->Sink.drainCuts(Out);
+}
+
 void BufferedLog::reclaimCheckedPrefix(uint64_t Watermark) {
   const BackpressureConfig &BP = I->Opts.Backpressure;
   if (!I->HasFile || !BP.SegmentBytes)

@@ -155,6 +155,7 @@ public:
   BackpressureStats backpressureStats() const override;
   void setShedClassifier(std::function<bool(const Action &)> Fn) override;
   void reclaimCheckedPrefix(uint64_t Watermark) override;
+  void takeSegmentCuts(std::vector<SegmentCut> &Out) override;
 
   /// Number of producer threads that have registered a shard.
   size_t shardCount() const;

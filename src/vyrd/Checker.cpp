@@ -6,6 +6,7 @@
 
 #include "vyrd/Checker.h"
 
+#include "vyrd/Serialize.h"
 #include "vyrd/Telemetry.h"
 
 #include <algorithm>
@@ -655,6 +656,412 @@ void RefinementChecker::runAudit(uint64_t Seq) {
            "audit: incrementally maintained viewS diverged from rebuilt "
            "viewS: " +
                View::diff(ViewS, FreshS));
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot support (docs/SNAPSHOTS.md)
+//===----------------------------------------------------------------------===//
+
+// Blob layout: [varint blob version][varint len][stats][varint len][core].
+// The stats section carries the cumulative counters, so a resumed run's
+// final totals equal a from-zero run's. The core section carries the
+// resumable state proper and is *canonical*: execs enumerate in a
+// deterministic order, names travel as strings interned in first-use order
+// (no process-local ids leak into the bytes), and unordered containers in
+// spec/replayer blobs serialize sorted — equivalent checker states produce
+// byte-identical cores, which is what lets the epoch baseline audit
+// byte-compare a re-derived core against the next sidecar's.
+static constexpr uint64_t CheckerBlobVersion = 1;
+
+namespace {
+
+// Exec flag bits (core section, one byte per exec).
+enum : uint8_t {
+  XF_IsObserver = 1 << 0,
+  XF_HasRet = 1 << 1,
+  XF_HasCommit = 1 << 2,
+  XF_CommitInBlock = 1 << 3,
+  XF_BlockDone = 1 << 4,
+  XF_InBlock = 1 << 5,
+  XF_Satisfied = 1 << 6,
+  XF_IsOpen = 1 << 7, // member of the open-exec table at snapshot time
+};
+
+void writeStats(ByteWriter &W, const CheckerStats &S) {
+  W.varint(S.ActionsFed);
+  W.varint(S.MethodsChecked);
+  W.varint(S.CommitsProcessed);
+  W.varint(S.ObserversChecked);
+  W.varint(S.ViewComparisons);
+  W.varint(S.Audits);
+  W.varint(S.MaxQueueDepth);
+  W.varint(S.ReplayNanos);
+  W.varint(S.SpecNanos);
+  W.varint(S.ViewCompareNanos);
+  W.varint(S.ObsMemoHits);
+  W.varint(S.ObsMemoMisses);
+  W.varint(S.SpecVersionBumps);
+}
+
+bool readStats(ByteReader &R, CheckerStats &S) {
+  S.ActionsFed = R.varint();
+  S.MethodsChecked = R.varint();
+  S.CommitsProcessed = R.varint();
+  S.ObserversChecked = R.varint();
+  S.ViewComparisons = R.varint();
+  S.Audits = R.varint();
+  S.MaxQueueDepth = R.varint();
+  S.ReplayNanos = R.varint();
+  S.SpecNanos = R.varint();
+  S.ViewCompareNanos = R.varint();
+  S.ObsMemoHits = R.varint();
+  S.ObsMemoMisses = R.varint();
+  S.SpecVersionBumps = R.varint();
+  return R.ok() && R.atEnd();
+}
+
+} // namespace
+
+bool RefinementChecker::saveState(ByteWriter &W) const {
+  // Only a clean checker snapshots: a recorded violation (or a pending
+  // diagnosis retry, which implies one) must surface through the normal
+  // reporting path, and a finished checker has already flushed its
+  // pipeline.
+  if (Finished || !Violations.empty() || !FailedMutators.empty())
+    return false;
+
+  ByteWriter Core;
+  Core.u8(static_cast<uint8_t>(Config.Mode));
+  Core.varint(SpecVersion);
+  Core.varint(CommitsSinceAudit);
+
+  {
+    ByteWriter SpecW;
+    if (!TheSpec.saveState(SpecW))
+      return false; // spec does not support snapshots
+    Core.varint(SpecW.size());
+    Core.bytes(SpecW.buffer().data(), SpecW.size());
+  }
+
+  bool ViewMode = Config.Mode == CheckMode::CM_ViewRefinement;
+  Core.u8(ViewMode ? 1 : 0);
+  if (ViewMode) {
+    ByteWriter RepW;
+    if (!TheReplayer || !TheReplayer->saveState(RepW))
+      return false;
+    Core.varint(RepW.size());
+    Core.bytes(RepW.buffer().data(), RepW.size());
+  }
+
+  // Canonical exec enumeration: open executions by ascending Tid (dense
+  // slots first, then the sorted sparse ones), then execs reachable only
+  // through the event queue in queue order, then open observers. Every
+  // ordering step is a function of the checker state alone, so equivalent
+  // states enumerate identically.
+  std::vector<const Exec *> Table;
+  std::unordered_map<const Exec *, size_t> Index;
+  auto Add = [&](const ExecPtr &E) {
+    if (!E || Index.count(E.get()))
+      return;
+    Index.emplace(E.get(), Table.size());
+    Table.push_back(E.get());
+  };
+  for (const ExecPtr &E : OpenExecsDense)
+    Add(E);
+  {
+    std::vector<ThreadId> SparseTids;
+    SparseTids.reserve(OpenExecsSparse.size());
+    for (const auto &KV : OpenExecsSparse)
+      SparseTids.push_back(KV.first);
+    std::sort(SparseTids.begin(), SparseTids.end());
+    for (ThreadId Tid : SparseTids)
+      Add(OpenExecsSparse.at(Tid));
+  }
+  Events.forEach([&](const Event &Ev) { Add(Ev.E); });
+  for (const ExecPtr &E : OpenObservers)
+    Add(E);
+
+  auto IsOpenExec = [&](const Exec &X) {
+    if (X.Tid < DenseTidLimit)
+      return X.Tid < OpenExecsDense.size() &&
+             OpenExecsDense[X.Tid].get() == &X;
+    auto It = OpenExecsSparse.find(X.Tid);
+    return It != OpenExecsSparse.end() && It->second.get() == &X;
+  };
+
+  // One encoder for the whole core: name definitions interleave with the
+  // records exactly as in a log file, in first-use order.
+  ActionEncoder Enc;
+  auto WriteActions = [&](const std::vector<Action> &As) {
+    Core.varint(As.size());
+    for (const Action &A : As)
+      Enc.encode(A, Core);
+  };
+
+  Core.varint(Table.size());
+  for (const Exec *XP : Table) {
+    const Exec &X = *XP;
+    Core.varint(X.Tid);
+    Core.u8(X.Method.valid() ? 1 : 0);
+    if (X.Method.valid())
+      Core.str(X.Method.str());
+    Core.varint(X.Args.size());
+    for (const Value &V : X.Args)
+      writeValue(Core, V);
+    writeValue(Core, X.Ret);
+    Core.varint(X.CallSeq);
+    uint8_t Flags = 0;
+    if (X.IsObserver)
+      Flags |= XF_IsObserver;
+    if (X.HasRet)
+      Flags |= XF_HasRet;
+    if (X.HasCommit)
+      Flags |= XF_HasCommit;
+    if (X.CommitInBlock)
+      Flags |= XF_CommitInBlock;
+    if (X.BlockDone)
+      Flags |= XF_BlockDone;
+    if (X.InBlock)
+      Flags |= XF_InBlock;
+    if (X.Satisfied)
+      Flags |= XF_Satisfied;
+    if (IsOpenExec(X))
+      Flags |= XF_IsOpen;
+    Core.u8(Flags);
+    Core.varint(X.OpenAtCommit);
+    // LastEvalVersion compresses to one bit: either the observer was
+    // evaluated at the *current* spec state (the only fact the memo skip
+    // in evalOpenObservers relies on) or it counts as never evaluated.
+    // The signature hashes are process-local and recomputed on restore.
+    Core.u8(X.LastEvalVersion == SpecVersion ? 1 : 0);
+    WriteActions(X.BlockWrites);
+    WriteActions(X.CommitBlockWrites);
+  }
+
+  Core.varint(Events.size());
+  Events.forEach([&](const Event &Ev) {
+    Core.u8(static_cast<uint8_t>(Ev.Kind));
+    Enc.encode(Ev.A, Core);
+    Core.svarint(Ev.E ? static_cast<int64_t>(Index.at(Ev.E.get())) : -1);
+  });
+
+  Core.varint(OpenObservers.size());
+  for (const ExecPtr &E : OpenObservers)
+    Core.varint(Index.at(E.get()));
+
+  ByteWriter StatsW;
+  writeStats(StatsW, Stats);
+
+  W.varint(CheckerBlobVersion);
+  W.varint(StatsW.size());
+  W.bytes(StatsW.buffer().data(), StatsW.size());
+  W.varint(Core.size());
+  W.bytes(Core.buffer().data(), Core.size());
+  return true;
+}
+
+bool RefinementChecker::restoreState(ByteReader &R) {
+  if (R.varint() != CheckerBlobVersion || !R.ok())
+    return false;
+  uint64_t StatsLen = R.varint();
+  if (!R.ok() || StatsLen > (1u << 20))
+    return false;
+  std::vector<uint8_t> StatsBytes(StatsLen);
+  if (StatsLen && !R.bytes(StatsBytes.data(), StatsLen))
+    return false;
+  uint64_t CoreLen = R.varint();
+  if (!R.ok() || CoreLen > (uint64_t(1) << 32))
+    return false;
+  std::vector<uint8_t> CoreBytes(CoreLen);
+  if (CoreLen && !R.bytes(CoreBytes.data(), CoreLen))
+    return false;
+
+  CheckerStats NewStats;
+  {
+    ByteReader SR(StatsBytes.data(), StatsBytes.size());
+    if (!readStats(SR, NewStats))
+      return false;
+  }
+
+  ByteReader C(CoreBytes.data(), CoreBytes.size());
+  if (static_cast<CheckMode>(C.u8()) != Config.Mode || !C.ok())
+    return false; // snapshot taken under a different check mode
+  uint64_t NewSpecVersion = C.varint();
+  uint64_t NewCommitsSinceAudit = C.varint();
+  if (!C.ok())
+    return false;
+
+  {
+    uint64_t Len = C.varint();
+    if (!C.ok() || Len > CoreBytes.size())
+      return false;
+    std::vector<uint8_t> Blob(Len);
+    if (Len && !C.bytes(Blob.data(), Len))
+      return false;
+    ByteReader SpecR(Blob.data(), Blob.size());
+    if (!TheSpec.loadState(SpecR) || !SpecR.ok())
+      return false;
+  }
+
+  bool ViewMode = Config.Mode == CheckMode::CM_ViewRefinement;
+  uint8_t HasRep = C.u8();
+  if (!C.ok() || (HasRep != 0) != ViewMode)
+    return false;
+  if (HasRep) {
+    uint64_t Len = C.varint();
+    if (!C.ok() || Len > CoreBytes.size())
+      return false;
+    std::vector<uint8_t> Blob(Len);
+    if (Len && !C.bytes(Blob.data(), Len))
+      return false;
+    ByteReader RepR(Blob.data(), Blob.size());
+    if (!TheReplayer || !TheReplayer->loadState(RepR) || !RepR.ok())
+      return false;
+  }
+
+  uint64_t NExecs = C.varint();
+  if (!C.ok() || NExecs > (1u << 20))
+    return false;
+  ActionDecoder Dec; // records use the current (v3-style) layout
+  auto ReadActions = [&](std::vector<Action> &Out) -> bool {
+    uint64_t N = C.varint();
+    if (!C.ok() || N > (1u << 20))
+      return false;
+    Out.clear();
+    for (uint64_t I = 0; I < N; ++I) {
+      Action A;
+      if (!Dec.decode(C, A))
+        return false;
+      Out.push_back(std::move(A));
+    }
+    return true;
+  };
+  std::vector<ExecPtr> Table;
+  std::vector<bool> OpenFlags;
+  Table.reserve(NExecs);
+  OpenFlags.reserve(NExecs);
+  for (uint64_t I = 0; I < NExecs; ++I) {
+    ExecPtr E = std::make_shared<Exec>();
+    Exec &X = *E;
+    X.Tid = static_cast<ThreadId>(C.varint());
+    if (C.u8())
+      X.Method = internName(C.str());
+    uint64_t NArgs = C.varint();
+    if (!C.ok() || NArgs > (1u << 20))
+      return false;
+    for (uint64_t J = 0; J < NArgs; ++J)
+      X.Args.push_back(readValue(C));
+    X.Ret = readValue(C);
+    X.CallSeq = C.varint();
+    uint8_t Flags = C.u8();
+    X.OpenAtCommit = C.varint();
+    uint8_t EvalNow = C.u8();
+    if (!C.ok())
+      return false;
+    X.IsObserver = Flags & XF_IsObserver;
+    X.HasRet = Flags & XF_HasRet;
+    X.HasCommit = Flags & XF_HasCommit;
+    X.CommitInBlock = Flags & XF_CommitInBlock;
+    X.BlockDone = Flags & XF_BlockDone;
+    X.InBlock = Flags & XF_InBlock;
+    X.Satisfied = Flags & XF_Satisfied;
+    X.LastEvalVersion = EvalNow ? NewSpecVersion : ~uint64_t(0);
+    if (X.IsObserver && X.HasRet) {
+      X.ArgsHash = X.Args.hash();
+      X.RetHash = X.Ret.hash();
+    }
+    if (!ReadActions(X.BlockWrites) || !ReadActions(X.CommitBlockWrites))
+      return false;
+    OpenFlags.push_back((Flags & XF_IsOpen) != 0);
+    Table.push_back(std::move(E));
+  }
+
+  uint64_t NEvents = C.varint();
+  if (!C.ok() || NEvents > (1u << 24))
+    return false;
+  // From here on the live state is replaced; a failure below leaves the
+  // checker unusable, as documented. Drop Exec references before popping
+  // (ring slots survive pop and would otherwise pin pooled Execs).
+  while (!Events.empty()) {
+    Events.front().E = nullptr;
+    Events.pop_front();
+  }
+  for (uint64_t I = 0; I < NEvents; ++I) {
+    uint8_t Kind = C.u8();
+    if (!C.ok() || Kind > static_cast<uint8_t>(EventKind::EK_MutEnd))
+      return false;
+    Event Ev;
+    Ev.Kind = static_cast<EventKind>(Kind);
+    if (!Dec.decode(C, Ev.A))
+      return false;
+    int64_t Idx = C.svarint();
+    if (!C.ok() || Idx < -1 || Idx >= static_cast<int64_t>(Table.size()))
+      return false;
+    Ev.E = Idx < 0 ? nullptr : Table[static_cast<size_t>(Idx)];
+    Events.push_back(std::move(Ev));
+  }
+
+  uint64_t NObs = C.varint();
+  if (!C.ok() || NObs > Table.size())
+    return false;
+  OpenObservers.clear();
+  for (uint64_t I = 0; I < NObs; ++I) {
+    uint64_t Idx = C.varint();
+    if (!C.ok() || Idx >= Table.size())
+      return false;
+    OpenObservers.push_back(Table[Idx]);
+  }
+  if (!C.ok() || !C.atEnd())
+    return false; // trailing garbage: reject, the blob is suspect
+
+  OpenExecsDense.clear();
+  OpenExecsSparse.clear();
+  OpenExecCount = 0;
+  for (size_t I = 0; I < Table.size(); ++I)
+    if (OpenFlags[I])
+      insertOpenExec(Table[I]->Tid, Table[I]);
+
+  // Caches and diagnostics reset rather than restore: the memo table
+  // rebuilds on demand, and the recent-actions ring loses pre-snapshot
+  // context (bounded diagnostic loss, see docs/SNAPSHOTS.md).
+  FailedMutators.clear();
+  Violations.clear();
+  RecentActions.clear();
+  ObsMemo.clear();
+  ObsMemoUsed = 0;
+  ExecPool.clear();
+  Finished = false;
+  SpecVersion = NewSpecVersion;
+  CommitsSinceAudit = NewCommitsSinceAudit;
+  Stats = NewStats;
+
+  if (ViewMode) {
+    // Rebuild both views from the restored state. No cross-check here:
+    // between commits viewI legitimately leads viewS (implementation
+    // writes land at write events, the spec moves at commits), so
+    // inequality at a snapshot point is not an error.
+    TheReplayer->buildView(ViewI);
+    TheSpec.buildView(ViewS);
+  }
+  return true;
+}
+
+bool RefinementChecker::coreSection(const uint8_t *Data, size_t Size,
+                                    size_t &Off, size_t &Len) {
+  ByteReader R(Data, Size);
+  if (R.varint() != CheckerBlobVersion || !R.ok())
+    return false;
+  uint64_t StatsLen = R.varint();
+  if (!R.ok() || StatsLen > Size - R.position())
+    return false;
+  size_t P = R.position() + static_cast<size_t>(StatsLen);
+  ByteReader R2(Data + P, Size - P);
+  uint64_t CoreLen = R2.varint();
+  if (!R2.ok() || CoreLen > (Size - P) - R2.position())
+    return false;
+  Off = P + R2.position();
+  Len = static_cast<size_t>(CoreLen);
+  return true;
 }
 
 void RefinementChecker::finish() {

@@ -167,6 +167,32 @@ public:
   /// into Histo::H_ViewCompareNs. Keep \p T alive while the checker runs.
   void setTelemetry(Telemetry *T) { Telem = T; }
 
+  /// Serializes the complete resumable checker state into \p W — the
+  /// per-object blob of a LOGFORMAT v5 snapshot sidecar (docs/SNAPSHOTS.md):
+  /// spec state, replayer shadow state, open executions, the pending event
+  /// queue, and cumulative stats. Only a *clean* checker snapshots:
+  /// \returns false when violations have been recorded, after finish(), or
+  /// when the Spec/Replayer does not implement state serialization. The
+  /// observer memo table is intentionally dropped (it is a cache; the
+  /// restored checker rebuilds it), as is the recent-actions context ring
+  /// (bounded diagnostic loss for violations shortly after a restore).
+  bool saveState(ByteWriter &W) const;
+
+  /// Restores state written by saveState into this checker, which must be
+  /// constructed over the same Spec/Replayer types with an equivalent
+  /// CheckerConfig. All current state is replaced; views are rebuilt from
+  /// the restored spec/shadow state. \returns false on malformed input or
+  /// an unsupported spec/replayer (the checker is then unusable).
+  bool restoreState(ByteReader &R);
+
+  /// Locates the core (resumable-state) section inside a saveState blob.
+  /// Equivalent checker states serialize to byte-identical cores, while
+  /// the stats section legitimately differs between a from-zero and a
+  /// resumed run (memo hits/misses depend on where checking started) —
+  /// the epoch baseline audit therefore byte-compares cores only.
+  static bool coreSection(const uint8_t *Data, size_t Size, size_t &Off,
+                          size_t &Len);
+
   /// Current views (valid in view mode; for tests and diagnostics).
   const View &viewI() const { return ViewI; }
   const View &viewS() const { return ViewS; }

@@ -1,0 +1,106 @@
+//===- Epoch.h - Epoch-parallel offline verification ------------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Epoch-parallel checking of a recorded log chain. Snapshot sidecars
+/// (LOGFORMAT v5, see Snapshot.h) cut one object's record stream into
+/// *epochs*: a sidecar at segment N serializes every checker's state as of
+/// the segment's first record, so the chain splits at each sidecar into
+/// independently checkable slices — restore the checker from the sidecar,
+/// feed the slice, and the verdict composes with the neighboring slices
+/// because refinement is preserved under sequential splits of the trace
+/// (docs/SNAPSHOTS.md, "Why epoch stitching is sound").
+///
+/// epochCheck() runs the (object, epoch) task matrix on a small thread
+/// pool. This parallelizes *within* one object — the dimension the online
+/// pool's object-affine scheduling cannot touch — so a chain dominated by
+/// a single hot object still checks on all cores. Stitching is pessimistic
+/// where it must be: a violation (or a baseline-audit mismatch) in epoch k
+/// invalidates the snapshots later epochs restored from, so the object is
+/// re-checked serially from epoch k's snapshot through the end of the
+/// chain before anything is reported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_EPOCH_H
+#define VYRD_EPOCH_H
+
+#include "vyrd/Verifier.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace vyrd {
+
+/// Builds the spec + replayer pipeline for one registered object of the
+/// recorded run. epochCheck calls it once per (object, epoch) task — each
+/// task needs a private pipeline — so the factory must be thread-safe and
+/// must produce the same spec the recording run registered for \p Id
+/// (same constructor parameters; the sidecar blobs restore into it).
+/// \p Name receives the object's report name. \returns false when \p Id
+/// is not a known object (the task is skipped).
+using PipelineFactory = std::function<bool(
+    ObjectId Id, std::string &Name, std::unique_ptr<Spec> &S,
+    std::unique_ptr<Replayer> &R)>;
+
+/// Options for epochCheck().
+struct EpochCheckOptions {
+  /// Checker settings for every task (AllowIncompleteTail is forced on
+  /// for non-final epochs: their executions legitimately straddle the
+  /// epoch boundary and are completed by the successor slice).
+  CheckerConfig Checker;
+  /// Size of the (object, epoch) task pool. 1 = serial (still epoch by
+  /// epoch when UseSnapshots, useful for testing the stitching).
+  unsigned Threads = 1;
+  /// When false, ignore sidecars and run one from-zero epoch per object —
+  /// the serial offline baseline the speedup is measured against.
+  bool UseSnapshots = true;
+  /// Cold-restart mode (`vyrd-check --resume`): only the front segment's
+  /// sidecar seeds the check; later sidecars are ignored, so each object
+  /// runs as one epoch from the oldest live record to the end of the
+  /// chain. Also sets G_RestartLag (records between the resume watermark
+  /// and the chain's end) when a hub is attached.
+  bool ResumeOnly = false;
+  /// Optional hub for C_SnapshotLoads / C_EpochsChecked /
+  /// G_EpochsInFlight accounting; may be null.
+  Telemetry *Telem = nullptr;
+};
+
+/// Result of an epochCheck run: the familiar report plus the epoch
+/// bookkeeping the tests and benchmarks assert on.
+struct EpochReport {
+  /// Aggregated verdict, same shape as a Verifier run's report.
+  VerifierReport Report;
+  /// Epochs the chain split into (1 when UseSnapshots is false or no
+  /// usable sidecar exists).
+  uint64_t Epochs = 0;
+  /// (object, epoch) tasks executed, excluding serial re-checks.
+  uint64_t Tasks = 0;
+  /// Sidecar blobs restored into checkers.
+  uint64_t SnapshotLoads = 0;
+  /// Objects re-checked serially because an epoch found a violation or
+  /// failed its baseline audit.
+  uint64_t SerialRechecks = 0;
+  /// Non-empty when the chain was unusable (no files, reclaimed prefix
+  /// without a sidecar, malformed front segment); Report is empty then.
+  std::string Error;
+
+  bool ok() const { return Error.empty() && Report.ok(); }
+};
+
+/// Checks the recorded chain rooted at \p LogPath (a plain log file or a
+/// segment chain base) for the \p NumObjects objects the recording run
+/// registered, splitting each object's stream into snapshot-delimited
+/// epochs and checking the (object, epoch) matrix on \p Opts.Threads
+/// workers. See the file comment for the stitching rule.
+EpochReport epochCheck(const std::string &LogPath, size_t NumObjects,
+                       const PipelineFactory &Factory,
+                       const EpochCheckOptions &Opts);
+
+} // namespace vyrd
+
+#endif // VYRD_EPOCH_H

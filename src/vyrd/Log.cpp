@@ -431,6 +431,11 @@ void FileLog::setShedClassifier(std::function<bool(const Action &)> Fn) {
   Shed.setClassifier(std::move(Fn));
 }
 
+void FileLog::takeSegmentCuts(std::vector<SegmentCut> &Out) {
+  if (BP.SegmentBytes)
+    Sink.drainCuts(Out);
+}
+
 void FileLog::reclaimCheckedPrefix(uint64_t Watermark) {
   if (!BP.SegmentBytes)
     return;

@@ -118,6 +118,13 @@ public:
   /// ignore it. Called from the verification (pump) thread.
   virtual void reclaimCheckedPrefix(uint64_t Watermark) { (void)Watermark; }
 
+  /// Moves segment rotations performed since the last call into \p Out
+  /// (appended, oldest first) — the cut points the Verifier snapshots
+  /// checker state at (docs/SNAPSHOTS.md). Only segmented file-backed
+  /// backends produce cuts; the default leaves \p Out unchanged. Called
+  /// from the verification (pump) thread.
+  virtual void takeSegmentCuts(std::vector<SegmentCut> &Out) { (void)Out; }
+
 protected:
   /// The attached hub, or null. Hot paths should read it once and cache
   /// the per-thread cell.
@@ -203,6 +210,7 @@ public:
   BackpressureStats backpressureStats() const override;
   void setShedClassifier(std::function<bool(const Action &)> Fn) override;
   void reclaimCheckedPrefix(uint64_t Watermark) override;
+  void takeSegmentCuts(std::vector<SegmentCut> &Out) override;
 
   const std::string &path() const { return Path; }
 

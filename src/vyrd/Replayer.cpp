@@ -10,6 +10,16 @@ using namespace vyrd;
 
 Replayer::~Replayer() = default;
 
+bool Replayer::saveState(ByteWriter &W) const {
+  (void)W;
+  return false;
+}
+
+bool Replayer::loadState(ByteReader &R) {
+  (void)R;
+  return false;
+}
+
 bool Replayer::checkInvariants(std::string &Message) const {
   (void)Message;
   return true;

@@ -25,11 +25,25 @@
 
 namespace vyrd {
 
+class ByteWriter;
+class ByteReader;
+
 /// Interface implemented once per verified data structure (only needed for
 /// view refinement; I/O refinement runs without one).
 class Replayer {
 public:
   virtual ~Replayer();
+
+  /// Serializes the shadow state into \p W (snapshot sidecars,
+  /// docs/SNAPSHOTS.md). Canonical encoding, no interned name ids —
+  /// name-keyed lookup caches are rebuilt lazily after loadState instead
+  /// of being persisted. \returns false when unsupported (the default).
+  virtual bool saveState(ByteWriter &W) const;
+
+  /// Restores the shadow state from bytes produced by saveState,
+  /// replacing the current state entirely. \returns false on malformed
+  /// input or when snapshots are unsupported (the default).
+  virtual bool loadState(ByteReader &R);
 
   /// Applies one logged Write or ReplayOp record to the shadow state,
   /// incrementally updating \p ViewI with any entry adds/removes the update

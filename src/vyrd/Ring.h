@@ -139,6 +139,21 @@ public:
     ++Count;
   }
 
+  /// Visits every queued element front to back without consuming the
+  /// queue (checker snapshots serialize the pending-event backlog).
+  template <typename Fn> void forEach(Fn F) const {
+    const Chunk *C = HeadC;
+    size_t I = HeadI;
+    for (size_t N = 0; N < Count; ++N) {
+      if (I == ChunkElems) {
+        C = C->Next;
+        I = 0;
+      }
+      F(C->Elems[I]);
+      ++I;
+    }
+  }
+
   void pop_front() {
     assert(Count && "pop_front() on empty queue");
     ++HeadI;

@@ -156,7 +156,7 @@ void ActionEncoder::encodeName(Name N, ByteWriter &W) {
   assert(false && "encodeName on undefined name");
 }
 
-void ActionEncoder::encodeValue(const Value &V, ByteWriter &W) {
+void vyrd::writeValue(ByteWriter &W, const Value &V) {
   W.u8(static_cast<uint8_t>(V.kind()));
   switch (V.kind()) {
   case ValueKind::VK_Null:
@@ -177,6 +177,34 @@ void ActionEncoder::encodeValue(const Value &V, ByteWriter &W) {
     break;
   }
   }
+}
+
+Value vyrd::readValue(ByteReader &R) {
+  uint8_t Kind = R.u8();
+  if (!R.ok())
+    return Value();
+  switch (static_cast<ValueKind>(Kind)) {
+  case ValueKind::VK_Null:
+    return Value();
+  case ValueKind::VK_Bool:
+    return Value(R.u8() != 0);
+  case ValueKind::VK_Int:
+    return Value(R.svarint());
+  case ValueKind::VK_Str:
+    return Value(R.str());
+  case ValueKind::VK_Bytes: {
+    uint64_t N = R.varint();
+    Value::Bytes B(N);
+    if (N && !R.bytes(B.data(), N))
+      return Value();
+    return Value(std::move(B));
+  }
+  }
+  return Value();
+}
+
+void ActionEncoder::encodeValue(const Value &V, ByteWriter &W) {
+  writeValue(W, V);
 }
 
 void ActionEncoder::encode(const Action &A, ByteWriter &W) {
@@ -218,29 +246,7 @@ Name ActionDecoder::decodeName(ByteReader &R) {
   return Names[FileId - 1];
 }
 
-Value ActionDecoder::decodeValue(ByteReader &R) {
-  uint8_t Kind = R.u8();
-  if (!R.ok())
-    return Value();
-  switch (static_cast<ValueKind>(Kind)) {
-  case ValueKind::VK_Null:
-    return Value();
-  case ValueKind::VK_Bool:
-    return Value(R.u8() != 0);
-  case ValueKind::VK_Int:
-    return Value(R.svarint());
-  case ValueKind::VK_Str:
-    return Value(R.str());
-  case ValueKind::VK_Bytes: {
-    uint64_t N = R.varint();
-    Value::Bytes B(N);
-    if (N && !R.bytes(B.data(), N))
-      return Value();
-    return Value(std::move(B));
-  }
-  }
-  return Value();
-}
+Value ActionDecoder::decodeValue(ByteReader &R) { return readValue(R); }
 
 bool ActionDecoder::decode(ByteReader &R, Action &Out) {
   // Consume name definitions.

@@ -83,6 +83,15 @@ struct LogSegmentInfo {
 /// \p Seg when non-null (and consumed either way).
 uint32_t readLogHeader(ByteReader &R, LogSegmentInfo *Seg = nullptr);
 
+/// Appends the kind-tagged encoding of \p V to \p W. This is the same
+/// wire form ActionEncoder uses for argument/return slots; snapshot blobs
+/// (Snapshot.h) reuse it for spec and shadow state.
+void writeValue(ByteWriter &W, const Value &V);
+
+/// Decodes one kind-tagged value at the reader position. Returns a null
+/// Value on malformed input (check \p R.ok()).
+Value readValue(ByteReader &R);
+
 /// Growable byte sink with varint helpers.
 class ByteWriter {
 public:

@@ -1,0 +1,171 @@
+//===- Snapshot.cpp - Checker-state sidecars for segment chains -----------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Snapshot.h"
+
+#include "vyrd/Backpressure.h"
+#include "vyrd/Serialize.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace vyrd;
+
+std::string vyrd::snapshotSidecarPath(const std::string &Base,
+                                      uint64_t Index) {
+  return logSegmentPath(Base, Index) + ".snap";
+}
+
+void vyrd::encodeSnapshot(const SnapshotFile &S, ByteWriter &W) {
+  W.bytes(SnapshotMagic, sizeof(SnapshotMagic));
+  W.varint(SnapshotFormatVersion);
+  W.varint(S.SegmentIndex);
+  W.varint(S.Watermark);
+  W.varint(S.Objects.size());
+  for (const SnapshotObject &O : S.Objects) {
+    W.varint(O.Id);
+    W.str(O.Name);
+    W.varint(O.Blob.size());
+    W.bytes(O.Blob.data(), O.Blob.size());
+  }
+}
+
+bool vyrd::decodeSnapshot(const uint8_t *Data, size_t Size,
+                          SnapshotFile &Out) {
+  ByteReader R(Data, Size);
+  uint8_t Magic[4];
+  if (!R.bytes(Magic, sizeof(Magic)) ||
+      std::memcmp(Magic, SnapshotMagic, sizeof(SnapshotMagic)) != 0)
+    return false;
+  uint64_t Version = R.varint();
+  if (!R.ok() || Version == 0 || Version > SnapshotFormatVersion)
+    return false;
+  Out.SegmentIndex = R.varint();
+  Out.Watermark = R.varint();
+  uint64_t N = R.varint();
+  if (!R.ok() || N > (1u << 20))
+    return false;
+  Out.Objects.clear();
+  Out.Objects.reserve(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    SnapshotObject O;
+    O.Id = static_cast<ObjectId>(R.varint());
+    O.Name = R.str();
+    uint64_t BlobSize = R.varint();
+    if (!R.ok())
+      return false;
+    O.Blob.resize(BlobSize);
+    if (BlobSize && !R.bytes(O.Blob.data(), BlobSize))
+      return false;
+    Out.Objects.push_back(std::move(O));
+  }
+  // Trailing garbage means the file is not one of ours.
+  return R.ok() && R.atEnd();
+}
+
+bool vyrd::writeSnapshotFile(const std::string &Path,
+                             const SnapshotFile &S) {
+  ByteWriter W;
+  encodeSnapshot(S, W);
+  // Temp + rename: a crash between the two leaves either no sidecar or a
+  // complete one, never a torn prefix a resuming checker could trust.
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return false;
+  size_t Wrote = std::fwrite(W.buffer().data(), 1, W.size(), F);
+  bool Ok = Wrote == W.size() && std::fflush(F) == 0;
+  std::fclose(F);
+  if (!Ok || std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool vyrd::readSnapshotFile(const std::string &Path, SnapshotFile &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::vector<uint8_t> Buf;
+  uint8_t Chunk[4096];
+  size_t N;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Buf.insert(Buf.end(), Chunk, Chunk + N);
+  std::fclose(F);
+  return decodeSnapshot(Buf.data(), Buf.size(), Out);
+}
+
+namespace {
+
+/// Matches LogFileReader's probe bound: reclamation can delete at most this
+/// many leading segments before the reader gives up finding the chain head.
+constexpr uint64_t MaxChainProbe = 1 << 16;
+
+/// Reads the segment header of the file at \p Path. \returns false when
+/// the file is missing or the header is not a chain-segment header.
+bool readSegmentInfo(const std::string &Path, LogSegmentInfo &Info) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  uint8_t Buf[64];
+  size_t N = std::fread(Buf, 1, sizeof(Buf), F);
+  std::fclose(F);
+  ByteReader R(Buf, N);
+  return readLogHeader(R, &Info) == LogSegmentVersion;
+}
+
+} // namespace
+
+bool vyrd::enumerateChain(const std::string &Base,
+                          std::vector<ChainSegment> &Out) {
+  Out.clear();
+  // A file at Base itself is a plain single-file log: one "segment".
+  if (std::FILE *F = std::fopen(Base.c_str(), "rb")) {
+    std::fclose(F);
+    ChainSegment S;
+    S.Path = Base;
+    Out.push_back(std::move(S));
+    return true;
+  }
+  uint64_t First = 0;
+  for (uint64_t I = 1; I <= MaxChainProbe; ++I) {
+    std::FILE *F = std::fopen(logSegmentPath(Base, I).c_str(), "rb");
+    if (F) {
+      std::fclose(F);
+      First = I;
+      break;
+    }
+  }
+  if (!First)
+    return false;
+  for (uint64_t I = First;; ++I) {
+    std::string P = logSegmentPath(Base, I);
+    LogSegmentInfo Info;
+    if (!readSegmentInfo(P, Info))
+      break;
+    ChainSegment S;
+    S.Path = std::move(P);
+    S.Index = I;
+    S.FirstSeq = Info.FirstSeq;
+    S.HasSnapshot = readSnapshotFile(snapshotSidecarPath(Base, I), S.Snap);
+    Out.push_back(std::move(S));
+  }
+  return !Out.empty();
+}
+
+bool vyrd::findResumePoint(const std::string &Base, ResumePoint &Out) {
+  std::vector<ChainSegment> Chain;
+  if (!enumerateChain(Base, Chain))
+    return false;
+  const ChainSegment &Head = Chain.front();
+  Out.SegmentPath = Head.Path;
+  Out.SegmentIndex = Head.Index;
+  Out.FirstSeq = Head.FirstSeq;
+  Out.HasSnapshot = Head.HasSnapshot;
+  Out.Snap = Head.Snap;
+  return true;
+}

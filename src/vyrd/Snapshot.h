@@ -1,0 +1,119 @@
+//===- Snapshot.h - Checker-state sidecars for segment chains ---*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LOGFORMAT v5: snapshot sidecar files. A sidecar `base.NNNNNN.snap` sits
+/// next to segment `base.NNNNNN` and holds the serialized checker state
+/// (spec state, replayer shadow state, open-exec set — see
+/// RefinementChecker::saveState) for every object, captured at the instant
+/// the chain rotated into that segment. Loading the sidecar and feeding
+/// records from segment NNNNNN onward is equivalent to checking the whole
+/// chain from record 0 — refinement composes across sequential splits of
+/// the trace, so sidecars make a reclaimed chain cold-restartable
+/// (`vyrd-check --resume`) and cut one object's stream into independently
+/// checkable epochs (Verifier epochCheck). Format details and the
+/// soundness argument live in docs/SNAPSHOTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_SNAPSHOT_H
+#define VYRD_SNAPSHOT_H
+
+#include "vyrd/Action.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vyrd {
+
+class ByteWriter;
+
+/// Magic bytes opening every snapshot sidecar ("VYRD snapshot").
+constexpr uint8_t SnapshotMagic[4] = {'V', 'Y', 'R', 'S'};
+
+/// Version of the sidecar container format. The per-object checker blob
+/// carries its own version (see RefinementChecker::saveState).
+constexpr uint32_t SnapshotFormatVersion = 1;
+
+/// One object's serialized checker state inside a sidecar.
+struct SnapshotObject {
+  ObjectId Id = 0;
+  std::string Name;           ///< report name, not an interned id
+  std::vector<uint8_t> Blob;  ///< RefinementChecker::saveState output
+};
+
+/// In-memory form of one sidecar file.
+struct SnapshotFile {
+  uint64_t SegmentIndex = 0; ///< 1-based chain index the sidecar pairs with
+  uint64_t Watermark = 0;    ///< seq of the segment's first (unchecked) record
+  std::vector<SnapshotObject> Objects;
+
+  const SnapshotObject *find(ObjectId Id) const {
+    for (const SnapshotObject &O : Objects)
+      if (O.Id == Id)
+        return &O;
+    return nullptr;
+  }
+};
+
+/// Path of the sidecar paired with segment \p Index of chain \p Base:
+/// `logSegmentPath(Base, Index) + ".snap"`.
+std::string snapshotSidecarPath(const std::string &Base, uint64_t Index);
+
+/// Appends the sidecar encoding of \p S to \p W.
+void encodeSnapshot(const SnapshotFile &S, ByteWriter &W);
+
+/// Decodes a sidecar image. \returns false on bad magic, malformed input,
+/// or a container version newer than this build understands.
+bool decodeSnapshot(const uint8_t *Data, size_t Size, SnapshotFile &Out);
+
+/// Writes \p S to \p Path via a temp file + rename so a crash mid-write
+/// never leaves a torn sidecar (readers see the old file or the new one,
+/// never a prefix). \returns false on I/O failure.
+bool writeSnapshotFile(const std::string &Path, const SnapshotFile &S);
+
+/// Reads and decodes the sidecar at \p Path.
+bool readSnapshotFile(const std::string &Path, SnapshotFile &Out);
+
+/// One segment of a chain as seen on disk, with its sidecar if readable.
+struct ChainSegment {
+  std::string Path;
+  uint64_t Index = 0;    ///< 1-based chain index (0: plain single-file log)
+  uint64_t FirstSeq = 0; ///< from the segment header (0 for plain logs)
+  bool HasSnapshot = false;
+  SnapshotFile Snap;
+};
+
+/// Enumerates the live segments of the chain rooted at \p Base, oldest
+/// first. When \p Base itself exists it is a plain (unsegmented) log and
+/// the result is that single entry; otherwise probes `base.000001`... for
+/// the oldest live segment (reclamation deletes a prefix, so indices need
+/// not start at 1) and walks consecutive successors. Sidecars are loaded
+/// where present and well-formed; a corrupt or missing sidecar simply
+/// leaves HasSnapshot false (the segment then extends the previous
+/// epoch). \returns false when no file of the chain exists at all.
+bool enumerateChain(const std::string &Base, std::vector<ChainSegment> &Out);
+
+/// Resume point for a cold restart: the oldest live segment plus its
+/// sidecar. When the chain starts at segment 1 (nothing reclaimed) a
+/// missing sidecar is fine — resume from zero; when records before the
+/// oldest live segment were reclaimed, a sidecar is required.
+struct ResumePoint {
+  std::string SegmentPath;
+  uint64_t SegmentIndex = 0;
+  uint64_t FirstSeq = 0;
+  bool HasSnapshot = false;
+  SnapshotFile Snap;
+};
+
+/// Finds the resume point of the chain rooted at \p Base. \returns false
+/// when no chain file exists.
+bool findResumePoint(const std::string &Base, ResumePoint &Out);
+
+} // namespace vyrd
+
+#endif // VYRD_SNAPSHOT_H

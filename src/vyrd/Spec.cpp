@@ -9,3 +9,13 @@
 using namespace vyrd;
 
 Spec::~Spec() = default;
+
+bool Spec::saveState(ByteWriter &W) const {
+  (void)W;
+  return false;
+}
+
+bool Spec::loadState(ByteReader &R) {
+  (void)R;
+  return false;
+}

@@ -28,10 +28,25 @@
 
 namespace vyrd {
 
+class ByteWriter;
+class ByteReader;
+
 /// Interface implemented once per verified data structure.
 class Spec {
 public:
   virtual ~Spec();
+
+  /// Serializes the abstract state into \p W so a later checker run can
+  /// resume from it (snapshot sidecars, docs/SNAPSHOTS.md). The encoding
+  /// must be canonical — the same state always produces the same bytes —
+  /// and must not contain process-local interned name ids. \returns false
+  /// when the spec does not support snapshots (the default).
+  virtual bool saveState(ByteWriter &W) const;
+
+  /// Restores the abstract state from bytes produced by saveState,
+  /// replacing the current state entirely. \returns false on malformed
+  /// input or when snapshots are unsupported (the default).
+  virtual bool loadState(ByteReader &R);
 
   /// Whether \p Method is an observer (never modifies abstract state).
   virtual bool isObserver(Name Method) const = 0;

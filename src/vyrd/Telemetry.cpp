@@ -59,6 +59,14 @@ const char *vyrd::counterName(Counter C) {
     return "segments_created";
   case Counter::C_SegmentsReclaimed:
     return "segments_reclaimed";
+  case Counter::C_SnapshotWrites:
+    return "snapshot_writes";
+  case Counter::C_SnapshotSkips:
+    return "snapshot_skips";
+  case Counter::C_SnapshotLoads:
+    return "snapshot_loads";
+  case Counter::C_EpochsChecked:
+    return "epochs_checked";
   case Counter::NumCounters:
     break;
   }
@@ -118,6 +126,10 @@ const char *vyrd::gaugeName(Gauge G) {
     return "tail_bytes";
   case Gauge::G_SegmentsLive:
     return "segments_live";
+  case Gauge::G_EpochsInFlight:
+    return "epochs_in_flight";
+  case Gauge::G_RestartLag:
+    return "restart_lag";
   case Gauge::NumGauges:
     break;
   }

@@ -98,6 +98,15 @@ enum class Counter : uint8_t {
   /// checked-prefix deletion).
   C_SegmentsCreated,
   C_SegmentsReclaimed,
+  /// Snapshot sidecars written at segment cuts / cuts where the snapshot
+  /// was skipped (late cut on an async flusher, a dirty checker, or an
+  /// unsupported spec) / sidecars loaded by a resuming or epoch checker
+  /// (docs/SNAPSHOTS.md).
+  C_SnapshotWrites,
+  C_SnapshotSkips,
+  C_SnapshotLoads,
+  /// Epochs fully checked by epochCheck (one per (object, epoch) task).
+  C_EpochsChecked,
   NumCounters
 };
 
@@ -137,6 +146,12 @@ enum class Gauge : uint8_t {
   G_TailBytes,
   /// Log segment files currently on disk.
   G_SegmentsLive,
+  /// (object, epoch) tasks currently being checked by epochCheck.
+  G_EpochsInFlight,
+  /// Records between the resume point's watermark and the end of the log
+  /// at restore time: how much re-checking a cold restart saved relative
+  /// to a from-zero replay would be (appendCount - watermark).
+  G_RestartLag,
   NumGauges
 };
 

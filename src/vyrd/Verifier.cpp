@@ -7,6 +7,7 @@
 #include "vyrd/Verifier.h"
 
 #include "vyrd/Ring.h"
+#include "vyrd/Snapshot.h"
 
 #include <algorithm>
 #include <cassert>
@@ -49,6 +50,15 @@ std::string VerifierConfig::validate() const {
       return "Backpressure.Policy = BP_Shed requires Online = true "
              "(offline runs buffer the whole log anyway, so shedding "
              "would lose coverage for no memory benefit)";
+  }
+  if (Snapshots) {
+    if (!Backpressure.SegmentBytes)
+      return "Snapshots requires Backpressure.SegmentBytes > 0 (snapshot "
+             "sidecars ride the segment chain; an unsegmented log has no "
+             "cut points)";
+    if (LogFilePath.empty() || Backend == LogBackend::LB_Memory)
+      return "Snapshots requires a file-backed log (set LogFilePath and a "
+             "non-memory backend; sidecars live next to the segments)";
   }
   if (CheckerThreads == 0)
     return "CheckerThreads must be >= 1";
@@ -361,6 +371,16 @@ public:
     return Stats;
   }
 
+  /// Mid-run barrier: waits until every dispatched batch has been fed
+  /// (snapshot cuts need all checkers aligned exactly on the cut). The
+  /// pool keeps running — unlike drainAndJoin, the workers are not
+  /// stopped. Pump thread only; since the pump is the sole dispatcher,
+  /// no new work can race in while it waits here.
+  void quiesce() {
+    std::unique_lock Lock(M);
+    IdleCV.wait(Lock, [&] { return ActiveObjects == 0; });
+  }
+
   /// Waits until every dispatched batch has been checked, then stops and
   /// joins the workers. Called by the pump thread after the log is
   /// drained (no dispatch() can race with it). Idempotent.
@@ -581,6 +601,78 @@ void Verifier::feedObject(ObjectState &O, const std::vector<Action> &Batch,
     ViolationFlag.store(true, std::memory_order_release);
 }
 
+void Verifier::routeRange(std::vector<Action> &Batch, size_t Begin,
+                          size_t End, std::vector<std::vector<Action>> &Route,
+                          TelemetryCell *TC) {
+  for (size_t I = Begin; I < End; ++I) {
+    Action &A = Batch[I];
+    if (Tracer)
+      Tracer->noteAction(A);
+    if (A.Obj < Route.size()) {
+      Route[A.Obj].push_back(std::move(A));
+    } else {
+      if (!UnroutedRecords)
+        FirstUnroutedSeq = A.Seq;
+      ++UnroutedRecords;
+    }
+  }
+  for (size_t I = 0; I < Route.size(); ++I) {
+    if (Route[I].empty())
+      continue;
+    ObjectState &O = *Objects[I];
+    O.Routed += Route[I].size();
+    if (Telem)
+      Telem->noteObjectRouted(O.Id, Route[I].size());
+    if (Pool) {
+      // dispatch() swaps in a recycled empty buffer for the next round.
+      Pool->dispatch(O, Route[I]);
+    } else {
+      feedObject(O, Route[I], TC);
+      Route[I].clear();
+    }
+  }
+}
+
+void Verifier::takeSnapshot(uint64_t SegIndex, uint64_t CutSeq) {
+  // Every record below the cut has been routed; with a pool, wait until
+  // the workers have actually fed them, so the serialized state is the
+  // checkers' state exactly at the cut.
+  if (Pool)
+    Pool->quiesce();
+  SnapshotFile SF;
+  SF.SegmentIndex = SegIndex;
+  SF.Watermark = CutSeq;
+  for (auto &O : Objects) {
+    ByteWriter W;
+    // A dirty checker (violation recorded, spec diverged) or a spec /
+    // replayer without serialization support makes the whole cut
+    // unsnapshottable: a partial sidecar could not seed a resume.
+    if (!O->Checker->saveState(W)) {
+      if (Telem)
+        Telem->count(Counter::C_SnapshotSkips);
+      return;
+    }
+    SnapshotObject SO;
+    SO.Id = O->Id;
+    SO.Name = O->Name;
+    SO.Blob = W.buffer();
+    SF.Objects.push_back(std::move(SO));
+  }
+  std::string Path = snapshotSidecarPath(Config.LogFilePath, SegIndex);
+  if (!writeSnapshotFile(Path, SF)) {
+    std::fprintf(stderr, "vyrd: cannot write snapshot sidecar %s\n",
+                 Path.c_str());
+    if (Telem)
+      Telem->count(Counter::C_SnapshotSkips);
+    return;
+  }
+  if (Telem)
+    Telem->count(Counter::C_SnapshotWrites);
+  if (Tracer)
+    Tracer->noteVerifierInstant(CutSeq, "snapshot: segment " +
+                                            std::to_string(SegIndex));
+}
+
 void Verifier::pump() {
   // Batch consumption amortizes one log wakeup + lock round trip over up
   // to PumpBatch records; each record is then routed to its object's
@@ -591,38 +683,49 @@ void Verifier::pump() {
   TelemetryCell *TC =
       telemetryCompiledIn() && Telem ? &Telem->cell() : nullptr;
   std::vector<std::vector<Action>> Route(Objects.size());
+  const bool SnapshotsOn = Config.Snapshots && Config.Backpressure.SegmentBytes;
+  std::vector<SegmentCut> Cuts; ///< pending cut points, oldest first
+  uint64_t RoutedUpto = 0;      ///< exclusive frontier of routed records
   while (TheLog->nextBatch(Batch, PumpBatch)) {
     uint64_t FirstSeq = Batch.front().Seq;
     uint64_t LastSeq = Batch.back().Seq;
     size_t NumActions = Batch.size();
-    for (Action &A : Batch) {
-      if (Tracer)
-        Tracer->noteAction(A);
-      if (A.Obj < Route.size()) {
-        Route[A.Obj].push_back(std::move(A));
-      } else {
-        if (!UnroutedRecords)
-          FirstUnroutedSeq = A.Seq;
-        ++UnroutedRecords;
-      }
-    }
     if (TC)
       TC->count(Counter::C_CheckerBatches);
-    for (size_t I = 0; I < Route.size(); ++I) {
-      if (Route[I].empty())
-        continue;
-      ObjectState &O = *Objects[I];
-      O.Routed += Route[I].size();
-      if (Telem)
-        Telem->noteObjectRouted(O.Id, Route[I].size());
-      if (Pool) {
-        // dispatch() swaps in a recycled empty buffer for the next round.
-        Pool->dispatch(O, Route[I]);
-      } else {
-        feedObject(O, Route[I], TC);
-        Route[I].clear();
+    size_t Begin = 0;
+    if (SnapshotsOn) {
+      TheLog->takeSegmentCuts(Cuts);
+      // Split the batch at each cut that falls inside it: route the
+      // records before the cut, serialize the checkers aligned exactly
+      // on it, then resume routing. A cut at LastSeq + 1 sits at the
+      // batch boundary and is taken after the whole batch is routed.
+      while (!Cuts.empty() && Cuts.front().FirstSeq <= LastSeq + 1) {
+        SegmentCut Cut = Cuts.front();
+        Cuts.erase(Cuts.begin());
+        if (Cut.FirstSeq < RoutedUpto) {
+          // Late cut: the buffered backend's flusher rotates
+          // asynchronously, so the reader can consume past a cut before
+          // the pump learns of it. Nothing to align on — skip.
+          if (Telem)
+            Telem->count(Counter::C_SnapshotSkips);
+          continue;
+        }
+        // lower_bound, not index arithmetic: BP_Shed leaves Seq gaps.
+        size_t Split = static_cast<size_t>(
+            std::lower_bound(Batch.begin() + Begin, Batch.end(),
+                             Cut.FirstSeq,
+                             [](const Action &A, uint64_t S) {
+                               return A.Seq < S;
+                             }) -
+            Batch.begin());
+        routeRange(Batch, Begin, Split, Route, TC);
+        Begin = Split;
+        RoutedUpto = Cut.FirstSeq;
+        takeSnapshot(Cut.Index, Cut.FirstSeq);
       }
     }
+    routeRange(Batch, Begin, Batch.size(), Route, TC);
+    RoutedUpto = LastSeq + 1;
     if (Telem)
       Telem->noteConsumed(LastSeq + 1);
     if (Tracer)

@@ -96,6 +96,18 @@ struct VerifierConfig {
   /// SegmentBytes > 0 additionally rotates file-backed logs into a
   /// segment chain that is trimmed as checkers advance.
   BackpressureConfig Backpressure;
+  /// Write spec-state snapshot sidecars at segment cuts (docs/SNAPSHOTS.md):
+  /// whenever the segmented log rotates, the pump aligns every object's
+  /// checker exactly on the cut, serializes the checkers' resumable state
+  /// and writes it as `<LogFilePath>.NNNNNN.snap` next to the new segment.
+  /// A later `vyrd-check --resume` (or epochCheck) then restarts checking
+  /// from the oldest live segment instead of record 0. Requires a
+  /// file-backed log with Backpressure.SegmentBytes > 0. Snapshots are
+  /// best-effort: a cut is skipped (counted in C_SnapshotSkips) when a
+  /// checker is dirty, its spec/replayer does not support serialization,
+  /// or — with the buffered backend's asynchronous flusher — the cut is
+  /// reported after the pump already fed records past it.
+  bool Snapshots = false;
   /// Size of the checker pool. 1 (the default) feeds every object's
   /// checker inline on the consumption thread — exactly the historical
   /// single-threaded behavior. N > 1 starts N verification workers that
@@ -238,6 +250,16 @@ private:
   /// the pump thread inline, or the pool worker holding the object).
   void feedObject(ObjectState &O, const std::vector<Action> &Batch,
                   TelemetryCell *TC);
+  /// Routes Batch[Begin, End) to the per-object pipelines (demux +
+  /// dispatch/feed). Factored out of pump() so snapshot cuts can split a
+  /// batch: everything before the cut is routed, the snapshot is taken,
+  /// then routing resumes.
+  void routeRange(std::vector<Action> &Batch, size_t Begin, size_t End,
+                  std::vector<std::vector<Action>> &Route, TelemetryCell *TC);
+  /// Aligns every checker on the cut (quiescing the pool), serializes the
+  /// checkers and writes the sidecar for segment \p SegIndex. Pump thread
+  /// only; counts C_SnapshotWrites / C_SnapshotSkips.
+  void takeSnapshot(uint64_t SegIndex, uint64_t CutSeq);
 
   VerifierConfig Config;
   std::unique_ptr<Log> TheLog;

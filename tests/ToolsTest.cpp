@@ -14,6 +14,7 @@
 #include "TestUtil.h"
 #include "harness/Scenarios.h"
 #include "harness/Workload.h"
+#include "vyrd/Snapshot.h"
 
 #include <gtest/gtest.h>
 
@@ -311,6 +312,101 @@ TEST(ToolsTest, LogdumpReadsLegacyV1Log) {
   EXPECT_NE(Out.find("\"objects\":1"), std::string::npos) << Out;
   EXPECT_NE(Out.find("\"by_object\":{\"0\":3}"), std::string::npos) << Out;
   std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshots: --resume / --epochs / --snapshots
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Records a clean multiset run as a segmented chain with snapshot
+/// sidecars (optionally reclaiming the checked prefix, which is what a
+/// crashed verifier leaves behind).
+void recordSnapshotChain(const std::string &Base, bool Reclaim) {
+  ScenarioOptions SO;
+  SO.Prog = Program::P_MultisetVector;
+  SO.Mode = RunMode::RM_OnlineView;
+  SO.LogPath = Base;
+  SO.Backpressure.SegmentBytes = 8 * 1024;
+  SO.Backpressure.ReclaimSegments = Reclaim;
+  SO.Snapshots = true;
+  Scenario S = makeScenario(SO);
+  WorkloadOptions WO;
+  WO.Threads = 4;
+  WO.OpsPerThread = 400;
+  WO.Seed = 21;
+  runWorkload(WO, S.Op);
+  VerifierReport R = S.Finish();
+  ASSERT_TRUE(R.ok()) << R.str();
+}
+
+void removeSnapshotChain(const std::string &Base) {
+  std::remove(Base.c_str());
+  for (uint64_t I = 1; I <= 128; ++I) {
+    std::remove(logSegmentPath(Base, I).c_str());
+    std::remove(snapshotSidecarPath(Base, I).c_str());
+  }
+}
+
+} // namespace
+
+TEST(ToolsTest, CheckResumesFromReclaimedChain) {
+  std::string Base = tempLog("resume");
+  removeSnapshotChain(Base);
+  recordSnapshotChain(Base, /*Reclaim=*/true);
+  std::string Out;
+  int RC = runTool(std::string(VYRD_CHECK_PATH) + " " + Base +
+                       " --program multiset --resume",
+                   Out);
+  EXPECT_EQ(RC, 0) << Out;
+  EXPECT_NE(Out.find("no refinement violations"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("epochs: 1"), std::string::npos) << Out;
+  removeSnapshotChain(Base);
+}
+
+TEST(ToolsTest, CheckEpochsSplitsAtSidecars) {
+  std::string Base = tempLog("epochs");
+  removeSnapshotChain(Base);
+  recordSnapshotChain(Base, /*Reclaim=*/false);
+  std::string Out;
+  int RC = runTool(std::string(VYRD_CHECK_PATH) + " " + Base +
+                       " --program multiset --epochs 2",
+                   Out);
+  EXPECT_EQ(RC, 0) << Out;
+  EXPECT_NE(Out.find("no refinement violations"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("serial rechecks: 0"), std::string::npos) << Out;
+  // The 8 KiB segments must have produced at least one sidecar, so the
+  // chain splits into at least two epochs.
+  EXPECT_EQ(Out.find("epochs: 0,"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("epochs: 1,"), std::string::npos) << Out;
+  removeSnapshotChain(Base);
+}
+
+TEST(ToolsTest, CheckRejectsResumeCombinedWithEpochs) {
+  std::string Out;
+  EXPECT_EQ(runTool(std::string(VYRD_CHECK_PATH) +
+                        " /tmp/x.bin --program multiset --resume --epochs 2",
+                    Out),
+            2);
+  EXPECT_NE(Out.find("usage"), std::string::npos) << Out;
+}
+
+TEST(ToolsTest, LogdumpPrintsSnapshotSidecars) {
+  std::string Base = tempLog("snapdump");
+  removeSnapshotChain(Base);
+  recordSnapshotChain(Base, /*Reclaim=*/false);
+  std::string Out;
+  int RC = runTool(std::string(VYRD_LOGDUMP_PATH) + " " + Base +
+                       " --snapshots",
+                   Out);
+  EXPECT_EQ(RC, 0) << Out;
+  EXPECT_NE(Out.find("segment 000001"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("(no sidecar)"), std::string::npos)
+      << "segment 1 never has one: " << Out;
+  EXPECT_NE(Out.find("sidecar: watermark="), std::string::npos) << Out;
+  EXPECT_NE(Out.find("blob bytes"), std::string::npos) << Out;
+  removeSnapshotChain(Base);
 }
 
 TEST(ToolsTest, LogdumpObjectFilterAndStats) {

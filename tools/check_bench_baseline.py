@@ -3,7 +3,7 @@
 
 Usage:
   check_bench_baseline.py <log_backends.json> <checker_hotpath.json>
-      [backpressure.json]
+      [backpressure.json] [multiobject_epochs.json]
       [--baseline bench/baseline.json] [--factor 2.0] [--write]
 
 Fails (exit 1) when any metric regressed by more than the factor:
@@ -27,7 +27,8 @@ import json
 import sys
 
 
-def load_metrics(log_backends_path, hotpath_path, backpressure_path=None):
+def load_metrics(log_backends_path, hotpath_path, backpressure_path=None,
+                 epochs_path=None):
     metrics = {}
     with open(log_backends_path) as f:
         for row in json.load(f):
@@ -55,6 +56,18 @@ def load_metrics(log_backends_path, hotpath_path, backpressure_path=None):
                     "kind": "throughput",
                     "value": row["throughput"],
                 }
+    if epochs_path:
+        # Checked records/s per epoch config. The x2/x4 speedup over
+        # from-zero is informational (it collapses to ~1x on single-core
+        # CI runners) and is tracked in EXPERIMENTS.md, not gated here.
+        with open(epochs_path) as f:
+            for row in json.load(f):
+                key = "multiobject_epochs/%s/records_per_s" % (
+                    row["config"].replace(" ", "-"))
+                metrics[key] = {
+                    "kind": "throughput",
+                    "value": row["throughput"],
+                }
     return metrics
 
 
@@ -63,6 +76,7 @@ def main():
     ap.add_argument("log_backends_json")
     ap.add_argument("checker_hotpath_json")
     ap.add_argument("backpressure_json", nargs="?", default=None)
+    ap.add_argument("multiobject_epochs_json", nargs="?", default=None)
     ap.add_argument("--baseline", default="bench/baseline.json")
     ap.add_argument("--factor", type=float, default=2.0)
     ap.add_argument("--write", action="store_true",
@@ -70,16 +84,17 @@ def main():
     args = ap.parse_args()
 
     fresh = load_metrics(args.log_backends_json, args.checker_hotpath_json,
-                         args.backpressure_json)
+                         args.backpressure_json,
+                         args.multiobject_epochs_json)
 
     if args.write:
         out = {
             "comment": "Quick-mode reference numbers for "
                        "tools/check_bench_baseline.py. Regenerate with: "
-                       "bench_log_backends, bench_checker_hotpath and "
-                       "bench_backpressure, each with --quick --json, on "
-                       "the reference host, then "
-                       "tools/check_bench_baseline.py --write.",
+                       "bench_log_backends, bench_checker_hotpath, "
+                       "bench_backpressure and bench_multiobject --epochs, "
+                       "each with --quick --json, on the reference host, "
+                       "then tools/check_bench_baseline.py --write.",
             "metrics": fresh,
         }
         with open(args.baseline, "w") as f:

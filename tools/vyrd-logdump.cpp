@@ -7,7 +7,7 @@
 // Dumps a binary log file produced by FileLog in human-readable form.
 //
 //   vyrd-logdump <log-file> [--limit N] [--tid T] [--obj O] [--kind K]
-//                [--stats] [--json]
+//                [--stats] [--json] [--snapshots]
 //
 //   --limit N   print at most N records
 //   --tid T     only records of thread T
@@ -17,6 +17,9 @@
 //   --stats     print per-kind / per-method / per-thread / per-object
 //               counts instead of records
 //   --json      with --stats: emit the summary as one JSON object
+//   --snapshots walk the segment chain and print each segment with its
+//               snapshot sidecar (LOGFORMAT v5), if any, instead of
+//               records
 //
 // Reads every log format version: current ("VYRD" header + per-record
 // ObjectId, single value slot), v2 (two value slots), and legacy
@@ -35,6 +38,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "vyrd/Log.h"
+#include "vyrd/Snapshot.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,7 +53,7 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <log-file> [--limit N] [--tid T] [--obj O] "
-               "[--kind K] [--stats] [--json]\n",
+               "[--kind K] [--stats] [--json] [--snapshots]\n",
                Argv0);
   return 2;
 }
@@ -171,6 +175,39 @@ int printStats(const LogStats &S, bool Json) {
   return 0;
 }
 
+/// --snapshots: renders the segment chain with its v5 sidecars.
+int printSnapshots(const std::string &Path) {
+  std::vector<ChainSegment> Segs;
+  if (!enumerateChain(Path, Segs) || Segs.empty()) {
+    std::fprintf(stderr, "error: no log file or segment chain at '%s'\n",
+                 Path.c_str());
+    return 1;
+  }
+  for (const ChainSegment &Seg : Segs) {
+    if (Seg.Index == 0) {
+      std::printf("%s: plain (unsegmented) log, no sidecars possible\n",
+                  Seg.Path.c_str());
+      continue;
+    }
+    std::printf("segment %06llu  %s  first_seq=%llu",
+                static_cast<unsigned long long>(Seg.Index),
+                Seg.Path.c_str(),
+                static_cast<unsigned long long>(Seg.FirstSeq));
+    if (!Seg.HasSnapshot) {
+      std::printf("  (no sidecar)\n");
+      continue;
+    }
+    std::printf("\n  sidecar: watermark=%llu, %zu object(s)\n",
+                static_cast<unsigned long long>(Seg.Snap.Watermark),
+                Seg.Snap.Objects.size());
+    for (const SnapshotObject &O : Seg.Snap.Objects)
+      std::printf("    o%u%s%s  %zu blob bytes\n", O.Id,
+                  O.Name.empty() ? "" : " ", O.Name.c_str(),
+                  O.Blob.size());
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -181,6 +218,7 @@ int main(int Argc, char **Argv) {
   std::string KindFilter;
   bool Stats = false;
   bool Json = false;
+  bool Snapshots = false;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--limit" && I + 1 < Argc) {
@@ -195,6 +233,8 @@ int main(int Argc, char **Argv) {
       Stats = true;
     } else if (Arg == "--json") {
       Json = true;
+    } else if (Arg == "--snapshots") {
+      Snapshots = true;
     } else if (Arg[0] == '-') {
       return usage(Argv[0]);
     } else {
@@ -203,6 +243,8 @@ int main(int Argc, char **Argv) {
   }
   if (Path.empty())
     return usage(Argv[0]);
+  if (Snapshots)
+    return printSnapshots(Path);
 
   LogFileReader Reader(Path);
   if (!Reader.valid()) {
