@@ -34,16 +34,21 @@
 
 #include "BenchUtil.h"
 #include "vyrd/BufferedLog.h"
+#include "vyrd/Monitor.h"
 #include "vyrd/Telemetry.h"
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <ctime>
 #include <functional>
 #include <memory>
 #include <thread>
-#include <unistd.h>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 using namespace vyrd;
 using namespace vyrd::bench;
@@ -260,6 +265,71 @@ int main(int Argc, char **Argv) {
                 OverheadPct);
     jsonRow(BJ, "buffered-telemetry-off", Threads, Off);
     jsonRow(BJ, "buffered-telemetry-on", Threads, On);
+  }
+  hr();
+
+  // Monitor-attached overhead: same telemetry-on configuration, but with
+  // a live MonitorServer and one `watch 100` client streaming stats
+  // every 100 ms while the producers run. The server thread only reads
+  // Telemetry::snapshot(), so the append path must not notice the
+  // difference (acceptance: within noise of buffered-telemetry-on).
+  std::printf("\nMonitor-attached overhead (telemetry on, one watch-100ms "
+              "client):\n\n");
+  std::printf("%-8s %13s\n", "threads", "app M/s");
+  hr();
+  {
+    Telemetry MonTelem;
+    TelemetryMonitorSource Src(MonTelem);
+    MonitorOptions MO;
+    MO.SocketPath =
+        "/tmp/vyrd-benchmon-" + std::to_string(getpid()) + ".sock";
+    MonitorServer Server(MO, Src);
+    std::atomic<bool> ClientStop{false};
+    std::thread Client;
+    if (Server.valid()) {
+      Client = std::thread([&MO, &ClientStop] {
+        sockaddr_un Addr;
+        std::memset(&Addr, 0, sizeof(Addr));
+        Addr.sun_family = AF_UNIX;
+        std::memcpy(Addr.sun_path, MO.SocketPath.c_str(),
+                    MO.SocketPath.size() + 1);
+        int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+        if (Fd < 0 || connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                              sizeof(Addr)) != 0) {
+          if (Fd >= 0)
+            close(Fd);
+          return;
+        }
+        const char Watch[] = "watch 100\n";
+        (void)!write(Fd, Watch, sizeof(Watch) - 1);
+        char Buf[4096];
+        while (!ClientStop.load(std::memory_order_relaxed))
+          if (read(Fd, Buf, sizeof(Buf)) <= 0)
+            break;
+        close(Fd);
+      });
+    } else {
+      std::fprintf(stderr, "monitor bench: bind failed (%s), measuring "
+                           "without a client\n",
+                   Server.error().c_str());
+    }
+    for (unsigned Threads : ThreadCounts) {
+      Throughput Mon = measure(
+          [&MonTelem] {
+            BufferedLog::Options O;
+            O.ShardCapacity = 4096;
+            auto L = std::make_unique<BufferedLog>(std::move(O));
+            L->setTelemetry(&MonTelem);
+            return L;
+          },
+          Threads, /*Drain=*/true);
+      std::printf("%-8u %13.2f\n", Threads, Mon.App);
+      jsonRow(BJ, "buffered-monitor-on", Threads, Mon);
+    }
+    ClientStop.store(true);
+    Server.stop(); // closes the client's fd, unblocking its read
+    if (Client.joinable())
+      Client.join();
   }
   hr();
   return BJ.write() ? 0 : 1;

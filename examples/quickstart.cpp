@@ -18,6 +18,11 @@
 // the metric snapshot and the file can be fed to vyrd-trace / vyrd-check.
 // --segment-bytes N additionally rotates that log into numbered segment
 // files every N bytes (docs/LOGFORMAT.md); the tools walk the chain.
+// --monitor-socket PATH serves the live monitor endpoint during the
+// final run (attach with `vyrd-mon --socket PATH top`), holding it open
+// for --monitor-hold-ms before finishing. --forensics PREFIX makes the
+// buggy run flush a `PREFIX.<object>.forensic.json` bundle when the
+// violation fires (docs/OBSERVABILITY.md, "Violation forensics").
 //
 //===----------------------------------------------------------------------===//
 
@@ -30,8 +35,10 @@
 #include "queue/QueueSpec.h"
 #include "vyrd/Vyrd.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 using namespace vyrd;
 using namespace vyrd::harness;
@@ -73,10 +80,18 @@ static void readmeQuickstart() {
     std::puts(R.Violations.front().str().c_str());
 }
 
+struct RunExtras {
+  std::string LogPath;
+  uint64_t SegmentBytes = 0;
+  bool Snapshots = false;
+  std::string MonitorSocket; // live vyrd-mon endpoint (implies telemetry)
+  uint64_t MonitorHoldMs = 0; // keep the monitor up this long pre-finish
+  std::string ForensicPrefix; // flush *.forensic.json on violation
+};
+
 static VerifierReport runOnce(bool Buggy, uint64_t Seed,
-                              const std::string &LogPath = "",
-                              uint64_t SegmentBytes = 0,
-                              bool Snapshots = false) {
+                              const RunExtras &X = {}) {
+  const std::string &LogPath = X.LogPath;
   // 1. Build the scenario: instrumented multiset + atomic specification +
   //    replayer + online verification thread, all wired to one log.
   ScenarioOptions SO;
@@ -85,15 +100,20 @@ static VerifierReport runOnce(bool Buggy, uint64_t Seed,
   SO.Buggy = Buggy;
   SO.LogPath = LogPath; // durable log (when set), reusable by the tools
   SO.Telemetry.Enabled = !LogPath.empty(); // docs/OBSERVABILITY.md
+  // A live monitor endpoint reads telemetry, so attaching one implies it.
+  SO.Monitor.SocketPath = X.MonitorSocket;
+  if (!X.MonitorSocket.empty())
+    SO.Telemetry.Enabled = true;
+  SO.ForensicPrefix = X.ForensicPrefix;
   // Rotate the durable log into numbered segments (docs/LOGFORMAT.md,
   // "Segmented chains"); the tools walk the chain transparently. Keep
   // the whole chain: this log exists to be re-read, so checked-prefix
   // reclamation would defeat the point.
-  SO.Backpressure.SegmentBytes = SegmentBytes;
+  SO.Backpressure.SegmentBytes = X.SegmentBytes;
   SO.Backpressure.ReclaimSegments = false;
   // Snapshot sidecars at every rotation make the recorded chain
   // restartable and epoch-checkable (docs/SNAPSHOTS.md).
-  SO.Snapshots = Snapshots;
+  SO.Snapshots = X.Snapshots;
   Scenario S = makeScenario(SO);
 
   // 2. Drive it with the paper's random test harness (Sec. 7.1): several
@@ -109,6 +129,13 @@ static VerifierReport runOnce(bool Buggy, uint64_t Seed,
   WorkloadResult R = runWorkload(WO, S.Op);
   Chaos::disable();
 
+  // Hold the monitor endpoint open so an external vyrd-mon can attach
+  // deterministically before finish() tears the verifier down (CI does
+  // exactly this: quickstart in the background, vyrd-mon --wait).
+  if (!X.MonitorSocket.empty() && X.MonitorHoldMs)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(X.MonitorHoldMs));
+
   // 3. Collect the verdict.
   VerifierReport Rep = S.Finish();
   std::printf("  issued %llu method calls in %.3fs\n",
@@ -117,25 +144,31 @@ static VerifierReport runOnce(bool Buggy, uint64_t Seed,
 }
 
 int main(int Argc, char **Argv) {
-  std::string LogPath;
-  uint64_t SegmentBytes = 0;
-  bool Snapshots = false;
+  RunExtras X;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--segment-bytes" && I + 1 < Argc) {
-      SegmentBytes = std::strtoull(Argv[++I], nullptr, 10);
+      X.SegmentBytes = std::strtoull(Argv[++I], nullptr, 10);
     } else if (Arg == "--snapshots") {
-      Snapshots = true;
-    } else if (!Arg.empty() && Arg[0] != '-' && LogPath.empty()) {
-      LogPath = Arg;
+      X.Snapshots = true;
+    } else if (Arg == "--monitor-socket" && I + 1 < Argc) {
+      X.MonitorSocket = Argv[++I];
+    } else if (Arg == "--monitor-hold-ms" && I + 1 < Argc) {
+      X.MonitorHoldMs = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--forensics" && I + 1 < Argc) {
+      X.ForensicPrefix = Argv[++I];
+    } else if (!Arg.empty() && Arg[0] != '-' && X.LogPath.empty()) {
+      X.LogPath = Arg;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [log-file] [--segment-bytes N] [--snapshots]\n",
+                   "usage: %s [log-file] [--segment-bytes N] [--snapshots] "
+                   "[--monitor-socket PATH] [--monitor-hold-ms N] "
+                   "[--forensics PREFIX]\n",
                    Argv[0]);
       return 2;
     }
   }
-  if (Snapshots && SegmentBytes == 0) {
+  if (X.Snapshots && X.SegmentBytes == 0) {
     std::fprintf(stderr, "error: --snapshots requires --segment-bytes\n");
     return 2;
   }
@@ -147,12 +180,20 @@ int main(int Argc, char **Argv) {
               "re-checking) ==\n");
   bool Caught = false;
   for (uint64_t Seed = 1; Seed <= 20 && !Caught; ++Seed) {
-    VerifierReport Rep = runOnce(/*Buggy=*/true, Seed);
+    // Forensics apply to the buggy run: a violation there flushes its
+    // flight-recorder bundle (telemetry is needed for the prefix run
+    // only if a monitor is attached, which main() wires to the clean
+    // run instead).
+    RunExtras BX;
+    BX.ForensicPrefix = X.ForensicPrefix;
+    VerifierReport Rep = runOnce(/*Buggy=*/true, Seed, BX);
     if (!Rep.ok()) {
       Caught = true;
       std::printf("  VYRD caught the bug (seed %llu):\n",
                   static_cast<unsigned long long>(Seed));
       std::printf("    %s\n", Rep.Violations.front().str().c_str());
+      for (const std::string &F : Rep.ForensicFiles)
+        std::printf("    forensics: %s\n", F.c_str());
     }
   }
   if (!Caught) {
@@ -161,11 +202,12 @@ int main(int Argc, char **Argv) {
   }
 
   std::printf("\n== corrected multiset ==\n");
-  VerifierReport Rep =
-      runOnce(/*Buggy=*/false, 1, LogPath, SegmentBytes, Snapshots);
+  RunExtras CX = X;
+  CX.ForensicPrefix.clear(); // the clean run has nothing to flush
+  VerifierReport Rep = runOnce(/*Buggy=*/false, 1, CX);
   std::printf("  %s", Rep.str().c_str());
-  if (!LogPath.empty())
+  if (!X.LogPath.empty())
     std::printf("  log recorded to %s (try vyrd-trace / vyrd-check)\n",
-                LogPath.c_str());
+                X.LogPath.c_str());
   return Rep.ok() ? 0 : 1;
 }

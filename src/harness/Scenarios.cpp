@@ -223,6 +223,8 @@ Hooks wireScenario(Scenario &S, const ScenarioOptions &O,
     VC.Backend = LogBackend::LB_Buffered;
   VC.Backpressure = O.Backpressure;
   VC.Snapshots = O.Snapshots;
+  VC.Monitor = O.Monitor;
+  VC.ForensicPrefix = O.ForensicPrefix;
   auto V = std::make_shared<Verifier>(
       std::move(Spec), ViewLevel ? std::move(Replayer) : nullptr, VC);
   V->start();
@@ -595,6 +597,8 @@ Scenario vyrd::harness::makeCompositeScenario(const ScenarioOptions &O) {
       VC.Backend = LogBackend::LB_Buffered;
     VC.Backpressure = O.Backpressure;
     VC.Snapshots = O.Snapshots;
+    VC.Monitor = O.Monitor;
+    VC.ForensicPrefix = O.ForensicPrefix;
     auto V = std::make_shared<Verifier>(VC);
     HMul = V->registerObject(
         "multiset", std::make_unique<multiset::MultisetSpec>(),

@@ -115,6 +115,13 @@ struct ScenarioOptions {
   /// requires a file-backed log with Backpressure.SegmentBytes > 0). The
   /// recorded chain then supports `vyrd-check --resume` / `--epochs`.
   bool Snapshots = false;
+  /// Live monitor endpoint (VerifierConfig::Monitor): when SocketPath is
+  /// set, the verifier serves vyrd-mon clients on that unix socket.
+  /// Requires Telemetry.Enabled (docs/OBSERVABILITY.md).
+  MonitorOptions Monitor;
+  /// Violation forensics (VerifierConfig::ForensicPrefix): when set, the
+  /// first violation flushes a `<prefix>.<object>.forensic.json` bundle.
+  std::string ForensicPrefix;
 };
 
 /// A ready-to-run verification scenario.

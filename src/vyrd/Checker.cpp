@@ -11,6 +11,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cinttypes>
+#include <cstdio>
 
 using namespace vyrd;
 
@@ -104,9 +106,162 @@ void RefinementChecker::report(ViolationKind K, uint64_t Seq, ThreadId Tid,
   V.Method = Method;
   V.Message = std::move(Message);
   V.MethodsChecked = Stats.MethodsChecked;
-  for (size_t I = 0, N = RecentActions.size(); I != N; ++I)
+  // The ring may be flight-recorder sized; the rendered context stays
+  // bounded by ContextRecords as before.
+  size_t N = RecentActions.size();
+  size_t First = N - std::min<size_t>(N, Config.ContextRecords);
+  for (size_t I = First; I != N; ++I)
     V.Context += RecentActions[I].str() + "\n";
   Violations.push_back(std::move(V));
+  // Keep the bundle list parallel to Violations so forensics()[i] always
+  // pairs with violations()[i].
+  ForensicBundles.push_back(
+      Config.FlightRecorderDepth ? captureForensic(Violations.back())
+                                 : std::string());
+}
+
+namespace {
+
+/// FNV-1a over a byte buffer: a stable fingerprint for the serialized
+/// spec state inside a forensic bundle (equal states -> equal hashes).
+uint64_t fnv1a(const std::vector<uint8_t> &Bytes) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (uint8_t B : Bytes) {
+    H ^= B;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+std::string actionJson(const Action &A) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"seq\":%" PRIu64 ",\"tid\":%u,\"kind\":\"%s\"", A.Seq,
+                A.Tid, actionKindName(A.Kind));
+  std::string Out = Buf;
+  if (A.Method.valid())
+    Out += ",\"method\":\"" + jsonEscape(std::string(A.Method.str())) +
+           "\"";
+  if (A.Var.valid())
+    Out += ",\"var\":\"" + jsonEscape(std::string(A.Var.str())) + "\"";
+  if (!A.Args.empty()) {
+    Out += ",\"args\":[";
+    for (size_t I = 0; I < A.Args.size(); ++I) {
+      Out += I ? ",\"" : "\"";
+      Out += jsonEscape(A.Args[I].str()) + "\"";
+    }
+    Out += "]";
+  }
+  if (!A.Ret.isNull())
+    Out += ",\"ret\":\"" + jsonEscape(A.Ret.str()) + "\"";
+  Out += "}";
+  return Out;
+}
+
+} // namespace
+
+std::string RefinementChecker::captureForensic(const Violation &V) const {
+  char Buf[160];
+  std::string Out = "{\"schema\":\"vyrd-forensic-v1\"";
+
+  Out += ",\"violation\":{\"kind\":\"";
+  Out += violationKindName(V.Kind);
+  std::snprintf(Buf, sizeof(Buf),
+                "\",\"seq\":%" PRIu64 ",\"tid\":%u,\"methods_checked\":%"
+                PRIu64,
+                V.Seq, V.Tid, V.MethodsChecked);
+  Out += Buf;
+  if (V.Method.valid())
+    Out += ",\"method\":\"" + jsonEscape(std::string(V.Method.str())) +
+           "\"";
+  Out += ",\"message\":\"" + jsonEscape(V.Message) + "\"}";
+
+  // The flight-recorder tail: the last FlightRecorderDepth records fed
+  // before (and including) the one that established the violation.
+  size_t N = RecentActions.size();
+  size_t First = N - std::min<size_t>(N, Config.FlightRecorderDepth);
+  Out += ",\"recent_actions\":[";
+  for (size_t I = First; I != N; ++I) {
+    if (I != First)
+      Out += ",";
+    Out += actionJson(RecentActions[I]);
+  }
+  Out += "]";
+
+  // Every method execution still open: what each thread was doing when
+  // the violation was established.
+  Out += ",\"open_execs\":[";
+  bool FirstExec = true;
+  auto AddExec = [&](const Exec &X) {
+    if (!FirstExec)
+      Out += ",";
+    FirstExec = false;
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"tid\":%u,\"call_seq\":%" PRIu64
+                  ",\"observer\":%s,\"has_ret\":%s,\"has_commit\":%s,"
+                  "\"in_block\":%s,\"satisfied\":%s",
+                  X.Tid, X.CallSeq, X.IsObserver ? "true" : "false",
+                  X.HasRet ? "true" : "false",
+                  X.HasCommit ? "true" : "false",
+                  X.InBlock ? "true" : "false",
+                  X.Satisfied ? "true" : "false");
+    Out += Buf;
+    Out += ",\"method\":\"" + jsonEscape(std::string(X.Method.str())) +
+           "\",\"args\":[";
+    for (size_t I = 0; I < X.Args.size(); ++I) {
+      Out += I ? ",\"" : "\"";
+      Out += jsonEscape(X.Args[I].str()) + "\"";
+    }
+    Out += "]";
+    if (X.HasRet)
+      Out += ",\"ret\":\"" + jsonEscape(X.Ret.str()) + "\"";
+    Out += "}";
+  };
+  for (const ExecPtr &E : OpenExecsDense)
+    if (E)
+      AddExec(*E);
+  for (const auto &KV : OpenExecsSparse)
+    AddExec(*KV.second);
+  Out += "]";
+
+  // Spec-state digest: the view digests pin down what each side believed
+  // the abstract state to be; the serialized-spec fingerprint lets two
+  // bundles be compared for state equality without replaying anything.
+  std::snprintf(Buf, sizeof(Buf), ",\"spec_state\":{\"spec_version\":%"
+                PRIu64,
+                SpecVersion);
+  Out += Buf;
+  if (Config.Mode == CheckMode::CM_ViewRefinement) {
+    auto DI = ViewI.digest(), DS = ViewS.digest();
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"view_i\":{\"size\":%zu,\"digest\":[%" PRIu64
+                  ",%" PRIu64 "]},\"view_s\":{\"size\":%zu,\"digest\":[%"
+                  PRIu64 ",%" PRIu64 "]}",
+                  ViewI.size(), DI.first, DI.second, ViewS.size(),
+                  DS.first, DS.second);
+    Out += Buf;
+  }
+  ByteWriter W;
+  if (TheSpec.saveState(W)) {
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"spec_blob_bytes\":%zu,\"spec_blob_fnv1a\":\"%016"
+                  PRIx64 "\"",
+                  W.size(), fnv1a(W.buffer()));
+    Out += Buf;
+  } else {
+    Out += ",\"spec_blob_bytes\":null,\"spec_blob_fnv1a\":null";
+  }
+  Out += "}";
+
+  std::snprintf(Buf, sizeof(Buf),
+                ",\"stats\":{\"actions_fed\":%" PRIu64
+                ",\"methods_checked\":%" PRIu64 ",\"commits\":%" PRIu64
+                ",\"observers\":%" PRIu64 ",\"open_execs\":%zu}}",
+                Stats.ActionsFed, Stats.MethodsChecked,
+                Stats.CommitsProcessed, Stats.ObserversChecked,
+                OpenExecCount);
+  Out += Buf;
+  return Out;
 }
 
 void RefinementChecker::feed(const Action &A) {
@@ -114,9 +269,9 @@ void RefinementChecker::feed(const Action &A) {
   ++Stats.ActionsFed;
   if (Config.StopAtFirstViolation && hasViolation())
     return;
-  if (Config.ContextRecords) {
+  if (unsigned Depth = recentRingDepth()) {
     RecentActions.push_back(A);
-    if (RecentActions.size() > Config.ContextRecords)
+    if (RecentActions.size() > Depth)
       RecentActions.pop_front();
   }
 
@@ -1026,6 +1181,7 @@ bool RefinementChecker::restoreState(ByteReader &R) {
   // context (bounded diagnostic loss, see docs/SNAPSHOTS.md).
   FailedMutators.clear();
   Violations.clear();
+  ForensicBundles.clear();
   RecentActions.clear();
   ObsMemo.clear();
   ObsMemoUsed = 0;

@@ -31,6 +31,7 @@
 #include "vyrd/View.h"
 #include "vyrd/Violation.h"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -72,6 +73,14 @@ struct CheckerConfig {
   /// Attach the last N fed log records (rendered) to each violation as
   /// debugging context (0 = off).
   unsigned ContextRecords = 0;
+  /// Flight recorder for violation forensics (docs/OBSERVABILITY.md,
+  /// "Forensic bundles"): keep the last N fed records and, at every
+  /// violation, capture a self-contained JSON bundle — those records,
+  /// the open-execution table, and a spec-state digest — retrievable via
+  /// forensics(). 0 = off (the default: the ring copies every fed Action,
+  /// which the zero-allocation hot path should not pay for unasked).
+  /// Shares the ring with ContextRecords (sized to the larger of the two).
+  unsigned FlightRecorderDepth = 0;
   /// Sec. 4.1's debugging aid: when a mutator's signature has no
   /// specification transition at its commit, keep retrying it after each
   /// later commit inside the method's window. If it becomes enabled, the
@@ -161,6 +170,13 @@ public:
 
   bool hasViolation() const { return !Violations.empty(); }
   const std::vector<Violation> &violations() const { return Violations; }
+  /// Forensic bundles, parallel to violations(): forensics()[i] is the
+  /// flight-recorder JSON captured the instant violations()[i] was
+  /// reported (empty string when FlightRecorderDepth is 0). Schema:
+  /// docs/OBSERVABILITY.md, "Forensic bundles".
+  const std::vector<std::string> &forensics() const {
+    return ForensicBundles;
+  }
   const CheckerStats &stats() const { return Stats; }
 
   /// Attaches a telemetry hub: each view comparison's cost is recorded
@@ -268,6 +284,12 @@ private:
   void runAudit(uint64_t Seq);
   void report(ViolationKind K, uint64_t Seq, ThreadId Tid, Name Method,
               std::string Message);
+  /// Renders the flight-recorder bundle for \p V (see forensics()).
+  std::string captureForensic(const Violation &V) const;
+  /// Capacity of the RecentActions ring (context + flight recorder).
+  unsigned recentRingDepth() const {
+    return std::max(Config.ContextRecords, Config.FlightRecorderDepth);
+  }
 
   Spec &TheSpec;
   Replayer *TheReplayer;
@@ -297,7 +319,9 @@ private:
   /// with the index of their violation record.
   std::vector<std::pair<ExecPtr, size_t>> FailedMutators;
   std::vector<Violation> Violations;
-  /// Ring of recently fed records for violation context.
+  /// Flight-recorder bundles, parallel to Violations (see forensics()).
+  std::vector<std::string> ForensicBundles;
+  /// Ring of recently fed records for violation context and forensics.
   RingQueue<Action> RecentActions;
   View ViewI;
   View ViewS;

@@ -67,6 +67,8 @@ const char *vyrd::counterName(Counter C) {
     return "snapshot_loads";
   case Counter::C_EpochsChecked:
     return "epochs_checked";
+  case Counter::C_GaugeUnderflow:
+    return "gauge_underflow";
   case Counter::NumCounters:
     break;
   }

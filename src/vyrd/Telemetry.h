@@ -107,6 +107,10 @@ enum class Counter : uint8_t {
   C_SnapshotLoads,
   /// Epochs fully checked by epochCheck (one per (object, epoch) task).
   C_EpochsChecked,
+  /// gaugeSub calls that would have driven a gauge below zero (mismatched
+  /// add/sub pair somewhere); the gauge is clamped at 0 instead of
+  /// wrapping, and this counter flags the accounting bug.
+  C_GaugeUnderflow,
   NumCounters
 };
 
@@ -325,8 +329,15 @@ public:
     raiseGaugeHwm(G, Now);
   }
   void gaugeSub(Gauge G, uint64_t N) {
-    GaugeNow[static_cast<size_t>(G)].fetch_sub(N,
-                                               std::memory_order_relaxed);
+    // Clamp at zero: a mismatched add/sub pair must not wrap the level to
+    // ~2^64 (which would also poison the HWM via the next gaugeAdd).
+    std::atomic<uint64_t> &A = GaugeNow[static_cast<size_t>(G)];
+    uint64_t Cur = A.load(std::memory_order_relaxed);
+    while (!A.compare_exchange_weak(Cur, Cur >= N ? Cur - N : 0,
+                                    std::memory_order_relaxed))
+      ;
+    if (Cur < N)
+      count(Counter::C_GaugeUnderflow);
   }
   void gaugeSet(Gauge G, uint64_t V) {
     GaugeNow[static_cast<size_t>(G)].store(V, std::memory_order_relaxed);

@@ -237,6 +237,11 @@ private:
 /// Builds a Value holding the given raw bytes.
 Value bytesValue(const void *Data, size_t Size);
 
+/// Escapes \p S for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by every JSON renderer in the
+/// codebase (reports, telemetry, monitor protocol, forensic bundles).
+std::string jsonEscape(const std::string &S);
+
 } // namespace vyrd
 
 #endif // VYRD_VALUE_H

@@ -72,6 +72,15 @@ std::string VerifierConfig::validate() const {
     return "Telemetry.WatchdogQuietMs requires Telemetry.Enabled";
   if (Telemetry.SampleIntervalUs && !Telemetry.Enabled)
     return "Telemetry.SampleIntervalUs requires Telemetry.Enabled";
+  if (!Monitor.SocketPath.empty()) {
+    if (!Telemetry.Enabled)
+      return "Monitor.SocketPath requires Telemetry.Enabled (the monitor "
+             "serves Telemetry::snapshot(); without a hub there is "
+             "nothing to report)";
+    if (Monitor.MaxClients == 0)
+      return "Monitor.MaxClients must be >= 1 (a zero bound admits no "
+             "client)";
+  }
   return "";
 }
 
@@ -119,6 +128,8 @@ std::string VerifierReport::str() const {
   }
   for (const std::string &N : Notes)
     Out += "note: " + N + "\n";
+  for (const std::string &F : ForensicFiles)
+    Out += "forensics: " + F + "\n";
   if (Violations.empty())
     Out += "no refinement violations\n";
   else {
@@ -222,6 +233,15 @@ std::string VerifierReport::json() const {
     Out += ",\"telemetry\":" + Telemetry.json();
   if (TraceEvents)
     Out += ",\"trace_events\":" + std::to_string(TraceEvents);
+  if (!ForensicFiles.empty()) {
+    Out += ",\"forensic_files\":[";
+    for (size_t I = 0; I < ForensicFiles.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += "\"" + jsonEscape(ForensicFiles[I]) + "\"";
+    }
+    Out += "]";
+  }
   Out += "}";
   return Out;
 }
@@ -250,6 +270,12 @@ struct Verifier::ObjectState {
   // cycles through the same cache-hot chunks with zero heap traffic.
   ChunkQueue<std::vector<Action>> PendingBatches;
   bool Scheduled = false;
+  /// Checker violations already copied into Verifier::Live (accessed
+  /// only by the thread currently owning the checker, like Checker).
+  size_t Published = 0;
+  /// The object's forensic bundle has been flushed (first violation
+  /// only; same ownership rule as Published).
+  bool ForensicWritten = false;
   /// Records dispatched to this object and not yet fed (pending batches
   /// plus the batch a worker is feeding right now). Guarded by
   /// CheckerPool::M.
@@ -474,6 +500,29 @@ private:
 // Verifier
 //===----------------------------------------------------------------------===//
 
+/// The monitor's window into a live Verifier: telemetry through the
+/// lock-free snapshot path, violations/forensics through the published
+/// LiveState. Runs on the monitor thread; everything it touches outlives
+/// the MonitorServer (member declaration order).
+class Verifier::MonitorAdapter : public MonitorSource {
+public:
+  explicit MonitorAdapter(Verifier &V) : V(V) {}
+  TelemetrySnapshot telemetrySnapshot() override {
+    return V.Telem ? V.Telem->snapshot() : TelemetrySnapshot();
+  }
+  std::vector<Violation> liveViolations() override {
+    std::lock_guard Lock(V.Live.M);
+    return V.Live.Violations;
+  }
+  std::vector<std::string> forensicFiles() override {
+    std::lock_guard Lock(V.Live.M);
+    return V.Live.ForensicFiles;
+  }
+
+private:
+  Verifier &V;
+};
+
 Verifier::Verifier(VerifierConfig C) : Config(std::move(C)) {
   std::string Err = Config.validate();
   if (!Err.empty()) {
@@ -521,6 +570,13 @@ Verifier::Verifier(VerifierConfig C) : Config(std::move(C)) {
   }
   if (!Config.Telemetry.TraceFilePath.empty())
     Tracer = std::make_unique<TraceRecorder>();
+  if (!Config.Monitor.SocketPath.empty()) {
+    MonSource = std::make_unique<MonitorAdapter>(*this);
+    Mon = std::make_unique<MonitorServer>(Config.Monitor, *MonSource);
+    if (!Mon->valid())
+      std::fprintf(stderr, "vyrd: monitor disabled: %s\n",
+                   Mon->error().c_str());
+  }
 }
 
 Verifier::Verifier(std::unique_ptr<Spec> S, std::unique_ptr<Replayer> R,
@@ -550,6 +606,10 @@ Hooks Verifier::registerObject(std::string ObjName, std::unique_ptr<Spec> S,
   O->Name = std::move(ObjName);
   O->S = std::move(S);
   O->R = std::move(R);
+  // Armed forensics imply a flight recorder; a config that set its own
+  // depth keeps it.
+  if (!Config.ForensicPrefix.empty() && CC.FlightRecorderDepth == 0)
+    CC.FlightRecorderDepth = 64;
   O->CheckerCfg = CC;
   O->Checker =
       std::make_unique<RefinementChecker>(*O->S, O->R.get(), O->CheckerCfg);
@@ -597,8 +657,63 @@ void Verifier::feedObject(ObjectState &O, const std::vector<Action> &Batch,
   }
   if (Telem)
     Telem->noteObjectChecked(O.Id, Batch.size());
-  if (O.Checker->hasViolation())
+  if (O.Checker->hasViolation()) {
     ViolationFlag.store(true, std::memory_order_release);
+    publishObjectViolations(O);
+  }
+}
+
+void Verifier::publishObjectViolations(ObjectState &O) {
+  const std::vector<Violation> &Vs = O.Checker->violations();
+  if (Vs.size() == O.Published)
+    return;
+  Name Tag = O.Name.empty() ? Name() : internName(O.Name);
+  {
+    std::lock_guard Lock(Live.M);
+    for (size_t I = O.Published; I < Vs.size(); ++I) {
+      Violation V = Vs[I];
+      V.Obj = O.Id;
+      V.Object = Tag;
+      Live.Violations.push_back(std::move(V));
+    }
+  }
+  O.Published = Vs.size();
+  maybeWriteForensic(O);
+}
+
+void Verifier::maybeWriteForensic(ObjectState &O) {
+  if (Config.ForensicPrefix.empty() || O.ForensicWritten)
+    return;
+  // First violation that captured a bundle (bundles are parallel to
+  // violations; entries are empty when the flight recorder is off).
+  const std::vector<std::string> &Bundles = O.Checker->forensics();
+  const std::string *Bundle = nullptr;
+  for (const std::string &B : Bundles)
+    if (!B.empty()) {
+      Bundle = &B;
+      break;
+    }
+  if (!Bundle)
+    return;
+  O.ForensicWritten = true;
+  std::string Label =
+      O.Name.empty() ? "object" + std::to_string(O.Id) : O.Name;
+  std::string Path =
+      Config.ForensicPrefix + "." + Label + ".forensic.json";
+  std::string Doc = "{\"schema\":\"vyrd-forensic-v1\",\"object\":{\"id\":" +
+                    std::to_string(O.Id) + ",\"name\":\"" +
+                    jsonEscape(Label) + "\"},\"checker\":" + *Bundle +
+                    "}\n";
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    std::fprintf(stderr, "vyrd: cannot write forensic bundle %s\n",
+                 Path.c_str());
+    return;
+  }
+  std::fwrite(Doc.data(), 1, Doc.size(), F);
+  std::fclose(F);
+  std::lock_guard Lock(Live.M);
+  Live.ForensicFiles.push_back(std::move(Path));
 }
 
 void Verifier::routeRange(std::vector<Action> &Batch, size_t Begin,
@@ -752,8 +867,10 @@ void Verifier::pump() {
     Pool->drainAndJoin();
   for (auto &O : Objects) {
     O->Checker->finish();
-    if (O->Checker->hasViolation())
+    if (O->Checker->hasViolation()) {
       ViolationFlag.store(true, std::memory_order_release);
+      publishObjectViolations(*O);
+    }
   }
   // Everything is checked now; release any remaining reclaimable
   // segments (the active one is always kept).
@@ -844,6 +961,31 @@ VerifierReport Verifier::finish() {
         std::to_string(R.Backpressure.ShedRecords) +
         " observer record(s) shed under backpressure (BP_Shed); "
         "coverage reduced, verdicts on checked records unaffected");
+    if (!Config.ForensicPrefix.empty()) {
+      // The degraded verdict gets its own bundle: what was dropped and
+      // how hard the pipeline was pushed when it happened.
+      std::string Path = Config.ForensicPrefix + ".degraded.forensic.json";
+      std::string Doc =
+          "{\"schema\":\"vyrd-forensic-v1\",\"degraded\":{"
+          "\"shed_records\":" +
+          std::to_string(R.Backpressure.ShedRecords) +
+          ",\"pending_records_hwm\":" +
+          std::to_string(R.Backpressure.PendingRecordsHwm) +
+          ",\"note\":\"" + jsonEscape(R.Notes.back()) + "\"}}\n";
+      if (FILE *F = std::fopen(Path.c_str(), "wb")) {
+        std::fwrite(Doc.data(), 1, Doc.size(), F);
+        std::fclose(F);
+        std::lock_guard Lock(Live.M);
+        Live.ForensicFiles.push_back(std::move(Path));
+      } else {
+        std::fprintf(stderr, "vyrd: cannot write forensic bundle %s\n",
+                     Path.c_str());
+      }
+    }
+  }
+  {
+    std::lock_guard Lock(Live.M);
+    R.ForensicFiles = Live.ForensicFiles;
   }
   if (Telem) {
     Telem->stopSampler();

@@ -29,6 +29,7 @@
 #include "vyrd/Checker.h"
 #include "vyrd/Instrument.h"
 #include "vyrd/Log.h"
+#include "vyrd/Monitor.h"
 #include "vyrd/Replayer.h"
 #include "vyrd/Spec.h"
 #include "vyrd/Telemetry.h"
@@ -36,6 +37,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -118,6 +120,22 @@ struct VerifierConfig {
   unsigned CheckerThreads = 1;
   /// Metrics, lag watchdog and tracing.
   TelemetryOptions Telemetry;
+  /// Live introspection endpoint (docs/OBSERVABILITY.md, "Live
+  /// monitoring"): when Monitor.SocketPath is set, a dedicated server
+  /// thread answers `vyrd-mon` clients over a unix-domain socket for the
+  /// lifetime of the Verifier. Reads only Telemetry::snapshot() and the
+  /// published violation list, so attached clients cost the hot path
+  /// nothing. Requires Telemetry.Enabled.
+  MonitorOptions Monitor;
+  /// Violation forensics (docs/OBSERVABILITY.md, "Forensic bundles"):
+  /// when non-empty, every object's checker runs a flight recorder
+  /// (FlightRecorderDepth defaults to 64 unless the checker config sets
+  /// its own) and the first violation per object is flushed immediately
+  /// as `<ForensicPrefix>.<object>.forensic.json`; a BP_Shed-degraded run
+  /// additionally writes `<ForensicPrefix>.degraded.forensic.json` at
+  /// finish(). Paths land in VerifierReport::ForensicFiles and are served
+  /// by the monitor.
+  std::string ForensicPrefix;
 
   /// Checks the configuration for nonsensical combinations (LB_File
   /// without a path, a zero-sized or offline multi-threaded checker pool,
@@ -168,6 +186,9 @@ struct VerifierReport {
   /// Trace events written to TelemetryOptions::TraceFilePath (0 = no
   /// trace was recorded).
   uint64_t TraceEvents = 0;
+  /// Forensic bundles written during the run (VerifierConfig::
+  /// ForensicPrefix), in the order they were flushed.
+  std::vector<std::string> ForensicFiles;
 
   bool ok() const { return Violations.empty(); }
   /// Renders the full report for diagnostics (includes the per-object
@@ -241,11 +262,23 @@ public:
   /// can be read while the run is in flight.
   Telemetry *telemetry() { return Telem.get(); }
 
+  /// The live monitor endpoint, or null when VerifierConfig::Monitor is
+  /// unset or its socket could not be bound.
+  MonitorServer *monitor() { return Mon.get(); }
+
 private:
   struct ObjectState;
   class CheckerPool;
+  class MonitorAdapter;
 
   void pump();
+  /// Publishes the checker's violations recorded since the last publish
+  /// into the live list the monitor serves, and flushes the object's
+  /// forensic bundle on its first violation. Caller must own \p O (same
+  /// contract as feedObject); the publish itself is a size compare on the
+  /// fast path.
+  void publishObjectViolations(ObjectState &O);
+  void maybeWriteForensic(ObjectState &O);
   /// Feeds one demuxed batch into \p O's checker (caller must own \p O:
   /// the pump thread inline, or the pool worker holding the object).
   void feedObject(ObjectState &O, const std::vector<Action> &Batch,
@@ -278,6 +311,21 @@ private:
   uint64_t FirstUnroutedSeq = 0;
   bool Started = false;
   bool Done = false;
+
+  /// What the monitor serves besides telemetry: violations published as
+  /// their checkers record them (object-stamped) and forensic bundle
+  /// paths. Written by whichever thread owns the reporting checker,
+  /// read by the monitor thread and finish().
+  struct LiveState {
+    mutable std::mutex M;
+    std::vector<Violation> Violations;
+    std::vector<std::string> ForensicFiles;
+  };
+  LiveState Live;
+  /// Declared last (after Telem, Objects and Live): the monitor thread
+  /// reads all of them, so it must be joined first on destruction.
+  std::unique_ptr<MonitorAdapter> MonSource;
+  std::unique_ptr<MonitorServer> Mon;
 };
 
 } // namespace vyrd

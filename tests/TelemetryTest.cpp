@@ -122,6 +122,26 @@ TEST(TelemetryTest, TwoHubsKeepSeparateCells) {
   EXPECT_EQ(B.snapshot().counter(Counter::C_HookRecords), 2u);
 }
 
+TEST(TelemetryTest, GaugeSubClampsAtZeroAndCountsUnderflow) {
+  Telemetry T;
+  T.gaugeAdd(Gauge::G_PendingRecords, 2);
+  // Mismatched sub: must clamp to 0, not wrap to ~2^64 (which would
+  // also poison the HWM via the next gaugeAdd).
+  T.gaugeSub(Gauge::G_PendingRecords, 5);
+  TelemetrySnapshot S = T.snapshot();
+  EXPECT_EQ(S.gauge(Gauge::G_PendingRecords), 0u);
+  EXPECT_EQ(S.gaugeHwm(Gauge::G_PendingRecords), 2u);
+  EXPECT_EQ(S.counter(Counter::C_GaugeUnderflow), 1u);
+
+  // A balanced pair afterwards behaves normally and stays silent.
+  T.gaugeAdd(Gauge::G_PendingRecords, 3);
+  T.gaugeSub(Gauge::G_PendingRecords, 3);
+  S = T.snapshot();
+  EXPECT_EQ(S.gauge(Gauge::G_PendingRecords), 0u);
+  EXPECT_EQ(S.gaugeHwm(Gauge::G_PendingRecords), 3u);
+  EXPECT_EQ(S.counter(Counter::C_GaugeUnderflow), 1u);
+}
+
 TEST(TelemetryTest, CheckerLagGauge) {
   Telemetry::Options O;
   std::atomic<uint64_t> Produced{100};

@@ -440,3 +440,92 @@ TEST(ToolsTest, LogdumpObjectFilterAndStats) {
   EXPECT_EQ(Out.find(" o3 "), std::string::npos) << Out;
   std::remove(Path.c_str());
 }
+
+TEST(ToolsTest, LogdumpStatsJsonIncludesSnapshotInventory) {
+  std::string Base = tempLog("snapjson");
+  removeSnapshotChain(Base);
+  recordSnapshotChain(Base, /*Reclaim=*/false);
+
+  std::string FromBase;
+  int RC = runTool(std::string(VYRD_LOGDUMP_PATH) + " " + Base +
+                       " --stats --json",
+                   FromBase);
+  EXPECT_EQ(RC, 0) << FromBase;
+  EXPECT_TRUE(test::jsonValid(FromBase)) << FromBase;
+  EXPECT_NE(FromBase.find("\"snapshots\":["), std::string::npos) << FromBase;
+  EXPECT_NE(FromBase.find("\"sidecar\":true"), std::string::npos) << FromBase;
+  EXPECT_NE(FromBase.find("\"watermark\":"), std::string::npos) << FromBase;
+  EXPECT_NE(FromBase.find("\"blob_bytes\":"), std::string::npos) << FromBase;
+
+  // Pointing at an explicit segment file renders the same inventory:
+  // the tool normalizes back to the chain base (CI diffs the two).
+  std::string FromSegment;
+  int RC2 = runTool(std::string(VYRD_LOGDUMP_PATH) + " " +
+                        logSegmentPath(Base, 1) + " --stats --json",
+                    FromSegment);
+  EXPECT_EQ(RC2, 0) << FromSegment;
+  EXPECT_EQ(FromBase, FromSegment);
+  removeSnapshotChain(Base);
+}
+
+TEST(ToolsTest, LogdumpStatsJsonPlainLogHasEmptySnapshots) {
+  std::string Path = tempLog("plainsnap");
+  recordLog(Path, false);
+  std::string Out;
+  int RC = runTool(std::string(VYRD_LOGDUMP_PATH) + " " + Path +
+                       " --stats --json",
+                   Out);
+  EXPECT_EQ(RC, 0) << Out;
+  EXPECT_NE(Out.find("\"snapshots\":[]"), std::string::npos) << Out;
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// vyrd-mon
+//===----------------------------------------------------------------------===//
+
+TEST(ToolsTest, MonOneShotCommandsAgainstLiveServer) {
+  // An in-process monitor endpoint stands in for a live verifier: the
+  // CLI only ever sees the socket.
+  Telemetry Hub;
+  Hub.count(Counter::C_HookRecords, 123);
+  TelemetryMonitorSource Src(Hub);
+  MonitorOptions MO;
+  MO.SocketPath =
+      "/tmp/vyrd-toolstest-mon-" + std::to_string(::getpid()) + ".sock";
+  MonitorServer Server(MO, Src);
+  ASSERT_TRUE(Server.valid()) << Server.error();
+  std::string Mon = std::string(VYRD_MON_PATH) + " --socket " +
+                    MO.SocketPath;
+
+  std::string Out;
+  EXPECT_EQ(runTool(Mon + " --json", Out), 0) << Out;
+  EXPECT_TRUE(test::jsonValid(Out)) << Out;
+  EXPECT_NE(Out.find("\"hook_records\":123"), std::string::npos) << Out;
+
+  EXPECT_EQ(runTool(Mon + " health", Out), 0) << Out;
+  EXPECT_NE(Out.find("\"health\":\"ok\""), std::string::npos) << Out;
+
+  EXPECT_EQ(runTool(Mon + " --prom", Out), 0) << Out;
+  EXPECT_NE(Out.find("vyrd_hook_records_total 123"), std::string::npos)
+      << Out;
+  EXPECT_EQ(Out.find("# EOF"), std::string::npos)
+      << "framing marker must not leak into the dump: " << Out;
+
+  EXPECT_EQ(runTool(Mon + " watch --interval 10", Out), 0) << Out;
+  EXPECT_TRUE(test::jsonValid(Out)) << Out;
+
+  EXPECT_EQ(runTool(Mon + " top --count 1", Out), 0) << Out;
+  EXPECT_NE(Out.find("vyrd:"), std::string::npos) << Out;
+}
+
+TEST(ToolsTest, MonFailsCleanlyWithoutServer) {
+  std::string Out;
+  EXPECT_EQ(runTool(std::string(VYRD_MON_PATH) +
+                        " --socket /tmp/vyrd-no-such.sock health",
+                    Out),
+            1);
+  EXPECT_NE(Out.find("cannot connect"), std::string::npos) << Out;
+  EXPECT_EQ(runTool(std::string(VYRD_MON_PATH) + " --bogus", Out), 2);
+  EXPECT_NE(Out.find("usage"), std::string::npos) << Out;
+}

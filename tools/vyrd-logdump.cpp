@@ -39,7 +39,9 @@
 
 #include "vyrd/Log.h"
 #include "vyrd/Snapshot.h"
+#include "vyrd/Value.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -111,7 +113,60 @@ std::string countsJson(const DenseCounts &C, KeyFn Key) {
   return Out + "}";
 }
 
-int printStats(const LogStats &S, bool Json) {
+/// Chain base of \p Path: a trailing `.NNNNNN` segment suffix is
+/// stripped, so `base` and `base.000001` render identical inventories
+/// (the CI round-trip diffs the two).
+std::string chainBaseOf(const std::string &Path) {
+  size_t Dot = Path.rfind('.');
+  if (Dot == std::string::npos || Path.size() - Dot - 1 != 6)
+    return Path;
+  for (size_t I = Dot + 1; I < Path.size(); ++I)
+    if (!std::isdigit(static_cast<unsigned char>(Path[I])))
+      return Path;
+  return Path.substr(0, Dot);
+}
+
+/// The --snapshots inventory as a JSON array: one entry per chain
+/// segment with its sidecar summary. Empty for plain (unsegmented) logs.
+std::string snapshotsJson(const std::string &Path) {
+  std::vector<ChainSegment> Segs;
+  // Normalize to the chain base first; fall back to the literal path
+  // (a plain log, possibly with a numeric-suffix name).
+  if (!enumerateChain(chainBaseOf(Path), Segs) || Segs.empty())
+    if (!enumerateChain(Path, Segs))
+      Segs.clear();
+  std::string Out = "[";
+  bool First = true;
+  for (const ChainSegment &Seg : Segs) {
+    if (Seg.Index == 0)
+      continue; // plain log: no sidecars possible
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "{\"segment\":" + std::to_string(Seg.Index) + ",\"path\":\"" +
+           jsonEscape(Seg.Path) +
+           "\",\"first_seq\":" + std::to_string(Seg.FirstSeq) +
+           ",\"sidecar\":" + (Seg.HasSnapshot ? "true" : "false");
+    if (Seg.HasSnapshot) {
+      Out += ",\"watermark\":" + std::to_string(Seg.Snap.Watermark) +
+             ",\"objects\":[";
+      for (size_t I = 0; I < Seg.Snap.Objects.size(); ++I) {
+        const SnapshotObject &O = Seg.Snap.Objects[I];
+        if (I)
+          Out += ",";
+        Out += "{\"id\":" + std::to_string(O.Id) + ",\"name\":\"" +
+               jsonEscape(O.Name) +
+               "\",\"blob_bytes\":" + std::to_string(O.Blob.size()) + "}";
+      }
+      Out += "]";
+    }
+    Out += "}";
+  }
+  return Out + "]";
+}
+
+int printStats(const LogStats &S, bool Json,
+               const std::string &SnapshotsJson) {
   // Threads/objects are counted as "max id + 1" (ids are dense), matching
   // how the harness and the verifier number them.
   uint64_t Threads = S.ByThread.size();
@@ -135,15 +190,18 @@ int printStats(const LogStats &S, bool Json) {
           return std::string(Name(static_cast<uint32_t>(I)).str());
         });
     auto Numeric = [](size_t I) { return std::to_string(I); };
+    // The snapshot-sidecar inventory (--snapshots data) rides along in
+    // the same document, so one invocation answers both questions.
     std::printf("{\"records\":%llu,\"threads\":%llu,\"objects\":%llu,"
                 "\"by_kind\":%s,\"method_calls\":%s,\"by_thread\":%s,"
-                "\"by_object\":%s}\n",
+                "\"by_object\":%s,\"snapshots\":%s}\n",
                 static_cast<unsigned long long>(S.Records),
                 static_cast<unsigned long long>(Threads),
                 static_cast<unsigned long long>(NumObjects),
                 ByKind.c_str(), ByMethod.c_str(),
                 countsJson(S.ByThread, Numeric).c_str(),
-                countsJson(S.ByObject, Numeric).c_str());
+                countsJson(S.ByObject, Numeric).c_str(),
+                SnapshotsJson.c_str());
     return 0;
   }
   std::printf("%llu records, %llu thread(s), %llu object(s)\n",
@@ -278,6 +336,6 @@ int main(int Argc, char **Argv) {
   }
 
   if (Stats)
-    return printStats(S, Json);
+    return printStats(S, Json, Json ? snapshotsJson(Path) : std::string());
   return 0;
 }
