@@ -234,9 +234,9 @@ bench/CMakeFiles/micro_vyrd.dir/micro_vyrd.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/multiset/MultisetSpec.h /root/repo/src/vyrd/Spec.h \
  /root/repo/src/vyrd/Checker.h /root/repo/src/vyrd/Violation.h \
- /usr/include/benchmark/benchmark.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/set \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/benchmark/benchmark.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /usr/include/benchmark/export.h

@@ -235,4 +235,8 @@ examples/CMakeFiles/commit_point_debugging.dir/commit_point_debugging.cpp.o: \
  /root/repo/src/multiset/MultisetSpec.h /root/repo/src/vyrd/Spec.h \
  /root/repo/src/vyrd/Vyrd.h /root/repo/src/vyrd/BufferedLog.h \
  /root/repo/src/vyrd/Checker.h /root/repo/src/vyrd/Violation.h \
- /root/repo/src/vyrd/Trace.h /root/repo/src/vyrd/Verifier.h
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/vyrd/Trace.h /root/repo/src/vyrd/Verifier.h \
+ /root/repo/src/vyrd/Monitor.h

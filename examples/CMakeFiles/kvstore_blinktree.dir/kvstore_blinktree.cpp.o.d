@@ -240,5 +240,9 @@ examples/CMakeFiles/kvstore_blinktree.dir/kvstore_blinktree.cpp.o: \
  /root/repo/src/vyrd/View.h /root/repo/src/vyrd/Spec.h \
  /root/repo/src/harness/Workload.h /root/repo/src/vyrd/Verifier.h \
  /root/repo/src/vyrd/BufferedLog.h /root/repo/src/vyrd/Checker.h \
- /root/repo/src/vyrd/Violation.h /root/repo/src/vyrd/Trace.h \
+ /root/repo/src/vyrd/Violation.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/vyrd/Monitor.h /root/repo/src/vyrd/Trace.h \
  /root/repo/src/vyrd/Vyrd.h

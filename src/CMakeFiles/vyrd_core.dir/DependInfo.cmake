@@ -12,11 +12,14 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/vyrd/Backpressure.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Backpressure.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Backpressure.cpp.o.d"
   "/root/repo/src/vyrd/BufferedLog.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/BufferedLog.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/BufferedLog.cpp.o.d"
   "/root/repo/src/vyrd/Checker.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Checker.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Checker.cpp.o.d"
+  "/root/repo/src/vyrd/Epoch.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Epoch.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Epoch.cpp.o.d"
   "/root/repo/src/vyrd/Instrument.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Instrument.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Instrument.cpp.o.d"
   "/root/repo/src/vyrd/Log.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Log.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Log.cpp.o.d"
+  "/root/repo/src/vyrd/Monitor.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Monitor.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Monitor.cpp.o.d"
   "/root/repo/src/vyrd/Names.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Names.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Names.cpp.o.d"
   "/root/repo/src/vyrd/Replayer.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Replayer.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Replayer.cpp.o.d"
   "/root/repo/src/vyrd/Serialize.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Serialize.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Serialize.cpp.o.d"
+  "/root/repo/src/vyrd/Snapshot.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Snapshot.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Snapshot.cpp.o.d"
   "/root/repo/src/vyrd/Spec.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Spec.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Spec.cpp.o.d"
   "/root/repo/src/vyrd/Telemetry.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Telemetry.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Telemetry.cpp.o.d"
   "/root/repo/src/vyrd/Trace.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Trace.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Trace.cpp.o.d"

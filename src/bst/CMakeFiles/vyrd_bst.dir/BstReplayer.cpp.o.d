@@ -230,4 +230,7 @@ src/bst/CMakeFiles/vyrd_bst.dir/BstReplayer.cpp.o: \
  /root/repo/src/vyrd/Replayer.h /root/repo/src/vyrd/View.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

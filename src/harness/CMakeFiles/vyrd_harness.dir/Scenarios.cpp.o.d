@@ -232,9 +232,13 @@ src/harness/CMakeFiles/vyrd_harness.dir/Scenarios.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/vyrd/Spec.h \
- /root/repo/src/vyrd/Violation.h /root/repo/src/vyrd/Instrument.h \
- /root/repo/src/vyrd/Telemetry.h /root/repo/src/vyrd/Trace.h \
- /root/repo/src/blinktree/BLinkSpec.h \
+ /root/repo/src/vyrd/Violation.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Telemetry.h \
+ /root/repo/src/vyrd/Monitor.h /root/repo/src/vyrd/Trace.h \
+ /root/repo/src/vyrd/Epoch.h /root/repo/src/blinktree/BLinkSpec.h \
  /root/repo/src/blinktree/BLinkTree.h /root/repo/src/blinktree/BNode.h \
  /root/repo/src/chunk/ChunkManager.h /root/repo/src/cache/BoxCache.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/bst/BstMultiset.h \

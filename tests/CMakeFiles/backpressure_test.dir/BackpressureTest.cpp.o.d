@@ -210,16 +210,20 @@ tests/CMakeFiles/backpressure_test.dir/BackpressureTest.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/vyrd/Ring.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/cstddef /root/repo/src/vyrd/Spec.h \
- /root/repo/src/vyrd/Violation.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/vyrd/Violation.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/vyrd/Log.h \
  /root/repo/src/vyrd/Backpressure.h /root/repo/src/vyrd/Serialize.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/array /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_set \
@@ -233,8 +237,8 @@ tests/CMakeFiles/backpressure_test.dir/BackpressureTest.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/vyrd/Verifier.h /root/repo/src/vyrd/BufferedLog.h \
  /usr/include/c++/12/thread /root/repo/src/vyrd/Instrument.h \
- /root/repo/src/vyrd/Telemetry.h /root/repo/src/vyrd/Trace.h \
- /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/vyrd/Telemetry.h /root/repo/src/vyrd/Monitor.h \
+ /root/repo/src/vyrd/Trace.h /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -234,6 +234,9 @@ tests/CMakeFiles/diagnosis_test.dir/DiagnosisTest.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/multiset/MultisetSpec.h /root/repo/src/vyrd/Spec.h \
  /root/repo/src/vyrd/Checker.h /root/repo/src/vyrd/Violation.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \

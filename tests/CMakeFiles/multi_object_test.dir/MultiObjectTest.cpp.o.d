@@ -235,7 +235,11 @@ tests/CMakeFiles/multi_object_test.dir/MultiObjectTest.cpp.o: \
  /root/repo/src/multiset/MultisetSpec.h /root/repo/src/vyrd/Spec.h \
  /root/repo/src/vyrd/Verifier.h /root/repo/src/vyrd/BufferedLog.h \
  /root/repo/src/vyrd/Checker.h /root/repo/src/vyrd/Violation.h \
- /root/repo/src/vyrd/Trace.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/vyrd/Monitor.h /root/repo/src/vyrd/Trace.h \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -232,9 +232,13 @@ tests/CMakeFiles/multiset_test.dir/MultisetTest.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/vyrd/Spec.h \
- /root/repo/src/vyrd/Violation.h /root/repo/src/vyrd/Instrument.h \
- /root/repo/src/vyrd/Telemetry.h /root/repo/src/vyrd/Trace.h \
- /root/repo/src/multiset/ArrayMultiset.h \
+ /root/repo/src/vyrd/Violation.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Telemetry.h \
+ /root/repo/src/vyrd/Monitor.h /root/repo/src/vyrd/Trace.h \
+ /root/repo/src/vyrd/Epoch.h /root/repo/src/multiset/ArrayMultiset.h \
  /root/repo/src/multiset/MultisetReplayer.h \
  /root/repo/src/multiset/MultisetSpec.h \
  /root/miniconda/include/gtest/gtest.h \

@@ -225,4 +225,5 @@ tools/CMakeFiles/vyrd-logdump.dir/vyrd-logdump.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h
+ /root/repo/src/vyrd/Snapshot.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h

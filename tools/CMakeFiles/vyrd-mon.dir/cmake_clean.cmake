@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vyrd-mon.dir/vyrd-mon.cpp.o"
+  "CMakeFiles/vyrd-mon.dir/vyrd-mon.cpp.o.d"
+  "vyrd-mon"
+  "vyrd-mon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vyrd-mon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vyrd-mon.
+# This may be replaced when dependencies are built.
