@@ -242,7 +242,8 @@ bench/CMakeFiles/bench_log_backends.dir/bench_log_backends.cpp.o: \
  /root/repo/src/vyrd/Epoch.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstring \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/vyrd/Auto.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /usr/include/x86_64-linux-gnu/sys/socket.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_iovec.h \

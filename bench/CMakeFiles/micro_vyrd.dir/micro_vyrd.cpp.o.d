@@ -1,8 +1,8 @@
 bench/CMakeFiles/micro_vyrd.dir/micro_vyrd.cpp.o: \
  /root/repo/bench/micro_vyrd.cpp /usr/include/stdc-predef.h \
- /root/repo/src/multiset/ArrayMultiset.h /root/repo/src/vyrd/Instrument.h \
- /root/repo/src/vyrd/Action.h /root/repo/src/vyrd/Names.h \
- /usr/include/c++/12/cstdint \
+ /root/repo/src/multiset/ArrayMultiset.h /root/repo/src/vyrd/Auto.h \
+ /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Action.h \
+ /root/repo/src/vyrd/Names.h /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -227,11 +227,12 @@ bench/CMakeFiles/micro_vyrd.dir/micro_vyrd.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/vyrd/Telemetry.h /usr/include/c++/12/thread \
- /root/repo/src/multiset/MultisetReplayer.h \
  /root/repo/src/vyrd/Replayer.h /root/repo/src/vyrd/View.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/multiset/MultisetSpec.h /root/repo/src/vyrd/Spec.h \
  /root/repo/src/vyrd/Checker.h /root/repo/src/vyrd/Violation.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \

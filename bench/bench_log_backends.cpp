@@ -33,6 +33,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "vyrd/Auto.h"
 #include "vyrd/BufferedLog.h"
 #include "vyrd/Monitor.h"
 #include "vyrd/Telemetry.h"
@@ -43,6 +44,7 @@
 #include <ctime>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -161,6 +163,109 @@ void jsonRow(BenchJson &BJ, const char *Config, unsigned Threads,
   char Extra[64];
   std::snprintf(Extra, sizeof(Extra), "{\"e2e_per_s\":%.1f}", T.E2E * 1e6);
   BJ.row(Config, Threads, nsPerOp(T), T.App * 1e6, Extra);
+}
+
+//===----------------------------------------------------------------------===//
+// Auto-instrumentation overhead: the same locked counter instrumented by
+// hand (MethodScope / CommitBlock / explicit write) and through the auto
+// layer (Instrumented<T> dispatch + Mutex shim + Tracked field). Both
+// emit the identical six-record stream per method — call, blockBegin,
+// write, commit, blockEnd, return — so the delta is pure dispatch and
+// shim cost. Acceptance: auto within 15% of hand app-side (EXPERIMENTS.md).
+//===----------------------------------------------------------------------===//
+
+/// Hand twin: the pre-auto instrumentation style of the workloads.
+class HandBenchCounter {
+public:
+  explicit HandBenchCounter(Hooks H)
+      : H(H), Method(internName("bench.add")), Var(internName("bench.ctr")) {}
+
+  void add(int64_t D) {
+    MethodScope Scope(H, Method, {Value(D)});
+    std::lock_guard Lock(M);
+    CommitBlock Block(H);
+    V += D;
+    H.write(Var, Value(V));
+    H.commit();
+  }
+
+private:
+  Hooks H;
+  Name Method, Var;
+  std::mutex M;
+  int64_t V = 0;
+};
+
+/// Auto twin: no hook call in the body beyond the commit annotation.
+class AutoBenchCounterImpl {
+public:
+  explicit AutoBenchCounterImpl(AutoContext &C)
+      : Ctx(C), M(C), V(C, internName("bench.ctr"), 0) {}
+
+  void add(int64_t D) {
+    LockGuard Lock(M);
+    V = V.get() + D;
+    Ctx.commit();
+  }
+
+private:
+  AutoContext &Ctx;
+  Mutex M;
+  Tracked<int64_t> V;
+};
+
+} // namespace
+
+namespace vyrd {
+template <> struct AutoMethods<AutoBenchCounterImpl> {
+  static constexpr auto desc(MethodTag<&AutoBenchCounterImpl::add>) {
+    return method("bench.add");
+  }
+};
+} // namespace vyrd
+
+namespace {
+
+class AutoBenchCounter : public Instrumented<AutoBenchCounterImpl> {
+public:
+  explicit AutoBenchCounter(Hooks H) : Instrumented(H) {}
+  void add(int64_t D) { invoke<&AutoBenchCounterImpl::add>(D); }
+};
+
+/// Measures app-side/e2e throughput of \p CounterT into a drained
+/// BufferedLog; six records per method at view level.
+template <typename CounterT> Throughput measureCounter(unsigned Threads) {
+  Throughput Best{0, 0};
+  double Total = static_cast<double>(Threads) * MethodsPerThread * 6;
+  for (unsigned R = 0; R < Reps; ++R) {
+    BufferedLog::Options O;
+    O.ShardCapacity = 4096;
+    BufferedLog L(std::move(O));
+    CounterT C(Hooks(&L, LogLevel::LL_View));
+    std::atomic<uint64_t> CpuNanos{0};
+    double T0 = wallSeconds();
+    std::thread Consumer([&L] {
+      std::vector<Action> Batch;
+      while (L.nextBatch(Batch, 256))
+        ;
+    });
+    std::vector<std::thread> Producers;
+    for (unsigned T = 0; T < Threads; ++T)
+      Producers.emplace_back([&C, &CpuNanos] {
+        double C0 = threadCpuSeconds();
+        for (unsigned I = 0; I < MethodsPerThread; ++I)
+          C.add(static_cast<int64_t>(I & 7));
+        CpuNanos.fetch_add(
+            static_cast<uint64_t>((threadCpuSeconds() - C0) * 1e9));
+      });
+    for (auto &P : Producers)
+      P.join();
+    L.close();
+    Consumer.join();
+    Best.App = std::max(Best.App, Total / (double(CpuNanos.load()) * 1e-9) / 1e6);
+    Best.E2E = std::max(Best.E2E, Total / (wallSeconds() - T0) / 1e6);
+  }
+  return Best;
 }
 
 } // namespace
@@ -330,6 +435,24 @@ int main(int Argc, char **Argv) {
     Server.stop(); // closes the client's fd, unblocking its read
     if (Client.joinable())
       Client.join();
+  }
+  hr();
+
+  // Hand-written hooks vs the auto layer, identical record streams
+  // (acceptance: auto app-side within 15% of hand, EXPERIMENTS.md).
+  std::printf("\nAuto-instrumentation overhead (locked counter, BufferedLog, "
+              "concurrent consumer):\n\n");
+  std::printf("%-8s %13s %13s %10s\n", "threads", "hand app M/s",
+              "auto app M/s", "overhead");
+  hr();
+  for (unsigned Threads : ThreadCounts) {
+    Throughput Hand = measureCounter<HandBenchCounter>(Threads);
+    Throughput Auto = measureCounter<AutoBenchCounter>(Threads);
+    double OverheadPct = (Hand.App / Auto.App - 1.0) * 100.0;
+    std::printf("%-8u %13.2f %13.2f %9.1f%%\n", Threads, Hand.App, Auto.App,
+                OverheadPct);
+    jsonRow(BJ, "buffered-hand", Threads, Hand);
+    jsonRow(BJ, "buffered-auto", Threads, Auto);
   }
   hr();
   return BJ.write() ? 0 : 1;

@@ -11,7 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "multiset/ArrayMultiset.h"
-#include "multiset/MultisetReplayer.h"
+#include "vyrd/Auto.h"
 #include "multiset/MultisetSpec.h"
 #include "vyrd/Checker.h"
 #include "vyrd/Log.h"
@@ -129,8 +129,8 @@ static void BM_CheckerFeed(benchmark::State &State) {
 
   for (auto _ : State) {
     multiset::MultisetSpec Spec;
-    multiset::MultisetReplayer Replay(32);
-    RefinementChecker C(Spec, &Replay, CheckerConfig{});
+    auto Replay = KeyValueReplayer::guardedBag("A");
+    RefinementChecker C(Spec, Replay.get(), CheckerConfig{});
     for (const Action &A : *Trace)
       C.feed(A);
     C.finish();

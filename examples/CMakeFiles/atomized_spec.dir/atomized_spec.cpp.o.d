@@ -238,5 +238,7 @@ examples/CMakeFiles/atomized_spec.dir/atomized_spec.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Telemetry.h \
  /root/repo/src/vyrd/Monitor.h /root/repo/src/vyrd/Trace.h \
- /root/repo/src/multiset/ArrayMultiset.h \
- /root/repo/src/multiset/MultisetReplayer.h /root/repo/src/vyrd/Vyrd.h
+ /root/repo/src/multiset/ArrayMultiset.h /root/repo/src/vyrd/Auto.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/vyrd/Vyrd.h

@@ -1,9 +1,8 @@
 examples/CMakeFiles/commit_point_debugging.dir/commit_point_debugging.cpp.o: \
  /root/repo/examples/commit_point_debugging.cpp \
- /usr/include/stdc-predef.h /root/repo/src/multiset/MultisetReplayer.h \
- /root/repo/src/multiset/ArrayMultiset.h /root/repo/src/vyrd/Instrument.h \
- /root/repo/src/vyrd/Action.h /root/repo/src/vyrd/Names.h \
- /usr/include/c++/12/cstdint \
+ /usr/include/stdc-predef.h /root/repo/src/vyrd/Auto.h \
+ /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Action.h \
+ /root/repo/src/vyrd/Names.h /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -231,11 +230,14 @@ examples/CMakeFiles/commit_point_debugging.dir/commit_point_debugging.cpp.o: \
  /root/repo/src/vyrd/Replayer.h /root/repo/src/vyrd/View.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/multiset/MultisetSpec.h /root/repo/src/vyrd/Spec.h \
- /root/repo/src/vyrd/Vyrd.h /root/repo/src/vyrd/BufferedLog.h \
- /root/repo/src/vyrd/Checker.h /root/repo/src/vyrd/Violation.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/multiset/MultisetSpec.h \
+ /root/repo/src/multiset/ArrayMultiset.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/vyrd/Spec.h /root/repo/src/vyrd/Vyrd.h \
+ /root/repo/src/vyrd/BufferedLog.h /root/repo/src/vyrd/Checker.h \
+ /root/repo/src/vyrd/Violation.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/vyrd/Trace.h /root/repo/src/vyrd/Verifier.h \

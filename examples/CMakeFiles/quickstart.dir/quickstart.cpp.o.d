@@ -239,11 +239,12 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Telemetry.h \
  /root/repo/src/vyrd/Monitor.h /root/repo/src/vyrd/Trace.h \
  /root/repo/src/vyrd/Epoch.h /root/repo/src/multiset/ArrayMultiset.h \
- /root/repo/src/multiset/MultisetReplayer.h \
+ /root/repo/src/vyrd/Auto.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/multiset/MultisetSpec.h \
  /root/repo/src/queue/BoundedQueue.h /root/repo/src/queue/QueueSpec.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/vyrd/Vyrd.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/vyrd/Vyrd.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

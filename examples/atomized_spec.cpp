@@ -19,7 +19,7 @@
 
 #include "harness/Workload.h"
 #include "multiset/ArrayMultiset.h"
-#include "multiset/MultisetReplayer.h"
+#include "vyrd/Auto.h"
 #include "vyrd/Vyrd.h"
 
 #include <cstdio>
@@ -106,7 +106,8 @@ private:
 
   Vocab V;
   mutable std::mutex GlobalLock;
-  ArrayMultiset Inner;
+  // The facade's dispatch is stateful, so even lookUp is non-const.
+  mutable ArrayMultiset Inner;
 };
 
 VerifierReport runVerified(bool Buggy, uint64_t Seed, bool StopEarly) {
@@ -115,7 +116,7 @@ VerifierReport runVerified(bool Buggy, uint64_t Seed, bool StopEarly) {
   VC.Checker.Mode = CheckMode::CM_ViewRefinement;
   VC.Checker.StopAtFirstViolation = StopEarly;
   Verifier V(std::make_unique<AtomizedMultisetSpec>(Capacity),
-             std::make_unique<MultisetReplayer>(Capacity), VC);
+             KeyValueReplayer::guardedBag("A"), VC);
   V.start();
 
   ArrayMultiset::Options MO;

@@ -23,7 +23,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "multiset/MultisetReplayer.h"
+#include "vyrd/Auto.h"
 #include "multiset/MultisetSpec.h"
 #include "vyrd/Vyrd.h"
 
@@ -84,10 +84,10 @@ std::vector<Action> genuinelyWrongTrace() {
 void checkAndExplain(const char *Title, const std::vector<Action> &Trace) {
   std::printf("== %s ==\n", Title);
   MultisetSpec Spec;
-  MultisetReplayer Replay(4);
+  auto Replay = KeyValueReplayer::guardedBag("A");
   CheckerConfig CC;
   CC.ContextRecords = 12; // attach the trace tail to the report
-  RefinementChecker C(Spec, &Replay, CC);
+  RefinementChecker C(Spec, Replay.get(), CC);
   for (const Action &A : Trace)
     C.feed(A);
   C.finish();

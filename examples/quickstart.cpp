@@ -29,7 +29,7 @@
 #include "harness/Scenarios.h"
 #include "harness/Workload.h"
 #include "multiset/ArrayMultiset.h"
-#include "multiset/MultisetReplayer.h"
+#include "vyrd/Auto.h"
 #include "multiset/MultisetSpec.h"
 #include "queue/BoundedQueue.h"
 #include "queue/QueueSpec.h"
@@ -54,15 +54,15 @@ static void readmeQuickstart() {
   Verifier V(VC);
   Hooks HM = V.registerObject(
       "multiset", std::make_unique<multiset::MultisetSpec>(),
-      std::make_unique<multiset::MultisetReplayer>(48));
+      KeyValueReplayer::guardedBag("A"));
   Hooks HQ = V.registerObject("queue",
                               std::make_unique<queue::QueueSpec>(16),
-                              std::make_unique<queue::QueueReplayer>());
+                              KeyValueReplayer::map("q"));
   V.start();
 
   // 2. The instrumented implementations log through their object's hooks.
   multiset::ArrayMultiset::Options MO;
-  MO.Capacity = 48; // must match the replayer's shadow capacity
+  MO.Capacity = 48; // the generic replayer sizes its shadow on demand
   multiset::ArrayMultiset M(MO, HM);
   queue::BoundedQueue::Options QO;
   QO.Capacity = 16; // must match the spec's capacity

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/vyrd/Action.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Action.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Action.cpp.o.d"
+  "/root/repo/src/vyrd/Auto.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Auto.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Auto.cpp.o.d"
   "/root/repo/src/vyrd/Backpressure.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Backpressure.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Backpressure.cpp.o.d"
   "/root/repo/src/vyrd/BufferedLog.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/BufferedLog.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/BufferedLog.cpp.o.d"
   "/root/repo/src/vyrd/Checker.cpp" "src/CMakeFiles/vyrd_core.dir/vyrd/Checker.cpp.o" "gcc" "src/CMakeFiles/vyrd_core.dir/vyrd/Checker.cpp.o.d"

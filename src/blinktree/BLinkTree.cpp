@@ -24,9 +24,9 @@ BltVocab BltVocab::get() {
   return V;
 }
 
-BLinkTree::BLinkTree(cache::BoxCache &Cache, chunk::ChunkManager &CM,
-                     const Options &Opts, Hooks H)
-    : Cache(Cache), CM(CM), Opts(Opts), H(H), V(BltVocab::get()) {
+BLinkTreeImpl::BLinkTreeImpl(cache::BoxCache &Cache, chunk::ChunkManager &CM,
+                             const Options &Opts, AutoContext &Ctx)
+    : Cache(Cache), CM(CM), Opts(Opts), Ctx(Ctx), V(BltVocab::get()) {
   // The initial root is an empty leaf; it anchors the leaf chain forever
   // (merges always absorb the *right* sibling, so the leftmost leaf never
   // dies).
@@ -35,18 +35,18 @@ BLinkTree::BLinkTree(cache::BoxCache &Cache, chunk::ChunkManager &CM,
   writeNode(RootH, Empty);
   Root.store(RootH, std::memory_order_release);
   FirstLeaf = RootH;
-  H.replayOp(V.OpRoot, {Value(static_cast<int64_t>(RootH))});
+  Ctx.replayOp(V.OpRoot, {Value(static_cast<int64_t>(RootH))});
 }
 
-std::mutex &BLinkTree::lockFor(uint64_t Hd) {
+Mutex &BLinkTreeImpl::lockFor(uint64_t Hd) {
   std::lock_guard Lock(LockTableM);
   auto &Slot = LockTable[Hd];
   if (!Slot)
-    Slot = std::make_unique<std::mutex>();
+    Slot = std::make_unique<Mutex>(Ctx);
   return *Slot;
 }
 
-BNode BLinkTree::readNode(uint64_t Hd) {
+BNode BLinkTreeImpl::readNode(uint64_t Hd) {
   Bytes B;
   bool Ok = Cache.read(Hd, B);
   assert(Ok && "reading an unallocated node");
@@ -57,34 +57,35 @@ BNode BLinkTree::readNode(uint64_t Hd) {
   return N;
 }
 
-void BLinkTree::writeNode(uint64_t Hd, const BNode &N, bool CommitHere) {
+void BLinkTreeImpl::writeNode(uint64_t Hd, const BNode &N, bool CommitHere) {
   Bytes B = N.serialize();
   Cache.write(Hd, B, [&] {
-    H.replayOp(V.OpNode, {Value(static_cast<int64_t>(Hd)), Value(B)});
+    Ctx.replayOp(V.OpNode, {Value(static_cast<int64_t>(Hd)), Value(B)});
     if (CommitHere)
-      H.commit();
+      Ctx.commit();
   });
 }
 
-void BLinkTree::writeData(uint64_t Hd, const BData &D, bool CommitHere) {
+void BLinkTreeImpl::writeData(uint64_t Hd, const BData &D, bool CommitHere) {
   Cache.write(Hd, D.serialize(), [&] {
-    H.replayOp(V.OpData,
-               {Value(static_cast<int64_t>(Hd)),
-                Value(static_cast<int64_t>(D.Version)), Value(D.Data)});
+    Ctx.replayOp(V.OpData,
+                 {Value(static_cast<int64_t>(Hd)),
+                  Value(static_cast<int64_t>(D.Version)), Value(D.Data)});
     if (CommitHere)
-      H.commit();
+      Ctx.commit();
   });
 }
 
-bool BLinkTree::readData(uint64_t Hd, BData &Out) {
+bool BLinkTreeImpl::readData(uint64_t Hd, BData &Out) {
   Bytes B;
   if (!Cache.read(Hd, B))
     return false;
   return BData::deserialize(B, Out);
 }
 
-uint64_t BLinkTree::descendToLeaf(int64_t Key, std::vector<uint64_t> &Stack,
-                                  BNode &Snapshot) {
+uint64_t BLinkTreeImpl::descendToLeaf(int64_t Key,
+                                      std::vector<uint64_t> &Stack,
+                                      BNode &Snapshot) {
   while (true) {
     Stack.clear();
     uint64_t Hd = Root.load(std::memory_order_acquire);
@@ -114,7 +115,7 @@ uint64_t BLinkTree::descendToLeaf(int64_t Key, std::vector<uint64_t> &Stack,
   }
 }
 
-uint64_t BLinkTree::descendToLevel(int64_t Key, unsigned Level) {
+uint64_t BLinkTreeImpl::descendToLevel(int64_t Key, unsigned Level) {
   while (true) {
     uint64_t Hd = Root.load(std::memory_order_acquire);
     bool Restart = false;
@@ -143,7 +144,7 @@ uint64_t BLinkTree::descendToLevel(int64_t Key, unsigned Level) {
   }
 }
 
-uint64_t BLinkTree::lockCovering(uint64_t Hd, int64_t Key, BNode &N) {
+uint64_t BLinkTreeImpl::lockCovering(uint64_t Hd, int64_t Key, BNode &N) {
   lockFor(Hd).lock();
   while (true) {
     N = readNode(Hd);
@@ -155,15 +156,15 @@ uint64_t BLinkTree::lockCovering(uint64_t Hd, int64_t Key, BNode &N) {
       return Hd;
     uint64_t Next = N.Right;
     assert(Next && "HighKey < MAX must imply a right sibling");
-    // Left-to-right lock coupling along the chain.
+    // Left-to-right lock coupling along the chain; the overlapping shim
+    // holds keep any open commit bracket chained across the hand-off.
     lockFor(Next).lock();
     lockFor(Hd).unlock();
     Hd = Next;
   }
 }
 
-bool BLinkTree::insert(int64_t Key, const Bytes &Data) {
-  MethodScope Scope(H, V.Insert, {Value(Key), Value(Data)});
+bool BLinkTreeImpl::insert(int64_t Key, const Bytes &Data) {
   while (true) {
     std::vector<uint64_t> Stack;
     BNode Snapshot;
@@ -195,19 +196,16 @@ bool BLinkTree::insert(int64_t Key, const Bytes &Data) {
     }
 
     if (Present) {
-      // Commit point 1: overwrite the existing data node.
+      // Commit point 1: overwrite the existing data node (the leaf lock's
+      // shim bracket covers the record).
       BData D;
       bool Ok = readData(DataH, D);
       assert(Ok && "leaf references an unallocated data node");
       (void)Ok;
       ++D.Version;
       D.Data = Data;
-      {
-        CommitBlock Block(H);
-        writeData(DataH, D, /*CommitHere=*/true);
-      }
+      writeData(DataH, D, /*CommitHere=*/true);
       lockFor(LeafH).unlock();
-      Scope.setReturn(Value(true));
       return true;
     }
 
@@ -220,13 +218,9 @@ bool BLinkTree::insert(int64_t Key, const Bytes &Data) {
 
     if (N.Entries.size() <= Opts.MaxLeafKeys) {
       // Commit points 2 and 4: the leaf write that publishes the key.
-      {
-        CommitBlock Block(H);
-        writeData(NewDataH, D);
-        writeNode(LeafH, N, /*CommitHere=*/true);
-      }
+      writeData(NewDataH, D);
+      writeNode(LeafH, N, /*CommitHere=*/true);
       lockFor(LeafH).unlock();
-      Scope.setReturn(Value(true));
       return true;
     }
 
@@ -244,24 +238,20 @@ bool BLinkTree::insert(int64_t Key, const Bytes &Data) {
     int64_t SepKey = RightN.Entries.front().Key;
     N.HighKey = SepKey;
     N.Right = NewH;
-    {
-      CommitBlock Block(H);
-      writeData(NewDataH, D);
-      writeNode(NewH, RightN);
-      writeNode(LeafH, N, /*CommitHere=*/true);
-    }
+    writeData(NewDataH, D);
+    writeNode(NewH, RightN);
+    writeNode(LeafH, N, /*CommitHere=*/true);
     lockFor(LeafH).unlock();
 
     // Propagate the separator upward; purely structural (view-neutral).
     insertSeparator(Stack, 1, SepKey, NewH, LeafH);
-    Scope.setReturn(Value(true));
     return true;
   }
 }
 
-void BLinkTree::insertSeparator(std::vector<uint64_t> &Stack, unsigned Level,
-                                int64_t SepKey, uint64_t NewChild,
-                                uint64_t SplitNode) {
+void BLinkTreeImpl::insertSeparator(std::vector<uint64_t> &Stack,
+                                    unsigned Level, int64_t SepKey,
+                                    uint64_t NewChild, uint64_t SplitNode) {
   while (true) {
     uint64_t ParentH = 0;
     if (!Stack.empty()) {
@@ -292,12 +282,12 @@ void BLinkTree::insertSeparator(std::vector<uint64_t> &Stack, unsigned Level,
           NewRoot.Level = static_cast<uint8_t>(Level);
           NewRoot.Entries = {BEntry{INT64_MIN, SplitNode},
                              BEntry{SepKey, NewChild}};
-          {
-            CommitBlock Block(H);
-            writeNode(NewRootH, NewRoot);
-          }
+          // RootMutex is not a shim, so both records below are standalone
+          // (commit-free, single-record, view-neutral): structurally the
+          // new root is unreachable until Root is re-pointed.
+          writeNode(NewRootH, NewRoot);
           Root.store(NewRootH, std::memory_order_release);
-          H.replayOp(V.OpRoot, {Value(static_cast<int64_t>(NewRootH))});
+          Ctx.replayOp(V.OpRoot, {Value(static_cast<int64_t>(NewRootH))});
           Grew = true;
         }
       }
@@ -337,10 +327,7 @@ void BLinkTree::insertSeparator(std::vector<uint64_t> &Stack, unsigned Level,
     P.Entries.insert(P.Entries.begin() + At, BEntry{SepKey, NewChild});
 
     if (P.Entries.size() <= Opts.MaxInnerKeys) {
-      {
-        CommitBlock Block(H);
-        writeNode(ParentH, P);
-      }
+      writeNode(ParentH, P);
       lockFor(ParentH).unlock();
       return;
     }
@@ -358,11 +345,8 @@ void BLinkTree::insertSeparator(std::vector<uint64_t> &Stack, unsigned Level,
     int64_t UpKey = RightP.Entries.front().Key;
     P.HighKey = UpKey;
     P.Right = NewH;
-    {
-      CommitBlock Block(H);
-      writeNode(NewH, RightP);
-      writeNode(ParentH, P);
-    }
+    writeNode(NewH, RightP);
+    writeNode(ParentH, P);
     lockFor(ParentH).unlock();
 
     SepKey = UpKey;
@@ -372,8 +356,7 @@ void BLinkTree::insertSeparator(std::vector<uint64_t> &Stack, unsigned Level,
   }
 }
 
-bool BLinkTree::remove(int64_t Key) {
-  MethodScope Scope(H, V.Delete, {Value(Key)});
+bool BLinkTreeImpl::remove(int64_t Key) {
   while (true) {
     std::vector<uint64_t> Stack;
     BNode Snapshot;
@@ -387,45 +370,36 @@ bool BLinkTree::remove(int64_t Key) {
 
     size_t Idx = N.findKey(Key);
     if (Idx == BNode::npos) {
-      H.commit(); // failure path: state unchanged
+      // A false return is only legal while the key is actually absent, so
+      // the failure commits under the leaf lock.
+      Ctx.commit();
       lockFor(LeafH).unlock();
-      Scope.setReturn(Value(false));
       return false;
     }
 
     N.Entries.erase(N.Entries.begin() + Idx);
-    {
-      CommitBlock Block(H);
-      // The data node is orphaned, never reused.
-      writeNode(LeafH, N, /*CommitHere=*/true);
-    }
+    // The data node is orphaned, never reused.
+    writeNode(LeafH, N, /*CommitHere=*/true);
     lockFor(LeafH).unlock();
-    Scope.setReturn(Value(true));
     return true;
   }
 }
 
-Value BLinkTree::lookup(int64_t Key) {
-  MethodScope Scope(H, V.Lookup, {Value(Key)});
+Value BLinkTreeImpl::lookup(int64_t Key) {
   std::vector<uint64_t> Stack;
   BNode Snapshot;
   (void)descendToLeaf(Key, Stack, Snapshot);
   size_t Idx = Snapshot.findKey(Key);
-  if (Idx == BNode::npos) {
-    Scope.setReturn(Value());
+  if (Idx == BNode::npos)
     return Value();
-  }
   BData D;
   bool Ok = readData(Snapshot.Entries[Idx].Handle, D);
   assert(Ok && "leaf references an unallocated data node");
   (void)Ok;
-  Value Ret = versionedValue(D.Version, D.Data);
-  Scope.setReturn(Ret);
-  return Ret;
+  return versionedValue(D.Version, D.Data);
 }
 
-bool BLinkTree::compress() {
-  MethodScope Scope(H, V.Compress, {});
+bool BLinkTreeImpl::compress() {
   std::lock_guard Serial(CompressMutex);
   // Walk the leaf chain looking for an underfull leaf whose contents fit
   // into its left neighbor (with one slot of headroom against
@@ -461,7 +435,8 @@ bool BLinkTree::compress() {
 
     // Candidate found: lock left-to-right, re-validate, merge. The right
     // node's entries (all greater than the left's) move into the left
-    // node — structure changes, contents do not.
+    // node — structure changes, contents do not. The two shim locks open
+    // one bracket that stays chained through the re-pointing sweep below.
     std::lock_guard LockA(lockFor(A));
     std::lock_guard LockB(lockFor(B));
     NA = readNode(A);
@@ -476,27 +451,23 @@ bool BLinkTree::compress() {
     NA.Right = NB.Right;
     NB.Dead = true;
     NB.Entries.clear();
-    {
-      CommitBlock Block(H);
-      writeNode(A, NA);
-      writeNode(B, NB);
-    }
+    writeNode(A, NA);
+    writeNode(B, NB);
     // Re-point the parent's reference for B to A so descents for B's old
     // range land on the absorbing node. Keeping the separator (rather than
     // deleting it) preserves B-link routing even when B was its parent's
     // leftmost entry.
     repointParent(/*Level=*/1, B, A);
-    H.commit(); // the view is unchanged: the entries only moved
-    Scope.setReturn(Value(true));
+    Ctx.commit(); // the view is unchanged: the entries only moved
     return true;
   }
-  H.commit();
-  Scope.setReturn(Value(false));
+  // No merge: state unchanged and the spec accepts any bool, so the auto
+  // layer commits the failure return.
   return false;
 }
 
-void BLinkTree::repointParent(unsigned Level, uint64_t DeadChild,
-                              uint64_t Survivor) {
+void BLinkTreeImpl::repointParent(unsigned Level, uint64_t DeadChild,
+                                  uint64_t Survivor) {
   // The tree may be too shallow (no parent at Level): nothing to do —
   // but decide under RootMutex so this serializes against a concurrent
   // root growth: either the growth completed (the scan below finds the
@@ -527,17 +498,15 @@ void BLinkTree::repointParent(unsigned Level, uint64_t DeadChild,
         }
       }
     }
-    if (Changed) {
-      CommitBlock Block(H);
+    if (Changed)
       writeNode(Cur, P);
-    }
     uint64_t Next = P.Right;
     lockFor(Cur).unlock();
     Cur = Next;
   }
 }
 
-unsigned BLinkTree::height() {
+unsigned BLinkTreeImpl::height() {
   BNode RootN = readNode(Root.load(std::memory_order_acquire));
   return RootN.Level + 1u;
 }

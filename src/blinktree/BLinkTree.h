@@ -22,6 +22,16 @@
 /// All other writes (separator propagation, root creation, compression)
 /// re-structure the tree without changing the view.
 ///
+/// Instrumentation: the `BLinkTree` facade dispatches through
+/// `Instrumented<T>`; the per-node lock table hands out `vyrd::Mutex`
+/// shims, so the left-to-right lock coupling of mutators yields one
+/// chained commit bracket per locked region. `RootMutex`, `CompressMutex`
+/// and the lock-table mutex are internal coordination locks (they guard
+/// no logged state) and stay `std::mutex`. Replay records are appended
+/// inside the cache's critical section via the write callback, so a
+/// lock-free reader that observes a node write also observes its log
+/// records.
+///
 /// Injectable bug (Table 1, "Allowing duplicated data nodes"): the insert
 /// decides presence of the key from its unlocked descent-time snapshot of
 /// the leaf instead of re-checking under the leaf lock, so two concurrent
@@ -34,7 +44,7 @@
 
 #include "blinktree/BNode.h"
 #include "cache/BoxCache.h"
-#include "vyrd/Instrument.h"
+#include "vyrd/Auto.h"
 
 #include <atomic>
 #include <map>
@@ -51,8 +61,8 @@ struct BltVocab {
   static BltVocab get();
 };
 
-/// The instrumented B-link tree implementation.
-class BLinkTree {
+/// The uninstrumented B-link tree core (trailing-AutoContext protocol).
+class BLinkTreeImpl {
 public:
   struct Options {
     /// Maximum entries per leaf / inner node before splitting.
@@ -62,11 +72,11 @@ public:
     bool BuggyDuplicates = false;
   };
 
-  BLinkTree(cache::BoxCache &Cache, chunk::ChunkManager &CM,
-            const Options &Opts, Hooks H);
+  BLinkTreeImpl(cache::BoxCache &Cache, chunk::ChunkManager &CM,
+                const Options &Opts, AutoContext &Ctx);
 
-  BLinkTree(const BLinkTree &) = delete;
-  BLinkTree &operator=(const BLinkTree &) = delete;
+  BLinkTreeImpl(const BLinkTreeImpl &) = delete;
+  BLinkTreeImpl &operator=(const BLinkTreeImpl &) = delete;
 
   /// Inserts or overwrites \p Key with \p Data (version bumps on
   /// overwrite). Always succeeds.
@@ -101,7 +111,7 @@ private:
   void writeNode(uint64_t H, const BNode &N, bool CommitHere = false);
   void writeData(uint64_t H, const BData &D, bool CommitHere = false);
   bool readData(uint64_t H, BData &Out);
-  std::mutex &lockFor(uint64_t H);
+  Mutex &lockFor(uint64_t H);
 
   /// Lock-free descent to the leaf covering \p Key; fills \p Stack with
   /// the inner handles visited (top = leaf's parent). \p Snapshot receives
@@ -132,7 +142,7 @@ private:
   cache::BoxCache &Cache;
   chunk::ChunkManager &CM;
   Options Opts;
-  Hooks H;
+  AutoContext &Ctx;
   BltVocab V;
 
   std::atomic<uint64_t> Root;
@@ -144,7 +154,47 @@ private:
   std::mutex CompressMutex;
 
   std::mutex LockTableM;
-  std::map<uint64_t, std::unique_ptr<std::mutex>> LockTable;
+  std::map<uint64_t, std::unique_ptr<Mutex>> LockTable;
+};
+
+} // namespace blinktree
+
+template <> struct AutoMethods<blinktree::BLinkTreeImpl> {
+  using T = blinktree::BLinkTreeImpl;
+  static constexpr auto desc(MethodTag<&T::insert>) {
+    return method("BltInsert");
+  }
+  static constexpr auto desc(MethodTag<&T::remove>) {
+    return method("BltDelete");
+  }
+  static constexpr auto desc(MethodTag<&T::lookup>) {
+    return observer("BltLookup");
+  }
+  static constexpr auto desc(MethodTag<&T::compress>) {
+    return method("BltCompress");
+  }
+};
+
+namespace blinktree {
+
+/// The instrumented B-link tree facade.
+class BLinkTree : public Instrumented<BLinkTreeImpl> {
+public:
+  using Options = BLinkTreeImpl::Options;
+
+  BLinkTree(cache::BoxCache &Cache, chunk::ChunkManager &CM,
+            const Options &Opts, Hooks H)
+      : Instrumented(H, Cache, CM, Opts) {}
+
+  bool insert(int64_t Key, const Bytes &Data) {
+    return invoke<&BLinkTreeImpl::insert>(Key, Data);
+  }
+  bool remove(int64_t Key) { return invoke<&BLinkTreeImpl::remove>(Key); }
+  Value lookup(int64_t Key) { return invoke<&BLinkTreeImpl::lookup>(Key); }
+  bool compress() { return invoke<&BLinkTreeImpl::compress>(); }
+
+  uint64_t firstLeafHandle() const { return raw().firstLeafHandle(); }
+  unsigned height() { return raw().height(); }
 };
 
 } // namespace blinktree

@@ -23,62 +23,58 @@ BstVocab BstVocab::get() {
   return V;
 }
 
-BstMultiset::BstMultiset(const Options &Opts, Hooks H)
-    : Opts(Opts), H(H), V(BstVocab::get()) {
-  Sentinel = new Node();
+BstMultisetImpl::BstMultisetImpl(const Options &Opts, AutoContext &Ctx)
+    : Opts(Opts), Ctx(Ctx), V(BstVocab::get()) {
+  Sentinel = new Node(Ctx);
   Sentinel->Id = 1;
   Sentinel->Key = INT64_MIN;
   Registry.push_back(Sentinel);
 }
 
-BstMultiset::~BstMultiset() {
+BstMultisetImpl::~BstMultisetImpl() {
   for (Node *N : Registry)
     delete N;
 }
 
-BstMultiset::Node *BstMultiset::newNode(int64_t Key) {
-  Node *N = new Node();
+BstMultisetImpl::Node *BstMultisetImpl::newNode(int64_t Key) {
+  Node *N = new Node(Ctx);
   N->Key = Key;
   {
     std::lock_guard Lock(RegistryM);
     N->Id = NextId++;
     Registry.push_back(N);
   }
-  H.replayOp(V.OpNode, {Value(static_cast<int64_t>(N->Id)), Value(Key)});
+  Ctx.replayOp(V.OpNode, {Value(static_cast<int64_t>(N->Id)), Value(Key)});
   return N;
 }
 
-void BstMultiset::logLink(const Node *Parent, int Dir,
-                          const Node *Child) const {
-  H.replayOp(V.OpLink,
-             {Value(static_cast<int64_t>(Parent->Id)), Value(Dir),
-              Child ? Value(static_cast<int64_t>(Child->Id)) : Value()});
+void BstMultisetImpl::logLink(const Node *Parent, int Dir, const Node *Child) {
+  Ctx.replayOp(V.OpLink,
+               {Value(static_cast<int64_t>(Parent->Id)), Value(Dir),
+                Child ? Value(static_cast<int64_t>(Child->Id)) : Value()});
 }
 
-void BstMultiset::logCount(const Node *N) const {
-  H.replayOp(V.OpCount, {Value(static_cast<int64_t>(N->Id)),
-                         Value(static_cast<int64_t>(N->Count))});
+void BstMultisetImpl::logCount(const Node *N) {
+  Ctx.replayOp(V.OpCount, {Value(static_cast<int64_t>(N->Id)),
+                           Value(static_cast<int64_t>(N->Count))});
 }
 
-size_t BstMultiset::allocatedNodes() const {
+size_t BstMultisetImpl::allocatedNodes() const {
   std::lock_guard Lock(RegistryM);
   return Registry.size();
 }
 
-bool BstMultiset::insert(int64_t X) {
-  MethodScope Scope(H, V.Insert, {Value(X)});
+bool BstMultisetImpl::insert(int64_t X) {
   Node *Cur = Sentinel;
   Cur->M.lock();
   while (true) {
     int Dir = Cur == Sentinel ? 1 : (X < Cur->Key ? 0 : 1);
     if (Cur != Sentinel && X == Cur->Key) {
       // Existing key: bump its occurrence count under the node lock.
-      CommitBlock Block(H);
       ++Cur->Count;
       logCount(Cur);
-      H.commit();
+      Ctx.commit();
       Cur->M.unlock();
-      Scope.setReturn(Value(true));
       return true;
     }
     Node *Next = Cur->Child[Dir];
@@ -94,51 +90,39 @@ bool BstMultiset::insert(int64_t X) {
         Chaos::point();
         Cur->M.lock();
       }
-      {
-        CommitBlock Block(H);
-        Cur->Child[Dir] = N;
-        logLink(Cur, Dir, N);
-        N->Count = 1;
-        logCount(N);
-        H.commit();
-      }
+      Cur->Child[Dir] = N;
+      logLink(Cur, Dir, N);
+      N->Count = 1;
+      logCount(N);
+      Ctx.commit();
       Cur->M.unlock();
-      Scope.setReturn(Value(true));
       return true;
     }
     // Hand-over-hand: take the child's lock before releasing the parent's.
     Next->M.lock();
     Cur->M.unlock();
     Cur = Next;
-    Chaos::point();
   }
 }
 
-bool BstMultiset::remove(int64_t X) {
-  MethodScope Scope(H, V.Delete, {Value(X)});
+bool BstMultisetImpl::remove(int64_t X) {
   Node *Cur = Sentinel;
   Cur->M.lock();
   while (true) {
     if (Cur != Sentinel && X == Cur->Key) {
       bool Ok = Cur->Count > 0;
       if (Ok) {
-        CommitBlock Block(H);
         --Cur->Count;
         logCount(Cur);
-        H.commit();
-      } else {
-        H.commit();
+        Ctx.commit();
       }
       Cur->M.unlock();
-      Scope.setReturn(Value(Ok));
       return Ok;
     }
     int Dir = Cur == Sentinel ? 1 : (X < Cur->Key ? 0 : 1);
     Node *Next = Cur->Child[Dir];
     if (!Next) {
-      H.commit();
       Cur->M.unlock();
-      Scope.setReturn(Value(false));
       return false;
     }
     Next->M.lock();
@@ -147,41 +131,32 @@ bool BstMultiset::remove(int64_t X) {
   }
 }
 
-bool BstMultiset::lookUp(int64_t X) const {
-  MethodScope Scope(H, V.LookUp, {Value(X)});
+bool BstMultisetImpl::lookUp(int64_t X) const {
   const Node *Cur = Sentinel;
   Cur->M.lock();
   while (true) {
     if (Cur != Sentinel && X == Cur->Key) {
       bool Found = Cur->Count > 0;
       Cur->M.unlock();
-      Scope.setReturn(Value(Found));
       return Found;
     }
     int Dir = Cur == Sentinel ? 1 : (X < Cur->Key ? 0 : 1);
     const Node *Next = Cur->Child[Dir];
     if (!Next) {
       Cur->M.unlock();
-      Scope.setReturn(Value(false));
       return false;
     }
     Next->M.lock();
     Cur->M.unlock();
     Cur = Next;
-    Chaos::point();
   }
 }
 
-bool BstMultiset::compress() {
-  MethodScope Scope(H, V.Compress, {});
+bool BstMultisetImpl::compress() {
   // Walk down holding parent + child locks, looking for an empty node with
   // at most one child to splice out. One splice per call.
   Node *Parent = Sentinel;
   Parent->M.lock();
-  // Depth-first along a random-ish path is unnecessary: scan left spine
-  // first via an explicit stack of (parent, dir) pairs would need multiple
-  // locks. Keep it simple and correct: walk down one path choosing the
-  // first existing child, preferring splice opportunities.
   int Dir = 1;
   while (true) {
     Node *Cur = Parent->Child[Dir];
@@ -191,28 +166,21 @@ bool BstMultiset::compress() {
         Dir = 1;
         continue;
       }
-      H.commit();
       Parent->M.unlock();
-      Scope.setReturn(Value(false));
       return false;
     }
     Cur->M.lock();
     if (Cur->Count == 0 && (!Cur->Child[0] || !Cur->Child[1])) {
       Node *Survivor = Cur->Child[0] ? Cur->Child[0] : Cur->Child[1];
-      {
-        CommitBlock Block(H);
-        Parent->Child[Dir] = Survivor;
-        logLink(Parent, Dir, Survivor);
-        H.commit();
-      }
+      Parent->Child[Dir] = Survivor;
+      logLink(Parent, Dir, Survivor);
+      Ctx.commit();
       Cur->M.unlock();
       Parent->M.unlock();
-      Scope.setReturn(Value(true));
       return true;
     }
     Parent->M.unlock();
     Parent = Cur;
     Dir = Parent->Child[0] ? 0 : 1;
-    Chaos::point();
   }
 }

@@ -13,7 +13,12 @@
 /// Instrumentation uses coarse-grained replay records (Sec. 6.2):
 /// `bst.node` (node creation), `bst.link` (child-pointer write) and
 /// `bst.count` (occurrence-count write), rather than raw field writes —
-/// the replayer reconstructs reachability from them.
+/// the replayer reconstructs reachability from them, so the bespoke
+/// BstReplayer stays. Everything else is automatic: per-node locks are
+/// `vyrd::Mutex` shims (a lock-coupling descent holds a chain of them, so
+/// the whole descent is one commit bracket — opened lazily at the first
+/// record, which keeps pure-reader descents out of the log), and the
+/// `BstMultiset` facade dispatches through `Instrumented<T>`.
 ///
 /// Injectable bug (Table 1, "Unlocking parent before insertion"): the
 /// inserting thread releases the parent's lock after finding the insertion
@@ -26,7 +31,7 @@
 #ifndef VYRD_BST_BSTMULTISET_H
 #define VYRD_BST_BSTMULTISET_H
 
-#include "vyrd/Instrument.h"
+#include "vyrd/Auto.h"
 
 #include <cstdint>
 #include <mutex>
@@ -42,19 +47,19 @@ struct BstVocab {
   static BstVocab get();
 };
 
-/// The instrumented BST multiset implementation.
-class BstMultiset {
+/// The uninstrumented BST core (trailing-AutoContext protocol).
+class BstMultisetImpl {
 public:
   struct Options {
     /// Inject the unlock-parent-before-insertion bug.
     bool BuggyInsert = false;
   };
 
-  BstMultiset(const Options &Opts, Hooks H);
-  ~BstMultiset();
+  BstMultisetImpl(const Options &Opts, AutoContext &Ctx);
+  ~BstMultisetImpl();
 
-  BstMultiset(const BstMultiset &) = delete;
-  BstMultiset &operator=(const BstMultiset &) = delete;
+  BstMultisetImpl(const BstMultisetImpl &) = delete;
+  BstMultisetImpl &operator=(const BstMultisetImpl &) = delete;
 
   /// Inserts one occurrence of \p X. Always succeeds.
   bool insert(int64_t X);
@@ -75,27 +80,64 @@ public:
 
 private:
   struct Node {
-    uint64_t Id;
-    int64_t Key;
+    explicit Node(AutoContext &C) : M(C) {}
+    uint64_t Id = 0;
+    int64_t Key = 0;
     size_t Count = 0;
     Node *Child[2] = {nullptr, nullptr};
-    mutable std::mutex M;
+    mutable Mutex M;
   };
 
   Node *newNode(int64_t Key);
-  void logLink(const Node *Parent, int Dir, const Node *Child) const;
-  void logCount(const Node *N) const;
+  void logLink(const Node *Parent, int Dir, const Node *Child);
+  void logCount(const Node *N);
 
   Options Opts;
-  Hooks H;
+  AutoContext &Ctx;
   BstVocab V;
   /// Sentinel pseudo-root: real nodes hang off Sentinel->Child[1].
   Node *Sentinel;
   /// All nodes ever allocated; freed in the destructor (spliced and
-  /// orphaned nodes must outlive racing readers).
+  /// orphaned nodes must outlive racing readers). Internal bookkeeping,
+  /// not logged state: a plain mutex, not a shim.
   mutable std::mutex RegistryM;
   std::vector<Node *> Registry;
   uint64_t NextId = 2; // 1 is the sentinel
+};
+
+} // namespace bst
+
+template <> struct AutoMethods<bst::BstMultisetImpl> {
+  using B = bst::BstMultisetImpl;
+  static constexpr auto desc(MethodTag<&B::insert>) {
+    return method("BstInsert");
+  }
+  static constexpr auto desc(MethodTag<&B::remove>) {
+    return method("BstDelete");
+  }
+  static constexpr auto desc(MethodTag<&B::lookUp>) {
+    return observer("BstLookUp");
+  }
+  static constexpr auto desc(MethodTag<&B::compress>) {
+    return method("BstCompress");
+  }
+};
+
+namespace bst {
+
+/// The instrumented BST facade.
+class BstMultiset : public Instrumented<BstMultisetImpl> {
+public:
+  using Options = BstMultisetImpl::Options;
+
+  BstMultiset(const Options &O, Hooks H) : Instrumented(H, O) {}
+
+  bool insert(int64_t X) { return invoke<&BstMultisetImpl::insert>(X); }
+  bool remove(int64_t X) { return invoke<&BstMultisetImpl::remove>(X); }
+  bool lookUp(int64_t X) { return invoke<&BstMultisetImpl::lookUp>(X); }
+  bool compress() { return invoke<&BstMultisetImpl::compress>(); }
+
+  size_t allocatedNodes() const { return raw().allocatedNodes(); }
 };
 
 } // namespace bst

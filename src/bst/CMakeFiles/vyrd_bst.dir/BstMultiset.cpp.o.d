@@ -1,8 +1,8 @@
 src/bst/CMakeFiles/vyrd_bst.dir/BstMultiset.cpp.o: \
  /root/repo/src/bst/BstMultiset.cpp /usr/include/stdc-predef.h \
- /root/repo/src/bst/BstMultiset.h /root/repo/src/vyrd/Instrument.h \
- /root/repo/src/vyrd/Action.h /root/repo/src/vyrd/Names.h \
- /usr/include/c++/12/cstdint \
+ /root/repo/src/bst/BstMultiset.h /root/repo/src/vyrd/Auto.h \
+ /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Action.h \
+ /root/repo/src/vyrd/Names.h /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -226,4 +226,8 @@ src/bst/CMakeFiles/vyrd_bst.dir/BstMultiset.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/vyrd/Telemetry.h /usr/include/c++/12/thread
+ /root/repo/src/vyrd/Telemetry.h /usr/include/c++/12/thread \
+ /root/repo/src/vyrd/Replayer.h /root/repo/src/vyrd/View.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/shared_mutex

@@ -28,10 +28,12 @@ CacheVocab CacheVocab::get() {
   return V;
 }
 
-BoxCache::BoxCache(ChunkManager &CM, const Options &Opts, Hooks H)
-    : CM(CM), Opts(Opts), H(H), V(CacheVocab::get()) {}
+BoxCacheImpl::BoxCacheImpl(ChunkManager &CM, const Options &Opts,
+                           AutoContext &Ctx)
+    : CM(CM), Opts(Opts), Ctx(Ctx), V(CacheVocab::get()), CleanLock(Ctx),
+      ReclaimLock(Ctx) {}
 
-void BoxCache::copyToCache(const Bytes &B, Entry &E) {
+void BoxCacheImpl::copyToCache(const Bytes &B, Entry &E) {
   assert(B.size() <= Opts.ChunkSize && "chunk larger than cache buffer");
   // COPY-TO-CACHE (Fig. 8): byte-by-byte in-place overwrite. The chaos
   // points widen the racy window when the caller failed to take
@@ -44,7 +46,7 @@ void BoxCache::copyToCache(const Bytes &B, Entry &E) {
   E.Len.store(B.size(), std::memory_order_relaxed);
 }
 
-Bytes BoxCache::snapshotEntry(const Entry &E) const {
+Bytes BoxCacheImpl::snapshotEntry(const Entry &E) const {
   size_t N = E.Len.load(std::memory_order_relaxed);
   Bytes Out(N);
   for (size_t I = 0; I < N; ++I) {
@@ -55,12 +57,10 @@ Bytes BoxCache::snapshotEntry(const Entry &E) const {
   return Out;
 }
 
-void BoxCache::write(uint64_t Hd, const Bytes &B,
-                     const std::function<void()> &LogFn) {
-  MethodScope Scope(H, V.Write,
-                    {Value(static_cast<int64_t>(Hd)), Value(B)});
+void BoxCacheImpl::write(uint64_t Hd, const Bytes &B,
+                         const std::function<void()> &LogFn) {
   std::shared_lock Reclaim(ReclaimLock); // RECLAIMLOCK.BEGINREAD
-  std::unique_lock Clean(CleanLock);     // LOCK(clean)
+  UniqueLock Clean(CleanLock);           // LOCK(clean)
   auto DirtyIt = DirtyMap.find(Hd);
 
   if (DirtyIt != DirtyMap.end()) {
@@ -69,23 +69,22 @@ void BoxCache::write(uint64_t Hd, const Bytes &B,
     if (Opts.BuggyUnprotectedCopy) {
       // BUG (Sec. 7.2.2): the copy runs without LOCK(clean); a concurrent
       // FLUSH can snapshot the buffer mid-copy and persist torn bytes.
+      // The replay record and commit land unbracketed — the atomicity of
+      // visibility and log update is exactly what the bug breaks.
       Clean.unlock();
       Chaos::point();
       copyToCache(B, *E);
-      CommitBlock Block(H);
-      H.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(B)});
-      H.commit();
+      Ctx.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(B)});
+      Ctx.commit();
       if (LogFn)
         LogFn();
     } else {
       copyToCache(B, *E);
-      CommitBlock Block(H);
-      H.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(B)});
-      H.commit();
+      Ctx.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(B)});
+      Ctx.commit();
       if (LogFn)
         LogFn();
     }
-    Scope.setReturn(Value(true));
     return;
   }
 
@@ -97,14 +96,12 @@ void BoxCache::write(uint64_t Hd, const Bytes &B,
     CleanMap.erase(CleanIt);
     copyToCache(B, *E);
     DirtyMap.emplace(Hd, E);
-    CommitBlock Block(H);
-    H.replayOp(V.OpRemoveClean, {Value(static_cast<int64_t>(Hd))});
-    H.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(B)});
-    H.replayOp(V.OpAddDirty, {Value(static_cast<int64_t>(Hd))});
-    H.commit();
+    Ctx.replayOp(V.OpRemoveClean, {Value(static_cast<int64_t>(Hd))});
+    Ctx.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(B)});
+    Ctx.replayOp(V.OpAddDirty, {Value(static_cast<int64_t>(Hd))});
+    Ctx.commit();
     if (LogFn)
       LogFn();
-    Scope.setReturn(Value(true));
     return;
   }
 
@@ -115,128 +112,102 @@ void BoxCache::write(uint64_t Hd, const Bytes &B,
   EntryPtr E = std::make_shared<Entry>(Opts.ChunkSize);
   copyToCache(B, *E);
   DirtyMap.emplace(Hd, E);
-  CommitBlock Block(H);
-  H.replayOp(V.OpNewEntry, {Value(static_cast<int64_t>(Hd))});
-  H.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(B)});
-  H.replayOp(V.OpAddDirty, {Value(static_cast<int64_t>(Hd))});
-  H.commit();
+  Ctx.replayOp(V.OpNewEntry, {Value(static_cast<int64_t>(Hd))});
+  Ctx.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(B)});
+  Ctx.replayOp(V.OpAddDirty, {Value(static_cast<int64_t>(Hd))});
+  Ctx.commit();
   if (LogFn)
     LogFn();
-  Scope.setReturn(Value(true));
 }
 
-bool BoxCache::read(uint64_t Hd, Bytes &Out) {
-  MethodScope Scope(H, V.Read, {Value(static_cast<int64_t>(Hd))});
+bool BoxCacheImpl::read(uint64_t Hd, Bytes &Out) {
   std::shared_lock Reclaim(ReclaimLock);
-  std::unique_lock Clean(CleanLock);
+  UniqueLock Clean(CleanLock);
 
   auto DirtyIt = DirtyMap.find(Hd);
   if (DirtyIt != DirtyMap.end()) {
     Out = snapshotEntry(*DirtyIt->second);
-    Scope.setReturn(Value(Out));
     return true;
   }
   auto CleanIt = CleanMap.find(Hd);
   if (CleanIt != CleanMap.end()) {
     Out = snapshotEntry(*CleanIt->second);
-    Scope.setReturn(Value(Out));
     return true;
   }
 
   // Miss: fetch from the Chunk Manager and install a clean entry. Reads
   // are observers (no commit); the install is recorded so the shadow state
   // tracks the new entry.
-  if (!CM.read(Hd, Out)) {
-    Scope.setReturn(Value());
+  if (!CM.read(Hd, Out))
     return false;
-  }
   EntryPtr E = std::make_shared<Entry>(Opts.ChunkSize);
   copyToCache(Out, *E);
   CleanMap.emplace(Hd, E);
-  H.replayOp(V.OpNewEntry, {Value(static_cast<int64_t>(Hd))});
-  H.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(Out)});
-  H.replayOp(V.OpAddClean, {Value(static_cast<int64_t>(Hd))});
-  Scope.setReturn(Value(Out));
+  Ctx.replayOp(V.OpNewEntry, {Value(static_cast<int64_t>(Hd))});
+  Ctx.replayOp(V.OpCopy, {Value(static_cast<int64_t>(Hd)), Value(Out)});
+  Ctx.replayOp(V.OpAddClean, {Value(static_cast<int64_t>(Hd))});
   return true;
 }
 
-size_t BoxCache::flush() {
-  MethodScope Scope(H, V.Flush, {});
-  std::unique_lock Clean(CleanLock); // LOCK(clean) held for the whole flush
+size_t BoxCacheImpl::flush() {
+  UniqueLock Clean(CleanLock); // LOCK(clean) held for the whole flush
   size_t Moved = 0;
-  {
-    CommitBlock Block(H);
-    // Fig. 8: every dirty entry is "old enough"; write each back to the
-    // Chunk Manager, then move it to the clean list. The byte-by-byte
-    // snapshot is where a torn buffer (from the buggy unprotected copy)
-    // gets persisted.
-    for (auto It = DirtyMap.begin(); It != DirtyMap.end();) {
-      uint64_t Hd = It->first;
-      EntryPtr E = It->second;
-      Bytes Snapshot = snapshotEntry(*E);
-      CM.write(Hd, Snapshot);
-      H.replayOp(V.OpCmWrite,
+  // Fig. 8: every dirty entry is "old enough"; write each back to the
+  // Chunk Manager, then move it to the clean list. The byte-by-byte
+  // snapshot is where a torn buffer (from the buggy unprotected copy)
+  // gets persisted.
+  for (auto It = DirtyMap.begin(); It != DirtyMap.end();) {
+    uint64_t Hd = It->first;
+    EntryPtr E = It->second;
+    Bytes Snapshot = snapshotEntry(*E);
+    CM.write(Hd, Snapshot);
+    Ctx.replayOp(V.OpCmWrite,
                  {Value(static_cast<int64_t>(Hd)), Value(Snapshot)});
-      It = DirtyMap.erase(It);
-      CleanMap.emplace(Hd, E);
-      H.replayOp(V.OpRemoveDirty, {Value(static_cast<int64_t>(Hd))});
-      H.replayOp(V.OpAddClean, {Value(static_cast<int64_t>(Hd))});
-      ++Moved;
-    }
-    H.commit();
+    It = DirtyMap.erase(It);
+    CleanMap.emplace(Hd, E);
+    Ctx.replayOp(V.OpRemoveDirty, {Value(static_cast<int64_t>(Hd))});
+    Ctx.replayOp(V.OpAddClean, {Value(static_cast<int64_t>(Hd))});
+    ++Moved;
   }
-  Scope.setReturn(Value(static_cast<int64_t>(Moved)));
+  Ctx.commit();
   return Moved;
 }
 
-bool BoxCache::revoke(uint64_t Hd) {
-  MethodScope Scope(H, V.Revoke, {Value(static_cast<int64_t>(Hd))});
-  std::unique_lock Clean(CleanLock);
+bool BoxCacheImpl::revoke(uint64_t Hd) {
+  UniqueLock Clean(CleanLock);
   auto It = DirtyMap.find(Hd);
-  if (It == DirtyMap.end()) {
-    H.commit(); // nothing dirty under this handle: no change
-    Scope.setReturn(Value(false));
-    return false;
-  }
+  if (It == DirtyMap.end())
+    return false; // nothing dirty under this handle; auto-commit
   EntryPtr E = It->second;
-  {
-    CommitBlock Block(H);
-    Bytes Snapshot = snapshotEntry(*E);
-    CM.write(Hd, Snapshot);
-    H.replayOp(V.OpCmWrite,
+  Bytes Snapshot = snapshotEntry(*E);
+  CM.write(Hd, Snapshot);
+  Ctx.replayOp(V.OpCmWrite,
                {Value(static_cast<int64_t>(Hd)), Value(Snapshot)});
-    DirtyMap.erase(It);
-    CleanMap.emplace(Hd, E);
-    H.replayOp(V.OpRemoveDirty, {Value(static_cast<int64_t>(Hd))});
-    H.replayOp(V.OpAddClean, {Value(static_cast<int64_t>(Hd))});
-    H.commit();
-  }
-  Scope.setReturn(Value(true));
+  DirtyMap.erase(It);
+  CleanMap.emplace(Hd, E);
+  Ctx.replayOp(V.OpRemoveDirty, {Value(static_cast<int64_t>(Hd))});
+  Ctx.replayOp(V.OpAddClean, {Value(static_cast<int64_t>(Hd))});
+  Ctx.commit();
   return true;
 }
 
-size_t BoxCache::evict() {
-  MethodScope Scope(H, V.Evict, {});
+size_t BoxCacheImpl::evict() {
   std::unique_lock Reclaim(ReclaimLock); // exclusive: no readers/writers
-  std::unique_lock Clean(CleanLock);
+  UniqueLock Clean(CleanLock);
   size_t Dropped = CleanMap.size();
-  {
-    CommitBlock Block(H);
-    for (auto &[Hd, E] : CleanMap)
-      H.replayOp(V.OpRemoveClean, {Value(static_cast<int64_t>(Hd))});
-    CleanMap.clear();
-    H.commit();
-  }
-  Scope.setReturn(Value(static_cast<int64_t>(Dropped)));
+  for (auto &[Hd, E] : CleanMap)
+    Ctx.replayOp(V.OpRemoveClean, {Value(static_cast<int64_t>(Hd))});
+  CleanMap.clear();
+  Ctx.commit();
   return Dropped;
 }
 
-size_t BoxCache::cleanCount() const {
-  std::lock_guard Lock(CleanLock);
+size_t BoxCacheImpl::cleanCount() const {
+  LockGuard Lock(CleanLock);
   return CleanMap.size();
 }
 
-size_t BoxCache::dirtyCount() const {
-  std::lock_guard Lock(CleanLock);
+size_t BoxCacheImpl::dirtyCount() const {
+  LockGuard Lock(CleanLock);
   return DirtyMap.size();
 }

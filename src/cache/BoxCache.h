@@ -22,18 +22,25 @@
 /// Chunk Manager's bytes for that handle; (ii) no entry is in both lists.
 /// These are evaluated by the replayer at every commit.
 ///
+/// Instrumentation is automatic: LOCK(clean) is a `vyrd::Mutex` shim, the
+/// reclaim lock a `vyrd::SharedMutex` (shared acquisitions open no commit
+/// bracket — readers do not serialize state), and the `BoxCache` facade
+/// dispatches through `Instrumented<T>`. WRITE's LogFn callback and READ's
+/// out-parameter use custom argument/return encoders; the coarse replay
+/// records (`cache.*` / `cm.write`) stay with the bespoke CacheReplayer,
+/// which also evaluates the runtime invariants.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VYRD_CACHE_BOXCACHE_H
 #define VYRD_CACHE_BOXCACHE_H
 
 #include "chunk/ChunkManager.h"
-#include "vyrd/Instrument.h"
+#include "vyrd/Auto.h"
 
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 
 namespace vyrd {
@@ -50,8 +57,8 @@ struct CacheVocab {
   static CacheVocab get();
 };
 
-/// The instrumented cache implementation.
-class BoxCache {
+/// The uninstrumented cache core (trailing-AutoContext protocol).
+class BoxCacheImpl {
 public:
   struct Options {
     /// Maximum chunk size the cache supports.
@@ -60,10 +67,10 @@ public:
     bool BuggyUnprotectedCopy = false;
   };
 
-  BoxCache(ChunkManager &CM, const Options &Opts, Hooks H);
+  BoxCacheImpl(ChunkManager &CM, const Options &Opts, AutoContext &Ctx);
 
-  BoxCache(const BoxCache &) = delete;
-  BoxCache &operator=(const BoxCache &) = delete;
+  BoxCacheImpl(const BoxCacheImpl &) = delete;
+  BoxCacheImpl &operator=(const BoxCacheImpl &) = delete;
 
   /// Fig. 8 WRITE: stores \p B (size <= ChunkSize) for handle \p H in the
   /// cache, dirtying the entry.
@@ -113,13 +120,76 @@ private:
 
   ChunkManager &CM;
   Options Opts;
-  Hooks H;
+  AutoContext &Ctx;
   CacheVocab V;
 
-  mutable std::mutex CleanLock; // LOCK(clean): guards both maps
-  std::shared_mutex ReclaimLock;
+  mutable Mutex CleanLock; // LOCK(clean): guards both maps
+  SharedMutex ReclaimLock;
   std::unordered_map<uint64_t, EntryPtr> CleanMap;
   std::unordered_map<uint64_t, EntryPtr> DirtyMap;
+};
+
+} // namespace cache
+
+template <> struct AutoMethods<cache::BoxCacheImpl> {
+  using C = cache::BoxCacheImpl;
+  using Bytes = cache::Bytes;
+  static constexpr auto desc(MethodTag<&C::write>) {
+    // The LogFn callback is not loggable state; WRITE has no return value
+    // and is logged as the constant true.
+    return method("CacheWrite")
+        .args([](const uint64_t &H, const Bytes &B,
+                 const std::function<void()> &) {
+          return ValueList{Value(H), Value(B)};
+        })
+        .ret([](const uint64_t &, const Bytes &,
+                const std::function<void()> &) { return Value(true); });
+  }
+  static constexpr auto desc(MethodTag<&C::read>) {
+    // The result travels through the out-parameter: encode it after the
+    // call, null on a miss.
+    return observer("CacheRead")
+        .args([](const uint64_t &H, const Bytes &) {
+          return ValueList{Value(H)};
+        })
+        .ret([](const bool &Found, const uint64_t &, const Bytes &Out) {
+          return Found ? Value(Out) : Value();
+        });
+  }
+  static constexpr auto desc(MethodTag<&C::flush>) {
+    return method("CacheFlush");
+  }
+  static constexpr auto desc(MethodTag<&C::revoke>) {
+    return method("CacheRevoke");
+  }
+  static constexpr auto desc(MethodTag<&C::evict>) {
+    return method("CacheEvict");
+  }
+};
+
+namespace cache {
+
+/// The instrumented cache facade.
+class BoxCache : public Instrumented<BoxCacheImpl> {
+public:
+  using Options = BoxCacheImpl::Options;
+
+  BoxCache(ChunkManager &CM, const Options &O, Hooks H)
+      : Instrumented(H, CM, O) {}
+
+  void write(uint64_t H, const Bytes &B,
+             const std::function<void()> &LogFn = {}) {
+    invoke<&BoxCacheImpl::write>(H, B, LogFn);
+  }
+  bool read(uint64_t H, Bytes &Out) {
+    return invoke<&BoxCacheImpl::read>(H, Out);
+  }
+  size_t flush() { return invoke<&BoxCacheImpl::flush>(); }
+  bool revoke(uint64_t H) { return invoke<&BoxCacheImpl::revoke>(H); }
+  size_t evict() { return invoke<&BoxCacheImpl::evict>(); }
+
+  size_t cleanCount() const { return raw().cleanCount(); }
+  size_t dirtyCount() const { return raw().dirtyCount(); }
 };
 
 } // namespace cache

@@ -241,10 +241,10 @@ src/harness/CMakeFiles/vyrd_harness.dir/Scenarios.cpp.o: \
  /root/repo/src/vyrd/Epoch.h /root/repo/src/blinktree/BLinkSpec.h \
  /root/repo/src/blinktree/BLinkTree.h /root/repo/src/blinktree/BNode.h \
  /root/repo/src/chunk/ChunkManager.h /root/repo/src/cache/BoxCache.h \
- /usr/include/c++/12/shared_mutex /root/repo/src/bst/BstMultiset.h \
- /root/repo/src/bst/BstReplayer.h /root/repo/src/bst/BstSpec.h \
- /root/repo/src/cache/CacheSpec.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/vyrd/Auto.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/bst/BstMultiset.h /root/repo/src/bst/BstReplayer.h \
+ /root/repo/src/bst/BstSpec.h /root/repo/src/cache/CacheSpec.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/javalib/StringBufferSpec.h \
  /root/repo/src/javalib/StringBufferSystem.h \
@@ -252,10 +252,8 @@ src/harness/CMakeFiles/vyrd_harness.dir/Scenarios.cpp.o: \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/javalib/HashtableSpec.h \
  /root/repo/src/javalib/SyncVector.h /root/repo/src/javalib/VectorSpec.h \
- /root/repo/src/multiset/ArrayMultiset.h \
- /root/repo/src/multiset/MultisetReplayer.h \
+ /root/repo/src/multiset/ArrayMultiset.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/multiset/MultisetSpec.h \
  /root/repo/src/queue/BoundedQueue.h /root/repo/src/queue/QueueSpec.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/scanfs/ScanFs.h \
- /root/repo/src/scanfs/ScanFsSpec.h
+ /root/repo/src/scanfs/ScanFs.h /root/repo/src/scanfs/ScanFsSpec.h

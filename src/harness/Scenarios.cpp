@@ -21,7 +21,6 @@
 #include "javalib/SyncVector.h"
 #include "javalib/VectorSpec.h"
 #include "multiset/ArrayMultiset.h"
-#include "multiset/MultisetReplayer.h"
 #include "multiset/MultisetSpec.h"
 #include "queue/BoundedQueue.h"
 #include "queue/QueueSpec.h"
@@ -241,8 +240,7 @@ Scenario makeMultisetScenario(const ScenarioOptions &O) {
   MO.Capacity = 48;
   MO.BuggyFindSlot = O.Buggy;
   Hooks H = wireScenario(S, O, std::make_unique<multiset::MultisetSpec>(),
-                         std::make_unique<multiset::MultisetReplayer>(
-                             MO.Capacity));
+                         KeyValueReplayer::guardedBag("A"));
   auto M = std::make_shared<multiset::ArrayMultiset>(MO, H);
   S.Owned.push_back(M);
   S.Op = [M](Rng &R, int64_t K1, int64_t K2, double) {
@@ -285,7 +283,7 @@ Scenario makeVectorScenario(const ScenarioOptions &O) {
   javalib::SyncVector::Options VO;
   VO.BuggyLastIndexOf = O.Buggy;
   Hooks H = wireScenario(S, O, std::make_unique<javalib::VectorSpec>(),
-                         std::make_unique<javalib::VectorReplayer>());
+                         KeyValueReplayer::prefixVec("vec"));
   auto Vec = std::make_shared<javalib::SyncVector>(VO, H);
   S.Owned.push_back(Vec);
   S.Op = [Vec](Rng &R, int64_t K1, int64_t, double) {
@@ -414,7 +412,7 @@ Scenario makeHashtableScenario(const ScenarioOptions &O) {
   javalib::SyncHashtable::Options HO;
   HO.BuggyPutIfAbsent = O.Buggy;
   Hooks H = wireScenario(S, O, std::make_unique<javalib::HashtableSpec>(),
-                         std::make_unique<javalib::HashtableReplayer>());
+                         KeyValueReplayer::map("ht"));
   auto T = std::make_shared<javalib::SyncHashtable>(HO, H);
   S.Owned.push_back(T);
   S.Op = [T](Rng &R, int64_t K1, int64_t K2, double) {
@@ -440,7 +438,7 @@ Scenario makeQueueScenario(const ScenarioOptions &O) {
   QO.BuggyPoll = O.Buggy;
   Hooks H = wireScenario(S, O,
                          std::make_unique<queue::QueueSpec>(QO.Capacity),
-                         std::make_unique<queue::QueueReplayer>());
+                         KeyValueReplayer::map("q"));
   auto Q = std::make_shared<queue::BoundedQueue>(QO, H);
   S.Owned.push_back(Q);
   S.Op = [Q](Rng &R, int64_t K1, int64_t, double) {
@@ -602,8 +600,7 @@ Scenario vyrd::harness::makeCompositeScenario(const ScenarioOptions &O) {
     auto V = std::make_shared<Verifier>(VC);
     HMul = V->registerObject(
         "multiset", std::make_unique<multiset::MultisetSpec>(),
-        ViewLevel ? std::make_unique<multiset::MultisetReplayer>(MO.Capacity)
-                  : nullptr);
+        ViewLevel ? KeyValueReplayer::guardedBag("A") : nullptr);
     HCache = V->registerObject(
         "cache", std::make_unique<cache::CacheSpec>(Handles),
         ViewLevel ? std::make_unique<cache::CacheReplayer>(Handles)
@@ -613,7 +610,7 @@ Scenario vyrd::harness::makeCompositeScenario(const ScenarioOptions &O) {
         ViewLevel ? std::make_unique<blinktree::BLinkReplayer>(1) : nullptr);
     HQueue = V->registerObject(
         "queue", std::make_unique<queue::QueueSpec>(QO.Capacity),
-        ViewLevel ? std::make_unique<queue::QueueReplayer>() : nullptr);
+        ViewLevel ? KeyValueReplayer::map("q") : nullptr);
     V->start();
     S.V = V.get();
     S.L = &V->log();
@@ -746,7 +743,7 @@ void buildProgramPipeline(Program P, bool ViewLevel, std::unique_ptr<Spec> &S,
   case Program::P_MultisetVector:
     S = std::make_unique<multiset::MultisetSpec>();
     if (ViewLevel)
-      R = std::make_unique<multiset::MultisetReplayer>(48);
+      R = KeyValueReplayer::guardedBag("A");
     break;
   case Program::P_MultisetBst:
     S = std::make_unique<bst::BstSpec>();
@@ -756,7 +753,7 @@ void buildProgramPipeline(Program P, bool ViewLevel, std::unique_ptr<Spec> &S,
   case Program::P_Vector:
     S = std::make_unique<javalib::VectorSpec>();
     if (ViewLevel)
-      R = std::make_unique<javalib::VectorReplayer>();
+      R = KeyValueReplayer::prefixVec("vec");
     break;
   case Program::P_StringBuffer:
     S = std::make_unique<javalib::StringBufferSpec>(3);
@@ -787,12 +784,12 @@ void buildProgramPipeline(Program P, bool ViewLevel, std::unique_ptr<Spec> &S,
   case Program::P_Hashtable:
     S = std::make_unique<javalib::HashtableSpec>();
     if (ViewLevel)
-      R = std::make_unique<javalib::HashtableReplayer>();
+      R = KeyValueReplayer::map("ht");
     break;
   case Program::P_Queue:
     S = std::make_unique<queue::QueueSpec>(24);
     if (ViewLevel)
-      R = std::make_unique<queue::QueueReplayer>();
+      R = KeyValueReplayer::map("q");
     break;
   }
 }

@@ -1,7 +1,7 @@
 src/javalib/CMakeFiles/vyrd_javalib.dir/StringBufferSpec.cpp.o: \
  /root/repo/src/javalib/StringBufferSpec.cpp /usr/include/stdc-predef.h \
  /root/repo/src/javalib/StringBufferSpec.h \
- /root/repo/src/javalib/StringBufferSystem.h \
+ /root/repo/src/javalib/StringBufferSystem.h /root/repo/src/vyrd/Auto.h \
  /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Action.h \
  /root/repo/src/vyrd/Names.h /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
@@ -231,4 +231,5 @@ src/javalib/CMakeFiles/vyrd_javalib.dir/StringBufferSpec.cpp.o: \
  /root/repo/src/vyrd/Replayer.h /root/repo/src/vyrd/View.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/vyrd/Spec.h
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/vyrd/Spec.h

@@ -1,6 +1,6 @@
 src/javalib/CMakeFiles/vyrd_javalib.dir/StringBufferSystem.cpp.o: \
  /root/repo/src/javalib/StringBufferSystem.cpp /usr/include/stdc-predef.h \
- /root/repo/src/javalib/StringBufferSystem.h \
+ /root/repo/src/javalib/StringBufferSystem.h /root/repo/src/vyrd/Auto.h \
  /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Action.h \
  /root/repo/src/vyrd/Names.h /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
@@ -226,4 +226,8 @@ src/javalib/CMakeFiles/vyrd_javalib.dir/StringBufferSystem.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/vyrd/Telemetry.h /usr/include/c++/12/thread
+ /root/repo/src/vyrd/Telemetry.h /usr/include/c++/12/thread \
+ /root/repo/src/vyrd/Replayer.h /root/repo/src/vyrd/View.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/shared_mutex

@@ -100,58 +100,6 @@ void HashtableSpec::buildView(View &Out) const {
 }
 
 //===----------------------------------------------------------------------===//
-// HashtableReplayer
-//===----------------------------------------------------------------------===//
-
-HashtableReplayer::HashtableReplayer() = default;
-
-void HashtableReplayer::applyUpdate(const Action &A, View &ViewI) {
-  assert(A.Kind == ActionKind::AK_Write &&
-         "hashtable logs fine-grained writes only");
-  // Resolve (and cache) the key from the variable name "ht[<key>]".
-  int64_t Key;
-  auto It = KeyOfVar.find(A.Var.id());
-  if (It != KeyOfVar.end()) {
-    Key = It->second;
-  } else {
-    std::string_view S = A.Var.str();
-    assert(S.size() > 4 && S.substr(0, 3) == "ht[" && "unknown variable");
-    bool Neg = S[3] == '-';
-    Key = 0;
-    for (size_t P = Neg ? 4 : 3; P < S.size() && S[P] != ']'; ++P)
-      Key = Key * 10 + (S[P] - '0');
-    if (Neg)
-      Key = -Key;
-    KeyOfVar.emplace(A.Var.id(), Key);
-  }
-
-  auto SIt = Shadow.find(Key);
-  if (A.Ret.isNull()) {
-    if (SIt != Shadow.end()) {
-      ViewI.remove(Value(Key), Value(SIt->second));
-      Shadow.erase(SIt);
-    }
-    return;
-  }
-  int64_t NewVal = A.Ret.asInt();
-  if (SIt != Shadow.end()) {
-    if (SIt->second == NewVal)
-      return;
-    ViewI.remove(Value(Key), Value(SIt->second));
-    SIt->second = NewVal;
-  } else {
-    Shadow.emplace(Key, NewVal);
-  }
-  ViewI.add(Value(Key), Value(NewVal));
-}
-
-void HashtableReplayer::buildView(View &Out) const {
-  Out.clear();
-  for (const auto &[K, Val] : Shadow)
-    Out.add(Value(K), Value(Val));
-}
-
-//===----------------------------------------------------------------------===//
 // Snapshot support
 //===----------------------------------------------------------------------===//
 
@@ -187,13 +135,3 @@ bool HashtableSpec::saveState(ByteWriter &W) const {
 
 bool HashtableSpec::loadState(ByteReader &R) { return loadIntMap(R, M); }
 
-bool HashtableReplayer::saveState(ByteWriter &W) const {
-  // KeyOfVar is a parse cache over variable names; it repopulates on
-  // demand, so only the shadow map persists.
-  saveIntMap(W, Shadow);
-  return true;
-}
-
-bool HashtableReplayer::loadState(ByteReader &R) {
-  return loadIntMap(R, Shadow);
-}

@@ -5,11 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Specification (an atomic map) and replayer (shadow map from `ht[k]`
-/// writes) for the SyncHashtable model. The view is the map as
-/// (key, value) pairs. PutIfAbsent -> true requires the key to actually
-/// be absent, which is precisely what the buggy check-then-act variant
-/// violates.
+/// Specification (an atomic map) for the SyncHashtable model. The view is
+/// the map as (key, value) pairs; the implementation side is replayed by
+/// the generic Map-shape `KeyValueReplayer` over the `ht[k]` writes.
+/// PutIfAbsent -> true requires the key to actually be absent, which is
+/// precisely what the buggy check-then-act variant violates.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,11 +17,9 @@
 #define VYRD_JAVALIB_HASHTABLESPEC_H
 
 #include "javalib/SyncHashtable.h"
-#include "vyrd/Replayer.h"
 #include "vyrd/Spec.h"
 
 #include <map>
-#include <unordered_map>
 
 namespace vyrd {
 namespace javalib {
@@ -45,21 +43,6 @@ public:
 private:
   HtVocab V;
   std::map<int64_t, int64_t> M;
-};
-
-/// Shadow state: key -> value from `ht[k]` writes (null = erased).
-class HashtableReplayer : public Replayer {
-public:
-  HashtableReplayer();
-
-  void applyUpdate(const Action &A, View &ViewI) override;
-  void buildView(View &Out) const override;
-  bool saveState(ByteWriter &W) const override;
-  bool loadState(ByteReader &R) override;
-
-private:
-  std::unordered_map<uint32_t, int64_t> KeyOfVar; // name id -> key
-  std::map<int64_t, int64_t> Shadow;
 };
 
 } // namespace javalib

@@ -23,34 +23,27 @@ SbVocab SbVocab::get() {
   return V;
 }
 
-StringBufferSystem::StringBufferSystem(const Options &Opts, Hooks H)
-    : Opts(Opts), H(H), V(SbVocab::get()) {
+StringBufferSystemImpl::StringBufferSystemImpl(const Options &Opts,
+                                               AutoContext &Ctx)
+    : Opts(Opts), Ctx(Ctx), V(SbVocab::get()) {
   assert(Opts.NumBuffers >= 1);
   Bufs.reserve(Opts.NumBuffers);
   for (size_t I = 0; I < Opts.NumBuffers; ++I)
-    Bufs.push_back(std::make_unique<Buf>());
+    Bufs.push_back(std::make_unique<Buf>(Ctx));
 }
 
-void StringBufferSystem::append(size_t I, const std::string &S) {
+void StringBufferSystemImpl::append(size_t I, const std::string &S) {
   assert(I < Bufs.size());
-  MethodScope Scope(H, V.Append, {Value(static_cast<int64_t>(I)), Value(S)});
-  {
-    Buf &B = *Bufs[I];
-    std::lock_guard Lock(B.M);
-    CommitBlock Block(H);
-    B.Data += S;
-    B.LenMirror.store(B.Data.size(), std::memory_order_relaxed);
-    H.replayOp(V.OpAppend, {Value(static_cast<int64_t>(I)), Value(S)});
-    H.commit();
-  }
-  Scope.setReturn(Value(true));
+  Buf &B = *Bufs[I];
+  LockGuard Lock(B.M);
+  B.Data += S;
+  B.LenMirror.store(B.Data.size(), std::memory_order_relaxed);
+  Ctx.replayOp(V.OpAppend, {Value(static_cast<int64_t>(I)), Value(S)});
+  Ctx.commit();
 }
 
-void StringBufferSystem::appendBuffer(size_t Dst, size_t Src) {
+void StringBufferSystemImpl::appendBuffer(size_t Dst, size_t Src) {
   assert(Dst < Bufs.size() && Src < Bufs.size() && Dst != Src);
-  MethodScope Scope(H, V.AppendBuffer,
-                    {Value(static_cast<int64_t>(Dst)),
-                     Value(static_cast<int64_t>(Src))});
   Buf &D = *Bufs[Dst];
   Buf &S = *Bufs[Src];
   std::string Snapshot;
@@ -66,23 +59,19 @@ void StringBufferSystem::appendBuffer(size_t Dst, size_t Src) {
     for (size_t C = 0; C < N; ++C) {
       char Ch;
       {
-        std::lock_guard SrcLock(S.M); // per-char access, not atomic overall
+        LockGuard SrcLock(S.M); // per-char access, not atomic overall
         Ch = C < S.Data.size() ? S.Data[C] : '?';
       }
       Snapshot.push_back(Ch);
-      if ((C & 7) == 0)
-        Chaos::point();
     }
-    std::lock_guard DstLock(D.M);
-    CommitBlock Block(H);
+    LockGuard DstLock(D.M);
     D.Data += Snapshot;
     D.LenMirror.store(D.Data.size(), std::memory_order_relaxed);
     // The replay record carries the bytes *actually appended*, so the
     // shadow state mirrors a torn copy faithfully.
-    H.replayOp(V.OpAppend,
-               {Value(static_cast<int64_t>(Dst)), Value(Snapshot)});
-    H.commit();
-    Scope.setReturn(Value(true));
+    Ctx.replayOp(V.OpAppend,
+                 {Value(static_cast<int64_t>(Dst)), Value(Snapshot)});
+    Ctx.commit();
     return;
   }
 
@@ -90,66 +79,43 @@ void StringBufferSystem::appendBuffer(size_t Dst, size_t Src) {
   // and getChars holds src's nested inside it, so the copy is atomic with
   // the append. We acquire the two monitors in index order to rule out the
   // deadlock the nested Java locking is prone to.
-  {
-    Buf &Lo = Dst < Src ? D : S;
-    Buf &Hi = Dst < Src ? S : D;
-    std::lock_guard LockLo(Lo.M);
-    std::lock_guard LockHi(Hi.M);
-    Snapshot = S.Data;
-    CommitBlock Block(H);
-    D.Data += Snapshot;
-    D.LenMirror.store(D.Data.size(), std::memory_order_relaxed);
-    H.replayOp(V.OpAppend,
+  Buf &Lo = Dst < Src ? D : S;
+  Buf &Hi = Dst < Src ? S : D;
+  LockGuard LockLo(Lo.M);
+  LockGuard LockHi(Hi.M);
+  Snapshot = S.Data;
+  D.Data += Snapshot;
+  D.LenMirror.store(D.Data.size(), std::memory_order_relaxed);
+  Ctx.replayOp(V.OpAppend,
                {Value(static_cast<int64_t>(Dst)), Value(Snapshot)});
-    H.commit();
-  }
-  Scope.setReturn(Value(true));
+  Ctx.commit();
 }
 
-void StringBufferSystem::setLength(size_t I, size_t N) {
+void StringBufferSystemImpl::setLength(size_t I, size_t N) {
   assert(I < Bufs.size());
-  MethodScope Scope(H, V.SetLength,
-                    {Value(static_cast<int64_t>(I)),
-                     Value(static_cast<int64_t>(N))});
-  {
-    Buf &B = *Bufs[I];
-    std::lock_guard Lock(B.M);
-    if (N < B.Data.size()) {
-      CommitBlock Block(H);
-      B.Data.resize(N);
-      B.LenMirror.store(B.Data.size(), std::memory_order_relaxed);
-      H.replayOp(V.OpSetLen, {Value(static_cast<int64_t>(I)),
+  Buf &B = *Bufs[I];
+  LockGuard Lock(B.M);
+  if (N < B.Data.size()) {
+    B.Data.resize(N);
+    B.LenMirror.store(B.Data.size(), std::memory_order_relaxed);
+    Ctx.replayOp(V.OpSetLen, {Value(static_cast<int64_t>(I)),
                               Value(static_cast<int64_t>(N))});
-      H.commit();
-    } else {
-      H.commit(); // no-op truncation
-    }
   }
-  Scope.setReturn(Value(true));
+  // The spec truncates whenever N is below the *abstract* length at the
+  // commit point, so even the no-op case commits under the monitor.
+  Ctx.commit();
 }
 
-std::string StringBufferSystem::toString(size_t I) const {
+std::string StringBufferSystemImpl::toString(size_t I) const {
   assert(I < Bufs.size());
-  MethodScope Scope(H, V.ToString, {Value(static_cast<int64_t>(I))});
-  std::string Out;
-  {
-    const Buf &B = *Bufs[I];
-    std::lock_guard Lock(B.M);
-    Out = B.Data;
-  }
-  Scope.setReturn(Value(Out));
-  return Out;
+  const Buf &B = *Bufs[I];
+  LockGuard Lock(B.M);
+  return B.Data;
 }
 
-int64_t StringBufferSystem::length(size_t I) const {
+int64_t StringBufferSystemImpl::length(size_t I) const {
   assert(I < Bufs.size());
-  MethodScope Scope(H, V.Length, {Value(static_cast<int64_t>(I))});
-  int64_t N;
-  {
-    const Buf &B = *Bufs[I];
-    std::lock_guard Lock(B.M);
-    N = static_cast<int64_t>(B.Data.size());
-  }
-  Scope.setReturn(Value(N));
-  return N;
+  const Buf &B = *Bufs[I];
+  LockGuard Lock(B.M);
+  return static_cast<int64_t>(B.Data.size());
 }

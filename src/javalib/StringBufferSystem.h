@@ -18,17 +18,25 @@
 /// fixed family of buffers and the specification keys its abstract state by
 /// buffer index.
 ///
+/// Instrumentation is automatic: each buffer's monitor is a `vyrd::Mutex`
+/// shim and the `StringBufferSystem` facade dispatches through
+/// `Instrumented<T>`. The buggy per-character source reads each take the
+/// source monitor briefly; those critical sections record nothing, and the
+/// lazy bracket protocol keeps them out of the log entirely. The replay
+/// records stay coarse (`sb.append` / `sb.setlen`, consumed by the bespoke
+/// StringBufferReplayer) because the appended bytes — torn or not — are
+/// what the shadow state must mirror.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VYRD_JAVALIB_STRINGBUFFERSYSTEM_H
 #define VYRD_JAVALIB_STRINGBUFFERSYSTEM_H
 
-#include "vyrd/Instrument.h"
+#include "vyrd/Auto.h"
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,8 +50,9 @@ struct SbVocab {
   static SbVocab get();
 };
 
-/// A family of NumBuffers monitors-guarded string buffers.
-class StringBufferSystem {
+/// The uninstrumented core: a family of NumBuffers monitor-guarded string
+/// buffers (trailing-AutoContext protocol).
+class StringBufferSystemImpl {
 public:
   struct Options {
     size_t NumBuffers = 2;
@@ -51,10 +60,10 @@ public:
     bool BuggyAppendBuffer = false;
   };
 
-  StringBufferSystem(const Options &Opts, Hooks H);
+  StringBufferSystemImpl(const Options &Opts, AutoContext &Ctx);
 
-  StringBufferSystem(const StringBufferSystem &) = delete;
-  StringBufferSystem &operator=(const StringBufferSystem &) = delete;
+  StringBufferSystemImpl(const StringBufferSystemImpl &) = delete;
+  StringBufferSystemImpl &operator=(const StringBufferSystemImpl &) = delete;
 
   size_t numBuffers() const { return Bufs.size(); }
 
@@ -76,15 +85,68 @@ public:
 
 private:
   struct Buf {
-    mutable std::mutex M;
+    explicit Buf(AutoContext &C) : M(C) {}
+    mutable Mutex M;
     std::string Data;
     std::atomic<size_t> LenMirror{0};
   };
 
   Options Opts;
-  Hooks H;
+  AutoContext &Ctx;
   SbVocab V;
   std::vector<std::unique_ptr<Buf>> Bufs;
+};
+
+} // namespace javalib
+
+template <> struct AutoMethods<javalib::StringBufferSystemImpl> {
+  using S = javalib::StringBufferSystemImpl;
+  // The Java methods return the buffer (for chaining); the model logs that
+  // as the constant true on the otherwise-void mutators.
+  static constexpr auto desc(MethodTag<&S::append>) {
+    return method("SbAppend").ret(
+        [](const size_t &, const std::string &) { return Value(true); });
+  }
+  static constexpr auto desc(MethodTag<&S::appendBuffer>) {
+    return method("SbAppendBuffer")
+        .ret([](const size_t &, const size_t &) { return Value(true); });
+  }
+  static constexpr auto desc(MethodTag<&S::setLength>) {
+    return method("SbSetLength")
+        .ret([](const size_t &, const size_t &) { return Value(true); });
+  }
+  static constexpr auto desc(MethodTag<&S::toString>) {
+    return observer("SbToString");
+  }
+  static constexpr auto desc(MethodTag<&S::length>) {
+    return observer("SbLength");
+  }
+};
+
+namespace javalib {
+
+/// The instrumented string-buffer-family facade.
+class StringBufferSystem : public Instrumented<StringBufferSystemImpl> {
+public:
+  using Options = StringBufferSystemImpl::Options;
+
+  StringBufferSystem(const Options &O, Hooks H) : Instrumented(H, O) {}
+
+  size_t numBuffers() const { return raw().numBuffers(); }
+
+  void append(size_t I, const std::string &S) {
+    invoke<&StringBufferSystemImpl::append>(I, S);
+  }
+  void appendBuffer(size_t Dst, size_t Src) {
+    invoke<&StringBufferSystemImpl::appendBuffer>(Dst, Src);
+  }
+  void setLength(size_t I, size_t N) {
+    invoke<&StringBufferSystemImpl::setLength>(I, N);
+  }
+  std::string toString(size_t I) {
+    return invoke<&StringBufferSystemImpl::toString>(I);
+  }
+  int64_t length(size_t I) { return invoke<&StringBufferSystemImpl::length>(I); }
 };
 
 } // namespace javalib

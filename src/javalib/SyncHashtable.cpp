@@ -23,22 +23,20 @@ Name HtVocab::slotName(int64_t Key) {
   return internName("ht[" + std::to_string(Key) + "]");
 }
 
-SyncHashtable::SyncHashtable(const Options &Opts, Hooks H)
-    : Opts(Opts), H(H), V(HtVocab::get()), Table(Opts.Buckets) {}
+SyncHashtableImpl::SyncHashtableImpl(const Options &Opts, AutoContext &Ctx)
+    : Opts(Opts), Ctx(Ctx), M(Ctx), Table(Opts.Buckets) {}
 
-SyncHashtable::Entry *SyncHashtable::findEntry(int64_t Key) {
+SyncHashtableImpl::Entry *SyncHashtableImpl::findEntry(int64_t Key) {
   for (Entry &E : bucket(Key))
     if (E.Key == Key)
       return &E;
   return nullptr;
 }
 
-Value SyncHashtable::put(int64_t Key, int64_t Val) {
-  MethodScope Scope(H, V.Put, {Value(Key), Value(Val)});
+Value SyncHashtableImpl::put(int64_t Key, int64_t Val) {
   Value Prev;
   {
-    std::lock_guard Lock(M);
-    CommitBlock Block(H);
+    LockGuard Lock(M);
     if (Entry *E = findEntry(Key)) {
       Prev = Value(E->Val);
       E->Val = Val;
@@ -46,31 +44,27 @@ Value SyncHashtable::put(int64_t Key, int64_t Val) {
       bucket(Key).push_back(Entry{Key, Val});
       ++Count;
     }
-    H.write(HtVocab::slotName(Key), Value(Val));
-    H.commit();
+    Ctx.write(HtVocab::slotName(Key), Value(Val));
+    Ctx.commit();
   }
-  Scope.setReturn(Prev);
   return Prev;
 }
 
-Value SyncHashtable::get(int64_t Key) const {
-  MethodScope Scope(H, V.Get, {Value(Key)});
+Value SyncHashtableImpl::get(int64_t Key) const {
   Value Ret;
   {
-    std::lock_guard Lock(M);
+    LockGuard Lock(M);
     if (const Entry *E =
-            const_cast<SyncHashtable *>(this)->findEntry(Key))
+            const_cast<SyncHashtableImpl *>(this)->findEntry(Key))
       Ret = Value(E->Val);
   }
-  Scope.setReturn(Ret);
   return Ret;
 }
 
-Value SyncHashtable::remove(int64_t Key) {
-  MethodScope Scope(H, V.Remove, {Value(Key)});
+Value SyncHashtableImpl::remove(int64_t Key) {
   Value Prev;
   {
-    std::lock_guard Lock(M);
+    LockGuard Lock(M);
     std::list<Entry> &B = bucket(Key);
     for (auto It = B.begin(); It != B.end(); ++It) {
       if (It->Key != Key)
@@ -78,20 +72,18 @@ Value SyncHashtable::remove(int64_t Key) {
       Prev = Value(It->Val);
       B.erase(It);
       --Count;
-      CommitBlock Block(H);
-      H.write(HtVocab::slotName(Key), Value());
-      H.commit();
-      Scope.setReturn(Prev);
+      Ctx.write(HtVocab::slotName(Key), Value());
+      Ctx.commit();
       return Prev;
     }
-    H.commit(); // removing an absent key: no change
+    // A null return is only legal while the key is actually absent, so
+    // the no-op case commits under the monitor too.
+    Ctx.commit();
   }
-  Scope.setReturn(Prev);
   return Prev;
 }
 
-bool SyncHashtable::putIfAbsent(int64_t Key, int64_t Val) {
-  MethodScope Scope(H, V.PutIfAbsent, {Value(Key), Value(Val)});
+bool SyncHashtableImpl::putIfAbsent(int64_t Key, int64_t Val) {
   bool Inserted = false;
   if (Opts.BuggyPutIfAbsent) {
     // BUG: contains and put under separate monitor acquisitions — the
@@ -100,49 +92,39 @@ bool SyncHashtable::putIfAbsent(int64_t Key, int64_t Val) {
     // have inserted.
     bool Present;
     {
-      std::lock_guard Lock(M);
+      LockGuard Lock(M);
       Present = findEntry(Key) != nullptr;
     }
     Chaos::point(); // the racy window
     if (!Present) {
-      std::lock_guard Lock(M);
-      CommitBlock Block(H);
+      LockGuard Lock(M);
       if (Entry *E = findEntry(Key)) {
         E->Val = Val; // silent overwrite of the winner
       } else {
         bucket(Key).push_back(Entry{Key, Val});
         ++Count;
       }
-      H.write(HtVocab::slotName(Key), Value(Val));
-      H.commit();
+      Ctx.write(HtVocab::slotName(Key), Value(Val));
+      Ctx.commit();
       Inserted = true;
-    } else {
-      H.commit();
     }
+    // Present: no change; auto-commit covers the failure return.
   } else {
-    std::lock_guard Lock(M);
+    LockGuard Lock(M);
     if (!findEntry(Key)) {
-      CommitBlock Block(H);
       bucket(Key).push_back(Entry{Key, Val});
       ++Count;
-      H.write(HtVocab::slotName(Key), Value(Val));
-      H.commit();
+      Ctx.write(HtVocab::slotName(Key), Value(Val));
       Inserted = true;
-    } else {
-      H.commit();
     }
+    // A false return is only legal while the key is actually present, so
+    // both outcomes commit under the monitor.
+    Ctx.commit();
   }
-  Scope.setReturn(Value(Inserted));
   return Inserted;
 }
 
-int64_t SyncHashtable::size() const {
-  MethodScope Scope(H, V.Size, {});
-  int64_t N;
-  {
-    std::lock_guard Lock(M);
-    N = static_cast<int64_t>(Count);
-  }
-  Scope.setReturn(Value(N));
-  return N;
+int64_t SyncHashtableImpl::size() const {
+  LockGuard Lock(M);
+  return static_cast<int64_t>(Count);
 }

@@ -17,16 +17,20 @@
 /// inserted — an I/O refinement violation at its own commit, and a view
 /// divergence when the overwritten value differs.
 ///
+/// Instrumentation is automatic: the monitor is a `vyrd::Mutex` shim, the
+/// per-key slot writes go through `AutoContext::write` (replayed by the
+/// Map-shape `KeyValueReplayer` over "ht"), and the `SyncHashtable` facade
+/// dispatches through `Instrumented<T>`.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VYRD_JAVALIB_SYNCHASHTABLE_H
 #define VYRD_JAVALIB_SYNCHASHTABLE_H
 
-#include "vyrd/Instrument.h"
+#include "vyrd/Auto.h"
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <vector>
 
 namespace vyrd {
@@ -40,8 +44,9 @@ struct HtVocab {
   static Name slotName(int64_t Key);
 };
 
-/// The instrumented hashtable: one monitor, chained buckets.
-class SyncHashtable {
+/// The uninstrumented hashtable core: one monitor, chained buckets
+/// (trailing-AutoContext protocol).
+class SyncHashtableImpl {
 public:
   struct Options {
     size_t Buckets = 64;
@@ -49,10 +54,10 @@ public:
     bool BuggyPutIfAbsent = false;
   };
 
-  SyncHashtable(const Options &Opts, Hooks H);
+  SyncHashtableImpl(const Options &Opts, AutoContext &Ctx);
 
-  SyncHashtable(const SyncHashtable &) = delete;
-  SyncHashtable &operator=(const SyncHashtable &) = delete;
+  SyncHashtableImpl(const SyncHashtableImpl &) = delete;
+  SyncHashtableImpl &operator=(const SyncHashtableImpl &) = delete;
 
   /// Maps \p Key to \p Val. \returns the previous value or null.
   Value put(int64_t Key, int64_t Val);
@@ -80,17 +85,53 @@ private:
                  Table.size()];
   }
   const std::list<Entry> &bucket(int64_t Key) const {
-    return const_cast<SyncHashtable *>(this)->bucket(Key);
+    return const_cast<SyncHashtableImpl *>(this)->bucket(Key);
   }
   /// Unsynchronized lookup used inside locked sections.
   Entry *findEntry(int64_t Key);
 
   Options Opts;
-  Hooks H;
-  HtVocab V;
-  mutable std::mutex M;
+  AutoContext &Ctx;
+  mutable Mutex M;
   std::vector<std::list<Entry>> Table;
   size_t Count = 0;
+};
+
+} // namespace javalib
+
+template <> struct AutoMethods<javalib::SyncHashtableImpl> {
+  using H = javalib::SyncHashtableImpl;
+  static constexpr auto desc(MethodTag<&H::put>) { return method("HtPut"); }
+  static constexpr auto desc(MethodTag<&H::get>) { return observer("HtGet"); }
+  static constexpr auto desc(MethodTag<&H::remove>) {
+    return method("HtRemove");
+  }
+  static constexpr auto desc(MethodTag<&H::putIfAbsent>) {
+    return method("HtPutIfAbsent");
+  }
+  static constexpr auto desc(MethodTag<&H::size>) {
+    return observer("HtSize");
+  }
+};
+
+namespace javalib {
+
+/// The instrumented hashtable facade.
+class SyncHashtable : public Instrumented<SyncHashtableImpl> {
+public:
+  using Options = SyncHashtableImpl::Options;
+
+  SyncHashtable(const Options &O, Hooks H) : Instrumented(H, O) {}
+
+  Value put(int64_t Key, int64_t Val) {
+    return invoke<&SyncHashtableImpl::put>(Key, Val);
+  }
+  Value get(int64_t Key) { return invoke<&SyncHashtableImpl::get>(Key); }
+  Value remove(int64_t Key) { return invoke<&SyncHashtableImpl::remove>(Key); }
+  bool putIfAbsent(int64_t Key, int64_t Val) {
+    return invoke<&SyncHashtableImpl::putIfAbsent>(Key, Val);
+  }
+  int64_t size() { return invoke<&SyncHashtableImpl::size>(); }
 };
 
 } // namespace javalib

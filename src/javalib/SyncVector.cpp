@@ -25,76 +25,58 @@ Name VectorVocab::elemName(size_t I) {
 
 Name VectorVocab::lenName() { return internName("vec.len"); }
 
-SyncVector::SyncVector(const Options &Opts, Hooks H)
-    : Opts(Opts), H(H), V(VectorVocab::get()), LenName(VectorVocab::lenName()) {
-}
+SyncVectorImpl::SyncVectorImpl(const Options &Opts, AutoContext &Ctx)
+    : Opts(Opts), Ctx(Ctx), M(Ctx), LenName(VectorVocab::lenName()) {}
 
-Name SyncVector::elemName(size_t I) {
+Name SyncVectorImpl::elemName(size_t I) {
   while (ElemNames.size() <= I)
     ElemNames.push_back(VectorVocab::elemName(ElemNames.size()));
   return ElemNames[I];
 }
 
-void SyncVector::add(int64_t X) {
-  MethodScope Scope(H, V.Add, {Value(X)});
-  {
-    std::lock_guard Lock(M);
-    CommitBlock Block(H);
-    size_t I = Data.size();
-    Data.push_back(X);
-    LenMirror.store(Data.size(), std::memory_order_relaxed);
-    H.write(elemName(I), Value(X));
-    H.write(LenName, Value(static_cast<int64_t>(Data.size())));
-    H.commit();
-  }
-  Scope.setReturn(Value(true));
+void SyncVectorImpl::add(int64_t X) {
+  LockGuard Lock(M);
+  size_t I = Data.size();
+  Data.push_back(X);
+  LenMirror.store(Data.size(), std::memory_order_relaxed);
+  Ctx.write(elemName(I), Value(X));
+  Ctx.write(LenName, Value(static_cast<int64_t>(Data.size())));
+  Ctx.commit();
 }
 
-Value SyncVector::removeLast() {
-  MethodScope Scope(H, V.RemoveLast, {});
+Value SyncVectorImpl::removeLast() {
   Value Ret;
   {
-    std::lock_guard Lock(M);
-    if (Data.empty()) {
-      H.commit();
-    } else {
+    LockGuard Lock(M);
+    if (!Data.empty()) {
       Ret = Value(Data.back());
-      CommitBlock Block(H);
       Data.pop_back();
       LenMirror.store(Data.size(), std::memory_order_relaxed);
-      H.write(LenName, Value(static_cast<int64_t>(Data.size())));
-      H.commit();
+      Ctx.write(LenName, Value(static_cast<int64_t>(Data.size())));
     }
+    // The null return is only legal while the vector is actually empty,
+    // so even the no-op case commits under the monitor.
+    Ctx.commit();
   }
-  Scope.setReturn(Ret);
   return Ret;
 }
 
-Value SyncVector::get(int64_t I) const {
-  MethodScope Scope(H, V.Get, {Value(I)});
+Value SyncVectorImpl::get(int64_t I) const {
   Value Ret;
   {
-    std::lock_guard Lock(M);
+    LockGuard Lock(M);
     if (I >= 0 && static_cast<size_t>(I) < Data.size())
       Ret = Value(Data[static_cast<size_t>(I)]);
   }
-  Scope.setReturn(Ret);
   return Ret;
 }
 
-int64_t SyncVector::size() const {
-  MethodScope Scope(H, V.Size, {});
-  int64_t N;
-  {
-    std::lock_guard Lock(M);
-    N = static_cast<int64_t>(Data.size());
-  }
-  Scope.setReturn(Value(N));
-  return N;
+int64_t SyncVectorImpl::size() const {
+  LockGuard Lock(M);
+  return static_cast<int64_t>(Data.size());
 }
 
-int64_t SyncVector::lastIndexOf(int64_t X) const {
-  MethodScope Scope(H, V.LastIndexOf, {Value(X)});
+int64_t SyncVectorImpl::lastIndexOf(int64_t X) const {
   int64_t Ret = -1;
   if (Opts.BuggyLastIndexOf) {
     // BUG (JDK 1.4 Vector): lastIndexOf(Object) reads elementCount without
@@ -103,7 +85,7 @@ int64_t SyncVector::lastIndexOf(int64_t X) const {
     // search throws IndexOutOfBoundsException.
     size_t N = LenMirror.load(std::memory_order_relaxed);
     Chaos::point();
-    std::lock_guard Lock(M);
+    LockGuard Lock(M);
     if (N > Data.size()) {
       Ret = IndexError;
     } else {
@@ -115,7 +97,7 @@ int64_t SyncVector::lastIndexOf(int64_t X) const {
       }
     }
   } else {
-    std::lock_guard Lock(M);
+    LockGuard Lock(M);
     for (size_t I = Data.size(); I > 0; --I) {
       if (Data[I - 1] == X) {
         Ret = static_cast<int64_t>(I - 1);
@@ -123,6 +105,5 @@ int64_t SyncVector::lastIndexOf(int64_t X) const {
       }
     }
   }
-  Scope.setReturn(Value(Ret));
   return Ret;
 }

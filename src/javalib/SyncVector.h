@@ -16,16 +16,21 @@
 /// why Table 1 shows view refinement doing no better than I/O refinement
 /// on this example.
 ///
+/// Instrumentation is automatic: the monitor is a `vyrd::Mutex` shim, the
+/// element/length writes go through `AutoContext::write` (replayed by the
+/// Prefix-shape `KeyValueReplayer` over "vec"), and the `SyncVector`
+/// facade dispatches through `Instrumented<T>`. Java's `void add(Object)`
+/// is logged with return value true via a custom return encoder.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VYRD_JAVALIB_SYNCVECTOR_H
 #define VYRD_JAVALIB_SYNCVECTOR_H
 
-#include "vyrd/Instrument.h"
+#include "vyrd/Auto.h"
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 namespace vyrd {
@@ -42,19 +47,19 @@ struct VectorVocab {
 /// Return value modeling Java's IndexOutOfBoundsException.
 inline constexpr int64_t IndexError = -2;
 
-/// The instrumented vector: one lock guards the element storage, mirroring
-/// Java's monitor.
-class SyncVector {
+/// The uninstrumented vector core: one lock guards the element storage,
+/// mirroring Java's monitor (trailing-AutoContext protocol).
+class SyncVectorImpl {
 public:
   struct Options {
     /// Inject the non-atomic length read in lastIndexOf.
     bool BuggyLastIndexOf = false;
   };
 
-  SyncVector(const Options &Opts, Hooks H);
+  SyncVectorImpl(const Options &Opts, AutoContext &Ctx);
 
-  SyncVector(const SyncVector &) = delete;
-  SyncVector &operator=(const SyncVector &) = delete;
+  SyncVectorImpl(const SyncVectorImpl &) = delete;
+  SyncVectorImpl &operator=(const SyncVectorImpl &) = delete;
 
   /// Appends \p X (always succeeds).
   void add(int64_t X);
@@ -74,9 +79,8 @@ public:
 
 private:
   Options Opts;
-  Hooks H;
-  VectorVocab V;
-  mutable std::mutex M;
+  AutoContext &Ctx;
+  mutable Mutex M;
   std::vector<int64_t> Data;
   /// Unsynchronized mirror of Data.size() for the buggy length read (kept
   /// atomic so the model itself has no undefined behavior).
@@ -85,6 +89,44 @@ private:
   Name LenName;
 
   Name elemName(size_t I);
+};
+
+} // namespace javalib
+
+template <> struct AutoMethods<javalib::SyncVectorImpl> {
+  using V = javalib::SyncVectorImpl;
+  static constexpr auto desc(MethodTag<&V::add>) {
+    // Java's add(Object) returns true; the body is void.
+    return method("VecAdd").ret([](const int64_t &) { return Value(true); });
+  }
+  static constexpr auto desc(MethodTag<&V::removeLast>) {
+    return method("VecRemoveLast");
+  }
+  static constexpr auto desc(MethodTag<&V::get>) { return observer("VecGet"); }
+  static constexpr auto desc(MethodTag<&V::size>) {
+    return observer("VecSize");
+  }
+  static constexpr auto desc(MethodTag<&V::lastIndexOf>) {
+    return observer("VecLastIndexOf");
+  }
+};
+
+namespace javalib {
+
+/// The instrumented vector facade.
+class SyncVector : public Instrumented<SyncVectorImpl> {
+public:
+  using Options = SyncVectorImpl::Options;
+
+  SyncVector(const Options &O, Hooks H) : Instrumented(H, O) {}
+
+  void add(int64_t X) { invoke<&SyncVectorImpl::add>(X); }
+  Value removeLast() { return invoke<&SyncVectorImpl::removeLast>(); }
+  Value get(int64_t I) { return invoke<&SyncVectorImpl::get>(I); }
+  int64_t size() { return invoke<&SyncVectorImpl::size>(); }
+  int64_t lastIndexOf(int64_t X) {
+    return invoke<&SyncVectorImpl::lastIndexOf>(X);
+  }
 };
 
 } // namespace javalib

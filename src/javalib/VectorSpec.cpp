@@ -101,77 +101,3 @@ bool VectorSpec::loadState(ByteReader &R) {
     S[I] = R.svarint();
   return R.ok();
 }
-
-//===----------------------------------------------------------------------===//
-// VectorReplayer
-//===----------------------------------------------------------------------===//
-
-VectorReplayer::VectorReplayer() : LenName(VectorVocab::lenName()) {}
-
-void VectorReplayer::applyUpdate(const Action &A, View &ViewI) {
-  assert(A.Kind == ActionKind::AK_Write &&
-         "vector logs fine-grained writes only");
-
-  if (A.Var == LenName) {
-    size_t NewLen = static_cast<size_t>(A.Ret.asInt());
-    if (NewLen > Storage.size())
-      Storage.resize(NewLen, 0);
-    // Entries leaving / entering the logical prefix update the view.
-    for (size_t I = NewLen; I < Len; ++I)
-      ViewI.remove(Value(static_cast<int64_t>(I)), Value(Storage[I]));
-    for (size_t I = Len; I < NewLen; ++I)
-      ViewI.add(Value(static_cast<int64_t>(I)), Value(Storage[I]));
-    Len = NewLen;
-    return;
-  }
-
-  // Element write: resolve (and cache) the slot index from the name.
-  auto It = ElemIndex.find(A.Var.id());
-  size_t Index;
-  if (It != ElemIndex.end()) {
-    Index = It->second;
-  } else {
-    std::string_view S = A.Var.str();
-    assert(S.size() > 5 && S.substr(0, 4) == "vec[" && "unknown variable");
-    Index = 0;
-    for (size_t P = 4; P < S.size() && S[P] != ']'; ++P)
-      Index = Index * 10 + static_cast<size_t>(S[P] - '0');
-    ElemIndex.emplace(A.Var.id(), Index);
-  }
-  if (Index >= Storage.size())
-    Storage.resize(Index + 1, 0);
-  int64_t NewVal = A.Ret.asInt();
-  if (Index < Len && Storage[Index] != NewVal) {
-    ViewI.remove(Value(static_cast<int64_t>(Index)), Value(Storage[Index]));
-    ViewI.add(Value(static_cast<int64_t>(Index)), Value(NewVal));
-  }
-  Storage[Index] = NewVal;
-}
-
-void VectorReplayer::buildView(View &Out) const {
-  Out.clear();
-  for (size_t I = 0; I < Len; ++I)
-    Out.add(Value(static_cast<int64_t>(I)), Value(Storage[I]));
-}
-
-bool VectorReplayer::saveState(ByteWriter &W) const {
-  // ElemIndex is a parse cache over variable names (interned ids); it
-  // repopulates on demand, so only Storage and Len persist.
-  W.varint(Len);
-  W.varint(Storage.size());
-  for (int64_t X : Storage)
-    W.svarint(X);
-  return true;
-}
-
-bool VectorReplayer::loadState(ByteReader &R) {
-  uint64_t NewLen = R.varint();
-  uint64_t N = R.varint();
-  if (!R.ok() || N > (1u << 24) || NewLen > N)
-    return false;
-  Storage.assign(N, 0);
-  for (uint64_t I = 0; I < N; ++I)
-    Storage[I] = R.svarint();
-  Len = static_cast<size_t>(NewLen);
-  return R.ok();
-}

@@ -5,9 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Specification (an atomic sequence of integers) and replayer (shadow
-/// storage reconstructed from `vec[i]` / `vec.len` writes) for the
-/// SyncVector model. The view is the sequence as (index, element) pairs.
+/// Specification (an atomic sequence of integers) for the SyncVector
+/// model. The view is the sequence as (index, element) pairs. The
+/// implementation side is replayed by the generic Prefix-shape
+/// `KeyValueReplayer` over the `vec[i]` / `vec.len` writes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,10 +16,7 @@
 #define VYRD_JAVALIB_VECTORSPEC_H
 
 #include "javalib/SyncVector.h"
-#include "vyrd/Replayer.h"
 #include "vyrd/Spec.h"
-
-#include <unordered_map>
 
 namespace vyrd {
 namespace javalib {
@@ -42,23 +40,6 @@ public:
 private:
   VectorVocab V;
   std::vector<int64_t> S;
-};
-
-/// Shadow state: element storage plus the logical length.
-class VectorReplayer : public Replayer {
-public:
-  VectorReplayer();
-
-  void applyUpdate(const Action &A, View &ViewI) override;
-  void buildView(View &Out) const override;
-  bool saveState(ByteWriter &W) const override;
-  bool loadState(ByteReader &R) override;
-
-private:
-  Name LenName;
-  std::unordered_map<uint32_t, size_t> ElemIndex; // name id -> index
-  std::vector<int64_t> Storage; // raw slots (may exceed Len)
-  size_t Len = 0;
 };
 
 } // namespace javalib

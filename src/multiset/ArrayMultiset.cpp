@@ -29,17 +29,13 @@ Name Vocab::validName(size_t I) {
   return internName("A[" + std::to_string(I) + "].valid");
 }
 
-ArrayMultiset::ArrayMultiset(const Options &Opts, Hooks H)
-    : Opts(Opts), H(H), V(Vocab::get()), Slots(Opts.Capacity) {
-  EltNames.reserve(Opts.Capacity);
-  ValidNames.reserve(Opts.Capacity);
-  for (size_t I = 0; I < Opts.Capacity; ++I) {
-    EltNames.push_back(Vocab::eltName(I));
-    ValidNames.push_back(Vocab::validName(I));
-  }
+ArrayMultisetImpl::ArrayMultisetImpl(const Options &Opts, AutoContext &Ctx)
+    : Opts(Opts), Ctx(Ctx) {
+  for (size_t I = 0; I < Opts.Capacity; ++I)
+    Slots.emplace_back(Ctx, I);
 }
 
-int ArrayMultiset::findSlot(int64_t X) {
+int ArrayMultisetImpl::findSlot(int64_t X) {
   for (size_t I = 0, N = Slots.size(); I < N; ++I) {
     Slot &S = Slots[I];
     if (Opts.BuggyFindSlot) {
@@ -49,74 +45,58 @@ int ArrayMultiset::findSlot(int64_t X) {
       // overwrites the first.
       bool LooksFree;
       {
-        std::lock_guard Lock(S.M); // read the field safely, release, decide
+        LockGuard Lock(S.M); // read the field safely, release, decide
         LooksFree = S.Elt == Empty;
       }
       if (LooksFree) {
         Chaos::point(); // the racy window
-        std::lock_guard Lock(S.M);
+        LockGuard Lock(S.M);
         S.Elt = X;
-        H.write(EltNames[I], Value(X));
         return static_cast<int>(I);
       }
       continue;
     }
     // Correct version (Fig. 2): test and reserve under the slot lock.
-    std::lock_guard Lock(S.M);
+    LockGuard Lock(S.M);
     if (S.Elt == Empty) {
       S.Elt = X;
-      H.write(EltNames[I], Value(X));
       return static_cast<int>(I);
     }
   }
   return -1;
 }
 
-void ArrayMultiset::releaseSlot(int I) {
+void ArrayMultisetImpl::releaseSlot(int I) {
   assert(I >= 0 && static_cast<size_t>(I) < Slots.size());
   Slot &S = Slots[I];
-  std::lock_guard Lock(S.M);
+  LockGuard Lock(S.M);
   assert(!S.Valid && "releasing a published slot");
   S.Elt = Empty;
-  H.write(EltNames[I], Value());
 }
 
-bool ArrayMultiset::insert(int64_t X) {
-  MethodScope Scope(H, V.Insert, {Value(X)});
+bool ArrayMultisetImpl::insert(int64_t X) {
   int I = findSlot(X);
   if (I == -1) {
-    // Exceptional termination: commit with no state change (the
-    // specification permits Insert to fail under contention).
-    H.commit();
-    Scope.setReturn(Value(false));
+    // Exceptional termination with no state change (the specification
+    // permits Insert to fail under contention): the auto layer commits on
+    // return.
     return false;
   }
-  {
-    Slot &S = Slots[I];
-    std::lock_guard Lock(S.M);
-    CommitBlock Block(H);
-    S.Valid = true;
-    H.write(ValidNames[I], Value(true));
-    ModCount.fetch_add(1, std::memory_order_release);
-    H.commit();
-  }
-  Scope.setReturn(Value(true));
+  Slot &S = Slots[I];
+  LockGuard Lock(S.M);
+  S.Valid = true;
+  ModCount.fetch_add(1, std::memory_order_release);
+  Ctx.commit();
   return true;
 }
 
-bool ArrayMultiset::insertPair(int64_t X, int64_t Y) {
-  MethodScope Scope(H, V.InsertPair, {Value(X), Value(Y)});
+bool ArrayMultisetImpl::insertPair(int64_t X, int64_t Y) {
   int I = findSlot(X);
-  if (I == -1) {
-    H.commit();
-    Scope.setReturn(Value(false));
+  if (I == -1)
     return false;
-  }
   int J = findSlot(Y);
   if (J == -1) {
     releaseSlot(I);
-    H.commit();
-    Scope.setReturn(Value(false));
     return false;
   }
   if (I == J) {
@@ -127,68 +107,51 @@ bool ArrayMultiset::insertPair(int64_t X, int64_t Y) {
     // slot lock; the missing element is exactly what view refinement then
     // reports.
     Slot &S = Slots[I];
-    std::lock_guard Lock(S.M);
-    CommitBlock Block(H);
+    LockGuard Lock(S.M);
     S.Valid = true;
-    H.write(ValidNames[I], Value(true));
     ModCount.fetch_add(1, std::memory_order_release);
-    H.commit();
-    Scope.setReturn(Value(true));
+    Ctx.commit();
     return true;
   }
   {
     // Fig. 4 lines 9-14: publish both elements atomically under both slot
     // locks. (We acquire in index order to avoid deadlock; the paper's
-    // pseudocode elides this.) The whole region is the commit block; the
-    // commit point is its end (line 13).
+    // pseudocode elides this.) The outermost shim lock is the commit
+    // block; the commit point is inside it (line 13).
     Slot &SLo = Slots[I < J ? I : J];
     Slot &SHi = Slots[I < J ? J : I];
-    std::lock_guard LockLo(SLo.M);
-    Chaos::point();
-    std::lock_guard LockHi(SHi.M);
-    CommitBlock Block(H);
+    LockGuard LockLo(SLo.M);
+    LockGuard LockHi(SHi.M);
     Slots[I].Valid = true;
-    H.write(ValidNames[I], Value(true));
     Chaos::point();
     Slots[J].Valid = true;
-    H.write(ValidNames[J], Value(true));
     ModCount.fetch_add(1, std::memory_order_release);
-    H.commit();
+    Ctx.commit();
   }
-  Scope.setReturn(Value(true));
   return true;
 }
 
-bool ArrayMultiset::remove(int64_t X) {
-  MethodScope Scope(H, V.Delete, {Value(X)});
+bool ArrayMultisetImpl::remove(int64_t X) {
   for (size_t I = 0, N = Slots.size(); I < N; ++I) {
     Slot &S = Slots[I];
-    std::lock_guard Lock(S.M);
+    LockGuard Lock(S.M);
     if (S.Elt != X || !S.Valid)
       continue;
-    {
-      CommitBlock Block(H);
-      S.Valid = false;
-      H.write(ValidNames[I], Value(false));
-      S.Elt = Empty;
-      H.write(EltNames[I], Value());
-      ModCount.fetch_add(1, std::memory_order_release);
-      H.commit();
-    }
-    Scope.setReturn(Value(true));
+    S.Valid = false;
+    S.Elt = Empty;
+    ModCount.fetch_add(1, std::memory_order_release);
+    Ctx.commit();
     return true;
   }
-  H.commit();
-  Scope.setReturn(Value(false));
   return false;
 }
 
-std::vector<int64_t> ArrayMultiset::snapshot() const {
+std::vector<int64_t> ArrayMultisetImpl::snapshot() const {
   std::vector<int64_t> Out;
   // Slot-by-slot under each lock; callers use this at quiescent points or
   // on an atomized (globally locked) instance, where it is exact.
   for (const Slot &S : Slots) {
-    std::lock_guard Lock(S.M);
+    LockGuard Lock(S.M);
     if (S.Valid)
       Out.push_back(S.Elt);
   }
@@ -196,25 +159,22 @@ std::vector<int64_t> ArrayMultiset::snapshot() const {
   return Out;
 }
 
-bool ArrayMultiset::scanOnce(int64_t X) const {
+bool ArrayMultisetImpl::scanOnce(int64_t X) const {
   for (size_t I = 0, N = Slots.size(); I < N; ++I) {
     const Slot &S = Slots[I];
-    std::lock_guard Lock(S.M);
+    LockGuard Lock(S.M);
     if (S.Elt == X && S.Valid)
       return true;
-    Chaos::point();
   }
   return false;
 }
 
-bool ArrayMultiset::lookUp(int64_t X) const {
-  MethodScope Scope(H, V.LookUp, {Value(X)});
+bool ArrayMultisetImpl::lookUp(int64_t X) const {
   while (true) {
     uint64_t Before = ModCount.load(std::memory_order_acquire);
     if (scanOnce(X)) {
       // A positive sighting under the slot lock is a valid linearization
       // point regardless of concurrent mutations.
-      Scope.setReturn(Value(true));
       return true;
     }
     if (!Opts.LinearizableScan ||
@@ -222,7 +182,6 @@ bool ArrayMultiset::lookUp(int64_t X) const {
       // Nothing committed during the scan: the miss is a consistent
       // snapshot. (Without the guard this is the paper's plain Fig. 2
       // scan, which can miss a continuously-present element.)
-      Scope.setReturn(Value(false));
       return false;
     }
   }

@@ -10,23 +10,26 @@
 /// field and a valid bit. FindSlot reserves a free slot; Insert/InsertPair
 /// publish elements by setting valid bits; Delete unpublishes; LookUp scans.
 ///
-/// The implementation is instrumented with VYRD hooks. Commit points follow
-/// the paper: the valid-bit write(s), performed inside a commit block while
-/// the slot lock(s) are held (for InsertPair this is the two-lock block of
-/// Fig. 4, lines 9-14). The Fig. 5 bug — FindSlot checking a slot for
-/// emptiness *before* taking its lock and reserving it without re-checking
-/// — is injectable via Options::BuggyFindSlot.
+/// Instrumentation is automatic: the core (`ArrayMultisetImpl`) carries no
+/// hook calls beyond its commit points — slot locks are `vyrd::Mutex`
+/// shims that derive the commit-block brackets, the elt/valid fields are
+/// `Tracked` so their assignments log themselves, and the public
+/// `ArrayMultiset` facade dispatches every method through
+/// `Instrumented<T>`, which emits call/return records and auto-commits
+/// failure paths. The Fig. 5 bug — FindSlot checking a slot for emptiness
+/// *before* taking its lock and reserving it without re-checking — is
+/// injectable via Options::BuggyFindSlot.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef VYRD_MULTISET_ARRAYMULTISET_H
 #define VYRD_MULTISET_ARRAYMULTISET_H
 
-#include "vyrd/Instrument.h"
+#include "vyrd/Auto.h"
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <deque>
 #include <vector>
 
 namespace vyrd {
@@ -36,14 +39,16 @@ namespace multiset {
 /// specification and the replayer.
 struct Vocab {
   Name Insert, InsertPair, Delete, LookUp;
-  /// Per-slot variable names "A[i].elt" / "A[i].valid" for capacity \p N.
   static Vocab get();
+  /// Per-slot variable names "A[i].elt" / "A[i].valid".
   static Name eltName(size_t I);
   static Name validName(size_t I);
 };
 
-/// The instrumented array-based multiset implementation.
-class ArrayMultiset {
+/// The uninstrumented multiset core. Constructed against the owning
+/// facade's AutoContext (trailing parameter, per the Instrumented<T>
+/// protocol); the only instrumentation it mentions is its commit points.
+class ArrayMultisetImpl {
 public:
   struct Options {
     size_t Capacity = 64;
@@ -60,10 +65,10 @@ public:
     bool LinearizableScan = true;
   };
 
-  ArrayMultiset(const Options &Opts, Hooks H);
+  ArrayMultisetImpl(const Options &Opts, AutoContext &Ctx);
 
-  ArrayMultiset(const ArrayMultiset &) = delete;
-  ArrayMultiset &operator=(const ArrayMultiset &) = delete;
+  ArrayMultisetImpl(const ArrayMultisetImpl &) = delete;
+  ArrayMultisetImpl &operator=(const ArrayMultisetImpl &) = delete;
 
   /// Inserts one occurrence of \p X. \returns false (exceptional
   /// termination) when no slot is free.
@@ -89,10 +94,20 @@ public:
 private:
   static constexpr int64_t Empty = INT64_MIN;
 
+  /// The logged representation of an elt field: null when empty.
+  static Value encodeElt(const int64_t &V) {
+    return V == Empty ? Value() : Value(V);
+  }
+
+  /// A slot's lock is the commit-block shim and its fields log their own
+  /// writes; a deque holds them because neither piece is movable.
   struct Slot {
-    mutable std::mutex M;
-    int64_t Elt = Empty;
-    bool Valid = false;
+    Slot(AutoContext &C, size_t I)
+        : M(C), Elt(C, Vocab::eltName(I), Empty, &encodeElt),
+          Valid(C, Vocab::validName(I), false) {}
+    mutable Mutex M;
+    Tracked<int64_t> Elt;
+    Tracked<bool> Valid;
   };
 
   /// Reserves a slot for \p X (writes its Elt field). \returns the index,
@@ -105,14 +120,48 @@ private:
   bool scanOnce(int64_t X) const;
 
   Options Opts;
-  Hooks H;
-  Vocab V;
+  AutoContext &Ctx;
   /// Bumped by every state-changing commit; LookUp uses it to detect that
   /// its scan raced a mutation and must retry.
   mutable std::atomic<uint64_t> ModCount{0};
-  std::vector<Slot> Slots;
-  std::vector<Name> EltNames;   // "A[i].elt"
-  std::vector<Name> ValidNames; // "A[i].valid"
+  std::deque<Slot> Slots;
+};
+
+} // namespace multiset
+
+template <> struct AutoMethods<multiset::ArrayMultisetImpl> {
+  using M = multiset::ArrayMultisetImpl;
+  static constexpr auto desc(MethodTag<&M::insert>) { return method("Insert"); }
+  static constexpr auto desc(MethodTag<&M::insertPair>) {
+    return method("InsertPair");
+  }
+  static constexpr auto desc(MethodTag<&M::remove>) { return method("Delete"); }
+  static constexpr auto desc(MethodTag<&M::lookUp>) {
+    return observer("LookUp");
+  }
+};
+
+namespace multiset {
+
+/// The instrumented multiset: the facade client code constructs and calls.
+/// Every public method dispatches through the auto layer; `snapshot` and
+/// `capacity` read the core directly (they are test/adapter affordances,
+/// not logged methods).
+class ArrayMultiset : public Instrumented<ArrayMultisetImpl> {
+public:
+  using Options = ArrayMultisetImpl::Options;
+
+  ArrayMultiset(const Options &O, Hooks H) : Instrumented(H, O) {}
+
+  bool insert(int64_t X) { return invoke<&ArrayMultisetImpl::insert>(X); }
+  bool insertPair(int64_t X, int64_t Y) {
+    return invoke<&ArrayMultisetImpl::insertPair>(X, Y);
+  }
+  bool remove(int64_t X) { return invoke<&ArrayMultisetImpl::remove>(X); }
+  bool lookUp(int64_t X) { return invoke<&ArrayMultisetImpl::lookUp>(X); }
+
+  size_t capacity() const { return raw().capacity(); }
+  std::vector<int64_t> snapshot() const { return raw().snapshot(); }
 };
 
 } // namespace multiset

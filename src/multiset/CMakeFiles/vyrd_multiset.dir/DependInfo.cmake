@@ -9,7 +9,6 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/multiset/ArrayMultiset.cpp" "src/multiset/CMakeFiles/vyrd_multiset.dir/ArrayMultiset.cpp.o" "gcc" "src/multiset/CMakeFiles/vyrd_multiset.dir/ArrayMultiset.cpp.o.d"
-  "/root/repo/src/multiset/MultisetReplayer.cpp" "src/multiset/CMakeFiles/vyrd_multiset.dir/MultisetReplayer.cpp.o" "gcc" "src/multiset/CMakeFiles/vyrd_multiset.dir/MultisetReplayer.cpp.o.d"
   "/root/repo/src/multiset/MultisetSpec.cpp" "src/multiset/CMakeFiles/vyrd_multiset.dir/MultisetSpec.cpp.o" "gcc" "src/multiset/CMakeFiles/vyrd_multiset.dir/MultisetSpec.cpp.o.d"
   )
 

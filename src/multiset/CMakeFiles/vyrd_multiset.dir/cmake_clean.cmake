@@ -1,8 +1,6 @@
 file(REMOVE_RECURSE
   "CMakeFiles/vyrd_multiset.dir/ArrayMultiset.cpp.o"
   "CMakeFiles/vyrd_multiset.dir/ArrayMultiset.cpp.o.d"
-  "CMakeFiles/vyrd_multiset.dir/MultisetReplayer.cpp.o"
-  "CMakeFiles/vyrd_multiset.dir/MultisetReplayer.cpp.o.d"
   "CMakeFiles/vyrd_multiset.dir/MultisetSpec.cpp.o"
   "CMakeFiles/vyrd_multiset.dir/MultisetSpec.cpp.o.d"
   "libvyrd_multiset.a"

@@ -15,17 +15,15 @@ QVocab QVocab::get() {
   V.Poll = internName("QPoll");
   V.Peek = internName("QPeek");
   V.Size = internName("QSize");
-  V.OpAppend = internName("q.append");
-  V.OpPop = internName("q.pop");
   return V;
 }
 
-BoundedQueue::BoundedQueue(const Options &Opts, Hooks H)
-    : Opts(Opts), H(H), V(QVocab::get()) {
+BoundedQueueImpl::BoundedQueueImpl(const Options &Opts, AutoContext &Ctx)
+    : Opts(Opts), Ctx(Ctx), Q(Ctx, "q"), HeadLock(Ctx), TailLock(Ctx) {
   Head = Tail = new Node();
 }
 
-BoundedQueue::~BoundedQueue() {
+BoundedQueueImpl::~BoundedQueueImpl() {
   while (Head) {
     Node *N = Head;
     Head = Head->Next.load(std::memory_order_relaxed);
@@ -33,24 +31,18 @@ BoundedQueue::~BoundedQueue() {
   }
 }
 
-bool BoundedQueue::offer(int64_t X) {
-  MethodScope Scope(H, V.Offer, {Value(X)});
+bool BoundedQueueImpl::offer(int64_t X) {
   // Optimistic capacity probe without a lock; may fail spuriously (the
-  // specification permits that).
-  if (Count.load(std::memory_order_relaxed) >= Opts.Capacity) {
-    H.commit();
-    Scope.setReturn(Value(false));
+  // specification permits that, and the auto layer commits the failure).
+  if (Count.load(std::memory_order_relaxed) >= Opts.Capacity)
     return false;
-  }
   Node *N = new Node();
   N->Val = X;
   {
-    std::lock_guard Lock(TailLock);
+    LockGuard Lock(TailLock);
     // Re-check under the tail lock: Count can only decrease concurrently
     // (consumers), so this bound is safe.
     if (Count.load(std::memory_order_relaxed) >= Opts.Capacity) {
-      H.commit();
-      Scope.setReturn(Value(false));
       delete N;
       return false;
     }
@@ -58,22 +50,17 @@ bool BoundedQueue::offer(int64_t X) {
     // element before its commit record is in the log (the "logged action
     // atomic with log update" requirement: consumers hold only HeadLock).
     // Global lock order: TailLock before HeadLock.
-    std::lock_guard Publish(HeadLock);
+    LockGuard Publish(HeadLock);
     Tail->Next.store(N, std::memory_order_release);
     Tail = N;
     Count.fetch_add(1, std::memory_order_relaxed);
-    CommitBlock Block(H);
-    H.replayOp(V.OpAppend, {Value(X)});
-    H.commit();
+    Q.set(Value(static_cast<int64_t>(NextIdx++)), Value(X));
+    Ctx.commit();
   }
-  Scope.setReturn(Value(true));
   return true;
 }
 
-Value BoundedQueue::poll() {
-  MethodScope Scope(H, V.Poll, {});
-  Value Ret;
-
+Value BoundedQueueImpl::poll() {
   // Dequeue advances the dummy (the Michael & Scott two-lock pop): the
   // first real node becomes the new dummy and the old dummy is freed.
   // Tail is never touched — with >= 1 element, Tail != Head, so the old
@@ -82,76 +69,62 @@ Value BoundedQueue::poll() {
     // BUG: snapshot the front value, drop the lock, re-acquire and
     // dequeue without re-reading. Two concurrent polls can both return
     // the old front while removing two elements.
+    Value Ret;
     {
-      std::lock_guard Lock(HeadLock);
+      LockGuard Lock(HeadLock);
       if (Node *First = Head->Next.load(std::memory_order_acquire))
         Ret = Value(First->Val);
     }
     Chaos::point(); // the racy window
     if (!Ret.isNull()) {
-      std::lock_guard Lock(HeadLock);
+      LockGuard Lock(HeadLock);
       if (Node *First = Head->Next.load(std::memory_order_acquire)) {
         // Dequeue whatever is at the front now, but return the stale
         // snapshot.
         Node *OldDummy = Head;
         Head = First;
         Count.fetch_sub(1, std::memory_order_relaxed);
-        CommitBlock Block(H);
-        H.replayOp(V.OpPop, {Value(First->Val)});
-        H.commit();
+        Q.del(Value(static_cast<int64_t>(HeadIdx++)));
+        Ctx.commit();
         delete OldDummy;
       } else {
         Ret = Value(); // raced to empty after all
-        H.commit();
       }
-    } else {
-      H.commit();
     }
-    Scope.setReturn(Ret);
     return Ret;
   }
 
+  Value Ret;
   {
-    std::lock_guard Lock(HeadLock);
+    LockGuard Lock(HeadLock);
     Node *First = Head->Next.load(std::memory_order_acquire);
-    if (!First) {
-      H.commit(); // empty: the spec treats a null poll permissively
-    } else {
+    if (First) {
       Ret = Value(First->Val);
       Node *OldDummy = Head;
       Head = First;
       Count.fetch_sub(1, std::memory_order_relaxed);
-      CommitBlock Block(H);
-      H.replayOp(V.OpPop, {Value(First->Val)});
-      H.commit();
+      Q.del(Value(static_cast<int64_t>(HeadIdx++)));
+      Ctx.commit();
       delete OldDummy;
     }
+    // Empty: the spec treats a null poll permissively; auto-commit.
   }
-  Scope.setReturn(Ret);
   return Ret;
 }
 
-Value BoundedQueue::peek() const {
-  MethodScope Scope(H, V.Peek, {});
+Value BoundedQueueImpl::peek() const {
   Value Ret;
   {
-    std::lock_guard Lock(HeadLock);
+    LockGuard Lock(HeadLock);
     if (const Node *First = Head->Next.load(std::memory_order_acquire))
       Ret = Value(First->Val);
   }
-  Scope.setReturn(Ret);
   return Ret;
 }
 
-int64_t BoundedQueue::size() const {
-  MethodScope Scope(H, V.Size, {});
-  int64_t N;
-  {
-    // Exact size needs both locks (tail before head, the global order).
-    std::lock_guard TLock(TailLock);
-    std::lock_guard HLock(HeadLock);
-    N = static_cast<int64_t>(Count.load(std::memory_order_relaxed));
-  }
-  Scope.setReturn(Value(N));
-  return N;
+int64_t BoundedQueueImpl::size() const {
+  // Exact size needs both locks (tail before head, the global order).
+  LockGuard TLock(TailLock);
+  LockGuard HLock(HeadLock);
+  return static_cast<int64_t>(Count.load(std::memory_order_relaxed));
 }

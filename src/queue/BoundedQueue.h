@@ -19,6 +19,12 @@
 /// value, however, must equal the specification's front: that is where
 /// the injected bug surfaces.
 ///
+/// Instrumentation is automatic: the shim locks derive the commit
+/// brackets, and the FIFO content is captured through a `TrackedMap`
+/// keyed by the element's absolute enqueue index (`q.set(i, x)` on
+/// append, `q.del(i)` on pop), which the generic Map-shape
+/// `KeyValueReplayer` consumes — the bespoke queue replayer is gone.
+///
 /// Injectable bug (stale-read delivery): poll snapshots the front value,
 /// releases the head lock, and re-acquires it to unlink — without
 /// re-reading. Two concurrent polls can both return the first element
@@ -33,24 +39,22 @@
 #ifndef VYRD_QUEUE_BOUNDEDQUEUE_H
 #define VYRD_QUEUE_BOUNDEDQUEUE_H
 
-#include "vyrd/Instrument.h"
+#include "vyrd/Auto.h"
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 namespace vyrd {
 namespace queue {
 
-/// Interned method and replay-op names for the queue.
+/// Interned method names for the queue.
 struct QVocab {
   Name Offer, Poll, Peek, Size;
-  Name OpAppend, OpPop;
   static QVocab get();
 };
 
-/// The instrumented queue.
-class BoundedQueue {
+/// The uninstrumented queue core (trailing-AutoContext protocol).
+class BoundedQueueImpl {
 public:
   struct Options {
     size_t Capacity = 32;
@@ -58,11 +62,11 @@ public:
     bool BuggyPoll = false;
   };
 
-  BoundedQueue(const Options &Opts, Hooks H);
-  ~BoundedQueue();
+  BoundedQueueImpl(const Options &Opts, AutoContext &Ctx);
+  ~BoundedQueueImpl();
 
-  BoundedQueue(const BoundedQueue &) = delete;
-  BoundedQueue &operator=(const BoundedQueue &) = delete;
+  BoundedQueueImpl(const BoundedQueueImpl &) = delete;
+  BoundedQueueImpl &operator=(const BoundedQueueImpl &) = delete;
 
   /// Enqueues \p X. \returns false when the queue is full.
   bool offer(int64_t X);
@@ -86,13 +90,45 @@ private:
   };
 
   Options Opts;
-  Hooks H;
-  QVocab V;
+  AutoContext &Ctx;
+  /// Captures the FIFO content as `q.set` / `q.del` replay records.
+  TrackedMap Q;
   Node *Head; // dummy
   Node *Tail;
-  mutable std::mutex HeadLock;
-  mutable std::mutex TailLock;
+  mutable Mutex HeadLock;
+  mutable Mutex TailLock;
   std::atomic<size_t> Count{0};
+  /// Absolute indices of the current front / next enqueue; both advance
+  /// under HeadLock (offers publish under it too), and they key the
+  /// logged FIFO content so reordered or duplicated deliveries change
+  /// the view.
+  uint64_t HeadIdx = 0;
+  uint64_t NextIdx = 0;
+};
+
+} // namespace queue
+
+template <> struct AutoMethods<queue::BoundedQueueImpl> {
+  using Q = queue::BoundedQueueImpl;
+  static constexpr auto desc(MethodTag<&Q::offer>) { return method("QOffer"); }
+  static constexpr auto desc(MethodTag<&Q::poll>) { return method("QPoll"); }
+  static constexpr auto desc(MethodTag<&Q::peek>) { return observer("QPeek"); }
+  static constexpr auto desc(MethodTag<&Q::size>) { return observer("QSize"); }
+};
+
+namespace queue {
+
+/// The instrumented queue facade.
+class BoundedQueue : public Instrumented<BoundedQueueImpl> {
+public:
+  using Options = BoundedQueueImpl::Options;
+
+  BoundedQueue(const Options &O, Hooks H) : Instrumented(H, O) {}
+
+  bool offer(int64_t X) { return invoke<&BoundedQueueImpl::offer>(X); }
+  Value poll() { return invoke<&BoundedQueueImpl::poll>(); }
+  Value peek() { return invoke<&BoundedQueueImpl::peek>(); }
+  int64_t size() { return invoke<&BoundedQueueImpl::size>(); }
 };
 
 } // namespace queue

@@ -1,8 +1,9 @@
 src/queue/CMakeFiles/vyrd_queue.dir/QueueSpec.cpp.o: \
  /root/repo/src/queue/QueueSpec.cpp /usr/include/stdc-predef.h \
  /root/repo/src/queue/QueueSpec.h /root/repo/src/queue/BoundedQueue.h \
- /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Action.h \
- /root/repo/src/vyrd/Names.h /usr/include/c++/12/cstdint \
+ /root/repo/src/vyrd/Auto.h /root/repo/src/vyrd/Instrument.h \
+ /root/repo/src/vyrd/Action.h /root/repo/src/vyrd/Names.h \
+ /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -230,6 +231,6 @@ src/queue/CMakeFiles/vyrd_queue.dir/QueueSpec.cpp.o: \
  /root/repo/src/vyrd/Replayer.h /root/repo/src/vyrd/View.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/vyrd/Spec.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/vyrd/Spec.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc

@@ -76,43 +76,6 @@ void QueueSpec::buildView(View &Out) const {
 }
 
 //===----------------------------------------------------------------------===//
-// QueueReplayer
-//===----------------------------------------------------------------------===//
-
-QueueReplayer::QueueReplayer() : V(QVocab::get()) {}
-
-void QueueReplayer::applyUpdate(const Action &A, View &ViewI) {
-  assert(A.Kind == ActionKind::AK_ReplayOp &&
-         "queue logs coarse-grained replay ops only");
-  assert(A.Args.size() == 1 && A.Args[0].isInt());
-
-  if (A.Var == V.OpAppend) {
-    Shadow.push_back(A.Args[0].asInt());
-    ViewI.add(Value(static_cast<int64_t>(NextIdx++)), A.Args[0]);
-    return;
-  }
-  if (A.Var == V.OpPop) {
-    // Mirror the implementation faithfully: whatever was physically at
-    // the front leaves (the record's value matches it in every real
-    // trace; a divergence would itself be a view mismatch).
-    if (!Shadow.empty()) {
-      ViewI.remove(Value(static_cast<int64_t>(HeadIdx++)),
-                   Value(Shadow.front()));
-      Shadow.pop_front();
-    }
-    return;
-  }
-  assert(false && "unknown queue replay op");
-}
-
-void QueueReplayer::buildView(View &Out) const {
-  Out.clear();
-  uint64_t Idx = HeadIdx;
-  for (int64_t X : Shadow)
-    Out.add(Value(static_cast<int64_t>(Idx++)), Value(X));
-}
-
-//===----------------------------------------------------------------------===//
 // Snapshot support
 //===----------------------------------------------------------------------===//
 
@@ -154,13 +117,4 @@ bool QueueSpec::loadState(ByteReader &R) {
     return false;
   Capacity = static_cast<size_t>(Cap);
   return loadIndexedDeque(R, Q, HeadIdx, NextIdx);
-}
-
-bool QueueReplayer::saveState(ByteWriter &W) const {
-  saveIndexedDeque(W, Shadow, HeadIdx, NextIdx);
-  return true;
-}
-
-bool QueueReplayer::loadState(ByteReader &R) {
-  return loadIndexedDeque(R, Shadow, HeadIdx, NextIdx);
 }

@@ -5,10 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Specification (an atomic bounded FIFO sequence) and replayer (shadow
-/// deque from `q.append` / `q.pop` records) for the BoundedQueue. FIFO
-/// order is part of the view: entries are keyed by the element's absolute
-/// enqueue index, so reordered or duplicated deliveries change the view.
+/// Specification (an atomic bounded FIFO sequence) for the BoundedQueue.
+/// FIFO order is part of the view: entries are keyed by the element's
+/// absolute enqueue index, so reordered or duplicated deliveries change
+/// the view. The implementation side is replayed by the generic Map-shape
+/// `KeyValueReplayer` over the auto-captured `q.set` / `q.del` records.
 ///
 /// Permissiveness (Sec. 3's case for refinement over atomicity): offer
 /// may fail below capacity (optimistic probe) and poll may report empty
@@ -23,7 +24,6 @@
 #define VYRD_QUEUE_QUEUESPEC_H
 
 #include "queue/BoundedQueue.h"
-#include "vyrd/Replayer.h"
 #include "vyrd/Spec.h"
 
 #include <deque>
@@ -53,23 +53,6 @@ private:
   std::deque<int64_t> Q;
   uint64_t HeadIdx = 0; // absolute index of the current front
   uint64_t NextIdx = 0; // absolute index of the next enqueue
-};
-
-/// Shadow state from q.append / q.pop records.
-class QueueReplayer : public Replayer {
-public:
-  QueueReplayer();
-
-  void applyUpdate(const Action &A, View &ViewI) override;
-  void buildView(View &Out) const override;
-  bool saveState(ByteWriter &W) const override;
-  bool loadState(ByteReader &R) override;
-
-private:
-  QVocab V;
-  std::deque<int64_t> Shadow;
-  uint64_t HeadIdx = 0;
-  uint64_t NextIdx = 0;
 };
 
 } // namespace queue

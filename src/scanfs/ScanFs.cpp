@@ -82,12 +82,13 @@ bool Directory::deserialize(const Bytes &B, Directory &Out) {
 }
 
 //===----------------------------------------------------------------------===//
-// ScanFs
+// ScanFsImpl
 //===----------------------------------------------------------------------===//
 
-ScanFs::ScanFs(cache::BoxCache &Cache, chunk::ChunkManager &CM,
-               const Options &Opts, Hooks H)
-    : Cache(Cache), CM(CM), Opts(Opts), H(H), V(FsVocab::get()) {
+ScanFsImpl::ScanFsImpl(cache::BoxCache &Cache, chunk::ChunkManager &CM,
+                       const Options &Opts, AutoContext &Ctx)
+    : Cache(Cache), CM(CM), Opts(Opts), Ctx(Ctx), V(FsVocab::get()),
+      DirLock(Ctx) {
   // Lay out the volume: one directory chunk + MaxFiles inode chunks.
   DirHandle = CM.allocate();
   writeDir(Directory(), /*CommitHere=*/false);
@@ -95,12 +96,12 @@ ScanFs::ScanFs(cache::BoxCache &Cache, chunk::ChunkManager &CM,
   InodeLocks.reserve(Opts.MaxFiles);
   for (uint32_t I = 0; I < Opts.MaxFiles; ++I) {
     InodeHandles.push_back(CM.allocate());
-    InodeLocks.push_back(std::make_unique<std::mutex>());
+    InodeLocks.push_back(std::make_unique<Mutex>(Ctx));
     writeInode(I, Inode(), /*CommitHere=*/false);
   }
 }
 
-Directory ScanFs::readDir() {
+Directory ScanFsImpl::readDir() {
   Bytes B;
   bool Ok = Cache.read(DirHandle, B);
   assert(Ok && "directory chunk missing");
@@ -111,15 +112,15 @@ Directory ScanFs::readDir() {
   return D;
 }
 
-void ScanFs::writeDir(const Directory &D, bool CommitHere) {
+void ScanFsImpl::writeDir(const Directory &D, bool CommitHere) {
   Bytes B = D.serialize();
   Cache.write(DirHandle, B);
-  H.replayOp(V.OpDir, {Value(B)});
+  Ctx.replayOp(V.OpDir, {Value(B)});
   if (CommitHere)
-    H.commit();
+    Ctx.commit();
 }
 
-Inode ScanFs::readInode(uint32_t Idx) {
+Inode ScanFsImpl::readInode(uint32_t Idx) {
   Bytes B;
   bool Ok = Cache.read(InodeHandles[Idx], B);
   assert(Ok && "inode chunk missing");
@@ -130,28 +131,28 @@ Inode ScanFs::readInode(uint32_t Idx) {
   return Ino;
 }
 
-void ScanFs::writeInode(uint32_t Idx, const Inode &Ino, bool CommitHere) {
+void ScanFsImpl::writeInode(uint32_t Idx, const Inode &Ino, bool CommitHere) {
   Bytes B = Ino.serialize();
   Cache.write(InodeHandles[Idx], B);
-  H.replayOp(V.OpInode, {Value(Idx), Value(B)});
+  Ctx.replayOp(V.OpInode, {Value(Idx), Value(B)});
   if (CommitHere)
-    H.commit();
+    Ctx.commit();
 }
 
-Bytes ScanFs::readBlock(uint64_t Handle) {
+Bytes ScanFsImpl::readBlock(uint64_t Handle) {
   Bytes B;
   if (!Cache.read(Handle, B))
     return Bytes();
   return B;
 }
 
-void ScanFs::writeBlock(uint64_t Handle, const Bytes &B) {
+void ScanFsImpl::writeBlock(uint64_t Handle, const Bytes &B) {
   Cache.write(Handle, B);
-  H.replayOp(V.OpBlock, {Value(static_cast<int64_t>(Handle)), Value(B)});
+  Ctx.replayOp(V.OpBlock, {Value(static_cast<int64_t>(Handle)), Value(B)});
 }
 
-std::vector<uint64_t> ScanFs::allocBlocks(const Bytes &Data,
-                                          std::vector<Bytes> &Chunks) {
+std::vector<uint64_t> ScanFsImpl::allocBlocks(const Bytes &Data,
+                                              std::vector<Bytes> &Chunks) {
   std::vector<uint64_t> Handles;
   for (size_t Off = 0; Off < Data.size(); Off += Opts.BlockSize) {
     size_t Len = Data.size() - Off;
@@ -163,15 +164,11 @@ std::vector<uint64_t> ScanFs::allocBlocks(const Bytes &Data,
   return Handles;
 }
 
-bool ScanFs::create(const std::string &Name) {
-  MethodScope Scope(H, V.Create, {Value(Name)});
-  std::lock_guard Dir(DirLock);
+bool ScanFsImpl::create(const std::string &Name) {
+  LockGuard Dir(DirLock);
   Directory D = readDir();
-  if (D.Entries.count(Name)) {
-    H.commit(); // failure: name exists; state unchanged
-    Scope.setReturn(Value(false));
-    return false;
-  }
+  if (D.Entries.count(Name))
+    return false; // name exists; always permitted, auto-commit
   // Find a free inode (the directory lock serializes allocation).
   uint32_t Idx = Opts.MaxFiles;
   for (uint32_t I = 0; I < Opts.MaxFiles; ++I) {
@@ -180,63 +177,52 @@ bool ScanFs::create(const std::string &Name) {
       break;
     }
   }
-  if (Idx == Opts.MaxFiles) {
-    H.commit(); // failure: no free inode
-    Scope.setReturn(Value(false));
-    return false;
-  }
-  std::lock_guard Ino(*InodeLocks[Idx]);
-  CommitBlock Block(H);
+  if (Idx == Opts.MaxFiles)
+    return false; // no free inode; auto-commit
+  LockGuard Ino(*InodeLocks[Idx]);
   Inode NewIno;
   NewIno.Used = true;
   writeInode(Idx, NewIno, /*CommitHere=*/false);
   D.Entries.emplace(Name, Idx);
   writeDir(D, /*CommitHere=*/true); // visibility: the directory entry
-  Scope.setReturn(Value(true));
   return true;
 }
 
-bool ScanFs::unlink(const std::string &Name) {
-  MethodScope Scope(H, V.Unlink, {Value(Name)});
-  std::lock_guard Dir(DirLock);
+bool ScanFsImpl::unlink(const std::string &Name) {
+  LockGuard Dir(DirLock);
   Directory D = readDir();
   auto It = D.Entries.find(Name);
   if (It == D.Entries.end()) {
-    H.commit();
-    Scope.setReturn(Value(false));
+    // A false return is only legal while the name is actually absent, so
+    // the failure commits under the directory lock.
+    Ctx.commit();
     return false;
   }
   uint32_t Idx = It->second;
-  std::lock_guard Ino(*InodeLocks[Idx]);
-  CommitBlock Block(H);
+  LockGuard Ino(*InodeLocks[Idx]);
   D.Entries.erase(It);
   writeDir(D, /*CommitHere=*/true); // visibility: entry removal
   writeInode(Idx, Inode(), /*CommitHere=*/false); // free the inode
   // (Old data blocks are orphaned: write-optimized layouts reclaim them
   // with a background scan; we simply never reuse them.)
-  Scope.setReturn(Value(true));
   return true;
 }
 
-bool ScanFs::rewriteFile(Name Method, const std::string &FileName,
-                         const Bytes &NewContents, bool) {
+bool ScanFsImpl::rewriteFile(const std::string &FileName,
+                             const Bytes &NewContents) {
   if (NewContents.size() >
-      static_cast<size_t>(Opts.MaxBlocksPerFile) * Opts.BlockSize) {
-    H.commit(); // failure: too large
-    return false;
-  }
+      static_cast<size_t>(Opts.MaxBlocksPerFile) * Opts.BlockSize)
+    return false; // too large; always permitted, auto-commit
 
   // Resolve under the directory lock, then hold the inode lock
   // (dir -> inode order, shared with all paths).
-  std::unique_lock Dir(DirLock);
+  UniqueLock Dir(DirLock);
   Directory D = readDir();
   auto It = D.Entries.find(FileName);
-  if (It == D.Entries.end()) {
-    H.commit();
-    return false;
-  }
+  if (It == D.Entries.end())
+    return false; // absent; always permitted, auto-commit
   uint32_t Idx = It->second;
-  std::unique_lock Ino(*InodeLocks[Idx]);
+  UniqueLock Ino(*InodeLocks[Idx]);
   Dir.unlock();
 
   std::vector<Bytes> Chunks;
@@ -250,51 +236,40 @@ bool ScanFs::rewriteFile(Name Method, const std::string &FileName,
     // BUG: publish the metadata first, then write the data blocks after
     // releasing the inode lock. A concurrent read resolves the new inode
     // and finds the fresh blocks empty (or half-written).
-    {
-      CommitBlock Block(H);
-      writeInode(Idx, NewIno, /*CommitHere=*/true);
-    }
+    writeInode(Idx, NewIno, /*CommitHere=*/true);
     Ino.unlock();
     Chaos::point();
     for (size_t I = 0; I < Handles.size(); ++I) {
       writeBlock(Handles[I], Chunks[I]);
       Chaos::point();
     }
-    (void)Method;
     return true;
   }
 
   // Correct order: data blocks first, inode last, all under the inode
-  // lock and in one commit block; the inode write is the commit point.
-  {
-    CommitBlock Block(H);
-    for (size_t I = 0; I < Handles.size(); ++I)
-      writeBlock(Handles[I], Chunks[I]);
-    writeInode(Idx, NewIno, /*CommitHere=*/true);
-  }
+  // lock in one commit bracket; the inode write is the commit point.
+  for (size_t I = 0; I < Handles.size(); ++I)
+    writeBlock(Handles[I], Chunks[I]);
+  writeInode(Idx, NewIno, /*CommitHere=*/true);
   Ino.unlock();
   return true;
 }
 
-bool ScanFs::write(const std::string &Name, const Bytes &Data) {
-  MethodScope Scope(H, V.Write, {Value(Name), Value(Data)});
-  bool Ok = rewriteFile(V.Write, Name, Data, true);
-  Scope.setReturn(Value(Ok));
-  return Ok;
+bool ScanFsImpl::write(const std::string &Name, const Bytes &Data) {
+  return rewriteFile(Name, Data);
 }
 
-bool ScanFs::append(const std::string &Name, const Bytes &Data) {
-  MethodScope Scope(H, V.Append, {Value(Name), Value(Data)});
+bool ScanFsImpl::append(const std::string &Name, const Bytes &Data) {
   // Snapshot the current contents under the locks, then rewrite.
   Bytes NewContents;
   bool Ok = false;
   {
-    std::unique_lock Dir(DirLock);
+    UniqueLock Dir(DirLock);
     Directory D = readDir();
     auto It = D.Entries.find(Name);
     if (It != D.Entries.end()) {
       uint32_t Idx = It->second;
-      std::unique_lock Ino(*InodeLocks[Idx]);
+      UniqueLock Ino(*InodeLocks[Idx]);
       Dir.unlock();
       Inode Cur = readInode(Idx);
       for (uint64_t BH : Cur.Blocks) {
@@ -312,10 +287,7 @@ bool ScanFs::append(const std::string &Name, const Bytes &Data) {
         NewIno.Size = NewContents.size();
         NewIno.Blocks = Handles;
         if (Opts.BuggyEagerInodePublish) {
-          {
-            CommitBlock Block(H);
-            writeInode(Idx, NewIno, /*CommitHere=*/true);
-          }
+          writeInode(Idx, NewIno, /*CommitHere=*/true);
           Ino.unlock();
           Chaos::point();
           for (size_t I = 0; I < Handles.size(); ++I) {
@@ -323,7 +295,6 @@ bool ScanFs::append(const std::string &Name, const Bytes &Data) {
             Chaos::point();
           }
         } else {
-          CommitBlock Block(H);
           for (size_t I = 0; I < Handles.size(); ++I)
             writeBlock(Handles[I], Chunks[I]);
           writeInode(Idx, NewIno, /*CommitHere=*/true);
@@ -332,23 +303,19 @@ bool ScanFs::append(const std::string &Name, const Bytes &Data) {
       }
     }
   }
-  if (!Ok)
-    H.commit(); // failure paths: state unchanged
-  Scope.setReturn(Value(Ok));
+  // Failure paths leave the state unchanged and are always permitted;
+  // the auto layer commits them.
   return Ok;
 }
 
-Value ScanFs::read(const std::string &Name) {
-  MethodScope Scope(H, V.Read, {Value(Name)});
-  std::unique_lock Dir(DirLock);
+Value ScanFsImpl::read(const std::string &Name) {
+  UniqueLock Dir(DirLock);
   Directory D = readDir();
   auto It = D.Entries.find(Name);
-  if (It == D.Entries.end()) {
-    Scope.setReturn(Value());
+  if (It == D.Entries.end())
     return Value();
-  }
   uint32_t Idx = It->second;
-  std::unique_lock Ino(*InodeLocks[Idx]);
+  UniqueLock Ino(*InodeLocks[Idx]);
   Dir.unlock();
   Inode Cur = readInode(Idx);
   Bytes Contents;
@@ -357,32 +324,23 @@ Value ScanFs::read(const std::string &Name) {
     Contents.insert(Contents.end(), Chunk.begin(), Chunk.end());
   }
   Contents.resize(Cur.Size);
-  Value Ret = Value(std::move(Contents));
-  Scope.setReturn(Ret);
-  return Ret;
+  return Value(std::move(Contents));
 }
 
-std::string ScanFs::list() {
-  MethodScope Scope(H, V.List, {});
+std::string ScanFsImpl::list() {
   std::string Out;
-  {
-    std::lock_guard Dir(DirLock);
-    Directory D = readDir();
-    for (const auto &[Name, Idx] : D.Entries) {
-      (void)Idx;
-      if (!Out.empty())
-        Out += '\n';
-      Out += Name;
-    }
+  LockGuard Dir(DirLock);
+  Directory D = readDir();
+  for (const auto &[Name, Idx] : D.Entries) {
+    (void)Idx;
+    if (!Out.empty())
+      Out += '\n';
+    Out += Name;
   }
-  Scope.setReturn(Value(Out));
   return Out;
 }
 
-int64_t ScanFs::sync() {
-  MethodScope Scope(H, V.Sync, {});
-  int64_t Flushed = static_cast<int64_t>(Cache.flush());
-  H.commit();
-  Scope.setReturn(Value(Flushed));
-  return Flushed;
+int64_t ScanFsImpl::sync() {
+  // Cache maintenance: the spec accepts any count; auto-commit suffices.
+  return static_cast<int64_t>(Cache.flush());
 }

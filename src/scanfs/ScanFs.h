@@ -17,7 +17,11 @@
 /// protect file metadata and (in the correct variant) data-block writes;
 /// lock order is directory -> inode. Readers take the same locks, so every
 /// commit record is appended while the lock that makes it visible is
-/// held.
+/// held. Both locks are `vyrd::Mutex` shims and the `ScanFs` facade
+/// dispatches through `Instrumented<T>`; a dir -> inode hand-off is one
+/// chained commit bracket. The coarse replay records (`fs.dir` /
+/// `fs.inode` / `fs.block`) stay with the bespoke ScanFsReplayer, which
+/// reconstructs files from the serialized images.
 ///
 /// Injectable bug (the classic ordering bug of write-back file systems,
 /// of the same family as the Scan cache bugs): WriteFile *publishes the
@@ -32,11 +36,10 @@
 #define VYRD_SCANFS_SCANFS_H
 
 #include "cache/BoxCache.h"
-#include "vyrd/Instrument.h"
+#include "vyrd/Auto.h"
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -72,8 +75,8 @@ struct Directory {
   static bool deserialize(const Bytes &B, Directory &Out);
 };
 
-/// The instrumented file system.
-class ScanFs {
+/// The uninstrumented file-system core (trailing-AutoContext protocol).
+class ScanFsImpl {
 public:
   struct Options {
     uint32_t MaxFiles = 32;
@@ -83,11 +86,11 @@ public:
     bool BuggyEagerInodePublish = false;
   };
 
-  ScanFs(cache::BoxCache &Cache, chunk::ChunkManager &CM,
-         const Options &Opts, Hooks H);
+  ScanFsImpl(cache::BoxCache &Cache, chunk::ChunkManager &CM,
+             const Options &Opts, AutoContext &Ctx);
 
-  ScanFs(const ScanFs &) = delete;
-  ScanFs &operator=(const ScanFs &) = delete;
+  ScanFsImpl(const ScanFsImpl &) = delete;
+  ScanFsImpl &operator=(const ScanFsImpl &) = delete;
 
   /// Creates an empty file. \returns false when the name exists or no
   /// inode is free.
@@ -130,20 +133,70 @@ private:
   std::vector<uint64_t> allocBlocks(const Bytes &Data,
                                     std::vector<Bytes> &Chunks);
   /// Shared rewrite path for write/append.
-  bool rewriteFile(Name Method, const std::string &FileName,
-                   const Bytes &NewContents, bool SizeFromArgs);
+  bool rewriteFile(const std::string &FileName, const Bytes &NewContents);
 
   cache::BoxCache &Cache;
   chunk::ChunkManager &CM;
   Options Opts;
-  Hooks H;
+  AutoContext &Ctx;
   FsVocab V;
 
   uint64_t DirHandle = 0;
   std::vector<uint64_t> InodeHandles;
 
-  std::mutex DirLock;
-  std::vector<std::unique_ptr<std::mutex>> InodeLocks;
+  Mutex DirLock;
+  std::vector<std::unique_ptr<Mutex>> InodeLocks;
+};
+
+} // namespace scanfs
+
+template <> struct AutoMethods<scanfs::ScanFsImpl> {
+  using F = scanfs::ScanFsImpl;
+  static constexpr auto desc(MethodTag<&F::create>) {
+    return method("FsCreate");
+  }
+  static constexpr auto desc(MethodTag<&F::unlink>) {
+    return method("FsUnlink");
+  }
+  static constexpr auto desc(MethodTag<&F::write>) { return method("FsWrite"); }
+  static constexpr auto desc(MethodTag<&F::append>) {
+    return method("FsAppend");
+  }
+  static constexpr auto desc(MethodTag<&F::read>) { return observer("FsRead"); }
+  static constexpr auto desc(MethodTag<&F::list>) { return observer("FsList"); }
+  static constexpr auto desc(MethodTag<&F::sync>) { return method("FsSync"); }
+};
+
+namespace scanfs {
+
+/// The instrumented file-system facade.
+class ScanFs : public Instrumented<ScanFsImpl> {
+public:
+  using Options = ScanFsImpl::Options;
+
+  ScanFs(cache::BoxCache &Cache, chunk::ChunkManager &CM, const Options &O,
+         Hooks H)
+      : Instrumented(H, Cache, CM, O) {}
+
+  bool create(const std::string &Name) {
+    return invoke<&ScanFsImpl::create>(Name);
+  }
+  bool unlink(const std::string &Name) {
+    return invoke<&ScanFsImpl::unlink>(Name);
+  }
+  bool write(const std::string &Name, const Bytes &Data) {
+    return invoke<&ScanFsImpl::write>(Name, Data);
+  }
+  bool append(const std::string &Name, const Bytes &Data) {
+    return invoke<&ScanFsImpl::append>(Name, Data);
+  }
+  Value read(const std::string &Name) { return invoke<&ScanFsImpl::read>(Name); }
+  std::string list() { return invoke<&ScanFsImpl::list>(); }
+  int64_t sync() { return invoke<&ScanFsImpl::sync>(); }
+
+  uint64_t dirHandle() const { return raw().dirHandle(); }
+  std::vector<uint64_t> inodeHandles() const { return raw().inodeHandles(); }
+  const Options &options() const { return raw().options(); }
 };
 
 } // namespace scanfs

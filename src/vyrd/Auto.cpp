@@ -1,0 +1,428 @@
+//===- Auto.cpp - Automatic instrumentation layer -------------------------===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vyrd/Auto.h"
+
+#include "vyrd/Serialize.h"
+
+#include <cassert>
+
+using namespace vyrd;
+
+//===----------------------------------------------------------------------===//
+// AutoContext: per-(thread, context) bookkeeping
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Lazy commit-bracket state. Pending means "the outermost shim lock was
+/// acquired inside a dispatch frame, but nothing was logged yet": the
+/// blockBegin is emitted just before the first write/replayOp/commit, so
+/// critical sections that log nothing leave no empty bracket pair behind
+/// (hand-over-hand reader descents would otherwise spray them).
+enum class Bracket : uint8_t { None, Pending, Active };
+
+struct CtxState {
+  const AutoContext *Ctx = nullptr;
+  uint32_t FrameDepth = 0;
+  uint32_t LockDepth = 0;
+  Bracket Blk = Bracket::None;
+  bool Committed = false;
+
+  bool idle() const {
+    return FrameDepth == 0 && LockDepth == 0 && Blk == Bracket::None;
+  }
+};
+
+/// A thread touches at most a handful of contexts at once (one per object
+/// in a layered call like ScanFs-over-Cache). The first active context
+/// occupies a dedicated thread_local slot — the dispatch hot path hits it
+/// with one TLS load and a pointer compare — and any further simultaneous
+/// contexts spill into a small vector behind a linear scan. Entries are
+/// released as soon as they go idle, which guarantees no entry outlives
+/// its context: a non-idle entry implies the thread is inside one of the
+/// context's frames or critical sections.
+thread_local CtxState PrimaryState;
+thread_local std::vector<CtxState> SpillStates;
+
+CtxState *findState(const AutoContext *Ctx) {
+  if (PrimaryState.Ctx == Ctx)
+    return &PrimaryState;
+  for (CtxState &S : SpillStates)
+    if (S.Ctx == Ctx)
+      return &S;
+  return nullptr;
+}
+
+CtxState &stateFor(const AutoContext *Ctx) {
+  if (CtxState *S = findState(Ctx))
+    return *S;
+  if (!PrimaryState.Ctx) {
+    PrimaryState.Ctx = Ctx; // idle slot: counters are at their defaults
+    return PrimaryState;
+  }
+  SpillStates.emplace_back();
+  SpillStates.back().Ctx = Ctx;
+  return SpillStates.back();
+}
+
+void gcIfIdle(CtxState *S) {
+  if (!S || !S->idle())
+    return;
+  if (S == &PrimaryState) {
+    S->Ctx = nullptr;
+    return;
+  }
+  *S = SpillStates.back();
+  SpillStates.pop_back();
+}
+
+/// Opens the deferred bracket when the first loggable record arrives
+/// inside a critical section.
+void flushBracket(const Hooks &H, CtxState *S) {
+  if (S && S->Blk == Bracket::Pending) {
+    H.blockBegin();
+    S->Blk = Bracket::Active;
+  }
+}
+
+} // namespace
+
+AutoContext::~AutoContext() {
+  assert(!findState(this) && "context destroyed while a frame or shim "
+                             "lock on this thread still uses it");
+}
+
+bool AutoContext::enterFrame() {
+  CtxState &S = stateFor(this);
+  if (S.FrameDepth++ == 0) {
+    S.Committed = false;
+    return true;
+  }
+  return false;
+}
+
+void AutoContext::exitFrame() {
+  CtxState *S = findState(this);
+  assert(S && S->FrameDepth > 0 && "unbalanced frame exit");
+  --S->FrameDepth;
+  gcIfIdle(S);
+}
+
+bool AutoContext::frameCommitted() const {
+  const CtxState *S = findState(this);
+  return S && S->Committed;
+}
+
+void AutoContext::lockAcquired() {
+  CtxState &S = stateFor(this);
+  if (S.LockDepth++ == 0 && S.FrameDepth > 0 && H.viewLevel())
+    S.Blk = Bracket::Pending;
+}
+
+void AutoContext::lockReleasing() {
+  CtxState *S = findState(this);
+  assert(S && S->LockDepth > 0 && "unbalanced shim unlock");
+  if (--S->LockDepth == 0) {
+    // Still inside the critical section: the closing bracket must be
+    // appended before the underlying mutex is released (atomicity rule).
+    if (S->Blk == Bracket::Active)
+      H.blockEnd();
+    S->Blk = Bracket::None;
+    gcIfIdle(S);
+  }
+}
+
+void AutoContext::commit() {
+  CtxState *S = findState(this);
+  flushBracket(H, S);
+  H.commit();
+  if (S)
+    S->Committed = true;
+}
+
+void AutoContext::write(Name Var, Value V) {
+  if (!H.viewLevel())
+    return;
+  flushBracket(H, findState(this));
+  H.write(Var, std::move(V));
+}
+
+void AutoContext::replayOp(Name Op, ValueList Payload) {
+  if (!H.viewLevel())
+    return;
+  flushBracket(H, findState(this));
+  H.replayOp(Op, std::move(Payload));
+}
+
+//===----------------------------------------------------------------------===//
+// KeyValueReplayer
+//===----------------------------------------------------------------------===//
+
+KeyValueReplayer::KeyValueReplayer(Shape Mode, std::string Prefix)
+    : Mode(Mode), Prefix(std::move(Prefix)) {
+  if (Mode == Shape::Map) {
+    SetOp = internName(this->Prefix + ".set");
+    DelOp = internName(this->Prefix + ".del");
+  }
+}
+
+const KeyValueReplayer::ParsedVar &KeyValueReplayer::parse(Name Var) {
+  auto It = VarCache.find(Var.id());
+  if (It != VarCache.end())
+    return It->second;
+
+  ParsedVar P;
+  std::string_view S = Var.str();
+  // Grammar: "<prefix>.len" | "<prefix>[<key>]" optionally followed by
+  // ".elt" / ".valid" in the GuardedBag shape.
+  if (S.size() > Prefix.size() && S.substr(0, Prefix.size()) == Prefix) {
+    std::string_view Rest = S.substr(Prefix.size());
+    if (Rest == ".len") {
+      P.VarRole = ParsedVar::R_Len;
+    } else if (Rest.size() >= 3 && Rest.front() == '[') {
+      size_t Close = Rest.find(']');
+      if (Close != std::string_view::npos && Close > 1) {
+        std::string_view KeyStr = Rest.substr(1, Close - 1);
+        std::string_view Suffix = Rest.substr(Close + 1);
+        bool Neg = !KeyStr.empty() && KeyStr.front() == '-';
+        std::string_view Digits = Neg ? KeyStr.substr(1) : KeyStr;
+        bool AllDigits = !Digits.empty();
+        int64_t Idx = 0;
+        for (char C : Digits) {
+          if (C < '0' || C > '9') {
+            AllDigits = false;
+            break;
+          }
+          Idx = Idx * 10 + (C - '0');
+        }
+        if (Neg)
+          Idx = -Idx;
+        if (Suffix.empty()) {
+          P.VarRole = ParsedVar::R_Elem;
+          P.Index = Idx;
+          P.Key = AllDigits ? Value(Idx) : Value(std::string(KeyStr));
+        } else if (Suffix == ".elt" && AllDigits && Idx >= 0) {
+          P.VarRole = ParsedVar::R_Elt;
+          P.Index = Idx;
+        } else if (Suffix == ".valid" && AllDigits && Idx >= 0) {
+          P.VarRole = ParsedVar::R_Valid;
+          P.Index = Idx;
+        }
+      }
+    }
+  }
+  return VarCache.emplace(Var.id(), std::move(P)).first->second;
+}
+
+void KeyValueReplayer::applyMapSet(const Value &K, const Value &V,
+                                   View &ViewI) {
+  auto It = MapShadow.find(K);
+  if (It != MapShadow.end()) {
+    if (It->second == V)
+      return;
+    ViewI.remove(K, It->second);
+    if (V.isNull()) {
+      MapShadow.erase(It);
+      return;
+    }
+    ViewI.add(K, V);
+    It->second = V;
+    return;
+  }
+  if (V.isNull())
+    return;
+  ViewI.add(K, V);
+  MapShadow.emplace(K, V);
+}
+
+void KeyValueReplayer::applyMapDel(const Value &K, View &ViewI) {
+  auto It = MapShadow.find(K);
+  if (It == MapShadow.end())
+    return;
+  ViewI.remove(K, It->second);
+  MapShadow.erase(It);
+}
+
+void KeyValueReplayer::applyUpdate(const Action &A, View &ViewI) {
+  if (A.Kind == ActionKind::AK_ReplayOp) {
+    assert(Mode == Shape::Map && "replay ops only feed the Map shape");
+    if (A.Var == SetOp) {
+      assert(A.Args.size() == 2 && "<prefix>.set carries (key, value)");
+      applyMapSet(A.Args[0], A.Args[1], ViewI);
+    } else if (A.Var == DelOp) {
+      assert(A.Args.size() == 1 && "<prefix>.del carries (key)");
+      applyMapDel(A.Args[0], ViewI);
+    } else {
+      assert(false && "unknown replay op for this prefix");
+    }
+    return;
+  }
+
+  assert(A.Kind == ActionKind::AK_Write && "unexpected record kind");
+  const ParsedVar &P = parse(A.Var);
+  switch (P.VarRole) {
+  case ParsedVar::R_Elem: {
+    if (Mode == Shape::Map) {
+      applyMapSet(P.Key, A.Ret, ViewI);
+      return;
+    }
+    assert(Mode == Shape::Prefix && "indexed write outside Map/Prefix");
+    size_t I = static_cast<size_t>(P.Index);
+    if (I >= Storage.size())
+      Storage.resize(I + 1);
+    if (I < Len && Storage[I] != A.Ret) {
+      ViewI.remove(Value(P.Index), Storage[I]);
+      ViewI.add(Value(P.Index), A.Ret);
+    }
+    Storage[I] = A.Ret;
+    return;
+  }
+  case ParsedVar::R_Len: {
+    assert(Mode == Shape::Prefix && "length write outside Prefix shape");
+    size_t NewLen = static_cast<size_t>(A.Ret.asInt());
+    if (NewLen > Storage.size())
+      Storage.resize(NewLen);
+    for (size_t I = NewLen; I < Len; ++I)
+      ViewI.remove(Value(static_cast<int64_t>(I)), Storage[I]);
+    for (size_t I = Len; I < NewLen; ++I)
+      ViewI.add(Value(static_cast<int64_t>(I)), Storage[I]);
+    Len = NewLen;
+    return;
+  }
+  case ParsedVar::R_Elt: {
+    assert(Mode == Shape::GuardedBag && "elt write outside GuardedBag");
+    size_t I = static_cast<size_t>(P.Index);
+    if (I >= Slots.size())
+      Slots.resize(I + 1);
+    SlotShadow &S = Slots[I];
+    // Only affects the view when the slot is published — which a correct
+    // implementation never does; the replay mirrors buggy interleavings
+    // faithfully regardless.
+    if (S.Valid && S.Elt != A.Ret) {
+      ViewI.remove(S.Elt, Value());
+      ViewI.add(A.Ret, Value());
+    }
+    S.Elt = A.Ret;
+    return;
+  }
+  case ParsedVar::R_Valid: {
+    assert(Mode == Shape::GuardedBag && "valid write outside GuardedBag");
+    size_t I = static_cast<size_t>(P.Index);
+    if (I >= Slots.size())
+      Slots.resize(I + 1);
+    SlotShadow &S = Slots[I];
+    bool NewValid = A.Ret.isBool() && A.Ret.asBool();
+    if (NewValid == S.Valid)
+      return;
+    if (NewValid)
+      ViewI.add(S.Elt, Value());
+    else
+      ViewI.remove(S.Elt, Value());
+    S.Valid = NewValid;
+    return;
+  }
+  case ParsedVar::R_Unknown:
+    assert(false && "write to a variable outside this replayer's grammar");
+    return;
+  }
+}
+
+void KeyValueReplayer::buildView(View &Out) const {
+  Out.clear();
+  switch (Mode) {
+  case Shape::Map:
+    for (const auto &[K, V] : MapShadow)
+      Out.add(K, V);
+    return;
+  case Shape::GuardedBag:
+    for (const SlotShadow &S : Slots)
+      if (S.Valid)
+        Out.add(S.Elt, Value());
+    return;
+  case Shape::Prefix:
+    for (size_t I = 0; I < Len; ++I)
+      Out.add(Value(static_cast<int64_t>(I)), Storage[I]);
+    return;
+  }
+}
+
+bool KeyValueReplayer::saveState(ByteWriter &W) const {
+  // VarCache is a parse cache over interned ids, not state: it rebuilds
+  // lazily, so only the shadow persists (canonical, no interned ids).
+  W.u8(static_cast<uint8_t>(Mode));
+  switch (Mode) {
+  case Shape::Map:
+    W.varint(MapShadow.size());
+    for (const auto &[K, V] : MapShadow) {
+      writeValue(W, K);
+      writeValue(W, V);
+    }
+    return true;
+  case Shape::GuardedBag:
+    W.varint(Slots.size());
+    for (const SlotShadow &S : Slots) {
+      writeValue(W, S.Elt);
+      W.u8(S.Valid ? 1 : 0);
+    }
+    return true;
+  case Shape::Prefix:
+    W.varint(Len);
+    W.varint(Storage.size());
+    for (const Value &V : Storage)
+      writeValue(W, V);
+    return true;
+  }
+  return false;
+}
+
+bool KeyValueReplayer::loadState(ByteReader &R) {
+  constexpr uint64_t MaxElems = 1u << 24;
+  if (R.u8() != static_cast<uint8_t>(Mode) || !R.ok())
+    return false;
+  MapShadow.clear();
+  Slots.clear();
+  Storage.clear();
+  Len = 0;
+  switch (Mode) {
+  case Shape::Map: {
+    uint64_t N = R.varint();
+    if (!R.ok() || N > MaxElems)
+      return false;
+    for (uint64_t I = 0; I < N; ++I) {
+      Value K = readValue(R);
+      Value V = readValue(R);
+      if (!R.ok())
+        return false;
+      MapShadow.emplace(std::move(K), std::move(V));
+    }
+    return R.ok();
+  }
+  case Shape::GuardedBag: {
+    uint64_t N = R.varint();
+    if (!R.ok() || N > MaxElems)
+      return false;
+    Slots.assign(N, SlotShadow());
+    for (uint64_t I = 0; I < N; ++I) {
+      Slots[I].Elt = readValue(R);
+      Slots[I].Valid = R.u8() != 0;
+    }
+    return R.ok();
+  }
+  case Shape::Prefix: {
+    uint64_t NewLen = R.varint();
+    uint64_t N = R.varint();
+    if (!R.ok() || N > MaxElems || NewLen > N)
+      return false;
+    Storage.assign(N, Value());
+    for (uint64_t I = 0; I < N; ++I)
+      Storage[I] = readValue(R);
+    Len = static_cast<size_t>(NewLen);
+    return R.ok();
+  }
+  }
+  return false;
+}

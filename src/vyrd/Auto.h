@@ -1,0 +1,555 @@
+//===- Auto.h - Automatic instrumentation layer -----------------*- C++ -*-===//
+//
+// Part of the VYRD reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The automatic instrumentation layer: the paper describes its
+/// instrumentation (Sec. 6.1-6.2) as mechanical, and this layer absorbs the
+/// mechanical parts so a data structure carries no hand-written hook calls
+/// beyond its commit points.
+///
+/// Three cooperating pieces:
+///
+///  * `Instrumented<T>` — a wrapper fronting T's public methods through a
+///    declarative method table (`AutoMethods<T>`): dispatching through
+///    `invoke<&T::method>(...)` emits the call record (arguments encoded
+///    via `Codec`), runs the method, auto-commits mutators whose body did
+///    not reach an explicit commit point (failure paths), and emits the
+///    return record.
+///
+///  * A lock shim — `vyrd::Mutex` / `vyrd::SharedMutex` with the standard
+///    Lockable interface (so `std::lock_guard` / `std::unique_lock` work
+///    unchanged) that derives commit-block brackets from the lock
+///    discipline itself: the outermost shim lock a dispatching thread
+///    holds opens a commit block, releasing the last one closes it, and
+///    `Chaos::point()` fires at every acquire and release. Brackets are
+///    lazy: `blockBegin` is emitted just before the first record inside
+///    the critical section, so lock regions that log nothing (pure
+///    reader sections) leave no trace in the log.
+///
+///  * `Tracked<V>` / `TrackedMap` write-capturing fields plus the generic
+///    `KeyValueReplayer`, which reconstructs shadow state from the
+///    auto-emitted records — a new structure whose state fits one of the
+///    supported shapes needs only a Spec, not a bespoke replayer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VYRD_AUTO_H
+#define VYRD_AUTO_H
+
+#include "vyrd/Instrument.h"
+#include "vyrd/Replayer.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace vyrd {
+
+//===----------------------------------------------------------------------===//
+// Codec: Value encoding for method arguments, returns and tracked fields
+//===----------------------------------------------------------------------===//
+
+/// Maps a C++ type to its logged Value representation. Specialize for
+/// custom types; the declarative method table falls back to these for any
+/// argument or return a desc() entry does not encode explicitly.
+template <typename V> struct Codec;
+
+template <> struct Codec<bool> {
+  static Value encode(bool B) { return Value(B); }
+};
+template <> struct Codec<int64_t> {
+  static Value encode(int64_t I) { return Value(I); }
+};
+template <> struct Codec<uint64_t> {
+  static Value encode(uint64_t I) { return Value(I); }
+};
+template <> struct Codec<int> {
+  static Value encode(int I) { return Value(I); }
+};
+template <> struct Codec<unsigned> {
+  static Value encode(unsigned I) { return Value(I); }
+};
+template <> struct Codec<std::string> {
+  static Value encode(const std::string &S) { return Value(S); }
+};
+template <> struct Codec<Value> {
+  static Value encode(const Value &V) { return V; }
+};
+template <> struct Codec<std::vector<uint8_t>> {
+  static Value encode(const std::vector<uint8_t> &B) {
+    return bytesValue(B.data(), B.size());
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// AutoContext: per-object instrumentation state
+//===----------------------------------------------------------------------===//
+
+/// The per-object hub the auto layer routes every record through. It wraps
+/// the object's `Hooks` and keeps the per-thread bookkeeping (dispatch
+/// frame depth, shim-lock depth, lazy commit-bracket state) that turns
+/// lock acquire/release into commit-block brackets.
+///
+/// Identified by address: not copyable, not movable. Workload classes hold
+/// a reference and call `commit()` at their commit points plus
+/// `write()`/`replayOp()` where a `Tracked` field is not a natural fit.
+class AutoContext {
+public:
+  AutoContext() = default;
+  explicit AutoContext(Hooks H) : H(H) {}
+  ~AutoContext();
+
+  AutoContext(const AutoContext &) = delete;
+  AutoContext &operator=(const AutoContext &) = delete;
+
+  const Hooks &hooks() const { return H; }
+  void setHooks(Hooks NH) { H = NH; }
+
+  /// The commit point (the one hand-placed annotation the paper's method
+  /// requires, Sec. 4.1). Opens the pending commit bracket, if any.
+  void commit();
+
+  /// Logs `Var := V` (view level only), inside the current commit bracket
+  /// when a shim lock is held.
+  void write(Name Var, Value V);
+
+  /// Logs a coarse-grained replay record (Sec. 6.2), inside the current
+  /// commit bracket when a shim lock is held.
+  void replayOp(Name Op, ValueList Payload);
+
+  /// RAII dispatch frame pushed by Instrumented<T>::invoke. Only the
+  /// outermost frame of a (thread, context) pair instruments; shim locks
+  /// emit brackets only while a frame is open, so locks taken outside any
+  /// dispatched method (constructors, test-only snapshots) stay silent.
+  class FrameGuard {
+  public:
+    explicit FrameGuard(AutoContext &C) : C(C), Outer(C.enterFrame()) {}
+    ~FrameGuard() { C.exitFrame(); }
+
+    FrameGuard(const FrameGuard &) = delete;
+    FrameGuard &operator=(const FrameGuard &) = delete;
+
+    /// Whether this frame is the outermost one (and must instrument).
+    bool outermost() const { return Outer; }
+    /// Whether a commit was emitted since this outermost frame opened.
+    bool committed() const { return C.frameCommitted(); }
+
+  private:
+    AutoContext &C;
+    bool Outer;
+  };
+
+private:
+  friend class Mutex;
+  friend class SharedMutex;
+
+  bool enterFrame();
+  void exitFrame();
+  bool frameCommitted() const;
+  /// Called by the shim with the lock held, just after acquiring.
+  void lockAcquired();
+  /// Called by the shim with the lock still held, just before releasing —
+  /// the closing bracket must be appended inside the critical section.
+  void lockReleasing();
+
+  Hooks H;
+};
+
+//===----------------------------------------------------------------------===//
+// Lock shim
+//===----------------------------------------------------------------------===//
+
+/// Drop-in `std::mutex` replacement bound to an AutoContext. Satisfies
+/// Lockable, so `std::lock_guard<vyrd::Mutex>` / `std::unique_lock<...>`
+/// and hand-over-hand `.lock()`/`.unlock()` all work unchanged. Each
+/// acquire/release is a chaos point; the outermost acquire inside a
+/// dispatch frame opens the commit bracket, the final release closes it.
+class Mutex {
+public:
+  explicit Mutex(AutoContext &C) : Ctx(&C) {}
+
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() {
+    Chaos::point();
+    M.lock();
+    Ctx->lockAcquired();
+  }
+  bool try_lock() {
+    Chaos::point();
+    if (!M.try_lock())
+      return false;
+    Ctx->lockAcquired();
+    return true;
+  }
+  void unlock() {
+    Ctx->lockReleasing();
+    M.unlock();
+    Chaos::point();
+  }
+
+private:
+  AutoContext *Ctx;
+  std::mutex M;
+};
+
+/// Drop-in `std::shared_mutex` replacement. Exclusive acquisition brackets
+/// like Mutex; shared acquisition only injects chaos points (readers log
+/// nothing, so they need no commit bracket).
+class SharedMutex {
+public:
+  explicit SharedMutex(AutoContext &C) : Ctx(&C) {}
+
+  SharedMutex(const SharedMutex &) = delete;
+  SharedMutex &operator=(const SharedMutex &) = delete;
+
+  void lock() {
+    Chaos::point();
+    M.lock();
+    Ctx->lockAcquired();
+  }
+  bool try_lock() {
+    Chaos::point();
+    if (!M.try_lock())
+      return false;
+    Ctx->lockAcquired();
+    return true;
+  }
+  void unlock() {
+    Ctx->lockReleasing();
+    M.unlock();
+    Chaos::point();
+  }
+
+  void lock_shared() {
+    Chaos::point();
+    M.lock_shared();
+  }
+  void unlock_shared() {
+    M.unlock_shared();
+    Chaos::point();
+  }
+
+private:
+  AutoContext *Ctx;
+  std::shared_mutex M;
+};
+
+/// The `std::lock_guard` spelling for the shim.
+using LockGuard = std::lock_guard<Mutex>;
+using UniqueLock = std::unique_lock<Mutex>;
+
+//===----------------------------------------------------------------------===//
+// Declarative method table
+//===----------------------------------------------------------------------===//
+
+/// Tag carrying a member-function pointer as a type, so the AutoMethods
+/// table is an overload set resolved at compile time.
+template <auto F> struct MethodTag {};
+
+/// Marker: "use the Codec default" for argument / return encoding.
+struct NoEncode {};
+
+/// One method-table entry: the logged name, the observer flag (observers
+/// never commit and are validated against every interleaving of the
+/// specification), the minimum log level at which the method is recorded,
+/// and optional custom argument/return encoders for signatures the Codec
+/// defaults cannot express (out-parameters, callback arguments).
+template <typename ArgsE = NoEncode, typename RetE = NoEncode>
+struct MethodDesc {
+  const char *MethodName = "";
+  bool IsObserver = false;
+  LogLevel MinLevel = LogLevel::LL_IO;
+  ArgsE ArgsEncode{};
+  RetE RetEncode{};
+
+  constexpr MethodDesc level(LogLevel L) const {
+    MethodDesc D = *this;
+    D.MinLevel = L;
+    return D;
+  }
+  /// Custom argument encoder: `ValueList(const As &...)`, evaluated
+  /// before the method runs.
+  template <typename E> constexpr MethodDesc<E, RetE> args(E Enc) const {
+    return {MethodName, IsObserver, MinLevel, Enc, RetEncode};
+  }
+  /// Custom return encoder: `Value(const Ret &, const As &...)` — or
+  /// `Value(const As &...)` for void methods — evaluated after the method
+  /// runs, so it can encode out-parameters.
+  template <typename E> constexpr MethodDesc<ArgsE, E> ret(E Enc) const {
+    return {MethodName, IsObserver, MinLevel, ArgsEncode, Enc};
+  }
+};
+
+/// Table-entry factories: `method("Insert")` for mutators,
+/// `observer("LookUp")` for observers.
+constexpr MethodDesc<> method(const char *N) { return {N, false}; }
+constexpr MethodDesc<> observer(const char *N) { return {N, true}; }
+
+/// The declarative method table: specialize per wrapped type with one
+/// static `desc()` overload per instrumented method, e.g.
+///
+/// \code
+///   template <> struct vyrd::AutoMethods<ArrayMultiset> {
+///     static constexpr auto desc(MethodTag<&ArrayMultiset::insert>) {
+///       return method("Insert");
+///     }
+///     static constexpr auto desc(MethodTag<&ArrayMultiset::lookUp>) {
+///       return observer("LookUp");
+///     }
+///   };
+/// \endcode
+template <typename T> struct AutoMethods;
+
+//===----------------------------------------------------------------------===//
+// Instrumented<T>
+//===----------------------------------------------------------------------===//
+
+/// Owns an AutoContext and a T constructed against it; T's constructor
+/// takes the context as its trailing parameter. Dispatch through
+/// `invoke<&T::method>(...)`; direct access via `raw()` bypasses
+/// instrumentation (test-only snapshots, uninstrumented storage stacks).
+template <typename T> class Instrumented {
+public:
+  template <typename... CtorArgs>
+  explicit Instrumented(Hooks H, CtorArgs &&...A)
+      : Ctx(H), Impl(std::forward<CtorArgs>(A)..., Ctx) {}
+
+  T &raw() { return Impl; }
+  const T &raw() const { return Impl; }
+  AutoContext &context() { return Ctx; }
+
+  /// Dispatches `(impl.*F)(A...)` with automatic instrumentation: call
+  /// record (encoded arguments) on entry, auto-commit for mutator
+  /// executions whose body reached no explicit commit point, return
+  /// record (encoded result) on exit. Re-entrant dispatches on the same
+  /// thread run uninstrumented (the checker permits no nested
+  /// executions), as do dispatches below the entry's minimum log level.
+  template <auto F, typename... As> auto invoke(As &&...A) {
+    static const auto D = AutoMethods<T>::desc(MethodTag<F>{});
+    using Ret = decltype((Impl.*F)(std::forward<As>(A)...));
+    const Hooks &H = Ctx.hooks();
+    if (!H.enabled() ||
+        static_cast<uint8_t>(H.level()) < static_cast<uint8_t>(D.MinLevel)) {
+      Chaos::point();
+      if constexpr (std::is_void_v<Ret>) {
+        (Impl.*F)(std::forward<As>(A)...);
+        Chaos::point();
+        return;
+      } else {
+        Ret R = (Impl.*F)(std::forward<As>(A)...);
+        Chaos::point();
+        return R;
+      }
+    }
+
+    AutoContext::FrameGuard Frame(Ctx);
+    if (!Frame.outermost())
+      return (Impl.*F)(std::forward<As>(A)...);
+
+    static const Name MName = internName(D.MethodName);
+    H.call(MName, encodeArgs(D, A...));
+    if constexpr (std::is_void_v<Ret>) {
+      (Impl.*F)(std::forward<As>(A)...);
+      if (!D.IsObserver && !Frame.committed())
+        Ctx.commit();
+      H.ret(MName, encodeVoidRet(D, A...));
+    } else {
+      Ret R = (Impl.*F)(std::forward<As>(A)...);
+      if (!D.IsObserver && !Frame.committed())
+        Ctx.commit();
+      H.ret(MName, encodeRet(D, R, A...));
+      return R;
+    }
+  }
+
+private:
+  template <typename D, typename... As>
+  static ValueList encodeArgs(const D &Desc, const As &...A) {
+    if constexpr (std::is_same_v<decltype(Desc.ArgsEncode), NoEncode>) {
+      (void)Desc;
+      ValueList L;
+      L.reserve(sizeof...(As));
+      (L.push_back(Codec<std::decay_t<As>>::encode(A)), ...);
+      return L;
+    } else {
+      return Desc.ArgsEncode(A...);
+    }
+  }
+
+  template <typename D, typename R, typename... As>
+  static Value encodeRet(const D &Desc, const R &Ret, const As &...A) {
+    if constexpr (std::is_same_v<decltype(Desc.RetEncode), NoEncode>) {
+      (void)Desc;
+      ((void)A, ...);
+      return Codec<std::decay_t<R>>::encode(Ret);
+    } else {
+      return Desc.RetEncode(Ret, A...);
+    }
+  }
+
+  template <typename D, typename... As>
+  static Value encodeVoidRet(const D &Desc, const As &...A) {
+    if constexpr (std::is_same_v<decltype(Desc.RetEncode), NoEncode>) {
+      (void)Desc;
+      ((void)A, ...);
+      return Value();
+    } else {
+      return Desc.RetEncode(A...);
+    }
+  }
+
+  AutoContext Ctx;
+  T Impl;
+};
+
+//===----------------------------------------------------------------------===//
+// Tracked fields
+//===----------------------------------------------------------------------===//
+
+/// A named field whose assignments are captured as `write` records
+/// through the owning context (and therefore land inside the commit
+/// bracket of whatever shim lock protects them). Reads are plain.
+template <typename V> class Tracked {
+public:
+  /// Optional custom encoder (sentinel values, e.g. "empty slot" -> null).
+  using Encoder = Value (*)(const V &);
+
+  Tracked() = default;
+  Tracked(AutoContext &C, Name Var, V Init = V(), Encoder E = nullptr)
+      : Ctx(&C), Var(Var), Val(std::move(Init)), Enc(E) {}
+
+  Tracked &operator=(const V &NV) {
+    set(NV);
+    return *this;
+  }
+
+  void set(const V &NV) {
+    Val = NV;
+    if (Ctx)
+      Ctx->write(Var, Enc ? Enc(Val) : Codec<V>::encode(Val));
+  }
+
+  const V &get() const { return Val; }
+  operator const V &() const { return Val; }
+
+private:
+  AutoContext *Ctx = nullptr;
+  Name Var;
+  V Val{};
+  Encoder Enc = nullptr;
+};
+
+/// Write capture for unbounded key domains, where one interned name per
+/// key would grow the global intern table without bound: emits canonical
+/// `<prefix>.set(key, value)` / `<prefix>.del(key)` replay records that
+/// `KeyValueReplayer` (Map shape) consumes. The map holds no state — it
+/// is a capture channel for state the structure already stores.
+class TrackedMap {
+public:
+  TrackedMap() = default;
+  TrackedMap(AutoContext &C, std::string_view Prefix)
+      : Ctx(&C), SetOp(internName(std::string(Prefix) + ".set")),
+        DelOp(internName(std::string(Prefix) + ".del")) {}
+
+  void set(Value K, Value V) const {
+    if (Ctx)
+      Ctx->replayOp(SetOp, {std::move(K), std::move(V)});
+  }
+  void del(Value K) const {
+    if (Ctx)
+      Ctx->replayOp(DelOp, {std::move(K)});
+  }
+
+private:
+  AutoContext *Ctx = nullptr;
+  Name SetOp, DelOp;
+};
+
+//===----------------------------------------------------------------------===//
+// KeyValueReplayer
+//===----------------------------------------------------------------------===//
+
+/// Generic replayer over the auto-emitted records. Three state shapes
+/// cover the common cases (see docs/INSTRUMENTATION.md for when a custom
+/// replayer is still needed):
+///
+///  * Map — writes `<p>[k] := v` (null = absent) and/or `<p>.set` /
+///    `<p>.del` replay ops; the view holds one (key, value) entry per
+///    present key.
+///  * GuardedBag — writes `<p>[i].elt := v` / `<p>[i].valid := bool`; the
+///    view holds (element, null) for every valid slot. Mirrors buggy
+///    overwrites faithfully: an element write under a published slot
+///    swaps the view entry.
+///  * Prefix — writes `<p>[i] := v` / `<p>.len := n`; the view holds
+///    (i, v) for every i below the logical length (vector semantics).
+class KeyValueReplayer : public Replayer {
+public:
+  enum class Shape : uint8_t { Map = 0, GuardedBag = 1, Prefix = 2 };
+
+  KeyValueReplayer(Shape Mode, std::string Prefix);
+
+  /// Wiring-site shorthands: `KeyValueReplayer::map("q")` etc.
+  static std::unique_ptr<KeyValueReplayer> map(std::string Prefix) {
+    return std::make_unique<KeyValueReplayer>(Shape::Map, std::move(Prefix));
+  }
+  static std::unique_ptr<KeyValueReplayer> guardedBag(std::string Prefix) {
+    return std::make_unique<KeyValueReplayer>(Shape::GuardedBag,
+                                              std::move(Prefix));
+  }
+  static std::unique_ptr<KeyValueReplayer> prefixVec(std::string Prefix) {
+    return std::make_unique<KeyValueReplayer>(Shape::Prefix,
+                                              std::move(Prefix));
+  }
+
+  void applyUpdate(const Action &A, View &ViewI) override;
+  void buildView(View &Out) const override;
+  bool saveState(ByteWriter &W) const override;
+  bool loadState(ByteReader &R) override;
+
+private:
+  struct ParsedVar {
+    enum Role : uint8_t { R_Elem, R_Elt, R_Valid, R_Len, R_Unknown };
+    Role VarRole = R_Unknown;
+    int64_t Index = 0; // R_Elt / R_Valid / R_Elem-with-int-key
+    Value Key;         // R_Elem (Map shape)
+  };
+  struct SlotShadow {
+    Value Elt; // null when empty
+    bool Valid = false;
+  };
+
+  const ParsedVar &parse(Name Var);
+  void applyMapSet(const Value &K, const Value &V, View &ViewI);
+  void applyMapDel(const Value &K, View &ViewI);
+
+  Shape Mode;
+  std::string Prefix;
+  Name SetOp, DelOp;
+
+  /// Parse cache: interned name id -> parsed role/key (a vocab-derived
+  /// lookup, rebuilt lazily — never persisted).
+  std::unordered_map<uint32_t, ParsedVar> VarCache;
+
+  // Map shape: present keys only.
+  std::map<Value, Value> MapShadow;
+  // GuardedBag shape: slots, grown on first touch.
+  std::vector<SlotShadow> Slots;
+  // Prefix shape.
+  std::vector<Value> Storage;
+  size_t Len = 0;
+};
+
+} // namespace vyrd
+
+#endif // VYRD_AUTO_H

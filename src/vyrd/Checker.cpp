@@ -42,6 +42,20 @@ const char *vyrd::violationKindName(ViolationKind K) {
   return "?";
 }
 
+void vyrd::sortViolationsBySeq(std::vector<Violation> &Vs) {
+  std::vector<size_t> Order(Vs.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&Vs](size_t A, size_t B) {
+    return Vs[A].Seq != Vs[B].Seq ? Vs[A].Seq < Vs[B].Seq : A < B;
+  });
+  std::vector<Violation> Sorted;
+  Sorted.reserve(Vs.size());
+  for (size_t I : Order)
+    Sorted.push_back(std::move(Vs[I]));
+  Vs = std::move(Sorted);
+}
+
 std::string Violation::str() const {
   std::string Out = std::string(violationKindName(Kind)) + " at #" +
                     std::to_string(Seq) + " t" + std::to_string(Tid);

@@ -307,9 +307,7 @@ EpochReport vyrd::epochCheck(const std::string &LogPath, size_t NumObjects,
                                 OR.Violations.begin(), OR.Violations.end());
     ER.Report.Objects.push_back(std::move(OR));
   }
-  std::stable_sort(
-      ER.Report.Violations.begin(), ER.Report.Violations.end(),
-      [](const Violation &A, const Violation &B) { return A.Seq < B.Seq; });
+  sortViolationsBySeq(ER.Report.Violations);
   ER.Report.LogRecords = SeqHwm;
   // Restart lag: how far behind the chain's end the cold restart began.
   if (Opts.Telem && Epochs[0].Snap)

@@ -48,24 +48,31 @@ enum class LogLevel : uint8_t {
 };
 
 /// Returns the calling thread's dense VYRD thread id (assigned on first
-/// use, starting at 0).
+/// use, starting at 0). Ids are recycled: when a thread exits, its id
+/// returns to a free-list and the next new thread adopts it, so everything
+/// indexed by ThreadId (checker open-exec tables, BufferedLog shards)
+/// stays bounded by the peak live-thread count under thread churn.
 ThreadId currentTid();
 
 /// Seeded random-yield injector. Global, cheap, disabled by default.
 class Chaos {
 public:
   /// Enables chaos with yield probability 1/\p Inverse at every chaos
-  /// point. \p Seed makes runs reproducible per thread.
+  /// point. \p Seed makes runs reproducible per thread: every enable()
+  /// starts a fresh session, and each thread's yield-decision stream is a
+  /// pure function of (Seed, its ThreadId) from the session start.
   static void enable(uint32_t Inverse, uint64_t Seed);
   static void disable();
 
   /// A potential preemption point; implementations sprinkle these inside
-  /// critical regions and races.
-  static void point();
+  /// critical regions and races. \returns whether this point yielded, so
+  /// tests can pin the decision sequence.
+  static bool point();
 
 private:
   static std::atomic<uint32_t> InverseProb;
   static std::atomic<uint64_t> BaseSeed;
+  static std::atomic<uint64_t> Session;
 };
 
 /// The hook object shared by all threads operating on one verified data

@@ -934,9 +934,7 @@ VerifierReport Verifier::finish() {
     R.Objects.push_back(std::move(OR));
   }
   // Merge the per-object violation lists back into witness order.
-  std::stable_sort(
-      R.Violations.begin(), R.Violations.end(),
-      [](const Violation &A, const Violation &B) { return A.Seq < B.Seq; });
+  sortViolationsBySeq(R.Violations);
   if (UnroutedRecords) {
     Violation V;
     V.Kind = ViolationKind::VK_Instrumentation;

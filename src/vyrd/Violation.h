@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace vyrd {
 
@@ -66,6 +67,13 @@ struct Violation {
 
   std::string str() const;
 };
+
+/// Sorts \p Vs into witness order (ascending Seq), keeping the relative
+/// order of equal-Seq entries. Equivalent to std::stable_sort, but uses a
+/// decorated std::sort so no temporary buffer is allocated (stable_sort's
+/// buffer takes an allocation path that ASan flags as an alloc/dealloc
+/// mismatch when the process mixes C++ runtimes).
+void sortViolationsBySeq(std::vector<Violation> &Vs);
 
 } // namespace vyrd
 

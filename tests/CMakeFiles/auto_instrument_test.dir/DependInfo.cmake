@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AutoInstrumentTest.cpp" "tests/CMakeFiles/auto_instrument_test.dir/AutoInstrumentTest.cpp.o" "gcc" "tests/CMakeFiles/auto_instrument_test.dir/AutoInstrumentTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/harness/CMakeFiles/vyrd_harness.dir/DependInfo.cmake"
+  "/root/repo/src/scanfs/CMakeFiles/vyrd_scanfs.dir/DependInfo.cmake"
+  "/root/repo/src/queue/CMakeFiles/vyrd_queue.dir/DependInfo.cmake"
+  "/root/repo/src/multiset/CMakeFiles/vyrd_multiset.dir/DependInfo.cmake"
+  "/root/repo/src/bst/CMakeFiles/vyrd_bst.dir/DependInfo.cmake"
+  "/root/repo/src/javalib/CMakeFiles/vyrd_javalib.dir/DependInfo.cmake"
+  "/root/repo/src/blinktree/CMakeFiles/vyrd_blinktree.dir/DependInfo.cmake"
+  "/root/repo/src/cache/CMakeFiles/vyrd_cache.dir/DependInfo.cmake"
+  "/root/repo/src/chunk/CMakeFiles/vyrd_chunk.dir/DependInfo.cmake"
+  "/root/repo/src/CMakeFiles/vyrd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

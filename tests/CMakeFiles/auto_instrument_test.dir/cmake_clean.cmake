@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_instrument_test.dir/AutoInstrumentTest.cpp.o"
+  "CMakeFiles/auto_instrument_test.dir/AutoInstrumentTest.cpp.o.d"
+  "auto_instrument_test"
+  "auto_instrument_test.pdb"
+  "auto_instrument_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_instrument_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,7 +1,8 @@
 tests/CMakeFiles/bst_test.dir/BstTest.cpp.o: /root/repo/tests/BstTest.cpp \
  /usr/include/stdc-predef.h /root/repo/src/bst/BstMultiset.h \
- /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Action.h \
- /root/repo/src/vyrd/Names.h /usr/include/c++/12/cstdint \
+ /root/repo/src/vyrd/Auto.h /root/repo/src/vyrd/Instrument.h \
+ /root/repo/src/vyrd/Action.h /root/repo/src/vyrd/Names.h \
+ /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -226,10 +227,11 @@ tests/CMakeFiles/bst_test.dir/BstTest.cpp.o: /root/repo/tests/BstTest.cpp \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/vyrd/Telemetry.h /usr/include/c++/12/thread \
- /root/repo/src/bst/BstReplayer.h /root/repo/src/vyrd/Replayer.h \
- /root/repo/src/vyrd/View.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/bst/BstSpec.h \
+ /root/repo/src/vyrd/Replayer.h /root/repo/src/vyrd/View.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/bst/BstReplayer.h /root/repo/src/bst/BstSpec.h \
  /root/repo/src/vyrd/Spec.h /root/repo/src/harness/Scenarios.h \
  /root/repo/src/harness/Workload.h /root/repo/src/vyrd/Verifier.h \
  /root/repo/src/vyrd/BufferedLog.h /root/repo/src/vyrd/Checker.h \

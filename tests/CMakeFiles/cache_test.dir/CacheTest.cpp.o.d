@@ -160,10 +160,10 @@ tests/CMakeFiles/cache_test.dir/CacheTest.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/vyrd/Instrument.h \
- /root/repo/src/vyrd/Action.h /root/repo/src/vyrd/Names.h \
- /root/repo/src/vyrd/Value.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/vyrd/Auto.h \
+ /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Action.h \
+ /root/repo/src/vyrd/Names.h /root/repo/src/vyrd/Value.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -233,11 +233,11 @@ tests/CMakeFiles/cache_test.dir/CacheTest.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/vyrd/Telemetry.h /usr/include/c++/12/thread \
- /usr/include/c++/12/shared_mutex /root/repo/src/cache/CacheSpec.h \
  /root/repo/src/vyrd/Replayer.h /root/repo/src/vyrd/View.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/vyrd/Spec.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/cache/CacheSpec.h /root/repo/src/vyrd/Spec.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/harness/Scenarios.h /root/repo/src/harness/Workload.h \

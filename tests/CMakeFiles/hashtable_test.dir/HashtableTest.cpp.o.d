@@ -239,7 +239,8 @@ tests/CMakeFiles/hashtable_test.dir/HashtableTest.cpp.o: \
  /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Telemetry.h \
  /root/repo/src/vyrd/Monitor.h /root/repo/src/vyrd/Trace.h \
  /root/repo/src/vyrd/Epoch.h /root/repo/src/javalib/HashtableSpec.h \
- /root/repo/src/javalib/SyncHashtable.h /usr/include/c++/12/list \
+ /root/repo/src/javalib/SyncHashtable.h /root/repo/src/vyrd/Auto.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \

@@ -239,8 +239,9 @@ tests/CMakeFiles/javalib_test.dir/JavalibTest.cpp.o: \
  /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Telemetry.h \
  /root/repo/src/vyrd/Monitor.h /root/repo/src/vyrd/Trace.h \
  /root/repo/src/vyrd/Epoch.h /root/repo/src/javalib/StringBufferSpec.h \
- /root/repo/src/javalib/StringBufferSystem.h \
- /root/repo/src/javalib/SyncVector.h /root/repo/src/javalib/VectorSpec.h \
+ /root/repo/src/javalib/StringBufferSystem.h /root/repo/src/vyrd/Auto.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/javalib/SyncVector.h \
+ /root/repo/src/javalib/VectorSpec.h \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \

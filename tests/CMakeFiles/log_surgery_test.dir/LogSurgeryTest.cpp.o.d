@@ -238,9 +238,10 @@ tests/CMakeFiles/log_surgery_test.dir/LogSurgeryTest.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Telemetry.h \
  /root/repo/src/vyrd/Monitor.h /root/repo/src/vyrd/Trace.h \
- /root/repo/src/vyrd/Epoch.h /root/repo/src/multiset/MultisetReplayer.h \
- /root/repo/src/multiset/ArrayMultiset.h \
- /root/repo/src/multiset/MultisetSpec.h \
+ /root/repo/src/vyrd/Epoch.h /root/repo/src/vyrd/Auto.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/multiset/MultisetSpec.h \
+ /root/repo/src/multiset/ArrayMultiset.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \

@@ -239,7 +239,9 @@ tests/CMakeFiles/multiset_test.dir/MultisetTest.cpp.o: \
  /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Telemetry.h \
  /root/repo/src/vyrd/Monitor.h /root/repo/src/vyrd/Trace.h \
  /root/repo/src/vyrd/Epoch.h /root/repo/src/multiset/ArrayMultiset.h \
- /root/repo/src/multiset/MultisetReplayer.h \
+ /root/repo/src/vyrd/Auto.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/multiset/MultisetSpec.h \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \

@@ -239,6 +239,7 @@ tests/CMakeFiles/queue_test.dir/QueueTest.cpp.o: \
  /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Telemetry.h \
  /root/repo/src/vyrd/Monitor.h /root/repo/src/vyrd/Trace.h \
  /root/repo/src/vyrd/Epoch.h /root/repo/src/queue/BoundedQueue.h \
+ /root/repo/src/vyrd/Auto.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/queue/QueueSpec.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/miniconda/include/gtest/gtest.h \

@@ -240,8 +240,8 @@ tests/CMakeFiles/scanfs_test.dir/ScanFsTest.cpp.o: \
  /root/repo/src/vyrd/Monitor.h /root/repo/src/vyrd/Trace.h \
  /root/repo/src/vyrd/Epoch.h /root/repo/src/scanfs/ScanFs.h \
  /root/repo/src/cache/BoxCache.h /root/repo/src/chunk/ChunkManager.h \
- /usr/include/c++/12/shared_mutex /root/repo/src/scanfs/ScanFsSpec.h \
- /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/vyrd/Auto.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/scanfs/ScanFsSpec.h /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -221,14 +221,14 @@ tests/CMakeFiles/telemetry_test.dir/TelemetryTest.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/multiset/ArrayMultiset.h /root/repo/src/vyrd/Instrument.h \
- /root/repo/src/vyrd/Log.h /root/repo/src/vyrd/Backpressure.h \
- /root/repo/src/vyrd/Serialize.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/multiset/ArrayMultiset.h /root/repo/src/vyrd/Auto.h \
+ /root/repo/src/vyrd/Instrument.h /root/repo/src/vyrd/Log.h \
+ /root/repo/src/vyrd/Backpressure.h /root/repo/src/vyrd/Serialize.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/atomic \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
@@ -238,7 +238,8 @@ tests/CMakeFiles/telemetry_test.dir/TelemetryTest.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/vyrd/Telemetry.h /usr/include/c++/12/thread \
- /root/repo/src/multiset/MultisetReplayer.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/multiset/MultisetSpec.h /root/repo/src/vyrd/Verifier.h \
  /root/repo/src/vyrd/BufferedLog.h /root/repo/src/vyrd/Monitor.h \
  /root/repo/src/vyrd/Trace.h /root/miniconda/include/gtest/gtest.h \

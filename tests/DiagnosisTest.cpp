@@ -16,7 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "multiset/MultisetReplayer.h"
+#include "vyrd/Auto.h"
 #include "multiset/MultisetSpec.h"
 #include "vyrd/Checker.h"
 
@@ -84,8 +84,8 @@ std::vector<Action> genuineViolationScript() {
 
 TEST(DiagnosisTest, TooEarlyCommitIsAnnotated) {
   MultisetSpec Spec;
-  MultisetReplayer Replay(4);
-  RefinementChecker C(Spec, &Replay, CheckerConfig{});
+  auto Replay = KeyValueReplayer::guardedBag("A");
+  RefinementChecker C(Spec, Replay.get(), CheckerConfig{});
   for (const Action &A : tooEarlyCommitScript())
     C.feed(A);
   C.finish();
@@ -100,8 +100,8 @@ TEST(DiagnosisTest, TooEarlyRecoveryAppliesTheTransition) {
   // After the diagnosis applies Delete(5) late, the spec state is
   // consistent again: no cascade of view mismatches.
   MultisetSpec Spec;
-  MultisetReplayer Replay(4);
-  RefinementChecker C(Spec, &Replay, CheckerConfig{});
+  auto Replay = KeyValueReplayer::guardedBag("A");
+  RefinementChecker C(Spec, Replay.get(), CheckerConfig{});
   for (const Action &A : tooEarlyCommitScript())
     C.feed(A);
   C.finish();
@@ -116,8 +116,8 @@ TEST(DiagnosisTest, TooEarlyRecoveryAppliesTheTransition) {
 
 TEST(DiagnosisTest, GenuineViolationIsAnnotated) {
   MultisetSpec Spec;
-  MultisetReplayer Replay(4);
-  RefinementChecker C(Spec, &Replay, CheckerConfig{});
+  auto Replay = KeyValueReplayer::guardedBag("A");
+  RefinementChecker C(Spec, Replay.get(), CheckerConfig{});
   for (const Action &A : genuineViolationScript())
     C.feed(A);
   C.finish();
@@ -131,10 +131,10 @@ TEST(DiagnosisTest, GenuineViolationIsAnnotated) {
 
 TEST(DiagnosisTest, DisabledDiagnosisLeavesMessagePlain) {
   MultisetSpec Spec;
-  MultisetReplayer Replay(4);
+  auto Replay = KeyValueReplayer::guardedBag("A");
   CheckerConfig CC;
   CC.DiagnoseCommitPoints = false;
-  RefinementChecker C(Spec, &Replay, CC);
+  RefinementChecker C(Spec, Replay.get(), CC);
   for (const Action &A : tooEarlyCommitScript())
     C.feed(A);
   C.finish();

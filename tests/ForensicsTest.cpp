@@ -15,7 +15,7 @@
 
 #include "TestUtil.h"
 #include "multiset/ArrayMultiset.h"
-#include "multiset/MultisetReplayer.h"
+#include "vyrd/Auto.h"
 #include "multiset/MultisetSpec.h"
 #include "vyrd/Checker.h"
 #include "vyrd/Serialize.h"
@@ -218,7 +218,7 @@ TEST(ForensicsTest, VerifierWritesBundleFileOnViolation) {
   VC.ForensicPrefix = Prefix; // auto-arms the flight recorder
   auto V = std::make_unique<Verifier>(
       std::make_unique<multiset::MultisetSpec>(),
-      std::make_unique<multiset::MultisetReplayer>(16), VC);
+      KeyValueReplayer::guardedBag("A"), VC);
   V->start();
 
   multiset::ArrayMultiset::Options MO;
@@ -263,7 +263,7 @@ TEST(ForensicsTest, NoViolationWritesNoFiles) {
   VC.ForensicPrefix = Prefix;
   auto V = std::make_unique<Verifier>(
       std::make_unique<multiset::MultisetSpec>(),
-      std::make_unique<multiset::MultisetReplayer>(16), VC);
+      KeyValueReplayer::guardedBag("A"), VC);
   V->start();
   multiset::ArrayMultiset::Options MO;
   MO.Capacity = 16;

@@ -8,6 +8,7 @@
 #include "harness/Workload.h"
 #include "javalib/HashtableSpec.h"
 #include "javalib/SyncHashtable.h"
+#include "vyrd/Auto.h"
 #include "vyrd/Verifier.h"
 
 #include <gtest/gtest.h>
@@ -135,33 +136,33 @@ TEST(HashtableSpecTest, Observers) {
 //===----------------------------------------------------------------------===//
 
 TEST(HashtableReplayerTest, WritesMaintainView) {
-  HashtableReplayer R;
+  auto R = KeyValueReplayer::map("ht");
   View ViewI;
-  R.applyUpdate(Action::write(0, HtVocab::slotName(1), Value(10)), ViewI);
+  R->applyUpdate(Action::write(0, HtVocab::slotName(1), Value(10)), ViewI);
   EXPECT_EQ(ViewI.count(Value(1), Value(10)), 1u);
-  R.applyUpdate(Action::write(0, HtVocab::slotName(1), Value(20)), ViewI);
+  R->applyUpdate(Action::write(0, HtVocab::slotName(1), Value(20)), ViewI);
   EXPECT_EQ(ViewI.count(Value(1), Value(20)), 1u);
   EXPECT_EQ(ViewI.count(Value(1), Value(10)), 0u);
-  R.applyUpdate(Action::write(0, HtVocab::slotName(1), Value()), ViewI);
+  R->applyUpdate(Action::write(0, HtVocab::slotName(1), Value()), ViewI);
   EXPECT_TRUE(ViewI.empty());
 }
 
 TEST(HashtableReplayerTest, NegativeKeyNamesParse) {
-  HashtableReplayer R;
+  auto R = KeyValueReplayer::map("ht");
   View ViewI;
-  R.applyUpdate(Action::write(0, HtVocab::slotName(-7), Value(3)), ViewI);
+  R->applyUpdate(Action::write(0, HtVocab::slotName(-7), Value(3)), ViewI);
   EXPECT_EQ(ViewI.count(Value(int64_t{-7}), Value(3)), 1u);
 }
 
 TEST(HashtableReplayerTest, IncrementalMatchesRebuild) {
-  HashtableReplayer R;
+  auto R = KeyValueReplayer::map("ht");
   View Inc;
   for (int64_t K = -5; K < 5; ++K)
-    R.applyUpdate(Action::write(0, HtVocab::slotName(K), Value(K * 2)),
-                  Inc);
-  R.applyUpdate(Action::write(0, HtVocab::slotName(0), Value()), Inc);
+    R->applyUpdate(Action::write(0, HtVocab::slotName(K), Value(K * 2)),
+                   Inc);
+  R->applyUpdate(Action::write(0, HtVocab::slotName(0), Value()), Inc);
   View Fresh;
-  R.buildView(Fresh);
+  R->buildView(Fresh);
   EXPECT_TRUE(Inc.deepEquals(Fresh)) << View::diff(Inc, Fresh);
 }
 

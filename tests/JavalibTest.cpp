@@ -10,6 +10,7 @@
 #include "javalib/StringBufferSystem.h"
 #include "javalib/SyncVector.h"
 #include "javalib/VectorSpec.h"
+#include "vyrd/Auto.h"
 #include "vyrd/Verifier.h"
 
 #include <gtest/gtest.h>
@@ -102,29 +103,29 @@ TEST(VectorSpecTest, GetAndSizeObservers) {
 }
 
 TEST(VectorReplayerTest, LenWritesMoveEntriesInAndOut) {
-  VectorReplayer R;
+  auto R = KeyValueReplayer::prefixVec("vec");
   View ViewI;
-  R.applyUpdate(Action::write(0, VectorVocab::elemName(0), Value(10)),
-                ViewI);
+  R->applyUpdate(Action::write(0, VectorVocab::elemName(0), Value(10)),
+                 ViewI);
   EXPECT_TRUE(ViewI.empty()) << "slot beyond logical length";
-  R.applyUpdate(Action::write(0, VectorVocab::lenName(), Value(1)), ViewI);
+  R->applyUpdate(Action::write(0, VectorVocab::lenName(), Value(1)), ViewI);
   EXPECT_EQ(ViewI.count(Value(0), Value(10)), 1u);
-  R.applyUpdate(Action::write(0, VectorVocab::lenName(), Value(0)), ViewI);
+  R->applyUpdate(Action::write(0, VectorVocab::lenName(), Value(0)), ViewI);
   EXPECT_TRUE(ViewI.empty());
 }
 
 TEST(VectorReplayerTest, IncrementalMatchesRebuild) {
-  VectorReplayer R;
+  auto R = KeyValueReplayer::prefixVec("vec");
   View Inc;
   for (int I = 0; I < 6; ++I) {
-    R.applyUpdate(
+    R->applyUpdate(
         Action::write(0, VectorVocab::elemName(I), Value(I * 3)), Inc);
-    R.applyUpdate(Action::write(0, VectorVocab::lenName(), Value(I + 1)),
-                  Inc);
+    R->applyUpdate(Action::write(0, VectorVocab::lenName(), Value(I + 1)),
+                   Inc);
   }
-  R.applyUpdate(Action::write(0, VectorVocab::lenName(), Value(4)), Inc);
+  R->applyUpdate(Action::write(0, VectorVocab::lenName(), Value(4)), Inc);
   View Fresh;
-  R.buildView(Fresh);
+  R->buildView(Fresh);
   EXPECT_TRUE(Inc.deepEquals(Fresh)) << View::diff(Inc, Fresh);
 }
 

@@ -14,7 +14,7 @@
 
 #include "harness/Scenarios.h"
 #include "harness/Workload.h"
-#include "multiset/MultisetReplayer.h"
+#include "vyrd/Auto.h"
 #include "multiset/MultisetSpec.h"
 #include "vyrd/Checker.h"
 
@@ -59,10 +59,10 @@ protected:
   /// Checks \p Mutated and returns the violations.
   static std::vector<Violation> check(std::vector<Action> Mutated) {
     MultisetSpec Spec;
-    MultisetReplayer Replay(48); // scenario capacity
+    auto Replay = KeyValueReplayer::guardedBag("A");
     CheckerConfig CC;
     CC.AuditPeriod = 64;
-    RefinementChecker C(Spec, &Replay, CC);
+    RefinementChecker C(Spec, Replay.get(), CC);
     uint64_t Seq = 0;
     for (Action &A : Mutated) {
       A.Seq = Seq++;

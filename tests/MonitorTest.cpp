@@ -17,7 +17,7 @@
 
 #include "TestUtil.h"
 #include "multiset/ArrayMultiset.h"
-#include "multiset/MultisetReplayer.h"
+#include "vyrd/Auto.h"
 #include "multiset/MultisetSpec.h"
 #include "vyrd/Monitor.h"
 #include "vyrd/Verifier.h"
@@ -144,13 +144,13 @@ TEST(MonitorTest, RenderersProduceValidJson) {
 TEST(MonitorTest, HealthVerdictPriorities) {
   Telemetry T;
   TelemetrySnapshot S = T.snapshot();
-  EXPECT_EQ(monitor::healthVerdict(S, 0), "ok");
-  EXPECT_EQ(monitor::healthVerdict(S, 1), "violating");
+  EXPECT_STREQ(monitor::healthVerdict(S, 0), "ok");
+  EXPECT_STREQ(monitor::healthVerdict(S, 1), "violating");
   T.count(Counter::C_ShedRecords, 5);
   S = T.snapshot();
-  EXPECT_EQ(monitor::healthVerdict(S, 0), "degraded");
+  EXPECT_STREQ(monitor::healthVerdict(S, 0), "degraded");
   // Violations outrank a degraded pipeline.
-  EXPECT_EQ(monitor::healthVerdict(S, 2), "violating");
+  EXPECT_STREQ(monitor::healthVerdict(S, 2), "violating");
 }
 
 TEST(MonitorTest, PromTextExposesCountersAndGauges) {
@@ -307,7 +307,7 @@ TEST(MonitorTest, MultiClientAttachDetachMidRun) {
   VC.Monitor.SocketPath = tempSocketPath("e2e");
   auto V = std::make_unique<Verifier>(
       std::make_unique<multiset::MultisetSpec>(),
-      std::make_unique<multiset::MultisetReplayer>(64), VC);
+      KeyValueReplayer::guardedBag("A"), VC);
   ASSERT_NE(V->monitor(), nullptr);
   ASSERT_TRUE(V->monitor()->valid()) << V->monitor()->error();
   V->start();
@@ -370,7 +370,7 @@ TEST(MonitorTest, ListReflectsVerifierObjects) {
   auto V = std::make_unique<Verifier>(VC);
   Hooks H = V->registerObject("multiset",
                               std::make_unique<multiset::MultisetSpec>(),
-                              std::make_unique<multiset::MultisetReplayer>(16));
+                              KeyValueReplayer::guardedBag("A"));
   V->start();
   multiset::ArrayMultiset::Options MO;
   MO.Capacity = 16;

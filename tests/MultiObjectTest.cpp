@@ -13,7 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "multiset/ArrayMultiset.h"
-#include "multiset/MultisetReplayer.h"
+#include "vyrd/Auto.h"
 #include "multiset/MultisetSpec.h"
 #include "vyrd/Verifier.h"
 
@@ -28,8 +28,8 @@ namespace {
 
 std::unique_ptr<Spec> spec() { return std::make_unique<MultisetSpec>(); }
 
-std::unique_ptr<Replayer> replayer(size_t Capacity = 16) {
-  return std::make_unique<MultisetReplayer>(Capacity);
+std::unique_ptr<Replayer> replayer() {
+  return KeyValueReplayer::guardedBag("A");
 }
 
 /// Registers \p N multiset objects named "obj0".."objN-1" and returns

@@ -7,8 +7,8 @@
 #include "harness/Scenarios.h"
 #include "harness/Workload.h"
 #include "multiset/ArrayMultiset.h"
-#include "multiset/MultisetReplayer.h"
 #include "multiset/MultisetSpec.h"
+#include "vyrd/Auto.h"
 #include "vyrd/Verifier.h"
 
 #include <gtest/gtest.h>
@@ -149,41 +149,41 @@ TEST(MultisetSpecTest, UnknownMethodRejected) {
 //===----------------------------------------------------------------------===//
 
 TEST(MultisetReplayerTest, ValidBitTogglesViewMembership) {
-  MultisetReplayer R(4);
+  auto R = KeyValueReplayer::guardedBag("A");
   View ViewI;
-  R.buildView(ViewI);
+  R->buildView(ViewI);
   EXPECT_TRUE(ViewI.empty());
-  R.applyUpdate(Action::write(0, Vocab::eltName(2), Value(42)), ViewI);
+  R->applyUpdate(Action::write(0, Vocab::eltName(2), Value(42)), ViewI);
   EXPECT_TRUE(ViewI.empty()) << "reserved but not valid";
-  R.applyUpdate(Action::write(0, Vocab::validName(2), Value(true)), ViewI);
+  R->applyUpdate(Action::write(0, Vocab::validName(2), Value(true)), ViewI);
   EXPECT_EQ(ViewI.countKey(Value(42)), 1u);
-  R.applyUpdate(Action::write(0, Vocab::validName(2), Value(false)),
-                ViewI);
+  R->applyUpdate(Action::write(0, Vocab::validName(2), Value(false)),
+                 ViewI);
   EXPECT_TRUE(ViewI.empty());
 }
 
 TEST(MultisetReplayerTest, OverwriteOfPublishedSlotSwapsViewEntry) {
-  MultisetReplayer R(4);
+  auto R = KeyValueReplayer::guardedBag("A");
   View ViewI;
-  R.applyUpdate(Action::write(0, Vocab::eltName(0), Value(1)), ViewI);
-  R.applyUpdate(Action::write(0, Vocab::validName(0), Value(true)), ViewI);
+  R->applyUpdate(Action::write(0, Vocab::eltName(0), Value(1)), ViewI);
+  R->applyUpdate(Action::write(0, Vocab::validName(0), Value(true)), ViewI);
   // A buggy interleaving overwrites a published slot:
-  R.applyUpdate(Action::write(1, Vocab::eltName(0), Value(2)), ViewI);
+  R->applyUpdate(Action::write(1, Vocab::eltName(0), Value(2)), ViewI);
   EXPECT_EQ(ViewI.countKey(Value(1)), 0u);
   EXPECT_EQ(ViewI.countKey(Value(2)), 1u);
 }
 
 TEST(MultisetReplayerTest, IncrementalMatchesRebuild) {
-  MultisetReplayer R(8);
+  auto R = KeyValueReplayer::guardedBag("A");
   View Inc;
   for (int I = 0; I < 8; ++I) {
-    R.applyUpdate(Action::write(0, Vocab::eltName(I), Value(I * 11)), Inc);
+    R->applyUpdate(Action::write(0, Vocab::eltName(I), Value(I * 11)), Inc);
     if (I % 2 == 0)
-      R.applyUpdate(Action::write(0, Vocab::validName(I), Value(true)),
-                    Inc);
+      R->applyUpdate(Action::write(0, Vocab::validName(I), Value(true)),
+                     Inc);
   }
   View Fresh;
-  R.buildView(Fresh);
+  R->buildView(Fresh);
   EXPECT_TRUE(Inc.deepEquals(Fresh));
 }
 

@@ -27,7 +27,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "multiset/ArrayMultiset.h"
-#include "multiset/MultisetReplayer.h"
+#include "vyrd/Auto.h"
 #include "multiset/MultisetSpec.h"
 #include "vyrd/Checker.h"
 #include "vyrd/Verifier.h"
@@ -113,8 +113,8 @@ TEST(NonLinearizableScanTest, WindowCheckFlagsTheMiss) {
   // Throughout LookUp's window, 7 is a member (multiplicity 2 -> 1 -> 2
   // -> 1): returning false matches no window state.
   MultisetSpec Spec;
-  MultisetReplayer Replay(4);
-  RefinementChecker C(Spec, &Replay, CheckerConfig{});
+  auto Replay = KeyValueReplayer::guardedBag("A");
+  RefinementChecker C(Spec, Replay.get(), CheckerConfig{});
   for (const Action &A : scanMissScript())
     C.feed(A);
   C.finish();
@@ -134,7 +134,7 @@ TEST(NonLinearizableScanTest, UnguardedScanCanActuallyMiss) {
     VerifierConfig VC;
     VC.Checker.Mode = CheckMode::CM_ViewRefinement;
     Verifier V(std::make_unique<MultisetSpec>(),
-               std::make_unique<MultisetReplayer>(48), VC);
+               KeyValueReplayer::guardedBag("A"), VC);
     V.start();
     ArrayMultiset::Options MO;
     MO.Capacity = 48;
@@ -175,7 +175,7 @@ TEST(NonLinearizableScanTest, GuardedScanStaysClean) {
     VerifierConfig VC;
     VC.Checker.Mode = CheckMode::CM_ViewRefinement;
     Verifier V(std::make_unique<MultisetSpec>(),
-               std::make_unique<MultisetReplayer>(8), VC);
+               KeyValueReplayer::guardedBag("A"), VC);
     V.start();
     ArrayMultiset::Options MO;
     MO.Capacity = 8;

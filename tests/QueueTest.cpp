@@ -8,6 +8,7 @@
 #include "harness/Workload.h"
 #include "queue/BoundedQueue.h"
 #include "queue/QueueSpec.h"
+#include "vyrd/Auto.h"
 #include "vyrd/Verifier.h"
 
 #include <gtest/gtest.h>
@@ -137,27 +138,30 @@ TEST(QueueSpecTest, ViewKeysAreAbsoluteIndices) {
 //===----------------------------------------------------------------------===//
 
 TEST(QueueReplayerTest, MirrorsAppendsAndPops) {
-  QueueReplayer R;
-  QVocab V = QVocab::get();
+  auto R = KeyValueReplayer::map("q");
+  Name SetOp = internName("q.set");
+  Name DelOp = internName("q.del");
   View ViewI;
-  R.applyUpdate(Action::replayOp(0, V.OpAppend, {Value(1)}), ViewI);
-  R.applyUpdate(Action::replayOp(0, V.OpAppend, {Value(2)}), ViewI);
+  R->applyUpdate(Action::replayOp(0, SetOp, {Value(0), Value(1)}), ViewI);
+  R->applyUpdate(Action::replayOp(0, SetOp, {Value(1), Value(2)}), ViewI);
   EXPECT_EQ(ViewI.size(), 2u);
-  R.applyUpdate(Action::replayOp(0, V.OpPop, {Value(1)}), ViewI);
+  R->applyUpdate(Action::replayOp(0, DelOp, {Value(0)}), ViewI);
   EXPECT_EQ(ViewI.count(Value(0), Value(1)), 0u);
   EXPECT_EQ(ViewI.count(Value(1), Value(2)), 1u);
 }
 
 TEST(QueueReplayerTest, IncrementalMatchesRebuild) {
-  QueueReplayer R;
-  QVocab V = QVocab::get();
+  auto R = KeyValueReplayer::map("q");
+  Name SetOp = internName("q.set");
+  Name DelOp = internName("q.del");
   View Inc;
   for (int I = 0; I < 10; ++I)
-    R.applyUpdate(Action::replayOp(0, V.OpAppend, {Value(I)}), Inc);
+    R->applyUpdate(Action::replayOp(0, SetOp, {Value(I), Value(I * 7)}),
+                   Inc);
   for (int I = 0; I < 4; ++I)
-    R.applyUpdate(Action::replayOp(0, V.OpPop, {Value(I)}), Inc);
+    R->applyUpdate(Action::replayOp(0, DelOp, {Value(I)}), Inc);
   View Fresh;
-  R.buildView(Fresh);
+  R->buildView(Fresh);
   EXPECT_TRUE(Inc.deepEquals(Fresh)) << View::diff(Inc, Fresh);
 }
 

@@ -17,7 +17,7 @@
 
 #include "TestUtil.h"
 #include "multiset/ArrayMultiset.h"
-#include "multiset/MultisetReplayer.h"
+#include "vyrd/Auto.h"
 #include "multiset/MultisetSpec.h"
 #include "vyrd/Telemetry.h"
 #include "vyrd/Verifier.h"
@@ -241,7 +241,7 @@ namespace {
 
 VerifierReport runInstrumentedMultiset(VerifierConfig VC, unsigned Ops) {
   Verifier V(std::make_unique<multiset::MultisetSpec>(),
-             std::make_unique<multiset::MultisetReplayer>(16), VC);
+             KeyValueReplayer::guardedBag("A"), VC);
   V.start();
   multiset::ArrayMultiset::Options MO;
   MO.Capacity = 16;
@@ -318,7 +318,7 @@ TEST(TelemetryTest, VerifierExposesLiveLag) {
   VC.Telemetry.Enabled = true;
   VC.Telemetry.SampleIntervalUs = 500;
   Verifier V(std::make_unique<multiset::MultisetSpec>(),
-             std::make_unique<multiset::MultisetReplayer>(16), VC);
+             KeyValueReplayer::guardedBag("A"), VC);
   ASSERT_NE(V.telemetry(), nullptr);
   V.start();
   multiset::ArrayMultiset::Options MO;
@@ -377,9 +377,9 @@ TEST(TelemetryTest, MultiObjectVerifierRunPopulatesObjectCounters) {
   VC.Telemetry.Enabled = true;
   Verifier V(VC);
   Hooks A = V.registerObject("a", std::make_unique<multiset::MultisetSpec>(),
-                             std::make_unique<multiset::MultisetReplayer>(8));
+                             KeyValueReplayer::guardedBag("A"));
   Hooks B = V.registerObject("b", std::make_unique<multiset::MultisetSpec>(),
-                             std::make_unique<multiset::MultisetReplayer>(8));
+                             KeyValueReplayer::guardedBag("A"));
   multiset::ArrayMultiset::Options MO;
   MO.Capacity = 8;
   V.start();

@@ -15,7 +15,7 @@
 
 #include "TestUtil.h"
 #include "multiset/ArrayMultiset.h"
-#include "multiset/MultisetReplayer.h"
+#include "vyrd/Auto.h"
 #include "multiset/MultisetSpec.h"
 #include "vyrd/Trace.h"
 #include "vyrd/Verifier.h"
@@ -172,7 +172,7 @@ TEST(TraceTest, VerifierWritesTraceFile) {
   VC.Online = true;
   VC.Telemetry.TraceFilePath = Path;
   Verifier V(std::make_unique<multiset::MultisetSpec>(),
-             std::make_unique<multiset::MultisetReplayer>(16), VC);
+             KeyValueReplayer::guardedBag("A"), VC);
   V.start();
   multiset::ArrayMultiset::Options MO;
   MO.Capacity = 16;

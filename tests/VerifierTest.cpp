@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "multiset/ArrayMultiset.h"
-#include "multiset/MultisetReplayer.h"
 #include "multiset/MultisetSpec.h"
+#include "vyrd/Auto.h"
 #include "vyrd/Verifier.h"
 
 #include <gtest/gtest.h>
@@ -21,10 +21,11 @@ namespace {
 
 std::unique_ptr<Verifier> makeVerifier(VerifierConfig VC,
                                        size_t Capacity = 16) {
+  (void)Capacity; // the generic replayer grows its slots on first touch
   return std::make_unique<Verifier>(
       std::make_unique<MultisetSpec>(),
       VC.Checker.Mode == CheckMode::CM_ViewRefinement
-          ? std::make_unique<MultisetReplayer>(Capacity)
+          ? KeyValueReplayer::guardedBag("A")
           : nullptr,
       VC);
 }
@@ -99,8 +100,8 @@ TEST(VerifierTest, FileLogPathProducesReloadableLog) {
 
   // And feeding it to a fresh checker offline reproduces a clean verdict.
   MultisetSpec Spec;
-  MultisetReplayer Replay(16);
-  RefinementChecker C(Spec, &Replay, CheckerConfig{});
+  auto Replay = KeyValueReplayer::guardedBag("A");
+  RefinementChecker C(Spec, Replay.get(), CheckerConfig{});
   for (const Action &A : Loaded)
     C.feed(A);
   C.finish();
