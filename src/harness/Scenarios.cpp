@@ -221,6 +221,11 @@ Hooks wireScenario(Scenario &S, const ScenarioOptions &O,
   if (O.Buffered)
     VC.Backend = LogBackend::LB_Buffered;
   VC.Backpressure = O.Backpressure;
+  VC.Adaptive = O.Adaptive;
+  // Like the pool, adaptation only exists online: there is no live
+  // lag to react to in a synchronous offline replay.
+  if (!VC.Online)
+    VC.Adaptive.Enabled = false;
   VC.Snapshots = O.Snapshots;
   VC.Monitor = O.Monitor;
   VC.ForensicPrefix = O.ForensicPrefix;
@@ -594,6 +599,11 @@ Scenario vyrd::harness::makeCompositeScenario(const ScenarioOptions &O) {
     if (O.Buffered)
       VC.Backend = LogBackend::LB_Buffered;
     VC.Backpressure = O.Backpressure;
+    VC.Adaptive = O.Adaptive;
+    // Like the pool, adaptation only exists online: there is no live
+    // lag to react to in a synchronous offline replay.
+    if (!VC.Online)
+      VC.Adaptive.Enabled = false;
     VC.Snapshots = O.Snapshots;
     VC.Monitor = O.Monitor;
     VC.ForensicPrefix = O.ForensicPrefix;

@@ -100,6 +100,12 @@ struct BufferedLog::Impl {
   std::unique_ptr<LogFileReader> SpillReader;
   uint64_t SpillNextSeq = 0;
   bool SpillFailed = false; // latched on corrupt spilled region
+  /// Seq ranges [first, second) shed from the queue while spill-capable.
+  /// They exist on disk (the file is the complete witness), so the spill
+  /// catch-up reader must skip them or a later escalation into spill would
+  /// resurrect records the shed filter dropped. Pruned as Delivered
+  /// passes. Guarded by QM.
+  std::vector<std::pair<uint64_t, uint64_t>> ShedGaps;
 
   /// Segment telemetry deltas already forwarded (pump thread only).
   uint64_t SegCreatedSeen = 0;
@@ -276,10 +282,11 @@ void BufferedLog::park(Action &&A) {
   I->Reorder[Slot] = std::move(A);
 }
 
-bool BufferedLog::spillModeOn() const {
+bool BufferedLog::spillCapable() const {
   const BackpressureConfig &BP = I->Opts.Backpressure;
-  return BP.Enabled && BP.Policy == BackpressurePolicy::BP_SpillToDisk &&
-         I->HasFile && I->Opts.RetainRecords;
+  return BP.Enabled && I->HasFile && I->Opts.RetainRecords &&
+         (BP.Policy == BackpressurePolicy::BP_SpillToDisk ||
+          hasDynamicPolicy());
 }
 
 void BufferedLog::enqueueEmitted(uint64_t First, uint64_t S) {
@@ -289,41 +296,76 @@ void BufferedLog::enqueueEmitted(uint64_t First, uint64_t S) {
   for (uint64_t Ti = First; Ti != S; ++Ti) {
     Action &A = I->Reorder[Ti & I->ReorderMask];
     if (BP.Enabled) {
-      bool Over = I->Q.size() >= BP.MaxPendingRecords ||
-                  (BP.MaxTailBytes && I->QBytes >= BP.MaxTailBytes);
-      if (BP.Policy == BackpressurePolicy::BP_Shed) {
-        if (I->Shed.shouldShed(A, Over)) {
-          // Dropped from the queue only; the file (when present) stays
-          // complete for post-mortem re-checking.
-          ++I->Stats.ShedRecords;
-          if (telemetryCompiledIn() && T)
-            T->count(Counter::C_ShedRecords);
-          continue;
+      bool Admit = true;
+      bool Blocked = false;
+      uint64_t W0 = 0;
+      // The policy is re-read each admission attempt: a dynamic-policy
+      // cell (adaptive escalation) may change it while the flusher is
+      // parked, and the record must then be re-decided under the new
+      // policy rather than admitted as if nothing changed.
+      for (;;) {
+        BackpressurePolicy P = activePolicy(BP);
+        bool Over = I->Q.size() >= BP.MaxPendingRecords ||
+                    (BP.MaxTailBytes && I->QBytes >= BP.MaxTailBytes);
+        if (P == BackpressurePolicy::BP_Shed || hasDynamicPolicy()) {
+          // With a dynamic policy the filter is consulted under every
+          // rung so open shed windows close whole: continuation records
+          // of a shed execution drop regardless of the current rung (the
+          // filter ignores OverLimit inside a window).
+          if (I->Shed.shouldShed(A, Over &&
+                                        P == BackpressurePolicy::BP_Shed)) {
+            // Dropped from the queue only; the file (when present) stays
+            // complete for post-mortem re-checking.
+            ++I->Stats.ShedRecords;
+            if (telemetryCompiledIn() && T)
+              T->count(Counter::C_ShedRecords);
+            if (spillCapable()) {
+              // The record is on disk; the catch-up reader must not
+              // resurrect it if we later escalate into spill.
+              if (!I->ShedGaps.empty() &&
+                  I->ShedGaps.back().second == A.Seq)
+                ++I->ShedGaps.back().second;
+              else
+                I->ShedGaps.emplace_back(A.Seq, A.Seq + 1);
+            }
+            Admit = false;
+            break;
+          }
+          if (P == BackpressurePolicy::BP_Shed)
+            break; // not shed: admit unconditionally under BP_Shed
         }
-      } else if (BP.Policy == BackpressurePolicy::BP_SpillToDisk &&
-                 I->HasFile) {
-        if (Over) {
-          // Already at the sink; the reader re-reads the gap from disk.
-          ++I->Stats.SpilledRecords;
-          if (telemetryCompiledIn() && T)
-            T->count(Counter::C_SpilledRecords);
-          continue;
+        if (P == BackpressurePolicy::BP_SpillToDisk && I->HasFile) {
+          if (Over) {
+            // Already at the sink; the reader re-reads the gap from disk.
+            ++I->Stats.SpilledRecords;
+            if (telemetryCompiledIn() && T)
+              T->count(Counter::C_SpilledRecords);
+            Admit = false;
+          }
+          break;
         }
-      } else if (Over) {
+        if (!Over)
+          break;
         // BP_Block (and BP_SpillToDisk without a file): park the flusher.
         // Shard rings then fill and producers hit the ring-full backoff,
         // which is how the bound propagates to the hot path.
-        ++I->Stats.BlockedAppends;
-        uint64_t W0 = telemetryNowNanos();
+        if (!Blocked) {
+          Blocked = true;
+          ++I->Stats.BlockedAppends;
+          W0 = telemetryNowNanos();
+        }
         // Records pushed earlier in this batch are consumable but the
         // batch-end QCV notify has not happened yet; wake any reader
         // parked on what it last saw as an empty queue before this side
         // goes to sleep, or neither ever wakes.
         I->QCV.notify_all();
         I->QSpaceCV.wait(Lock, [&] {
-          return I->Q.size() < BP.MaxPendingRecords &&
-                 (!BP.MaxTailBytes || I->QBytes < BP.MaxTailBytes);
+          return (I->Q.size() < BP.MaxPendingRecords &&
+                  (!BP.MaxTailBytes || I->QBytes < BP.MaxTailBytes)) ||
+                 activePolicy(BP) != BackpressurePolicy::BP_Block;
         });
+      }
+      if (Blocked) {
         uint64_t Waited = telemetryNowNanos() - W0;
         I->Stats.BlockedNanos += Waited;
         if (telemetryCompiledIn() && T) {
@@ -331,6 +373,8 @@ void BufferedLog::enqueueEmitted(uint64_t First, uint64_t S) {
           T->record(Histo::H_BlockedNs, Waited);
         }
       }
+      if (!Admit)
+        continue;
       size_t FP = actionFootprintBytes(A);
       I->QBytes += FP;
       I->Stats.PendingRecordsHwm =
@@ -354,7 +398,13 @@ void BufferedLog::enqueueEmitted(uint64_t First, uint64_t S) {
 size_t BufferedLog::emitReady() {
   const uint64_t First = I->SeqNext;
   uint64_t S = First;
-  while (S - First < I->Reorder.size() && I->Parked[S & I->ReorderMask])
+  // An adaptive controller caps the emit quantum through the batch-target
+  // hint (floor 1 so progress never stalls); without one the whole
+  // contiguous run goes out at once, as before.
+  uint64_t Limit = std::min<uint64_t>(
+      I->Reorder.size(),
+      std::max<size_t>(batchTargetHint(I->Reorder.size()), 1));
+  while (S - First < Limit && I->Parked[S & I->ReorderMask])
     ++S;
   size_t K = static_cast<size_t>(S - First);
   if (K == 0)
@@ -440,10 +490,17 @@ void BufferedLog::popFrontLocked(Action &Out) {
       T->gaugeSub(Gauge::G_TailBytes, FP);
     }
     I->QSpaceCV.notify_one();
-    if (spillModeOn()) {
+    // Monotone: a stale pop (a record the spill reader already
+    // delivered from disk while its producer was still blocked) must
+    // not rewind the frontier, or the next queued record is delivered
+    // twice.
+    if (spillCapable() && Out.Seq + 1 > I->Delivered) {
       I->Delivered = Out.Seq + 1;
       if (I->SpillReader)
         I->SpillReader.reset(); // stale: positioned inside a finished gap
+      while (!I->ShedGaps.empty() &&
+             I->ShedGaps.front().second <= I->Delivered)
+        I->ShedGaps.erase(I->ShedGaps.begin());
     }
   }
 }
@@ -468,7 +525,17 @@ bool BufferedLog::spillNextLocked(Action &Out) {
       I->SpillNextSeq = A.Seq + 1;
       if (A.Seq < I->Delivered)
         continue; // opened at a segment boundary before the gap
-      I->Delivered = A.Seq + 1; // seqs are dense in spill mode
+      while (!I->ShedGaps.empty() && I->ShedGaps.front().second <= A.Seq)
+        I->ShedGaps.erase(I->ShedGaps.begin());
+      if (!I->ShedGaps.empty() && A.Seq >= I->ShedGaps.front().first) {
+        // Shed while spill-capable: on disk but deliberately dropped from
+        // the online stream. Skip, but advance the frontier past it.
+        I->Delivered = A.Seq + 1;
+        continue;
+      }
+      // On-disk seqs are dense, so every one is either delivered here or
+      // skipped as a shed gap above; the frontier never strands.
+      I->Delivered = A.Seq + 1;
       Out = std::move(A);
       return true;
     }
@@ -489,12 +556,12 @@ bool BufferedLog::spillNextLocked(Action &Out) {
 bool BufferedLog::readyLocked() const {
   if (!I->Q.empty())
     return true;
-  return spillModeOn() && !I->SpillFailed &&
+  return spillCapable() && !I->SpillFailed &&
          I->Delivered < I->EmittedSeq.load(std::memory_order_acquire);
 }
 
 bool BufferedLog::tryNextLocked(Action &Out, bool &End) {
-  if (!spillModeOn()) {
+  if (!spillCapable()) {
     if (!I->Q.empty()) {
       popFrontLocked(Out);
       End = false;
@@ -543,7 +610,7 @@ bool BufferedLog::tryNext(Action &Out, bool &End) {
 }
 
 bool BufferedLog::nextBatch(std::vector<Action> &Out, size_t Max) {
-  if (spillModeOn())
+  if (spillCapable())
     return Log::nextBatch(Out, Max); // per-record path handles disk gaps
   Out.clear();
   std::unique_lock Lock(I->QM);
@@ -575,6 +642,17 @@ BackpressureStats BufferedLog::backpressureStats() const {
 void BufferedLog::setShedClassifier(std::function<bool(const Action &)> Fn) {
   std::lock_guard Lock(I->QM);
   I->Shed.setClassifier(std::move(Fn));
+}
+
+void BufferedLog::onPolicyChange() {
+  // A policy transition can strand the flusher parked on QSpaceCV under a
+  // predicate the new policy would decide differently; wake it to
+  // re-decide. Taking QM orders the wakeup after the cell store.
+  {
+    std::lock_guard Lock(I->QM);
+  }
+  I->QSpaceCV.notify_all();
+  I->QCV.notify_all();
 }
 
 void BufferedLog::takeSegmentCuts(std::vector<SegmentCut> &Out) {

@@ -156,6 +156,7 @@ public:
   void setShedClassifier(std::function<bool(const Action &)> Fn) override;
   void reclaimCheckedPrefix(uint64_t Watermark) override;
   void takeSegmentCuts(std::vector<SegmentCut> &Out) override;
+  void onPolicyChange() override;
 
   /// Number of producer threads that have registered a shard.
   size_t shardCount() const;
@@ -165,7 +166,12 @@ private:
 
   ThreadLogShard &shardForCurrentThread();
   void flusherMain();
-  bool spillModeOn() const;
+  /// True when the reader must track the delivery frontier and be able to
+  /// re-read over-limit records from the file: the static policy is
+  /// BP_SpillToDisk, or a dynamic-policy cell is installed and could
+  /// escalate into it mid-run (frontier bookkeeping must be on from the
+  /// first record, or an escalation would re-deliver the whole file).
+  bool spillCapable() const;
   /// Pushes one emit round's records [\p First, \p S) into the reader
   /// queue under the configured admission policy.
   void enqueueEmitted(uint64_t First, uint64_t S);

@@ -96,9 +96,16 @@ uint64_t MemoryLog::append(Action A) {
     A.Seq = NextSeq++;
     Seq = A.Seq;
     if (BP.Enabled) {
+      BackpressurePolicy P = activePolicy(BP);
       bool Over = overLimitLocked();
-      if (BP.Policy == BackpressurePolicy::BP_Shed &&
-          Shed.shouldShed(A, Over)) {
+      // With a dynamic policy the shed filter is consulted even while the
+      // active policy is not BP_Shed (with OverLimit pinned false): a
+      // record continuing an execution whose call was shed under an
+      // earlier escalation must go down with it, whatever the policy is
+      // by the time it arrives — executions are dropped whole or not at
+      // all.
+      if ((P == BackpressurePolicy::BP_Shed || hasDynamicPolicy()) &&
+          Shed.shouldShed(A, Over && P == BackpressurePolicy::BP_Shed)) {
         // Dropped entirely — there is no disk copy here. The sequence
         // number stays consumed so the witness order of admitted records
         // is unchanged (the checker never needs dense numbers).
@@ -108,18 +115,32 @@ uint64_t MemoryLog::append(Action A) {
         countAppend(T, T0);
         return Seq;
       }
-      if (BP.Policy != BackpressurePolicy::BP_Shed && Over) {
+      if (P != BackpressurePolicy::BP_Shed && Over) {
         // BP_Block — and BP_SpillToDisk, which has nowhere to spill in a
         // purely in-memory log and degrades to blocking (validate()
-        // rejects the combination for Verifier-owned logs).
+        // rejects the combination for Verifier-owned logs). A dynamic
+        // policy escalating past BP_Block wakes the waiters through
+        // onPolicyChange() and re-decides admission under the new rung.
         ++Stats.BlockedAppends;
         uint64_t W0 = telemetryNowNanos();
-        SpaceCV.wait(Lock, [&] { return !overLimitLocked() || Closed; });
+        SpaceCV.wait(Lock, [&] {
+          return !overLimitLocked() || Closed ||
+                 activePolicy(BP) == BackpressurePolicy::BP_Shed;
+        });
         uint64_t Waited = telemetryNowNanos() - W0;
         Stats.BlockedNanos += Waited;
         if (telemetryCompiledIn() && T) {
           T->count(Counter::C_BlockedAppends);
           T->record(Histo::H_BlockedNs, Waited);
+        }
+        if (!Closed && overLimitLocked() &&
+            activePolicy(BP) == BackpressurePolicy::BP_Shed &&
+            Shed.shouldShed(A, true)) {
+          ++Stats.ShedRecords;
+          if (telemetryCompiledIn() && T)
+            T->count(Counter::C_ShedRecords);
+          countAppend(T, T0);
+          return Seq;
         }
       }
       size_t FP = actionFootprintBytes(A);
@@ -174,6 +195,35 @@ bool MemoryLog::tryNext(Action &Out, bool &End) {
   return false;
 }
 
+bool MemoryLog::nextBatch(std::vector<Action> &Out, size_t Max) {
+  Out.clear();
+  if (Max == 0)
+    Max = 1;
+  std::unique_lock Lock(M);
+  CV.wait(Lock, [&] { return !Q.empty() || Closed; });
+  if (Q.empty())
+    return false;
+  uint64_t FPSum = 0;
+  while (!Q.empty() && Out.size() < Max) {
+    Out.push_back(std::move(Q.front()));
+    Q.pop_front();
+    if (BP.Enabled)
+      FPSum += actionFootprintBytes(Out.back());
+  }
+  if (BP.Enabled) {
+    QueueBytes -= std::min<uint64_t>(FPSum, QueueBytes);
+    if (Telemetry *T = telemetry(); telemetryCompiledIn() && T) {
+      T->gaugeSub(Gauge::G_PendingRecords, Out.size());
+      T->gaugeSub(Gauge::G_TailBytes, FPSum);
+    }
+    // One wakeup for the whole batch: the base-class per-record path
+    // notified once per pop, which on a saturated bounded queue meant a
+    // producer/consumer context-switch pair every record.
+    SpaceCV.notify_all();
+  }
+  return true;
+}
+
 uint64_t MemoryLog::appendCount() const {
   std::lock_guard Lock(M);
   return NextSeq;
@@ -187,6 +237,11 @@ BackpressureStats MemoryLog::backpressureStats() const {
 void MemoryLog::setShedClassifier(std::function<bool(const Action &)> Fn) {
   std::lock_guard Lock(M);
   Shed.setClassifier(std::move(Fn));
+}
+
+void MemoryLog::onPolicyChange() {
+  std::lock_guard Lock(M);
+  SpaceCV.notify_all();
 }
 
 //===----------------------------------------------------------------------===//
@@ -212,52 +267,90 @@ bool FileLog::overLimitLocked() const {
          (BP.MaxTailBytes && TailBytes >= BP.MaxTailBytes);
 }
 
-bool FileLog::spillModeOn() const {
-  return BP.Enabled && BP.Policy == BackpressurePolicy::BP_SpillToDisk &&
-         RetainTail;
+bool FileLog::spillCapable() const {
+  // Static spill configurations, plus any dynamic-policy configuration
+  // (the escalation ladder of a file-backed log always contains the
+  // spill rung): the reader must then track its delivery frontier from
+  // the start — a mid-run escalation into spill with a stale frontier
+  // would re-deliver the whole file.
+  return BP.Enabled && RetainTail &&
+         (BP.Policy == BackpressurePolicy::BP_SpillToDisk ||
+          hasDynamicPolicy());
+}
+
+void FileLog::noteShedGapLocked(uint64_t Seq) {
+  if (!ShedGaps.empty() && ShedGaps.back().second == Seq)
+    ++ShedGaps.back().second;
+  else
+    ShedGaps.push_back({Seq, Seq + 1});
 }
 
 void FileLog::admitTailLocked(std::unique_lock<std::mutex> &Lock,
                               Action &&A) {
   Telemetry *T = telemetry();
   if (BP.Enabled) {
-    bool Over = overLimitLocked();
-    switch (BP.Policy) {
-    case BackpressurePolicy::BP_Shed:
-      if (Shed.shouldShed(A, Over)) {
-        // Dropped from the *tail* only: the record is already on disk, so
-        // post-mortem re-checking sees the complete log. The accounting
-        // says exactly what the online checker did not.
-        ++Stats.ShedRecords;
-        if (telemetryCompiledIn() && T)
-          T->count(Counter::C_ShedRecords);
-        return;
-      }
-      break;
-    case BackpressurePolicy::BP_SpillToDisk:
-      if (Over) {
-        // The disk copy is the overflow buffer; the reader re-reads the
-        // gap through a tailing LogFileReader when it catches up.
-        ++Stats.SpilledRecords;
-        if (telemetryCompiledIn() && T)
-          T->count(Counter::C_SpilledRecords);
-        return;
-      }
-      break;
-    case BackpressurePolicy::BP_Block:
-      if (Over) {
-        ++Stats.BlockedAppends;
-        uint64_t W0 = telemetryNowNanos();
-        SpaceCV.wait(Lock, [&] { return !overLimitLocked() || Closed; });
-        uint64_t Waited = telemetryNowNanos() - W0;
-        Stats.BlockedNanos += Waited;
-        if (telemetryCompiledIn() && T) {
-          T->count(Counter::C_BlockedAppends);
-          T->record(Histo::H_BlockedNs, Waited);
+    bool Blocked = false;
+    bool Admit = true;
+    uint64_t W0 = 0;
+    for (;;) {
+      BackpressurePolicy P = activePolicy(BP);
+      bool Over = overLimitLocked();
+      // The shed filter is consulted whenever the policy is (or, with a
+      // dynamic ladder, could earlier have been) BP_Shed: records
+      // continuing an execution whose call was shed must go down with
+      // it regardless of the rung in force now.
+      if (P == BackpressurePolicy::BP_Shed || hasDynamicPolicy()) {
+        if (Shed.shouldShed(A, Over && P == BackpressurePolicy::BP_Shed)) {
+          // Dropped from the *tail* only: the record is already on disk,
+          // so post-mortem re-checking sees the complete log. The
+          // accounting says exactly what the online checker did not.
+          ++Stats.ShedRecords;
+          if (telemetryCompiledIn() && T)
+            T->count(Counter::C_ShedRecords);
+          if (spillCapable())
+            noteShedGapLocked(A.Seq); // not a spill gap: never re-read
+          Admit = false;
+          break;
         }
+        if (P == BackpressurePolicy::BP_Shed)
+          break; // shed admits everything it does not drop
       }
-      break;
+      if (P == BackpressurePolicy::BP_SpillToDisk) {
+        if (Over) {
+          // The disk copy is the overflow buffer; the reader re-reads the
+          // gap through a tailing LogFileReader when it catches up.
+          ++Stats.SpilledRecords;
+          if (telemetryCompiledIn() && T)
+            T->count(Counter::C_SpilledRecords);
+          Admit = false;
+        }
+        break;
+      }
+      // BP_Block.
+      if (!Over || Closed)
+        break;
+      if (!Blocked) {
+        Blocked = true;
+        ++Stats.BlockedAppends;
+        W0 = telemetryNowNanos();
+      }
+      SpaceCV.wait(Lock, [&] {
+        return !overLimitLocked() || Closed ||
+               activePolicy(BP) != BackpressurePolicy::BP_Block;
+      });
+      // Loop: the policy may have escalated while we slept — re-decide
+      // admission under the new rung.
     }
+    if (Blocked) {
+      uint64_t Waited = telemetryNowNanos() - W0;
+      Stats.BlockedNanos += Waited;
+      if (telemetryCompiledIn() && T) {
+        T->count(Counter::C_BlockedAppends);
+        T->record(Histo::H_BlockedNs, Waited);
+      }
+    }
+    if (!Admit)
+      return;
     size_t FP = actionFootprintBytes(A);
     TailBytes += FP;
     Stats.PendingRecordsHwm =
@@ -308,10 +401,16 @@ void FileLog::popTailLocked(Action &Out) {
     TailBytes -= std::min<uint64_t>(FP, TailBytes);
     gaugeRelease(telemetry(), FP);
     SpaceCV.notify_one();
-    if (spillModeOn()) {
+    // Monotone: a stale pop (a record the spill reader already
+    // delivered from disk while its producer was still blocked) must
+    // not rewind the frontier, or the next tail record is delivered
+    // twice.
+    if (spillCapable() && Out.Seq + 1 > Delivered) {
       Delivered = Out.Seq + 1;
       if (SpillReader)
         SpillReader.reset(); // stale: positioned inside a finished gap
+      while (!ShedGaps.empty() && ShedGaps.front().second <= Delivered)
+        ShedGaps.erase(ShedGaps.begin());
     }
   }
 }
@@ -335,7 +434,15 @@ bool FileLog::spillNextLocked(Action &Out) {
       SpillNextSeq = A.Seq + 1;
       if (A.Seq < Delivered)
         continue; // the reader opened at a segment boundary before the gap
-      Delivered = A.Seq + 1; // seqs are dense in spill mode
+      // Records shed from the tail under a dynamic policy exist on disk
+      // too; the catch-up reader must not resurrect them.
+      while (!ShedGaps.empty() && ShedGaps.front().second <= A.Seq)
+        ShedGaps.erase(ShedGaps.begin());
+      if (!ShedGaps.empty() && A.Seq >= ShedGaps.front().first) {
+        Delivered = A.Seq + 1;
+        continue;
+      }
+      Delivered = A.Seq + 1; // every on-disk seq is delivered or skipped
       Out = std::move(A);
       return true;
     }
@@ -359,11 +466,11 @@ bool FileLog::spillNextLocked(Action &Out) {
 bool FileLog::readyLocked() const {
   if (!Tail.empty())
     return true;
-  return spillModeOn() && !SpillFailed && Delivered < NextSeq;
+  return spillCapable() && !SpillFailed && Delivered < NextSeq;
 }
 
 bool FileLog::tryNextLocked(Action &Out, bool &End) {
-  if (!spillModeOn()) {
+  if (!spillCapable()) {
     if (!Tail.empty()) {
       popTailLocked(Out);
       End = false;
@@ -374,10 +481,13 @@ bool FileLog::tryNextLocked(Action &Out, bool &End) {
   }
   // Spill mode: deliver strictly in sequence order, preferring the tail
   // and filling gaps (spilled regions) from the sink's file(s).
+  // Overlap happens under a block-base dynamic ladder: a producer
+  // blocked on space has already written its record to disk, so a fast
+  // reader can spill-read it before the producer wakes and pushes it
+  // into the tail.
   while (!Tail.empty() && Tail.front().Seq < Delivered) {
     Action Drop;
-    popTailLocked(Drop); // already delivered from disk (no such overlap
-                         // under M, but harmless to tolerate)
+    popTailLocked(Drop); // already delivered from disk
   }
   if (!Tail.empty() && Tail.front().Seq == Delivered) {
     popTailLocked(Out);
@@ -429,6 +539,11 @@ BackpressureStats FileLog::backpressureStats() const {
 void FileLog::setShedClassifier(std::function<bool(const Action &)> Fn) {
   std::lock_guard Lock(M);
   Shed.setClassifier(std::move(Fn));
+}
+
+void FileLog::onPolicyChange() {
+  std::lock_guard Lock(M);
+  SpaceCV.notify_all();
 }
 
 void FileLog::takeSegmentCuts(std::vector<SegmentCut> &Out) {

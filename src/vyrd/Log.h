@@ -104,6 +104,30 @@ public:
   /// unbounded configurations (the base default).
   virtual BackpressureStats backpressureStats() const { return {}; }
 
+  /// Subscribes the bounded stage to a dynamic admission policy: every
+  /// admission decision reads the current BackpressurePolicy ordinal from
+  /// \p Cell instead of the static BackpressureConfig::Policy. The
+  /// AdaptiveController owns the cell (its escalation state); it must
+  /// outlive the log. Install before producers start; null (the default)
+  /// keeps the static policy.
+  void setDynamicPolicy(const std::atomic<uint8_t> *Cell) {
+    DynPolicy.store(Cell, std::memory_order_release);
+  }
+
+  /// Subscribes the backend's drain stage (BufferedLog's flusher emit
+  /// quantum) to the adaptive batch target. Backends without a drain
+  /// quantum ignore it. Same lifetime rules as setDynamicPolicy.
+  void setBatchTargetHint(const std::atomic<size_t> *Cell) {
+    BatchHint.store(Cell, std::memory_order_release);
+  }
+
+  /// Dynamic-policy nudge: called (from the pump thread) right after the
+  /// installed policy cell changed, so producers parked on a
+  /// policy-specific wait (BP_Block's space CV) re-evaluate under the new
+  /// rung instead of waiting for the next room notification. Default
+  /// no-op.
+  virtual void onPolicyChange() {}
+
   /// Installs the observer classifier the BP_Shed policy consults (see
   /// ShedFilter::setClassifier). Must be called before producers start;
   /// without a classifier BP_Shed sheds nothing. No-op on backends
@@ -132,8 +156,32 @@ protected:
     return Telem.load(std::memory_order_acquire);
   }
 
+  /// The admission policy currently in force: the dynamic cell's value
+  /// when one is installed, the static configuration otherwise.
+  BackpressurePolicy activePolicy(const BackpressureConfig &BP) const {
+    const std::atomic<uint8_t> *C = DynPolicy.load(std::memory_order_acquire);
+    return C ? static_cast<BackpressurePolicy>(
+                   C->load(std::memory_order_relaxed))
+             : BP.Policy;
+  }
+
+  /// Whether a dynamic policy cell is installed (the policy can change
+  /// mid-run; spill-capable backends must then track their delivery
+  /// frontier from the start — see FileLog).
+  bool hasDynamicPolicy() const {
+    return DynPolicy.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// The adaptive drain quantum, or \p Default when none is installed.
+  size_t batchTargetHint(size_t Default) const {
+    const std::atomic<size_t> *C = BatchHint.load(std::memory_order_acquire);
+    return C ? C->load(std::memory_order_relaxed) : Default;
+  }
+
 private:
   std::atomic<Telemetry *> Telem{nullptr};
+  std::atomic<const std::atomic<uint8_t> *> DynPolicy{nullptr};
+  std::atomic<const std::atomic<size_t> *> BatchHint{nullptr};
 };
 
 /// In-memory log: a mutex-guarded queue with a condition variable for the
@@ -152,9 +200,14 @@ public:
   void close() override;
   bool next(Action &Out) override;
   bool tryNext(Action &Out, bool &End) override;
+  /// Bulk drain: one lock round trip and one producer wakeup for the
+  /// whole batch instead of per record — the sync cost the adaptive
+  /// batch target amortizes under backlog.
+  bool nextBatch(std::vector<Action> &Out, size_t Max) override;
   uint64_t appendCount() const override;
   BackpressureStats backpressureStats() const override;
   void setShedClassifier(std::function<bool(const Action &)> Fn) override;
+  void onPolicyChange() override;
 
 private:
   bool overLimitLocked() const;
@@ -209,6 +262,7 @@ public:
   uint64_t byteCount() const override;
   BackpressureStats backpressureStats() const override;
   void setShedClassifier(std::function<bool(const Action &)> Fn) override;
+  void onPolicyChange() override;
   void reclaimCheckedPrefix(uint64_t Watermark) override;
   void takeSegmentCuts(std::vector<SegmentCut> &Out) override;
 
@@ -217,11 +271,12 @@ public:
 private:
   bool overLimitLocked() const;
   bool readyLocked() const;
-  bool spillModeOn() const;
+  bool spillCapable() const;
   void admitTailLocked(std::unique_lock<std::mutex> &Lock, Action &&A);
   bool tryNextLocked(Action &Out, bool &End);
   bool spillNextLocked(Action &Out);
   void popTailLocked(Action &Out);
+  void noteShedGapLocked(uint64_t Seq);
 
   std::string Path;
   SegmentSink Sink; ///< the disk side: file(s), encoder, rotation
@@ -245,6 +300,12 @@ private:
   std::unique_ptr<LogFileReader> SpillReader;
   uint64_t SpillNextSeq = 0;
   bool SpillFailed = false; // latched on corrupt spilled region
+  /// Seq ranges [first, second) dropped by BP_Shed while spill-capable
+  /// (dynamic policy): those records exist on disk, so the catch-up
+  /// reader must skip them instead of resurrecting them as spill
+  /// deliveries. Sheds are bursty, so the ranges stay few; entries below
+  /// Delivered are pruned as the reader passes them. Guarded by M.
+  std::vector<std::pair<uint64_t, uint64_t>> ShedGaps;
   /// Segment telemetry deltas already forwarded (pump thread only).
   uint64_t SegCreatedSeen = 0;
   uint64_t SegReclaimedSeen = 0;

@@ -51,6 +51,32 @@ std::string VerifierConfig::validate() const {
              "(offline runs buffer the whole log anyway, so shedding "
              "would lose coverage for no memory benefit)";
   }
+  if (Adaptive.Enabled) {
+    if (!Online)
+      return "Adaptive.Enabled requires Online = true (the controller "
+             "runs on the consumption thread; an offline pass has no "
+             "live lag to react to)";
+    if (Adaptive.MinBatch == 0)
+      return "Adaptive.MinBatch must be >= 1";
+    if (Adaptive.MaxBatch < Adaptive.MinBatch)
+      return "Adaptive.MaxBatch must be >= Adaptive.MinBatch";
+    if (Adaptive.InitialBatch < Adaptive.MinBatch ||
+        Adaptive.InitialBatch > Adaptive.MaxBatch)
+      return "Adaptive.InitialBatch must lie in [MinBatch, MaxBatch]";
+    if (Adaptive.GrowStep == 0)
+      return "Adaptive.GrowStep must be >= 1 (a zero step never grows)";
+    if (!(Adaptive.ShrinkFactor > 0.0) || Adaptive.ShrinkFactor > 1.0)
+      return "Adaptive.ShrinkFactor must lie in (0, 1]";
+    if (Adaptive.EscalatePolicy) {
+      if (!Backpressure.Enabled)
+        return "Adaptive.EscalatePolicy requires Backpressure.Enabled "
+               "(there is no admission policy to escalate without a "
+               "bounded pipeline)";
+      if (Adaptive.DeescalateLagLo >= Adaptive.EscalateLagHi)
+        return "Adaptive.DeescalateLagLo must be < Adaptive.EscalateLagHi "
+               "(the watermarks need a dead band or the policy flaps)";
+    }
+  }
   if (Snapshots) {
     if (!Backpressure.SegmentBytes)
       return "Snapshots requires Backpressure.SegmentBytes > 0 (snapshot "
@@ -125,6 +151,21 @@ std::string VerifierReport::str() const {
              "/reclaimed=" + std::to_string(Backpressure.SegmentsReclaimed) +
              "/live_hwm=" + std::to_string(Backpressure.SegmentsLiveHwm);
     Out += "\n";
+  }
+  if (Adaptive.Enabled) {
+    Out += "adaptive: batch_target=" +
+           std::to_string(Adaptive.BatchTargetFinal) +
+           " batch_target_hwm=" + std::to_string(Adaptive.BatchTargetHwm);
+    if (!Adaptive.FinalPolicy.empty())
+      Out += " policy=" + Adaptive.FinalPolicy;
+    if (Adaptive.Escalations || Adaptive.Deescalations)
+      Out += " escalations=" + std::to_string(Adaptive.Escalations) +
+             " deescalations=" + std::to_string(Adaptive.Deescalations);
+    Out += "\n";
+    for (const AdaptiveController::Transition &T : Adaptive.Transitions)
+      Out += "  transition: " + T.str() + " at seq " +
+             std::to_string(T.Seq) + " (lag " +
+             std::to_string(T.LagRecords) + ")\n";
   }
   for (const std::string &N : Notes)
     Out += "note: " + N + "\n";
@@ -220,6 +261,31 @@ std::string VerifierReport::json() const {
   Out += "]";
   if (Backpressure.any())
     Out += ",\"backpressure\":" + backpressureJson(Backpressure);
+  if (Adaptive.Enabled) {
+    Out += ",\"adaptive\":{";
+    Out += "\"batch_target_final\":" +
+           std::to_string(Adaptive.BatchTargetFinal);
+    Out += ",\"batch_target_hwm\":" +
+           std::to_string(Adaptive.BatchTargetHwm);
+    Out += ",\"final_policy\":\"" + Adaptive.FinalPolicy + "\"";
+    Out += ",\"escalations\":" + std::to_string(Adaptive.Escalations);
+    Out += ",\"deescalations\":" + std::to_string(Adaptive.Deescalations);
+    Out += ",\"transitions\":[";
+    for (size_t I = 0; I < Adaptive.Transitions.size(); ++I) {
+      const AdaptiveController::Transition &T = Adaptive.Transitions[I];
+      if (I)
+        Out += ",";
+      Out += "{\"from\":\"" +
+             std::string(backpressurePolicyName(T.From)) + "\"";
+      Out += ",\"to\":\"" + std::string(backpressurePolicyName(T.To)) +
+             "\"";
+      Out += ",\"seq\":" + std::to_string(T.Seq);
+      Out += ",\"lag\":" + std::to_string(T.LagRecords);
+      Out += ",\"escalation\":" +
+             std::string(T.Escalation ? "true" : "false") + "}";
+    }
+    Out += "]}";
+  }
   if (!Notes.empty()) {
     Out += ",\"notes\":[";
     for (size_t I = 0; I < Notes.size(); ++I) {
@@ -313,17 +379,27 @@ public:
   /// which has nothing left to spill here — the records are already in
   /// memory) parks the pump until workers drain below the bound, so the
   /// pressure propagates back into the log; BP_Shed drops observer
-  /// executions from the batch while over the bound. Admission is
-  /// batch-granular, so occupancy can overshoot the bound by at most one
-  /// pump batch.
+  /// executions from the batch while over the bound. Admission is sliced
+  /// at the free room, so occupancy never exceeds the bound (the old
+  /// batch-granular path could overshoot by a whole pump batch — with
+  /// adaptive batch sizing, by up to MaxBatch records).
   void dispatch(ObjectState &O, std::vector<Action> &Batch) {
     std::unique_lock Lock(M);
+    const bool Dynamic = V.Ctl && V.Ctl->dynamicPolicy();
+    auto Active = [&] {
+      return Dynamic ? V.Ctl->policy() : BP.Policy;
+    };
     if (BP.Enabled) {
-      if (BP.Policy == BackpressurePolicy::BP_Shed &&
+      BackpressurePolicy P = Active();
+      if ((P == BackpressurePolicy::BP_Shed || Dynamic) &&
           Shed.hasClassifier()) {
+        // With a dynamic policy the filter runs under every rung (new
+        // sheds only while BP_Shed is active and over the bound) so open
+        // shed windows close whole across de-escalations.
         size_t Kept = 0;
         for (size_t I = 0; I < Batch.size(); ++I) {
-          bool Over = PendingRecs + Kept >= BP.MaxPendingRecords;
+          bool Over = P == BackpressurePolicy::BP_Shed &&
+                      PendingRecs + Kept >= BP.MaxPendingRecords;
           if (Shed.shouldShed(Batch[I], Over)) {
             ++Stats.ShedRecords;
             continue;
@@ -335,42 +411,76 @@ public:
         if (size_t ShedNow = Batch.size() - Kept; ShedNow && V.Telem)
           V.Telem->count(Counter::C_ShedRecords, ShedNow);
         Batch.resize(Kept);
-        if (Batch.empty()) {
-          Batch.clear();
+        if (Batch.empty())
           return; // whole batch shed; buffer reused as-is next round
-        }
-      } else if (PendingRecs >= BP.MaxPendingRecords) {
-        uint64_t T0 = telemetryNowNanos();
-        SpaceCV.wait(Lock, [&] {
-          return PendingRecs < BP.MaxPendingRecords;
-        });
-        uint64_t Waited = telemetryNowNanos() - T0;
-        ++Stats.BlockedAppends;
-        Stats.BlockedNanos += Waited;
-        if (V.Telem) {
-          V.Telem->count(Counter::C_BlockedAppends);
-          V.Telem->cell().record(Histo::H_BlockedNs, Waited);
-        }
       }
     }
-    PendingRecs += Batch.size();
-    O.PendingRecs += Batch.size();
-    Stats.PendingRecordsHwm = std::max(Stats.PendingRecordsHwm, PendingRecs);
-    if (V.Telem)
-      V.Telem->gaugeAdd(Gauge::G_PendingRecords, Batch.size());
-    O.PendingBatches.push_back(std::move(Batch));
-    if (FreeBatches.empty()) {
-      Batch = std::vector<Action>();
-    } else {
-      Batch = std::move(FreeBatches.back());
-      FreeBatches.pop_back();
+    const size_t Total = Batch.size();
+    size_t Begin = 0;
+    bool MovedWhole = false;
+    // Enqueues Batch[Begin, Begin + N) and makes the object runnable.
+    // A whole-batch slice moves the vector itself (the recycled-buffer
+    // protocol with the pump); a partial slice moves the records into a
+    // freelist buffer so the next slice can still wait for room.
+    auto EnqueueLocked = [&](size_t N) {
+      std::vector<Action> Slice;
+      if (Begin == 0 && N == Total) {
+        Slice = std::move(Batch);
+        if (FreeBatches.empty()) {
+          Batch = std::vector<Action>();
+        } else {
+          Batch = std::move(FreeBatches.back());
+          FreeBatches.pop_back();
+        }
+        MovedWhole = true;
+      } else {
+        if (!FreeBatches.empty()) {
+          Slice = std::move(FreeBatches.back());
+          FreeBatches.pop_back();
+        }
+        Slice.insert(Slice.end(),
+                     std::make_move_iterator(Batch.begin() + Begin),
+                     std::make_move_iterator(Batch.begin() + Begin + N));
+      }
+      PendingRecs += N;
+      O.PendingRecs += N;
+      Stats.PendingRecordsHwm =
+          std::max(Stats.PendingRecordsHwm, PendingRecs);
+      if (V.Telem)
+        V.Telem->gaugeAdd(Gauge::G_PendingRecords, N);
+      O.PendingBatches.push_back(std::move(Slice));
+      if (!O.Scheduled) {
+        O.Scheduled = true;
+        ++ActiveObjects;
+        Runnable.push_back(&O);
+        WorkCV.notify_one();
+      }
+    };
+    while (Begin < Total) {
+      size_t N = Total - Begin;
+      if (BP.Enabled && Active() != BackpressurePolicy::BP_Shed) {
+        if (PendingRecs >= BP.MaxPendingRecords) {
+          uint64_t T0 = telemetryNowNanos();
+          SpaceCV.wait(Lock, [&] {
+            return PendingRecs < BP.MaxPendingRecords ||
+                   Active() == BackpressurePolicy::BP_Shed;
+          });
+          uint64_t Waited = telemetryNowNanos() - T0;
+          ++Stats.BlockedAppends;
+          Stats.BlockedNanos += Waited;
+          if (V.Telem) {
+            V.Telem->count(Counter::C_BlockedAppends);
+            V.Telem->cell().record(Histo::H_BlockedNs, Waited);
+          }
+          continue; // re-decide: room may be partial, policy may differ
+        }
+        N = std::min<size_t>(N, BP.MaxPendingRecords - PendingRecs);
+      }
+      EnqueueLocked(N);
+      Begin += N;
     }
-    if (!O.Scheduled) {
-      O.Scheduled = true;
-      ++ActiveObjects;
-      Runnable.push_back(&O);
-      WorkCV.notify_one();
-    }
+    if (!MovedWhole)
+      Batch.clear(); // records moved out slice-by-slice; keep capacity
   }
 
   /// The sequence number below which every record dispatched to the pool
@@ -570,6 +680,25 @@ Verifier::Verifier(VerifierConfig C) : Config(std::move(C)) {
   }
   if (!Config.Telemetry.TraceFilePath.empty())
     Tracer = std::make_unique<TraceRecorder>();
+  if (Config.Adaptive.Enabled) {
+    // The spill rung needs somewhere to spill: a file-backed backend
+    // (both keep the delivery-frontier bookkeeping on from record 0 once
+    // the dynamic-policy cell is installed, so a mid-run escalation into
+    // spill starts from a correct frontier).
+    bool CanSpill = B != LogBackend::LB_Memory && !Config.LogFilePath.empty();
+    Ctl = std::make_unique<AdaptiveController>(
+        Config.Adaptive, Config.Backpressure.Policy, CanSpill);
+    Ctl->setTelemetry(Telem.get());
+    TheLog->setBatchTargetHint(&Ctl->batchCell());
+    if (Ctl->dynamicPolicy())
+      TheLog->setDynamicPolicy(&Ctl->policyCell());
+    if (Telem) {
+      Telem->gaugeSet(Gauge::G_PumpBatchTarget, Ctl->batchTarget());
+      if (Ctl->dynamicPolicy())
+        Telem->gaugeSet(Gauge::G_PolicyActive,
+                        static_cast<uint64_t>(Ctl->policy()));
+    }
+  }
   if (!Config.Monitor.SocketPath.empty()) {
     MonSource = std::make_unique<MonitorAdapter>(*this);
     Mon = std::make_unique<MonitorServer>(Config.Monitor, *MonSource);
@@ -791,8 +920,12 @@ void Verifier::takeSnapshot(uint64_t SegIndex, uint64_t CutSeq) {
 void Verifier::pump() {
   // Batch consumption amortizes one log wakeup + lock round trip over up
   // to PumpBatch records; each record is then routed to its object's
-  // pipeline (the checkers themselves stay record-at-a-time).
-  constexpr size_t PumpBatch = 256;
+  // pipeline (the checkers themselves stay record-at-a-time). With an
+  // adaptive controller the batch target is re-read every loop — it
+  // grows under lag and shrinks when the checkers keep up.
+  constexpr size_t FixedPumpBatch = 256;
+  AdaptiveController *AC = Ctl.get();
+  size_t PumpBatch = AC ? AC->batchTarget() : FixedPumpBatch;
   std::vector<Action> Batch;
   Batch.reserve(PumpBatch);
   TelemetryCell *TC =
@@ -853,6 +986,33 @@ void Verifier::pump() {
           Pool ? Pool->checkedWatermark(LastSeq + 1) : LastSeq + 1;
       TheLog->reclaimCheckedPrefix(Checked);
     }
+    if (AC) {
+      // One control step per consumed batch: lag is the append frontier
+      // minus the consumed frontier (saturating — shed gaps cannot push
+      // the consumed frontier past the ticket counter, but be safe).
+      uint64_t Appended = TheLog->appendCount();
+      uint64_t Lag = Appended > LastSeq + 1 ? Appended - (LastSeq + 1) : 0;
+      if (AC->observe(Lag, LastSeq, telemetryNowNanos())) {
+        AdaptiveController::Transition T = AC->lastTransition();
+        if (Tracer)
+          Tracer->noteVerifierInstant(
+              LastSeq, std::string("policy ") +
+                           (T.Escalation ? "escalated" : "de-escalated") +
+                           ": " + T.str() + " (lag " +
+                           std::to_string(T.LagRecords) + ")");
+        // Wake anyone parked under the old policy's wait predicate so
+        // the new rung takes effect without waiting for organic churn.
+        TheLog->onPolicyChange();
+      }
+      PumpBatch = AC->batchTarget();
+      if (Tracer && Telem) {
+        Tracer->noteGauge(LastSeq, "pump_batch_target",
+                          Telem->gauge(Gauge::G_PumpBatchTarget));
+        if (AC->dynamicPolicy())
+          Tracer->noteGauge(LastSeq, "policy_active",
+                            Telem->gauge(Gauge::G_PolicyActive));
+      }
+    }
     if (Tracer && Telem && Config.Backpressure.Enabled) {
       Tracer->noteGauge(LastSeq, "pending_records",
                         Telem->gauge(Gauge::G_PendingRecords));
@@ -890,9 +1050,11 @@ void Verifier::start() {
     // the registered specs are the authority. Installed before any
     // producer appends (the classifier runs under the log's admission
     // lock, concurrently with checker-side isObserver calls — specs
-    // answer it as a pure const query).
+    // answer it as a pure const query). A dynamic policy that can
+    // escalate into BP_Shed needs the classifier armed up front too.
     if (Config.Backpressure.Enabled &&
-        Config.Backpressure.Policy == BackpressurePolicy::BP_Shed) {
+        (Config.Backpressure.Policy == BackpressurePolicy::BP_Shed ||
+         (Ctl && Ctl->canReachShed()))) {
       auto Classifier = [this](const Action &A) {
         return A.Obj < Objects.size() &&
                Objects[A.Obj]->S->isObserver(A.Method);
@@ -950,6 +1112,15 @@ VerifierReport Verifier::finish() {
   R.Backpressure = TheLog->backpressureStats();
   if (Pool)
     R.Backpressure.merge(Pool->stats());
+  if (Ctl) {
+    R.Adaptive.Enabled = true;
+    R.Adaptive.Escalations = Ctl->escalations();
+    R.Adaptive.Deescalations = Ctl->deescalations();
+    R.Adaptive.BatchTargetFinal = Ctl->batchTarget();
+    R.Adaptive.BatchTargetHwm = Ctl->batchTargetHwm();
+    R.Adaptive.FinalPolicy = backpressurePolicyName(Ctl->policy());
+    R.Adaptive.Transitions = Ctl->transitions();
+  }
   if (R.Backpressure.ShedRecords) {
     // Coverage degradation is a note, not a violation: the records that
     // were checked got sound verdicts, the shed observers simply were

@@ -25,6 +25,7 @@
 #ifndef VYRD_VERIFIER_H
 #define VYRD_VERIFIER_H
 
+#include "vyrd/Adaptive.h"
 #include "vyrd/BufferedLog.h"
 #include "vyrd/Checker.h"
 #include "vyrd/Instrument.h"
@@ -98,6 +99,16 @@ struct VerifierConfig {
   /// SegmentBytes > 0 additionally rotates file-backed logs into a
   /// segment chain that is trimmed as checkers advance.
   BackpressureConfig Backpressure;
+  /// Self-tuning pipeline (docs/ARCHITECTURE.md, "Self-tuning pipeline"):
+  /// when Adaptive.Enabled, an AIMD controller on the pump thread drives
+  /// the batch target off live checker lag, and — with
+  /// Adaptive.EscalatePolicy — walks the active admission policy up and
+  /// down the Block → Spill → Shed ladder under sustained pressure.
+  /// Requires Online; escalation additionally requires
+  /// Backpressure.Enabled. Off by default: the pipeline then behaves
+  /// bit-identically to previous releases (fixed 256-record batches,
+  /// static policy).
+  AdaptiveConfig Adaptive;
   /// Write spec-state snapshot sidecars at segment cuts (docs/SNAPSHOTS.md):
   /// whenever the segmented log rotates, the pump aligns every object's
   /// checker exactly on the cut, serializes the checkers' resumable state
@@ -189,6 +200,21 @@ struct VerifierReport {
   /// Forensic bundles written during the run (VerifierConfig::
   /// ForensicPrefix), in the order they were flushed.
   std::vector<std::string> ForensicFiles;
+  /// Self-tuning pipeline summary (all zeros / empty when
+  /// VerifierConfig::Adaptive was off).
+  struct AdaptiveSummary {
+    bool Enabled = false;
+    uint64_t Escalations = 0;
+    uint64_t Deescalations = 0;
+    /// Batch target when the run ended / the largest ever published.
+    size_t BatchTargetFinal = 0;
+    size_t BatchTargetHwm = 0;
+    /// Policy active at the end ("block"/"spill"/"shed").
+    std::string FinalPolicy;
+    /// Every policy transition, oldest first.
+    std::vector<AdaptiveController::Transition> Transitions;
+  };
+  AdaptiveSummary Adaptive;
 
   bool ok() const { return Violations.empty(); }
   /// Renders the full report for diagnostics (includes the per-object
@@ -295,6 +321,10 @@ private:
   void takeSnapshot(uint64_t SegIndex, uint64_t CutSeq);
 
   VerifierConfig Config;
+  /// Declared before TheLog: the log backends hold raw pointers to the
+  /// controller's policy/batch-target cells, so the controller must
+  /// outlive them (members are destroyed in reverse declaration order).
+  std::unique_ptr<AdaptiveController> Ctl;
   std::unique_ptr<Log> TheLog;
   /// Declared after TheLog: the sampler (which probes the log's append
   /// count) is joined before the log is destroyed.

@@ -461,9 +461,10 @@ TEST(VerifierBackpressureTest, BlockBoundsThePoolToo) {
   VerifierReport R = runThrottled(C, /*ThrottleUs=*/1, /*Execs=*/3000);
   EXPECT_TRUE(R.ok()) << R.str();
   EXPECT_EQ(R.Stats.MethodsChecked, 6000u);
-  // Pool admission is batch-granular: the bound may overshoot by at most
-  // one pump batch (256 records).
-  EXPECT_LE(R.Backpressure.PendingRecordsHwm, 64u + 256u);
+  // Pool admission slices batches at the free room, so the bound holds
+  // exactly (it used to be batch-granular, overshooting by up to one
+  // pump batch).
+  EXPECT_LE(R.Backpressure.PendingRecordsHwm, 64u);
 }
 
 TEST(VerifierBackpressureTest, ShedReportsExactCountsAndKeepsViolations) {
