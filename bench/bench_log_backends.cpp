@@ -36,7 +36,9 @@
 #include "vyrd/Auto.h"
 #include "vyrd/BufferedLog.h"
 #include "vyrd/Monitor.h"
+#include "vyrd/Serialize.h"
 #include "vyrd/Telemetry.h"
+#include "vyrd/Transport.h"
 
 #include <atomic>
 #include <cstdio>
@@ -214,6 +216,144 @@ private:
   Tracked<int64_t> V;
 };
 
+//===----------------------------------------------------------------------===//
+// Segment-shipping overhead: the same file-backed BufferedLog with 256 KiB
+// segment rotation, plus a shipper thread streaming every closed segment
+// over a unix socket (the SocketTransport wire protocol) to a
+// discard-and-ack receiver. Shipping reads *closed* files off the hot
+// path, so the app-side append cost must stay within noise of
+// buffered-file-nodrain (docs/SHIPPING.md; gated in bench/baseline.json).
+//===----------------------------------------------------------------------===//
+
+/// Minimal fleet stand-in: accepts one producer at a time, parses frames,
+/// discards segment bytes and acks the Close watermark (segment acks are
+/// irrelevant here — the bench never reclaims). Checking cost belongs to
+/// the remote fleet's CPU budget, not to this producer-side bench.
+class DiscardAckServer {
+public:
+  explicit DiscardAckServer(const std::string &Path) : Path(Path) {
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    if (Path.size() >= sizeof(Addr.sun_path))
+      return;
+    std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+    std::remove(Path.c_str());
+    ListenFd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0)
+      return;
+    if (bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+            0 ||
+        listen(ListenFd, 4) != 0) {
+      close(ListenFd);
+      ListenFd = -1;
+      return;
+    }
+    Srv = std::thread([this] { serve(); });
+  }
+
+  ~DiscardAckServer() {
+    Stop.store(true, std::memory_order_release);
+    if (ListenFd >= 0)
+      shutdown(ListenFd, SHUT_RDWR);
+    if (Srv.joinable())
+      Srv.join();
+    if (ListenFd >= 0)
+      close(ListenFd);
+    std::remove(Path.c_str());
+  }
+
+  bool valid() const { return ListenFd >= 0; }
+
+private:
+  void serve() {
+    while (!Stop.load(std::memory_order_acquire)) {
+      int Fd = accept(ListenFd, nullptr, nullptr);
+      if (Fd < 0)
+        return;
+      wire::FrameParser Parser;
+      char Buf[65536];
+      ssize_t N;
+      while ((N = read(Fd, Buf, sizeof(Buf))) > 0) {
+        Parser.feed(Buf, static_cast<size_t>(N));
+        wire::Frame F;
+        while (Parser.next(F)) {
+          if (F.Type != wire::FT_Close)
+            continue;
+          ByteReader R(F.Payload.data(), F.Payload.size());
+          uint64_t Final = R.varint();
+          ByteWriter W;
+          W.varint(Final);
+          std::string Ack;
+          wire::appendFrame(Ack, wire::FT_WatermarkAck, W.buffer().data(),
+                            W.size());
+          (void)!write(Fd, Ack.data(), Ack.size());
+        }
+      }
+      close(Fd);
+    }
+  }
+
+  std::string Path;
+  int ListenFd = -1;
+  std::atomic<bool> Stop{false};
+  std::thread Srv;
+};
+
+/// Like measure(), but with a shipper thread translating segment cuts
+/// into wire transfers while the producers run (the Verifier's shipPump
+/// pattern). Wall time includes the final segment's transfer and the
+/// Close ack.
+Throughput measureShipped(const std::string &Base, const std::string &Sock,
+                          unsigned Threads) {
+  Throughput Best{0, 0};
+  double Total = static_cast<double>(Threads) * MethodsPerThread * 4;
+  for (unsigned R = 0; R < Reps; ++R) {
+    std::remove(Base.c_str());
+    for (uint64_t I = 1; I <= 512; ++I)
+      std::remove(logSegmentPath(Base, I).c_str());
+    BufferedLog::Options O;
+    O.ShardCapacity = 4096;
+    O.FilePath = Base;
+    O.RetainRecords = false;
+    O.Backpressure.SegmentBytes = 256 * 1024;
+    O.Backpressure.ReclaimSegments = false;
+    BufferedLog L(std::move(O));
+    ShipperOptions SO;
+    SO.Endpoint = "unix:" + Sock;
+    SO.Program = "bench";
+    SocketTransport T(SO, nullptr);
+    SegmentShipper Shipper(T, Base, nullptr);
+    std::atomic<bool> StopShip{false};
+    std::thread Ship([&L, &Shipper, &StopShip] {
+      std::vector<SegmentCut> Cuts;
+      while (!StopShip.load(std::memory_order_acquire)) {
+        L.takeSegmentCuts(Cuts);
+        for (const SegmentCut &C : Cuts)
+          Shipper.noteCut(C.Index);
+        usleep(2000);
+      }
+    });
+    RunCost C = runProducers(L, Threads, /*Drain=*/false);
+    double T1 = wallSeconds();
+    StopShip.store(true, std::memory_order_release);
+    Ship.join();
+    std::vector<SegmentCut> Cuts;
+    L.takeSegmentCuts(Cuts);
+    for (const SegmentCut &Cut : Cuts)
+      Shipper.noteCut(Cut.Index);
+    if (!Shipper.finish(L.appendCount(), /*TimeoutMs=*/10000))
+      std::fprintf(stderr, "shipped bench: final ack missing\n");
+    C.Wall += wallSeconds() - T1;
+    Best.App = std::max(Best.App, Total / C.ProducerCpu / 1e6);
+    Best.E2E = std::max(Best.E2E, Total / C.Wall / 1e6);
+    std::remove(Base.c_str());
+    for (uint64_t I = 1; I <= 512; ++I)
+      std::remove(logSegmentPath(Base, I).c_str());
+  }
+  return Best;
+}
+
 } // namespace
 
 namespace vyrd {
@@ -334,6 +474,32 @@ int main(int Argc, char **Argv) {
     printRow(Threads, File, Buf);
     jsonRow(BJ, "file-nodrain", Threads, File);
     jsonRow(BJ, "buffered-file-nodrain", Threads, Buf);
+  }
+  hr();
+
+  // Shipping overhead: the buffered-file-nodrain configuration plus
+  // 256 KiB segment rotation and a shipper streaming closed segments to
+  // a local discard-and-ack service. The transfer reads closed files, so
+  // the app column must stay within noise of buffered-file-nodrain; the
+  // e2e column absorbs the final segment's transfer and Close ack.
+  std::printf("\nSegment shipping overhead (buffered file log, 256 KiB "
+              "segments, unix-socket fleet stand-in):\n\n");
+  std::printf("%-8s %13s %11s\n", "threads", "app M/s", "e2e M/s");
+  hr();
+  {
+    std::string Sock =
+        "/tmp/vyrd-benchship-" + std::to_string(getpid()) + ".sock";
+    DiscardAckServer Server(Sock);
+    if (!Server.valid()) {
+      std::fprintf(stderr, "shipped bench: bind failed, skipping\n");
+    } else {
+      for (unsigned Threads : ThreadCounts) {
+        std::string Base = tmpFile("shipped");
+        Throughput T = measureShipped(Base, Sock, Threads);
+        std::printf("%-8u %13.2f %11.2f\n", Threads, T.App, T.E2E);
+        jsonRow(BJ, "buffered-shipped", Threads, T);
+      }
+    }
   }
   hr();
 

@@ -28,6 +28,11 @@
 // for --monitor-hold-ms before finishing. --forensics PREFIX makes the
 // buggy run flush a `PREFIX.<object>.forensic.json` bundle when the
 // violation fires (docs/OBSERVABILITY.md, "Violation forensics").
+// --ship ENDPOINT (with a log-file and --segment-bytes) streams the
+// final run's closed segments to a running vyrd-checkd at unix:<path> /
+// tcp:<host>:<port> instead of checking locally; the verdict then lives
+// in the daemon's `<name>.report.json` (--ship-name NAME, default
+// "stream"; docs/SHIPPING.md).
 //
 //===----------------------------------------------------------------------===//
 
@@ -93,6 +98,8 @@ struct RunExtras {
   std::string MonitorSocket; // live vyrd-mon endpoint (implies telemetry)
   uint64_t MonitorHoldMs = 0; // keep the monitor up this long pre-finish
   std::string ForensicPrefix; // flush *.forensic.json on violation
+  std::string ShipEndpoint;  // stream segments to a vyrd-checkd service
+  std::string ShipName;      // session name at the service
 };
 
 static VerifierReport runOnce(bool Buggy, uint64_t Seed,
@@ -130,6 +137,13 @@ static VerifierReport runOnce(bool Buggy, uint64_t Seed,
     SO.Adaptive.EscalatePolicy = true;
     SO.Backpressure.Enabled = true;
   }
+  // Remote checking (docs/SHIPPING.md): closed segments stream to the
+  // vyrd-checkd at this endpoint, which acks per-segment watermarks; the
+  // verdict lives in its session report. The chain stays on disk
+  // (ReclaimSegments is off above) so a from-zero `vyrd-check` can
+  // cross-check the remote verdict afterwards.
+  SO.Shipping.Endpoint = X.ShipEndpoint;
+  SO.Shipping.StreamName = X.ShipName;
   Scenario S = makeScenario(SO);
 
   // 2. Drive it with the paper's random test harness (Sec. 7.1): several
@@ -175,19 +189,30 @@ int main(int Argc, char **Argv) {
       X.MonitorHoldMs = std::strtoull(Argv[++I], nullptr, 10);
     } else if (Arg == "--forensics" && I + 1 < Argc) {
       X.ForensicPrefix = Argv[++I];
+    } else if (Arg == "--ship" && I + 1 < Argc) {
+      X.ShipEndpoint = Argv[++I];
+    } else if (Arg == "--ship-name" && I + 1 < Argc) {
+      X.ShipName = Argv[++I];
     } else if (!Arg.empty() && Arg[0] != '-' && X.LogPath.empty()) {
       X.LogPath = Arg;
     } else {
       std::fprintf(stderr,
                    "usage: %s [log-file] [--segment-bytes N] [--snapshots] "
                    "[--adaptive] [--monitor-socket PATH] "
-                   "[--monitor-hold-ms N] [--forensics PREFIX]\n",
+                   "[--monitor-hold-ms N] [--forensics PREFIX] "
+                   "[--ship ENDPOINT] [--ship-name NAME]\n",
                    Argv[0]);
       return 2;
     }
   }
   if (X.Snapshots && X.SegmentBytes == 0) {
     std::fprintf(stderr, "error: --snapshots requires --segment-bytes\n");
+    return 2;
+  }
+  if (!X.ShipEndpoint.empty() &&
+      (X.LogPath.empty() || X.SegmentBytes == 0 || X.Snapshots)) {
+    std::fprintf(stderr, "error: --ship requires a log-file and "
+                         "--segment-bytes, and excludes --snapshots\n");
     return 2;
   }
   std::printf("== the README snippet (correct multiset, four calls) ==\n");

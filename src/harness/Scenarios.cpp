@@ -93,6 +93,30 @@ const char *vyrd::harness::programName(Program P) {
   return "?";
 }
 
+const char *vyrd::harness::programShipKey(Program P) {
+  switch (P) {
+  case Program::P_MultisetVector:
+    return "multiset";
+  case Program::P_MultisetBst:
+    return "bst";
+  case Program::P_Vector:
+    return "vector";
+  case Program::P_StringBuffer:
+    return "stringbuffer";
+  case Program::P_BLinkTree:
+    return "blinktree";
+  case Program::P_Cache:
+    return "cache";
+  case Program::P_ScanFs:
+    return "scanfs";
+  case Program::P_Hashtable:
+    return "hashtable";
+  case Program::P_Queue:
+    return "queue";
+  }
+  return "?";
+}
+
 const char *vyrd::harness::programBugName(Program P) {
   switch (P) {
   case Program::P_MultisetVector:
@@ -229,6 +253,14 @@ Hooks wireScenario(Scenario &S, const ScenarioOptions &O,
   VC.Snapshots = O.Snapshots;
   VC.Monitor = O.Monitor;
   VC.ForensicPrefix = O.ForensicPrefix;
+  VC.Shipping = O.Shipping;
+  if (VC.Shipping.enabled()) {
+    // The Hello must describe this recording: the remote resolver
+    // rebuilds the same pipeline at the same check level.
+    VC.Shipping.ViewLevel = ViewLevel;
+    if (VC.Shipping.Program.empty())
+      VC.Shipping.Program = programShipKey(O.Prog);
+  }
   auto V = std::make_shared<Verifier>(
       std::move(Spec), ViewLevel ? std::move(Replayer) : nullptr, VC);
   V->start();
@@ -607,6 +639,12 @@ Scenario vyrd::harness::makeCompositeScenario(const ScenarioOptions &O) {
     VC.Snapshots = O.Snapshots;
     VC.Monitor = O.Monitor;
     VC.ForensicPrefix = O.ForensicPrefix;
+    VC.Shipping = O.Shipping;
+    if (VC.Shipping.enabled()) {
+      VC.Shipping.ViewLevel = ViewLevel;
+      if (VC.Shipping.Program.empty())
+        VC.Shipping.Program = "composite";
+    }
     auto V = std::make_shared<Verifier>(VC);
     HMul = V->registerObject(
         "multiset", std::make_unique<multiset::MultisetSpec>(),

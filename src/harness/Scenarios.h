@@ -69,6 +69,10 @@ enum class Program : uint8_t {
 };
 
 const char *programName(Program P);
+/// The program's shipping key: the name a producer's Hello carries and
+/// vyrd-checkd's pipeline resolver understands ("multiset", "queue", ...;
+/// the composite scenario ships as "composite").
+const char *programShipKey(Program P);
 /// The injected bug's description (the Table 1 "error" column).
 const char *programBugName(Program P);
 /// The six programs of the paper's Table 1, in its order.
@@ -126,6 +130,12 @@ struct ScenarioOptions {
   /// Violation forensics (VerifierConfig::ForensicPrefix): when set, the
   /// first violation flushes a `<prefix>.<object>.forensic.json` bundle.
   std::string ForensicPrefix;
+  /// Segment shipping to a remote checker fleet
+  /// (VerifierConfig::Shipping; docs/SHIPPING.md). When Endpoint is set,
+  /// the online modes stream closed segments to a vyrd-checkd service
+  /// instead of checking locally; ViewLevel and (when empty) Program are
+  /// filled in from the scenario's mode and program.
+  ShipperOptions Shipping;
 };
 
 /// A ready-to-run verification scenario.

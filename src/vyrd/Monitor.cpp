@@ -26,6 +26,48 @@ using namespace vyrd;
 MonitorSource::~MonitorSource() = default;
 
 //===----------------------------------------------------------------------===//
+// MonitorRegistry
+//===----------------------------------------------------------------------===//
+
+void MonitorRegistry::add(const std::string &Name,
+                          std::shared_ptr<MonitorSource> Src) {
+  std::lock_guard<std::mutex> G(M);
+  for (auto &E : Sources)
+    if (E.first == Name) {
+      E.second = std::move(Src);
+      return;
+    }
+  Sources.emplace_back(Name, std::move(Src));
+}
+
+void MonitorRegistry::remove(const std::string &Name) {
+  std::lock_guard<std::mutex> G(M);
+  Sources.erase(std::remove_if(Sources.begin(), Sources.end(),
+                               [&](const auto &E) {
+                                 return E.first == Name;
+                               }),
+                Sources.end());
+}
+
+std::vector<std::string> MonitorRegistry::names() const {
+  std::lock_guard<std::mutex> G(M);
+  std::vector<std::string> Out;
+  Out.reserve(Sources.size());
+  for (const auto &E : Sources)
+    Out.push_back(E.first);
+  return Out;
+}
+
+std::shared_ptr<MonitorSource>
+MonitorRegistry::resolve(const std::string &Name) const {
+  std::lock_guard<std::mutex> G(M);
+  for (const auto &E : Sources)
+    if (E.first == Name)
+      return E.second;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
 // Response renderers
 //===----------------------------------------------------------------------===//
 
@@ -256,10 +298,29 @@ struct MonitorServer::Client {
   /// watch mode: 0 = off, else interval in milliseconds.
   uint64_t WatchIntervalMs = 0;
   uint64_t NextWatchNs = 0;
+  /// Registry mode: the session this connection attached to with
+  /// `mon <name>` (null until then). The shared_ptr keeps the session's
+  /// source alive across its removal from the registry.
+  std::shared_ptr<MonitorSource> Bound;
 };
 
+MonitorSource *MonitorServer::sourceFor(Client &C) {
+  if (Registry)
+    return C.Bound.get();
+  return Src;
+}
+
 MonitorServer::MonitorServer(const MonitorOptions &O, MonitorSource &Src)
-    : Opts(O), Src(Src) {
+    : Opts(O), Src(&Src) {
+  bindSocket();
+}
+
+MonitorServer::MonitorServer(const MonitorOptions &O, MonitorRegistry &Reg)
+    : Opts(O), Registry(&Reg) {
+  bindSocket();
+}
+
+void MonitorServer::bindSocket() {
   if (Opts.SocketPath.empty()) {
     Error = "no socket path configured";
     return;
@@ -337,13 +398,48 @@ bool MonitorServer::handleRequest(Client &C, const std::string &Line) {
     C.CloseAfterFlush = true;
     return true;
   }
+  if (Registry) {
+    if (Cmd == "mon") {
+      size_t NB = Req.find_first_not_of(" \t", Cmd.size());
+      std::string Name =
+          NB == std::string::npos ? std::string() : Req.substr(NB);
+      std::shared_ptr<MonitorSource> S = Registry->resolve(Name);
+      if (S) {
+        C.Bound = std::move(S);
+        C.Out += "{\"ok\":true,\"session\":\"" + jsonEscape(Name) +
+                 "\"}\n";
+      } else {
+        C.Out += "{\"error\":\"unknown session: " + jsonEscape(Name) +
+                 "\"}\n";
+      }
+      return true;
+    }
+    if (!C.Bound) {
+      // Before an attach, `list` enumerates the sessions; every data
+      // command needs a bound session first.
+      if (Cmd == "list") {
+        std::string Out = "{\"sessions\":[";
+        std::vector<std::string> Names = Registry->names();
+        for (size_t I = 0; I < Names.size(); ++I) {
+          Out += I ? ",\"" : "\"";
+          Out += jsonEscape(Names[I]) + "\"";
+        }
+        C.Out += Out + "]}\n";
+      } else {
+        C.Out += "{\"error\":\"no session attached (use: mon <name>)\","
+                 "\"commands\":[\"list\",\"mon\",\"detach\"]}\n";
+      }
+      return true;
+    }
+  }
 
-  TelemetrySnapshot S = Src.telemetrySnapshot();
-  std::vector<Violation> V = Src.liveViolations();
+  MonitorSource &Source = *sourceFor(C);
+  TelemetrySnapshot S = Source.telemetrySnapshot();
+  std::vector<Violation> V = Source.liveViolations();
   if (Cmd == "list") {
     C.Out += monitor::listJson(S, V) + "\n";
   } else if (Cmd == "stats") {
-    C.Out += monitor::statsJson(S, V, Src.forensicFiles()) + "\n";
+    C.Out += monitor::statsJson(S, V, Source.forensicFiles()) + "\n";
   } else if (Cmd == "violations") {
     C.Out += monitor::violationsJson(V) + "\n";
   } else if (Cmd == "health") {
@@ -452,10 +548,11 @@ void MonitorServer::serverMain() {
 
       // watch ticks (even on quiet polls).
       if (!Dead && C.WatchIntervalMs && Now >= C.NextWatchNs) {
-        C.Out += monitor::statsJson(Src.telemetrySnapshot(),
-                                    Src.liveViolations(),
-                                    Src.forensicFiles()) +
-                 "\n";
+        if (MonitorSource *WS = sourceFor(C))
+          C.Out += monitor::statsJson(WS->telemetrySnapshot(),
+                                      WS->liveViolations(),
+                                      WS->forensicFiles()) +
+                   "\n";
         C.NextWatchNs = Now + C.WatchIntervalMs * 1000000ull;
       }
 

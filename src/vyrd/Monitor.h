@@ -45,6 +45,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -110,14 +111,44 @@ std::string topText(const TelemetrySnapshot &S,
                     const std::vector<Violation> &V);
 } // namespace monitor
 
+/// Named monitor sources for multi-session services (vyrd-checkd): each
+/// shipping session registers its source under its stream name, and a
+/// registry-mode MonitorServer lets one control socket introspect any of
+/// them (`list` names the sessions, `mon <name>` binds the connection to
+/// one, then the regular protocol applies). Sources are held by
+/// shared_ptr so a bound client keeps "its" session queryable even after
+/// the session ends and is removed from the registry.
+class MonitorRegistry {
+public:
+  /// Registers (or replaces) \p Src under \p Name.
+  void add(const std::string &Name, std::shared_ptr<MonitorSource> Src);
+  void remove(const std::string &Name);
+  /// Registered session names, registration order.
+  std::vector<std::string> names() const;
+  /// The source registered under \p Name, or null.
+  std::shared_ptr<MonitorSource> resolve(const std::string &Name) const;
+
+private:
+  mutable std::mutex M;
+  std::vector<std::pair<std::string, std::shared_ptr<MonitorSource>>>
+      Sources;
+};
+
 /// The endpoint: binds the socket and serves requests from its own
 /// thread until destroyed (or stop()). Construction never throws; when
 /// the socket cannot be bound the server is inert (valid() false) and
 /// the error is available via error() — a broken monitor must not take
 /// down the verifier it observes.
+///
+/// Two modes: bound to one MonitorSource (a Verifier's private adapter —
+/// the historical shape), or to a MonitorRegistry (vyrd-checkd), where a
+/// client must first `mon <name>` one of the `list`ed sessions before
+/// the data commands answer.
 class MonitorServer {
 public:
   MonitorServer(const MonitorOptions &O, MonitorSource &Src);
+  /// Registry mode: serves every session in \p Reg.
+  MonitorServer(const MonitorOptions &O, MonitorRegistry &Reg);
   ~MonitorServer();
 
   MonitorServer(const MonitorServer &) = delete;
@@ -144,9 +175,15 @@ private:
   void serverMain();
   void wake();
   bool handleRequest(Client &C, const std::string &Line);
+  /// The source a client's data commands read from: the fixed source in
+  /// single-source mode, the client's bound session in registry mode
+  /// (null until `mon <name>`).
+  MonitorSource *sourceFor(Client &C);
+  void bindSocket();
 
   MonitorOptions Opts;
-  MonitorSource &Src;
+  MonitorSource *Src = nullptr;       ///< single-source mode
+  MonitorRegistry *Registry = nullptr; ///< registry mode
   std::string Error;
   bool Valid = false;
 

@@ -73,6 +73,26 @@ const char *vyrd::counterName(Counter C) {
     return "policy_deescalations";
   case Counter::C_GaugeUnderflow:
     return "gauge_underflow";
+  case Counter::C_ShipSegments:
+    return "ship_segments";
+  case Counter::C_ShipBytes:
+    return "ship_bytes";
+  case Counter::C_ShipAcks:
+    return "ship_acks";
+  case Counter::C_ShipRetries:
+    return "ship_retries";
+  case Counter::C_ShipFallbackRecords:
+    return "ship_fallback_records";
+  case Counter::C_ShipSegmentsRecv:
+    return "ship_segments_recv";
+  case Counter::C_ShipRecordsRecv:
+    return "ship_records_recv";
+  case Counter::C_ShipCrcErrors:
+    return "ship_crc_errors";
+  case Counter::C_ShipResyncs:
+    return "ship_resyncs";
+  case Counter::C_ShipPartialDrops:
+    return "ship_partial_drops";
   case Counter::NumCounters:
     break;
   }
@@ -140,6 +160,10 @@ const char *vyrd::gaugeName(Gauge G) {
     return "pump_batch_target";
   case Gauge::G_PolicyActive:
     return "policy_active";
+  case Gauge::G_ShipAckedWatermark:
+    return "ship_acked_watermark";
+  case Gauge::G_ShipUnshippedSegments:
+    return "ship_unshipped_segments";
   case Gauge::NumGauges:
     break;
   }

@@ -116,6 +116,24 @@ enum class Counter : uint8_t {
   /// add/sub pair somewhere); the gauge is clamped at 0 instead of
   /// wrapping, and this counter flags the accounting bug.
   C_GaugeUnderflow,
+  /// Segment shipping, producer side (docs/SHIPPING.md): closed segments
+  /// / encoded bytes shipped to the remote checker, watermark acks
+  /// received back, connect/send attempts that had to be retried, and
+  /// records re-checked locally after a degrade to SD_LocalCheck.
+  C_ShipSegments,
+  C_ShipBytes,
+  C_ShipAcks,
+  C_ShipRetries,
+  C_ShipFallbackRecords,
+  /// Segment shipping, receiver side (vyrd-checkd): segments / records
+  /// accepted and fed, frames rejected by their CRC, resyncs to the next
+  /// frame magic after garbage or truncation, and partially transferred
+  /// segments discarded at connection loss.
+  C_ShipSegmentsRecv,
+  C_ShipRecordsRecv,
+  C_ShipCrcErrors,
+  C_ShipResyncs,
+  C_ShipPartialDrops,
   NumCounters
 };
 
@@ -168,6 +186,11 @@ enum class Gauge : uint8_t {
   /// ordinal (0 = block, 1 = spill, 2 = shed). Written by the pump on
   /// escalation/de-escalation, read by the monitor sampler.
   G_PolicyActive,
+  /// Remote-checker watermark: every record with Seq below this has been
+  /// acked by the checker fleet (drives producer-side reclamation).
+  G_ShipAckedWatermark,
+  /// Closed segments queued at the shipper, not yet on the wire.
+  G_ShipUnshippedSegments,
   NumGauges
 };
 

@@ -3,19 +3,25 @@
 // Part of the VYRD reproduction, released under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// Since the producer/checker split the Verifier is a thin composition:
+// it owns the capture pipeline (log backend, telemetry, tracer, adaptive
+// controller, monitor) and delegates all checking to a CheckerService
+// (CheckerService.cpp). The pump here either feeds the service directly
+// (the historical in-process pipeline, bit-for-bit) or ships closed
+// segments to a remote service through a SegmentTransport
+// (docs/SHIPPING.md).
+//
+//===----------------------------------------------------------------------===//
 
 #include "vyrd/Verifier.h"
 
-#include "vyrd/Ring.h"
 #include "vyrd/Snapshot.h"
 
 #include <algorithm>
 #include <cassert>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
-#include <mutex>
 
 using namespace vyrd;
 
@@ -106,6 +112,38 @@ std::string VerifierConfig::validate() const {
     if (Monitor.MaxClients == 0)
       return "Monitor.MaxClients must be >= 1 (a zero bound admits no "
              "client)";
+    if (Monitor.SocketPath.size() > maxUnixSocketPathLen())
+      return "Monitor.SocketPath exceeds the sockaddr_un limit of " +
+             std::to_string(maxUnixSocketPathLen()) +
+             " bytes (the bind would silently truncate it)";
+  }
+  if (Shipping.enabled()) {
+    ShipEndpoint Ep;
+    std::string Err;
+    if (!parseShipEndpoint(Shipping.Endpoint, Ep, Err))
+      return "Shipping.Endpoint: " + Err;
+    if (!Online)
+      return "Shipping requires Online = true (the ship pump is the "
+             "consumption thread; an offline run has nothing to stream)";
+    if (LogFilePath.empty() || Backend == LogBackend::LB_Memory)
+      return "Shipping requires a file-backed log (set LogFilePath and a "
+             "non-memory backend; closed segment files are the shipping "
+             "unit)";
+    if (!Backpressure.SegmentBytes)
+      return "Shipping requires Backpressure.SegmentBytes > 0 (closed "
+             "segments are the shipping unit; an unsegmented log never "
+             "closes one)";
+    if (Shipping.Program.empty())
+      return "Shipping.Program must name the pipeline the remote service "
+             "builds (the records alone do not identify the specs)";
+    if (Snapshots)
+      return "Shipping excludes Snapshots (no checkers run in this "
+             "process, so there is no local state to serialize at cuts)";
+    if (Adaptive.Enabled)
+      return "Shipping excludes Adaptive (the controller reacts to local "
+             "checker lag, which a shipped run does not have)";
+    if (Shipping.MaxRetries == 0)
+      return "Shipping.MaxRetries must be >= 1";
   }
   return "";
 }
@@ -166,6 +204,22 @@ std::string VerifierReport::str() const {
       Out += "  transition: " + T.str() + " at seq " +
              std::to_string(T.Seq) + " (lag " +
              std::to_string(T.LagRecords) + ")\n";
+  }
+  if (Shipping.Enabled) {
+    Out += "shipping: endpoint=" + Shipping.Endpoint + " stream=" +
+           Shipping.StreamName +
+           " segments=" + std::to_string(Shipping.SegmentsShipped) +
+           " bytes=" + std::to_string(Shipping.BytesShipped) +
+           " acks=" + std::to_string(Shipping.Acks) +
+           " acked_watermark=" + std::to_string(Shipping.AckedWatermark) +
+           " final_ack=" + (Shipping.FinalAckOk ? "ok" : "missing");
+    if (Shipping.Retries)
+      Out += " retries=" + std::to_string(Shipping.Retries);
+    if (Shipping.Degraded)
+      Out += " degraded=" + Shipping.DegradeMode;
+    if (Shipping.FallbackRecords)
+      Out += " fallback_records=" + std::to_string(Shipping.FallbackRecords);
+    Out += "\n";
   }
   for (const std::string &N : Notes)
     Out += "note: " + N + "\n";
@@ -286,6 +340,26 @@ std::string VerifierReport::json() const {
     }
     Out += "]}";
   }
+  if (Shipping.Enabled) {
+    Out += ",\"shipping\":{";
+    Out += "\"endpoint\":\"" + jsonEscape(Shipping.Endpoint) + "\"";
+    Out += ",\"stream\":\"" + jsonEscape(Shipping.StreamName) + "\"";
+    Out += ",\"segments_shipped\":" + std::to_string(Shipping.SegmentsShipped);
+    Out += ",\"bytes_shipped\":" + std::to_string(Shipping.BytesShipped);
+    Out += ",\"acks\":" + std::to_string(Shipping.Acks);
+    Out += ",\"retries\":" + std::to_string(Shipping.Retries);
+    Out += ",\"acked_watermark\":" + std::to_string(Shipping.AckedWatermark);
+    Out += ",\"final_ack_ok\":" +
+           std::string(Shipping.FinalAckOk ? "true" : "false");
+    Out += ",\"degraded\":" +
+           std::string(Shipping.Degraded ? "true" : "false");
+    if (Shipping.Degraded)
+      Out += ",\"degrade_mode\":\"" + Shipping.DegradeMode + "\"";
+    if (Shipping.FallbackRecords)
+      Out += ",\"fallback_records\":" +
+             std::to_string(Shipping.FallbackRecords);
+    Out += "}";
+  }
   if (!Notes.empty()) {
     Out += ",\"notes\":[";
     for (size_t I = 0; I < Notes.size(); ++I) {
@@ -313,307 +387,14 @@ std::string VerifierReport::json() const {
 }
 
 //===----------------------------------------------------------------------===//
-// Verifier::ObjectState / Verifier::CheckerPool
-//===----------------------------------------------------------------------===//
-
-/// Everything one registered object owns: its spec, shadow state and
-/// checker pipeline, plus the demux/pool bookkeeping.
-struct Verifier::ObjectState {
-  ObjectId Id = 0;
-  std::string Name;
-  std::unique_ptr<Spec> S;
-  std::unique_ptr<Replayer> R;
-  CheckerConfig CheckerCfg;
-  std::unique_ptr<RefinementChecker> Checker;
-  /// Records routed to this object so far (pump thread only).
-  uint64_t Routed = 0;
-
-  // Pool scheduling state, guarded by CheckerPool::M. An object is
-  // "scheduled" from the moment it enters the runnable queue until the
-  // worker that picked it up finds its pending queue empty, so at most
-  // one worker touches Checker at a time and batches are fed FIFO.
-  // ChunkQueue (not a deque) so the steady state — a few batches deep —
-  // cycles through the same cache-hot chunks with zero heap traffic.
-  ChunkQueue<std::vector<Action>> PendingBatches;
-  bool Scheduled = false;
-  /// Checker violations already copied into Verifier::Live (accessed
-  /// only by the thread currently owning the checker, like Checker).
-  size_t Published = 0;
-  /// The object's forensic bundle has been flushed (first violation
-  /// only; same ownership rule as Published).
-  bool ForensicWritten = false;
-  /// Records dispatched to this object and not yet fed (pending batches
-  /// plus the batch a worker is feeding right now). Guarded by
-  /// CheckerPool::M.
-  uint64_t PendingRecs = 0;
-  /// Every record with Seq < FedExclusive has been fed to the checker.
-  /// Guarded by CheckerPool::M; meaningful while PendingRecs > 0 (an
-  /// idle object is checked through everything routed to it).
-  uint64_t FedExclusive = 0;
-};
-
-/// The verification worker pool. Scheduling unit: one object. dispatch()
-/// enqueues a demuxed batch on the object and makes the object runnable
-/// if it isn't already; a worker that picks up an object owns it — and
-/// thereby its checker, exclusively — until it has drained every pending
-/// batch. Per-object order is FIFO through PendingBatches; cross-object
-/// parallelism is bounded by min(objects, workers).
-class Verifier::CheckerPool {
-public:
-  CheckerPool(Verifier &V, unsigned NumWorkers)
-      : V(V), BP(V.Config.Backpressure) {
-    Workers.reserve(NumWorkers);
-    for (unsigned I = 0; I < NumWorkers; ++I)
-      Workers.emplace_back([this] { workerMain(); });
-  }
-
-  ~CheckerPool() { drainAndJoin(); }
-
-  /// Called by the pump thread only. Takes \p Batch and leaves a
-  /// recycled (empty, capacity-bearing) vector in its place, so the pump
-  /// and the workers circulate a bounded set of batch buffers instead of
-  /// allocating a fresh one per dispatch.
-  ///
-  /// With backpressure enabled the total records pending across objects
-  /// are bounded by MaxPendingRecords: BP_Block (and BP_SpillToDisk,
-  /// which has nothing left to spill here — the records are already in
-  /// memory) parks the pump until workers drain below the bound, so the
-  /// pressure propagates back into the log; BP_Shed drops observer
-  /// executions from the batch while over the bound. Admission is sliced
-  /// at the free room, so occupancy never exceeds the bound (the old
-  /// batch-granular path could overshoot by a whole pump batch — with
-  /// adaptive batch sizing, by up to MaxBatch records).
-  void dispatch(ObjectState &O, std::vector<Action> &Batch) {
-    std::unique_lock Lock(M);
-    const bool Dynamic = V.Ctl && V.Ctl->dynamicPolicy();
-    auto Active = [&] {
-      return Dynamic ? V.Ctl->policy() : BP.Policy;
-    };
-    if (BP.Enabled) {
-      BackpressurePolicy P = Active();
-      if ((P == BackpressurePolicy::BP_Shed || Dynamic) &&
-          Shed.hasClassifier()) {
-        // With a dynamic policy the filter runs under every rung (new
-        // sheds only while BP_Shed is active and over the bound) so open
-        // shed windows close whole across de-escalations.
-        size_t Kept = 0;
-        for (size_t I = 0; I < Batch.size(); ++I) {
-          bool Over = P == BackpressurePolicy::BP_Shed &&
-                      PendingRecs + Kept >= BP.MaxPendingRecords;
-          if (Shed.shouldShed(Batch[I], Over)) {
-            ++Stats.ShedRecords;
-            continue;
-          }
-          if (Kept != I)
-            Batch[Kept] = std::move(Batch[I]);
-          ++Kept;
-        }
-        if (size_t ShedNow = Batch.size() - Kept; ShedNow && V.Telem)
-          V.Telem->count(Counter::C_ShedRecords, ShedNow);
-        Batch.resize(Kept);
-        if (Batch.empty())
-          return; // whole batch shed; buffer reused as-is next round
-      }
-    }
-    const size_t Total = Batch.size();
-    size_t Begin = 0;
-    bool MovedWhole = false;
-    // Enqueues Batch[Begin, Begin + N) and makes the object runnable.
-    // A whole-batch slice moves the vector itself (the recycled-buffer
-    // protocol with the pump); a partial slice moves the records into a
-    // freelist buffer so the next slice can still wait for room.
-    auto EnqueueLocked = [&](size_t N) {
-      std::vector<Action> Slice;
-      if (Begin == 0 && N == Total) {
-        Slice = std::move(Batch);
-        if (FreeBatches.empty()) {
-          Batch = std::vector<Action>();
-        } else {
-          Batch = std::move(FreeBatches.back());
-          FreeBatches.pop_back();
-        }
-        MovedWhole = true;
-      } else {
-        if (!FreeBatches.empty()) {
-          Slice = std::move(FreeBatches.back());
-          FreeBatches.pop_back();
-        }
-        Slice.insert(Slice.end(),
-                     std::make_move_iterator(Batch.begin() + Begin),
-                     std::make_move_iterator(Batch.begin() + Begin + N));
-      }
-      PendingRecs += N;
-      O.PendingRecs += N;
-      Stats.PendingRecordsHwm =
-          std::max(Stats.PendingRecordsHwm, PendingRecs);
-      if (V.Telem)
-        V.Telem->gaugeAdd(Gauge::G_PendingRecords, N);
-      O.PendingBatches.push_back(std::move(Slice));
-      if (!O.Scheduled) {
-        O.Scheduled = true;
-        ++ActiveObjects;
-        Runnable.push_back(&O);
-        WorkCV.notify_one();
-      }
-    };
-    while (Begin < Total) {
-      size_t N = Total - Begin;
-      if (BP.Enabled && Active() != BackpressurePolicy::BP_Shed) {
-        if (PendingRecs >= BP.MaxPendingRecords) {
-          uint64_t T0 = telemetryNowNanos();
-          SpaceCV.wait(Lock, [&] {
-            return PendingRecs < BP.MaxPendingRecords ||
-                   Active() == BackpressurePolicy::BP_Shed;
-          });
-          uint64_t Waited = telemetryNowNanos() - T0;
-          ++Stats.BlockedAppends;
-          Stats.BlockedNanos += Waited;
-          if (V.Telem) {
-            V.Telem->count(Counter::C_BlockedAppends);
-            V.Telem->cell().record(Histo::H_BlockedNs, Waited);
-          }
-          continue; // re-decide: room may be partial, policy may differ
-        }
-        N = std::min<size_t>(N, BP.MaxPendingRecords - PendingRecs);
-      }
-      EnqueueLocked(N);
-      Begin += N;
-    }
-    if (!MovedWhole)
-      Batch.clear(); // records moved out slice-by-slice; keep capacity
-  }
-
-  /// The sequence number below which every record dispatched to the pool
-  /// has been fed to its checker, capped at \p Upper (the pump's routed
-  /// frontier). The pump passes this to Log::reclaimCheckedPrefix.
-  uint64_t checkedWatermark(uint64_t Upper) {
-    std::lock_guard Lock(M);
-    uint64_t W = Upper;
-    for (const auto &O : V.Objects)
-      if (O->PendingRecs)
-        W = std::min(W, O->FedExclusive);
-    return W;
-  }
-
-  /// Installs the observer classifier BP_Shed consults (same contract as
-  /// Log::setShedClassifier). Call before the pump dispatches.
-  void setShedClassifier(std::function<bool(const Action &)> Fn) {
-    std::lock_guard Lock(M);
-    Shed.setClassifier(std::move(Fn));
-  }
-
-  BackpressureStats stats() const {
-    std::lock_guard Lock(M);
-    return Stats;
-  }
-
-  /// Mid-run barrier: waits until every dispatched batch has been fed
-  /// (snapshot cuts need all checkers aligned exactly on the cut). The
-  /// pool keeps running — unlike drainAndJoin, the workers are not
-  /// stopped. Pump thread only; since the pump is the sole dispatcher,
-  /// no new work can race in while it waits here.
-  void quiesce() {
-    std::unique_lock Lock(M);
-    IdleCV.wait(Lock, [&] { return ActiveObjects == 0; });
-  }
-
-  /// Waits until every dispatched batch has been checked, then stops and
-  /// joins the workers. Called by the pump thread after the log is
-  /// drained (no dispatch() can race with it). Idempotent.
-  void drainAndJoin() {
-    {
-      std::unique_lock Lock(M);
-      if (Joined)
-        return;
-      IdleCV.wait(Lock, [&] { return ActiveObjects == 0; });
-      Stopping = true;
-      Joined = true;
-    }
-    WorkCV.notify_all();
-    for (std::thread &W : Workers)
-      W.join();
-  }
-
-private:
-  void workerMain() {
-    TelemetryCell *TC =
-        telemetryCompiledIn() && V.Telem ? &V.Telem->cell() : nullptr;
-    std::unique_lock Lock(M);
-    while (true) {
-      WorkCV.wait(Lock, [&] { return Stopping || !Runnable.empty(); });
-      if (Runnable.empty())
-        return; // Stopping, nothing left to do.
-      ObjectState *O = Runnable.front();
-      Runnable.pop_front();
-      // Drain the object. Hand-offs between workers are synchronized by
-      // M: the previous owner released it under M before this worker
-      // claimed it, so the checker's single-threaded contract holds.
-      while (true) {
-        if (O->PendingBatches.empty()) {
-          O->Scheduled = false;
-          if (--ActiveObjects == 0)
-            IdleCV.notify_all();
-          break;
-        }
-        std::vector<Action> Batch = std::move(O->PendingBatches.front());
-        O->PendingBatches.pop_front();
-        Lock.unlock();
-        V.feedObject(*O, Batch, TC);
-        uint64_t BatchN = Batch.size();
-        uint64_t BatchEnd = BatchN ? Batch.back().Seq + 1 : 0;
-        // Release the records outside the lock; hand the empty buffer
-        // (capacity intact) back to the pump via the freelist.
-        Batch.clear();
-        Lock.lock();
-        // Account the batch as fed only now: until this point it was
-        // neither pending nor checked, and the watermark must not
-        // advance past records still being fed (a reclaimed segment
-        // would strand a concurrent spill reader).
-        if (BatchN) {
-          O->FedExclusive = std::max(O->FedExclusive, BatchEnd);
-          O->PendingRecs -= BatchN;
-          PendingRecs -= BatchN;
-          if (V.Telem)
-            V.Telem->gaugeSub(Gauge::G_PendingRecords, BatchN);
-          if (BP.Enabled)
-            SpaceCV.notify_one();
-        }
-        if (FreeBatches.size() < MaxFreeBatches)
-          FreeBatches.push_back(std::move(Batch));
-      }
-    }
-  }
-
-  Verifier &V;
-  const BackpressureConfig BP;
-  mutable std::mutex M;
-  std::condition_variable WorkCV; ///< workers wait for runnable objects
-  std::condition_variable IdleCV; ///< drainAndJoin waits for quiescence
-  std::condition_variable SpaceCV; ///< BP_Block: pump waits for room
-  ShedFilter Shed;                 ///< BP_Shed windows (guarded by M)
-  BackpressureStats Stats;         ///< admission accounting (guarded by M)
-  /// Records pending across all objects (dispatched, not yet fed).
-  uint64_t PendingRecs = 0;
-  std::deque<ObjectState *> Runnable;
-  /// Consumed batch buffers awaiting reuse by dispatch() (bounded so a
-  /// burst cannot pin memory forever).
-  static constexpr size_t MaxFreeBatches = 64;
-  std::vector<std::vector<Action>> FreeBatches;
-  /// Objects currently scheduled (runnable or being drained by a worker).
-  size_t ActiveObjects = 0;
-  bool Stopping = false;
-  bool Joined = false;
-  std::vector<std::thread> Workers;
-};
-
-//===----------------------------------------------------------------------===//
 // Verifier
 //===----------------------------------------------------------------------===//
 
 /// The monitor's window into a live Verifier: telemetry through the
-/// lock-free snapshot path, violations/forensics through the published
-/// LiveState. Runs on the monitor thread; everything it touches outlives
-/// the MonitorServer (member declaration order).
+/// lock-free snapshot path, violations/forensics through the checker
+/// service's published live state. Runs on the monitor thread;
+/// everything it touches outlives the MonitorServer (member declaration
+/// order).
 class Verifier::MonitorAdapter : public MonitorSource {
 public:
   explicit MonitorAdapter(Verifier &V) : V(V) {}
@@ -621,12 +402,10 @@ public:
     return V.Telem ? V.Telem->snapshot() : TelemetrySnapshot();
   }
   std::vector<Violation> liveViolations() override {
-    std::lock_guard Lock(V.Live.M);
-    return V.Live.Violations;
+    return V.Svc->liveViolations();
   }
   std::vector<std::string> forensicFiles() override {
-    std::lock_guard Lock(V.Live.M);
-    return V.Live.ForensicFiles;
+    return V.Svc->forensicFiles();
   }
 
 private:
@@ -699,6 +478,16 @@ Verifier::Verifier(VerifierConfig C) : Config(std::move(C)) {
                         static_cast<uint64_t>(Ctl->policy()));
     }
   }
+  {
+    CheckerServiceOptions SO;
+    SO.Backpressure = Config.Backpressure;
+    SO.ForensicPrefix = Config.ForensicPrefix;
+    SO.SnapshotBase = Config.LogFilePath;
+    Svc = std::make_unique<CheckerService>(std::move(SO));
+    Svc->setTelemetry(Telem.get());
+    Svc->setTracer(Tracer.get());
+    Svc->setController(Ctl.get());
+  }
   if (!Config.Monitor.SocketPath.empty()) {
     MonSource = std::make_unique<MonitorAdapter>(*this);
     Mon = std::make_unique<MonitorServer>(Config.Monitor, *MonSource);
@@ -727,30 +516,8 @@ Hooks Verifier::registerObject(std::string ObjName, std::unique_ptr<Spec> S,
                                std::unique_ptr<Replayer> R,
                                CheckerConfig CC) {
   assert(!Started && "registerObject after start");
-  assert(S && "registerObject requires a specification");
-  assert((R || CC.Mode != CheckMode::CM_ViewRefinement) &&
-         "view refinement requires a replayer for the shadow state");
-  auto O = std::make_unique<ObjectState>();
-  O->Id = static_cast<ObjectId>(Objects.size());
-  O->Name = std::move(ObjName);
-  O->S = std::move(S);
-  O->R = std::move(R);
-  // Armed forensics imply a flight recorder; a config that set its own
-  // depth keeps it.
-  if (!Config.ForensicPrefix.empty() && CC.FlightRecorderDepth == 0)
-    CC.FlightRecorderDepth = 64;
-  O->CheckerCfg = CC;
-  O->Checker =
-      std::make_unique<RefinementChecker>(*O->S, O->R.get(), O->CheckerCfg);
-  O->Checker->setTelemetry(Telem.get());
-  if (Telem)
-    Telem->registerObject(O->Id, O->Name.empty()
-                                     ? "object" + std::to_string(O->Id)
-                                     : O->Name);
-  if (Tracer && !O->Name.empty())
-    Tracer->setObjectName(O->Id, O->Name);
-  ObjectId Id = O->Id;
-  Objects.push_back(std::move(O));
+  ObjectId Id = Svc->addObject(std::move(ObjName), std::move(S),
+                               std::move(R), CC);
   return hooks(Id);
 }
 
@@ -761,160 +528,16 @@ Hooks Verifier::registerObject(std::string ObjName, std::unique_ptr<Spec> S,
 }
 
 Hooks Verifier::hooks(ObjectId Id) const {
-  assert(Id < Objects.size() && "hooks for unregistered object");
-  LogLevel Level =
-      Objects[Id]->CheckerCfg.Mode == CheckMode::CM_ViewRefinement
-          ? LogLevel::LL_View
-          : LogLevel::LL_IO;
+  assert(Id < Svc->objectCount() && "hooks for unregistered object");
+  LogLevel Level = Svc->objectMode(Id) == CheckMode::CM_ViewRefinement
+                       ? LogLevel::LL_View
+                       : LogLevel::LL_IO;
   return Hooks(TheLog.get(), Level, Telem.get(), Id);
 }
 
 Hooks Verifier::hooks() const {
-  assert(!Objects.empty() && "no object registered");
+  assert(Svc->objectCount() && "no object registered");
   return hooks(0);
-}
-
-void Verifier::feedObject(ObjectState &O, const std::vector<Action> &Batch,
-                          TelemetryCell *TC) {
-  uint64_t T0 = TC ? telemetryNowNanos() : 0;
-  for (const Action &A : Batch)
-    O.Checker->feed(A);
-  if (TC) {
-    TC->count(Counter::C_CheckerActions, Batch.size());
-    TC->record(Histo::H_FeedBatch, Batch.size());
-    TC->record(Histo::H_FeedNs, telemetryNowNanos() - T0);
-  }
-  if (Telem)
-    Telem->noteObjectChecked(O.Id, Batch.size());
-  if (O.Checker->hasViolation()) {
-    ViolationFlag.store(true, std::memory_order_release);
-    publishObjectViolations(O);
-  }
-}
-
-void Verifier::publishObjectViolations(ObjectState &O) {
-  const std::vector<Violation> &Vs = O.Checker->violations();
-  if (Vs.size() == O.Published)
-    return;
-  Name Tag = O.Name.empty() ? Name() : internName(O.Name);
-  {
-    std::lock_guard Lock(Live.M);
-    for (size_t I = O.Published; I < Vs.size(); ++I) {
-      Violation V = Vs[I];
-      V.Obj = O.Id;
-      V.Object = Tag;
-      Live.Violations.push_back(std::move(V));
-    }
-  }
-  O.Published = Vs.size();
-  maybeWriteForensic(O);
-}
-
-void Verifier::maybeWriteForensic(ObjectState &O) {
-  if (Config.ForensicPrefix.empty() || O.ForensicWritten)
-    return;
-  // First violation that captured a bundle (bundles are parallel to
-  // violations; entries are empty when the flight recorder is off).
-  const std::vector<std::string> &Bundles = O.Checker->forensics();
-  const std::string *Bundle = nullptr;
-  for (const std::string &B : Bundles)
-    if (!B.empty()) {
-      Bundle = &B;
-      break;
-    }
-  if (!Bundle)
-    return;
-  O.ForensicWritten = true;
-  std::string Label =
-      O.Name.empty() ? "object" + std::to_string(O.Id) : O.Name;
-  std::string Path =
-      Config.ForensicPrefix + "." + Label + ".forensic.json";
-  std::string Doc = "{\"schema\":\"vyrd-forensic-v1\",\"object\":{\"id\":" +
-                    std::to_string(O.Id) + ",\"name\":\"" +
-                    jsonEscape(Label) + "\"},\"checker\":" + *Bundle +
-                    "}\n";
-  FILE *F = std::fopen(Path.c_str(), "wb");
-  if (!F) {
-    std::fprintf(stderr, "vyrd: cannot write forensic bundle %s\n",
-                 Path.c_str());
-    return;
-  }
-  std::fwrite(Doc.data(), 1, Doc.size(), F);
-  std::fclose(F);
-  std::lock_guard Lock(Live.M);
-  Live.ForensicFiles.push_back(std::move(Path));
-}
-
-void Verifier::routeRange(std::vector<Action> &Batch, size_t Begin,
-                          size_t End, std::vector<std::vector<Action>> &Route,
-                          TelemetryCell *TC) {
-  for (size_t I = Begin; I < End; ++I) {
-    Action &A = Batch[I];
-    if (Tracer)
-      Tracer->noteAction(A);
-    if (A.Obj < Route.size()) {
-      Route[A.Obj].push_back(std::move(A));
-    } else {
-      if (!UnroutedRecords)
-        FirstUnroutedSeq = A.Seq;
-      ++UnroutedRecords;
-    }
-  }
-  for (size_t I = 0; I < Route.size(); ++I) {
-    if (Route[I].empty())
-      continue;
-    ObjectState &O = *Objects[I];
-    O.Routed += Route[I].size();
-    if (Telem)
-      Telem->noteObjectRouted(O.Id, Route[I].size());
-    if (Pool) {
-      // dispatch() swaps in a recycled empty buffer for the next round.
-      Pool->dispatch(O, Route[I]);
-    } else {
-      feedObject(O, Route[I], TC);
-      Route[I].clear();
-    }
-  }
-}
-
-void Verifier::takeSnapshot(uint64_t SegIndex, uint64_t CutSeq) {
-  // Every record below the cut has been routed; with a pool, wait until
-  // the workers have actually fed them, so the serialized state is the
-  // checkers' state exactly at the cut.
-  if (Pool)
-    Pool->quiesce();
-  SnapshotFile SF;
-  SF.SegmentIndex = SegIndex;
-  SF.Watermark = CutSeq;
-  for (auto &O : Objects) {
-    ByteWriter W;
-    // A dirty checker (violation recorded, spec diverged) or a spec /
-    // replayer without serialization support makes the whole cut
-    // unsnapshottable: a partial sidecar could not seed a resume.
-    if (!O->Checker->saveState(W)) {
-      if (Telem)
-        Telem->count(Counter::C_SnapshotSkips);
-      return;
-    }
-    SnapshotObject SO;
-    SO.Id = O->Id;
-    SO.Name = O->Name;
-    SO.Blob = W.buffer();
-    SF.Objects.push_back(std::move(SO));
-  }
-  std::string Path = snapshotSidecarPath(Config.LogFilePath, SegIndex);
-  if (!writeSnapshotFile(Path, SF)) {
-    std::fprintf(stderr, "vyrd: cannot write snapshot sidecar %s\n",
-                 Path.c_str());
-    if (Telem)
-      Telem->count(Counter::C_SnapshotSkips);
-    return;
-  }
-  if (Telem)
-    Telem->count(Counter::C_SnapshotWrites);
-  if (Tracer)
-    Tracer->noteVerifierInstant(CutSeq, "snapshot: segment " +
-                                            std::to_string(SegIndex));
 }
 
 void Verifier::pump() {
@@ -930,7 +553,6 @@ void Verifier::pump() {
   Batch.reserve(PumpBatch);
   TelemetryCell *TC =
       telemetryCompiledIn() && Telem ? &Telem->cell() : nullptr;
-  std::vector<std::vector<Action>> Route(Objects.size());
   const bool SnapshotsOn = Config.Snapshots && Config.Backpressure.SegmentBytes;
   std::vector<SegmentCut> Cuts; ///< pending cut points, oldest first
   uint64_t RoutedUpto = 0;      ///< exclusive frontier of routed records
@@ -966,26 +588,23 @@ void Verifier::pump() {
                                return A.Seq < S;
                              }) -
             Batch.begin());
-        routeRange(Batch, Begin, Split, Route, TC);
+        Svc->routeRange(Batch, Begin, Split, TC);
         Begin = Split;
         RoutedUpto = Cut.FirstSeq;
-        takeSnapshot(Cut.Index, Cut.FirstSeq);
+        Svc->takeSnapshot(Cut.Index, Cut.FirstSeq);
       }
     }
-    routeRange(Batch, Begin, Batch.size(), Route, TC);
+    Svc->routeRange(Batch, Begin, Batch.size(), TC);
     RoutedUpto = LastSeq + 1;
     if (Telem)
       Telem->noteConsumed(LastSeq + 1);
     if (Tracer)
       Tracer->noteCheckSpan(FirstSeq, LastSeq, NumActions);
-    // Checked-prefix reclamation: everything this thread fed inline is
-    // checked through LastSeq; with a pool, the watermark stops at the
-    // oldest record still pending on any object.
-    if (Config.Backpressure.SegmentBytes) {
-      uint64_t Checked =
-          Pool ? Pool->checkedWatermark(LastSeq + 1) : LastSeq + 1;
-      TheLog->reclaimCheckedPrefix(Checked);
-    }
+    // Checked-prefix reclamation: everything fed inline is checked
+    // through LastSeq; with a pool, the watermark stops at the oldest
+    // record still pending on any object.
+    if (Config.Backpressure.SegmentBytes)
+      TheLog->reclaimCheckedPrefix(Svc->checkedWatermark(LastSeq + 1));
     if (AC) {
       // One control step per consumed batch: lag is the append frontier
       // minus the consumed frontier (saturating — shed gaps cannot push
@@ -1023,48 +642,129 @@ void Verifier::pump() {
                           Telem->gauge(Gauge::G_SegmentsLive));
     }
   }
-  if (Pool)
-    Pool->drainAndJoin();
-  for (auto &O : Objects) {
-    O->Checker->finish();
-    if (O->Checker->hasViolation()) {
-      ViolationFlag.store(true, std::memory_order_release);
-      publishObjectViolations(*O);
-    }
-  }
+  Svc->finishChecking();
   // Everything is checked now; release any remaining reclaimable
   // segments (the active one is always kept).
   if (Config.Backpressure.SegmentBytes)
     TheLog->reclaimCheckedPrefix(TheLog->appendCount());
 }
 
+void Verifier::shipPump() {
+  // The shipping consumption loop never touches a checker: it drains the
+  // log (so the bounded tail keeps moving and BP_Block producers wake),
+  // turns segment rotations into shipSegment calls, and trims the chain
+  // as the remote checker's watermark advances. Memory stays bounded on
+  // both sides: here by SegmentBytes x live segments, there by the
+  // receiver's feed.
+  constexpr size_t PumpBatch = 256;
+  std::vector<Action> Batch;
+  Batch.reserve(PumpBatch);
+  std::vector<SegmentCut> Cuts;
+  while (TheLog->nextBatch(Batch, PumpBatch)) {
+    uint64_t LastSeq = Batch.back().Seq;
+    TheLog->takeSegmentCuts(Cuts);
+    for (const SegmentCut &Cut : Cuts)
+      Shipper->noteCut(Cut.Index);
+    Cuts.clear();
+    if (Telem)
+      Telem->noteConsumed(LastSeq + 1);
+    // Reclamation is gated on the REMOTE ack watermark, never the local
+    // consumption frontier: a segment leaves this disk only after the
+    // checker fleet confirmed it fed every record in it.
+    TheLog->reclaimCheckedPrefix(Transport->ackedWatermark());
+  }
+  // Rotations reported after the reader drained (close() flushes the
+  // final writes) still need shipping before finish() ships the last
+  // open segment.
+  TheLog->takeSegmentCuts(Cuts);
+  for (const SegmentCut &Cut : Cuts)
+    Shipper->noteCut(Cut.Index);
+}
+
 void Verifier::start() {
   assert(!Started && "start called twice");
-  assert(!Objects.empty() &&
+  assert(Svc->objectCount() &&
          "start with no registered object (registerObject first)");
   Started = true;
-  if (Config.Online) {
-    if (Config.CheckerThreads > 1)
-      Pool = std::make_unique<CheckerPool>(*this, Config.CheckerThreads);
-    // BP_Shed needs to know which calls start observer-only executions;
-    // the registered specs are the authority. Installed before any
-    // producer appends (the classifier runs under the log's admission
-    // lock, concurrently with checker-side isObserver calls — specs
-    // answer it as a pure const query). A dynamic policy that can
-    // escalate into BP_Shed needs the classifier armed up front too.
-    if (Config.Backpressure.Enabled &&
-        (Config.Backpressure.Policy == BackpressurePolicy::BP_Shed ||
-         (Ctl && Ctl->canReachShed()))) {
-      auto Classifier = [this](const Action &A) {
-        return A.Obj < Objects.size() &&
-               Objects[A.Obj]->S->isObserver(A.Method);
-      };
-      TheLog->setShedClassifier(Classifier);
-      if (Pool)
-        Pool->setShedClassifier(Classifier);
-    }
-    VerifyThread = std::thread([this] { pump(); });
+  if (!Config.Online)
+    return;
+  // BP_Shed needs to know which calls start observer-only executions;
+  // the registered specs are the authority. Installed before any
+  // producer appends (the classifier runs under the log's admission
+  // lock, concurrently with checker-side isObserver calls — specs
+  // answer it as a pure const query). A dynamic policy that can
+  // escalate into BP_Shed needs the classifier armed up front too.
+  const bool NeedClassifier =
+      Config.Backpressure.Enabled &&
+      (Config.Backpressure.Policy == BackpressurePolicy::BP_Shed ||
+       (Ctl && Ctl->canReachShed()));
+  if (Config.Shipping.enabled()) {
+    Transport =
+        std::make_unique<SocketTransport>(Config.Shipping, Telem.get());
+    Shipper = std::make_unique<SegmentShipper>(*Transport,
+                                               Config.LogFilePath,
+                                               Telem.get());
+    if (NeedClassifier)
+      TheLog->setShedClassifier(
+          [this](const Action &A) { return Svc->isObserverCall(A); });
+    VerifyThread = std::thread([this] { shipPump(); });
+    return;
   }
+  if (Config.CheckerThreads > 1)
+    Svc->startPool(Config.CheckerThreads);
+  if (NeedClassifier) {
+    auto Classifier = [this](const Action &A) {
+      return Svc->isObserverCall(A);
+    };
+    TheLog->setShedClassifier(Classifier);
+    Svc->setShedClassifier(Classifier);
+  }
+  VerifyThread = std::thread([this] { pump(); });
+}
+
+bool Verifier::degradeShipping(VerifierReport &R,
+                               uint64_t FinalSeqExclusive) {
+  R.Shipping.Degraded = true;
+  uint64_t Acked = Transport->ackedWatermark();
+  uint64_t Unverified =
+      FinalSeqExclusive > Acked ? FinalSeqExclusive - Acked : 0;
+  if (Config.Shipping.Degrade == ShipDegrade::SD_LocalCheck) {
+    R.Shipping.DegradeMode = "local-check";
+    // A sound local verdict needs the chain from record 0 — which is
+    // exactly what survives when the fleet never acked (acks are the
+    // only thing that reclaims). A partially acked-and-reclaimed chain
+    // cannot be re-checked (shipped runs write no sidecars), so its
+    // unacked suffix is accounted like SD_Shed.
+    std::vector<ChainSegment> Chain;
+    bool CanLocal = enumerateChain(Config.LogFilePath, Chain) &&
+                    !Chain.empty() &&
+                    (Chain.front().Index <= 1 || Chain.front().HasSnapshot);
+    if (CanLocal) {
+      InProcessTransport Local(*Svc);
+      std::string Err;
+      if (shipChain(Config.LogFilePath, Local, FinalSeqExclusive, 0, Err)) {
+        R.Notes.push_back(
+            "shipping degraded: checker fleet at " +
+            Config.Shipping.Endpoint +
+            " unreachable; surviving chain re-checked locally "
+            "(SD_LocalCheck), the verdict below is sound");
+        return true;
+      }
+      R.Notes.push_back("shipping degraded: local re-check failed: " + Err);
+    }
+    R.Notes.push_back(
+        std::string(violationKindName(ViolationKind::VK_Degraded)) + ": " +
+        std::to_string(Unverified) +
+        " record(s) unverified (checker fleet unreachable and the "
+        "partially reclaimed chain cannot be re-checked locally)");
+    return false;
+  }
+  R.Shipping.DegradeMode = "shed";
+  R.Notes.push_back(
+      std::string(violationKindName(ViolationKind::VK_Degraded)) + ": " +
+      std::to_string(Unverified) +
+      " record(s) unverified (checker fleet unreachable, SD_Shed)");
+  return false;
 }
 
 VerifierReport Verifier::finish() {
@@ -1078,40 +778,46 @@ VerifierReport Verifier::finish() {
     pump();
 
   VerifierReport R;
-  for (auto &OS : Objects) {
-    ObjectReport OR;
-    OR.Id = OS->Id;
-    OR.Name = OS->Name;
-    OR.Stats = OS->Checker->stats();
-    OR.Records = OS->Routed;
-    OR.Violations = OS->Checker->violations();
-    Name Tag = OS->Name.empty() ? Name() : internName(OS->Name);
-    for (Violation &V : OR.Violations) {
-      V.Obj = OS->Id;
-      V.Object = Tag;
+  bool LocalFallbackRan = false;
+  if (Config.Shipping.enabled()) {
+    uint64_t FinalSeq = TheLog->appendCount();
+    bool Ok = Shipper->finish(FinalSeq, Config.Shipping.FinalAckTimeoutMs);
+    R.Shipping.Enabled = true;
+    R.Shipping.Endpoint = Config.Shipping.Endpoint;
+    R.Shipping.StreamName = Config.Shipping.StreamName.empty()
+                                ? "stream"
+                                : Config.Shipping.StreamName;
+    R.Shipping.FinalAckOk = Ok;
+    if (Ok) {
+      TheLog->reclaimCheckedPrefix(Transport->ackedWatermark());
+      R.Notes.push_back(
+          "shipped: verdicts live with the remote checker at " +
+          Config.Shipping.Endpoint + " (session \"" +
+          R.Shipping.StreamName + "\")");
+    } else {
+      LocalFallbackRan = degradeShipping(R, FinalSeq);
     }
-    R.Stats.merge(OR.Stats);
-    R.Violations.insert(R.Violations.end(), OR.Violations.begin(),
-                        OR.Violations.end());
-    R.Objects.push_back(std::move(OR));
+    SegmentTransport::Stats TS = Transport->stats();
+    R.Shipping.SegmentsShipped = TS.Segments;
+    R.Shipping.BytesShipped = TS.Bytes;
+    R.Shipping.Acks = TS.Acks;
+    R.Shipping.Retries = TS.Retries;
+    R.Shipping.AckedWatermark = Transport->ackedWatermark();
   }
-  // Merge the per-object violation lists back into witness order.
-  sortViolationsBySeq(R.Violations);
-  if (UnroutedRecords) {
-    Violation V;
-    V.Kind = ViolationKind::VK_Instrumentation;
-    V.Seq = FirstUnroutedSeq;
-    V.Message = std::to_string(UnroutedRecords) +
-                " log records reference unregistered object ids (hooks "
-                "outliving their verifier, or log corruption)";
-    R.Violations.push_back(V);
-    ViolationFlag.store(true, std::memory_order_release);
+  Svc->finishChecking();
+  Svc->buildReport(R);
+  if (LocalFallbackRan) {
+    uint64_t N = 0;
+    for (const ObjectReport &O : R.Objects)
+      N += O.Records;
+    R.Shipping.FallbackRecords = N;
+    if (Telem)
+      Telem->count(Counter::C_ShipFallbackRecords, N);
   }
   R.LogRecords = TheLog->appendCount();
   R.LogBytes = TheLog->byteCount();
   R.Backpressure = TheLog->backpressureStats();
-  if (Pool)
-    R.Backpressure.merge(Pool->stats());
+  Svc->mergePoolStats(R.Backpressure);
   if (Ctl) {
     R.Adaptive.Enabled = true;
     R.Adaptive.Escalations = Ctl->escalations();
@@ -1144,18 +850,14 @@ VerifierReport Verifier::finish() {
       if (FILE *F = std::fopen(Path.c_str(), "wb")) {
         std::fwrite(Doc.data(), 1, Doc.size(), F);
         std::fclose(F);
-        std::lock_guard Lock(Live.M);
-        Live.ForensicFiles.push_back(std::move(Path));
+        Svc->addForensicFile(std::move(Path));
       } else {
         std::fprintf(stderr, "vyrd: cannot write forensic bundle %s\n",
                      Path.c_str());
       }
     }
   }
-  {
-    std::lock_guard Lock(Live.M);
-    R.ForensicFiles = Live.ForensicFiles;
-  }
+  R.ForensicFiles = Svc->forensicFiles();
   if (Telem) {
     Telem->stopSampler();
     R.TelemetryEnabled = true;

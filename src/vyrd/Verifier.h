@@ -15,6 +15,16 @@
 /// object's records are always checked in log order while different
 /// objects proceed in parallel.
 ///
+/// Since the producer/checker split the Verifier is a thin composition of
+/// two halves: the capture pipeline (hooks -> log backend -> segment sink)
+/// it owns directly, and a CheckerService holding the per-object checking
+/// pipelines. In the default, in-process wiring the pump thread feeds the
+/// service straight from the log — bit-identical to the historical
+/// monolithic engine. With VerifierConfig::Shipping set, the checker half
+/// runs in a remote `vyrd-checkd` process instead: the pump ships closed
+/// log segments through a SocketTransport and reclaims them as the remote
+/// checker acks its watermark (docs/SHIPPING.md).
+///
 /// The check runs *online* — a dedicated consumption thread drains the log
 /// concurrently with the program, as the VYRD tool does — or *offline*,
 /// replaying the completed log when finish() is called (the "VYRD alone"
@@ -28,6 +38,7 @@
 #include "vyrd/Adaptive.h"
 #include "vyrd/BufferedLog.h"
 #include "vyrd/Checker.h"
+#include "vyrd/CheckerService.h"
 #include "vyrd/Instrument.h"
 #include "vyrd/Log.h"
 #include "vyrd/Monitor.h"
@@ -35,10 +46,9 @@
 #include "vyrd/Spec.h"
 #include "vyrd/Telemetry.h"
 #include "vyrd/Trace.h"
+#include "vyrd/Transport.h"
 
-#include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -127,7 +137,8 @@ struct VerifierConfig {
   /// pick up per-object record batches; one object is owned by at most
   /// one worker at a time, so each object's records are still checked in
   /// log order. Requires Online (the offline pass is a synchronous replay
-  /// on the caller's thread).
+  /// on the caller's thread). Ignored when Shipping is enabled (the
+  /// remote service sizes its own pool).
   unsigned CheckerThreads = 1;
   /// Metrics, lag watchdog and tracing.
   TelemetryOptions Telemetry;
@@ -147,6 +158,18 @@ struct VerifierConfig {
   /// finish(). Paths land in VerifierReport::ForensicFiles and are served
   /// by the monitor.
   std::string ForensicPrefix;
+  /// Remote checking (docs/SHIPPING.md): when Shipping.Endpoint is set,
+  /// no checkers run in this process — the pump ships every closed log
+  /// segment to the `vyrd-checkd` service at the endpoint, which resolves
+  /// Shipping.Program into the per-object pipelines, checks the records
+  /// and acks its watermark; acked segments are reclaimed here, so
+  /// producer-side memory stays bounded end-to-end. Requires Online and
+  /// a file-backed segmented log (Backpressure.SegmentBytes > 0); the
+  /// verdict lives in the service's session report. If the fleet stays
+  /// unreachable past the retry budget, Shipping.Degrade picks between
+  /// re-checking the surviving chain locally (SD_LocalCheck, the default)
+  /// and shedding with VK_Degraded accounting (SD_Shed).
+  ShipperOptions Shipping;
 
   /// Checks the configuration for nonsensical combinations (LB_File
   /// without a path, a zero-sized or offline multi-threaded checker pool,
@@ -215,6 +238,31 @@ struct VerifierReport {
     std::vector<AdaptiveController::Transition> Transitions;
   };
   AdaptiveSummary Adaptive;
+  /// Remote-checking summary (all zeros / empty when
+  /// VerifierConfig::Shipping was off). A shipped run's verdict lives in
+  /// the remote service's session report; ok() here only covers what was
+  /// checked in this process (nothing, unless the run degraded into
+  /// SD_LocalCheck).
+  struct ShippingSummary {
+    bool Enabled = false;
+    std::string Endpoint;
+    std::string StreamName;
+    uint64_t SegmentsShipped = 0;
+    uint64_t BytesShipped = 0;
+    uint64_t Acks = 0;
+    uint64_t Retries = 0;
+    /// Exclusive: every record below it was fed by the remote checker.
+    uint64_t AckedWatermark = 0;
+    /// The remote service confirmed the whole stream at finish().
+    bool FinalAckOk = false;
+    /// The fleet became unreachable and the degrade path ran.
+    bool Degraded = false;
+    /// "local-check" or "shed" when Degraded.
+    std::string DegradeMode;
+    /// Records re-checked in this process by SD_LocalCheck.
+    uint64_t FallbackRecords = 0;
+  };
+  ShippingSummary Shipping;
 
   bool ok() const { return Violations.empty(); }
   /// Renders the full report for diagnostics (includes the per-object
@@ -262,7 +310,7 @@ public:
   Hooks hooks() const;
 
   /// Number of registered objects.
-  size_t objectCount() const { return Objects.size(); }
+  size_t objectCount() const { return Svc->objectCount(); }
 
   /// Starts the consumption thread and (CheckerThreads > 1) the checker
   /// pool (online mode; no-op offline). At least one object must have
@@ -276,10 +324,9 @@ public:
 
   /// Thread-safe peek: has any object's checker found a violation yet?
   /// Lets a test harness stop generating work once an error is caught
-  /// (the Table 1 protocol).
-  bool violationSeen() const {
-    return ViolationFlag.load(std::memory_order_acquire);
-  }
+  /// (the Table 1 protocol). Always false while shipping to a healthy
+  /// remote checker (the violations are found over there).
+  bool violationSeen() const { return Svc->violationSeen(); }
 
   Log &log() { return *TheLog; }
 
@@ -293,32 +340,21 @@ public:
   MonitorServer *monitor() { return Mon.get(); }
 
 private:
-  struct ObjectState;
-  class CheckerPool;
   class MonitorAdapter;
 
+  /// The in-process consumption loop: drains the log and feeds the
+  /// checker service directly (the historical pipeline).
   void pump();
-  /// Publishes the checker's violations recorded since the last publish
-  /// into the live list the monitor serves, and flushes the object's
-  /// forensic bundle on its first violation. Caller must own \p O (same
-  /// contract as feedObject); the publish itself is a size compare on the
-  /// fast path.
-  void publishObjectViolations(ObjectState &O);
-  void maybeWriteForensic(ObjectState &O);
-  /// Feeds one demuxed batch into \p O's checker (caller must own \p O:
-  /// the pump thread inline, or the pool worker holding the object).
-  void feedObject(ObjectState &O, const std::vector<Action> &Batch,
-                  TelemetryCell *TC);
-  /// Routes Batch[Begin, End) to the per-object pipelines (demux +
-  /// dispatch/feed). Factored out of pump() so snapshot cuts can split a
-  /// batch: everything before the cut is routed, the snapshot is taken,
-  /// then routing resumes.
-  void routeRange(std::vector<Action> &Batch, size_t Begin, size_t End,
-                  std::vector<std::vector<Action>> &Route, TelemetryCell *TC);
-  /// Aligns every checker on the cut (quiescing the pool), serializes the
-  /// checkers and writes the sidecar for segment \p SegIndex. Pump thread
-  /// only; counts C_SnapshotWrites / C_SnapshotSkips.
-  void takeSnapshot(uint64_t SegIndex, uint64_t CutSeq);
+  /// The shipping consumption loop: drains the log, ships closed
+  /// segments through the transport and reclaims acked ones. No local
+  /// checking.
+  void shipPump();
+  /// The fleet-unreachable path at finish(): local re-check or shed
+  /// accounting per Config.Shipping.Degrade. Appends notes to \p R.
+  /// Runs the configured degrade path after a failed final ack; returns
+  /// true when the surviving chain was re-checked locally (so the report
+  /// carries a sound verdict and FallbackRecords should be filled).
+  bool degradeShipping(VerifierReport &R, uint64_t FinalSeqExclusive);
 
   VerifierConfig Config;
   /// Declared before TheLog: the log backends hold raw pointers to the
@@ -330,30 +366,17 @@ private:
   /// count) is joined before the log is destroyed.
   std::unique_ptr<Telemetry> Telem;
   std::unique_ptr<TraceRecorder> Tracer;
-  std::vector<std::unique_ptr<ObjectState>> Objects;
-  std::unique_ptr<CheckerPool> Pool;
+  /// The checker half (objects, demux, pool, live violations). Declared
+  /// after Telem/Tracer, which its pipelines borrow.
+  std::unique_ptr<CheckerService> Svc;
+  /// Shipping mode only (Config.Shipping.enabled()).
+  std::unique_ptr<SegmentTransport> Transport;
+  std::unique_ptr<SegmentShipper> Shipper;
   std::thread VerifyThread;
-  std::atomic<bool> ViolationFlag{false};
-  /// Records whose ObjectId matched no registered object (instrumentation
-  /// bug or log corruption); reported as a VK_Instrumentation violation
-  /// at finish(). Written by the pump thread only.
-  uint64_t UnroutedRecords = 0;
-  uint64_t FirstUnroutedSeq = 0;
   bool Started = false;
   bool Done = false;
-
-  /// What the monitor serves besides telemetry: violations published as
-  /// their checkers record them (object-stamped) and forensic bundle
-  /// paths. Written by whichever thread owns the reporting checker,
-  /// read by the monitor thread and finish().
-  struct LiveState {
-    mutable std::mutex M;
-    std::vector<Violation> Violations;
-    std::vector<std::string> ForensicFiles;
-  };
-  LiveState Live;
-  /// Declared last (after Telem, Objects and Live): the monitor thread
-  /// reads all of them, so it must be joined first on destruction.
+  /// Declared last (after Telem and Svc): the monitor thread reads both,
+  /// so it must be joined first on destruction.
   std::unique_ptr<MonitorAdapter> MonSource;
   std::unique_ptr<MonitorServer> Mon;
 };

@@ -20,6 +20,9 @@
 //     health        one JSON line: {"health":"ok|degraded|stalled|..."}
 //
 //   options
+//     --mon NAME    registry mode (a vyrd-checkd control socket): attach
+//                   to session NAME before running the command; without
+//                   it, `list` on a registry socket names the sessions
 //     --json        alias for `stats` (one-shot machine-readable dump)
 //     --prom        Prometheus text exposition dump (for scrapers)
 //     --interval MS top refresh / watch period (default 1000)
@@ -50,8 +53,8 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH "
-               "[top|watch|list|stats|violations|health] [--json] "
-               "[--prom] [--interval MS] [--count N] [--wait MS]\n",
+               "[top|watch|list|stats|violations|health] [--mon NAME] "
+               "[--json] [--prom] [--interval MS] [--count N] [--wait MS]\n",
                Argv0);
   return 2;
 }
@@ -147,6 +150,7 @@ int printBlock(LineReader &R) {
 
 int main(int Argc, char **Argv) {
   std::string SocketPath;
+  std::string MonName;
   std::string Cmd;
   uint64_t IntervalMs = 1000;
   uint64_t Count = 0;
@@ -156,6 +160,8 @@ int main(int Argc, char **Argv) {
     std::string Arg = Argv[I];
     if (Arg == "--socket" && I + 1 < Argc) {
       SocketPath = Argv[++I];
+    } else if (Arg == "--mon" && I + 1 < Argc) {
+      MonName = Argv[++I];
     } else if (Arg == "--interval" && I + 1 < Argc) {
       IntervalMs = std::strtoull(Argv[++I], nullptr, 10);
     } else if (Arg == "--count" && I + 1 < Argc) {
@@ -186,6 +192,21 @@ int main(int Argc, char **Argv) {
     return 1;
   LineReader R{Fd, {}};
   int Ret = 0;
+
+  if (!MonName.empty()) {
+    // Registry socket (vyrd-checkd): bind this connection to a session.
+    std::string Line;
+    if (!sendLine(Fd, "mon " + MonName) || !R.next(Line)) {
+      std::fprintf(stderr, "vyrd-mon: server closed the connection\n");
+      close(Fd);
+      return 1;
+    }
+    if (Line.find("\"error\"") != std::string::npos) {
+      std::fprintf(stderr, "vyrd-mon: %s\n", Line.c_str());
+      close(Fd);
+      return 1;
+    }
+  }
 
   if (Cmd == "list" || Cmd == "stats" || Cmd == "violations" ||
       Cmd == "health") {
